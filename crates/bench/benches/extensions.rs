@@ -1,0 +1,59 @@
+//! Ablation costs for the extensions beyond the paper: return-jump-
+//! function composition (§3.2 limitation lifted), gated generation
+//! (§4.2), procedure cloning (§5), and procedure integration (§5,
+//! Wegman–Zadeck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp::{clone_by_constants, inline_leaf_calls, Analysis, Config};
+use ipcp_suite::paper_programs;
+
+fn bench_extensions(c: &mut Criterion) {
+    let modules: Vec<_> = paper_programs().map(|p| (p.name, p.module_cfg())).collect();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(12);
+
+    let sum_counts = |config: &Config, modules: &[(&str, ipcp_ir::ModuleCfg)]| {
+        modules
+            .iter()
+            .map(|(_, m)| Analysis::run(m, config).substitute(m).total)
+            .sum::<usize>()
+    };
+
+    group.bench_function(BenchmarkId::from_parameter("baseline-poly"), |b| {
+        b.iter(|| sum_counts(&Config::polynomial(), &modules))
+    });
+    group.bench_function(BenchmarkId::from_parameter("compose-return-jfs"), |b| {
+        let config = Config {
+            compose_return_jfs: true,
+            ..Config::polynomial()
+        };
+        b.iter(|| sum_counts(&config, &modules))
+    });
+    group.bench_function(BenchmarkId::from_parameter("gated-generation"), |b| {
+        let config = Config {
+            gated_jump_fns: true,
+            ..Config::polynomial()
+        };
+        b.iter(|| sum_counts(&config, &modules))
+    });
+    group.bench_function(BenchmarkId::from_parameter("cloning"), |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| clone_by_constants(m, &Config::default(), 8).n_clones)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("integration"), |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| inline_leaf_calls(m, 3_000).inlined_calls)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

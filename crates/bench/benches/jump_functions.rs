@@ -1,0 +1,44 @@
+//! Table 2's cost axis (§3.1.5): construction + propagation time for each
+//! of the four forward jump-function implementations, over the full
+//! benchmark suite and per selected programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp::{Analysis, Config, JumpFnKind};
+use ipcp_suite::{paper_programs, program};
+
+fn bench_suite_by_kind(c: &mut Criterion) {
+    let modules: Vec<_> = paper_programs().map(|p| (p.name, p.module_cfg())).collect();
+    let mut group = c.benchmark_group("table2/whole-suite");
+    group.sample_size(20);
+    for kind in JumpFnKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let config = Config::default().with_jump_fn(kind);
+            b.iter(|| {
+                let mut total = 0usize;
+                for (_, mcfg) in &modules {
+                    let analysis = Analysis::run(mcfg, &config);
+                    total += analysis.substitute(mcfg).total;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_return_jfs(c: &mut Criterion) {
+    let mcfg = program("ocean").unwrap().module_cfg();
+    let mut group = c.benchmark_group("table2/ocean-return-jfs");
+    group.sample_size(30);
+    group.bench_function("with", |b| {
+        b.iter(|| Analysis::run(&mcfg, &Config::default()).substitute(&mcfg).total)
+    });
+    group.bench_function("without", |b| {
+        let config = Config::default().with_return_jfs(false);
+        b.iter(|| Analysis::run(&mcfg, &config).substitute(&mcfg).total)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_by_kind, bench_return_jfs);
+criterion_main!(benches);

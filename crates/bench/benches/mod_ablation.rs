@@ -1,0 +1,53 @@
+//! Table 3's cost axis: the polynomial configuration with and without MOD
+//! information, complete propagation (which re-runs the pipeline after
+//! each DCE round), and the purely intraprocedural baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp::{complete_propagation, Analysis, Config};
+use ipcp_suite::paper_programs;
+
+fn bench_table3_configs(c: &mut Criterion) {
+    let modules: Vec<_> = paper_programs().map(|p| (p.name, p.module_cfg())).collect();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(15);
+    group.bench_function(BenchmarkId::from_parameter("poly-with-mod"), |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| Analysis::run(m, &Config::polynomial()).substitute(m).total)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("poly-without-mod"), |b| {
+        let config = Config::polynomial().with_mod(false);
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| Analysis::run(m, &config).substitute(m).total)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("complete-propagation"), |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| complete_propagation(m, &Config::polynomial()).substitution.total)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("intraprocedural-only"), |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|(_, m)| {
+                    let a = Analysis::run(m, &Config::polynomial());
+                    ipcp::substitute_intraprocedural(m, &a).total
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_configs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Scaling: full-pipeline time as generated programs grow, per jump
+//! function kind. Backs the §3.1.5 claim that the pass-through solution
+//! time approaches the simpler kinds in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp::{Analysis, Config, JumpFnKind};
+use ipcp_ir::{lower_module, parse_and_resolve};
+use ipcp_suite::{generate, GenConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/pipeline");
+    group.sample_size(12);
+    for n_procs in [8usize, 16, 32, 64] {
+        let config = GenConfig {
+            n_procs,
+            n_globals: 4,
+            stmts_per_proc: 10,
+            max_depth: 2,
+        };
+        let src = generate(&config, 12345);
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        for kind in [JumpFnKind::Literal, JumpFnKind::PassThrough, JumpFnKind::Polynomial] {
+            group.bench_function(
+                BenchmarkId::new(kind.label(), n_procs),
+                |b| {
+                    let cfg = Config::default().with_jump_fn(kind);
+                    b.iter(|| Analysis::run(&mcfg, &cfg).vals.n_constants())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Solver comparison: the procedure-level worklist of §4.1 vs the
+//! binding-multigraph formulation §2 mentions (and §3.1.5 bounds). Both
+//! compute the same fixpoint; the binding graph touches only the slots
+//! whose jump functions could actually change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp::{solve_binding_graph, Analysis, Config};
+use ipcp_ir::{lower_module, parse_and_resolve};
+use ipcp_ssa::Lattice;
+use ipcp_suite::{generate, GenConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(20);
+    for n_procs in [16usize, 48] {
+        let src = generate(
+            &GenConfig {
+                n_procs,
+                n_globals: 4,
+                stmts_per_proc: 10,
+                max_depth: 2,
+            },
+            2024,
+        );
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        // Jump functions are built once; only the propagation differs.
+        let analysis = Analysis::run(&mcfg, &Config::default());
+        group.bench_function(BenchmarkId::new("worklist", n_procs), |b| {
+            b.iter(|| {
+                ipcp::solve(
+                    &mcfg,
+                    &analysis.cg,
+                    &analysis.layout,
+                    &analysis.jump_fns,
+                    Lattice::Bottom,
+                )
+                .n_constants()
+            })
+        });
+        group.bench_function(BenchmarkId::new("binding-graph", n_procs), |b| {
+            b.iter(|| {
+                solve_binding_graph(
+                    &mcfg,
+                    &analysis.cg,
+                    &analysis.layout,
+                    &analysis.jump_fns,
+                    Lattice::Bottom,
+                )
+                .n_constants()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

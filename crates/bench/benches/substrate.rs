@@ -1,0 +1,64 @@
+//! Substrate costs: SSA construction, SCCP, the polynomial symbolic
+//! evaluator, dominators, and MOD/REF on a mid-sized generated program —
+//! the intraprocedural work that §4.1 reports dominating the total.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipcp_analysis::{build_call_graph, compute_modref};
+use ipcp_ir::program::SlotLayout;
+use ipcp_ir::{lower_module, parse_and_resolve};
+use ipcp_ssa::dominators::{dominance_frontiers, DomTree};
+use ipcp_ssa::sccp::{self, OpaqueCallsLattice, Seeds};
+use ipcp_ssa::ssa::{build_ssa, ModKills};
+use ipcp_ssa::symbolic::{evaluate, OpaqueCalls};
+use ipcp_suite::{generate, GenConfig};
+
+fn bench_substrate(c: &mut Criterion) {
+    let src = generate(
+        &GenConfig {
+            n_procs: 24,
+            n_globals: 4,
+            stmts_per_proc: 14,
+            max_depth: 3,
+        },
+        777,
+    );
+    let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+    let cg = build_call_graph(&mcfg);
+    let mr = compute_modref(&mcfg, &cg);
+    let layout = SlotLayout::new(&mcfg.module);
+    let entry = mcfg.module.entry;
+    let ssa = build_ssa(&mcfg, entry, &ModKills(&mr));
+    let n_vars = mcfg.module.proc(entry).vars.len();
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(40);
+    group.bench_function("call-graph", |b| b.iter(|| build_call_graph(&mcfg).n_edges()));
+    group.bench_function("mod-ref", |b| {
+        b.iter(|| compute_modref(&mcfg, &cg).mod_of(entry).len())
+    });
+    group.bench_function("dominators", |b| {
+        b.iter(|| DomTree::build(mcfg.cfg(entry)).rpo().len())
+    });
+    group.bench_function("dominance-frontiers", |b| {
+        let dom = DomTree::build(mcfg.cfg(entry));
+        b.iter(|| dominance_frontiers(mcfg.cfg(entry), &dom).len())
+    });
+    group.bench_function("ssa-build", |b| {
+        b.iter(|| build_ssa(&mcfg, entry, &ModKills(&mr)).len())
+    });
+    group.bench_function("gvn", |b| b.iter(|| ipcp_ssa::gvn::number(&ssa).n_classes()));
+    group.bench_function("symbolic-eval", |b| {
+        b.iter(|| evaluate(&mcfg, &ssa, &layout, &OpaqueCalls).values.len())
+    });
+    group.bench_function("sccp", |b| {
+        b.iter(|| {
+            sccp::run(&mcfg, &ssa, &Seeds::none(n_vars), &OpaqueCallsLattice)
+                .values
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Figure 1: the constant propagation lattice and its meet.
+
+use ipcp::Lattice;
+
+fn main() {
+    println!("Figure 1: The constant propagation lattice.\n");
+    println!("            ⊤");
+    println!("   ... -2 -1 0 1 2 ...   (all integer constants, incomparable)");
+    println!("            ⊥\n");
+    println!("Meet rules (∧):");
+    let samples = [
+        Lattice::Top,
+        Lattice::Const(1),
+        Lattice::Const(2),
+        Lattice::Bottom,
+    ];
+    println!("{:>4} {:>4} {:>4} {:>4} {:>4}", "∧", "⊤", "1", "2", "⊥");
+    for a in samples {
+        print!("{:>4}", a.to_string());
+        for b in samples {
+            print!(" {:>4}", a.meet(b).to_string());
+        }
+        println!();
+    }
+    println!();
+    println!("The lattice is infinite but of bounded depth: any value can be");
+    println!("lowered at most twice (⊤ → c → ⊥), which bounds the iterative");
+    println!("interprocedural propagation.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1: characteristics of the program test suite.
+
+use ipcp_bench::{table1_rows, tables::render};
+
+fn main() {
+    let rows = table1_rows();
+    println!("Table 1: Characteristics of the program test suite.\n");
+    let text = render(
+        &["Program", "Lines", "Procs", "Mean lines/proc", "Median lines/proc"],
+        &rows,
+        |r| {
+            vec![
+                r.name.clone(),
+                r.lines.to_string(),
+                r.procs.to_string(),
+                r.mean_lines.to_string(),
+                r.median_lines.to_string(),
+            ]
+        },
+    );
+    print!("{text}");
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 2: constants found through use of jump functions.
+
+use ipcp_bench::{table2_rows, tables::render};
+
+fn main() {
+    let rows = table2_rows();
+    println!("Table 2: Constants found through use of jump functions.");
+    println!("(columns 1-4 use return jump functions; 5-6 do not)\n");
+    let text = render(
+        &["Program", "Polynomial", "Pass-through", "Intraproc", "Literal", "Poly/NoRet", "Pass/NoRet"],
+        &rows,
+        |r| {
+            vec![
+                r.name.to_string(),
+                r.poly.to_string(),
+                r.pass.to_string(),
+                r.intra.to_string(),
+                r.literal.to_string(),
+                r.poly_noret.to_string(),
+                r.pass_noret.to_string(),
+            ]
+        },
+    );
+    print!("{text}");
+}

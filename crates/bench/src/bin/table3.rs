@@ -1,0 +1,23 @@
+//! Regenerates Table 3: the most precise jump function vs other
+//! propagation techniques.
+
+use ipcp_bench::{table3_rows, tables::render};
+
+fn main() {
+    let rows = table3_rows();
+    println!("Table 3: Comparison of the polynomial jump function with other techniques.\n");
+    let text = render(
+        &["Program", "Poly w/o MOD", "Poly w/ MOD", "Complete", "Intraproc only"],
+        &rows,
+        |r| {
+            vec![
+                r.name.to_string(),
+                r.poly_nomod.to_string(),
+                r.poly_mod.to_string(),
+                r.complete.to_string(),
+                r.intra_only.to_string(),
+            ]
+        },
+    );
+    print!("{text}");
+}

@@ -1,0 +1,408 @@
+//! Minimal, dependency-free argument parsing for `ipcc`.
+
+use ipcp::{Config, JumpFnKind};
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `ipcc analyze <file> [options]`
+    Analyze {
+        /// Input path (`-` for stdin).
+        file: String,
+        /// Analysis configuration.
+        config: Config,
+        /// What to print.
+        emit: Emit,
+    },
+    /// `ipcc run <file> [--input a,b,c]`
+    Run {
+        /// Input path.
+        file: String,
+        /// `read` stream values.
+        inputs: Vec<i64>,
+    },
+    /// `ipcc fmt <file>` — parse and pretty-print.
+    Fmt {
+        /// Input path.
+        file: String,
+    },
+    /// `ipcc cfg <file> [--proc name]` — dump lowered control-flow graphs.
+    Cfg {
+        /// Input path.
+        file: String,
+        /// Restrict to one procedure.
+        proc: Option<String>,
+    },
+    /// `ipcc callgraph <file>` — dump the call multigraph.
+    CallGraph {
+        /// Input path.
+        file: String,
+    },
+    /// `ipcc complete <file> [options]` — complete propagation report.
+    Complete {
+        /// Input path.
+        file: String,
+        /// Analysis configuration.
+        config: Config,
+    },
+    /// `ipcc clone <file> [--budget N] [options]` — constant-driven cloning.
+    Clone {
+        /// Input path.
+        file: String,
+        /// Analysis configuration.
+        config: Config,
+        /// Maximum clones to create.
+        budget: usize,
+    },
+    /// `ipcc explain <file> --proc <name> [--slot <name>] [--depth N]`
+    Explain {
+        /// Input path.
+        file: String,
+        /// Analysis configuration.
+        config: Config,
+        /// Procedure to explain.
+        proc: String,
+        /// Slot (formal/global) name; all slots when omitted.
+        slot: Option<String>,
+        /// Recursion depth through supporting slots.
+        depth: usize,
+    },
+    /// `ipcc integrate <file> [--budget N]` — Wegman–Zadeck procedure
+    /// integration comparison.
+    Integrate {
+        /// Input path.
+        file: String,
+        /// Statement-count growth budget.
+        budget: usize,
+    },
+    /// `ipcc tables` — regenerate the study's tables on the builtin suite.
+    Tables,
+    /// `ipcc help` / `--help`.
+    Help,
+}
+
+/// What `analyze` prints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Emit {
+    /// The `CONSTANTS(p)` sets (default).
+    #[default]
+    Constants,
+    /// The constant-substituted program (CFG form).
+    Substituted,
+    /// Per-procedure substitution counts.
+    Counts,
+    /// The jump functions of every reachable call site.
+    JumpFns,
+    /// The §3.1.5 cost report (shapes, support sizes, solver counters).
+    Report,
+    /// The transformed source text (§4.1's optional output).
+    Source,
+}
+
+/// A command-line error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The help text.
+pub const HELP: &str = "\
+ipcc — interprocedural constant propagation for FT programs
+
+USAGE:
+    ipcc <COMMAND> [ARGS]
+
+COMMANDS:
+    analyze <file>    run the analysis and print CONSTANTS(p) per procedure
+    run <file>        execute the program with the reference interpreter
+    fmt <file>        parse and pretty-print the program
+    cfg <file>        print the lowered control-flow graphs
+    callgraph <file>  print the call multigraph
+    complete <file>   run complete propagation (propagate + DCE to fixpoint)
+    clone <file>      constant-driven procedure cloning report
+    explain <file>    show where a slot's constant (or ⊥) came from
+    integrate <file>  Wegman-Zadeck procedure integration comparison
+    tables            regenerate the paper's Tables 1-3 on the builtin suite
+    help              show this message
+
+ANALYSIS OPTIONS (analyze / complete / clone):
+    --jump-fn <literal|intra|pass|poly>   forward jump function (default: pass)
+    --no-mod                              disable MOD information
+    --no-return-jfs                       disable return jump functions
+    --compose-return-jfs                  extension: symbolic composition
+    --zero-globals                        extension: globals are 0 at main
+    --gated                               extension: gated generation
+    --pruned-ssa                          engineering: liveness-pruned SSA
+    --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
+
+OTHER OPTIONS:
+    run:   --input <a,b,c>    comma-separated integers for `read`
+    clone: --budget <N>       max clones (default 16)
+
+Use `-` as <file> to read from standard input.
+";
+
+fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
+    let mut config = Config::default();
+    let mut rest = Vec::new();
+    let drained: Vec<String> = args.drain(..).collect();
+    let mut it = drained.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jump-fn" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--jump-fn needs a value".into()))?;
+                config.jump_fn = match v.as_str() {
+                    "literal" => JumpFnKind::Literal,
+                    "intra" | "intraprocedural" => JumpFnKind::IntraproceduralConstant,
+                    "pass" | "pass-through" => JumpFnKind::PassThrough,
+                    "poly" | "polynomial" => JumpFnKind::Polynomial,
+                    other => {
+                        return Err(UsageError(format!("unknown jump function `{other}`")))
+                    }
+                };
+            }
+            "--no-mod" => config.use_mod = false,
+            "--no-return-jfs" => config.use_return_jfs = false,
+            "--compose-return-jfs" => config.compose_return_jfs = true,
+            "--zero-globals" => config.assume_zero_globals = true,
+            "--gated" => config.gated_jump_fns = true,
+            "--pruned-ssa" => config.pruned_ssa = true,
+            _ => rest.push(a),
+        }
+    }
+    *args = rest;
+    Ok(config)
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(UsageError(format!("{flag} needs a value")));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_file(args: &mut Vec<String>, cmd: &str) -> Result<String, UsageError> {
+    let positional: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.starts_with("--"))
+        .map(|(i, _)| i)
+        .collect();
+    match positional.as_slice() {
+        [i] => Ok(args.remove(*i)),
+        [] => Err(UsageError(format!("`ipcc {cmd}` needs an input file"))),
+        _ => Err(UsageError(format!("`ipcc {cmd}` takes exactly one file"))),
+    }
+}
+
+fn expect_empty(args: &[String]) -> Result<(), UsageError> {
+    match args.first() {
+        None => Ok(()),
+        Some(a) => Err(UsageError(format!("unrecognized argument `{a}`"))),
+    }
+}
+
+/// Parses `argv[1..]`.
+///
+/// # Errors
+///
+/// [`UsageError`] with a message suitable for printing to stderr.
+pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
+    let Some(cmd) = (if args.is_empty() { None } else { Some(args.remove(0)) }) else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "analyze" => {
+            let config = parse_config(&mut args)?;
+            let emit = match take_flag_value(&mut args, "--emit")?.as_deref() {
+                None | Some("constants") => Emit::Constants,
+                Some("substituted") => Emit::Substituted,
+                Some("counts") => Emit::Counts,
+                Some("jumpfns") | Some("jump-fns") => Emit::JumpFns,
+                Some("report") => Emit::Report,
+                Some("source") => Emit::Source,
+                Some(other) => return Err(UsageError(format!("unknown emit mode `{other}`"))),
+            };
+            let file = take_file(&mut args, "analyze")?;
+            expect_empty(&args)?;
+            Ok(Command::Analyze { file, config, emit })
+        }
+        "run" => {
+            let inputs = match take_flag_value(&mut args, "--input")? {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|_| UsageError(format!("bad input value `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let file = take_file(&mut args, "run")?;
+            expect_empty(&args)?;
+            Ok(Command::Run { file, inputs })
+        }
+        "fmt" => {
+            let file = take_file(&mut args, "fmt")?;
+            expect_empty(&args)?;
+            Ok(Command::Fmt { file })
+        }
+        "cfg" => {
+            let proc = take_flag_value(&mut args, "--proc")?;
+            let file = take_file(&mut args, "cfg")?;
+            expect_empty(&args)?;
+            Ok(Command::Cfg { file, proc })
+        }
+        "callgraph" => {
+            let file = take_file(&mut args, "callgraph")?;
+            expect_empty(&args)?;
+            Ok(Command::CallGraph { file })
+        }
+        "complete" => {
+            let config = parse_config(&mut args)?;
+            let file = take_file(&mut args, "complete")?;
+            expect_empty(&args)?;
+            Ok(Command::Complete { file, config })
+        }
+        "clone" => {
+            let config = parse_config(&mut args)?;
+            let budget = match take_flag_value(&mut args, "--budget")? {
+                None => 16,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad budget `{v}`")))?,
+            };
+            let file = take_file(&mut args, "clone")?;
+            expect_empty(&args)?;
+            Ok(Command::Clone { file, config, budget })
+        }
+        "explain" => {
+            let config = parse_config(&mut args)?;
+            let proc = take_flag_value(&mut args, "--proc")?
+                .ok_or_else(|| UsageError("explain needs --proc <name>".into()))?;
+            let slot = take_flag_value(&mut args, "--slot")?;
+            let depth = match take_flag_value(&mut args, "--depth")? {
+                None => 3,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad depth `{v}`")))?,
+            };
+            let file = take_file(&mut args, "explain")?;
+            expect_empty(&args)?;
+            Ok(Command::Explain { file, config, proc, slot, depth })
+        }
+        "integrate" => {
+            let budget = match take_flag_value(&mut args, "--budget")? {
+                None => 10_000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad budget `{v}`")))?,
+            };
+            let file = take_file(&mut args, "integrate")?;
+            expect_empty(&args)?;
+            Ok(Command::Integrate { file, budget })
+        }
+        "tables" => {
+            expect_empty(&args)?;
+            Ok(Command::Tables)
+        }
+        other => Err(UsageError(format!(
+            "unknown command `{other}` (try `ipcc help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, UsageError> {
+        parse(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_analyze_with_options() {
+        let cmd = p(&[
+            "analyze", "--jump-fn", "poly", "--no-mod", "--emit", "counts", "x.ft",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Analyze { file, config, emit } => {
+                assert_eq!(file, "x.ft");
+                assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
+                assert!(!config.use_mod);
+                assert_eq!(emit, Emit::Counts);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_the_paper_defaults() {
+        match p(&["analyze", "x.ft"]).unwrap() {
+            Command::Analyze { config, emit, .. } => {
+                assert_eq!(config, Config::default());
+                assert_eq!(emit, Emit::Constants);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_inputs() {
+        match p(&["run", "--input", "1,2,-3", "x.ft"]).unwrap() {
+            Command::Run { inputs, .. } => assert_eq!(inputs, vec![1, 2, -3]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(p(&["analyze"]).is_err());
+        assert!(p(&["run"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        assert!(p(&["analyze", "--wat", "x.ft"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["analyze", "--jump-fn", "quantum", "x.ft"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn clone_budget() {
+        match p(&["clone", "--budget", "3", "x.ft"]).unwrap() {
+            Command::Clone { budget, .. } => assert_eq!(budget, 3),
+            other => panic!("{other:?}"),
+        }
+        match p(&["clone", "x.ft"]).unwrap() {
+            Command::Clone { budget, .. } => assert_eq!(budget, 16),
+            other => panic!("{other:?}"),
+        }
+    }
+}

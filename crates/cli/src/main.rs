@@ -1,0 +1,276 @@
+//! `ipcc` — the command-line driver for the FT interprocedural constant
+//! propagation toolchain. See `ipcc help` or [`args::HELP`].
+
+mod args;
+
+use args::{Command, Emit};
+use ipcp::{clone_by_constants, complete_propagation, Analysis, Config};
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::interp::{run_module, ExecLimits};
+use ipcp_ir::program::{ProcId, SlotLayout};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args::parse(argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("error: reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("error: {path}: {e}"))
+    }
+}
+
+fn load(path: &str) -> Result<(String, ModuleCfg), String> {
+    let src = read_source(path)?;
+    let module = ipcp_ir::parse_and_resolve(&src).map_err(|diags| {
+        let rendered: Vec<String> = diags.iter().map(|d| d.render(&src)).collect();
+        rendered.join("\n")
+    })?;
+    Ok((src.clone(), ipcp_ir::lower_module(&module)))
+}
+
+fn dispatch(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{}", args::HELP);
+            Ok(())
+        }
+        Command::Fmt { file } => {
+            let src = read_source(&file)?;
+            let prog = ipcp_ir::lang::parse_program(&src).map_err(|diags| {
+                let rendered: Vec<String> = diags.iter().map(|d| d.render(&src)).collect();
+                rendered.join("\n")
+            })?;
+            print!("{}", ipcp_ir::lang::pretty::program(&prog));
+            Ok(())
+        }
+        Command::Run { file, inputs } => {
+            let (_, mcfg) = load(&file)?;
+            let exec = run_module(&mcfg.module, &inputs, &ExecLimits::default())
+                .map_err(|e| format!("runtime error: {e}"))?;
+            for v in exec.output {
+                println!("{v}");
+            }
+            Ok(())
+        }
+        Command::Cfg { file, proc } => {
+            let (_, mcfg) = load(&file)?;
+            for (pid, cfg) in mcfg.iter() {
+                let p = mcfg.module.proc(pid);
+                if proc.as_deref().is_some_and(|want| want != p.name) {
+                    continue;
+                }
+                print!("{}", cfg.display(&mcfg.module, pid));
+            }
+            Ok(())
+        }
+        Command::CallGraph { file } => {
+            let (_, mcfg) = load(&file)?;
+            let cg = ipcp_analysis::build_call_graph(&mcfg);
+            for e in &cg.edges {
+                println!(
+                    "{} --{}--> {}",
+                    mcfg.module.proc(e.caller).name,
+                    e.site,
+                    mcfg.module.proc(e.callee).name
+                );
+            }
+            for (pi, proc) in mcfg.module.procs.iter().enumerate() {
+                if !cg.reachable[pi] {
+                    println!("; unreachable: {}", proc.name);
+                }
+            }
+            Ok(())
+        }
+        Command::Analyze { file, config, emit } => {
+            let (_, mcfg) = load(&file)?;
+            let analysis = Analysis::run(&mcfg, &config);
+            emit_analysis(&mcfg, &analysis, emit);
+            Ok(())
+        }
+        Command::Complete { file, config } => {
+            let (_, mcfg) = load(&file)?;
+            let plain = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
+            let result = complete_propagation(&mcfg, &config);
+            println!("plain propagation:    {plain} constants substituted");
+            println!(
+                "complete propagation: {} constants substituted",
+                result.substitution.total
+            );
+            println!(
+                "dce rounds: {}   statements removed: {}",
+                result.dce_rounds, result.statements_removed
+            );
+            Ok(())
+        }
+        Command::Clone { file, config, budget } => {
+            let (_, mcfg) = load(&file)?;
+            let before = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
+            let result = clone_by_constants(&mcfg, &config, budget);
+            let after = Analysis::run(&result.module, &config)
+                .substitute(&result.module)
+                .total;
+            println!("clones created: {}", result.n_clones);
+            for (pi, n) in result.clones_of.iter().enumerate() {
+                if *n > 0 {
+                    println!("  {} x{}", mcfg.module.procs[pi].name, n);
+                }
+            }
+            println!("constants substituted: {before} -> {after}");
+            Ok(())
+        }
+        Command::Explain { file, config, proc, slot, depth } => {
+            let (_, mcfg) = load(&file)?;
+            let analysis = Analysis::run(&mcfg, &config);
+            let p = mcfg
+                .module
+                .proc_named(&proc)
+                .ok_or_else(|| format!("error: no procedure named `{proc}`"))?;
+            let layout = SlotLayout::new(&mcfg.module);
+            let n_slots = layout.n_slots(p.arity());
+            let pid = p.id;
+            for s in 0..n_slots {
+                let name = layout.slot_name(&mcfg.module, pid, s);
+                if slot.as_deref().is_some_and(|want| want != name) {
+                    continue;
+                }
+                print!("{}", ipcp::explain::render(&mcfg, &analysis, pid, s, depth));
+            }
+            Ok(())
+        }
+        Command::Integrate { file, budget } => {
+            let (_, mcfg) = load(&file)?;
+            let jf = Analysis::run(&mcfg, &Config::polynomial())
+                .substitute(&mcfg)
+                .total;
+            let (integrated, result) = ipcp::integrate_and_count(&mcfg, budget);
+            println!(
+                "inlined {} call(s) in {} round(s)",
+                result.inlined_calls, result.rounds
+            );
+            println!("jump functions (polynomial): {jf} constants substituted");
+            println!("integration + intraprocedural: {integrated} constants substituted");
+            println!("(integrated counts may double-count duplicated code)");
+            Ok(())
+        }
+        Command::Tables => {
+            // Reuses the suite directly so `ipcc tables` works anywhere.
+            tables();
+            Ok(())
+        }
+    }
+}
+
+fn emit_analysis(mcfg: &ModuleCfg, analysis: &Analysis, emit: Emit) {
+    let layout = SlotLayout::new(&mcfg.module);
+    match emit {
+        Emit::Constants => {
+            print!("{}", analysis.vals.display(mcfg, &layout));
+            let substituted = analysis.substitute(mcfg);
+            println!("total constants substituted: {}", substituted.total);
+        }
+        Emit::Counts => {
+            let substituted = analysis.substitute(mcfg);
+            for (pi, n) in substituted.counts.iter().enumerate() {
+                println!("{:<24} {n}", mcfg.module.procs[pi].name);
+            }
+            println!("{:<24} {}", "total", substituted.total);
+        }
+        Emit::Substituted => {
+            let substituted = analysis.substitute(mcfg);
+            for (pid, cfg) in substituted.module.iter() {
+                print!("{}", cfg.display(&substituted.module.module, pid));
+            }
+        }
+        Emit::Report => {
+            print!("{}", ipcp::CostReport::collect(mcfg, analysis));
+        }
+        Emit::Source => {
+            let substituted = analysis.substitute(mcfg);
+            print!("{}", substituted.to_source(&mcfg.module));
+        }
+        Emit::JumpFns => {
+            for (pi, sites) in analysis.jump_fns.sites.iter().enumerate() {
+                let caller = ProcId::from(pi);
+                for (si, fns) in sites.iter().enumerate() {
+                    if fns.is_empty() {
+                        continue;
+                    }
+                    let rendered: Vec<String> =
+                        fns.iter().map(|jf| jf.to_string()).collect();
+                    println!(
+                        "{} cs{si}: [{}]",
+                        mcfg.module.proc(caller).name,
+                        rendered.join(", ")
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn tables() {
+    use ipcp::{complete_propagation as complete, substitute_intraprocedural, JumpFnKind};
+    use ipcp_suite::paper_programs;
+
+    println!("Table 2: constants found through use of jump functions");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "program", "poly", "pass", "intra", "literal", "poly/nr", "pass/nr"
+    );
+    for p in paper_programs() {
+        let mcfg = p.module_cfg();
+        let count = |c: &Config| Analysis::run(&mcfg, c).substitute(&mcfg).total;
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+            p.name,
+            count(&Config::default().with_jump_fn(JumpFnKind::Polynomial)),
+            count(&Config::default().with_jump_fn(JumpFnKind::PassThrough)),
+            count(&Config::default().with_jump_fn(JumpFnKind::IntraproceduralConstant)),
+            count(&Config::default().with_jump_fn(JumpFnKind::Literal)),
+            count(&Config::default().with_jump_fn(JumpFnKind::Polynomial).with_return_jfs(false)),
+            count(&Config::default().with_jump_fn(JumpFnKind::PassThrough).with_return_jfs(false)),
+        );
+    }
+    println!();
+    println!("Table 3: polynomial vs other propagation techniques");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>7}",
+        "program", "no-mod", "with-mod", "complete", "intra"
+    );
+    for p in paper_programs() {
+        let mcfg = p.module_cfg();
+        let a = Analysis::run(&mcfg, &Config::polynomial());
+        println!(
+            "{:<10} {:>8} {:>8} {:>9} {:>7}",
+            p.name,
+            Analysis::run(&mcfg, &Config::polynomial().with_mod(false))
+                .substitute(&mcfg)
+                .total,
+            a.substitute(&mcfg).total,
+            complete(&mcfg, &Config::polynomial()).substitution.total,
+            substitute_intraprocedural(&mcfg, &a).total,
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Analysis configuration: which jump function to use and which auxiliary
+//! information to consult — the experimental axes of the study.
+
+use std::fmt;
+
+/// The four forward jump-function implementations compared by the paper
+/// (§3.1), in increasing order of power. The set of constants each
+/// propagates is a subset of what the next one propagates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JumpFnKind {
+    /// §3.1.1 — the actual is a syntactic integer literal at the call
+    /// site; everything else (including constant globals, which are passed
+    /// implicitly) is ⊥. Propagates constants along single call-graph
+    /// edges only.
+    Literal,
+    /// §3.1.2 — the actual's value is discovered by intraprocedural
+    /// constant propagation / value numbering (`gcp(y, s)`), ignoring
+    /// incoming formal values. Still single-edge, but sees computed
+    /// constants and constant globals.
+    IntraproceduralConstant,
+    /// §3.1.3 — additionally, a formal parameter passed unmodified through
+    /// the procedure body is transmitted symbolically, so constants flow
+    /// along arbitrary-length call paths. The paper's recommendation.
+    PassThrough,
+    /// §3.1.4 — the actual is any polynomial function of the caller's
+    /// entry values. The most powerful (and most expensive) model.
+    Polynomial,
+}
+
+impl JumpFnKind {
+    /// All four kinds, weakest first.
+    pub const ALL: [JumpFnKind; 4] = [
+        JumpFnKind::Literal,
+        JumpFnKind::IntraproceduralConstant,
+        JumpFnKind::PassThrough,
+        JumpFnKind::Polynomial,
+    ];
+
+    /// Short column label used by the table harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            JumpFnKind::Literal => "literal",
+            JumpFnKind::IntraproceduralConstant => "intraprocedural",
+            JumpFnKind::PassThrough => "pass-through",
+            JumpFnKind::Polynomial => "polynomial",
+        }
+    }
+}
+
+impl fmt::Display for JumpFnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full analysis configuration.
+///
+/// The default is the paper's recommended production setting: pass-through
+/// jump functions, MOD information, return jump functions with the §3.2
+/// evaluation limitation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Which forward jump function to construct.
+    pub jump_fn: JumpFnKind,
+    /// Use interprocedural MOD information at call sites (Table 3 compares
+    /// `true` vs `false`; `false` makes every call kill every global and
+    /// by-reference actual).
+    pub use_mod: bool,
+    /// Generate and use return jump functions (Table 2's "Using" vs "No
+    /// Return Jump Functions").
+    pub use_return_jfs: bool,
+    /// Extension (off in the paper): compose return jump functions
+    /// symbolically with the actual-argument polynomials instead of the
+    /// §3.2 limitation ("return jump functions that depend on parameters
+    /// to the calling procedure can never be evaluated as constant").
+    pub compose_return_jfs: bool,
+    /// Extension (off by default): treat globals as holding their
+    /// FT-defined initial value `0` on entry to `main`, instead of the
+    /// FORTRAN "uninitialized COMMON" assumption (⊥).
+    pub assume_zero_globals: bool,
+    /// Extension (off in the paper, anticipated by its §4.2 remark on
+    /// gated single-assignment form): gate jump-function generation with
+    /// a per-procedure SCCP pass, so phi inputs on provably dead paths
+    /// and call sites in provably dead blocks are ignored. Subsumes most
+    /// of what "complete propagation" buys, without iterating DCE.
+    pub gated_jump_fns: bool,
+    /// Build *pruned* SSA (liveness-filtered phi placement) instead of
+    /// minimal SSA. Pure engineering knob: results are identical (the
+    /// pruned phis were unobservable), construction does less work on
+    /// phi-heavy programs.
+    pub pruned_ssa: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            jump_fn: JumpFnKind::PassThrough,
+            use_mod: true,
+            use_return_jfs: true,
+            compose_return_jfs: false,
+            assume_zero_globals: false,
+            gated_jump_fns: false,
+            pruned_ssa: false,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's strongest standard configuration (polynomial + MOD +
+    /// return jump functions).
+    pub fn polynomial() -> Config {
+        Config {
+            jump_fn: JumpFnKind::Polynomial,
+            ..Config::default()
+        }
+    }
+
+    /// Builder-style: set the jump-function kind.
+    #[must_use]
+    pub fn with_jump_fn(mut self, kind: JumpFnKind) -> Config {
+        self.jump_fn = kind;
+        self
+    }
+
+    /// Builder-style: toggle MOD information.
+    #[must_use]
+    pub fn with_mod(mut self, on: bool) -> Config {
+        self.use_mod = on;
+        self
+    }
+
+    /// Builder-style: toggle return jump functions.
+    #[must_use]
+    pub fn with_return_jfs(mut self, on: bool) -> Config {
+        self.use_return_jfs = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_ordered_weakest_first() {
+        assert!(JumpFnKind::Literal < JumpFnKind::IntraproceduralConstant);
+        assert!(JumpFnKind::IntraproceduralConstant < JumpFnKind::PassThrough);
+        assert!(JumpFnKind::PassThrough < JumpFnKind::Polynomial);
+        assert_eq!(JumpFnKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn default_is_the_recommended_setting() {
+        let c = Config::default();
+        assert_eq!(c.jump_fn, JumpFnKind::PassThrough);
+        assert!(c.use_mod);
+        assert!(c.use_return_jfs);
+        assert!(!c.compose_return_jfs);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::polynomial().with_mod(false).with_return_jfs(false);
+        assert_eq!(c.jump_fn, JumpFnKind::Polynomial);
+        assert!(!c.use_mod);
+        assert!(!c.use_return_jfs);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            JumpFnKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Provenance: *why* does `CONSTANTS(p)` contain (or miss) a value?
+//!
+//! For a chosen entry slot, [`explain`] walks the call edges feeding it
+//! and renders each contribution — the jump function at the site, the
+//! caller slots it reads, and the lattice value it delivered — recursing
+//! into pass-through/polynomial support up to a depth limit. This is the
+//! tool-side answer to the question every user of an interprocedural
+//! analysis asks first: "where did this ⊥ come from?"
+
+use crate::pipeline::Analysis;
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::program::ProcId;
+use ipcp_ssa::Lattice;
+use std::fmt::Write as _;
+
+/// One call-edge contribution to a slot.
+#[derive(Clone, Debug)]
+pub struct Contribution {
+    /// The procedure making the call.
+    pub caller: ProcId,
+    /// The call site within the caller.
+    pub site: ipcp_ir::cfg::CallSiteId,
+    /// Rendered jump function for the slot at this site.
+    pub jump_fn: String,
+    /// The value this edge delivered under the fixpoint.
+    pub delivered: Lattice,
+    /// The caller slots the jump function read, with their values.
+    pub support: Vec<(usize, Lattice)>,
+}
+
+/// The explanation of one slot of one procedure.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The explained procedure.
+    pub proc: ProcId,
+    /// The explained entry slot.
+    pub slot: usize,
+    /// The fixpoint value.
+    pub value: Lattice,
+    /// Per-edge contributions (empty for the entry procedure or an
+    /// unreached one).
+    pub contributions: Vec<Contribution>,
+}
+
+/// Computes the explanation for `(proc, slot)`.
+pub fn explain(_mcfg: &ModuleCfg, analysis: &Analysis, proc: ProcId, slot: usize) -> Explanation {
+    let mut contributions = Vec::new();
+    for edge in analysis.cg.calls_to(proc) {
+        let fns = analysis.jump_fns.at(edge.caller, edge.site);
+        let Some(jf) = fns.get(slot) else {
+            continue; // unreachable or gated-away site
+        };
+        let caller_vals = analysis.vals.of(edge.caller);
+        let delivered = jf.eval(|v| {
+            caller_vals
+                .get(v as usize)
+                .copied()
+                .unwrap_or(Lattice::Bottom)
+        });
+        let support = jf
+            .support()
+            .iter()
+            .map(|&v| {
+                (
+                    v as usize,
+                    caller_vals
+                        .get(v as usize)
+                        .copied()
+                        .unwrap_or(Lattice::Bottom),
+                )
+            })
+            .collect();
+        contributions.push(Contribution {
+            caller: edge.caller,
+            site: edge.site,
+            jump_fn: jf.to_string(),
+            delivered,
+            support,
+        });
+    }
+    Explanation {
+        proc,
+        slot,
+        value: analysis
+            .vals
+            .of(proc)
+            .get(slot)
+            .copied()
+            .unwrap_or(Lattice::Top),
+        contributions,
+    }
+}
+
+/// Renders the explanation as an indented tree, recursing into the
+/// support slots of non-constant contributions up to `depth` levels.
+pub fn render(
+    mcfg: &ModuleCfg,
+    analysis: &Analysis,
+    proc: ProcId,
+    slot: usize,
+    depth: usize,
+) -> String {
+    let mut out = String::new();
+    render_into(mcfg, analysis, proc, slot, depth, 0, &mut out);
+    out
+}
+
+fn render_into(
+    mcfg: &ModuleCfg,
+    analysis: &Analysis,
+    proc: ProcId,
+    slot: usize,
+    depth: usize,
+    indent: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    let e = explain(mcfg, analysis, proc, slot);
+    let pname = &mcfg.module.proc(proc).name;
+    let sname = analysis.layout.slot_name(&mcfg.module, proc, slot);
+    let _ = writeln!(out, "{pad}{pname}.{sname} = {}", e.value);
+    if proc == mcfg.module.entry {
+        let _ = writeln!(out, "{pad}  (entry procedure: environment assumption)");
+        return;
+    }
+    if e.contributions.is_empty() {
+        let _ = writeln!(out, "{pad}  (never called)");
+        return;
+    }
+    for c in &e.contributions {
+        let caller_name = &mcfg.module.proc(c.caller).name;
+        let _ = writeln!(
+            out,
+            "{pad}  <- {caller_name} {}: J = {} delivers {}",
+            c.site, c.jump_fn, c.delivered
+        );
+        if depth > 0 {
+            for &(s, v) in &c.support {
+                if v.is_const() {
+                    let n = analysis.layout.slot_name(&mcfg.module, c.caller, s);
+                    let _ = writeln!(out, "{pad}    using {caller_name}.{n} = {v}");
+                } else {
+                    render_into(mcfg, analysis, c.caller, s, depth - 1, indent + 2, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use ipcp_ir::{lower_module, parse_and_resolve};
+
+    fn setup(src: &str) -> (ModuleCfg, Analysis) {
+        let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+        let a = Analysis::run(&mcfg, &Config::default());
+        (mcfg, a)
+    }
+
+    #[test]
+    fn explains_a_constant_slot() {
+        let (mcfg, a) = setup("proc main() { call f(5); } proc f(x) { print x; }");
+        let f = mcfg.module.proc_named("f").unwrap().id;
+        let e = explain(&mcfg, &a, f, 0);
+        assert_eq!(e.value, Lattice::Const(5));
+        assert_eq!(e.contributions.len(), 1);
+        assert_eq!(e.contributions[0].jump_fn, "5");
+        assert_eq!(e.contributions[0].delivered, Lattice::Const(5));
+    }
+
+    #[test]
+    fn explains_a_conflicting_meet() {
+        let (mcfg, a) = setup(
+            "proc main() { call f(1); call f(2); } proc f(x) { print x; }",
+        );
+        let f = mcfg.module.proc_named("f").unwrap().id;
+        let e = explain(&mcfg, &a, f, 0);
+        assert_eq!(e.value, Lattice::Bottom);
+        let delivered: Vec<Lattice> = e.contributions.iter().map(|c| c.delivered).collect();
+        assert!(delivered.contains(&Lattice::Const(1)));
+        assert!(delivered.contains(&Lattice::Const(2)));
+    }
+
+    #[test]
+    fn render_recurses_through_pass_through_chains() {
+        let (mcfg, a) = setup(
+            "proc main() { call mid(9); } \
+             proc mid(m) { call leaf(m); } \
+             proc leaf(x) { print x; }",
+        );
+        let leaf = mcfg.module.proc_named("leaf").unwrap().id;
+        let text = render(&mcfg, &a, leaf, 0, 3);
+        assert!(text.contains("leaf.x = 9"), "{text}");
+        assert!(text.contains("mid cs0: J = x0"), "{text}");
+        assert!(text.contains("using mid.m = 9"), "{text}");
+    }
+
+    #[test]
+    fn render_explains_bottom_provenance() {
+        let (mcfg, a) = setup(
+            "proc main() { read v; call mid(v); } \
+             proc mid(m) { call leaf(m); } \
+             proc leaf(x) { print x; }",
+        );
+        let leaf = mcfg.module.proc_named("leaf").unwrap().id;
+        let text = render(&mcfg, &a, leaf, 0, 3);
+        assert!(text.contains("leaf.x = ⊥"), "{text}");
+        assert!(text.contains("mid.m = ⊥"), "{text}");
+        // The chain bottoms out at main's ⊥ jump function (the read value
+        // has no support to recurse into).
+        assert!(text.contains("main cs0: J = ⊥ delivers ⊥"), "{text}");
+    }
+
+    #[test]
+    fn never_called_procedures_say_so() {
+        let (mcfg, a) = setup("proc main() { } proc dead(x) { print x; }");
+        let dead = mcfg.module.proc_named("dead").unwrap().id;
+        let text = render(&mcfg, &a, dead, 0, 1);
+        assert!(text.contains("never called"), "{text}");
+    }
+}

@@ -1,0 +1,339 @@
+//! Jump functions: the paper's central abstraction.
+//!
+//! A *forward jump function* `J_s^y` gives the value of actual parameter
+//! `y` at call site `s` as a function of the calling procedure's entry
+//! values (formals and globals). Its *support* is the set of entry slots
+//! it reads. The four implementations of §3.1 differ in which shapes they
+//! admit: a literal, any intraprocedurally known constant, additionally a
+//! pass-through formal, or any polynomial.
+//!
+//! [`build_forward_jump_fns`] constructs, for every reachable call site,
+//! one jump function per **callee entry slot** — the callee's formals
+//! (from the actual arguments) followed by every scalar global (whose
+//! value is transmitted implicitly at the call).
+
+use crate::config::{Config, JumpFnKind};
+use ipcp_analysis::CallGraph;
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::program::{ProcId, SlotLayout};
+use ipcp_ssa::poly::{Poly, PolyVar};
+use ipcp_ssa::ssa::StmtInfo;
+use ipcp_ssa::symbolic::SymVal;
+use ipcp_ssa::Lattice;
+use std::fmt;
+
+/// One jump function — also the representation of return jump functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JumpFn {
+    /// The transmitted value is always this constant.
+    Const(i64),
+    /// The transmitted value is exactly the caller's entry slot `v`
+    /// (§3.1.3: a formal "passed unmodified through the procedure body").
+    PassThrough(PolyVar),
+    /// The transmitted value is a non-trivial polynomial of the caller's
+    /// entry slots (§3.1.4).
+    Poly(Poly),
+    /// No information: evaluates to ⊥.
+    Bottom,
+}
+
+impl JumpFn {
+    /// Builds the jump function of the given kind from the symbolic value
+    /// of the actual at the call site. Stronger kinds admit more shapes;
+    /// anything not admitted degrades to ⊥.
+    ///
+    /// The `Literal` kind never calls this — it is purely syntactic.
+    pub fn from_sym(sym: &SymVal, kind: JumpFnKind) -> JumpFn {
+        let Some(p) = sym.as_poly() else {
+            return JumpFn::Bottom;
+        };
+        if let Some(c) = p.as_const() {
+            return JumpFn::Const(c);
+        }
+        match kind {
+            JumpFnKind::Literal | JumpFnKind::IntraproceduralConstant => JumpFn::Bottom,
+            JumpFnKind::PassThrough => match p.as_var() {
+                Some(v) => JumpFn::PassThrough(v),
+                None => JumpFn::Bottom,
+            },
+            JumpFnKind::Polynomial => match p.as_var() {
+                Some(v) => JumpFn::PassThrough(v),
+                None => JumpFn::Poly(p.clone()),
+            },
+        }
+    }
+
+    /// The support set: the caller entry slots whose values this jump
+    /// function reads (§2: "the exact set of p's formal parameters whose
+    /// values on entry are used").
+    pub fn support(&self) -> Vec<PolyVar> {
+        match self {
+            JumpFn::Const(_) | JumpFn::Bottom => Vec::new(),
+            JumpFn::PassThrough(v) => vec![*v],
+            JumpFn::Poly(p) => p.support(),
+        }
+    }
+
+    /// Evaluates the jump function over the constant lattice: `env` maps a
+    /// caller entry slot to its current `VAL` approximation.
+    ///
+    /// ⊤ inputs stay optimistic (⊤ out), any ⊥ input forces ⊥, and a fully
+    /// constant support evaluates the polynomial (arithmetic overflow
+    /// degrades to ⊥).
+    pub fn eval(&self, env: impl Fn(PolyVar) -> Lattice) -> Lattice {
+        match self {
+            JumpFn::Bottom => Lattice::Bottom,
+            JumpFn::Const(c) => Lattice::Const(*c),
+            JumpFn::PassThrough(v) => env(*v),
+            JumpFn::Poly(p) => {
+                let mut any_top = false;
+                for v in p.support() {
+                    match env(v) {
+                        Lattice::Bottom => return Lattice::Bottom,
+                        Lattice::Top => any_top = true,
+                        Lattice::Const(_) => {}
+                    }
+                }
+                if any_top {
+                    return Lattice::Top;
+                }
+                p.eval_partial(|v| env(v).as_const())
+                    .map_or(Lattice::Bottom, Lattice::Const)
+            }
+        }
+    }
+
+    /// Whether the function is the constant `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, JumpFn::Bottom)
+    }
+
+    /// The constant, if this is a constant jump function.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            JumpFn::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JumpFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JumpFn::Const(c) => write!(f, "{c}"),
+            JumpFn::PassThrough(v) => write!(f, "x{v}"),
+            JumpFn::Poly(p) => write!(f, "{p}"),
+            JumpFn::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+/// The forward jump functions of one call site: one per callee entry slot
+/// (formals first, then scalar globals).
+pub type SiteJumpFns = Vec<JumpFn>;
+
+/// All forward jump functions of a program, indexed `[proc][site]`.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardJumpFns {
+    /// `sites[p][s]` — jump functions of call site `s` in procedure `p`
+    /// (empty for unreachable sites).
+    pub sites: Vec<Vec<SiteJumpFns>>,
+}
+
+impl ForwardJumpFns {
+    /// The jump functions at call site `site` of `proc`.
+    pub fn at(&self, proc: ProcId, site: ipcp_ir::cfg::CallSiteId) -> &SiteJumpFns {
+        &self.sites[proc.index()][site.index()]
+    }
+
+    /// Total number of constructed (non-⊥) jump functions, for reporting.
+    pub fn n_informative(&self) -> usize {
+        self.sites
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|j| !j.is_bottom())
+            .count()
+    }
+}
+
+/// Constructs the forward jump functions for every reachable call site.
+///
+/// `symbolics[p]` must hold the SSA form and polynomial evaluation of
+/// procedure `p` under the configuration's call-effect assumptions (the
+/// pipeline builds these once and shares them).
+pub fn build_forward_jump_fns(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    config: &Config,
+    symbolics: &[Option<ProcSymbolic>],
+) -> ForwardJumpFns {
+    let n_globals = layout.scalar_globals.len();
+    let mut out = ForwardJumpFns {
+        sites: mcfg
+            .module
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(p, _)| vec![Vec::new(); mcfg.cfgs[p].n_call_sites])
+            .collect(),
+    };
+
+    for edge in &cg.edges {
+        let Some(ps) = symbolics[edge.caller.index()].as_ref() else {
+            continue; // caller unreachable: no jump functions needed
+        };
+        if let Some(gate) = &ps.gate {
+            if !gate.block_exec[edge.block.index()] {
+                continue; // gated: the call site is provably dead
+            }
+        }
+        let callee = mcfg.module.proc(edge.callee);
+        let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ps.ssa.call_info(edge.site)
+        else {
+            continue;
+        };
+        let mut fns: SiteJumpFns = Vec::with_capacity(callee.arity() + n_globals);
+
+        // Formal slots, from the actual arguments.
+        let mut syntactic: Vec<Option<i64>> = vec![None; arg_vals.len()];
+        mcfg.each_call_in(edge.caller, |_, s, _, args| {
+            if s == edge.site {
+                for (i, a) in args.iter().enumerate() {
+                    syntactic[i] = a.literal();
+                }
+            }
+        });
+        for (i, arg) in arg_vals.iter().enumerate() {
+            if i >= callee.arity() {
+                break;
+            }
+            let jf = if callee.var(callee.formals[i]).is_array {
+                JumpFn::Bottom
+            } else if config.jump_fn == JumpFnKind::Literal {
+                match syntactic[i] {
+                    Some(c) => JumpFn::Const(c),
+                    None => JumpFn::Bottom,
+                }
+            } else {
+                match arg {
+                    Some(v) => JumpFn::from_sym(ps.sym.value(*v), config.jump_fn),
+                    None => JumpFn::Bottom,
+                }
+            };
+            fns.push(jf);
+        }
+        // A resolution-checked program always supplies every formal.
+        while fns.len() < callee.arity() {
+            fns.push(JumpFn::Bottom);
+        }
+
+        // Global slots. The literal jump function misses them entirely
+        // ("constant globals … passed implicitly at the call site").
+        for j in 0..n_globals {
+            let jf = if config.jump_fn == JumpFnKind::Literal {
+                JumpFn::Bottom
+            } else {
+                JumpFn::from_sym(ps.sym.value(global_pre[j]), config.jump_fn)
+            };
+            fns.push(jf);
+        }
+
+        out.sites[edge.caller.index()][edge.site.index()] = fns;
+    }
+    out
+}
+
+/// A procedure's SSA form together with its polynomial evaluation —
+/// produced once per procedure by the pipeline and shared by the jump
+/// function generator and the substitution metric.
+#[derive(Debug)]
+pub struct ProcSymbolic {
+    /// SSA form under the configured call-effect assumptions.
+    pub ssa: ipcp_ssa::SsaProc,
+    /// Polynomial symbolic evaluation of `ssa`.
+    pub sym: ipcp_ssa::Symbolic,
+    /// The gating SCCP fixpoint, when `Config::gated_jump_fns` is on:
+    /// call sites in non-executable blocks produce no jump functions, as
+    /// if dead code had been eliminated ahead of generation.
+    pub gate: Option<ipcp_ssa::SccpResult>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sym_respects_kind_hierarchy() {
+        let konst = SymVal::constant(7);
+        let passthru = SymVal::Poly(Poly::var(2));
+        let poly = SymVal::Poly(Poly::var(0).add(&Poly::constant(1)).unwrap());
+        use JumpFnKind::*;
+        for kind in [IntraproceduralConstant, PassThrough, Polynomial] {
+            assert_eq!(JumpFn::from_sym(&konst, kind), JumpFn::Const(7));
+        }
+        assert_eq!(
+            JumpFn::from_sym(&passthru, IntraproceduralConstant),
+            JumpFn::Bottom
+        );
+        assert_eq!(
+            JumpFn::from_sym(&passthru, PassThrough),
+            JumpFn::PassThrough(2)
+        );
+        assert_eq!(
+            JumpFn::from_sym(&passthru, Polynomial),
+            JumpFn::PassThrough(2)
+        );
+        assert_eq!(JumpFn::from_sym(&poly, PassThrough), JumpFn::Bottom);
+        assert!(matches!(JumpFn::from_sym(&poly, Polynomial), JumpFn::Poly(_)));
+        assert_eq!(JumpFn::from_sym(&SymVal::Bottom, Polynomial), JumpFn::Bottom);
+    }
+
+    #[test]
+    fn support_sets() {
+        assert!(JumpFn::Const(3).support().is_empty());
+        assert!(JumpFn::Bottom.support().is_empty());
+        assert_eq!(JumpFn::PassThrough(4).support(), vec![4]);
+        let p = Poly::var(1).mul(&Poly::var(3)).unwrap();
+        assert_eq!(JumpFn::Poly(p).support(), vec![1, 3]);
+    }
+
+    #[test]
+    fn eval_over_lattice() {
+        use Lattice::*;
+        let jf = JumpFn::PassThrough(0);
+        assert_eq!(jf.eval(|_| Const(5)), Const(5));
+        assert_eq!(jf.eval(|_| Top), Top);
+        assert_eq!(jf.eval(|_| Bottom), Bottom);
+
+        // 2x + y with x=3 const, y varying.
+        let p = Poly::var(0)
+            .mul(&Poly::constant(2))
+            .unwrap()
+            .add(&Poly::var(1))
+            .unwrap();
+        let jf = JumpFn::Poly(p);
+        let env = |consts: [Lattice; 2]| move |v: PolyVar| consts[v as usize];
+        assert_eq!(jf.eval(env([Const(3), Const(4)])), Const(10));
+        assert_eq!(jf.eval(env([Const(3), Top])), Top);
+        assert_eq!(jf.eval(env([Const(3), Bottom])), Bottom);
+        assert_eq!(jf.eval(env([Top, Bottom])), Bottom); // ⊥ dominates ⊤
+        assert_eq!(JumpFn::Const(9).eval(|_| Bottom), Const(9));
+        assert_eq!(JumpFn::Bottom.eval(|_| Const(1)), Bottom);
+    }
+
+    #[test]
+    fn eval_overflow_degrades_to_bottom() {
+        let p = Poly::var(0).mul(&Poly::constant(i64::MAX)).unwrap();
+        let jf = JumpFn::Poly(p);
+        assert_eq!(jf.eval(|_| Lattice::Const(3)), Lattice::Bottom);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JumpFn::Const(-2).to_string(), "-2");
+        assert_eq!(JumpFn::PassThrough(1).to_string(), "x1");
+        assert_eq!(JumpFn::Bottom.to_string(), "⊥");
+    }
+}

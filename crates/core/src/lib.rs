@@ -1,0 +1,91 @@
+//! # ipcp — Interprocedural Constant Propagation with Jump Functions
+//!
+//! A from-scratch implementation of the interprocedural constant
+//! propagation framework of Callahan, Cooper, Kennedy, and Torczon
+//! (SIGPLAN '86), evaluated the way Grove and Torczon's PLDI 1993 study
+//! did: four forward jump-function implementations, polynomial return jump
+//! functions, MOD-information ablation, and the iterated
+//! propagate-and-prune "complete propagation".
+//!
+//! The analysis computes, for every procedure `p` of an FT program, the
+//! set `CONSTANTS(p)` of `(name, value)` pairs that hold on **every**
+//! entry to `p`, and measures usefulness by textually substituting those
+//! constants into the code.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ipcp::{analyze_source, Config, JumpFnKind};
+//!
+//! let src = r#"
+//!     global size;
+//!     proc main() {
+//!         size = 128;
+//!         call smooth(size / 2, 3);
+//!     }
+//!     proc smooth(n, passes) {
+//!         do p = 1, passes {
+//!             do i = 1, n { print i * p; }
+//!         }
+//!     }
+//! "#;
+//! let (mcfg, analysis) = analyze_source(src, &Config::default())?;
+//! let smooth = mcfg.module.proc_named("smooth").unwrap().id;
+//! let consts = analysis.constants_of(&mcfg, smooth);
+//! assert!(consts.contains(&("n".to_string(), 64)));
+//! assert!(consts.contains(&("passes".to_string(), 3)));
+//! assert!(consts.contains(&("size".to_string(), 128)));
+//!
+//! // The Metzger–Stroud usefulness metric: constants substituted.
+//! let substituted = analysis.substitute(&mcfg);
+//! assert!(substituted.total > 0);
+//! # Ok::<(), ipcp_ir::Diagnostics>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`config`] — the experimental axes: [`JumpFnKind`], MOD on/off,
+//!   return jump functions on/off, composition extension;
+//! * [`jump`] — forward jump functions and their construction;
+//! * [`retjump`] — return jump functions (bottom-up generation and the
+//!   §3.2 evaluation limitation);
+//! * [`solver`] — the worklist propagation of `VAL` sets over the call
+//!   graph (lattice re-exported as [`lattice`], the paper's Figure 1);
+//! * [`mod@substitute`] — the constants-substituted metric and program
+//!   transformation;
+//! * [`complete`] — propagate ⇄ dead-code-eliminate to fixpoint;
+//! * [`cloning`] — procedure cloning driven by incoming constant vectors
+//!   (the application pursued by Metzger–Stroud and Cooper–Hall–Kennedy).
+
+pub mod binding;
+pub mod cloning;
+pub mod complete;
+pub mod config;
+pub mod explain;
+pub mod inline;
+pub mod jump;
+pub mod pipeline;
+pub mod report;
+pub mod retjump;
+pub mod solver;
+pub mod substitute;
+
+/// The constant-propagation lattice of the paper's Figure 1 (re-exported
+/// from the SSA layer, which shares it).
+pub mod lattice {
+    pub use ipcp_ssa::lattice::Lattice;
+}
+
+pub use binding::solve_binding_graph;
+pub use cloning::{clone_by_constants, cloning_gain, CloneResult};
+pub use complete::{complete_propagation, CompleteResult};
+pub use config::{Config, JumpFnKind};
+pub use explain::{explain, Explanation};
+pub use inline::{inline_leaf_calls, integrate_and_count, InlineResult};
+pub use jump::{ForwardJumpFns, JumpFn};
+pub use lattice::Lattice;
+pub use pipeline::{analyze_source, Analysis};
+pub use report::CostReport;
+pub use retjump::{build_return_jfs, ReturnJumpFns};
+pub use solver::{solve, ValSets};
+pub use substitute::{substitute, substitute_intraprocedural, Substitution};

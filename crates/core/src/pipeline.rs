@@ -1,0 +1,331 @@
+//! The four-stage pipeline of §4.1: generate return jump functions,
+//! generate forward jump functions, propagate interprocedurally, record
+//! the results.
+
+use crate::config::Config;
+use crate::jump::{build_forward_jump_fns, ForwardJumpFns, ProcSymbolic};
+use crate::retjump::{build_return_jfs, RetOracle, ReturnJumpFns};
+use crate::solver::{solve, ValSets};
+use crate::substitute::{self, Substitution};
+use ipcp_analysis::{build_call_graph, compute_modref, CallGraph, ModRef};
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::error::Diagnostics;
+use ipcp_ir::program::{ProcId, SlotLayout};
+use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
+use ipcp_ssa::ssa::{build_ssa, build_ssa_pruned, CallKills, ModKills, WorstCaseKills};
+use ipcp_ssa::symbolic::OpaqueCalls;
+use ipcp_ssa::Lattice;
+
+/// Everything the interprocedural constant propagation computed for one
+/// module under one [`Config`].
+#[derive(Debug)]
+pub struct Analysis {
+    /// The configuration used.
+    pub config: Config,
+    /// Call graph.
+    pub cg: CallGraph,
+    /// MOD/REF summaries (always computed; consulted only when
+    /// `config.use_mod`).
+    pub modref: ModRef,
+    /// Entry-slot layout shared by every table.
+    pub layout: SlotLayout,
+    /// Return jump functions (an empty table when disabled).
+    pub ret_jfs: ReturnJumpFns,
+    /// Per-procedure SSA + polynomial evaluation (reachable procedures).
+    pub symbolics: Vec<Option<ProcSymbolic>>,
+    /// Forward jump functions for every reachable call site.
+    pub jump_fns: ForwardJumpFns,
+    /// The fixpoint `VAL` sets.
+    pub vals: ValSets,
+}
+
+impl Analysis {
+    /// Runs the full pipeline over a lowered module.
+    ///
+    /// With [`Config::gated_jump_fns`] the pipeline iterates: each round's
+    /// `VAL` sets seed the next round's gating SCCP, so branches (and call
+    /// sites) proved dead by *interprocedural* constants stop polluting
+    /// jump-function generation — the in-place equivalent of "complete
+    /// propagation". The iteration stops at a fixpoint (or after a small
+    /// bound; one extra round almost always suffices).
+    pub fn run(mcfg: &ModuleCfg, config: &Config) -> Analysis {
+        let mut analysis = Self::run_once(mcfg, config, None);
+        if config.gated_jump_fns {
+            for _ in 0..4 {
+                let vals = analysis.vals.vals.clone();
+                let next = Self::run_once(mcfg, config, Some(&vals));
+                let stable = next.vals.vals == analysis.vals.vals;
+                analysis = next;
+                if stable {
+                    break;
+                }
+            }
+        }
+        analysis
+    }
+
+    fn run_once(
+        mcfg: &ModuleCfg,
+        config: &Config,
+        gate_seeds: Option<&Vec<Vec<Lattice>>>,
+    ) -> Analysis {
+        let cg = build_call_graph(mcfg);
+        let modref = compute_modref(mcfg, &cg);
+        let layout = SlotLayout::new(&mcfg.module);
+
+        let mod_kills = ModKills(&modref);
+        let kills: &dyn CallKills = if config.use_mod {
+            &mod_kills
+        } else {
+            &WorstCaseKills
+        };
+
+        // Stage 1: return jump functions (bottom-up over the call graph).
+        let ret_jfs = if config.use_return_jfs {
+            build_return_jfs(mcfg, &cg, &layout, kills, config.compose_return_jfs)
+        } else {
+            ReturnJumpFns {
+                fns: vec![None; mcfg.module.procs.len()],
+                compose: false,
+            }
+        };
+
+        // Stage 2: per-procedure SSA + symbolic evaluation, then forward
+        // jump functions (top-down conceptually; order is irrelevant since
+        // return jump functions are already fixed).
+        let mut symbolics: Vec<Option<ProcSymbolic>> = Vec::new();
+        for (pi, _) in mcfg.module.procs.iter().enumerate() {
+            if !cg.reachable[pi] {
+                symbolics.push(None);
+                continue;
+            }
+            let p = ProcId::from(pi);
+            let ssa = if config.pruned_ssa {
+                build_ssa_pruned(mcfg, p, kills)
+            } else {
+                build_ssa(mcfg, p, kills)
+            };
+            // Gate (extension): an unseeded SCCP pass whose executability
+            // facts prune phi inputs and dead call sites, approximating
+            // jump-function generation over gated single-assignment form.
+            let gate = if config.gated_jump_fns {
+                let n_vars = mcfg.module.proc(p).vars.len();
+                let seeds = match gate_seeds {
+                    Some(vals) => crate::substitute::seeds_from_vals(
+                        mcfg,
+                        &layout,
+                        p,
+                        &vals[pi],
+                    ),
+                    None => ipcp_ssa::Seeds::none(n_vars),
+                };
+                let res = if config.use_return_jfs {
+                    let oracle = RetOracle {
+                        table: &ret_jfs,
+                        mcfg,
+                        layout: &layout,
+                    };
+                    ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
+                } else {
+                    ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
+                };
+                Some(res)
+            } else {
+                None
+            };
+            let sym = if config.use_return_jfs {
+                let oracle = RetOracle {
+                    table: &ret_jfs,
+                    mcfg,
+                    layout: &layout,
+                };
+                ipcp_ssa::symbolic::evaluate_gated(mcfg, &ssa, &layout, &oracle, gate.as_ref())
+            } else {
+                ipcp_ssa::symbolic::evaluate_gated(mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref())
+            };
+            symbolics.push(Some(ProcSymbolic { ssa, sym, gate }));
+        }
+        let jump_fns = build_forward_jump_fns(mcfg, &cg, &layout, config, &symbolics);
+
+        // Stage 3: interprocedural propagation.
+        let entry_globals = if config.assume_zero_globals {
+            Lattice::Const(0)
+        } else {
+            Lattice::Bottom
+        };
+        let vals = solve(mcfg, &cg, &layout, &jump_fns, entry_globals);
+
+        Analysis {
+            config: *config,
+            cg,
+            modref,
+            layout,
+            ret_jfs,
+            symbolics,
+            jump_fns,
+            vals,
+        }
+    }
+
+    /// The SCCP call oracle consistent with this analysis's configuration.
+    pub fn sccp_oracle<'a>(&'a self, mcfg: &'a ModuleCfg) -> Box<dyn CallDefLattice + 'a> {
+        if self.config.use_return_jfs {
+            Box::new(RetOracle {
+                table: &self.ret_jfs,
+                mcfg,
+                layout: &self.layout,
+            })
+        } else {
+            Box::new(OpaqueCallsLattice)
+        }
+    }
+
+    /// `CONSTANTS(p)` as `(slot name, value)` pairs.
+    pub fn constants_of(&self, mcfg: &ModuleCfg, p: ProcId) -> Vec<(String, i64)> {
+        self.vals
+            .constants(p)
+            .into_iter()
+            .map(|(slot, c)| (self.layout.slot_name(&mcfg.module, p, slot), c))
+            .collect()
+    }
+
+    /// Stage 4: record the results — run the substitution metric.
+    pub fn substitute(&self, mcfg: &ModuleCfg) -> Substitution {
+        substitute::substitute(mcfg, self)
+    }
+}
+
+/// Parses, resolves, lowers, and analyzes FT source in one call.
+///
+/// # Errors
+///
+/// Front-end diagnostics if the source is malformed.
+///
+/// ```
+/// use ipcp::{analyze_source, Config};
+/// let (mcfg, analysis) = analyze_source(
+///     "proc main() { call f(6, 7); } proc f(a, b) { print a * b; }",
+///     &Config::default(),
+/// )?;
+/// let f = mcfg.module.proc_named("f").unwrap().id;
+/// let consts = analysis.constants_of(&mcfg, f);
+/// assert_eq!(consts, vec![("a".to_string(), 6), ("b".to_string(), 7)]);
+/// # Ok::<(), ipcp_ir::Diagnostics>(())
+/// ```
+pub fn analyze_source(src: &str, config: &Config) -> Result<(ModuleCfg, Analysis), Diagnostics> {
+    let module = ipcp_ir::parse_and_resolve(src)?;
+    let mcfg = ipcp_ir::lower_module(&module);
+    let analysis = Analysis::run(&mcfg, config);
+    Ok((mcfg, analysis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JumpFnKind;
+
+    #[test]
+    fn pipeline_stages_hang_together() {
+        let (mcfg, a) = analyze_source(
+            "global size; \
+             proc main() { size = 100; call setup(); call kernel(10); } \
+             proc setup() { } \
+             proc kernel(k) { do i = 1, k { print i * size; } }",
+            &Config::default(),
+        )
+        .unwrap();
+        let kernel = mcfg.module.proc_named("kernel").unwrap().id;
+        let consts = a.constants_of(&mcfg, kernel);
+        assert!(consts.contains(&("k".to_string(), 10)), "{consts:?}");
+        assert!(consts.contains(&("size".to_string(), 100)), "{consts:?}");
+    }
+
+    #[test]
+    fn substitution_counts_occurrences_not_slots() {
+        let (mcfg, a) = analyze_source(
+            "proc main() { call f(3); } proc f(a) { print a; print a + a; }",
+            &Config::default(),
+        )
+        .unwrap();
+        let sub = a.substitute(&mcfg);
+        // Three occurrences of `a` replaced.
+        assert_eq!(sub.total, 3);
+    }
+
+    #[test]
+    fn substituted_program_behaves_identically() {
+        use ipcp_ir::interp::{exec_cfg, ExecLimits};
+        let src = "global g; \
+                   proc main() { g = 2; read x; call f(5, x); } \
+                   proc f(k, n) { do i = 1, k { print i * g + n; } }";
+        let (mcfg, a) = analyze_source(src, &Config::polynomial()).unwrap();
+        let sub = a.substitute(&mcfg);
+        assert!(sub.total > 0);
+        for input in [&[0][..], &[7], &[-3]] {
+            let before = exec_cfg(&mcfg, input, &ExecLimits::default()).unwrap();
+            let after = exec_cfg(&sub.module, input, &ExecLimits::default()).unwrap();
+            assert_eq!(before.output, after.output, "behaviour changed");
+        }
+    }
+
+    #[test]
+    fn jump_fn_hierarchy_is_monotone_on_counts() {
+        let src = "global g; \
+                   proc main() { g = 4; n = 6; call a(n, 3); } \
+                   proc a(x, y) { call b(x, y + 1); } \
+                   proc b(p, q) { print p * q * g; }";
+        let mcfg = ipcp_ir::lower_module(&ipcp_ir::parse_and_resolve(src).unwrap());
+        let mut last = 0;
+        for kind in JumpFnKind::ALL {
+            let a = Analysis::run(&mcfg, &Config::default().with_jump_fn(kind));
+            let count = a.substitute(&mcfg).total;
+            assert!(
+                count >= last,
+                "{kind} found {count} < previous {last}"
+            );
+            last = count;
+        }
+    }
+
+    #[test]
+    fn removing_mod_never_helps() {
+        let src = "global g; \
+                   proc main() { g = 1; x = 2; call f(x); print g + x; } \
+                   proc f(a) { print a; }";
+        let mcfg = ipcp_ir::lower_module(&ipcp_ir::parse_and_resolve(src).unwrap());
+        let with_mod = Analysis::run(&mcfg, &Config::polynomial()).substitute(&mcfg).total;
+        let without = Analysis::run(&mcfg, &Config::polynomial().with_mod(false))
+            .substitute(&mcfg)
+            .total;
+        assert!(without <= with_mod);
+        assert!(with_mod > 0);
+    }
+
+    #[test]
+    fn return_jfs_recover_constants_after_calls() {
+        let src = "global g; \
+                   proc main() { call init(); call use(); } \
+                   proc init() { g = 8; } \
+                   proc use() { print g; }";
+        let mcfg = ipcp_ir::lower_module(&ipcp_ir::parse_and_resolve(src).unwrap());
+        let with_ret = Analysis::run(&mcfg, &Config::default());
+        let use_p = mcfg.module.proc_named("use").unwrap().id;
+        assert_eq!(
+            with_ret.constants_of(&mcfg, use_p),
+            vec![("g".to_string(), 8)]
+        );
+        let without = Analysis::run(&mcfg, &Config::default().with_return_jfs(false));
+        assert!(without.constants_of(&mcfg, use_p).is_empty());
+    }
+
+    #[test]
+    fn intraprocedural_baseline_is_weaker() {
+        let src = "proc main() { call f(9); } proc f(a) { print a; print 3 * 2; }";
+        let (mcfg, a) = analyze_source(src, &Config::default()).unwrap();
+        let inter = a.substitute(&mcfg).total;
+        let intra = crate::substitute::substitute_intraprocedural(&mcfg, &a).total;
+        assert!(intra < inter, "intra {intra} !< inter {inter}");
+        assert_eq!(intra, 0); // `3 * 2` has no variable occurrence
+        assert_eq!(inter, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Analysis statistics: the concrete counterpart of the paper's §3.1.5
+//! cost discussion.
+//!
+//! The paper argues costs in terms of (a) how many jump functions of each
+//! shape get built, (b) how large their support sets are (pass-through
+//! support is always a singleton, so lowering a value re-evaluates at most
+//! one function per use), and (c) how many meet operations the
+//! interprocedural solver performs. [`CostReport::collect`] extracts those
+//! quantities from a finished [`Analysis`].
+
+use crate::jump::JumpFn;
+use crate::pipeline::Analysis;
+use ipcp_ir::cfg::ModuleCfg;
+use std::fmt;
+
+/// Aggregated statistics for one analysis run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Procedures reachable from the entry.
+    pub reachable_procs: usize,
+    /// Call sites (edges of the call multigraph).
+    pub call_sites: usize,
+    /// Jump functions by shape: constant.
+    pub jf_const: usize,
+    /// Jump functions by shape: pass-through.
+    pub jf_pass_through: usize,
+    /// Jump functions by shape: non-trivial polynomial.
+    pub jf_polynomial: usize,
+    /// Jump functions by shape: ⊥.
+    pub jf_bottom: usize,
+    /// Sum of support-set sizes over all jump functions.
+    pub total_support: usize,
+    /// Largest single support set.
+    pub max_support: usize,
+    /// Return jump functions that are constants.
+    pub ret_jf_const: usize,
+    /// Return jump functions that are the identity of their own slot.
+    pub ret_jf_identity: usize,
+    /// Return jump functions that are other pass-throughs or polynomials.
+    pub ret_jf_symbolic: usize,
+    /// Return jump functions that are ⊥.
+    pub ret_jf_bottom: usize,
+    /// Meet operations the solver performed.
+    pub solver_meets: usize,
+    /// Worklist iterations (procedure re-evaluations).
+    pub solver_iterations: usize,
+    /// Total SSA values across reachable procedures.
+    pub ssa_values: usize,
+    /// Constant entry slots across reachable procedures.
+    pub constant_slots: usize,
+}
+
+impl CostReport {
+    /// Gathers the report from a finished analysis.
+    pub fn collect(mcfg: &ModuleCfg, analysis: &Analysis) -> CostReport {
+        let mut r = CostReport {
+            reachable_procs: analysis.cg.reachable.iter().filter(|&&b| b).count(),
+            call_sites: analysis.cg.n_edges(),
+            solver_meets: analysis.vals.meets,
+            solver_iterations: analysis.vals.iterations,
+            constant_slots: analysis.vals.n_constants(),
+            ..CostReport::default()
+        };
+        for sites in &analysis.jump_fns.sites {
+            for fns in sites {
+                for jf in fns {
+                    let support = jf.support().len();
+                    r.total_support += support;
+                    r.max_support = r.max_support.max(support);
+                    match jf {
+                        JumpFn::Const(_) => r.jf_const += 1,
+                        JumpFn::PassThrough(_) => r.jf_pass_through += 1,
+                        JumpFn::Poly(_) => r.jf_polynomial += 1,
+                        JumpFn::Bottom => r.jf_bottom += 1,
+                    }
+                }
+            }
+        }
+        for (pi, fns) in analysis.ret_jfs.fns.iter().enumerate() {
+            let Some(fns) = fns else { continue };
+            for (slot, jf) in fns.iter().enumerate() {
+                match jf {
+                    JumpFn::Const(_) => r.ret_jf_const += 1,
+                    JumpFn::PassThrough(v) if *v as usize == slot => r.ret_jf_identity += 1,
+                    JumpFn::PassThrough(_) | JumpFn::Poly(_) => r.ret_jf_symbolic += 1,
+                    JumpFn::Bottom => r.ret_jf_bottom += 1,
+                }
+            }
+            let _ = pi;
+        }
+        for ps in analysis.symbolics.iter().flatten() {
+            r.ssa_values += ps.ssa.len();
+        }
+        let _ = mcfg;
+        r
+    }
+
+    /// Total jump functions constructed.
+    pub fn jf_total(&self) -> usize {
+        self.jf_const + self.jf_pass_through + self.jf_polynomial + self.jf_bottom
+    }
+
+    /// Mean support size over all jump functions — the paper's observation
+    /// is that this approaches ≤ 1 in practice even for the polynomial
+    /// implementation.
+    pub fn mean_support(&self) -> f64 {
+        if self.jf_total() == 0 {
+            0.0
+        } else {
+            self.total_support as f64 / self.jf_total() as f64
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "reachable procedures     {}", self.reachable_procs)?;
+        writeln!(f, "call sites               {}", self.call_sites)?;
+        writeln!(
+            f,
+            "forward jump functions   {} (const {}, pass-through {}, polynomial {}, ⊥ {})",
+            self.jf_total(),
+            self.jf_const,
+            self.jf_pass_through,
+            self.jf_polynomial,
+            self.jf_bottom
+        )?;
+        writeln!(
+            f,
+            "support sizes            mean {:.2}, max {}",
+            self.mean_support(),
+            self.max_support
+        )?;
+        writeln!(
+            f,
+            "return jump functions    const {}, identity {}, symbolic {}, ⊥ {}",
+            self.ret_jf_const, self.ret_jf_identity, self.ret_jf_symbolic, self.ret_jf_bottom
+        )?;
+        writeln!(
+            f,
+            "solver                   {} meets in {} iterations",
+            self.solver_meets, self.solver_iterations
+        )?;
+        writeln!(f, "ssa values               {}", self.ssa_values)?;
+        writeln!(f, "constant entry slots     {}", self.constant_slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, JumpFnKind};
+    use ipcp_ir::{lower_module, parse_and_resolve};
+
+    fn report(src: &str, config: &Config) -> CostReport {
+        let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+        let analysis = Analysis::run(&mcfg, config);
+        CostReport::collect(&mcfg, &analysis)
+    }
+
+    const SRC: &str = "global g; \
+        proc main() { g = 2; n = 10; call f(n, 3); } \
+        proc f(a, b) { call h(a); print a * b * g; } \
+        proc h(x) { print x; }";
+
+    #[test]
+    fn counts_shapes_per_kind() {
+        let pass = report(SRC, &Config::default());
+        assert!(pass.jf_pass_through >= 1, "{pass:?}");
+        assert_eq!(pass.jf_polynomial, 0, "pass-through never builds polys");
+        let lit = report(SRC, &Config::default().with_jump_fn(JumpFnKind::Literal));
+        assert_eq!(lit.jf_pass_through, 0);
+        assert!(lit.jf_bottom > pass.jf_bottom);
+        assert_eq!(lit.jf_total(), pass.jf_total());
+    }
+
+    #[test]
+    fn support_stays_singleton_for_pass_through() {
+        let r = report(SRC, &Config::default());
+        assert!(r.max_support <= 1);
+        assert!(r.mean_support() <= 1.0);
+    }
+
+    #[test]
+    fn return_jf_shapes_are_classified() {
+        let r = report(SRC, &Config::default());
+        // h leaves g untouched → identity; f modifies nothing either.
+        assert!(r.ret_jf_identity > 0, "{r:?}");
+        let none = report(SRC, &Config::default().with_return_jfs(false));
+        assert_eq!(none.ret_jf_const + none.ret_jf_identity + none.ret_jf_symbolic, 0);
+    }
+
+    #[test]
+    fn solver_counters_are_plausible() {
+        let r = report(SRC, &Config::default());
+        assert!(r.solver_iterations >= r.reachable_procs);
+        assert!(r.solver_meets >= r.jf_total());
+        assert!(r.ssa_values > 0);
+        assert!(r.constant_slots >= 4, "{r:?}"); // a, b, x, g (×procs)
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = report(SRC, &Config::default()).to_string();
+        for needle in ["call sites", "support", "solver", "constant entry slots"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+}

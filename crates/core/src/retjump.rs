@@ -1,0 +1,408 @@
+//! Return jump functions (§3.2): modelling constants transmitted *back*
+//! from a callee through modified reference parameters and globals.
+//!
+//! For every procedure `p` and every entry slot `x` (formal or scalar
+//! global), `R_p^x` approximates the value `x` holds **on return from
+//! `p`** as a function of `p`'s entry values — the same polynomial
+//! representation as forward jump functions. Construction is a bottom-up
+//! walk over the call graph: each procedure is evaluated symbolically
+//! using the return jump functions of the procedures it calls (recursive
+//! cycles degrade to ⊥, which is sound; FORTRAN 77 had no recursion).
+//!
+//! Evaluation at a call site follows the paper's §3.2 limitation by
+//! default: a return jump function contributes only when it evaluates to a
+//! **constant** under the values known at the call — "return jump
+//! functions that depend on parameters to the calling procedure can never
+//! be evaluated as constant". The `compose_return_jfs` extension lifts
+//! this by substituting the actual-argument polynomials symbolically.
+
+use crate::jump::JumpFn;
+use ipcp_analysis::CallGraph;
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::program::{ProcId, SlotLayout, VarId};
+use ipcp_ssa::lattice::Lattice;
+use ipcp_ssa::poly::Poly;
+use ipcp_ssa::sccp::CallDefLattice;
+use ipcp_ssa::ssa::{build_ssa, CallKills};
+use ipcp_ssa::symbolic::{evaluate, CallDefEval, RetTarget, SymVal};
+
+/// The return jump functions of a whole program: `fns[p][slot]`.
+///
+/// Every reachable procedure gets one entry per entry slot. A slot the
+/// procedure provably leaves untouched holds the identity pass-through of
+/// itself; a slot it may set unpredictably holds ⊥.
+#[derive(Clone, Debug, Default)]
+pub struct ReturnJumpFns {
+    /// Per procedure, per entry slot (`None` for unreachable procedures).
+    pub fns: Vec<Option<Vec<JumpFn>>>,
+    /// Whether evaluation composes polynomials (extension) or applies the
+    /// paper's constant-only limitation.
+    pub compose: bool,
+}
+
+impl ReturnJumpFns {
+    /// The return jump function for `slot` of `proc`, if computed.
+    pub fn get(&self, proc: ProcId, slot: usize) -> Option<&JumpFn> {
+        self.fns[proc.index()].as_ref().and_then(|v| v.get(slot))
+    }
+
+    fn target_slot(&self, mcfg: &ModuleCfg, callee: ProcId, target: RetTarget, layout: &SlotLayout) -> Option<usize> {
+        let arity = mcfg.module.proc(callee).arity();
+        match target {
+            RetTarget::Formal(i) => (i < arity).then_some(i),
+            RetTarget::Global(g) => layout.global_slot(arity, g),
+        }
+    }
+}
+
+/// The `ipcp` oracle plugged into symbolic evaluation and SCCP: resolves
+/// call-modified values through return jump functions.
+#[derive(Debug)]
+pub struct RetOracle<'a> {
+    /// The (partially built) table.
+    pub table: &'a ReturnJumpFns,
+    /// Module under analysis.
+    pub mcfg: &'a ModuleCfg,
+    /// Slot layout.
+    pub layout: &'a SlotLayout,
+}
+
+impl RetOracle<'_> {
+    fn jf_for(&self, callee: ProcId, target: RetTarget) -> Option<&JumpFn> {
+        let slot = self
+            .table
+            .target_slot(self.mcfg, callee, target, self.layout)?;
+        self.table.get(callee, slot)
+    }
+
+    /// The value of callee entry slot `v` at the call, over the caller's
+    /// symbolic values.
+    fn slot_sym<'s>(
+        arg_syms: &'s [SymVal],
+        global_syms: &'s [SymVal],
+        arity: usize,
+        v: u32,
+    ) -> &'s SymVal {
+        let v = v as usize;
+        if v < arity {
+            arg_syms.get(v).unwrap_or(&SymVal::Bottom)
+        } else {
+            global_syms.get(v - arity).unwrap_or(&SymVal::Bottom)
+        }
+    }
+}
+
+impl CallDefEval for RetOracle<'_> {
+    fn eval_call_def(
+        &self,
+        callee: ProcId,
+        target: RetTarget,
+        arg_syms: &[SymVal],
+        global_syms: &[SymVal],
+    ) -> SymVal {
+        let Some(jf) = self.jf_for(callee, target) else {
+            return SymVal::Bottom;
+        };
+        let arity = self.mcfg.module.proc(callee).arity();
+        match jf {
+            JumpFn::Bottom => SymVal::Bottom,
+            JumpFn::Const(c) => SymVal::constant(*c),
+            JumpFn::PassThrough(_) | JumpFn::Poly(_) if self.table.compose => {
+                // Extension: substitute the caller-side polynomials for the
+                // callee's entry slots.
+                let poly = match jf {
+                    JumpFn::PassThrough(v) => Poly::var(*v),
+                    JumpFn::Poly(p) => p.clone(),
+                    _ => unreachable!("outer match"),
+                };
+                let mut any_top = false;
+                for s in poly.support() {
+                    match Self::slot_sym(arg_syms, global_syms, arity, s) {
+                        SymVal::Top => any_top = true,
+                        SymVal::Bottom => return SymVal::Bottom,
+                        SymVal::Poly(_) => {}
+                    }
+                }
+                if any_top {
+                    return SymVal::Top;
+                }
+                match poly.substitute(|s| {
+                    Self::slot_sym(arg_syms, global_syms, arity, s)
+                        .as_poly()
+                        .cloned()
+                }) {
+                    Some(p) => SymVal::Poly(p),
+                    None => SymVal::Bottom,
+                }
+            }
+            JumpFn::PassThrough(_) | JumpFn::Poly(_) => {
+                // Paper limitation: evaluate to a constant or give up.
+                let result = jf.eval(|s| {
+                    match Self::slot_sym(arg_syms, global_syms, arity, s) {
+                        SymVal::Top => Lattice::Top,
+                        SymVal::Bottom => Lattice::Bottom,
+                        SymVal::Poly(p) => match p.as_const() {
+                            Some(c) => Lattice::Const(c),
+                            None => Lattice::Bottom, // §3.2 limitation
+                        },
+                    }
+                });
+                match result {
+                    Lattice::Top => SymVal::Top,
+                    Lattice::Const(c) => SymVal::constant(c),
+                    Lattice::Bottom => SymVal::Bottom,
+                }
+            }
+        }
+    }
+}
+
+impl CallDefLattice for RetOracle<'_> {
+    fn eval_call_def(
+        &self,
+        callee: ProcId,
+        target: RetTarget,
+        arg_lats: &[Lattice],
+        global_lats: &[Lattice],
+    ) -> Lattice {
+        let Some(jf) = self.jf_for(callee, target) else {
+            return Lattice::Bottom;
+        };
+        let arity = self.mcfg.module.proc(callee).arity();
+        jf.eval(|s| {
+            let s = s as usize;
+            if s < arity {
+                arg_lats.get(s).copied().unwrap_or(Lattice::Bottom)
+            } else {
+                global_lats.get(s - arity).copied().unwrap_or(Lattice::Bottom)
+            }
+        })
+    }
+}
+
+/// Builds return jump functions for every reachable procedure, bottom-up
+/// over the call graph SCCs.
+///
+/// `kills` supplies the call-effect assumption (MOD-precise or worst-case)
+/// — the same oracle later used for forward jump functions, so both layers
+/// see one consistent world.
+pub fn build_return_jfs(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    kills: &dyn CallKills,
+    compose: bool,
+) -> ReturnJumpFns {
+    let mut table = ReturnJumpFns {
+        fns: vec![None; mcfg.module.procs.len()],
+        compose,
+    };
+    for p in cg.bottom_up() {
+        let ssa = build_ssa(mcfg, p, kills);
+        let sym = {
+            let oracle = RetOracle {
+                table: &table,
+                mcfg,
+                layout,
+            };
+            evaluate(mcfg, &ssa, layout, &oracle)
+        };
+        let proc = mcfg.module.proc(p);
+        let n_slots = layout.n_slots(proc.arity());
+        let mut fns = Vec::with_capacity(n_slots);
+        for slot in 0..n_slots {
+            let var: Option<VarId> = if slot < proc.arity() {
+                Some(proc.formals[slot])
+            } else {
+                proc.var_for_global(layout.scalar_globals[slot - proc.arity()])
+            };
+            let jf = match var {
+                Some(v) if !proc.var(v).is_array => {
+                    let mut acc = SymVal::Top;
+                    for (_, snapshot) in &ssa.exits {
+                        let at_exit = snapshot[v.index()]
+                            .map(|val| sym.value(val).clone())
+                            .unwrap_or(SymVal::Bottom);
+                        acc = acc.meet(&at_exit);
+                    }
+                    match acc {
+                        // No reachable exit (infinite loop): the value is
+                        // never observed after the call; ⊥ is safe.
+                        SymVal::Top => JumpFn::Bottom,
+                        SymVal::Bottom => JumpFn::Bottom,
+                        SymVal::Poly(p) => match (p.as_const(), p.as_var()) {
+                            (Some(c), _) => JumpFn::Const(c),
+                            (None, Some(v)) => JumpFn::PassThrough(v),
+                            _ => JumpFn::Poly(p),
+                        },
+                    }
+                }
+                _ => JumpFn::Bottom,
+            };
+            fns.push(jf);
+        }
+        table.fns[p.index()] = Some(fns);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_analysis::{build_call_graph, compute_modref};
+    use ipcp_ir::{lower_module, parse_and_resolve};
+    use ipcp_ssa::ssa::ModKills;
+
+    fn ret_jfs(src: &str) -> (ipcp_ir::ModuleCfg, CallGraph, SlotLayout, ReturnJumpFns) {
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let cg = build_call_graph(&m);
+        let mr = compute_modref(&m, &cg);
+        let layout = SlotLayout::new(&m.module);
+        let table = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), false);
+        (m, cg, layout, table)
+    }
+
+    fn pid(m: &ipcp_ir::ModuleCfg, name: &str) -> ProcId {
+        m.module.proc_named(name).unwrap().id
+    }
+
+    #[test]
+    fn constant_assignment_yields_const_ret_jf() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call setx(x); print x; } proc setx(a) { a = 42; }",
+        );
+        assert_eq!(t.get(pid(&m, "setx"), 0), Some(&JumpFn::Const(42)));
+    }
+
+    #[test]
+    fn untouched_formal_is_identity() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x, 1); } proc f(a, b) { a = b + 1; }",
+        );
+        let f = pid(&m, "f");
+        // a = b + 1 → polynomial x1 + 1; b untouched → identity x1.
+        match t.get(f, 0) {
+            Some(JumpFn::Poly(p)) => assert_eq!(p.eval(&[0, 5]), Some(6)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.get(f, 1), Some(&JumpFn::PassThrough(1)));
+    }
+
+    #[test]
+    fn polynomial_of_entries() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x, 3, 4); } proc f(a, b, c) { a = b * c + 1; }",
+        );
+        match t.get(pid(&m, "f"), 0) {
+            Some(JumpFn::Poly(p)) => {
+                assert_eq!(p.eval(&[0, 3, 4]), Some(13));
+                assert_eq!(p.support(), vec![1, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_init_routine_exposes_constants() {
+        // The `ocean` pattern: an init procedure assigns constant globals.
+        let (m, _, layout, t) = ret_jfs(
+            "global nx; global ny; \
+             proc main() { call init(); } \
+             proc init() { nx = 128; ny = 64; }",
+        );
+        let init = pid(&m, "init");
+        let arity = 0;
+        let nx_slot = layout.global_slot(arity, ipcp_ir::program::GlobalId(0)).unwrap();
+        let ny_slot = layout.global_slot(arity, ipcp_ir::program::GlobalId(1)).unwrap();
+        assert_eq!(t.get(init, nx_slot), Some(&JumpFn::Const(128)));
+        assert_eq!(t.get(init, ny_slot), Some(&JumpFn::Const(64)));
+    }
+
+    #[test]
+    fn data_dependent_exit_is_bottom() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x); } proc f(a) { read a; }",
+        );
+        assert_eq!(t.get(pid(&m, "f"), 0), Some(&JumpFn::Bottom));
+    }
+
+    #[test]
+    fn divergent_exits_meet_to_bottom() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x); } \
+             proc f(a) { if (a) { a = 1; return; } a = 2; }",
+        );
+        assert_eq!(t.get(pid(&m, "f"), 0), Some(&JumpFn::Bottom));
+    }
+
+    #[test]
+    fn agreeing_exits_stay_constant() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x); } \
+             proc f(a) { if (a) { a = 7; return; } a = 7; }",
+        );
+        assert_eq!(t.get(pid(&m, "f"), 0), Some(&JumpFn::Const(7)));
+    }
+
+    #[test]
+    fn ret_jfs_chain_through_callees() {
+        // mid's ret JF uses leaf's: a = 5 via leaf, then +1.
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call mid(x); } \
+             proc mid(a) { call leaf(a); a = a + 1; } \
+             proc leaf(b) { b = 5; }",
+        );
+        assert_eq!(t.get(pid(&m, "mid"), 0), Some(&JumpFn::Const(6)));
+    }
+
+    #[test]
+    fn recursive_procedures_degrade_to_bottom() {
+        let (m, _, _, t) = ret_jfs(
+            "proc main() { x = 0; call f(x); } \
+             proc f(a) { if (a > 0) { a = a - 1; call f(a); } }",
+        );
+        assert_eq!(t.get(pid(&m, "f"), 0), Some(&JumpFn::Bottom));
+    }
+
+    #[test]
+    fn limitation_vs_composition_at_evaluation() {
+        // g's ret JF in `twice` is x0 (identity of the formal) + 1 … i.e.
+        // depends on the caller's argument. Under the paper limitation the
+        // oracle yields ⊥ unless the argument is constant; with
+        // composition it stays symbolic.
+        let src = "proc main() { x = 0; call add1(x); } proc add1(a) { a = a + 1; }";
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let cg = build_call_graph(&m);
+        let mr = compute_modref(&m, &cg);
+        let layout = SlotLayout::new(&m.module);
+        for (compose, expect_poly) in [(false, false), (true, true)] {
+            let t = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), compose);
+            let oracle = RetOracle { table: &t, mcfg: &m, layout: &layout };
+            let add1 = m.module.proc_named("add1").unwrap().id;
+            // Argument symbolically = caller's formal-like poly var 0.
+            let arg = SymVal::Poly(Poly::var(0));
+            let got = CallDefEval::eval_call_def(
+                &oracle,
+                add1,
+                RetTarget::Formal(0),
+                &[arg],
+                &[],
+            );
+            if expect_poly {
+                let p = got.as_poly().expect("composed polynomial");
+                assert_eq!(p.eval(&[9]), Some(10));
+            } else {
+                assert_eq!(got, SymVal::Bottom);
+            }
+            // With a constant argument both modes give the constant.
+            let got = CallDefEval::eval_call_def(
+                &oracle,
+                add1,
+                RetTarget::Formal(0),
+                &[SymVal::constant(9)],
+                &[],
+            );
+            assert_eq!(got.as_const(), Some(10));
+        }
+    }
+}

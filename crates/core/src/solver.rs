@@ -1,0 +1,323 @@
+//! The interprocedural propagation step: iterate `VAL` sets over the call
+//! graph until the `CONSTANTS(p)` sets stabilize (§2, §4.1).
+//!
+//! Each procedure `p` carries a vector `VAL_p` with one lattice element
+//! per entry slot. All slots start at ⊤ except the entry procedure's,
+//! which start at ⊥ (nothing is known about `main`'s environment — the
+//! FORTRAN "uninitialized COMMON" assumption; see
+//! [`Config::assume_zero_globals`](crate::config::Config) for the FT-exact
+//! alternative). A worklist pass evaluates every call site's jump
+//! functions under the caller's current `VAL` and meets the results into
+//! the callee's `VAL`; because each element can be lowered at most twice
+//! (Figure 1), the iteration terminates quickly.
+
+use crate::jump::ForwardJumpFns;
+use ipcp_analysis::CallGraph;
+use ipcp_ir::cfg::ModuleCfg;
+use ipcp_ir::program::{ProcId, SlotLayout};
+use ipcp_ssa::Lattice;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The fixpoint `VAL` sets: `vals[p][slot]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValSets {
+    /// Per procedure, per entry slot.
+    pub vals: Vec<Vec<Lattice>>,
+    /// Number of meet operations performed (reported by the cost model).
+    pub meets: usize,
+    /// Number of worklist iterations (procedure re-evaluations).
+    pub iterations: usize,
+}
+
+impl ValSets {
+    /// The `VAL` vector of `p`.
+    pub fn of(&self, p: ProcId) -> &[Lattice] {
+        &self.vals[p.index()]
+    }
+
+    /// `CONSTANTS(p)`: the `(slot, value)` pairs that always hold on entry
+    /// to `p`.
+    pub fn constants(&self, p: ProcId) -> Vec<(usize, i64)> {
+        self.vals[p.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_const().map(|c| (i, c)))
+            .collect()
+    }
+
+    /// Total number of constant slots across all procedures.
+    pub fn n_constants(&self) -> usize {
+        self.vals
+            .iter()
+            .map(|v| v.iter().filter(|l| l.is_const()).count())
+            .sum()
+    }
+
+    /// Renders `CONSTANTS(p)` for every reachable procedure with names.
+    pub fn display<'a>(&'a self, mcfg: &'a ModuleCfg, layout: &'a SlotLayout) -> ValDisplay<'a> {
+        ValDisplay {
+            vals: self,
+            mcfg,
+            layout,
+        }
+    }
+}
+
+/// Pretty adapter returned by [`ValSets::display`].
+#[derive(Debug)]
+pub struct ValDisplay<'a> {
+    vals: &'a ValSets,
+    mcfg: &'a ModuleCfg,
+    layout: &'a SlotLayout,
+}
+
+impl fmt::Display for ValDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pi, proc) in self.mcfg.module.procs.iter().enumerate() {
+            let p = ProcId::from(pi);
+            let consts = self.vals.constants(p);
+            if consts.is_empty() {
+                continue;
+            }
+            let rendered: Vec<String> = consts
+                .iter()
+                .map(|&(slot, c)| {
+                    format!("{} = {c}", self.layout.slot_name(&self.mcfg.module, p, slot))
+                })
+                .collect();
+            writeln!(f, "CONSTANTS({}) = {{ {} }}", proc.name, rendered.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the worklist propagation.
+///
+/// `entry_globals` is the initial assumption for the entry procedure's
+/// global slots (⊥ for FORTRAN-style unknown, `Const(0)` for FT's defined
+/// zero initialization).
+pub fn solve(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    jump_fns: &ForwardJumpFns,
+    entry_globals: Lattice,
+) -> ValSets {
+    let n_procs = mcfg.module.procs.len();
+    let mut vals: Vec<Vec<Lattice>> = (0..n_procs)
+        .map(|p| {
+            let arity = mcfg.module.procs[p].arity();
+            vec![Lattice::Top; layout.n_slots(arity)]
+        })
+        .collect();
+
+    // The entry procedure is invoked by the environment: nothing is known
+    // about its formals (main has none) and its globals get the configured
+    // assumption.
+    let entry = mcfg.module.entry;
+    {
+        let arity = mcfg.module.proc(entry).arity();
+        for (i, v) in vals[entry.index()].iter_mut().enumerate() {
+            *v = if i < arity { Lattice::Bottom } else { entry_globals };
+        }
+    }
+
+    let mut meets = 0usize;
+    let mut iterations = 0usize;
+    let mut queued = vec![false; n_procs];
+    let mut work: VecDeque<ProcId> = VecDeque::new();
+    work.push_back(entry);
+    queued[entry.index()] = true;
+
+    while let Some(p) = work.pop_front() {
+        queued[p.index()] = false;
+        iterations += 1;
+        for edge in cg.calls_from(p) {
+            let site_fns = jump_fns.at(p, edge.site);
+            if site_fns.is_empty() {
+                continue; // unreachable call site
+            }
+            let caller_vals = vals[p.index()].clone();
+            let callee_vals = &mut vals[edge.callee.index()];
+            let mut changed = false;
+            for (slot, jf) in site_fns.iter().enumerate() {
+                let incoming = jf.eval(|v| {
+                    caller_vals
+                        .get(v as usize)
+                        .copied()
+                        .unwrap_or(Lattice::Bottom)
+                });
+                meets += 1;
+                changed |= callee_vals[slot].meet_in(incoming);
+            }
+            if changed && !queued[edge.callee.index()] {
+                queued[edge.callee.index()] = true;
+                work.push_back(edge.callee);
+            }
+        }
+    }
+
+    ValSets {
+        vals,
+        meets,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, JumpFnKind};
+    use crate::pipeline::Analysis;
+    use ipcp_ir::{lower_module, parse_and_resolve};
+
+    fn vals(src: &str, config: Config) -> (ipcp_ir::ModuleCfg, SlotLayout, ValSets) {
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let a = Analysis::run(&m, &config);
+        let layout = SlotLayout::new(&m.module);
+        (m, layout, a.vals)
+    }
+
+    fn slot_const(
+        m: &ipcp_ir::ModuleCfg,
+        layout: &SlotLayout,
+        v: &ValSets,
+        proc: &str,
+        slot_name: &str,
+    ) -> Lattice {
+        let p = m.module.proc_named(proc).unwrap();
+        let n = layout.n_slots(p.arity());
+        for slot in 0..n {
+            if layout.slot_name(&m.module, p.id, slot) == slot_name {
+                return v.of(p.id)[slot];
+            }
+        }
+        panic!("no slot {slot_name} in {proc}");
+    }
+
+    #[test]
+    fn literal_argument_propagates_one_edge() {
+        let (m, layout, v) = vals(
+            "proc main() { call f(42); } proc f(a) { print a; }",
+            Config::default().with_jump_fn(JumpFnKind::Literal),
+        );
+        assert_eq!(
+            slot_const(&m, &layout, &v, "f", "a"),
+            Lattice::Const(42)
+        );
+    }
+
+    #[test]
+    fn conflicting_call_sites_meet_to_bottom() {
+        let (m, layout, v) = vals(
+            "proc main() { call f(1); call f(2); } proc f(a) { print a; }",
+            Config::default(),
+        );
+        assert_eq!(slot_const(&m, &layout, &v, "f", "a"), Lattice::Bottom);
+    }
+
+    #[test]
+    fn agreeing_call_sites_stay_constant() {
+        let (m, layout, v) = vals(
+            "proc main() { call f(5); call f(5); } proc f(a) { print a; }",
+            Config::default(),
+        );
+        assert_eq!(slot_const(&m, &layout, &v, "f", "a"), Lattice::Const(5));
+    }
+
+    #[test]
+    fn pass_through_chains_propagate_deep() {
+        let src = "proc main() { call a(9); } \
+                   proc a(x) { call b(x); } \
+                   proc b(y) { call c(y); } \
+                   proc c(z) { print z; }";
+        // Pass-through: reaches c.
+        let (m, layout, v) = vals(src, Config::default());
+        assert_eq!(slot_const(&m, &layout, &v, "c", "z"), Lattice::Const(9));
+        // Intraprocedural-constant: only one edge deep.
+        let (m, layout, v) = vals(
+            src,
+            Config::default().with_jump_fn(JumpFnKind::IntraproceduralConstant),
+        );
+        assert_eq!(slot_const(&m, &layout, &v, "a", "x"), Lattice::Const(9));
+        assert_eq!(slot_const(&m, &layout, &v, "b", "y"), Lattice::Bottom);
+    }
+
+    #[test]
+    fn intraprocedural_beats_literal_on_computed_constants() {
+        let src = "proc main() { n = 50 * 2; call f(n); } proc f(a) { print a; }";
+        let (m, layout, v) = vals(src, Config::default().with_jump_fn(JumpFnKind::Literal));
+        assert_eq!(slot_const(&m, &layout, &v, "f", "a"), Lattice::Bottom);
+        let (m, layout, v) = vals(
+            src,
+            Config::default().with_jump_fn(JumpFnKind::IntraproceduralConstant),
+        );
+        assert_eq!(slot_const(&m, &layout, &v, "f", "a"), Lattice::Const(100));
+    }
+
+    #[test]
+    fn polynomial_propagates_arithmetic_on_formals() {
+        let src = "proc main() { call f(10); } \
+                   proc f(n) { call g(2 * n + 1); } \
+                   proc g(m) { print m; }";
+        let (m, layout, v) = vals(src, Config::default().with_jump_fn(JumpFnKind::Polynomial));
+        assert_eq!(slot_const(&m, &layout, &v, "g", "m"), Lattice::Const(21));
+        // Pass-through cannot represent 2n+1.
+        let (m, layout, v) = vals(src, Config::default());
+        assert_eq!(slot_const(&m, &layout, &v, "g", "m"), Lattice::Bottom);
+    }
+
+    #[test]
+    fn globals_flow_through_non_literal_jump_fns() {
+        let src = "global g; proc main() { g = 7; call f(); } proc f() { print g; }";
+        let (m, layout, v) = vals(src, Config::default());
+        assert_eq!(slot_const(&m, &layout, &v, "f", "g"), Lattice::Const(7));
+        let (m, layout, v) = vals(src, Config::default().with_jump_fn(JumpFnKind::Literal));
+        assert_eq!(slot_const(&m, &layout, &v, "f", "g"), Lattice::Bottom);
+    }
+
+    #[test]
+    fn entry_globals_are_unknown_by_default() {
+        let src = "global g; proc main() { call f(); } proc f() { print g; }";
+        let (m, layout, v) = vals(src, Config::default());
+        assert_eq!(slot_const(&m, &layout, &v, "main", "g"), Lattice::Bottom);
+        assert_eq!(slot_const(&m, &layout, &v, "f", "g"), Lattice::Bottom);
+    }
+
+    #[test]
+    fn unreached_procedures_stay_top() {
+        let (m, layout, v) = vals(
+            "proc main() { } proc dead(a) { print a; }",
+            Config::default(),
+        );
+        assert_eq!(slot_const(&m, &layout, &v, "dead", "a"), Lattice::Top);
+        assert_eq!(v.constants(m.module.proc_named("dead").unwrap().id), vec![]);
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let src = "proc main() { call f(3, 10); } \
+                   proc f(n, k) { if (n > 0) { m = n - 1; call f(m, k); } print k; }";
+        let (m, layout, v) = vals(src, Config::default());
+        // n varies across the recursion (3, then m): ⊥.
+        assert_eq!(slot_const(&m, &layout, &v, "f", "n"), Lattice::Bottom);
+        // k is passed through unchanged at every site: stays 10.
+        assert_eq!(slot_const(&m, &layout, &v, "f", "k"), Lattice::Const(10));
+    }
+
+    #[test]
+    fn constants_report_names_values() {
+        let (m, layout, v) = vals(
+            "global g; proc main() { g = 3; call f(1, 2); } proc f(a, b) { print a + b + g; }",
+            Config::default(),
+        );
+        let f = m.module.proc_named("f").unwrap().id;
+        let consts = v.constants(f);
+        assert_eq!(consts.len(), 3);
+        let shown = v.display(&m, &layout).to_string();
+        assert!(shown.contains("CONSTANTS(f)"), "{shown}");
+        assert!(shown.contains("a = 1"), "{shown}");
+        assert!(shown.contains("g = 3"), "{shown}");
+    }
+}

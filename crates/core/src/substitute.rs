@@ -1,0 +1,365 @@
+//! Constant substitution — the study's effectiveness metric.
+//!
+//! Following Metzger and Stroud (and §4.1 "Recording the results"), the
+//! number reported for a configuration is the number of constants the
+//! analyzer could *textually substitute into the code*: every scalar
+//! variable occurrence whose reaching value is a known constant is
+//! replaced by that constant and counted. This measures useful constants
+//! (a known-but-unreferenced global counts for nothing) and factors out
+//! procedure length and modularity.
+//!
+//! The substitution pass seeds each procedure's SCCP with its
+//! interprocedural `VAL` set, then walks the executable blocks rewriting
+//! occurrences. The transformed program is returned alongside the counts
+//! so tests can check behaviour is preserved.
+
+use crate::pipeline::Analysis;
+use ipcp_ir::cfg::{BlockId, CStmt, ModuleCfg, Terminator};
+use ipcp_ir::program::{Expr, Module, ProcId, VarKind};
+use ipcp_ir::span::Span;
+use ipcp_ssa::sccp::{self, CallDefLattice, OpaqueCallsLattice, SccpResult, Seeds};
+use ipcp_ssa::ssa::{build_ssa, ModKills, SsaProc, StmtInfo};
+use ipcp_ssa::{Lattice, ValueId};
+
+/// The outcome of a substitution pass.
+#[derive(Debug)]
+pub struct Substitution {
+    /// Constants substituted per procedure.
+    pub counts: Vec<usize>,
+    /// Total across the program.
+    pub total: usize,
+    /// The transformed program (constants folded into expressions).
+    pub module: ModuleCfg,
+    /// The per-procedure SCCP fixpoints (reachable procedures only) —
+    /// reused by the complete-propagation driver for branch pruning.
+    pub sccps: Vec<Option<SccpResult>>,
+    /// Source locations of the replaced occurrences with their values —
+    /// the raw material for [`Substitution::to_source`].
+    pub replacements: Vec<(Span, i64)>,
+}
+
+/// Maps a procedure's `VAL` vector (indexed by entry slot) onto SCCP
+/// seeds (indexed by `VarId`).
+pub(crate) fn seeds_from_vals(
+    mcfg: &ModuleCfg,
+    layout: &ipcp_ir::program::SlotLayout,
+    p: ProcId,
+    vals: &[Lattice],
+) -> Seeds {
+    let proc = mcfg.module.proc(p);
+    let by_var = proc
+        .vars
+        .iter()
+        .map(|info| match info.kind {
+            VarKind::Formal(i) => vals.get(i).copied().unwrap_or(Lattice::Bottom),
+            VarKind::Global(g) => layout
+                .global_slot(proc.arity(), g)
+                .and_then(|s| vals.get(s).copied())
+                .unwrap_or(Lattice::Bottom),
+            VarKind::Local => Lattice::Bottom,
+        })
+        .collect();
+    Seeds::from_vars(by_var)
+}
+
+/// Seeds for procedure `p` taken from the analysis `VAL` sets.
+fn seeds_for(analysis: &Analysis, mcfg: &ModuleCfg, p: ProcId) -> Seeds {
+    seeds_from_vals(mcfg, &analysis.layout, p, analysis.vals.of(p))
+}
+
+/// Runs the seeded substitution for every reachable procedure.
+pub fn substitute(mcfg: &ModuleCfg, analysis: &Analysis) -> Substitution {
+    let oracle = analysis.sccp_oracle(mcfg);
+    run_substitution(mcfg, analysis, oracle.as_ref(), |p| {
+        seeds_for(analysis, mcfg, p)
+    })
+}
+
+/// The purely intraprocedural baseline (Table 3, column 4): no seeds, no
+/// return jump functions, but MOD-precise kill sets.
+pub fn substitute_intraprocedural(mcfg: &ModuleCfg, analysis: &Analysis) -> Substitution {
+    run_substitution(mcfg, analysis, &OpaqueCallsLattice, |p| {
+        Seeds::none(mcfg.module.proc(p).vars.len())
+    })
+}
+
+fn run_substitution(
+    mcfg: &ModuleCfg,
+    analysis: &Analysis,
+    oracle: &dyn CallDefLattice,
+    seeds_of: impl Fn(ProcId) -> Seeds,
+) -> Substitution {
+    let n = mcfg.module.procs.len();
+    let mut counts = vec![0usize; n];
+    let mut module = mcfg.clone();
+    let mut sccps: Vec<Option<SccpResult>> = (0..n).map(|_| None).collect();
+    let mut replacements = Vec::new();
+
+    for pi in 0..n {
+        let p = ProcId::from(pi);
+        if !analysis.cg.reachable[pi] {
+            continue;
+        }
+        // The substitution SSA must match the analysis call-effect world.
+        let ssa = match analysis.symbolics[pi].as_ref() {
+            Some(ps) => &ps.ssa,
+            None => continue,
+        };
+        let res = sccp::run(mcfg, ssa, &seeds_of(p), oracle);
+        counts[pi] = rewrite_proc(&mut module, mcfg, p, ssa, &res, &mut replacements);
+        sccps[pi] = Some(res);
+    }
+
+    Substitution {
+        total: counts.iter().sum(),
+        counts,
+        module,
+        sccps,
+        replacements,
+    }
+}
+
+impl Substitution {
+    /// §4.1's optional output: "a transformed version of the original
+    /// source in which the interprocedural constants are textually
+    /// substituted into the code". Every replaced occurrence carries its
+    /// source span, so the structured (pre-lowering) bodies can be
+    /// rewritten and pretty-printed.
+    pub fn to_source(&self, original: &Module) -> String {
+        apply_replacements(original, &self.replacements).to_source()
+    }
+}
+
+/// Rewrites `module`'s structured bodies, replacing each scalar variable
+/// occurrence whose span appears in `replacements` with its constant.
+pub fn apply_replacements(module: &Module, replacements: &[(Span, i64)]) -> Module {
+    use std::collections::HashMap;
+    let map: HashMap<Span, i64> = replacements.iter().copied().collect();
+    let mut out = module.clone();
+    for proc in &mut out.procs {
+        rewrite_ast_block(&mut proc.body, &map);
+    }
+    out
+}
+
+fn rewrite_ast_block(
+    b: &mut ipcp_ir::program::Block,
+    map: &std::collections::HashMap<Span, i64>,
+) {
+    use ipcp_ir::program::Stmt;
+    for s in &mut b.stmts {
+        match s {
+            Stmt::Assign(_, e, _) | Stmt::Print(e, _) => rewrite_ast_expr(e, map),
+            Stmt::Store(_, i, v, _) => {
+                rewrite_ast_expr(i, map);
+                rewrite_ast_expr(v, map);
+            }
+            Stmt::If(c, t, e, _) => {
+                rewrite_ast_expr(c, map);
+                rewrite_ast_block(t, map);
+                rewrite_ast_block(e, map);
+            }
+            Stmt::While(c, body, _) => {
+                rewrite_ast_expr(c, map);
+                rewrite_ast_block(body, map);
+            }
+            Stmt::Do { lo, hi, step, body, .. } => {
+                rewrite_ast_expr(lo, map);
+                rewrite_ast_expr(hi, map);
+                if let Some(st) = step {
+                    rewrite_ast_expr(st, map);
+                }
+                rewrite_ast_block(body, map);
+            }
+            Stmt::Call(_, args, _) => {
+                for a in args {
+                    if let ipcp_ir::program::Arg::Value(e) = a {
+                        rewrite_ast_expr(e, map);
+                    }
+                }
+            }
+            Stmt::Return(_) | Stmt::Read(_, _) => {}
+        }
+    }
+}
+
+fn rewrite_ast_expr(e: &mut Expr, map: &std::collections::HashMap<Span, i64>) {
+    match e {
+        Expr::Const(..) => {}
+        Expr::Var(_, span) => {
+            if let Some(&c) = map.get(span) {
+                *e = Expr::Const(c, *span);
+            }
+        }
+        Expr::Load(_, idx, _) => rewrite_ast_expr(idx, map),
+        Expr::Unary(_, x, _) => rewrite_ast_expr(x, map),
+        Expr::Binary(_, l, r, _) => {
+            rewrite_ast_expr(l, map);
+            rewrite_ast_expr(r, map);
+        }
+    }
+}
+
+/// Rewrites procedure `p` in `out`, returning the substitution count.
+fn rewrite_proc(
+    out: &mut ModuleCfg,
+    mcfg: &ModuleCfg,
+    p: ProcId,
+    ssa: &SsaProc,
+    res: &SccpResult,
+    replacements: &mut Vec<(Span, i64)>,
+) -> usize {
+    let cfg = mcfg.cfg(p);
+    let mut count = 0usize;
+    for bi in 0..cfg.len() {
+        if !res.block_exec[bi] {
+            continue;
+        }
+        let b = BlockId::from(bi);
+        let info = &ssa.blocks[bi];
+        let out_block = &mut out.cfgs[p.index()].blocks[b.index()];
+        for (si, stmt) in cfg.block(b).stmts.iter().enumerate() {
+            let (new_stmt, n) = rewrite_stmt(stmt, &info.stmts[si], res, replacements);
+            out_block.stmts[si] = new_stmt;
+            count += n;
+        }
+        if let Terminator::Branch { cond, then_bb, else_bb } = &cfg.block(b).term {
+            let mut idx = 0;
+            let mut n = 0;
+            let new_cond =
+                rewrite_expr(cond, &info.term_use_vals, &mut idx, res, &mut n, replacements);
+            debug_assert_eq!(idx, info.term_use_vals.len());
+            out_block.term = Terminator::Branch {
+                cond: new_cond,
+                then_bb: *then_bb,
+                else_bb: *else_bb,
+            };
+            count += n;
+        }
+    }
+    count
+}
+
+fn rewrite_stmt(
+    stmt: &CStmt,
+    info: &StmtInfo,
+    res: &SccpResult,
+    replacements: &mut Vec<(Span, i64)>,
+) -> (CStmt, usize) {
+    let mut n = 0usize;
+    let mut idx = 0usize;
+    let new = match (stmt, info) {
+        (CStmt::Assign { dst, value }, StmtInfo::Assign { use_vals, .. }) => {
+            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+            debug_assert_eq!(idx, use_vals.len());
+            CStmt::Assign { dst: *dst, value }
+        }
+        (CStmt::Store { array, index, value }, StmtInfo::Store { use_vals, .. }) => {
+            let index = rewrite_expr(index, use_vals, &mut idx, res, &mut n, replacements);
+            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+            debug_assert_eq!(idx, use_vals.len());
+            CStmt::Store {
+                array: *array,
+                index,
+                value,
+            }
+        }
+        (CStmt::Print { value }, StmtInfo::Print { use_vals, .. }) => {
+            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+            debug_assert_eq!(idx, use_vals.len());
+            CStmt::Print { value }
+        }
+        (CStmt::Call { callee, args, site }, StmtInfo::Call { use_vals, .. }) => {
+            let mut new_args = Vec::with_capacity(args.len());
+            for a in args {
+                new_args.push(match a {
+                    ipcp_ir::program::Arg::Value(e) => ipcp_ir::program::Arg::Value(
+                        rewrite_expr(e, use_vals, &mut idx, res, &mut n, replacements),
+                    ),
+                    // By-reference actuals cannot be replaced by values.
+                    other => other.clone(),
+                });
+            }
+            debug_assert_eq!(idx, use_vals.len());
+            CStmt::Call {
+                callee: *callee,
+                args: new_args,
+                site: *site,
+            }
+        }
+        (CStmt::Read { dst }, StmtInfo::Read { .. }) => CStmt::Read { dst: *dst },
+        (stmt, info) => unreachable!("statement/annotation mismatch: {stmt:?} vs {info:?}"),
+    };
+    (new, n)
+}
+
+/// Rewrites an expression, replacing each scalar-variable occurrence whose
+/// SSA value is constant. `use_vals[idx..]` supplies the occurrence values
+/// in traversal order.
+fn rewrite_expr(
+    e: &Expr,
+    use_vals: &[ValueId],
+    idx: &mut usize,
+    res: &SccpResult,
+    count: &mut usize,
+    replacements: &mut Vec<(Span, i64)>,
+) -> Expr {
+    match e {
+        Expr::Const(c, s) => Expr::Const(*c, *s),
+        Expr::Var(v, s) => {
+            let val = use_vals[*idx];
+            *idx += 1;
+            match res.value(val) {
+                Lattice::Const(c) => {
+                    *count += 1;
+                    if !s.is_empty() {
+                        replacements.push((*s, c));
+                    }
+                    Expr::Const(c, *s)
+                }
+                _ => Expr::Var(*v, *s),
+            }
+        }
+        Expr::Load(arr, index, s) => Expr::Load(
+            *arr,
+            Box::new(rewrite_expr(index, use_vals, idx, res, count, replacements)),
+            *s,
+        ),
+        Expr::Unary(op, x, s) => Expr::Unary(
+            *op,
+            Box::new(rewrite_expr(x, use_vals, idx, res, count, replacements)),
+            *s,
+        ),
+        Expr::Binary(op, l, r, s) => {
+            let l = rewrite_expr(l, use_vals, idx, res, count, replacements);
+            let r = rewrite_expr(r, use_vals, idx, res, count, replacements);
+            Expr::Binary(*op, Box::new(l), Box::new(r), *s)
+        }
+    }
+}
+
+/// A standalone intraprocedural substitution count with MOD information
+/// but no interprocedural constants at all — used when no [`Analysis`] is
+/// wanted.
+pub fn intraprocedural_count(mcfg: &ModuleCfg) -> usize {
+    let cg = ipcp_analysis::build_call_graph(mcfg);
+    let mr = ipcp_analysis::compute_modref(mcfg, &cg);
+    let mut total = 0;
+    for (pi, _) in mcfg.module.procs.iter().enumerate() {
+        if !cg.reachable[pi] {
+            continue;
+        }
+        let p = ProcId::from(pi);
+        let ssa = build_ssa(mcfg, p, &ModKills(&mr));
+        let res = sccp::run(
+            mcfg,
+            &ssa,
+            &Seeds::none(mcfg.module.proc(p).vars.len()),
+            &OpaqueCallsLattice,
+        );
+        let mut dummy = mcfg.clone();
+        let mut replacements = Vec::new();
+        total += rewrite_proc(&mut dummy, mcfg, p, &ssa, &res, &mut replacements);
+    }
+    total
+}

@@ -1,0 +1,222 @@
+//! Diagnostics produced by the lexer, parser, and resolver.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// A non-fatal observation (e.g. an unused procedure).
+    Warning,
+    /// A fatal problem; the compilation unit cannot be used.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single located message from the front end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with `line:col` resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{}:{line}:{col}: {}", self.severity, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.severity, self.span, self.message)
+    }
+}
+
+/// A non-empty collection of diagnostics, used as the front end error type.
+///
+/// ```
+/// use ipcp_ir::parse_and_resolve;
+/// let err = parse_and_resolve("proc main() { x = ; }").unwrap_err();
+/// assert!(err.has_errors());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Records an error message at `span`.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning message at `span`.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Whether any [`Severity::Error`] diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether no diagnostics at all were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Iterates over the recorded diagnostics in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Converts `self` into `Err(self)` when errors are present, else `Ok(value)`.
+    pub fn into_result<T>(self, value: T) -> Result<T, Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(value)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diags.is_empty() {
+            return write!(f, "no diagnostics");
+        }
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { diags: vec![d] }
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Diagnostics {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.diags.extend(iter);
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_do_not_count_as_errors() {
+        let mut ds = Diagnostics::new();
+        ds.warning("unused procedure", Span::dummy());
+        assert!(!ds.has_errors());
+        assert!(!ds.is_empty());
+        assert!(ds.into_result(7).is_ok());
+    }
+
+    #[test]
+    fn errors_fail_the_result() {
+        let mut ds = Diagnostics::new();
+        ds.error("bad", Span::new(1, 2));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 1);
+        assert!(ds.into_result(()).is_err());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let ds = Diagnostics::new();
+        assert_eq!(ds.to_string(), "no diagnostics");
+        let ds: Diagnostics = Diagnostic::error("oops", Span::new(0, 1)).into();
+        assert!(ds.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn render_resolves_line_and_column() {
+        let src = "a\nbb\nccc";
+        let d = Diagnostic::error("boom", Span::new(5, 6));
+        assert_eq!(d.render(src), "error:3:1: boom");
+    }
+}

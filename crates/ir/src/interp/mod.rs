@@ -1,0 +1,895 @@
+//! Reference interpreters for FT.
+//!
+//! Two independent executors implement the same dynamic semantics:
+//!
+//! * [`run_module`] walks the structured resolved AST;
+//! * [`exec_cfg`] drives the lowered [`ModuleCfg`].
+//!
+//! Agreement between the two (checked by property tests) validates the
+//! AST-to-CFG lowering; the entry-value [`EntryTrace`] they record is the
+//! ground truth against which `CONSTANTS(p)` soundness is tested.
+//!
+//! ## Semantics
+//!
+//! All values are `i64`. Arithmetic overflow, division by zero and
+//! out-of-bounds array accesses are runtime errors. Uninitialized scalars
+//! read as `0`; arrays are zero-filled. Scalar variables named bare at call
+//! sites are passed by reference; other actual expressions are copy-in
+//! only. `do var = lo, hi, step` evaluates `hi` and `step` once, then
+//! iterates while `var <= hi` (positive step) or `var >= hi` (negative
+//! step); a zero step runs zero iterations. `read` past the end of the
+//! input yields `0`.
+
+use crate::cfg::{CStmt, ModuleCfg, Terminator};
+use crate::lang::ast::{BinOp, UnOp};
+use crate::program::{
+    Arg, Block, Expr, Module, Proc, ProcId, SlotLayout, Stmt, VarId, VarKind,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Execution limits guarding against runaway programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum number of executed statements / branch evaluations.
+    pub max_steps: u64,
+    /// Maximum call-stack depth.
+    pub max_call_depth: usize,
+    /// Whether to record the per-entry value trace.
+    pub trace: bool,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_steps: 2_000_000,
+            max_call_depth: 200,
+            trace: true,
+        }
+    }
+}
+
+/// A runtime failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// 64-bit signed overflow in arithmetic.
+    Overflow,
+    /// Array access outside the declared bounds.
+    IndexOutOfBounds {
+        /// Offending index value.
+        index: i64,
+        /// Array length.
+        len: i64,
+    },
+    /// The step budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// The call stack exceeded the configured depth.
+    CallDepthExceeded,
+    /// A write to a scalar reachable under two names in one activation
+    /// (the FORTRAN 77 aliasing rule: a dummy argument aliased with
+    /// another dummy or with a global may not be assigned).
+    AliasedWrite,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivideByZero => write!(f, "division by zero"),
+            ExecError::Overflow => write!(f, "integer overflow"),
+            ExecError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            ExecError::OutOfFuel => write!(f, "step budget exhausted"),
+            ExecError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            ExecError::AliasedWrite => {
+                write!(f, "write to a variable aliased through reference passing")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// The values of a procedure's entry slots at one dynamic entry.
+///
+/// Indexed per [`SlotLayout`]; `None` marks slots that carry no scalar
+/// value (array formals).
+pub type EntrySnapshot = Vec<Option<i64>>;
+
+/// Every dynamic procedure entry observed during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntryTrace {
+    /// `(procedure, slot values at entry)` in call order.
+    pub entries: Vec<(ProcId, EntrySnapshot)>,
+}
+
+impl EntryTrace {
+    /// Iterates over the snapshots recorded for procedure `p`.
+    pub fn for_proc(&self, p: ProcId) -> impl Iterator<Item = &EntrySnapshot> {
+        self.entries
+            .iter()
+            .filter(move |(q, _)| *q == p)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The result of a successful run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Execution {
+    /// Values printed, in order.
+    pub output: Vec<i64>,
+    /// Statements executed.
+    pub steps: u64,
+    /// Entry-value trace (empty when tracing is disabled).
+    pub trace: EntryTrace,
+}
+
+// ---------------------------------------------------------------------------
+// Shared machine state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Loc(usize);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ArrLoc(usize);
+
+/// Storage, I/O and accounting shared by both executors.
+struct Machine<'a> {
+    scalars: Vec<i64>,
+    arrays: Vec<Vec<i64>>,
+    input: &'a [i64],
+    input_pos: usize,
+    output: Vec<i64>,
+    steps: u64,
+    limits: ExecLimits,
+    trace: EntryTrace,
+    layout: SlotLayout,
+    global_scalar_locs: Vec<Option<Loc>>, // by GlobalId
+    global_array_locs: Vec<Option<ArrLoc>>, // by GlobalId
+    /// Scalar locations currently visible under two names in some active
+    /// frame; writing them is the FT analogue of the FORTRAN 77 aliasing
+    /// violation.
+    aliased_locs: std::collections::HashSet<usize>,
+}
+
+/// A procedure activation: per-`VarId` bindings into machine storage.
+struct Frame {
+    scalar_locs: Vec<Option<Loc>>,
+    array_locs: Vec<Option<ArrLoc>>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(module: &Module, input: &'a [i64], limits: ExecLimits) -> Self {
+        let mut m = Machine {
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            input,
+            input_pos: 0,
+            output: Vec::new(),
+            steps: 0,
+            limits,
+            trace: EntryTrace::default(),
+            layout: SlotLayout::new(module),
+            global_scalar_locs: vec![None; module.globals.len()],
+            global_array_locs: vec![None; module.globals.len()],
+            aliased_locs: std::collections::HashSet::new(),
+        };
+        for (i, g) in module.globals.iter().enumerate() {
+            match g.array_len {
+                Some(len) => {
+                    let loc = ArrLoc(m.arrays.len());
+                    m.arrays.push(vec![0; len as usize]);
+                    m.global_array_locs[i] = Some(loc);
+                }
+                None => {
+                    let loc = Loc(m.scalars.len());
+                    m.scalars.push(0);
+                    m.global_scalar_locs[i] = Some(loc);
+                }
+            }
+        }
+        m
+    }
+
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            Err(ExecError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn alloc_scalar(&mut self, v: i64) -> Loc {
+        let loc = Loc(self.scalars.len());
+        self.scalars.push(v);
+        loc
+    }
+
+    fn alloc_array(&mut self, len: usize) -> ArrLoc {
+        let loc = ArrLoc(self.arrays.len());
+        self.arrays.push(vec![0; len]);
+        loc
+    }
+
+    fn read_input(&mut self) -> i64 {
+        let v = self.input.get(self.input_pos).copied().unwrap_or(0);
+        self.input_pos += 1;
+        v
+    }
+
+    /// Builds the frame for a fresh activation of `proc`, binding formals
+    /// to the given locations and allocating locals.
+    fn make_frame(
+        &mut self,
+        proc: &Proc,
+        formal_scalars: &[Option<Loc>],
+        formal_arrays: &[Option<ArrLoc>],
+    ) -> Frame {
+        let n = proc.vars.len();
+        let mut frame = Frame {
+            scalar_locs: vec![None; n],
+            array_locs: vec![None; n],
+        };
+        for (i, info) in proc.vars.iter().enumerate() {
+            match info.kind {
+                VarKind::Formal(fi) => {
+                    frame.scalar_locs[i] = formal_scalars.get(fi).copied().flatten();
+                    frame.array_locs[i] = formal_arrays.get(fi).copied().flatten();
+                }
+                VarKind::Global(g) => {
+                    frame.scalar_locs[i] = self.global_scalar_locs[g.index()];
+                    frame.array_locs[i] = self.global_array_locs[g.index()];
+                }
+                VarKind::Local => {
+                    if info.is_array {
+                        frame.array_locs[i] =
+                            Some(self.alloc_array(info.array_len.unwrap_or(1) as usize));
+                    } else {
+                        frame.scalar_locs[i] = Some(self.alloc_scalar(0));
+                    }
+                }
+            }
+        }
+        frame
+    }
+
+    /// Registers the frame's duplicated scalar locations (two names, one
+    /// cell) as alias-protected, returning what was added so the caller
+    /// can unwind on procedure exit.
+    fn note_aliases(&mut self, frame: &Frame) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut added = Vec::new();
+        for loc in frame.scalar_locs.iter().flatten() {
+            if !seen.insert(loc.0) && self.aliased_locs.insert(loc.0) {
+                added.push(loc.0);
+            }
+        }
+        added
+    }
+
+    fn drop_aliases(&mut self, added: Vec<usize>) {
+        for l in added {
+            self.aliased_locs.remove(&l);
+        }
+    }
+
+    fn record_entry(&mut self, proc: &Proc, frame: &Frame) {
+        if !self.limits.trace {
+            return;
+        }
+        let mut snap: EntrySnapshot = Vec::with_capacity(self.layout.n_slots(proc.arity()));
+        for &fv in &proc.formals {
+            snap.push(frame.scalar_locs[fv.index()].map(|l| self.scalars[l.0]));
+        }
+        let globals = self.layout.scalar_globals.clone();
+        for g in globals {
+            let loc = self.global_scalar_locs[g.index()].expect("scalar global has a loc");
+            snap.push(Some(self.scalars[loc.0]));
+        }
+        self.trace.entries.push((proc.id, snap));
+    }
+
+    fn scalar(&self, frame: &Frame, v: VarId) -> i64 {
+        match frame.scalar_locs[v.index()] {
+            Some(l) => self.scalars[l.0],
+            None => 0,
+        }
+    }
+
+    fn set_scalar(&mut self, frame: &Frame, v: VarId, value: i64) -> Result<(), ExecError> {
+        if let Some(l) = frame.scalar_locs[v.index()] {
+            if self.aliased_locs.contains(&l.0) {
+                return Err(ExecError::AliasedWrite);
+            }
+            self.scalars[l.0] = value;
+        }
+        Ok(())
+    }
+
+    fn array_len(&self, frame: &Frame, v: VarId) -> i64 {
+        match frame.array_locs[v.index()] {
+            Some(l) => self.arrays[l.0].len() as i64,
+            None => 0,
+        }
+    }
+
+    fn load(&self, frame: &Frame, v: VarId, index: i64) -> Result<i64, ExecError> {
+        let len = self.array_len(frame, v);
+        if index < 0 || index >= len {
+            return Err(ExecError::IndexOutOfBounds { index, len });
+        }
+        let l = frame.array_locs[v.index()].expect("checked above");
+        Ok(self.arrays[l.0][index as usize])
+    }
+
+    fn store(&mut self, frame: &Frame, v: VarId, index: i64, value: i64) -> Result<(), ExecError> {
+        let len = self.array_len(frame, v);
+        if index < 0 || index >= len {
+            return Err(ExecError::IndexOutOfBounds { index, len });
+        }
+        let l = frame.array_locs[v.index()].expect("checked above");
+        self.arrays[l.0][index as usize] = value;
+        Ok(())
+    }
+
+    fn eval(&self, frame: &Frame, e: &Expr) -> Result<i64, ExecError> {
+        match e {
+            Expr::Const(v, _) => Ok(*v),
+            Expr::Var(v, _) => Ok(self.scalar(frame, *v)),
+            Expr::Load(v, idx, _) => {
+                let i = self.eval(frame, idx)?;
+                self.load(frame, *v, i)
+            }
+            Expr::Unary(op, operand, _) => {
+                let x = self.eval(frame, operand)?;
+                match op {
+                    UnOp::Neg => x.checked_neg().ok_or(ExecError::Overflow),
+                    UnOp::Not => Ok(i64::from(x == 0)),
+                }
+            }
+            Expr::Binary(op, l, r, _) => {
+                let a = self.eval(frame, l)?;
+                let b = self.eval(frame, r)?;
+                eval_binop(*op, a, b)
+            }
+        }
+    }
+
+    /// Evaluates call arguments to formal bindings, allocating copy-in
+    /// cells for by-value arguments.
+    fn bind_args(
+        &mut self,
+        frame: &Frame,
+        args: &[Arg],
+    ) -> Result<(Vec<Option<Loc>>, Vec<Option<ArrLoc>>), ExecError> {
+        let mut scalars = Vec::with_capacity(args.len());
+        let mut arrays = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                Arg::Scalar(v, _) => {
+                    scalars.push(frame.scalar_locs[v.index()]);
+                    arrays.push(None);
+                }
+                Arg::Array(v, _) => {
+                    scalars.push(None);
+                    arrays.push(frame.array_locs[v.index()]);
+                }
+                Arg::Value(e) => {
+                    let val = self.eval(frame, e)?;
+                    scalars.push(Some(self.alloc_scalar(val)));
+                    arrays.push(None);
+                }
+            }
+        }
+        Ok((scalars, arrays))
+    }
+}
+
+/// Pure arithmetic shared by the interpreters and by constant folding in
+/// the analyses. All FT operators are total except `/`/`%` by zero and
+/// overflow.
+///
+/// # Errors
+///
+/// [`ExecError::DivideByZero`] and [`ExecError::Overflow`] as appropriate.
+pub fn eval_binop(op: BinOp, a: i64, b: i64) -> Result<i64, ExecError> {
+    match op {
+        BinOp::Add => a.checked_add(b).ok_or(ExecError::Overflow),
+        BinOp::Sub => a.checked_sub(b).ok_or(ExecError::Overflow),
+        BinOp::Mul => a.checked_mul(b).ok_or(ExecError::Overflow),
+        BinOp::Div => {
+            if b == 0 {
+                Err(ExecError::DivideByZero)
+            } else {
+                a.checked_div(b).ok_or(ExecError::Overflow)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                Err(ExecError::DivideByZero)
+            } else {
+                a.checked_rem(b).ok_or(ExecError::Overflow)
+            }
+        }
+        BinOp::Eq => Ok(i64::from(a == b)),
+        BinOp::Ne => Ok(i64::from(a != b)),
+        BinOp::Lt => Ok(i64::from(a < b)),
+        BinOp::Le => Ok(i64::from(a <= b)),
+        BinOp::Gt => Ok(i64::from(a > b)),
+        BinOp::Ge => Ok(i64::from(a >= b)),
+        BinOp::And => Ok(i64::from(a != 0 && b != 0)),
+        BinOp::Or => Ok(i64::from(a != 0 || b != 0)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST interpreter
+// ---------------------------------------------------------------------------
+
+/// Runs the resolved module from `main`, reading integers from `input`.
+///
+/// # Errors
+///
+/// Any [`ExecError`] raised during execution.
+///
+/// ```
+/// use ipcp_ir::{parse_and_resolve, interp};
+/// let m = parse_and_resolve("proc main() { read x; print x * 2; }").unwrap();
+/// let out = interp::run_module(&m, &[21], &interp::ExecLimits::default())?;
+/// assert_eq!(out.output, vec![42]);
+/// # Ok::<(), ipcp_ir::interp::ExecError>(())
+/// ```
+pub fn run_module(
+    module: &Module,
+    input: &[i64],
+    limits: &ExecLimits,
+) -> Result<Execution, ExecError> {
+    let mut machine = Machine::new(module, input, *limits);
+    run_proc_ast(module, module.entry, &mut machine, &[], &[], 0)?;
+    Ok(Execution {
+        output: machine.output,
+        steps: machine.steps,
+        trace: machine.trace,
+    })
+}
+
+/// Control-flow signal for the structured interpreter.
+enum Flow {
+    Normal,
+    Return,
+}
+
+fn run_proc_ast(
+    module: &Module,
+    pid: ProcId,
+    machine: &mut Machine<'_>,
+    formal_scalars: &[Option<Loc>],
+    formal_arrays: &[Option<ArrLoc>],
+    depth: usize,
+) -> Result<(), ExecError> {
+    if depth >= machine.limits.max_call_depth {
+        return Err(ExecError::CallDepthExceeded);
+    }
+    let proc = module.proc(pid);
+    let scalar_mark = machine.scalars.len();
+    let array_mark = machine.arrays.len();
+    let frame = machine.make_frame(proc, formal_scalars, formal_arrays);
+    let alias_marks = machine.note_aliases(&frame);
+    machine.record_entry(proc, &frame);
+    let result = run_block_ast(module, proc, &proc.body, machine, &frame, depth);
+    machine.drop_aliases(alias_marks);
+    result?;
+    // Stack-discipline reclamation: everything this frame allocated sits at
+    // the top of the stores (by-ref cells passed in live below the marks).
+    machine.scalars.truncate(scalar_mark);
+    machine.arrays.truncate(array_mark);
+    Ok(())
+}
+
+fn run_block_ast(
+    module: &Module,
+    proc: &Proc,
+    block: &Block,
+    machine: &mut Machine<'_>,
+    frame: &Frame,
+    depth: usize,
+) -> Result<Flow, ExecError> {
+    for s in &block.stmts {
+        machine.tick()?;
+        match s {
+            Stmt::Assign(dst, value, _) => {
+                let v = machine.eval(frame, value)?;
+                machine.set_scalar(frame, *dst, v)?;
+            }
+            Stmt::Store(arr, index, value, _) => {
+                let i = machine.eval(frame, index)?;
+                let v = machine.eval(frame, value)?;
+                machine.store(frame, *arr, i, v)?;
+            }
+            Stmt::Read(dst, _) => {
+                let v = machine.read_input();
+                machine.set_scalar(frame, *dst, v)?;
+            }
+            Stmt::Print(value, _) => {
+                let v = machine.eval(frame, value)?;
+                machine.output.push(v);
+            }
+            Stmt::Return(_) => return Ok(Flow::Return),
+            Stmt::If(cond, then_blk, else_blk, _) => {
+                let c = machine.eval(frame, cond)?;
+                let blk = if c != 0 { then_blk } else { else_blk };
+                if let Flow::Return = run_block_ast(module, proc, blk, machine, frame, depth)? {
+                    return Ok(Flow::Return);
+                }
+            }
+            Stmt::While(cond, body, _) => loop {
+                machine.tick()?;
+                if machine.eval(frame, cond)? == 0 {
+                    break;
+                }
+                if let Flow::Return = run_block_ast(module, proc, body, machine, frame, depth)? {
+                    return Ok(Flow::Return);
+                }
+            },
+            Stmt::Do { var, lo, hi, step, body, .. } => {
+                let mut i = machine.eval(frame, lo)?;
+                let hi_v = machine.eval(frame, hi)?;
+                let step_v = match step {
+                    Some(e) => machine.eval(frame, e)?,
+                    None => 1,
+                };
+                machine.set_scalar(frame, *var, i)?;
+                loop {
+                    machine.tick()?;
+                    let go = (step_v > 0 && i <= hi_v) || (step_v < 0 && i >= hi_v);
+                    if !go {
+                        break;
+                    }
+                    if let Flow::Return =
+                        run_block_ast(module, proc, body, machine, frame, depth)?
+                    {
+                        return Ok(Flow::Return);
+                    }
+                    // The induction variable may have been modified by the
+                    // body (including through a by-reference call); FORTRAN
+                    // forbids that, FT defines it: the increment applies to
+                    // the current value.
+                    i = machine
+                        .scalar(frame, *var)
+                        .checked_add(step_v)
+                        .ok_or(ExecError::Overflow)?;
+                    machine.set_scalar(frame, *var, i)?;
+                }
+            }
+            Stmt::Call(callee, args, _) => {
+                let (scalars, arrays) = machine.bind_args(frame, args)?;
+                run_proc_ast(module, *callee, machine, &scalars, &arrays, depth + 1)?;
+            }
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+// ---------------------------------------------------------------------------
+// CFG executor
+// ---------------------------------------------------------------------------
+
+/// Executes the lowered module from its entry procedure.
+///
+/// Shares all semantics with [`run_module`]; the property tests assert the
+/// two agree on output and entry traces.
+///
+/// # Errors
+///
+/// Any [`ExecError`] raised during execution.
+pub fn exec_cfg(
+    mcfg: &ModuleCfg,
+    input: &[i64],
+    limits: &ExecLimits,
+) -> Result<Execution, ExecError> {
+    let mut machine = Machine::new(&mcfg.module, input, *limits);
+    run_proc_cfg(mcfg, mcfg.module.entry, &mut machine, &[], &[], 0)?;
+    Ok(Execution {
+        output: machine.output,
+        steps: machine.steps,
+        trace: machine.trace,
+    })
+}
+
+fn run_proc_cfg(
+    mcfg: &ModuleCfg,
+    pid: ProcId,
+    machine: &mut Machine<'_>,
+    formal_scalars: &[Option<Loc>],
+    formal_arrays: &[Option<ArrLoc>],
+    depth: usize,
+) -> Result<(), ExecError> {
+    if depth >= machine.limits.max_call_depth {
+        return Err(ExecError::CallDepthExceeded);
+    }
+    let proc = mcfg.module.proc(pid);
+    let cfg = mcfg.cfg(pid);
+    let scalar_mark = machine.scalars.len();
+    let array_mark = machine.arrays.len();
+    let frame = machine.make_frame(proc, formal_scalars, formal_arrays);
+    let alias_marks = machine.note_aliases(&frame);
+    machine.record_entry(proc, &frame);
+
+    let result = (|| -> Result<(), ExecError> {
+    let mut bb = cfg.entry;
+    loop {
+        let block = cfg.block(bb);
+        for s in &block.stmts {
+            machine.tick()?;
+            match s {
+                CStmt::Assign { dst, value } => {
+                    let v = machine.eval(&frame, value)?;
+                    machine.set_scalar(&frame, *dst, v)?;
+                }
+                CStmt::Store { array, index, value } => {
+                    let i = machine.eval(&frame, index)?;
+                    let v = machine.eval(&frame, value)?;
+                    machine.store(&frame, *array, i, v)?;
+                }
+                CStmt::Read { dst } => {
+                    let v = machine.read_input();
+                    machine.set_scalar(&frame, *dst, v)?;
+                }
+                CStmt::Print { value } => {
+                    let v = machine.eval(&frame, value)?;
+                    machine.output.push(v);
+                }
+                CStmt::Call { callee, args, .. } => {
+                    let (scalars, arrays) = machine.bind_args(&frame, args)?;
+                    run_proc_cfg(mcfg, *callee, machine, &scalars, &arrays, depth + 1)?;
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Jump(b) => bb = *b,
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                machine.tick()?;
+                let c = machine.eval(&frame, cond)?;
+                bb = if c != 0 { *then_bb } else { *else_bb };
+            }
+            Terminator::Return => break,
+        }
+    }
+    Ok(())
+    })();
+    machine.drop_aliases(alias_marks);
+    result?;
+
+    machine.scalars.truncate(scalar_mark);
+    machine.arrays.truncate(array_mark);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lower_module, parse_and_resolve};
+
+    fn run(src: &str, input: &[i64]) -> Execution {
+        let m = parse_and_resolve(src).unwrap();
+        run_module(&m, input, &ExecLimits::default()).unwrap()
+    }
+
+    fn run_both(src: &str, input: &[i64]) -> (Execution, Execution) {
+        let m = parse_and_resolve(src).unwrap();
+        let a = run_module(&m, input, &ExecLimits::default()).unwrap();
+        let b = exec_cfg(&lower_module(&m), input, &ExecLimits::default()).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("proc main() { print 2 + 3 * 4; print (2 + 3) * 4; print 7 / 2; print 7 % 2; print -7 / 2; }", &[]);
+        assert_eq!(out.output, vec![14, 20, 3, 1, -3]);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        let out = run(
+            "proc main() { print 1 < 2; print 2 < 1; print 3 == 3; print !0; print !5; print 1 && 0; print 1 || 0; }",
+            &[],
+        );
+        assert_eq!(out.output, vec![1, 0, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn read_past_end_yields_zero() {
+        let out = run("proc main() { read a; read b; print a; print b; }", &[9]);
+        assert_eq!(out.output, vec![9, 0]);
+    }
+
+    #[test]
+    fn uninitialized_scalar_reads_zero() {
+        let out = run("proc main() { print never_set; }", &[]);
+        assert_eq!(out.output, vec![0]);
+    }
+
+    #[test]
+    fn by_reference_scalar_argument_is_modified() {
+        let out = run(
+            "proc main() { x = 1; call bump(x); print x; } proc bump(a) { a = a + 41; }",
+            &[],
+        );
+        assert_eq!(out.output, vec![42]);
+    }
+
+    #[test]
+    fn by_value_argument_is_not_modified() {
+        let out = run(
+            "proc main() { x = 1; call bump(x + 0); print x; } proc bump(a) { a = 99; }",
+            &[],
+        );
+        assert_eq!(out.output, vec![1]);
+    }
+
+    #[test]
+    fn arrays_pass_by_reference() {
+        let out = run(
+            "proc main() { array t[3]; call fill(t, 3); print t[0] + t[1] + t[2]; } \
+             proc fill(b, n) { do i = 0, n - 1 { b[i] = i + 1; } }",
+            &[],
+        );
+        assert_eq!(out.output, vec![6]);
+    }
+
+    #[test]
+    fn globals_are_shared() {
+        let out = run(
+            "global g; proc main() { g = 5; call twice(); print g; } proc twice() { g = g * 2; }",
+            &[],
+        );
+        assert_eq!(out.output, vec![10]);
+    }
+
+    #[test]
+    fn do_loop_semantics() {
+        // hi/step evaluated once; inclusive bound; negative step.
+        let out = run(
+            "proc main() { n = 3; do i = 1, n { n = 100; print i; } do j = 3, 1, -1 { print j; } do k = 1, 0 { print 99; } }",
+            &[],
+        );
+        assert_eq!(out.output, vec![1, 2, 3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn do_loop_zero_step_runs_zero_iterations() {
+        let out = run("proc main() { read s; do i = 1, 10, s { print i; } print 7; }", &[0]);
+        assert_eq!(out.output, vec![7]);
+    }
+
+    #[test]
+    fn while_and_early_return() {
+        let out = run(
+            "proc main() { x = 0; while (x < 10) { x = x + 1; if (x == 4) { return; } } print x; }",
+            &[],
+        );
+        assert!(out.output.is_empty());
+    }
+
+    #[test]
+    fn return_inside_loop_in_callee_only_exits_callee() {
+        let out = run(
+            "proc main() { call f(); print 2; } proc f() { do i = 1, 10 { return; } print 1; }",
+            &[],
+        );
+        assert_eq!(out.output, vec![2]);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let m = parse_and_resolve("proc main() { read x; print 1 / x; }").unwrap();
+        let err = run_module(&m, &[0], &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, ExecError::DivideByZero);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let m = parse_and_resolve("proc main() { x = 9223372036854775807; print x + 1; }").unwrap();
+        let err = run_module(&m, &[], &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, ExecError::Overflow);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let m = parse_and_resolve("proc main() { array t[2]; read i; t[i] = 1; }").unwrap();
+        let err = run_module(&m, &[5], &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, ExecError::IndexOutOfBounds { index: 5, len: 2 });
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let m = parse_and_resolve("proc main() { while (1) { } }").unwrap();
+        let limits = ExecLimits { max_steps: 1000, ..Default::default() };
+        assert_eq!(run_module(&m, &[], &limits).unwrap_err(), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn recursion_is_depth_limited() {
+        let m = parse_and_resolve("proc main() { call f(); } proc f() { call f(); }").unwrap();
+        assert_eq!(
+            run_module(&m, &[], &ExecLimits::default()).unwrap_err(),
+            ExecError::CallDepthExceeded
+        );
+    }
+
+    #[test]
+    fn bounded_recursion_works() {
+        let out = run(
+            "proc main() { n = 5; r = 1; call fact(n, r); print r; } \
+             proc fact(n, r) { if (n > 1) { r = r * n; m = n - 1; call fact(m, r); } }",
+            &[],
+        );
+        assert_eq!(out.output, vec![120]);
+    }
+
+    #[test]
+    fn entry_trace_records_formals_and_globals() {
+        let m = parse_and_resolve(
+            "global g; proc main() { g = 7; call f(3); } proc f(a) { print a; }",
+        )
+        .unwrap();
+        let out = run_module(&m, &[], &ExecLimits::default()).unwrap();
+        let f = m.proc_named("f").unwrap().id;
+        let snaps: Vec<_> = out.trace.for_proc(f).collect();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0], &vec![Some(3), Some(7)]);
+    }
+
+    #[test]
+    fn cfg_executor_agrees_with_ast_interpreter() {
+        let srcs = [
+            "proc main() { x = 0; do i = 1, 5 { x = x + i; } print x; }",
+            "proc main() { read n; if (n > 2) { print 1; } else if (n > 0) { print 2; } else { print 3; } }",
+            "global g; proc main() { g = 1; call f(10); print g; } proc f(k) { do i = 1, k, 3 { g = g + i; } }",
+            "proc main() { array t[4]; do i = 0, 3 { t[i] = i * i; } s = 0; do i = 0, 3 { s = s + t[i]; } print s; }",
+            "proc main() { read s; do i = 10, 1, s { print i; } }",
+        ];
+        for src in srcs {
+            for input in [&[0][..], &[1], &[-2], &[3]] {
+                let (a, b) = run_both(src, input);
+                assert_eq!(a.output, b.output, "output mismatch on {src}");
+                assert_eq!(a.trace, b.trace, "trace mismatch on {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn aliased_writes_fault_in_both_interpreters() {
+        // The same variable passed by reference twice: writing either
+        // dummy violates the FORTRAN 77 aliasing rule FT inherits, and
+        // both executors report it identically.
+        let src = "proc main() { x = 1; call f(x, x); print x; } proc f(p, q) { p = p + 1; }";
+        let m = parse_and_resolve(src).unwrap();
+        let a = run_module(&m, &[], &ExecLimits::default()).unwrap_err();
+        let b = exec_cfg(&lower_module(&m), &[], &ExecLimits::default()).unwrap_err();
+        assert_eq!(a, ExecError::AliasedWrite);
+        assert_eq!(b, ExecError::AliasedWrite);
+    }
+
+    #[test]
+    fn aliased_reads_are_permitted() {
+        let (a, b) = run_both(
+            "proc main() { x = 21; call f(x, x); } proc f(p, q) { print p + q; }",
+            &[],
+        );
+        assert_eq!(a.output, vec![42]);
+        assert_eq!(b.output, vec![42]);
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let m = parse_and_resolve("proc main() { call f(1); } proc f(a) { }").unwrap();
+        let limits = ExecLimits { trace: false, ..Default::default() };
+        let out = run_module(&m, &[], &limits).unwrap();
+        assert!(out.trace.entries.is_empty());
+    }
+}

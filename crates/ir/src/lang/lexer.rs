@@ -1,0 +1,290 @@
+//! Hand-written lexer for FT.
+
+use super::token::{Keyword, Token, TokenKind};
+use crate::error::{Diagnostic, Diagnostics};
+use crate::span::Span;
+
+/// Streaming lexer over FT source text.
+///
+/// Usually used through the convenience function [`lex`], which drains the
+/// lexer into a token vector ending in [`TokenKind::Eof`].
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'#') => self.skip_line(),
+                Some(b'/') if self.peek2() == Some(b'/') => self.skip_line(),
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    /// Lexes the next token, or a diagnostic for an unrecognized character
+    /// or malformed literal.
+    pub fn next_token(&mut self) -> Result<Token, Diagnostic> {
+        self.skip_trivia();
+        let start = self.pos as u32;
+        let Some(b) = self.bump() else {
+            return Ok(Token::new(TokenKind::Eof, Span::new(start, start)));
+        };
+        let simple = |kind: TokenKind, end: usize| Ok(Token::new(kind, Span::new(start, end as u32)));
+        match b {
+            b'0'..=b'9' => self.lex_int(start as usize),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.lex_word(start as usize)),
+            b'+' => simple(TokenKind::Plus, self.pos),
+            b'-' => simple(TokenKind::Minus, self.pos),
+            b'*' => simple(TokenKind::Star, self.pos),
+            b'/' => simple(TokenKind::Slash, self.pos),
+            b'%' => simple(TokenKind::Percent, self.pos),
+            b'(' => simple(TokenKind::LParen, self.pos),
+            b')' => simple(TokenKind::RParen, self.pos),
+            b'{' => simple(TokenKind::LBrace, self.pos),
+            b'}' => simple(TokenKind::RBrace, self.pos),
+            b'[' => simple(TokenKind::LBracket, self.pos),
+            b']' => simple(TokenKind::RBracket, self.pos),
+            b',' => simple(TokenKind::Comma, self.pos),
+            b';' => simple(TokenKind::Semi, self.pos),
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    simple(TokenKind::Eq, self.pos)
+                } else {
+                    simple(TokenKind::Assign, self.pos)
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    simple(TokenKind::Ne, self.pos)
+                } else {
+                    simple(TokenKind::Not, self.pos)
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    simple(TokenKind::Le, self.pos)
+                } else {
+                    simple(TokenKind::Lt, self.pos)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    simple(TokenKind::Ge, self.pos)
+                } else {
+                    simple(TokenKind::Gt, self.pos)
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    simple(TokenKind::AndAnd, self.pos)
+                } else {
+                    Err(Diagnostic::error(
+                        "expected `&&` (single `&` is not an operator)",
+                        Span::new(start, self.pos as u32),
+                    ))
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    simple(TokenKind::OrOr, self.pos)
+                } else {
+                    Err(Diagnostic::error(
+                        "expected `||` (single `|` is not an operator)",
+                        Span::new(start, self.pos as u32),
+                    ))
+                }
+            }
+            other => Err(Diagnostic::error(
+                format!("unrecognized character `{}`", other as char),
+                Span::new(start, self.pos as u32),
+            )),
+        }
+    }
+
+    fn lex_int(&mut self, start: usize) -> Result<Token, Diagnostic> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let span = Span::new(start as u32, self.pos as u32);
+        let text = &self.src[start..self.pos];
+        match text.parse::<i64>() {
+            Ok(v) => Ok(Token::new(TokenKind::Int(v), span)),
+            Err(_) => Err(Diagnostic::error(
+                format!("integer literal `{text}` out of 64-bit range"),
+                span,
+            )),
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) -> Token {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.pos += 1;
+        }
+        let span = Span::new(start as u32, self.pos as u32);
+        let text = &self.src[start..self.pos];
+        match Keyword::from_str(text) {
+            Some(kw) => Token::new(TokenKind::Keyword(kw), span),
+            None => Token::new(TokenKind::Ident(text.to_owned()), span),
+        }
+    }
+}
+
+/// Lexes `src` into a full token vector ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Collects every lexical error (unrecognized characters, oversized
+/// literals) into one [`Diagnostics`] value; recovery skips the bad
+/// character and continues.
+///
+/// ```
+/// use ipcp_ir::lang::{lex, TokenKind};
+/// let toks = lex("x = 41 + 1;")?;
+/// assert_eq!(toks.len(), 7); // x = 41 + 1 ; <eof>
+/// assert_eq!(toks[2].kind, TokenKind::Int(41));
+/// # Ok::<(), ipcp_ir::Diagnostics>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    let mut diags = Diagnostics::new();
+    loop {
+        match lexer.next_token() {
+            Ok(tok) => {
+                let done = tok.kind == TokenKind::Eof;
+                tokens.push(tok);
+                if done {
+                    break;
+                }
+            }
+            Err(d) => diags.push(d),
+        }
+    }
+    diags.into_result(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("+ - * / % ( ) { } [ ] , ; = == != < <= > >= && || !"),
+            vec![
+                Plus, Minus, Star, Slash, Percent, LParen, RParen, LBrace, RBrace, LBracket,
+                RBracket, Comma, Semi, Assign, Eq, Ne, Lt, Le, Gt, Ge, AndAnd, OrOr, Not, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("do doit i1 _x proc process"),
+            vec![
+                Keyword(super::Keyword::Do),
+                Ident("doit".into()),
+                Ident("i1".into()),
+                Ident("_x".into()),
+                Keyword(super::Keyword::Proc),
+                Ident("process".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment to eol\n# hash comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab + 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn huge_literal_is_an_error() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.has_errors());
+        assert!(err.to_string().contains("out of 64-bit range"));
+    }
+
+    #[test]
+    fn bad_character_reports_and_recovers() {
+        let err = lex("a $ b ?").unwrap_err();
+        assert_eq!(err.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn minus_then_int_is_two_tokens() {
+        assert_eq!(
+            kinds("-5"),
+            vec![TokenKind::Minus, TokenKind::Int(5), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,813 @@
+//! Recursive-descent parser for FT.
+
+use super::ast::*;
+use super::lexer::lex;
+use super::token::{Keyword, Token, TokenKind};
+use crate::error::Diagnostics;
+use crate::span::Span;
+
+/// Parses a full FT program.
+///
+/// # Errors
+///
+/// Returns accumulated [`Diagnostics`] on any lexical or syntactic error.
+/// The parser recovers at item boundaries (it skips to the next `proc` /
+/// `global` keyword) so multiple errors can be reported in one pass.
+///
+/// ```
+/// use ipcp_ir::lang::parse_program;
+/// let prog = parse_program("global g; proc main() { g = 1; }")?;
+/// assert_eq!(prog.globals.len(), 1);
+/// assert_eq!(prog.procs.len(), 1);
+/// # Ok::<(), ipcp_ir::Diagnostics>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    let program = parser.program();
+    parser.diags.into_result(program)
+}
+
+/// Parses a single expression (used by tests and the REPL-style examples).
+///
+/// # Errors
+///
+/// Returns diagnostics if the input is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr();
+    if parser.peek_kind() != &TokenKind::Eof {
+        parser
+            .diags
+            .error("trailing input after expression", parser.peek_span());
+    }
+    match expr {
+        Some(e) => parser.diags.into_result(e),
+        None => Err(parser.diags),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Diagnostics,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.peek().clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Option<Token> {
+        if self.at(kind) {
+            Some(self.bump())
+        } else {
+            self.diags.error(
+                format!("expected `{kind}`, found `{}`", self.peek_kind()),
+                self.peek_span(),
+            );
+            None
+        }
+    }
+
+    fn expect_ident(&mut self) -> Option<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Some((name, span))
+            }
+            other => {
+                self.diags.error(
+                    format!("expected identifier, found `{other}`"),
+                    self.peek_span(),
+                );
+                None
+            }
+        }
+    }
+
+    fn expect_int(&mut self) -> Option<(i64, Span)> {
+        match *self.peek_kind() {
+            TokenKind::Int(v) => {
+                let span = self.bump().span;
+                Some((v, span))
+            }
+            ref other => {
+                self.diags.error(
+                    format!("expected integer literal, found `{other}`"),
+                    self.peek_span(),
+                );
+                None
+            }
+        }
+    }
+
+    /// Skip forward to the start of the next top-level item (error recovery).
+    fn recover_to_item(&mut self) {
+        while !matches!(
+            self.peek_kind(),
+            TokenKind::Eof | TokenKind::Keyword(Keyword::Proc) | TokenKind::Keyword(Keyword::Global)
+        ) {
+            self.bump();
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mut program = Program::default();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => break,
+                TokenKind::Keyword(Keyword::Global) => {
+                    if let Some(g) = self.global_decl() {
+                        program.globals.push(g);
+                    } else {
+                        self.recover_to_item();
+                    }
+                }
+                TokenKind::Keyword(Keyword::Proc) => {
+                    if let Some(p) = self.proc_decl() {
+                        program.procs.push(p);
+                    } else {
+                        self.recover_to_item();
+                    }
+                }
+                other => {
+                    self.diags.error(
+                        format!("expected `proc` or `global`, found `{other}`"),
+                        self.peek_span(),
+                    );
+                    self.bump();
+                    self.recover_to_item();
+                }
+            }
+        }
+        program
+    }
+
+    fn global_decl(&mut self) -> Option<GlobalDecl> {
+        let start = self.bump().span; // `global`
+        let (name, name_span) = self.expect_ident()?;
+        let array_len = if self.eat(&TokenKind::LBracket) {
+            let (len, len_span) = self.expect_int()?;
+            if len <= 0 {
+                self.diags
+                    .error(format!("array length must be positive, got {len}"), len_span);
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Some(len)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Some(GlobalDecl {
+            name,
+            array_len,
+            span: start.merge(name_span).merge(end),
+        })
+    }
+
+    fn proc_decl(&mut self) -> Option<ProcDecl> {
+        let start = self.bump().span; // `proc`
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (p, span) = self.expect_ident()?;
+                params.push((p, span));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let header_end = self.expect(&TokenKind::RParen)?.span;
+        let body = self.block()?;
+        Some(ProcDecl {
+            name,
+            params,
+            body,
+            span: start.merge(header_end),
+        })
+    }
+
+    fn block(&mut self) -> Option<Block> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => {
+                    // Recover within the block: skip to just after the next `;`
+                    // or stop at a brace.
+                    loop {
+                        match self.peek_kind() {
+                            TokenKind::Semi => {
+                                self.bump();
+                                break;
+                            }
+                            TokenKind::RBrace | TokenKind::LBrace | TokenKind::Eof => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Some(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Array) => self.array_decl(),
+            TokenKind::Keyword(Keyword::If) => self.if_stmt(),
+            TokenKind::Keyword(Keyword::While) => self.while_stmt(),
+            TokenKind::Keyword(Keyword::Do) => self.do_stmt(),
+            TokenKind::Keyword(Keyword::Call) => self.call_stmt(),
+            TokenKind::Keyword(Keyword::Return) => {
+                let start = self.bump().span;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Some(Stmt::Return {
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Keyword(Keyword::Read) => {
+                let start = self.bump().span;
+                let (name, _) = self.expect_ident()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Some(Stmt::Read {
+                    name,
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Keyword(Keyword::Print) => {
+                let start = self.bump().span;
+                let value = self.expr()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Some(Stmt::Print {
+                    value,
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Ident(_) => self.assign_or_store(),
+            other => {
+                self.diags.error(
+                    format!("expected statement, found `{other}`"),
+                    self.peek_span(),
+                );
+                None
+            }
+        }
+    }
+
+    fn array_decl(&mut self) -> Option<Stmt> {
+        let start = self.bump().span; // `array`
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LBracket)?;
+        let (len, len_span) = self.expect_int()?;
+        if len <= 0 {
+            self.diags
+                .error(format!("array length must be positive, got {len}"), len_span);
+        }
+        self.expect(&TokenKind::RBracket)?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Some(Stmt::ArrayDecl {
+            name,
+            len,
+            span: start.merge(end),
+        })
+    }
+
+    fn if_stmt(&mut self) -> Option<Stmt> {
+        let start = self.bump().span; // `if`
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::Keyword(Keyword::Else)) {
+            if self.at_kw(Keyword::If) {
+                // `else if` chains desugar to a one-statement else block.
+                let nested = self.if_stmt()?;
+                Block { stmts: vec![nested] }
+            } else {
+                self.block()?
+            }
+        } else {
+            Block::default()
+        };
+        Some(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span: start,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Option<Stmt> {
+        let start = self.bump().span; // `while`
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Some(Stmt::While {
+            cond,
+            body,
+            span: start,
+        })
+    }
+
+    fn do_stmt(&mut self) -> Option<Stmt> {
+        let start = self.bump().span; // `do`
+        let (var, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let hi = self.expr()?;
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Some(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            span: start,
+        })
+    }
+
+    fn call_stmt(&mut self) -> Option<Stmt> {
+        let start = self.bump().span; // `call`
+        let (callee, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Some(Stmt::Call {
+            callee,
+            args,
+            span: start.merge(end),
+        })
+    }
+
+    fn assign_or_store(&mut self) -> Option<Stmt> {
+        let (name, name_span) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            let end = self.expect(&TokenKind::Semi)?.span;
+            Some(Stmt::Store {
+                name,
+                index,
+                value,
+                span: name_span.merge(end),
+            })
+        } else {
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            let end = self.expect(&TokenKind::Semi)?.span;
+            Some(Stmt::Assign {
+                name,
+                value,
+                span: name_span.merge(end),
+            })
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Option<Expr> {
+        self.or_expr()
+    }
+
+    fn binary_tier(
+        &mut self,
+        next: fn(&mut Self) -> Option<Expr>,
+        table: &[(TokenKind, BinOp)],
+    ) -> Option<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.at(tok) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span().merge(rhs.span());
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        span,
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Some(lhs)
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(Self::and_expr, &[(TokenKind::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(Self::eq_expr, &[(TokenKind::AndAnd, BinOp::And)])
+    }
+
+    fn eq_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(
+            Self::rel_expr,
+            &[(TokenKind::Eq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)],
+        )
+    }
+
+    fn rel_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(
+            Self::add_expr,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn add_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(
+            Self::mul_expr,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn mul_expr(&mut self) -> Option<Expr> {
+        self.binary_tier(
+            Self::unary_expr,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        if self.at(&TokenKind::Minus) {
+            let start = self.bump().span;
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span());
+            // Fold negated literals so `-5` is a literal constant (as in
+            // FORTRAN): the literal jump function and the constant-step
+            // `do` lowering both depend on seeing it syntactically.
+            if let Expr::Const { value, .. } = operand {
+                if let Some(neg) = value.checked_neg() {
+                    return Some(Expr::Const { value: neg, span });
+                }
+            }
+            return Some(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        if self.at(&TokenKind::Not) {
+            let start = self.bump().span;
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span());
+            return Some(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Option<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(value) => {
+                let span = self.bump().span;
+                Some(Expr::Const { value, span })
+            }
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    Some(Expr::Load {
+                        name,
+                        index: Box::new(index),
+                        span: span.merge(end),
+                    })
+                } else {
+                    Some(Expr::Var { name, span })
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(e)
+            }
+            other => {
+                self.diags.error(
+                    format!("expected expression, found `{other}`"),
+                    self.peek_span(),
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).expect("program should parse")
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_ok("proc main() { }");
+        assert_eq!(p.procs.len(), 1);
+        assert_eq!(p.procs[0].name, "main");
+        assert!(p.procs[0].params.is_empty());
+        assert!(p.procs[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_globals_scalar_and_array() {
+        let p = parse_ok("global n; global buf[16]; proc main() { }");
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].array_len, None);
+        assert_eq!(p.globals[1].array_len, Some(16));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected +, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_below_arithmetic() {
+        let e = parse_expr("a + 1 < b * 2").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn logical_lowest() {
+        let e = parse_expr("a < 1 && b > 2 || c == 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn unary_stacks() {
+        let e = parse_expr("--x").unwrap();
+        match e {
+            Expr::Unary { op: UnOp::Neg, operand, .. } => {
+                assert!(matches!(*operand, Expr::Unary { op: UnOp::Neg, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_loop_with_step() {
+        let p = parse_ok("proc main() { do i = 1, 10, 2 { print i; } }");
+        match &p.procs[0].body.stmts[0] {
+            Stmt::Do { var, step, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(step.is_some());
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_loop_without_step() {
+        let p = parse_ok("proc main() { do i = 1, 10 { } }");
+        assert!(matches!(
+            &p.procs[0].body.stmts[0],
+            Stmt::Do { step: None, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_ok(
+            "proc main() { if (a == 1) { } else if (a == 2) { } else { print 3; } }",
+        );
+        match &p.procs[0].body.stmts[0] {
+            Stmt::If { else_blk, .. } => {
+                assert_eq!(else_blk.stmts.len(), 1);
+                assert!(matches!(else_blk.stmts[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_calls_with_mixed_args() {
+        let p = parse_ok("proc main() { call f(x, 3, y + 1, a[2]); } proc f(a, b, c, d) { }");
+        match &p.procs[0].body.stmts[0] {
+            Stmt::Call { callee, args, .. } => {
+                assert_eq!(callee, "f");
+                assert_eq!(args.len(), 4);
+                assert!(matches!(args[0], Expr::Var { .. }));
+                assert!(matches!(args[1], Expr::Const { .. }));
+                assert!(matches!(args[2], Expr::Binary { .. }));
+                assert!(matches!(args[3], Expr::Load { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_store_and_load() {
+        let p = parse_ok("proc main() { array a[8]; a[0] = a[1] + 1; }");
+        assert!(matches!(p.procs[0].body.stmts[0], Stmt::ArrayDecl { len: 8, .. }));
+        assert!(matches!(p.procs[0].body.stmts[1], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        assert!(parse_program("proc main() { x = 1 }").is_err());
+    }
+
+    #[test]
+    fn reports_multiple_errors_with_recovery() {
+        let err = parse_program("proc main() { x = ; y = 1 + ; }").unwrap_err();
+        assert!(err.len() >= 2, "expected >=2 errors, got: {err}");
+    }
+
+    #[test]
+    fn zero_length_array_rejected() {
+        assert!(parse_program("proc main() { array a[0]; }").is_err());
+    }
+
+    #[test]
+    fn stray_top_level_tokens_are_reported() {
+        let err = parse_program("42 proc main() { }").unwrap_err();
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn parenthesized_expressions_override_precedence() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relational_chain_is_left_associative() {
+        // `a - b - c` is `(a - b) - c`.
+        let e = parse_expr("a - b - c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Sub, lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Sub, .. }));
+                assert!(matches!(*rhs, Expr::Var { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
+// (kept at module end to avoid renumbering: regression tests for the
+// negative-literal fold)
+#[cfg(test)]
+mod neg_literal_tests {
+    use super::*;
+
+    #[test]
+    fn negative_literals_fold_to_constants() {
+        assert!(matches!(
+            parse_expr("-5").unwrap(),
+            Expr::Const { value: -5, .. }
+        ));
+        assert!(matches!(
+            parse_expr("--5").unwrap(),
+            Expr::Const { value: 5, .. }
+        ));
+        // Folding respects precedence: `-5 * 2` is `(-5) * 2`.
+        match parse_expr("-5 * 2").unwrap() {
+            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Const { value: -5, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_of_variables_stays_unary() {
+        assert!(matches!(
+            parse_expr("-x").unwrap(),
+            Expr::Unary { op: UnOp::Neg, .. }
+        ));
+    }
+
+    #[test]
+    fn negative_literal_call_arguments_are_literal() {
+        use crate::parse_and_resolve;
+        use crate::program::each_call;
+        let m = parse_and_resolve("proc main() { call f(-7); } proc f(a) { print a; }").unwrap();
+        let main = m.proc(m.entry);
+        each_call(&main.body, &mut |_, args, _| {
+            assert_eq!(args[0].literal(), Some(-7));
+        });
+    }
+
+    #[test]
+    fn negative_constant_do_step_folds_direction() {
+        use crate::{lower_module, parse_and_resolve};
+        let m = lower_module(
+            &parse_and_resolve("proc main() { do i = 10, 1, -2 { print i; } }").unwrap(),
+        );
+        let cfg = m.cfg(m.module.entry);
+        let header = cfg
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                crate::cfg::Terminator::Branch { cond, .. } => Some(cond.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Constant negative step: plain `i >= $hi`, no direction test.
+        assert!(matches!(header, crate::program::Expr::Binary(BinOp::Ge, _, _, _)));
+        // And it executes correctly.
+        let out = crate::interp::run_module(
+            &parse_and_resolve("proc main() { do i = 10, 1, -2 { print i; } }").unwrap(),
+            &[],
+            &crate::interp::ExecLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(out.output, vec![10, 8, 6, 4, 2]);
+    }
+}

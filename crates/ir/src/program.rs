@@ -1,0 +1,1165 @@
+//! Resolved program representation: names become dense ids, procedures get
+//! symbol tables, and call sites are checked against procedure signatures.
+//!
+//! The resolved [`Module`] is the input to everything downstream: the CFG
+//! lowering, the interpreters, MOD/REF analysis and the interprocedural
+//! constant propagation pipeline.
+
+use crate::error::Diagnostics;
+use crate::lang::{self, ast};
+use crate::span::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usable index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Index of a global variable in [`Module::globals`].
+    GlobalId
+}
+id_type! {
+    /// Index of a procedure in [`Module::procs`].
+    ProcId
+}
+id_type! {
+    /// Index of a variable in its procedure's [`Proc::vars`] table.
+    ///
+    /// `VarId`s are per-procedure; the same numeric id in two procedures
+    /// names unrelated variables (except that globals resolve to a `VarId`
+    /// in each procedure that references them, linked via [`VarKind::Global`]).
+    VarId
+}
+
+/// What kind of variable a [`VarInfo`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// The `n`-th formal parameter of the enclosing procedure.
+    Formal(usize),
+    /// A procedure-local variable (implicitly declared on first assignment,
+    /// or via `array`).
+    Local,
+    /// A reference to the module-level global with the given id.
+    Global(GlobalId),
+}
+
+/// Per-procedure symbol-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Formal / local / global.
+    pub kind: VarKind,
+    /// Whether the variable holds an array (true) or a scalar (false).
+    pub is_array: bool,
+    /// Declared length for local/global arrays; `None` for scalars and for
+    /// array formals (whose length comes from the actual argument).
+    pub array_len: Option<i64>,
+}
+
+impl VarInfo {
+    /// Whether this entry is a formal parameter.
+    pub fn is_formal(&self) -> bool {
+        matches!(self.kind, VarKind::Formal(_))
+    }
+
+    /// Whether this entry refers to a global.
+    pub fn is_global(&self) -> bool {
+        matches!(self.kind, VarKind::Global(_))
+    }
+}
+
+/// A module-level variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Source name.
+    pub name: String,
+    /// `Some(len)` when the global is an array.
+    pub array_len: Option<i64>,
+}
+
+impl GlobalInfo {
+    /// Whether the global is an array.
+    pub fn is_array(&self) -> bool {
+        self.array_len.is_some()
+    }
+}
+
+/// A resolved expression. Mirrors [`ast::Expr`] with ids for names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64, Span),
+    /// Scalar variable use.
+    Var(VarId, Span),
+    /// Array element load.
+    Load(VarId, Box<Expr>, Span),
+    /// Unary operation.
+    Unary(ast::UnOp, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(ast::BinOp, Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Const(_, s)
+            | Expr::Var(_, s)
+            | Expr::Load(_, _, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s) => *s,
+        }
+    }
+
+    /// Whether the expression is a literal constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Const(..))
+    }
+
+    /// Visits every scalar variable use (including array index
+    /// subexpressions) in evaluation order.
+    pub fn for_each_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            Expr::Const(..) => {}
+            Expr::Var(v, _) => f(*v),
+            Expr::Load(_, idx, _) => idx.for_each_var(f),
+            Expr::Unary(_, e, _) => e.for_each_var(f),
+            Expr::Binary(_, l, r, _) => {
+                l.for_each_var(f);
+                r.for_each_var(f);
+            }
+        }
+    }
+}
+
+/// How an actual argument is passed at a call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Arg {
+    /// A bare scalar variable: passed **by reference** (FORTRAN style);
+    /// the callee may modify it.
+    Scalar(VarId, Span),
+    /// A bare array variable: the whole array is passed by reference.
+    Array(VarId, Span),
+    /// Any other expression: evaluated and passed **by value** (copy-in,
+    /// no copy-out).
+    Value(Expr),
+}
+
+impl Arg {
+    /// Source span of the argument.
+    pub fn span(&self) -> Span {
+        match self {
+            Arg::Scalar(_, s) | Arg::Array(_, s) => *s,
+            Arg::Value(e) => e.span(),
+        }
+    }
+
+    /// The literal value if the argument is a syntactic integer literal —
+    /// the information the *literal constant jump function* is allowed
+    /// to use.
+    pub fn literal(&self) -> Option<i64> {
+        match self {
+            Arg::Value(Expr::Const(v, _)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Scalar assignment.
+    Assign(VarId, Expr, Span),
+    /// Array element store.
+    Store(VarId, Expr, Expr, Span),
+    /// Conditional.
+    If(Expr, Block, Block, Span),
+    /// Pre-tested loop.
+    While(Expr, Block, Span),
+    /// FORTRAN counted loop; `hi`/`step` evaluated once on entry.
+    Do {
+        /// Induction variable (a scalar).
+        var: VarId,
+        /// Initial value.
+        lo: Expr,
+        /// Inclusive bound.
+        hi: Expr,
+        /// Step; `None` means 1.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+        /// Statement span.
+        span: Span,
+    },
+    /// Procedure call.
+    Call(ProcId, Vec<Arg>, Span),
+    /// Early return.
+    Return(Span),
+    /// Input.
+    Read(VarId, Span),
+    /// Output.
+    Print(Expr, Span),
+}
+
+impl Stmt {
+    /// Source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign(_, _, s)
+            | Stmt::Store(_, _, _, s)
+            | Stmt::If(_, _, _, s)
+            | Stmt::While(_, _, s)
+            | Stmt::Do { span: s, .. }
+            | Stmt::Call(_, _, s)
+            | Stmt::Return(s)
+            | Stmt::Read(_, s)
+            | Stmt::Print(_, s) => *s,
+        }
+    }
+}
+
+/// A resolved statement sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A resolved procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proc {
+    /// Source name.
+    pub name: String,
+    /// This procedure's id within the module.
+    pub id: ProcId,
+    /// Symbol table: formals first (in parameter order), then locals and
+    /// referenced globals in order of first mention.
+    pub vars: Vec<VarInfo>,
+    /// Ids of the formal parameters, in order (`vars[formals[i]]` has
+    /// `VarKind::Formal(i)`).
+    pub formals: Vec<VarId>,
+    /// The body.
+    pub body: Block,
+    /// Header span.
+    pub span: Span,
+}
+
+impl Proc {
+    /// Looks up the symbol-table entry for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this procedure.
+    pub fn var(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Finds a variable by source name.
+    pub fn var_named(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|vi| vi.name == name)
+            .map(VarId::from)
+    }
+
+    /// Number of formal parameters.
+    pub fn arity(&self) -> usize {
+        self.formals.len()
+    }
+
+    /// The `VarId` this procedure uses for global `g`, if it references it.
+    pub fn var_for_global(&self, g: GlobalId) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|vi| vi.kind == VarKind::Global(g))
+            .map(VarId::from)
+    }
+}
+
+/// A fully resolved, semantically checked module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// Module-level variables.
+    pub globals: Vec<GlobalInfo>,
+    /// All procedures.
+    pub procs: Vec<Proc>,
+    /// The entry procedure (`main`, which must take no parameters).
+    pub entry: ProcId,
+}
+
+impl Module {
+    /// Looks up a procedure by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn proc(&self, p: ProcId) -> &Proc {
+        &self.procs[p.index()]
+    }
+
+    /// Finds a procedure by source name.
+    pub fn proc_named(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Ids of the scalar (non-array) globals — the ones whose values the
+    /// interprocedural analysis tracks.
+    pub fn scalar_global_ids(&self) -> Vec<GlobalId> {
+        self.globals
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_array())
+            .map(|(i, _)| GlobalId::from(i))
+            .collect()
+    }
+
+    /// Renders the module back to FT source (see [`lang::pretty`]).
+    pub fn to_source(&self) -> String {
+        lang::pretty::program(&self.to_ast())
+    }
+
+    /// Reconstructs an unresolved AST (used for pretty-printing and for
+    /// feeding transformed modules back through the front end in tests).
+    pub fn to_ast(&self) -> ast::Program {
+        let mut prog = ast::Program::default();
+        for g in &self.globals {
+            prog.globals.push(ast::GlobalDecl {
+                name: g.name.clone(),
+                array_len: g.array_len,
+                span: Span::dummy(),
+            });
+        }
+        for p in &self.procs {
+            prog.procs.push(ast::ProcDecl {
+                name: p.name.clone(),
+                params: p
+                    .formals
+                    .iter()
+                    .map(|&f| (p.var(f).name.clone(), Span::dummy()))
+                    .collect(),
+                body: unresolve_block(p, &self.procs, &p.body),
+                span: p.span,
+            });
+        }
+        prog
+    }
+}
+
+fn unresolve_expr(p: &Proc, e: &Expr) -> ast::Expr {
+    match e {
+        Expr::Const(v, span) => ast::Expr::Const { value: *v, span: *span },
+        Expr::Var(v, span) => ast::Expr::Var {
+            name: p.var(*v).name.clone(),
+            span: *span,
+        },
+        Expr::Load(v, idx, span) => ast::Expr::Load {
+            name: p.var(*v).name.clone(),
+            index: Box::new(unresolve_expr(p, idx)),
+            span: *span,
+        },
+        Expr::Unary(op, e, span) => ast::Expr::Unary {
+            op: *op,
+            operand: Box::new(unresolve_expr(p, e)),
+            span: *span,
+        },
+        Expr::Binary(op, l, r, span) => ast::Expr::Binary {
+            op: *op,
+            lhs: Box::new(unresolve_expr(p, l)),
+            rhs: Box::new(unresolve_expr(p, r)),
+            span: *span,
+        },
+    }
+}
+
+fn unresolve_block(p: &Proc, procs: &[Proc], b: &Block) -> ast::Block {
+    let mut out = ast::Block::default();
+    // Re-emit local array declarations first so the result re-resolves.
+    // (Declarations are stripped during resolution.)
+    out.stmts.extend(p.vars.iter().filter_map(|vi| {
+        if vi.kind == VarKind::Local && vi.is_array {
+            Some(ast::Stmt::ArrayDecl {
+                name: vi.name.clone(),
+                len: vi.array_len.unwrap_or(1),
+                span: Span::dummy(),
+            })
+        } else {
+            None
+        }
+    }));
+    unresolve_stmts(p, procs, b, &mut out.stmts);
+    out
+}
+
+fn unresolve_stmts(p: &Proc, procs: &[Proc], b: &Block, out: &mut Vec<ast::Stmt>) {
+    for s in &b.stmts {
+        out.push(match s {
+            Stmt::Assign(v, e, span) => ast::Stmt::Assign {
+                name: p.var(*v).name.clone(),
+                value: unresolve_expr(p, e),
+                span: *span,
+            },
+            Stmt::Store(v, idx, val, span) => ast::Stmt::Store {
+                name: p.var(*v).name.clone(),
+                index: unresolve_expr(p, idx),
+                value: unresolve_expr(p, val),
+                span: *span,
+            },
+            Stmt::If(c, t, e, span) => ast::Stmt::If {
+                cond: unresolve_expr(p, c),
+                then_blk: unresolve_inner(p, procs, t),
+                else_blk: unresolve_inner(p, procs, e),
+                span: *span,
+            },
+            Stmt::While(c, body, span) => ast::Stmt::While {
+                cond: unresolve_expr(p, c),
+                body: unresolve_inner(p, procs, body),
+                span: *span,
+            },
+            Stmt::Do { var, lo, hi, step, body, span } => ast::Stmt::Do {
+                var: p.var(*var).name.clone(),
+                lo: unresolve_expr(p, lo),
+                hi: unresolve_expr(p, hi),
+                step: step.as_ref().map(|s| unresolve_expr(p, s)),
+                body: unresolve_inner(p, procs, body),
+                span: *span,
+            },
+            Stmt::Call(callee, args, span) => ast::Stmt::Call {
+                callee: procs[callee.index()].name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Scalar(v, sp) | Arg::Array(v, sp) => ast::Expr::Var {
+                            name: p.var(*v).name.clone(),
+                            span: *sp,
+                        },
+                        Arg::Value(e) => unresolve_expr(p, e),
+                    })
+                    .collect(),
+                span: *span,
+            },
+            Stmt::Return(span) => ast::Stmt::Return { span: *span },
+            Stmt::Read(v, span) => ast::Stmt::Read {
+                name: p.var(*v).name.clone(),
+                span: *span,
+            },
+            Stmt::Print(e, span) => ast::Stmt::Print {
+                value: unresolve_expr(p, e),
+                span: *span,
+            },
+        });
+    }
+}
+
+fn unresolve_inner(p: &Proc, procs: &[Proc], b: &Block) -> ast::Block {
+    let mut stmts = Vec::new();
+    unresolve_stmts(p, procs, b, &mut stmts);
+    ast::Block { stmts }
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------------
+
+/// Resolves a parsed program into a checked [`Module`].
+///
+/// Checks performed:
+///
+/// * duplicate global / procedure / parameter names;
+/// * presence of a zero-parameter `main`;
+/// * unknown variable or procedure references;
+/// * arity of every call;
+/// * consistent scalar/array usage of every variable, with array-ness of
+///   formals inferred to a fixpoint across call chains;
+/// * array arguments are bare names (no array expressions).
+///
+/// # Errors
+///
+/// Returns every violation found as [`Diagnostics`].
+pub fn resolve(prog: &ast::Program) -> Result<Module, Diagnostics> {
+    Resolver::new(prog).run()
+}
+
+struct Resolver<'a> {
+    prog: &'a ast::Program,
+    diags: Diagnostics,
+    globals: Vec<GlobalInfo>,
+    global_ids: HashMap<String, GlobalId>,
+    proc_ids: HashMap<String, ProcId>,
+}
+
+struct ProcCtx {
+    vars: Vec<VarInfo>,
+    by_name: HashMap<String, VarId>,
+    formals: Vec<VarId>,
+}
+
+impl ProcCtx {
+    /// Looks up `name`, creating a local (or importing a global) on demand.
+    fn lookup(
+        &mut self,
+        name: &str,
+        globals: &HashMap<String, GlobalId>,
+        global_infos: &[GlobalInfo],
+    ) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let id = VarId::from(self.vars.len());
+        let info = if let Some(&g) = globals.get(name) {
+            let gi = &global_infos[g.index()];
+            VarInfo {
+                name: name.to_owned(),
+                kind: VarKind::Global(g),
+                is_array: gi.is_array(),
+                array_len: gi.array_len,
+            }
+        } else {
+            VarInfo {
+                name: name.to_owned(),
+                kind: VarKind::Local,
+                is_array: false,
+                array_len: None,
+            }
+        };
+        self.vars.push(info);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+}
+
+impl<'a> Resolver<'a> {
+    fn new(prog: &'a ast::Program) -> Self {
+        Resolver {
+            prog,
+            diags: Diagnostics::new(),
+            globals: Vec::new(),
+            global_ids: HashMap::new(),
+            proc_ids: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Module, Diagnostics> {
+        // Pass 0: globals and procedure signatures.
+        for g in &self.prog.globals {
+            if self.global_ids.contains_key(&g.name) {
+                self.diags
+                    .error(format!("duplicate global `{}`", g.name), g.span);
+                continue;
+            }
+            let id = GlobalId::from(self.globals.len());
+            self.global_ids.insert(g.name.clone(), id);
+            self.globals.push(GlobalInfo {
+                name: g.name.clone(),
+                array_len: g.array_len,
+            });
+        }
+        for (i, p) in self.prog.procs.iter().enumerate() {
+            if self.proc_ids.contains_key(&p.name) {
+                self.diags
+                    .error(format!("duplicate procedure `{}`", p.name), p.span);
+            } else {
+                self.proc_ids.insert(p.name.clone(), ProcId::from(i));
+            }
+            if self.global_ids.contains_key(&p.name) {
+                self.diags.error(
+                    format!("procedure `{}` shadows a global of the same name", p.name),
+                    p.span,
+                );
+            }
+        }
+
+        // Pass 1: resolve bodies.
+        let mut procs = Vec::new();
+        for (i, p) in self.prog.procs.iter().enumerate() {
+            let resolved = self.resolve_proc(ProcId::from(i), p);
+            procs.push(resolved);
+        }
+
+        // Pass 2: propagate formal array-ness through call chains to a
+        // fixpoint, then check call-site consistency.
+        self.infer_formal_arrays(&mut procs);
+        self.check_call_sites(&procs);
+
+        let entry = match self.proc_ids.get("main") {
+            Some(&id) => {
+                if !procs[id.index()].formals.is_empty() {
+                    self.diags.error(
+                        "`main` must take no parameters",
+                        procs[id.index()].span,
+                    );
+                }
+                id
+            }
+            None => {
+                self.diags
+                    .error("program has no `main` procedure", Span::dummy());
+                ProcId(0)
+            }
+        };
+
+        let module = Module {
+            globals: self.globals,
+            procs,
+            entry,
+        };
+        self.diags.into_result(module)
+    }
+
+    fn resolve_proc(&mut self, id: ProcId, p: &ast::ProcDecl) -> Proc {
+        let mut ctx = ProcCtx {
+            vars: Vec::new(),
+            by_name: HashMap::new(),
+            formals: Vec::new(),
+        };
+        for (i, (name, span)) in p.params.iter().enumerate() {
+            if ctx.by_name.contains_key(name) {
+                self.diags
+                    .error(format!("duplicate parameter `{name}`"), *span);
+                continue;
+            }
+            if self.global_ids.contains_key(name) {
+                self.diags.error(
+                    format!("parameter `{name}` shadows a global of the same name"),
+                    *span,
+                );
+            }
+            let v = VarId::from(ctx.vars.len());
+            ctx.vars.push(VarInfo {
+                name: name.clone(),
+                kind: VarKind::Formal(i),
+                is_array: false, // refined by use and by the later fixpoint
+                array_len: None,
+            });
+            ctx.by_name.insert(name.clone(), v);
+            ctx.formals.push(v);
+        }
+        let body = self.resolve_block(&mut ctx, &p.body);
+        // FORTRAN COMMON model: every procedure can see every scalar
+        // global, whether or not it names it. Importing them all gives the
+        // analyses a uniform view (call sites transmit a value for every
+        // scalar global, and MOD kills apply to them in every caller).
+        for (gi, g) in self.globals.iter().enumerate() {
+            if g.is_array() || ctx.by_name.contains_key(&g.name) {
+                continue;
+            }
+            let v = VarId::from(ctx.vars.len());
+            ctx.vars.push(VarInfo {
+                name: g.name.clone(),
+                kind: VarKind::Global(GlobalId::from(gi)),
+                is_array: false,
+                array_len: None,
+            });
+            ctx.by_name.insert(g.name.clone(), v);
+        }
+        Proc {
+            name: p.name.clone(),
+            id,
+            vars: ctx.vars,
+            formals: ctx.formals,
+            body,
+            span: p.span,
+        }
+    }
+
+    fn resolve_block(&mut self, ctx: &mut ProcCtx, b: &ast::Block) -> Block {
+        let mut out = Block::default();
+        for s in &b.stmts {
+            if let Some(rs) = self.resolve_stmt(ctx, s) {
+                out.stmts.push(rs);
+            }
+        }
+        out
+    }
+
+    fn mark_array_use(&mut self, ctx: &mut ProcCtx, v: VarId, span: Span) {
+        let info = &mut ctx.vars[v.index()];
+        if info.is_array {
+            return;
+        }
+        match info.kind {
+            VarKind::Formal(_) => info.is_array = true,
+            VarKind::Local if info.array_len.is_none() => {
+                self.diags.error(
+                    format!("`{}` indexed but never declared with `array`", info.name),
+                    span,
+                );
+            }
+            _ => {
+                self.diags
+                    .error(format!("`{}` is a scalar, not an array", info.name), span);
+            }
+        }
+    }
+
+    fn mark_scalar_use(&mut self, ctx: &mut ProcCtx, v: VarId, span: Span) {
+        let info = &ctx.vars[v.index()];
+        if info.is_array {
+            self.diags.error(
+                format!("array `{}` used where a scalar is required", info.name),
+                span,
+            );
+        }
+    }
+
+    fn resolve_expr(&mut self, ctx: &mut ProcCtx, e: &ast::Expr) -> Expr {
+        match e {
+            ast::Expr::Const { value, span } => Expr::Const(*value, *span),
+            ast::Expr::Var { name, span } => {
+                let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                self.mark_scalar_use(ctx, v, *span);
+                Expr::Var(v, *span)
+            }
+            ast::Expr::Load { name, index, span } => {
+                let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                self.mark_array_use(ctx, v, *span);
+                let idx = self.resolve_expr(ctx, index);
+                Expr::Load(v, Box::new(idx), *span)
+            }
+            ast::Expr::Unary { op, operand, span } => {
+                Expr::Unary(*op, Box::new(self.resolve_expr(ctx, operand)), *span)
+            }
+            ast::Expr::Binary { op, lhs, rhs, span } => Expr::Binary(
+                *op,
+                Box::new(self.resolve_expr(ctx, lhs)),
+                Box::new(self.resolve_expr(ctx, rhs)),
+                *span,
+            ),
+        }
+    }
+
+    fn resolve_stmt(&mut self, ctx: &mut ProcCtx, s: &ast::Stmt) -> Option<Stmt> {
+        Some(match s {
+            ast::Stmt::ArrayDecl { name, len, span } => {
+                if let Some(&existing) = ctx.by_name.get(name) {
+                    let info = &ctx.vars[existing.index()];
+                    self.diags.error(
+                        format!("`{name}` already declared as {}", if info.is_array { "an array" } else { "a scalar" }),
+                        *span,
+                    );
+                } else {
+                    let v = VarId::from(ctx.vars.len());
+                    ctx.vars.push(VarInfo {
+                        name: name.clone(),
+                        kind: VarKind::Local,
+                        is_array: true,
+                        array_len: Some(*len),
+                    });
+                    ctx.by_name.insert(name.clone(), v);
+                }
+                return None; // declarations carry no runtime behaviour
+            }
+            ast::Stmt::Assign { name, value, span } => {
+                let value = self.resolve_expr(ctx, value);
+                let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                self.mark_scalar_use(ctx, v, *span);
+                Stmt::Assign(v, value, *span)
+            }
+            ast::Stmt::Store { name, index, value, span } => {
+                let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                self.mark_array_use(ctx, v, *span);
+                let index = self.resolve_expr(ctx, index);
+                let value = self.resolve_expr(ctx, value);
+                Stmt::Store(v, index, value, *span)
+            }
+            ast::Stmt::If { cond, then_blk, else_blk, span } => {
+                let cond = self.resolve_expr(ctx, cond);
+                let t = self.resolve_block(ctx, then_blk);
+                let e = self.resolve_block(ctx, else_blk);
+                Stmt::If(cond, t, e, *span)
+            }
+            ast::Stmt::While { cond, body, span } => {
+                let cond = self.resolve_expr(ctx, cond);
+                let body = self.resolve_block(ctx, body);
+                Stmt::While(cond, body, *span)
+            }
+            ast::Stmt::Do { var, lo, hi, step, body, span } => {
+                let v = ctx.lookup(var, &self.global_ids, &self.globals);
+                self.mark_scalar_use(ctx, v, *span);
+                let lo = self.resolve_expr(ctx, lo);
+                let hi = self.resolve_expr(ctx, hi);
+                let step = step.as_ref().map(|s| self.resolve_expr(ctx, s));
+                let body = self.resolve_block(ctx, body);
+                Stmt::Do { var: v, lo, hi, step, body, span: *span }
+            }
+            ast::Stmt::Call { callee, args, span } => {
+                let Some(&pid) = self.proc_ids.get(callee) else {
+                    self.diags
+                        .error(format!("call to unknown procedure `{callee}`"), *span);
+                    return None;
+                };
+                let expected = self.prog.procs[pid.index()].params.len();
+                if args.len() != expected {
+                    self.diags.error(
+                        format!(
+                            "`{callee}` expects {expected} argument{}, got {}",
+                            if expected == 1 { "" } else { "s" },
+                            args.len()
+                        ),
+                        *span,
+                    );
+                }
+                let mut rargs = Vec::new();
+                for a in args {
+                    let ra = match a {
+                        ast::Expr::Var { name, span } => {
+                            let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                            if ctx.vars[v.index()].is_array {
+                                Arg::Array(v, *span)
+                            } else {
+                                Arg::Scalar(v, *span)
+                            }
+                        }
+                        other => Arg::Value(self.resolve_expr(ctx, other)),
+                    };
+                    rargs.push(ra);
+                }
+                Stmt::Call(pid, rargs, *span)
+            }
+            ast::Stmt::Return { span } => Stmt::Return(*span),
+            ast::Stmt::Read { name, span } => {
+                let v = ctx.lookup(name, &self.global_ids, &self.globals);
+                self.mark_scalar_use(ctx, v, *span);
+                Stmt::Read(v, *span)
+            }
+            ast::Stmt::Print { value, span } => {
+                Stmt::Print(self.resolve_expr(ctx, value), *span)
+            }
+        })
+    }
+
+    /// Propagates array-ness from formals used as arrays to the actuals
+    /// bound to them, transitively, until nothing changes.
+    fn infer_formal_arrays(&mut self, procs: &mut [Proc]) {
+        loop {
+            let mut changed = false;
+            // Collect (proc, var) pairs that must become arrays.
+            let mut promote: Vec<(usize, VarId)> = Vec::new();
+            for (pi, p) in procs.iter().enumerate() {
+                each_call(&p.body, &mut |callee, args, _| {
+                    let cp = &procs[callee.index()];
+                    for (ai, arg) in args.iter().enumerate() {
+                        let Some(&fv) = cp.formals.get(ai) else { continue };
+                        if !cp.var(fv).is_array {
+                            continue;
+                        }
+                        if let Arg::Scalar(v, _) = arg {
+                            if !p.var(*v).is_array {
+                                promote.push((pi, *v));
+                            }
+                        }
+                    }
+                });
+            }
+            for (pi, v) in promote {
+                let info = &mut procs[pi].vars[v.index()];
+                if !info.is_array {
+                    if info.is_formal() {
+                        info.is_array = true;
+                        changed = true;
+                    }
+                    // Non-formals are reported in `check_call_sites`.
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Re-tag Scalar args that now name arrays.
+        for p in procs.iter_mut() {
+            let vars = p.vars.clone();
+            retag_args(&mut p.body, &vars);
+        }
+    }
+
+    fn check_call_sites(&mut self, procs: &[Proc]) {
+        let mut errors: Vec<(String, Span)> = Vec::new();
+        for p in procs {
+            each_call(&p.body, &mut |callee, args, span| {
+                let cp = &procs[callee.index()];
+                for (ai, arg) in args.iter().enumerate() {
+                    let Some(&fv) = cp.formals.get(ai) else { continue };
+                    let formal_is_array = cp.var(fv).is_array;
+                    let actual_is_array = matches!(arg, Arg::Array(..));
+                    if formal_is_array && !actual_is_array {
+                        errors.push((
+                            format!(
+                                "argument {} of call to `{}` must be an array (formal `{}` is indexed)",
+                                ai + 1,
+                                cp.name,
+                                cp.var(fv).name
+                            ),
+                            span,
+                        ));
+                    } else if !formal_is_array && actual_is_array {
+                        errors.push((
+                            format!(
+                                "argument {} of call to `{}` is an array but formal `{}` is a scalar",
+                                ai + 1,
+                                cp.name,
+                                cp.var(fv).name
+                            ),
+                            span,
+                        ));
+                    }
+                }
+            });
+        }
+        for (msg, span) in errors {
+            self.diags.error(msg, span);
+        }
+    }
+}
+
+/// The layout of a procedure's *entry slots*: the values the
+/// interprocedural analysis tracks on entry to each procedure.
+///
+/// Slot `i < arity` is the `i`-th formal parameter; slot `arity + j` is the
+/// `j`-th **scalar** global (array globals and array formals carry no
+/// constant value). The same layout is used by the interpreter's entry
+/// trace and by the `ipcp` solver's `VAL` vectors, which is what makes the
+/// soundness tests a direct index-by-index comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Scalar globals in slot order.
+    pub scalar_globals: Vec<GlobalId>,
+}
+
+impl SlotLayout {
+    /// Builds the layout for `module`.
+    pub fn new(module: &Module) -> Self {
+        SlotLayout {
+            scalar_globals: module.scalar_global_ids(),
+        }
+    }
+
+    /// Number of slots for a procedure with `arity` formals.
+    pub fn n_slots(&self, arity: usize) -> usize {
+        arity + self.scalar_globals.len()
+    }
+
+    /// The slot index of formal `i` (identity, for symmetry).
+    pub fn formal_slot(&self, i: usize) -> usize {
+        i
+    }
+
+    /// The slot index of global `g`, if `g` is a tracked scalar global.
+    pub fn global_slot(&self, arity: usize, g: GlobalId) -> Option<usize> {
+        self.scalar_globals
+            .iter()
+            .position(|&x| x == g)
+            .map(|j| arity + j)
+    }
+
+    /// Human-readable name of slot `i` of procedure `p`.
+    pub fn slot_name(&self, module: &Module, p: ProcId, slot: usize) -> String {
+        let proc = module.proc(p);
+        if slot < proc.arity() {
+            proc.var(proc.formals[slot]).name.clone()
+        } else {
+            module.globals[self.scalar_globals[slot - proc.arity()].index()]
+                .name
+                .clone()
+        }
+    }
+}
+
+/// Walks every call statement in a block (recursively).
+pub fn each_call(b: &Block, f: &mut impl FnMut(ProcId, &[Arg], Span)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Call(callee, args, span) => f(*callee, args, *span),
+            Stmt::If(_, t, e, _) => {
+                each_call(t, f);
+                each_call(e, f);
+            }
+            Stmt::While(_, body, _) | Stmt::Do { body, .. } => each_call(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn retag_args(b: &mut Block, vars: &[VarInfo]) {
+    for s in &mut b.stmts {
+        match s {
+            Stmt::Call(_, args, _) => {
+                for a in args {
+                    if let Arg::Scalar(v, sp) = *a {
+                        if vars[v.index()].is_array {
+                            *a = Arg::Array(v, sp);
+                        }
+                    }
+                }
+            }
+            Stmt::If(_, t, e, _) => {
+                retag_args(t, vars);
+                retag_args(e, vars);
+            }
+            Stmt::While(_, body, _) | Stmt::Do { body, .. } => retag_args(body, vars),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_resolve;
+
+    #[test]
+    fn resolves_globals_formals_and_locals() {
+        let m = parse_and_resolve(
+            "global g; proc main() { call f(1); } proc f(a) { x = a + g; }",
+        )
+        .unwrap();
+        let f = m.proc_named("f").unwrap();
+        assert_eq!(f.arity(), 1);
+        let a = f.var_named("a").unwrap();
+        assert_eq!(f.var(a).kind, VarKind::Formal(0));
+        let x = f.var_named("x").unwrap();
+        assert_eq!(f.var(x).kind, VarKind::Local);
+        let g = f.var_named("g").unwrap();
+        assert_eq!(f.var(g).kind, VarKind::Global(GlobalId(0)));
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let err = parse_and_resolve("proc helper() { }").unwrap_err();
+        assert!(err.to_string().contains("no `main`"));
+    }
+
+    #[test]
+    fn main_with_params_is_an_error() {
+        assert!(parse_and_resolve("proc main(x) { }").is_err());
+    }
+
+    #[test]
+    fn unknown_callee_is_an_error() {
+        let err = parse_and_resolve("proc main() { call nope(); }").unwrap_err();
+        assert!(err.to_string().contains("unknown procedure"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let err =
+            parse_and_resolve("proc main() { call f(1, 2); } proc f(a) { }").unwrap_err();
+        assert!(err.to_string().contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn scalar_indexed_without_decl_is_an_error() {
+        let err = parse_and_resolve("proc main() { x = 1; y = x[0]; }").unwrap_err();
+        assert!(err.to_string().contains("never declared with `array`"));
+    }
+
+    #[test]
+    fn array_used_as_scalar_is_an_error() {
+        let err = parse_and_resolve("proc main() { array a[4]; x = a + 1; }").unwrap_err();
+        assert!(err.to_string().contains("used where a scalar"));
+    }
+
+    #[test]
+    fn formal_arrayness_inferred_from_indexing() {
+        let m = parse_and_resolve(
+            "proc main() { array buf[8]; call fill(buf, 8); } proc fill(b, n) { do i = 0, n - 1 { b[i] = 0; } }",
+        )
+        .unwrap();
+        let fill = m.proc_named("fill").unwrap();
+        assert!(fill.var(fill.formals[0]).is_array);
+        assert!(!fill.var(fill.formals[1]).is_array);
+    }
+
+    #[test]
+    fn formal_arrayness_propagates_through_wrappers() {
+        let m = parse_and_resolve(
+            "proc main() { array buf[8]; call outer(buf); } \
+             proc outer(b) { call inner(b); } \
+             proc inner(c) { c[0] = 1; }",
+        )
+        .unwrap();
+        let outer = m.proc_named("outer").unwrap();
+        assert!(outer.var(outer.formals[0]).is_array);
+        // And the call argument was re-tagged as an array pass.
+        let mut saw_array_arg = false;
+        each_call(&outer.body, &mut |_, args, _| {
+            saw_array_arg |= matches!(args[0], Arg::Array(..));
+        });
+        assert!(saw_array_arg);
+    }
+
+    #[test]
+    fn passing_scalar_where_array_expected_is_an_error() {
+        let err = parse_and_resolve(
+            "proc main() { x = 1; call f(x); } proc f(b) { b[0] = 1; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must be an array"));
+    }
+
+    #[test]
+    fn passing_array_where_scalar_expected_is_an_error() {
+        let err = parse_and_resolve(
+            "proc main() { array a[4]; call f(a); } proc f(x) { y = x + 1; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("is an array but formal"));
+    }
+
+    #[test]
+    fn duplicate_names_are_errors() {
+        assert!(parse_and_resolve("global g; global g; proc main() { }").is_err());
+        assert!(parse_and_resolve("proc main() { } proc f() { } proc f() { }").is_err());
+        assert!(parse_and_resolve("proc main() { } proc f(a, a) { }").is_err());
+    }
+
+    #[test]
+    fn literal_detection_on_args() {
+        let m = parse_and_resolve("proc main() { x = 2; call f(1, x, x + 1); } proc f(a, b, c) { }")
+            .unwrap();
+        let main = m.proc(m.entry);
+        each_call(&main.body, &mut |_, args, _| {
+            assert_eq!(args[0].literal(), Some(1));
+            assert_eq!(args[1].literal(), None);
+            assert_eq!(args[2].literal(), None);
+        });
+    }
+
+    #[test]
+    fn to_source_round_trips_through_resolution() {
+        let src = "global g;\n\nproc main() {\n    array t[4];\n    g = 1;\n    t[0] = g;\n    call f(t, g);\n}\n\nproc f(b, n) {\n    b[n] = n;\n}\n";
+        let m1 = parse_and_resolve(src).unwrap();
+        let printed = m1.to_source();
+        let m2 = parse_and_resolve(&printed).unwrap();
+        assert_eq!(printed, m2.to_source());
+    }
+}

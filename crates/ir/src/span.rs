@@ -1,0 +1,116 @@
+//! Byte-offset source spans used by diagnostics throughout the front end.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// Spans are deliberately tiny (two `u32`s) so that every token, AST node
+/// and diagnostic can carry one for free.
+///
+/// ```
+/// use ipcp_ir::span::Span;
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(Span::new(3, 3).is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start {start} after end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use ipcp_ir::span::Span;
+    /// let merged = Span::new(2, 4).merge(Span::new(7, 9));
+    /// assert_eq!(merged, Span::new(2, 9));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Computes the 1-based `(line, column)` of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..(self.start as usize).min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_and_covering() {
+        let a = Span::new(5, 10);
+        let b = Span::new(1, 6);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(1, 10));
+    }
+
+    #[test]
+    fn line_col_counts_lines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(4, 2);
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert_eq!(Span::dummy().len(), 0);
+    }
+}

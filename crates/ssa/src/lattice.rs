@@ -1,0 +1,198 @@
+//! The three-level constant-propagation lattice of Figure 1.
+//!
+//! Every tracked value is ⊤ (unreached / no information yet), a known
+//! integer constant `c`, or ⊥ (known to be non-constant or unknowable).
+//! The meet operator ∧ follows the paper's rules:
+//!
+//! ```text
+//!   ⊤ ∧ any = any
+//!   ⊥ ∧ any = ⊥
+//!   cᵢ ∧ cⱼ = cᵢ      if cᵢ = cⱼ
+//!   cᵢ ∧ cⱼ = ⊥       if cᵢ ≠ cⱼ
+//! ```
+//!
+//! The lattice is infinite but of **bounded depth**: any value can be
+//! lowered at most twice (⊤ → c → ⊥), which is what makes the iterative
+//! interprocedural propagation fast.
+
+use std::fmt;
+
+/// An element of the constant-propagation lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Lattice {
+    /// No information yet; the optimistic initial assumption.
+    #[default]
+    Top,
+    /// Known to always be this constant.
+    Const(i64),
+    /// Not known to be constant.
+    Bottom,
+}
+
+impl Lattice {
+    /// The meet (∧) of two lattice elements, per Figure 1.
+    ///
+    /// ```
+    /// use ipcp_ssa::lattice::Lattice::{self, *};
+    /// assert_eq!(Top.meet(Const(3)), Const(3));
+    /// assert_eq!(Const(3).meet(Const(3)), Const(3));
+    /// assert_eq!(Const(3).meet(Const(4)), Bottom);
+    /// assert_eq!(Bottom.meet(Top), Bottom);
+    /// ```
+    #[must_use]
+    pub fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Top, x) | (x, Lattice::Top) => x,
+            (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+            (Lattice::Const(a), Lattice::Const(b)) => {
+                if a == b {
+                    Lattice::Const(a)
+                } else {
+                    Lattice::Bottom
+                }
+            }
+        }
+    }
+
+    /// Meets `other` into `self`, returning whether `self` was lowered.
+    pub fn meet_in(&mut self, other: Lattice) -> bool {
+        let next = self.meet(other);
+        let changed = next != *self;
+        *self = next;
+        changed
+    }
+
+    /// The constant value, if this element is a constant.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Lattice::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether this element is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Lattice::Const(_))
+    }
+
+    /// Whether this element is ⊤.
+    pub fn is_top(self) -> bool {
+        matches!(self, Lattice::Top)
+    }
+
+    /// Whether this element is ⊥.
+    pub fn is_bottom(self) -> bool {
+        matches!(self, Lattice::Bottom)
+    }
+
+    /// The height of the element: 0 for ⊤, 1 for constants, 2 for ⊥.
+    /// Meet never decreases height — the bounded-depth argument.
+    pub fn height(self) -> u8 {
+        match self {
+            Lattice::Top => 0,
+            Lattice::Const(_) => 1,
+            Lattice::Bottom => 2,
+        }
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lattice::Top => write!(f, "⊤"),
+            Lattice::Const(c) => write!(f, "{c}"),
+            Lattice::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+impl From<i64> for Lattice {
+    fn from(c: i64) -> Self {
+        Lattice::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Lattice::{self, *};
+
+    const SAMPLES: [Lattice; 5] = [Top, Bottom, Const(0), Const(1), Const(-7)];
+
+    #[test]
+    fn meet_is_commutative() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                assert_eq!(a.meet(b), b.meet(a));
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_associative() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                for c in SAMPLES {
+                    assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_idempotent() {
+        for a in SAMPLES {
+            assert_eq!(a.meet(a), a);
+        }
+    }
+
+    #[test]
+    fn top_is_identity_bottom_absorbs() {
+        for a in SAMPLES {
+            assert_eq!(Top.meet(a), a);
+            assert_eq!(Bottom.meet(a), Bottom);
+        }
+    }
+
+    #[test]
+    fn meet_never_raises_height() {
+        // The result is ≤ both operands, so its height is ≥ each operand's.
+        for a in SAMPLES {
+            for b in SAMPLES {
+                assert!(a.meet(b).height() >= a.height().max(b.height()));
+            }
+        }
+    }
+
+    #[test]
+    fn chains_have_length_at_most_two() {
+        // Starting from ⊤ and repeatedly meeting arbitrary elements, the
+        // value changes at most twice.
+        let worst = [Const(1), Const(2), Const(3), Bottom, Const(4)];
+        let mut v = Top;
+        let mut changes = 0;
+        for x in worst {
+            if v.meet_in(x) {
+                changes += 1;
+            }
+        }
+        assert!(changes <= 2);
+        assert_eq!(v, Bottom);
+    }
+
+    #[test]
+    fn meet_in_reports_lowering() {
+        let mut v = Top;
+        assert!(v.meet_in(Const(3)));
+        assert!(!v.meet_in(Const(3)));
+        assert!(v.meet_in(Const(4)));
+        assert_eq!(v, Bottom);
+        assert!(!v.meet_in(Top));
+    }
+
+    #[test]
+    fn display_matches_figure_one() {
+        assert_eq!(Top.to_string(), "⊤");
+        assert_eq!(Bottom.to_string(), "⊥");
+        assert_eq!(Const(42).to_string(), "42");
+    }
+}

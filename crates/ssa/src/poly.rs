@@ -1,0 +1,510 @@
+//! Multivariate integer polynomials over a procedure's entry slots.
+//!
+//! The *polynomial parameter jump function* represents each actual
+//! parameter as a polynomial over the values the caller's formals (and the
+//! globals) had **on entry** to the caller. This module is the algebra
+//! behind it: exact, overflow-checked polynomials with variables drawn
+//! from entry-slot indices.
+//!
+//! Division and remainder are only represented when they are *exact for
+//! every integer assignment* — i.e. when the divisor is a nonzero constant
+//! that divides every coefficient (then truncating division coincides with
+//! rational division). Everything else falls out of the polynomial world
+//! and the symbolic evaluator maps it to ⊥.
+//!
+//! Sizes are capped ([`Poly::MAX_TERMS`], [`Poly::MAX_DEGREE`]) so that
+//! adversarial programs cannot blow up jump-function construction; capped
+//! results are reported as `None` (not representable).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable of the polynomial ring: the index of an entry slot
+/// (formal `i`, or `arity + j` for the `j`-th scalar global).
+pub type PolyVar = u32;
+
+/// A monomial: variables with positive exponents, sorted by variable.
+type Monomial = Vec<(PolyVar, u32)>;
+
+/// A multivariate polynomial with `i64` coefficients.
+///
+/// The zero polynomial has no terms. Construction and arithmetic are
+/// overflow-checked: any operation whose result would overflow `i64`
+/// coefficients, exceed [`Poly::MAX_TERMS`] terms, or exceed
+/// [`Poly::MAX_DEGREE`] total degree returns `None`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    /// Terms keyed by monomial; invariant: no zero coefficients.
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// Maximum number of terms a polynomial may hold.
+    pub const MAX_TERMS: usize = 64;
+    /// Maximum total degree of any monomial.
+    pub const MAX_DEGREE: u32 = 8;
+
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: i64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of the single variable `v`.
+    pub fn var(v: PolyVar) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![(v, 1)], 1);
+        Poly { terms }
+    }
+
+    /// The constant value, if the polynomial is constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (m, &c) = self.terms.iter().next().expect("len checked");
+                if m.is_empty() {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some(v)` iff the polynomial is exactly the single variable `v`
+    /// (coefficient 1, no constant term) — the *pass-through* shape.
+    pub fn as_var(&self) -> Option<PolyVar> {
+        if self.terms.len() != 1 {
+            return None;
+        }
+        let (m, &c) = self.terms.iter().next().expect("len checked");
+        if c == 1 && m.len() == 1 && m[0].1 == 1 {
+            Some(m[0].0)
+        } else {
+            None
+        }
+    }
+
+    /// The set of variables occurring in the polynomial — the jump
+    /// function's *support*, in ascending order.
+    pub fn support(&self) -> Vec<PolyVar> {
+        let mut vars: Vec<PolyVar> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.iter().map(|&(v, _)| v))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Total degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.iter().map(|&(_, e)| e).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: i64) -> Option<()> {
+        if c == 0 {
+            return Some(());
+        }
+        match self.terms.get_mut(&m) {
+            Some(existing) => {
+                *existing = existing.checked_add(c)?;
+                if *existing == 0 {
+                    self.terms.remove(&m);
+                }
+            }
+            None => {
+                self.terms.insert(m, c);
+            }
+        }
+        if self.terms.len() > Self::MAX_TERMS {
+            return None;
+        }
+        Some(())
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn add(&self, other: &Poly) -> Option<Poly> {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.insert_term(m.clone(), c)?;
+        }
+        Some(out)
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Poly) -> Option<Poly> {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.insert_term(m.clone(), c.checked_neg()?)?;
+        }
+        Some(out)
+    }
+
+    /// Checked negation.
+    #[must_use]
+    pub fn neg(&self) -> Option<Poly> {
+        Poly::zero().sub(self)
+    }
+
+    /// Checked multiplication (respecting the degree/term caps).
+    #[must_use]
+    pub fn mul(&self, other: &Poly) -> Option<Poly> {
+        let mut out = Poly::zero();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let c = ca.checked_mul(cb)?;
+                let m = mul_monomials(ma, mb)?;
+                out.insert_term(m, c)?;
+            }
+        }
+        Some(out)
+    }
+
+    /// Exact division by a constant: defined only when `d != 0` divides
+    /// every coefficient, in which case truncating integer division of the
+    /// value equals the divided polynomial for **every** assignment.
+    #[must_use]
+    pub fn div_exact(&self, d: i64) -> Option<Poly> {
+        if d == 0 {
+            return None;
+        }
+        let mut out = Poly::zero();
+        for (m, &c) in &self.terms {
+            if c % d != 0 {
+                return None;
+            }
+            out.insert_term(m.clone(), c / d)?;
+        }
+        Some(out)
+    }
+
+    /// Whether every coefficient is divisible by `d` (so `self % d == 0`
+    /// identically). Requires `d != 0`.
+    pub fn divisible_by(&self, d: i64) -> bool {
+        d != 0 && self.terms.values().all(|&c| c % d == 0)
+    }
+
+    /// Evaluates the polynomial; `env[v]` supplies variable `v`.
+    ///
+    /// Returns `None` on arithmetic overflow or when a variable is out of
+    /// range of `env`.
+    pub fn eval(&self, env: &[i64]) -> Option<i64> {
+        let mut total: i64 = 0;
+        for (m, &c) in &self.terms {
+            let mut term = c;
+            for &(v, e) in m {
+                let x = *env.get(v as usize)?;
+                for _ in 0..e {
+                    term = term.checked_mul(x)?;
+                }
+            }
+            total = total.checked_add(term)?;
+        }
+        Some(total)
+    }
+
+    /// Evaluates over the constant lattice: `None` if any support variable
+    /// lacks a constant in `env` (caller maps that to ⊤/⊥ as appropriate).
+    pub fn eval_partial(&self, env: impl Fn(PolyVar) -> Option<i64>) -> Option<i64> {
+        let mut values = Vec::new();
+        let support = self.support();
+        let max = support.iter().copied().max().unwrap_or(0);
+        values.resize(max as usize + 1, 0);
+        for v in support {
+            values[v as usize] = env(v)?;
+        }
+        self.eval(&values)
+    }
+
+    /// Substitutes polynomials for variables: variable `v` becomes
+    /// `subst(v)`. Used to compose return jump functions with the actual
+    /// argument polynomials at a call site.
+    ///
+    /// Returns `None` if any substitution is unavailable or a cap/overflow
+    /// is hit.
+    pub fn substitute(&self, subst: impl Fn(PolyVar) -> Option<Poly>) -> Option<Poly> {
+        let mut out = Poly::zero();
+        for (m, &c) in &self.terms {
+            let mut term = Poly::constant(c);
+            for &(v, e) in m {
+                let p = subst(v)?;
+                for _ in 0..e {
+                    term = term.mul(&p)?;
+                }
+            }
+            out = out.add(&term)?;
+        }
+        Some(out)
+    }
+}
+
+fn mul_monomials(a: &Monomial, b: &Monomial) -> Option<Monomial> {
+    let mut out: Monomial = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&(va, ea)), Some(&(vb, _))) if va < vb => {
+                i += 1;
+                (va, ea)
+            }
+            (Some(&(va, _)), Some(&(vb, eb))) if vb < va => {
+                j += 1;
+                (vb, eb)
+            }
+            (Some(&(va, ea)), Some(&(_, eb))) => {
+                i += 1;
+                j += 1;
+                (va, ea.checked_add(eb)?)
+            }
+            (Some(&t), None) => {
+                i += 1;
+                t
+            }
+            (None, Some(&t)) => {
+                j += 1;
+                t
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        out.push(next);
+    }
+    let total: u32 = out.iter().map(|&(_, e)| e).sum();
+    if total > Poly::MAX_DEGREE {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, &c) in self.terms.iter().rev() {
+            if first {
+                if c < 0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let mag = c.unsigned_abs();
+            if m.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                for (k, &(v, e)) in m.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, "*")?;
+                    }
+                    if e == 1 {
+                        write!(f, "x{v}")?;
+                    } else {
+                        write!(f, "x{v}^{e}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(0)
+    }
+
+    fn y() -> Poly {
+        Poly::var(1)
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        assert_eq!(Poly::constant(5).as_const(), Some(5));
+        assert_eq!(Poly::constant(0), Poly::zero());
+        assert_eq!(Poly::zero().as_const(), Some(0));
+        assert_eq!(x().as_var(), Some(0));
+        assert_eq!(Poly::constant(5).as_var(), None);
+        assert_eq!(x().mul(&Poly::constant(2)).unwrap().as_var(), None);
+    }
+
+    #[test]
+    fn ring_identities() {
+        // (x + y)^2 == x^2 + 2xy + y^2
+        let lhs = x().add(&y()).unwrap();
+        let lhs = lhs.mul(&lhs.clone()).unwrap();
+        let rhs = x()
+            .mul(&x())
+            .unwrap()
+            .add(&x().mul(&y()).unwrap().mul(&Poly::constant(2)).unwrap())
+            .unwrap()
+            .add(&y().mul(&y()).unwrap())
+            .unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn add_cancels_to_zero() {
+        let p = x().mul(&Poly::constant(3)).unwrap();
+        let q = p.neg().unwrap();
+        assert_eq!(p.add(&q).unwrap(), Poly::zero());
+    }
+
+    #[test]
+    fn eval_matches_algebra() {
+        // p = 2x^2 - 3y + 7
+        let p = x()
+            .mul(&x())
+            .unwrap()
+            .mul(&Poly::constant(2))
+            .unwrap()
+            .sub(&y().mul(&Poly::constant(3)).unwrap())
+            .unwrap()
+            .add(&Poly::constant(7))
+            .unwrap();
+        assert_eq!(p.eval(&[3, 5]), Some(2 * 9 - 15 + 7));
+        assert_eq!(p.eval(&[0, 0]), Some(7));
+        assert_eq!(p.support(), vec![0, 1]);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn eval_detects_overflow() {
+        let p = Poly::constant(i64::MAX).mul(&x()).unwrap();
+        assert_eq!(p.eval(&[2]), None);
+        assert_eq!(p.eval(&[1]), Some(i64::MAX));
+    }
+
+    #[test]
+    fn div_exact_only_when_all_coefficients_divide() {
+        let p = x().mul(&Poly::constant(4)).unwrap().add(&Poly::constant(6)).unwrap();
+        let q = p.div_exact(2).unwrap();
+        assert_eq!(q, x().mul(&Poly::constant(2)).unwrap().add(&Poly::constant(3)).unwrap());
+        assert!(p.div_exact(4).is_none());
+        assert!(p.div_exact(0).is_none());
+        // Semantics check: (4x+6)/2 == 2x+3 under truncating division for
+        // any x because 4x+6 is always even.
+        for xv in [-5i64, -1, 0, 1, 7] {
+            assert_eq!((4 * xv + 6) / 2, q.eval(&[xv]).unwrap());
+        }
+    }
+
+    #[test]
+    fn divisible_by_matches_rem_semantics() {
+        let p = x().mul(&Poly::constant(6)).unwrap().add(&Poly::constant(9)).unwrap();
+        assert!(p.divisible_by(3));
+        assert!(!p.divisible_by(2));
+        for xv in [-4i64, 0, 5] {
+            assert_eq!((6 * xv + 9) % 3, 0);
+        }
+    }
+
+    #[test]
+    fn substitute_composes() {
+        // p(x) = x^2 + 1, substitute x := y + 2 → (y+2)^2 + 1
+        let p = x().mul(&x()).unwrap().add(&Poly::constant(1)).unwrap();
+        let sub = p
+            .substitute(|v| {
+                assert_eq!(v, 0);
+                y().add(&Poly::constant(2))
+            })
+            .unwrap();
+        for yv in [-3i64, 0, 4] {
+            assert_eq!(sub.eval(&[0, yv]).unwrap(), (yv + 2) * (yv + 2) + 1);
+        }
+    }
+
+    #[test]
+    fn term_cap_is_enforced() {
+        // Sum of 100 distinct variables exceeds MAX_TERMS.
+        let mut p = Poly::zero();
+        let mut capped = false;
+        for v in 0..100u32 {
+            match p.add(&Poly::var(v)) {
+                Some(q) => p = q,
+                None => {
+                    capped = true;
+                    break;
+                }
+            }
+        }
+        assert!(capped);
+    }
+
+    #[test]
+    fn degree_cap_is_enforced() {
+        let mut p = x();
+        let mut capped = false;
+        for _ in 0..Poly::MAX_DEGREE + 1 {
+            match p.mul(&x()) {
+                Some(q) => p = q,
+                None => {
+                    capped = true;
+                    break;
+                }
+            }
+        }
+        assert!(capped);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = x()
+            .mul(&x())
+            .unwrap()
+            .mul(&Poly::constant(2))
+            .unwrap()
+            .sub(&y())
+            .unwrap()
+            .add(&Poly::constant(-7))
+            .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("2*x0^2"), "{s}");
+        assert!(s.contains("x1"), "{s}");
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!(Poly::constant(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn eval_partial_requires_support_only() {
+        let p = x().add(&Poly::constant(10)).unwrap();
+        // y's value is irrelevant and unavailable.
+        let r = p.eval_partial(|v| if v == 0 { Some(5) } else { None });
+        assert_eq!(r, Some(15));
+        let r = p.eval_partial(|_| None);
+        assert_eq!(r, None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based algebra checks: the polynomial ring under evaluation,
+//! and the Figure-1 lattice laws over arbitrary elements.
+
+use ipcp_ssa::lattice::Lattice;
+use ipcp_ssa::poly::Poly;
+use proptest::prelude::*;
+
+/// A small random polynomial over variables 0..4, built from a list of
+/// (coefficient, exponents) terms by repeated checked ring operations.
+fn arb_poly() -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(
+        (
+            -20i64..=20,
+            proptest::collection::vec(0u32..=2, 4), // exponent per variable
+        ),
+        0..5,
+    )
+    .prop_map(|terms| {
+        let mut p = Poly::zero();
+        for (c, exps) in terms {
+            let mut term = Poly::constant(c);
+            for (v, e) in exps.iter().enumerate() {
+                for _ in 0..*e {
+                    term = match term.mul(&Poly::var(v as u32)) {
+                        Some(t) => t,
+                        None => return p,
+                    };
+                }
+            }
+            p = match p.add(&term) {
+                Some(q) => q,
+                None => return p,
+            };
+        }
+        p
+    })
+}
+
+fn arb_env() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-9i64..=9, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// eval is a ring homomorphism: eval(a ⊕ b) = eval(a) ⊕ eval(b).
+    #[test]
+    fn eval_commutes_with_ring_ops(a in arb_poly(), b in arb_poly(), env in arb_env()) {
+        if let (Some(sum), Some(va), Some(vb)) = (a.add(&b), a.eval(&env), b.eval(&env)) {
+            if let (Some(vs), Some(expect)) = (sum.eval(&env), va.checked_add(vb)) {
+                prop_assert_eq!(vs, expect);
+            }
+        }
+        if let (Some(prod), Some(va), Some(vb)) = (a.mul(&b), a.eval(&env), b.eval(&env)) {
+            if let (Some(vp), Some(expect)) = (prod.eval(&env), va.checked_mul(vb)) {
+                prop_assert_eq!(vp, expect);
+            }
+        }
+        if let (Some(diff), Some(va), Some(vb)) = (a.sub(&b), a.eval(&env), b.eval(&env)) {
+            if let (Some(vd), Some(expect)) = (diff.eval(&env), va.checked_sub(vb)) {
+                prop_assert_eq!(vd, expect);
+            }
+        }
+    }
+
+    /// Ring laws at the representation level (canonical form ⇒ equality).
+    #[test]
+    fn ring_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        // Commutativity.
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        // a - a = 0.
+        prop_assert_eq!(a.sub(&a), Some(Poly::zero()));
+        // Identities.
+        prop_assert_eq!(a.add(&Poly::zero()), Some(a.clone()));
+        prop_assert_eq!(a.mul(&Poly::constant(1)), Some(a.clone()));
+        prop_assert_eq!(a.mul(&Poly::zero()), Some(Poly::zero()));
+        // Associativity of addition (when all steps fit).
+        if let (Some(ab), Some(bc)) = (a.add(&b), b.add(&c)) {
+            if let (Some(l), Some(r)) = (ab.add(&c), a.add(&bc)) {
+                prop_assert_eq!(l, r);
+            }
+        }
+        // Distributivity (when all steps fit).
+        if let (Some(bc), Some(ab), Some(ac)) = (b.add(&c), a.mul(&b), a.mul(&c)) {
+            if let (Some(l), Some(r)) = (a.mul(&bc), ab.add(&ac)) {
+                prop_assert_eq!(l, r);
+            }
+        }
+    }
+
+    /// Exact division round-trips and matches truncating semantics.
+    #[test]
+    fn div_exact_round_trips(a in arb_poly(), d in prop_oneof![1i64..=9, -9i64..=-1], env in arb_env()) {
+        if let Some(scaled) = a.mul(&Poly::constant(d)) {
+            let q = scaled.div_exact(d).expect("scaled poly divides exactly");
+            prop_assert_eq!(&q, &a);
+            prop_assert!(scaled.divisible_by(d));
+            if let (Some(vs), Some(vq)) = (scaled.eval(&env), q.eval(&env)) {
+                prop_assert_eq!(vs / d, vq); // truncating division is exact here
+                prop_assert_eq!(vs % d, 0);
+            }
+        }
+    }
+
+    /// Substitution composes with evaluation: eval(p[x := q]) =
+    /// eval-with-x-replaced.
+    #[test]
+    fn substitute_commutes_with_eval(p in arb_poly(), q in arb_poly(), env in arb_env()) {
+        let composed = p.substitute(|v| {
+            if v == 0 {
+                Some(q.clone())
+            } else {
+                Some(Poly::var(v))
+            }
+        });
+        if let (Some(composed), Some(qv)) = (composed, q.eval(&env)) {
+            let mut env2 = env.clone();
+            env2[0] = qv;
+            match (composed.eval(&env), p.eval(&env2)) {
+                (Some(l), Some(r)) => prop_assert_eq!(l, r),
+                _ => {} // overflow on one side; nothing to compare
+            }
+        }
+    }
+
+    /// Support is exactly the set of variables eval depends on.
+    #[test]
+    fn support_is_precise(p in arb_poly(), env in arb_env(), delta in 1i64..=5) {
+        let support = p.support();
+        for v in 0..4u32 {
+            if support.contains(&v) {
+                continue;
+            }
+            let mut env2 = env.clone();
+            env2[v as usize] += delta;
+            match (p.eval(&env), p.eval(&env2)) {
+                (Some(a), Some(b)) => prop_assert_eq!(a, b, "non-support var {} mattered", v),
+                _ => {}
+            }
+        }
+    }
+
+    /// Lattice laws over arbitrary elements (extends the unit tests'
+    /// fixed samples).
+    #[test]
+    fn lattice_laws(raw in proptest::collection::vec(proptest::option::of(-5i64..=5), 3)) {
+        let lift = |x: &Option<i64>, i: usize| match x {
+            None if i % 2 == 0 => Lattice::Top,
+            None => Lattice::Bottom,
+            Some(c) => Lattice::Const(*c),
+        };
+        let a = lift(&raw[0], 0);
+        let b = lift(&raw[1], 1);
+        let c = lift(&raw[2], 2);
+        prop_assert_eq!(a.meet(b), b.meet(a));
+        prop_assert_eq!(a.meet(a), a);
+        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+        prop_assert_eq!(Lattice::Top.meet(a), a);
+        prop_assert_eq!(Lattice::Bottom.meet(a), Lattice::Bottom);
+        prop_assert!(a.meet(b).height() >= a.height().max(b.height()));
+    }
+}

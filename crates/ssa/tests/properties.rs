@@ -1,0 +1,231 @@
+//! Structural properties of the SSA substrate over generated programs.
+
+use ipcp_analysis::{build_call_graph, compute_modref};
+use ipcp_ir::cfg::BlockId;
+use ipcp_ir::{lower_module, parse_and_resolve};
+use ipcp_ssa::dominators::{dominance_frontiers, DomTree};
+use ipcp_ssa::ssa::{build_ssa, ModKills, ValueKind};
+use ipcp_suite::{generate, GenConfig};
+use proptest::prelude::*;
+
+fn modules(seed: u64) -> ipcp_ir::ModuleCfg {
+    let src = generate(&GenConfig::default(), seed);
+    lower_module(&parse_and_resolve(&src).unwrap())
+}
+
+/// O(n²) reference dominator check.
+fn naive_dominates(cfg: &ipcp_ir::cfg::Cfg, a: BlockId, b: BlockId) -> bool {
+    // a dominates b iff removing a disconnects b from the entry.
+    if a == b {
+        return cfg.reachable()[b.index()];
+    }
+    let mut seen = vec![false; cfg.len()];
+    let mut stack = vec![cfg.entry];
+    if cfg.entry == a {
+        return cfg.reachable()[b.index()];
+    }
+    while let Some(x) = stack.pop() {
+        if x == a || std::mem::replace(&mut seen[x.index()], true) {
+            continue;
+        }
+        stack.extend(cfg.successors(x));
+    }
+    cfg.reachable()[b.index()] && !seen[b.index()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dominators_match_reachability_definition(seed in 0u64..100_000) {
+        let mcfg = modules(seed);
+        for (_, cfg) in mcfg.iter() {
+            let dom = DomTree::build(cfg);
+            for a in 0..cfg.len() {
+                for b in 0..cfg.len() {
+                    let (a, b) = (BlockId::from(a), BlockId::from(b));
+                    prop_assert_eq!(
+                        dom.dominates(a, b),
+                        naive_dominates(cfg, a, b),
+                        "dominates({}, {}) mismatch (seed {})", a, b, seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_frontier_definition_holds(seed in 0u64..100_000) {
+        let mcfg = modules(seed);
+        for (_, cfg) in mcfg.iter() {
+            let dom = DomTree::build(cfg);
+            let df = dominance_frontiers(cfg, &dom);
+            let preds = cfg.predecessors();
+            for a in 0..cfg.len() {
+                let a = BlockId::from(a);
+                if !dom.is_reachable(a) {
+                    continue;
+                }
+                for b in 0..cfg.len() {
+                    let b = BlockId::from(b);
+                    if !dom.is_reachable(b) {
+                        continue;
+                    }
+                    // b ∈ DF(a) ⇔ a dominates some pred of b, and a does
+                    // not strictly dominate b.
+                    let dominates_a_pred = preds[b.index()]
+                        .iter()
+                        .any(|&p| dom.is_reachable(p) && dom.dominates(a, p));
+                    let strictly = a != b && dom.dominates(a, b);
+                    let expected = dominates_a_pred && !strictly;
+                    prop_assert_eq!(
+                        df[a.index()].contains(&b),
+                        expected,
+                        "DF({}) vs {} (seed {})", a, b, seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ssa_phis_have_one_arg_per_reachable_pred(seed in 0u64..100_000) {
+        let mcfg = modules(seed);
+        let cg = build_call_graph(&mcfg);
+        let mr = compute_modref(&mcfg, &cg);
+        for (pid, cfg) in mcfg.iter() {
+            let ssa = build_ssa(&mcfg, pid, &ModKills(&mr));
+            let preds = cfg.predecessors();
+            let reach = cfg.reachable();
+            for (i, kind) in ssa.values.iter().enumerate() {
+                if let ValueKind::Phi { block, .. } = kind {
+                    let reachable_preds: Vec<BlockId> = preds[block.index()]
+                        .iter()
+                        .copied()
+                        .filter(|p| reach[p.index()])
+                        .collect();
+                    let args = &ssa.phi_args[i];
+                    prop_assert_eq!(
+                        args.len(),
+                        reachable_preds.len(),
+                        "phi arg count (seed {})",
+                        seed
+                    );
+                    for (pred, _) in args {
+                        prop_assert!(reachable_preds.contains(pred));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ssa_uses_are_dominated_by_defs(seed in 0u64..100_000) {
+        // Structural SSA invariant: for every value with operands, each
+        // operand exists (indices in range) and phi blocks are reachable.
+        let mcfg = modules(seed);
+        let cg = build_call_graph(&mcfg);
+        let mr = compute_modref(&mcfg, &cg);
+        for (pid, cfg) in mcfg.iter() {
+            let ssa = build_ssa(&mcfg, pid, &ModKills(&mr));
+            let reach = cfg.reachable();
+            for i in 0..ssa.len() {
+                let v = ipcp_ssa::ValueId::from(i);
+                for op in ssa.operands(v) {
+                    prop_assert!(op.index() < ssa.len());
+                }
+                if let ValueKind::Phi { block, .. } = ssa.value(v) {
+                    prop_assert!(reach[block.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gvn_never_merges_distinct_constants(seed in 0u64..100_000) {
+        let mcfg = modules(seed);
+        let cg = build_call_graph(&mcfg);
+        let mr = compute_modref(&mcfg, &cg);
+        for (pid, _) in mcfg.iter() {
+            let ssa = build_ssa(&mcfg, pid, &ModKills(&mr));
+            let vn = ipcp_ssa::gvn::number(&ssa);
+            let mut by_class: std::collections::HashMap<u32, i64> = Default::default();
+            for (i, kind) in ssa.values.iter().enumerate() {
+                if let ValueKind::Const(c) = kind {
+                    let class = vn.class[i];
+                    if let Some(prev) = by_class.insert(class, *c) {
+                        prop_assert_eq!(prev, *c, "class merged {} and {}", prev, c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Pruned SSA: never more phis than minimal, and the analyses agree
+    /// on every observable value (prints and exits).
+    #[test]
+    fn pruned_ssa_agrees_with_minimal(seed in 0u64..100_000) {
+        use ipcp_ir::program::SlotLayout;
+        use ipcp_ssa::sccp::{self, OpaqueCallsLattice, Seeds};
+        use ipcp_ssa::ssa::{build_ssa_pruned, StmtInfo};
+        use ipcp_ssa::symbolic::{evaluate, OpaqueCalls};
+
+        let mcfg = modules(seed);
+        let cg = build_call_graph(&mcfg);
+        let mr = compute_modref(&mcfg, &cg);
+        let layout = SlotLayout::new(&mcfg.module);
+        for (pid, _) in mcfg.iter() {
+            let minimal = build_ssa(&mcfg, pid, &ModKills(&mr));
+            let pruned = build_ssa_pruned(&mcfg, pid, &ModKills(&mr));
+            let phis = |s: &ipcp_ssa::SsaProc| {
+                s.values
+                    .iter()
+                    .filter(|k| matches!(k, ValueKind::Phi { .. }))
+                    .count()
+            };
+            prop_assert!(phis(&pruned) <= phis(&minimal));
+
+            // Observable agreement: printed values under SCCP and the
+            // symbolic evaluator.
+            let n_vars = mcfg.module.proc(pid).vars.len();
+            let sm = sccp::run(&mcfg, &minimal, &Seeds::none(n_vars), &OpaqueCallsLattice);
+            let sp = sccp::run(&mcfg, &pruned, &Seeds::none(n_vars), &OpaqueCallsLattice);
+            let ym = evaluate(&mcfg, &minimal, &layout, &OpaqueCalls);
+            let yp = evaluate(&mcfg, &pruned, &layout, &OpaqueCalls);
+            for (bi, (bm, bp)) in minimal.blocks.iter().zip(&pruned.blocks).enumerate() {
+                for (im, ip) in bm.stmts.iter().zip(&bp.stmts) {
+                    if let (
+                        StmtInfo::Print { value: vm, .. },
+                        StmtInfo::Print { value: vp, .. },
+                    ) = (im, ip)
+                    {
+                        prop_assert_eq!(
+                            sm.value(*vm), sp.value(*vp),
+                            "SCCP disagreement in block {} (seed {})", bi, seed
+                        );
+                        prop_assert_eq!(
+                            ym.value(*vm), yp.value(*vp),
+                            "symbolic disagreement in block {} (seed {})", bi, seed
+                        );
+                    }
+                }
+            }
+            // Exit snapshots (formals/globals) agree symbolically.
+            for ((_, em), (_, ep)) in minimal.exits.iter().zip(&pruned.exits) {
+                for (vm, vp) in em.iter().zip(ep) {
+                    match (vm, vp) {
+                        (Some(a), Some(b)) => prop_assert_eq!(
+                            ym.value(*a), yp.value(*b), "exit disagreement (seed {})", seed
+                        ),
+                        (None, None) => {}
+                        other => prop_assert!(false, "exit shape mismatch: {:?}", other),
+                    }
+                }
+            }
+        }
+    }
+}

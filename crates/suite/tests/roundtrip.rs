@@ -1,0 +1,84 @@
+//! Front-end robustness properties over generated programs and arbitrary
+//! byte soup.
+
+use ipcp_ir::lang::{parse_program, pretty};
+use ipcp_ir::parse_and_resolve;
+use ipcp_suite::{generate, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// pretty ∘ parse is a projection: printing a parsed program and
+    /// re-parsing yields a program that prints identically.
+    #[test]
+    fn pretty_parse_round_trip(seed in 0u64..100_000) {
+        let src = generate(&GenConfig::default(), seed);
+        let p1 = parse_program(&src).unwrap();
+        let printed = pretty::program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(pretty::program(&p2), printed);
+    }
+
+    /// Resolution is stable across the round trip (same procedures, same
+    /// arities, same globals).
+    #[test]
+    fn resolution_survives_round_trip(seed in 0u64..100_000) {
+        let src = generate(&GenConfig::default(), seed);
+        let m1 = parse_and_resolve(&src).unwrap();
+        let printed = pretty::program(&parse_program(&src).unwrap());
+        let m2 = parse_and_resolve(&printed).unwrap();
+        prop_assert_eq!(m1.procs.len(), m2.procs.len());
+        prop_assert_eq!(m1.globals.len(), m2.globals.len());
+        for (a, b) in m1.procs.iter().zip(&m2.procs) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.arity(), b.arity());
+        }
+    }
+
+    /// The lexer and parser never panic, whatever bytes arrive.
+    #[test]
+    fn front_end_never_panics(input in "\\PC*") {
+        let _ = parse_program(&input);
+    }
+
+    /// ASCII-ish soup with FT-looking tokens also never panics and never
+    /// loops.
+    #[test]
+    fn tokeny_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("proc".to_string()),
+                Just("do".to_string()),
+                Just("if".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("=".to_string()),
+                Just("x".to_string()),
+                Just("42".to_string()),
+                Just("+".to_string()),
+                Just("call".to_string()),
+            ],
+            0..64,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_program(&src);
+    }
+}
+
+/// The suite's own pretty output round-trips through `Module::to_source`.
+#[test]
+fn suite_sources_round_trip_through_resolution() {
+    for p in ipcp_suite::PROGRAMS {
+        let m1 = p.module();
+        let printed = m1.to_source();
+        let m2 = parse_and_resolve(&printed)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
+        assert_eq!(printed, m2.to_source(), "{}", p.name);
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's core question in miniature: how many useful constants does
+//! each jump-function implementation find on one program, and what does
+//! each one cost?
+//!
+//! ```sh
+//! cargo run -p ipcp --example jump_function_study
+//! ```
+
+use ipcp::{Analysis, Config, JumpFnKind};
+use ipcp_suite::program;
+use std::time::Instant;
+
+fn main() {
+    let prog = program("matrix300").expect("suite program exists");
+    let mcfg = prog.module_cfg();
+
+    println!("program: {} (synthetic matrix300)\n", prog.name);
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>10}",
+        "jump function", "constants", "JF built", "solver meets", "time"
+    );
+    for kind in JumpFnKind::ALL {
+        let config = Config::default().with_jump_fn(kind);
+        let start = Instant::now();
+        let analysis = Analysis::run(&mcfg, &config);
+        let substituted = analysis.substitute(&mcfg).total;
+        let elapsed = start.elapsed();
+        println!(
+            "{:<18} {:>10} {:>12} {:>12} {:>9.2?}",
+            kind.label(),
+            substituted,
+            analysis.jump_fns.n_informative(),
+            analysis.vals.meets,
+            elapsed
+        );
+    }
+
+    println!("\nThe pass-through function matches polynomial here — the paper's");
+    println!("conclusion: it is the most cost-effective choice in practice.");
+}

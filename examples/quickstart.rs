@@ -1,0 +1,65 @@
+//! Quickstart: analyze a small FT program, print every `CONSTANTS(p)` set
+//! and the constant-substituted form of one procedure.
+//!
+//! ```sh
+//! cargo run -p ipcp --example quickstart
+//! ```
+
+use ipcp::{analyze_source, Config};
+use ipcp_ir::program::SlotLayout;
+
+const SRC: &str = r#"
+# A miniature scientific driver: the grid size and smoothing radius are
+# decided once in main and consumed three calls deep.
+global width;
+global height;
+
+proc main() {
+    width = 640;
+    height = 480;
+    call prepare(3);
+    call render(width / 2);
+}
+
+proc prepare(radius) {
+    print radius * radius;
+    call blur(radius);
+}
+
+proc blur(r) {
+    do y = 1, height {
+        do x = 1, width {
+            print x + y + r;
+        }
+    }
+}
+
+proc render(half) {
+    print half * height;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mcfg, analysis) = analyze_source(SRC, &Config::default())?;
+    let layout = SlotLayout::new(&mcfg.module);
+
+    println!("== CONSTANTS(p) for every procedure ==\n");
+    print!("{}", analysis.vals.display(&mcfg, &layout));
+
+    let substitution = analysis.substitute(&mcfg);
+    println!("\n== usefulness (Metzger–Stroud metric) ==\n");
+    for (pi, n) in substitution.counts.iter().enumerate() {
+        if *n > 0 {
+            println!("{:<10} {n} constants substituted", mcfg.module.procs[pi].name);
+        }
+    }
+    println!("total: {}", substitution.total);
+
+    let blur = mcfg.module.proc_named("blur").expect("blur exists");
+    println!("\n== blur, after substitution (CFG form) ==\n");
+    print!(
+        "{}",
+        substitution.module.cfg(blur.id).display(&substitution.module.module, blur.id)
+    );
+    Ok(())
+}

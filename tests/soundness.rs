@@ -1,0 +1,250 @@
+//! Soundness: every pair in `CONSTANTS(p)` must hold at **every** dynamic
+//! entry to `p`, for every analysis configuration.
+//!
+//! The reference interpreter records the values of each procedure's entry
+//! slots at every call; this suite replays the benchmark programs and
+//! thousands of generated random programs and checks the recorded values
+//! against the fixpoint `VAL` sets, the substitution SCCP outputs, and the
+//! transformed programs.
+
+use ipcp::{Analysis, Config, JumpFnKind};
+use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
+use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+use ipcp_ssa::Lattice;
+use ipcp_suite::{generate, GenConfig, PROGRAMS};
+use proptest::prelude::*;
+
+/// All configurations exercised by the soundness checks.
+fn all_configs() -> Vec<Config> {
+    let mut out = Vec::new();
+    for kind in JumpFnKind::ALL {
+        for use_mod in [true, false] {
+            for use_ret in [true, false] {
+                out.push(Config {
+                    jump_fn: kind,
+                    use_mod,
+                    use_return_jfs: use_ret,
+                    compose_return_jfs: false,
+                    assume_zero_globals: false,
+                    gated_jump_fns: false,
+                    pruned_ssa: false,
+                });
+            }
+        }
+    }
+    // The extensions.
+    out.push(Config {
+        compose_return_jfs: true,
+        ..Config::polynomial()
+    });
+    out.push(Config {
+        assume_zero_globals: true,
+        ..Config::polynomial()
+    });
+    out.push(Config {
+        gated_jump_fns: true,
+        ..Config::polynomial()
+    });
+    out.push(Config {
+        gated_jump_fns: true,
+        compose_return_jfs: true,
+        ..Config::polynomial()
+    });
+    out.push(Config {
+        pruned_ssa: true,
+        ..Config::polynomial()
+    });
+    out
+}
+
+/// Checks `CONSTANTS(p)` against an execution trace.
+fn check_trace(mcfg: &ModuleCfg, analysis: &Analysis, trace: &EntryTrace, label: &str) {
+    for (p, snapshot) in &trace.entries {
+        let vals = analysis.vals.of(*p);
+        for (slot, lattice) in vals.iter().enumerate() {
+            if let Lattice::Const(c) = lattice {
+                let observed = snapshot
+                    .get(slot)
+                    .copied()
+                    .unwrap_or(None)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{label}: slot {slot} of proc {} claimed constant {c} but \
+                             carries no scalar value",
+                            p.index()
+                        )
+                    });
+                assert_eq!(
+                    observed,
+                    *c,
+                    "{label}: CONSTANTS({}) claims slot {slot} ({}) = {c}, \
+                     but an execution entered with {observed}",
+                    mcfg.module.proc(*p).name,
+                    analysis.layout.slot_name(&mcfg.module, *p, slot),
+                );
+            }
+        }
+    }
+}
+
+fn check_program(mcfg: &ModuleCfg, inputs: &[i64], label: &str) {
+    let limits = ExecLimits {
+        max_steps: 500_000,
+        ..Default::default()
+    };
+    let Ok(exec) = run_module(&mcfg.module, inputs, &limits) else {
+        return; // arithmetic fault or fuel: nothing to check
+    };
+    for config in all_configs() {
+        let analysis = Analysis::run(mcfg, &config);
+        check_trace(mcfg, &analysis, &exec.trace, &format!("{label} {config:?}"));
+    }
+}
+
+#[test]
+fn suite_programs_are_analyzed_soundly() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        check_program(&mcfg, p.inputs, p.name);
+    }
+}
+
+#[test]
+fn suite_programs_with_varied_inputs() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        for inputs in [&[0i64][..], &[1, 1], &[7, -2, 3], &[2, 0, 0, 5]] {
+            check_program(&mcfg, inputs, p.name);
+        }
+    }
+}
+
+#[test]
+fn unreachable_procedures_report_no_constants() {
+    let mcfg = lower_module(
+        &parse_and_resolve("proc main() { } proc dead(a) { print a; }").unwrap(),
+    );
+    let a = Analysis::run(&mcfg, &Config::default());
+    let dead = mcfg.module.proc_named("dead").unwrap().id;
+    assert!(a.vals.constants(dead).is_empty());
+}
+
+#[test]
+fn zero_globals_extension_is_sound_for_ft_semantics() {
+    // FT really does zero-initialize globals, so the extension may claim
+    // g = 0 at main entry — and the trace must confirm it.
+    let src = "global g; proc main() { call f(); g = 1; call f(); } proc f() { print g; }";
+    let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+    let config = Config {
+        assume_zero_globals: true,
+        ..Config::default()
+    };
+    let a = Analysis::run(&mcfg, &config);
+    let exec = run_module(&mcfg.module, &[], &ExecLimits::default()).unwrap();
+    check_trace(&mcfg, &a, &exec.trace, "zero-globals");
+    // main's VAL knows g = 0; f's meets 0 and 1 → ⊥.
+    let f = mcfg.module.proc_named("f").unwrap().id;
+    assert!(a.vals.constants(f).is_empty());
+    let main = mcfg.module.entry;
+    assert_eq!(a.vals.constants(main), vec![(0, 0)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The workhorse: random programs, random inputs, every configuration.
+    #[test]
+    fn generated_programs_are_analyzed_soundly(
+        seed in 0u64..20_000,
+        inputs in proptest::collection::vec(-30i64..30, 0..6),
+    ) {
+        let src = generate(&GenConfig::default(), seed);
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        check_program(&mcfg, &inputs, &format!("seed {seed}"));
+    }
+
+    /// Larger, deeper programs at a lower case count.
+    #[test]
+    fn generated_deep_programs_are_analyzed_soundly(seed in 0u64..10_000) {
+        let config = GenConfig {
+            n_procs: 10,
+            n_globals: 4,
+            stmts_per_proc: 12,
+            max_depth: 3,
+        };
+        let src = generate(&config, seed);
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        check_program(&mcfg, &[5, -9, 2, 0, 1], &format!("deep seed {seed}"));
+    }
+
+    /// The AST and CFG interpreters agree on random programs — validating
+    /// the lowering both analyses and soundness checks rely on.
+    #[test]
+    fn interpreters_agree_on_generated_programs(
+        seed in 0u64..20_000,
+        inputs in proptest::collection::vec(-30i64..30, 0..6),
+    ) {
+        let src = generate(&GenConfig::default(), seed);
+        let module = parse_and_resolve(&src).unwrap();
+        let mcfg = lower_module(&module);
+        let limits = ExecLimits { max_steps: 500_000, ..Default::default() };
+        let ast = run_module(&module, &inputs, &limits);
+        let cfg = ipcp_ir::interp::exec_cfg(&mcfg, &inputs, &limits);
+        match (ast, cfg) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.output, b.output);
+                prop_assert_eq!(a.trace, b.trace);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a.map(|x| x.output), b.map(|x| x.output)),
+        }
+    }
+}
+
+/// A procedure that is *sometimes* entered with different values must not
+/// be reported constant — directed regression for the meet.
+#[test]
+fn meets_are_not_overly_optimistic() {
+    let src = "proc main() { read c; if (c) { call f(1); } else { call f(2); } call f(1); } \
+               proc f(a) { print a; }";
+    let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+    let a = Analysis::run(&mcfg, &Config::polynomial());
+    let f = mcfg.module.proc_named("f").unwrap().id;
+    assert!(a.vals.constants(f).is_empty());
+    for inputs in [&[0i64][..], &[1]] {
+        let exec = run_module(&mcfg.module, inputs, &ExecLimits::default()).unwrap();
+        check_trace(&mcfg, &a, &exec.trace, "meet regression");
+    }
+}
+
+/// FT adopts the FORTRAN 77 aliasing rule: writing through an aliased
+/// dummy is a (dynamic) error, which is precisely the assumption that
+/// keeps the jump-function framework sound. These programs must fault,
+/// not silently diverge from the analysis.
+#[test]
+fn aliased_writes_fault_instead_of_breaking_soundness() {
+    // Same variable passed by reference twice, then written.
+    let src = "proc main() { x = 1; call f(x, x); print x; }                proc f(a, b) { a = 5; }";
+    let m = parse_and_resolve(src).unwrap();
+    assert_eq!(
+        run_module(&m, &[], &ExecLimits::default()).unwrap_err(),
+        ipcp_ir::interp::ExecError::AliasedWrite
+    );
+    // A global passed by reference and written through the dummy.
+    let src = "global g; proc main() { g = 1; call f(g); } proc f(a) { a = 9; }";
+    let m = parse_and_resolve(src).unwrap();
+    assert_eq!(
+        run_module(&m, &[], &ExecLimits::default()).unwrap_err(),
+        ipcp_ir::interp::ExecError::AliasedWrite
+    );
+    // Aliased but never written: conforming, runs fine.
+    let src = "global g; proc main() { g = 4; call f(g); } proc f(a) { print a + g; }";
+    let m = parse_and_resolve(src).unwrap();
+    assert_eq!(
+        run_module(&m, &[], &ExecLimits::default()).unwrap().output,
+        vec![8]
+    );
+}

@@ -1,0 +1,189 @@
+//! Adversarial-scale inputs: the analysis must stay fast, terminate, and
+//! keep its precision guarantees on shapes far outside the benchmark
+//! suite's comfort zone.
+
+use ipcp::{Analysis, Config, JumpFnKind};
+use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+use ipcp_ssa::Lattice;
+use std::fmt::Write as _;
+
+fn build(src: &str) -> ModuleCfg {
+    lower_module(&parse_and_resolve(src).unwrap())
+}
+
+#[test]
+fn pass_through_chain_of_300_procedures() {
+    let mut src = String::from("proc main() { call p0(1234); }\n");
+    for i in 0..300 {
+        if i < 299 {
+            let _ = writeln!(src, "proc p{i}(x) {{ call p{}(x); }}", i + 1);
+        } else {
+            let _ = writeln!(src, "proc p{i}(x) {{ print x; }}");
+        }
+    }
+    let mcfg = build(&src);
+    let a = Analysis::run(&mcfg, &Config::default());
+    let last = mcfg.module.proc_named("p299").unwrap().id;
+    assert_eq!(a.vals.of(last)[0], Lattice::Const(1234));
+    // The lattice is depth-2: iterations stay linear in program size.
+    assert!(a.vals.iterations <= 2 * 301 + 2, "{}", a.vals.iterations);
+}
+
+#[test]
+fn fan_out_of_400_call_sites_meets_correctly() {
+    let mut src = String::from("proc main() {\n");
+    for _ in 0..400 {
+        src.push_str("    call f(7);\n");
+    }
+    src.push_str("}\nproc f(a) { print a; }\n");
+    let mcfg = build(&src);
+    let a = Analysis::run(&mcfg, &Config::default());
+    let f = mcfg.module.proc_named("f").unwrap().id;
+    assert_eq!(a.vals.of(f)[0], Lattice::Const(7));
+
+    // One dissenting site destroys it.
+    let src2 = src.replace("proc main() {\n    call f(7);", "proc main() {\n    call f(8);");
+    let mcfg2 = build(&src2);
+    let a2 = Analysis::run(&mcfg2, &Config::default());
+    let f2 = mcfg2.module.proc_named("f").unwrap().id;
+    assert_eq!(a2.vals.of(f2)[0], Lattice::Bottom);
+}
+
+#[test]
+fn many_globals_stay_tractable() {
+    let mut src = String::new();
+    for g in 0..64 {
+        let _ = writeln!(src, "global g{g};");
+    }
+    src.push_str("proc main() {\n");
+    for g in 0..64 {
+        let _ = writeln!(src, "    g{g} = {};", g * 3);
+    }
+    for p in 0..40 {
+        let _ = writeln!(src, "    call w{p}();");
+    }
+    src.push_str("}\n");
+    for p in 0..40 {
+        let _ = writeln!(src, "proc w{p}() {{ print g{} + g{}; }}", p % 64, (p * 7) % 64);
+    }
+    let mcfg = build(&src);
+    let start = std::time::Instant::now();
+    let a = Analysis::run(&mcfg, &Config::polynomial());
+    assert!(start.elapsed().as_secs() < 10, "analysis too slow");
+    // Every worker sees every global constant.
+    let w0 = mcfg.module.proc_named("w0").unwrap().id;
+    let consts = a.vals.constants(w0);
+    assert_eq!(consts.len(), 64, "{}", consts.len());
+    let sub = a.substitute(&mcfg);
+    assert_eq!(sub.total, 80); // two global uses per worker
+}
+
+#[test]
+fn huge_expression_hits_polynomial_caps_gracefully() {
+    // sum of 100 distinct products exceeds MAX_TERMS: jump function must
+    // degrade to ⊥, not panic or loop.
+    let mut expr = String::from("a0");
+    let mut params = String::from("a0");
+    for i in 1..80 {
+        let _ = write!(expr, " + a{i} * {}", i + 1);
+        let _ = write!(params, ", a{i}");
+    }
+    let mut call_args = String::from("1");
+    for i in 1..80 {
+        let _ = write!(call_args, ", {}", i);
+    }
+    let src = format!(
+        "proc main() {{ call f({call_args}); }} \
+         proc f({params}) {{ call g({expr}); }} \
+         proc g(total) {{ print total; }}"
+    );
+    let mcfg = build(&src);
+    let a = Analysis::run(&mcfg, &Config::polynomial());
+    let g = mcfg.module.proc_named("g").unwrap().id;
+    // Whether or not the polynomial fits under the caps, the result must
+    // be sound; with all-constant callers it may still fold.
+    let v = a.vals.of(g)[0];
+    assert_ne!(v, Lattice::Top);
+}
+
+#[test]
+fn deep_loop_nests_analyze() {
+    let mut body = String::from("print i0;");
+    for d in (0..8).rev() {
+        body = format!("do i{d} = 1, 2 {{ {body} }}");
+    }
+    let src = format!("proc main() {{ k = 5; {body} print k; }}");
+    let mcfg = build(&src);
+    let a = Analysis::run(&mcfg, &Config::default());
+    let sub = a.substitute(&mcfg);
+    assert!(sub.total >= 1); // k stays constant through the nest
+}
+
+#[test]
+fn recursion_ring_of_50_procedures_terminates() {
+    let mut src = String::from("global acc; proc main() { call r0(10); print acc; }\n");
+    for i in 0..50 {
+        let next = (i + 1) % 50;
+        let _ = writeln!(
+            src,
+            "proc r{i}(n) {{ acc = acc + 1; if (n > 0) {{ m = n - 1; call r{next}(m); }} }}"
+        );
+    }
+    let mcfg = build(&src);
+    for config in [
+        Config::default(),
+        Config::polynomial(),
+        Config::polynomial().with_mod(false),
+    ] {
+        let a = Analysis::run(&mcfg, &config);
+        let r0 = mcfg.module.proc_named("r0").unwrap().id;
+        // n varies around the ring.
+        assert_ne!(a.vals.of(r0)[0], Lattice::Top);
+    }
+}
+
+#[test]
+fn wide_literal_tree_matches_across_kinds() {
+    // 6 levels of fan-out-2 with literal arguments: all four kinds agree.
+    let mut src = String::from("proc main() { call n0_0(1); }\n");
+    for depth in 0..6 {
+        let width = 1 << depth;
+        for i in 0..width {
+            if depth < 5 {
+                let _ = writeln!(
+                    src,
+                    "proc n{depth}_{i}(x) {{ print x; call n{}_{}(9); call n{}_{}(9); }}",
+                    depth + 1,
+                    2 * i,
+                    depth + 1,
+                    2 * i + 1
+                );
+            } else {
+                let _ = writeln!(src, "proc n{depth}_{i}(x) {{ print x + 1; }}");
+            }
+        }
+    }
+    let mcfg = build(&src);
+    let mut counts = Vec::new();
+    for kind in JumpFnKind::ALL {
+        let a = Analysis::run(&mcfg, &Config::default().with_jump_fn(kind));
+        counts.push(a.substitute(&mcfg).total);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    assert_eq!(counts[0], 63); // one substituted occurrence per node
+}
+
+#[test]
+fn zero_trip_everything_program() {
+    // All loops dead, all branches constant-false: the analysis and DCE
+    // machinery must handle a program that collapses to nothing.
+    let src = "global z; \
+               proc main() { z = 0; do i = 1, 0 { call f(i); } if (z != 0) { call f(99); } print z; } \
+               proc f(a) { print a; }";
+    let mcfg = build(&src);
+    let complete = ipcp::complete_propagation(&mcfg, &Config::polynomial());
+    assert!(complete.substitution.total >= 1);
+    let f = mcfg.module.proc_named("f").unwrap().id;
+    // After pruning, f is never called: its VAL stays ⊤.
+    assert!(complete.analysis.vals.of(f).iter().all(|l| l.is_top()));
+}

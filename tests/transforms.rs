@@ -1,0 +1,181 @@
+//! Program transformations (constant substitution, complete propagation's
+//! branch pruning) must preserve observable behaviour.
+
+use ipcp::{complete_propagation, Analysis, Config, JumpFnKind};
+use ipcp_ir::interp::{exec_cfg, ExecError, ExecLimits};
+use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+use ipcp_suite::{generate, GenConfig, PROGRAMS};
+use proptest::prelude::*;
+
+const LIMITS: ExecLimits = ExecLimits {
+    max_steps: 500_000,
+    max_call_depth: 200,
+    trace: false,
+};
+
+fn same_behaviour(a: &ModuleCfg, b: &ModuleCfg, inputs: &[i64], label: &str) {
+    let ra = exec_cfg(a, inputs, &LIMITS);
+    let rb = exec_cfg(b, inputs, &LIMITS);
+    match (ra, rb) {
+        (Ok(x), Ok(y)) => assert_eq!(x.output, y.output, "{label}: output diverged"),
+        (Err(ExecError::OutOfFuel), _) | (_, Err(ExecError::OutOfFuel)) => {}
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{label}: errors diverged"),
+        (ra, rb) => panic!(
+            "{label}: one side failed: {:?} vs {:?}",
+            ra.map(|x| x.output),
+            rb.map(|x| x.output)
+        ),
+    }
+}
+
+fn check_transforms(mcfg: &ModuleCfg, input_sets: &[&[i64]], label: &str) {
+    for config in [
+        Config::default(),
+        Config::polynomial(),
+        Config::default().with_jump_fn(JumpFnKind::Literal),
+        Config::polynomial().with_mod(false),
+        Config::polynomial().with_return_jfs(false),
+        Config {
+            gated_jump_fns: true,
+            ..Config::polynomial()
+        },
+        Config {
+            pruned_ssa: true,
+            ..Config::default()
+        },
+    ] {
+        let analysis = Analysis::run(mcfg, &config);
+        let sub = analysis.substitute(mcfg);
+        for inputs in input_sets {
+            same_behaviour(mcfg, &sub.module, inputs, &format!("{label} sub {config:?}"));
+        }
+        let complete = complete_propagation(mcfg, &config);
+        for inputs in input_sets {
+            same_behaviour(
+                mcfg,
+                &complete.module,
+                inputs,
+                &format!("{label} complete {config:?}"),
+            );
+            same_behaviour(
+                mcfg,
+                &complete.substitution.module,
+                inputs,
+                &format!("{label} complete+sub {config:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_transforms_preserve_behaviour() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        check_transforms(&mcfg, &[p.inputs, &[0], &[9, 9, 9]], p.name);
+    }
+}
+
+#[test]
+fn substituted_source_is_still_valid_ft() {
+    // The transformed module pretty-prints to source that re-parses and
+    // re-resolves — the "transformed version of the original source"
+    // §4.1 describes.
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let analysis = Analysis::run(&mcfg, &Config::default());
+        let sub = analysis.substitute(&mcfg);
+        // CFG-level transforms don't round-trip through source (the CFG
+        // has lowered loops), but the module symbol tables must stay
+        // coherent: every procedure still lowers and executes.
+        assert_eq!(sub.module.cfgs.len(), mcfg.cfgs.len());
+        let _ = exec_cfg(&sub.module, p.inputs, &LIMITS).unwrap();
+    }
+}
+
+#[test]
+fn substitution_counts_match_textual_difference() {
+    // Every counted substitution corresponds to a Var-became-Const edit.
+    let src = "proc main() { call f(3); } proc f(a) { print a; print a * a; b = a; print b; }";
+    let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+    let analysis = Analysis::run(&mcfg, &Config::default());
+    let sub = analysis.substitute(&mcfg);
+    // a ×4 (print a; a*a twice; b = a), b ×1 (3 via local propagation).
+    assert_eq!(sub.total, 5);
+    let f = mcfg.module.proc_named("f").unwrap().id;
+    let count_vars = |m: &ModuleCfg| {
+        let mut n = 0;
+        for blk in &m.cfg(f).blocks {
+            for s in &blk.stmts {
+                if let ipcp_ir::cfg::CStmt::Print { value } | ipcp_ir::cfg::CStmt::Assign { value, .. } =
+                    s
+                {
+                    value.for_each_var(&mut |_| n += 1);
+                }
+            }
+        }
+        n
+    };
+    assert_eq!(count_vars(&mcfg) - count_vars(&sub.module), 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn generated_transforms_preserve_behaviour(
+        seed in 0u64..50_000,
+        inputs in proptest::collection::vec(-30i64..30, 0..6),
+    ) {
+        let src = generate(&GenConfig::default(), seed);
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        check_transforms(&mcfg, &[&inputs], &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn source_level_substitution_preserves_behaviour_and_reparses() {
+    use ipcp_ir::interp::run_module;
+    for p in PROGRAMS {
+        let module = p.module();
+        let mcfg = ipcp_ir::lower_module(&module);
+        let analysis = Analysis::run(&mcfg, &Config::default());
+        let sub = analysis.substitute(&mcfg);
+        let src = sub.to_source(&module);
+        let re = parse_and_resolve(&src)
+            .unwrap_or_else(|e| panic!("{}: transformed source invalid: {e}\n{src}", p.name));
+        let a = run_module(&module, p.inputs, &ExecLimits::default()).unwrap();
+        let b = run_module(&re, p.inputs, &ExecLimits::default()).unwrap();
+        assert_eq!(a.output, b.output, "{}", p.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_source_substitution_preserves_behaviour(
+        seed in 0u64..50_000,
+        inputs in proptest::collection::vec(-30i64..30, 0..6),
+    ) {
+        use ipcp_ir::interp::run_module;
+        let text = generate(&GenConfig::default(), seed);
+        let module = parse_and_resolve(&text).unwrap();
+        let mcfg = ipcp_ir::lower_module(&module);
+        let analysis = Analysis::run(&mcfg, &Config::polynomial());
+        let sub = analysis.substitute(&mcfg);
+        let src = sub.to_source(&module);
+        let re = parse_and_resolve(&src).unwrap();
+        let limits = ExecLimits { max_steps: 500_000, max_call_depth: 200, trace: false };
+        let a = run_module(&module, &inputs, &limits);
+        let b = run_module(&re, &inputs, &limits);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.output, y.output),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}",
+                a.map(|x| x.output), b.map(|x| x.output)),
+        }
+    }
+}
