@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full local gate: build, tests, and the lint wall.
+#
+# Library and binary code is held to a stricter standard than tests:
+# `unwrap`/`expect` are denied there so that every pipeline failure is a
+# value (`IpcpError`), never a panic — the crash-free guarantee that
+# tests/robustness.rs exercises dynamically is enforced statically here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test -q --workspace
+
+echo "==> clippy (lib/bins: no unwrap, no expect, no warnings)"
+cargo clippy --workspace --lib --bins -q -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "==> clippy (all targets: no warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> ok"

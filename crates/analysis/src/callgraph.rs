@@ -193,8 +193,9 @@ fn tarjan_sccs(
                 }
                 if lowlink[v] == index[v] {
                     let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
+                    // `v` is still on the stack (it was pushed when its
+                    // frame opened), so the pop terminates at `w == v`.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         scc_of[w] = sccs.len();
                         comp.push(ProcId::from(w));

@@ -274,7 +274,10 @@ pub fn compute_modref(mcfg: &ModuleCfg, cg: &CallGraph) -> ModRef {
                     args_of_edge = Some(args.to_vec());
                 }
             });
-            let args = args_of_edge.expect("call edge has a call statement");
+            // Every call-graph edge is built from a call statement, so the
+            // lookup can only miss if the CFG and graph disagree — in which
+            // case the edge transmits nothing.
+            let Some(args) = args_of_edge else { continue };
 
             for (i, arg) in args.iter().enumerate() {
                 let affected_mod = callee_mod.formal(i);

@@ -48,7 +48,7 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| {
             modules
                 .iter()
-                .map(|(_, m)| inline_leaf_calls(m, 3_000).inlined_calls)
+                .map(|(_, m)| inline_leaf_calls(m, &Config::default(), 3_000).inlined_calls)
                 .sum::<usize>()
         })
     });

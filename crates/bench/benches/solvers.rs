@@ -4,7 +4,7 @@
 //! whose jump functions could actually change.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ipcp::{solve_binding_graph, Analysis, Config};
+use ipcp::{solve_binding_graph, Analysis, Config, Governor};
 use ipcp_ir::{lower_module, parse_and_resolve};
 use ipcp_ssa::Lattice;
 use ipcp_suite::{generate, GenConfig};
@@ -33,6 +33,7 @@ fn bench_solvers(c: &mut Criterion) {
                     &analysis.layout,
                     &analysis.jump_fns,
                     Lattice::Bottom,
+                    &mut Governor::unlimited(),
                 )
                 .n_constants()
             })
@@ -45,6 +46,7 @@ fn bench_solvers(c: &mut Criterion) {
                     &analysis.layout,
                     &analysis.jump_fns,
                     Lattice::Bottom,
+                    &mut Governor::unlimited(),
                 )
                 .n_constants()
             })

@@ -14,6 +14,8 @@ pub enum Command {
         config: Config,
         /// What to print.
         emit: Emit,
+        /// Treat any budget degradation as an error (exit code 3).
+        strict: bool,
     },
     /// `ipcc run <file> [--input a,b,c]`
     Run {
@@ -45,6 +47,8 @@ pub enum Command {
         file: String,
         /// Analysis configuration.
         config: Config,
+        /// Treat any budget degradation as an error (exit code 3).
+        strict: bool,
     },
     /// `ipcc clone <file> [--budget N] [options]` — constant-driven cloning.
     Clone {
@@ -54,6 +58,8 @@ pub enum Command {
         config: Config,
         /// Maximum clones to create.
         budget: usize,
+        /// Treat any budget degradation as an error (exit code 3).
+        strict: bool,
     },
     /// `ipcc explain <file> --proc <name> [--slot <name>] [--depth N]`
     Explain {
@@ -67,6 +73,8 @@ pub enum Command {
         slot: Option<String>,
         /// Recursion depth through supporting slots.
         depth: usize,
+        /// Treat any budget degradation as an error (exit code 3).
+        strict: bool,
     },
     /// `ipcc integrate <file> [--budget N]` — Wegman–Zadeck procedure
     /// integration comparison.
@@ -142,17 +150,29 @@ ANALYSIS OPTIONS (analyze / complete / clone):
     --pruned-ssa                          engineering: liveness-pruned SSA
     --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
 
+BUDGET OPTIONS (analyze / complete / clone / explain):
+    --max-poly-terms <N>                  cap polynomial jump-function terms
+    --max-solver-iterations <N>           cap solver worklist re-evaluations
+    --strict                              exit 3 if any budget degraded the run
+
 OTHER OPTIONS:
     run:   --input <a,b,c>    comma-separated integers for `read`
     clone: --budget <N>       max clones (default 16)
 
+EXIT CODES:
+    0  success
+    1  diagnostics or runtime error
+    2  usage error
+    3  analysis degraded under its budgets and --strict was given
+
 Use `-` as <file> to read from standard input.
 ";
 
-fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
+fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
     let mut config = Config::default();
+    let mut strict = false;
     let mut rest = Vec::new();
-    let drained: Vec<String> = args.drain(..).collect();
+    let drained: Vec<String> = std::mem::take(args);
     let mut it = drained.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -176,11 +196,28 @@ fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
             "--zero-globals" => config.assume_zero_globals = true,
             "--gated" => config.gated_jump_fns = true,
             "--pruned-ssa" => config.pruned_ssa = true,
+            "--strict" => strict = true,
+            "--max-poly-terms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--max-poly-terms needs a value".into()))?;
+                config.limits.max_poly_terms = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad term cap `{v}`")))?;
+            }
+            "--max-solver-iterations" => {
+                let v = it.next().ok_or_else(|| {
+                    UsageError("--max-solver-iterations needs a value".into())
+                })?;
+                config.limits.max_solver_iterations = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad iteration cap `{v}`")))?;
+            }
             _ => rest.push(a),
         }
     }
     *args = rest;
-    Ok(config)
+    Ok((config, strict))
 }
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
@@ -229,7 +266,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "analyze" => {
-            let config = parse_config(&mut args)?;
+            let (config, strict) = parse_config(&mut args)?;
             let emit = match take_flag_value(&mut args, "--emit")?.as_deref() {
                 None | Some("constants") => Emit::Constants,
                 Some("substituted") => Emit::Substituted,
@@ -241,7 +278,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "analyze")?;
             expect_empty(&args)?;
-            Ok(Command::Analyze { file, config, emit })
+            Ok(Command::Analyze { file, config, emit, strict })
         }
         "run" => {
             let inputs = match take_flag_value(&mut args, "--input")? {
@@ -277,13 +314,13 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             Ok(Command::CallGraph { file })
         }
         "complete" => {
-            let config = parse_config(&mut args)?;
+            let (config, strict) = parse_config(&mut args)?;
             let file = take_file(&mut args, "complete")?;
             expect_empty(&args)?;
-            Ok(Command::Complete { file, config })
+            Ok(Command::Complete { file, config, strict })
         }
         "clone" => {
-            let config = parse_config(&mut args)?;
+            let (config, strict) = parse_config(&mut args)?;
             let budget = match take_flag_value(&mut args, "--budget")? {
                 None => 16,
                 Some(v) => v
@@ -292,10 +329,10 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "clone")?;
             expect_empty(&args)?;
-            Ok(Command::Clone { file, config, budget })
+            Ok(Command::Clone { file, config, budget, strict })
         }
         "explain" => {
-            let config = parse_config(&mut args)?;
+            let (config, strict) = parse_config(&mut args)?;
             let proc = take_flag_value(&mut args, "--proc")?
                 .ok_or_else(|| UsageError("explain needs --proc <name>".into()))?;
             let slot = take_flag_value(&mut args, "--slot")?;
@@ -307,7 +344,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "explain")?;
             expect_empty(&args)?;
-            Ok(Command::Explain { file, config, proc, slot, depth })
+            Ok(Command::Explain { file, config, proc, slot, depth, strict })
         }
         "integrate" => {
             let budget = match take_flag_value(&mut args, "--budget")? {
@@ -345,14 +382,34 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Analyze { file, config, emit } => {
+            Command::Analyze { file, config, emit, strict } => {
                 assert_eq!(file, "x.ft");
                 assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
                 assert!(!config.use_mod);
                 assert_eq!(emit, Emit::Counts);
+                assert!(!strict);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let cmd = p(&[
+            "analyze", "--strict", "--max-poly-terms", "2",
+            "--max-solver-iterations", "99", "x.ft",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Analyze { config, strict, .. } => {
+                assert!(strict);
+                assert_eq!(config.limits.max_poly_terms, 2);
+                assert_eq!(config.limits.max_solver_iterations, 99);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["analyze", "--max-poly-terms", "x.ft"]).is_err());
+        assert!(p(&["analyze", "--max-solver-iterations", "lots", "x.ft"]).is_err());
     }
 
     #[test]

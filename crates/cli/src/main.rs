@@ -4,12 +4,26 @@
 mod args;
 
 use args::{Command, Emit};
-use ipcp::{clone_by_constants, complete_propagation, Analysis, Config};
+use ipcp::{clone_by_constants, complete_propagation, Analysis, AnalysisHealth, Config, IpcpError};
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::interp::{run_module, ExecLimits};
 use ipcp_ir::program::{ProcId, SlotLayout};
 use std::io::Read as _;
 use std::process::ExitCode;
+
+/// A dispatch failure carrying its exit code: 1 for diagnostics and
+/// runtime errors, 2 for usage errors, 3 for strict-mode budget
+/// exhaustion (see `EXIT CODES` in [`args::HELP`]).
+struct Failure {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure { code: 1, msg }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -22,11 +36,23 @@ fn main() -> ExitCode {
     };
     match dispatch(cmd) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("{}", f.msg);
+            ExitCode::from(f.code)
         }
     }
+}
+
+/// Prints degradation telemetry to stderr and, under `--strict`, promotes
+/// it to an exit-code-3 failure.
+fn check_health(health: &AnalysisHealth, strict: bool) -> Result<(), Failure> {
+    for e in &health.events {
+        eprintln!("warning: analysis degraded: {e}");
+    }
+    IpcpError::check_strict(strict, health).map_err(|e| Failure {
+        code: 3,
+        msg: format!("error: {e}"),
+    })
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -50,7 +76,7 @@ fn load(path: &str) -> Result<(String, ModuleCfg), String> {
     Ok((src.clone(), ipcp_ir::lower_module(&module)))
 }
 
-fn dispatch(cmd: Command) -> Result<(), String> {
+fn dispatch(cmd: Command) -> Result<(), Failure> {
     match cmd {
         Command::Help => {
             print!("{}", args::HELP);
@@ -103,15 +129,16 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Analyze { file, config, emit } => {
+        Command::Analyze { file, config, emit, strict } => {
             let (_, mcfg) = load(&file)?;
             let analysis = Analysis::run(&mcfg, &config);
             emit_analysis(&mcfg, &analysis, emit);
-            Ok(())
+            check_health(&analysis.health, strict)
         }
-        Command::Complete { file, config } => {
+        Command::Complete { file, config, strict } => {
             let (_, mcfg) = load(&file)?;
-            let plain = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
+            let plain_analysis = Analysis::run(&mcfg, &config);
+            let plain = plain_analysis.substitute(&mcfg).total;
             let result = complete_propagation(&mcfg, &config);
             println!("plain propagation:    {plain} constants substituted");
             println!(
@@ -122,9 +149,9 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 "dce rounds: {}   statements removed: {}",
                 result.dce_rounds, result.statements_removed
             );
-            Ok(())
+            check_health(&plain_analysis.health, strict)
         }
-        Command::Clone { file, config, budget } => {
+        Command::Clone { file, config, budget, strict } => {
             let (_, mcfg) = load(&file)?;
             let before = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
             let result = clone_by_constants(&mcfg, &config, budget);
@@ -138,15 +165,15 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 }
             }
             println!("constants substituted: {before} -> {after}");
-            Ok(())
+            check_health(&result.health, strict)
         }
-        Command::Explain { file, config, proc, slot, depth } => {
+        Command::Explain { file, config, proc, slot, depth, strict } => {
             let (_, mcfg) = load(&file)?;
             let analysis = Analysis::run(&mcfg, &config);
             let p = mcfg
                 .module
                 .proc_named(&proc)
-                .ok_or_else(|| format!("error: no procedure named `{proc}`"))?;
+                .ok_or_else(|| Failure::from(format!("error: no procedure named `{proc}`")))?;
             let layout = SlotLayout::new(&mcfg.module);
             let n_slots = layout.n_slots(p.arity());
             let pid = p.id;
@@ -157,14 +184,15 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 }
                 print!("{}", ipcp::explain::render(&mcfg, &analysis, pid, s, depth));
             }
-            Ok(())
+            check_health(&analysis.health, strict)
         }
         Command::Integrate { file, budget } => {
             let (_, mcfg) = load(&file)?;
             let jf = Analysis::run(&mcfg, &Config::polynomial())
                 .substitute(&mcfg)
                 .total;
-            let (integrated, result) = ipcp::integrate_and_count(&mcfg, budget);
+            let (integrated, result) =
+                ipcp::integrate_and_count(&mcfg, &Config::default(), budget);
             println!(
                 "inlined {} call(s) in {} round(s)",
                 result.inlined_calls, result.rounds

@@ -287,6 +287,86 @@ fn analyze_emit_source_substitutes_textually() {
 }
 
 #[test]
+fn run_without_enough_input_fails_with_code_1() {
+    let path = write_temp("noinput", DEMO); // DEMO executes `read n`
+    let out = ipcc().arg("run").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("read past the end of the input"), "{err}");
+}
+
+/// A call whose jump function is a genuine two-term polynomial, for
+/// exercising `--max-poly-terms`.
+const POLY: &str = "proc main() { call mid(3, 4); } \
+                    proc mid(a, b) { call f(a + b); } \
+                    proc f(x) { print x; }";
+
+#[test]
+fn degraded_analysis_warns_but_succeeds_without_strict() {
+    let path = write_temp("degrade", POLY);
+    let out = ipcc()
+        .args(["analyze", "--jump-fn", "poly", "--max-poly-terms", "1"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("warning: analysis degraded"), "{err}");
+}
+
+#[test]
+fn strict_degraded_analysis_fails_with_code_3() {
+    let path = write_temp("strict", POLY);
+    let out = ipcc()
+        .args(["analyze", "--jump-fn", "poly", "--max-poly-terms", "1", "--strict"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("resource exhausted"), "{err}");
+}
+
+#[test]
+fn strict_passes_cleanly_within_budgets() {
+    let path = write_temp("strict-ok", POLY);
+    let out = ipcc()
+        .args(["analyze", "--jump-fn", "poly", "--strict"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn solver_iteration_cap_degrades_deterministically() {
+    let path = write_temp("solver-cap", DEMO);
+    let out = ipcc()
+        .args(["analyze", "--max-solver-iterations", "1", "--strict"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("[solver]"), "{err}");
+}
+
+#[test]
+fn report_counts_degradations() {
+    let path = write_temp("degr-report", POLY);
+    let out = ipcc()
+        .args(["analyze", "--emit", "report", "--jump-fn", "poly", "--max-poly-terms", "1"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let line = text.lines().find(|l| l.starts_with("degradations")).unwrap();
+    assert!(!line.contains(" 0"), "{text}");
+}
+
+#[test]
 fn explain_traces_provenance() {
     let path = write_temp("explain", DEMO);
     let out = ipcc()

@@ -14,6 +14,8 @@
 //! same monotone equations to exhaustion); `tests` and the property suite
 //! assert the equivalence, and the Criterion benches compare their costs.
 
+use crate::config::Stage;
+use crate::health::Governor;
 use crate::jump::ForwardJumpFns;
 use crate::solver::ValSets;
 use ipcp_analysis::CallGraph;
@@ -27,13 +29,17 @@ type Node = (usize, usize);
 
 /// Solves the interprocedural propagation over the binding multigraph.
 ///
-/// `entry_globals` plays the same role as in [`crate::solver::solve`].
+/// `entry_globals` plays the same role as in [`crate::solver::solve`], and
+/// so does the governor: each slot re-evaluation charges one
+/// [`Stage::Binding`] iteration, and on exhaustion every reachable
+/// procedure's slots are soundly forced to ⊥.
 pub fn solve_binding_graph(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
     jump_fns: &ForwardJumpFns,
     entry_globals: Lattice,
+    gov: &mut Governor,
 ) -> ValSets {
     let n_procs = mcfg.module.procs.len();
     let slots_of = |p: usize| layout.n_slots(mcfg.module.procs[p].arity());
@@ -111,11 +117,25 @@ pub fn solve_binding_graph(
 
     let mut iterations = 0usize;
     while let Some(node) = work.pop_front() {
+        if !gov.charge(Stage::Binding) {
+            gov.record(
+                Stage::Binding,
+                format!(
+                    "iteration budget exhausted after {iterations} slot updates; \
+                     all reachable entry slots forced to ⊥"
+                ),
+            );
+            for (pi, v) in vals.iter_mut().enumerate() {
+                if cg.reachable[pi] {
+                    v.fill(Lattice::Bottom);
+                }
+            }
+            break;
+        }
         queued[node.0][node.1] = false;
         iterations += 1;
         // Re-evaluate every jump function that reads this slot.
-        for i in 0..deps[node.0][node.1].len() {
-            let t = deps[node.0][node.1][i];
+        for &t in &deps[node.0][node.1] {
             let jf = &jump_fns.at(
                 ipcp_ir::program::ProcId::from(t.caller),
                 t.site,
@@ -168,6 +188,7 @@ mod tests {
             &analysis.layout,
             &analysis.jump_fns,
             entry_globals,
+            &mut Governor::unlimited(),
         );
         // Compare only reachable procedures: the procedure-level solver
         // never touches unreachable ones, while the binding graph applies
@@ -227,6 +248,7 @@ mod tests {
             &analysis.layout,
             &analysis.jump_fns,
             Lattice::Bottom,
+            &mut Governor::unlimited(),
         );
         let last = mcfg.module.proc_named("p29").unwrap().id;
         assert_eq!(binding.of(last)[0], Lattice::Const(5));

@@ -9,7 +9,8 @@
 //! callers' values. [`clone_by_constants`] performs one such round under a
 //! growth budget and reports the improvement.
 
-use crate::config::Config;
+use crate::config::{Config, Stage};
+use crate::health::{AnalysisHealth, Governor};
 use crate::jump::JumpFn;
 use crate::pipeline::Analysis;
 use ipcp_ir::cfg::{CStmt, CallSiteId, ModuleCfg};
@@ -27,6 +28,9 @@ pub struct CloneResult {
     pub clones_of: Vec<usize>,
     /// Total clones created.
     pub n_clones: usize,
+    /// Telemetry: the inner analysis's degradations plus any cloning
+    /// budget exhaustion.
+    pub health: AnalysisHealth,
 }
 
 impl CloneResult {
@@ -63,6 +67,9 @@ fn edge_vector(
     )
 }
 
+/// Call-site groups, keyed by the constant vector their edges transmit.
+type ConstGroups = Vec<(Vec<Option<i64>>, Vec<(ProcId, CallSiteId)>)>;
+
 /// Clones procedures whose call sites disagree on incoming constants.
 ///
 /// For each non-entry, non-recursive procedure, call edges are grouped by
@@ -77,13 +84,15 @@ pub fn clone_by_constants(
     max_clones_total: usize,
 ) -> CloneResult {
     let analysis = Analysis::run(mcfg, config);
+    let mut gov = Governor::new(config);
     let mut module = mcfg.clone();
     let n_orig = mcfg.module.procs.len();
     let mut clones_of = vec![0usize; n_orig];
     let mut n_clones = 0usize;
+    let mut budget_recorded = false;
     let mut retarget: HashMap<(ProcId, CallSiteId), ProcId> = HashMap::new();
 
-    for callee_idx in 0..n_orig {
+    for (callee_idx, clone_count) in clones_of.iter_mut().enumerate() {
         let callee = ProcId::from(callee_idx);
         if callee == mcfg.module.entry
             || !analysis.cg.reachable[callee_idx]
@@ -91,7 +100,7 @@ pub fn clone_by_constants(
         {
             continue;
         }
-        let mut groups: Vec<(Vec<Option<i64>>, Vec<(ProcId, CallSiteId)>)> = Vec::new();
+        let mut groups: ConstGroups = Vec::new();
         for edge in analysis.cg.calls_to(callee) {
             let Some(vec) = edge_vector(&analysis, edge.caller, edge.site) else {
                 continue;
@@ -116,17 +125,26 @@ pub fn clone_by_constants(
             continue;
         }
         // Group 0 keeps the original procedure; later groups get clones.
+        // Each clone charges the cloning budget: the explicit request cap
+        // and the configured growth limit both stop the round.
         for (_, sites) in groups.iter().skip(1) {
-            if n_clones >= max_clones_total {
+            if n_clones >= max_clones_total || !gov.charge(Stage::Cloning) {
+                if n_clones < max_clones_total && !budget_recorded {
+                    gov.record(
+                        Stage::Cloning,
+                        format!("growth budget exhausted after {n_clones} clone(s)"),
+                    );
+                    budget_recorded = true;
+                }
                 break;
             }
             let clone_id = ProcId::from(module.module.procs.len());
             let mut proc = module.module.procs[callee_idx].clone();
             proc.id = clone_id;
-            proc.name = format!("{}${}", proc.name, clones_of[callee_idx] + 1);
+            proc.name = format!("{}${}", proc.name, *clone_count + 1);
             module.module.procs.push(proc);
             module.cfgs.push(module.cfgs[callee_idx].clone());
-            clones_of[callee_idx] += 1;
+            *clone_count += 1;
             n_clones += 1;
             for &key in sites {
                 retarget.insert(key, clone_id);
@@ -150,10 +168,13 @@ pub fn clone_by_constants(
         }
     }
 
+    let mut health = analysis.health.clone();
+    health.absorb(gov.into_health());
     CloneResult {
         module,
         clones_of,
         n_clones,
+        health,
     }
 }
 
@@ -236,6 +257,36 @@ mod tests {
         let (before, after, _) = cloning_gain(&m, &Config::default(), 100);
         assert_eq!(before, 0);
         assert_eq!(after, 4);
+    }
+
+    #[test]
+    fn configured_clone_limit_degrades_with_telemetry() {
+        use crate::config::AnalysisLimits;
+        let m = mcfg(
+            "proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }",
+        );
+        let limits = AnalysisLimits {
+            max_clones: 1,
+            ..AnalysisLimits::default()
+        };
+        let r = clone_by_constants(&m, &Config::default().with_limits(limits), 8);
+        assert_eq!(r.n_clones, 1, "one clone fits the configured limit");
+        assert_eq!(r.health.count(Stage::Cloning), 1, "{}", r.health);
+        // The explicit per-call cap is the caller's own choice — hitting
+        // it is not a degradation.
+        let r = clone_by_constants(&m, &Config::default(), 1);
+        assert_eq!(r.n_clones, 1);
+        assert!(!r.health.degraded(), "{}", r.health);
+    }
+
+    #[test]
+    fn fault_injection_stops_cloning_deterministically() {
+        let m = mcfg(
+            "proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }",
+        );
+        let r = clone_by_constants(&m, &Config::default().with_fault(Stage::Cloning, 1), 8);
+        assert_eq!(r.n_clones, 0, "the fault trips before the first clone");
+        assert!(r.health.count(Stage::Cloning) >= 1, "{}", r.health);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Analysis configuration: which jump function to use and which auxiliary
-//! information to consult — the experimental axes of the study.
+//! information to consult — the experimental axes of the study — plus the
+//! resource-governance knobs ([`AnalysisLimits`], [`FaultInjection`]) that
+//! bound every analysis stage. See `docs/ROBUSTNESS.md`.
 
 use std::fmt;
 
@@ -53,6 +55,137 @@ impl fmt::Display for JumpFnKind {
     }
 }
 
+/// The analysis stages a resource budget (or injected fault) can affect.
+///
+/// Each stage has its own degradation response — see `docs/ROBUSTNESS.md`
+/// for the ladder. The same enum labels [`FaultInjection`] trip points and
+/// recorded degradation events, so a fault at stage `s` always surfaces as
+/// an event at stage `s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Forward jump-function construction (including the per-procedure
+    /// symbolic evaluation that feeds it).
+    Jump,
+    /// Return jump-function construction.
+    RetJump,
+    /// The interprocedural VAL worklist solver.
+    Solver,
+    /// The binding-multigraph solver.
+    Binding,
+    /// Constant-driven procedure cloning.
+    Cloning,
+    /// Leaf-call integration (inlining).
+    Inline,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Jump,
+        Stage::RetJump,
+        Stage::Solver,
+        Stage::Binding,
+        Stage::Cloning,
+        Stage::Inline,
+    ];
+
+    /// Stable lowercase label (used in event details and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Jump => "jump",
+            Stage::RetJump => "retjump",
+            Stage::Solver => "solver",
+            Stage::Binding => "binding",
+            Stage::Cloning => "cloning",
+            Stage::Inline => "inline",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-stage resource budgets.
+///
+/// The defaults are deliberately generous: on the builtin suite (and any
+/// program of comparable size) no budget is ever reached, so results are
+/// bit-identical to an unbounded analysis. When a budget *is* exhausted
+/// the affected stage degrades to a sound approximation instead of
+/// diverging — see `docs/ROBUSTNESS.md` for the per-stage ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisLimits {
+    /// Worklist iterations (procedure re-evaluations) the VAL solver may
+    /// perform before forcing the remaining lattice values to ⊥.
+    pub max_solver_iterations: u64,
+    /// Symbolic-evaluation transfer steps allowed per procedure while
+    /// building the inputs to jump functions.
+    pub max_symbolic_steps: u64,
+    /// Largest polynomial (in terms) a jump function may carry before it
+    /// degrades down the jump-function ladder.
+    pub max_poly_terms: usize,
+    /// Largest total degree a jump-function polynomial may carry.
+    pub max_poly_degree: u32,
+    /// Largest support set (number of distinct entry slots) a single jump
+    /// function may depend on.
+    pub max_support: usize,
+    /// Clones `clone_by_constants` may create in one round.
+    pub max_clones: usize,
+    /// Statement-count ceiling for leaf inlining.
+    pub max_inline_statements: usize,
+}
+
+impl Default for AnalysisLimits {
+    fn default() -> Self {
+        AnalysisLimits {
+            max_solver_iterations: 1_000_000,
+            max_symbolic_steps: 10_000_000,
+            // The ssa polynomial ring already refuses to build anything
+            // larger than this, so the default cannot bite.
+            max_poly_terms: ipcp_ssa::poly::Poly::MAX_TERMS,
+            max_poly_degree: ipcp_ssa::poly::Poly::MAX_DEGREE,
+            max_support: 64,
+            max_clones: 64,
+            max_inline_statements: 100_000,
+        }
+    }
+}
+
+impl AnalysisLimits {
+    /// Adversarially small budgets, for robustness tests: every stage is
+    /// likely to degrade on any non-trivial program, and the pipeline must
+    /// still terminate with sound (if weak) results.
+    pub fn tiny() -> AnalysisLimits {
+        AnalysisLimits {
+            max_solver_iterations: 4,
+            max_symbolic_steps: 16,
+            max_poly_terms: 1,
+            max_poly_degree: 1,
+            max_support: 1,
+            max_clones: 1,
+            max_inline_statements: 1,
+        }
+    }
+}
+
+/// Deterministic fault injection: artificially exhausts the budget of one
+/// stage at its `at`-th budget-counted operation (1-based).
+///
+/// This exists purely to test the degradation machinery: a trip behaves
+/// exactly like the corresponding [`AnalysisLimits`] budget running out,
+/// so tests can force each ladder rung deterministically without building
+/// pathological inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Which stage to trip.
+    pub stage: Stage,
+    /// Trip on the `at`-th operation charged to that stage (1-based;
+    /// `at = 1` trips immediately).
+    pub at: u64,
+}
+
 /// Full analysis configuration.
 ///
 /// The default is the paper's recommended production setting: pass-through
@@ -89,6 +222,13 @@ pub struct Config {
     /// pruned phis were unobservable), construction does less work on
     /// phi-heavy programs.
     pub pruned_ssa: bool,
+    /// Resource budgets for every analysis stage. The defaults never bind
+    /// on realistic inputs; tighten them to trade precision for bounded
+    /// work.
+    pub limits: AnalysisLimits,
+    /// Test hook: deterministically exhaust one stage's budget. `None`
+    /// (the default) means budgets only trip when genuinely exhausted.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl Default for Config {
@@ -101,6 +241,8 @@ impl Default for Config {
             assume_zero_globals: false,
             gated_jump_fns: false,
             pruned_ssa: false,
+            limits: AnalysisLimits::default(),
+            fault_injection: None,
         }
     }
 }
@@ -133,6 +275,20 @@ impl Config {
     #[must_use]
     pub fn with_return_jfs(mut self, on: bool) -> Config {
         self.use_return_jfs = on;
+        self
+    }
+
+    /// Builder-style: set the resource budgets.
+    #[must_use]
+    pub fn with_limits(mut self, limits: AnalysisLimits) -> Config {
+        self.limits = limits;
+        self
+    }
+
+    /// Builder-style: arm a fault-injection trip point.
+    #[must_use]
+    pub fn with_fault(mut self, stage: Stage, at: u64) -> Config {
+        self.fault_injection = Some(FaultInjection { stage, at });
         self
     }
 }
@@ -171,5 +327,32 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             JumpFnKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn stage_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn default_limits_are_generous_and_tiny_limits_are_not() {
+        let d = AnalysisLimits::default();
+        let t = AnalysisLimits::tiny();
+        assert!(d.max_solver_iterations > 100_000);
+        assert!(d.max_poly_terms >= ipcp_ssa::poly::Poly::MAX_TERMS);
+        assert!(t.max_solver_iterations < d.max_solver_iterations);
+        assert!(t.max_poly_terms < d.max_poly_terms);
+    }
+
+    #[test]
+    fn fault_builder_arms_the_hook() {
+        let c = Config::default().with_fault(Stage::Solver, 3);
+        assert_eq!(
+            c.fault_injection,
+            Some(FaultInjection { stage: Stage::Solver, at: 3 })
+        );
+        assert_eq!(Config::default().fault_injection, None);
     }
 }

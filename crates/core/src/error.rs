@@ -1,0 +1,117 @@
+//! The unified error taxonomy for the whole pipeline.
+//!
+//! Three things can go wrong between FT source text and a constant
+//! report, and each already has a precise error type in its own layer:
+//! the front end emits [`Diagnostics`], the reference interpreter raises
+//! [`ExecError`], and the analysis stages degrade under exhausted budgets
+//! (which is only an *error* when the caller demands full precision).
+//! [`IpcpError`] is the sum of the three, so drivers handle one type.
+
+use crate::config::Stage;
+use crate::health::AnalysisHealth;
+use ipcp_ir::interp::ExecError;
+use ipcp_ir::Diagnostics;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure the toolchain can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IpcpError {
+    /// The front end rejected the source (lexical, syntactic or
+    /// resolution errors).
+    Frontend(Diagnostics),
+    /// The reference interpreter faulted at runtime.
+    Exec(ExecError),
+    /// An analysis budget was exhausted and the caller required full
+    /// precision (strict mode). The degraded-but-sound results exist;
+    /// this error reports why they are weaker than requested.
+    ResourceExhausted {
+        /// The first stage that degraded.
+        stage: Stage,
+        /// The full telemetry of the run.
+        health: AnalysisHealth,
+    },
+}
+
+impl IpcpError {
+    /// Promotes a degraded run to an error when `strict` demands it.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcpError::ResourceExhausted`] when `strict` and `health` has
+    /// events; `Ok` otherwise.
+    pub fn check_strict(strict: bool, health: &AnalysisHealth) -> Result<(), IpcpError> {
+        match health.events.first() {
+            Some(first) if strict => Err(IpcpError::ResourceExhausted {
+                stage: first.stage,
+                health: health.clone(),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for IpcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcpError::Frontend(diags) => write!(f, "{diags}"),
+            IpcpError::Exec(e) => write!(f, "runtime error: {e}"),
+            IpcpError::ResourceExhausted { stage, health } => write!(
+                f,
+                "resource exhausted in {stage} stage ({} degradation(s))",
+                health.events.len()
+            ),
+        }
+    }
+}
+
+impl Error for IpcpError {}
+
+impl From<Diagnostics> for IpcpError {
+    fn from(diags: Diagnostics) -> Self {
+        IpcpError::Frontend(diags)
+    }
+}
+
+impl From<ExecError> for IpcpError {
+    fn from(e: ExecError) -> Self {
+        IpcpError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::parse_and_resolve;
+
+    #[test]
+    fn frontend_errors_convert_and_display() {
+        let diags = parse_and_resolve("proc main() { x = ; }").unwrap_err();
+        let err: IpcpError = diags.into();
+        assert!(matches!(err, IpcpError::Frontend(_)));
+        assert!(err.to_string().contains("error"));
+    }
+
+    #[test]
+    fn exec_errors_convert() {
+        let err: IpcpError = ExecError::DivideByZero.into();
+        assert_eq!(err.to_string(), "runtime error: division by zero");
+    }
+
+    #[test]
+    fn strict_mode_promotes_degradations() {
+        let mut health = AnalysisHealth::default();
+        assert!(IpcpError::check_strict(true, &health).is_ok());
+        health.record(Stage::Solver, "iteration cap");
+        assert!(IpcpError::check_strict(false, &health).is_ok());
+        let err = IpcpError::check_strict(true, &health).unwrap_err();
+        match &err {
+            IpcpError::ResourceExhausted { stage, health } => {
+                assert_eq!(*stage, Stage::Solver);
+                assert_eq!(health.events.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(err.to_string().contains("solver"), "{err}");
+    }
+}

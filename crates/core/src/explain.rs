@@ -101,6 +101,14 @@ pub fn render(
     depth: usize,
 ) -> String {
     let mut out = String::new();
+    if analysis.health.degraded() {
+        let _ = writeln!(
+            out,
+            "note: this analysis degraded under its budgets ({} event(s)); \
+             some ⊥ below may mean \"budget exhausted\", not \"proven varying\"",
+            analysis.health.events.len()
+        );
+    }
     render_into(mcfg, analysis, proc, slot, depth, 0, &mut out);
     out
 }
@@ -211,6 +219,23 @@ mod tests {
         // The chain bottoms out at main's ⊥ jump function (the read value
         // has no support to recurse into).
         assert!(text.contains("main cs0: J = ⊥ delivers ⊥"), "{text}");
+    }
+
+    #[test]
+    fn degraded_runs_render_a_caveat() {
+        let src = "proc main() { call f(5); } proc f(x) { print x; }";
+        let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+        let f = mcfg.module.proc_named("f").unwrap().id;
+        let full = Analysis::run(&mcfg, &Config::default());
+        assert!(!render(&mcfg, &full, f, 0, 1).contains("note:"));
+        let clipped = Analysis::run(
+            &mcfg,
+            &Config::default().with_limits(crate::config::AnalysisLimits::tiny()),
+        );
+        if clipped.health.degraded() {
+            let text = render(&mcfg, &clipped, f, 0, 1);
+            assert!(text.contains("degraded under its budgets"), "{text}");
+        }
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Degradation telemetry and the budget governor.
+//!
+//! Every analysis stage charges its work against the per-stage budgets in
+//! [`AnalysisLimits`](crate::config::AnalysisLimits) through a [`Governor`].
+//! When a budget is exhausted (for real, or via the deterministic
+//! [`FaultInjection`](crate::config::FaultInjection) hook) the stage
+//! degrades to a sound approximation — ⊥ is always a correct answer in
+//! the Figure-1 lattice — and records a [`DegradationEvent`] here, so
+//! callers can tell a full-precision result from a clipped one.
+
+use crate::config::{Config, Stage};
+use std::fmt;
+
+/// One budget exhaustion and the response taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The stage whose budget ran out.
+    pub stage: Stage,
+    /// What was weakened, in human terms (procedure/slot names where
+    /// available).
+    pub detail: String,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+/// Telemetry for one analysis (or transformation) run.
+///
+/// An empty event list means the run completed at full precision — the
+/// default budgets guarantee this on the builtin suite. A non-empty list
+/// means some values were soundly forced toward ⊥; the results are still
+/// correct, just weaker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisHealth {
+    /// Every degradation, in the order it occurred.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl AnalysisHealth {
+    /// Whether any stage degraded.
+    pub fn degraded(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Number of degradations recorded for one stage.
+    pub fn count(&self, stage: Stage) -> usize {
+        self.events.iter().filter(|e| e.stage == stage).count()
+    }
+
+    /// Records one degradation.
+    pub fn record(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.events.push(DegradationEvent {
+            stage,
+            detail: detail.into(),
+        });
+    }
+
+    /// Merges another run's events into this one (used when a pipeline
+    /// stage re-runs the analysis internally).
+    pub fn absorb(&mut self, other: AnalysisHealth) {
+        self.events.extend(other.events);
+    }
+}
+
+impl fmt::Display for AnalysisHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return writeln!(f, "analysis health: ok (no degradations)");
+        }
+        writeln!(f, "analysis health: {} degradation(s)", self.events.len())?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Budget accountant threaded through the analysis stages.
+///
+/// Each stage calls [`Governor::charge`] per unit of work; a `false`
+/// return means the stage's budget (or an injected fault) tripped and the
+/// stage must degrade. Counters are per-run — a fresh `Governor` is built
+/// for every [`Analysis::run`](crate::Analysis::run).
+#[derive(Clone, Debug)]
+pub struct Governor {
+    config: Config,
+    counters: [u64; Stage::ALL.len()],
+    /// Accumulated telemetry; taken by the pipeline when the run ends.
+    pub health: AnalysisHealth,
+}
+
+fn stage_index(stage: Stage) -> usize {
+    match stage {
+        Stage::Jump => 0,
+        Stage::RetJump => 1,
+        Stage::Solver => 2,
+        Stage::Binding => 3,
+        Stage::Cloning => 4,
+        Stage::Inline => 5,
+    }
+}
+
+impl Governor {
+    /// A governor enforcing `config`'s limits and fault injection.
+    pub fn new(config: &Config) -> Governor {
+        Governor {
+            config: *config,
+            counters: [0; Stage::ALL.len()],
+            health: AnalysisHealth::default(),
+        }
+    }
+
+    /// A governor that never trips — for callers that manage budgets
+    /// themselves (unit tests of individual stages).
+    pub fn unlimited() -> Governor {
+        Governor::new(&Config::default())
+    }
+
+    /// The budget that applies to `stage`'s counter, if the stage is
+    /// metered by a simple count (polynomial shape caps are checked
+    /// separately, against the limits directly).
+    fn cap(&self, stage: Stage) -> u64 {
+        let l = &self.config.limits;
+        match stage {
+            Stage::Jump => l.max_symbolic_steps,
+            Stage::RetJump => l.max_symbolic_steps,
+            Stage::Solver => l.max_solver_iterations,
+            Stage::Binding => l.max_solver_iterations,
+            Stage::Cloning => l.max_clones as u64,
+            Stage::Inline => l.max_inline_statements as u64,
+        }
+    }
+
+    /// Charges one unit of work to `stage`. Returns `false` when the
+    /// stage's budget is exhausted (or a fault trips) — the caller must
+    /// then degrade and usually [`Governor::record`] what it weakened.
+    #[must_use]
+    pub fn charge(&mut self, stage: Stage) -> bool {
+        let i = stage_index(stage);
+        self.counters[i] += 1;
+        if let Some(fault) = self.config.fault_injection {
+            if fault.stage == stage && self.counters[i] >= fault.at {
+                return false;
+            }
+        }
+        self.counters[i] <= self.cap(stage)
+    }
+
+    /// Whether `stage` would trip right now, without charging.
+    pub fn exhausted(&self, stage: Stage) -> bool {
+        let i = stage_index(stage);
+        if let Some(fault) = self.config.fault_injection {
+            if fault.stage == stage && self.counters[i] + 1 >= fault.at {
+                return true;
+            }
+        }
+        self.counters[i] >= self.cap(stage)
+    }
+
+    /// The limits being enforced.
+    pub fn limits(&self) -> &crate::config::AnalysisLimits {
+        &self.config.limits
+    }
+
+    /// Records a degradation event.
+    pub fn record(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.health.record(stage, detail);
+    }
+
+    /// Consumes the governor, yielding the collected telemetry.
+    pub fn into_health(self) -> AnalysisHealth {
+        self.health
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisLimits;
+
+    #[test]
+    fn charge_trips_at_the_cap() {
+        let limits = AnalysisLimits {
+            max_solver_iterations: 3,
+            ..AnalysisLimits::default()
+        };
+        let mut gov = Governor::new(&Config::default().with_limits(limits));
+        assert!(gov.charge(Stage::Solver));
+        assert!(gov.charge(Stage::Solver));
+        assert!(gov.charge(Stage::Solver));
+        assert!(!gov.charge(Stage::Solver), "4th charge exceeds cap of 3");
+        // Other stages are unaffected.
+        assert!(gov.charge(Stage::Jump));
+    }
+
+    #[test]
+    fn fault_injection_trips_exactly_at_n() {
+        let mut gov = Governor::new(&Config::default().with_fault(Stage::RetJump, 2));
+        assert!(gov.charge(Stage::RetJump));
+        assert!(!gov.charge(Stage::RetJump), "2nd charge hits the fault");
+        // A fault at one stage leaves the others alone.
+        assert!(gov.charge(Stage::Solver));
+    }
+
+    #[test]
+    fn exhausted_previews_without_charging() {
+        let mut gov = Governor::new(&Config::default().with_fault(Stage::Cloning, 1));
+        assert!(gov.exhausted(Stage::Cloning));
+        assert!(!gov.exhausted(Stage::Inline));
+        assert!(!gov.charge(Stage::Cloning));
+    }
+
+    #[test]
+    fn health_counts_per_stage() {
+        let mut h = AnalysisHealth::default();
+        assert!(!h.degraded());
+        h.record(Stage::Jump, "f cs0 slot a: poly too large");
+        h.record(Stage::Jump, "g cs1 slot b: poly too large");
+        h.record(Stage::Solver, "iteration cap");
+        assert!(h.degraded());
+        assert_eq!(h.count(Stage::Jump), 2);
+        assert_eq!(h.count(Stage::Solver), 1);
+        assert_eq!(h.count(Stage::Binding), 0);
+        let text = h.to_string();
+        assert!(text.contains("3 degradation(s)"), "{text}");
+        assert!(text.contains("[jump]"), "{text}");
+    }
+
+    #[test]
+    fn absorb_concatenates_events() {
+        let mut a = AnalysisHealth::default();
+        a.record(Stage::Cloning, "budget");
+        let mut b = AnalysisHealth::default();
+        b.record(Stage::Inline, "budget");
+        a.absorb(b);
+        assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn default_governor_is_effectively_unlimited() {
+        let mut gov = Governor::unlimited();
+        for _ in 0..10_000 {
+            assert!(gov.charge(Stage::Solver));
+        }
+        assert!(gov.into_health().events.is_empty());
+    }
+}

@@ -20,6 +20,8 @@
 //! aliasing rule: a program that writes through an aliased dummy would
 //! fault under the interpreter and is transformed at face value here.
 
+use crate::config::{Config, Stage};
+use crate::health::{AnalysisHealth, Governor};
 use ipcp_ir::cfg::{BasicBlock, BlockId, CStmt, CallSiteId, ModuleCfg, Terminator};
 use ipcp_ir::program::{Arg, Expr, ProcId, VarId, VarInfo, VarKind};
 use ipcp_ir::span::Span;
@@ -33,6 +35,9 @@ pub struct InlineResult {
     pub inlined_calls: usize,
     /// Leaf-inlining rounds performed.
     pub rounds: usize,
+    /// Telemetry: non-empty when the configured growth limit (not the
+    /// caller's explicit `max_statements`) or a fault stopped inlining.
+    pub health: AnalysisHealth,
 }
 
 /// Whether `p` is inlinable: no call statements in reachable blocks (a
@@ -58,12 +63,19 @@ fn is_inlinable_leaf(mcfg: &ModuleCfg, p: ProcId) -> bool {
 }
 
 /// Repeatedly inlines calls to leaf procedures until none remain, the
-/// round limit is hit, or the program grows past `max_statements`.
+/// round limit is hit, or the program grows past the statement budget —
+/// the smaller of the caller's explicit `max_statements` and the
+/// configured [`max_inline_statements`](crate::config::AnalysisLimits)
+/// growth limit. Stopping at the explicit cap is the caller's own choice;
+/// stopping at the configured limit (or an injected
+/// [`Stage::Inline`] fault) records a degradation event.
 ///
 /// Each round flattens one layer of the call tree, so `depth` rounds
 /// flatten a non-recursive program completely. Recursive procedures are
 /// never inlined (they are never leaves).
-pub fn inline_leaf_calls(mcfg: &ModuleCfg, max_statements: usize) -> InlineResult {
+pub fn inline_leaf_calls(mcfg: &ModuleCfg, config: &Config, max_statements: usize) -> InlineResult {
+    let mut gov = Governor::new(config);
+    let cap = max_statements.min(config.limits.max_inline_statements);
     let mut module = mcfg.clone();
     let mut inlined_calls = 0usize;
     let mut rounds = 0usize;
@@ -80,16 +92,38 @@ pub fn inline_leaf_calls(mcfg: &ModuleCfg, max_statements: usize) -> InlineResul
             }
             let p = ProcId::from(pi);
             loop {
-                if total_statements(&module) >= max_statements {
+                if total_statements(&module) >= cap {
+                    if cap < max_statements {
+                        gov.record(
+                            Stage::Inline,
+                            format!(
+                                "statement growth limit exhausted after \
+                                 {inlined_calls} inlined call(s)"
+                            ),
+                        );
+                    }
                     return InlineResult {
                         module,
                         inlined_calls,
                         rounds,
+                        health: gov.into_health(),
                     };
                 }
                 let Some((block, stmt, callee)) = find_leaf_call(&module, p, &leaves) else {
                     break;
                 };
+                if !gov.charge(Stage::Inline) {
+                    gov.record(
+                        Stage::Inline,
+                        format!("inline budget exhausted after {inlined_calls} inlined call(s)"),
+                    );
+                    return InlineResult {
+                        module,
+                        inlined_calls,
+                        rounds,
+                        health: gov.into_health(),
+                    };
+                }
                 inline_one(&mut module, p, block, stmt, callee);
                 inlined_calls += 1;
                 changed = true;
@@ -105,6 +139,7 @@ pub fn inline_leaf_calls(mcfg: &ModuleCfg, max_statements: usize) -> InlineResul
         module,
         inlined_calls,
         rounds,
+        health: gov.into_health(),
     }
 }
 
@@ -180,9 +215,10 @@ fn inline_one(mcfg: &mut ModuleCfg, caller: ProcId, block: BlockId, stmt: usize,
                     t
                 }
             },
-            VarKind::Global(g) => mcfg.module.procs[caller.index()]
-                .var_for_global(g)
-                .expect("caller aliases every global"),
+            VarKind::Global(g) => match mcfg.module.procs[caller.index()].var_for_global(g) {
+                Some(v) => v,
+                None => unreachable!("caller aliases every global"),
+            },
             VarKind::Local => {
                 let t = fresh_of(info, "loc", &mut fresh_vars);
                 // A fresh activation starts with zeroed locals.
@@ -197,7 +233,10 @@ fn inline_one(mcfg: &mut ModuleCfg, caller: ProcId, block: BlockId, stmt: usize,
     }
     mcfg.module.procs[caller.index()].vars.extend(fresh_vars);
 
-    let map_var = |v: VarId| var_map[v.index()].expect("mapped var");
+    let map_var = |v: VarId| match var_map[v.index()] {
+        Some(m) => m,
+        None => unreachable!("every callee var was mapped above"),
+    };
 
     // --- splice the blocks ------------------------------------------------
     let caller_cfg = &mut mcfg.cfgs[caller.index()];
@@ -298,8 +337,12 @@ fn remap_expr(e: &Expr, map_var: &impl Fn(VarId) -> VarId) -> Expr {
 /// directly comparable to the jump-function counts when code was
 /// duplicated (an occurrence inlined twice can be counted twice) — the
 /// path-precision-vs-growth trade-off §5 describes.
-pub fn integrate_and_count(mcfg: &ModuleCfg, max_statements: usize) -> (usize, InlineResult) {
-    let result = inline_leaf_calls(mcfg, max_statements);
+pub fn integrate_and_count(
+    mcfg: &ModuleCfg,
+    config: &Config,
+    max_statements: usize,
+) -> (usize, InlineResult) {
+    let result = inline_leaf_calls(mcfg, config, max_statements);
     let count = crate::substitute::intraprocedural_count(&result.module);
     (count, result)
 }
@@ -325,9 +368,34 @@ mod tests {
     }
 
     #[test]
+    fn configured_statement_limit_degrades_with_telemetry() {
+        use crate::config::AnalysisLimits;
+        let m = mcfg("proc main() { call f(); call f(); } proc f() { print 7; }");
+        let limits = AnalysisLimits {
+            max_inline_statements: total_statements(&m),
+            ..AnalysisLimits::default()
+        };
+        let r = inline_leaf_calls(&m, &Config::default().with_limits(limits), 10_000);
+        assert_eq!(r.inlined_calls, 0, "the configured limit stops all growth");
+        assert_eq!(r.health.count(Stage::Inline), 1, "{}", r.health);
+        // The explicit cap is the caller's own choice — no degradation.
+        let r = inline_leaf_calls(&m, &Config::default(), total_statements(&m));
+        assert_eq!(r.inlined_calls, 0);
+        assert!(!r.health.degraded(), "{}", r.health);
+    }
+
+    #[test]
+    fn fault_injection_stops_inlining_deterministically() {
+        let m = mcfg("proc main() { call f(); call f(); } proc f() { print 7; }");
+        let r = inline_leaf_calls(&m, &Config::default().with_fault(Stage::Inline, 2), 10_000);
+        assert_eq!(r.inlined_calls, 1, "the fault trips at the second splice");
+        assert_eq!(r.health.count(Stage::Inline), 1, "{}", r.health);
+    }
+
+    #[test]
     fn leaf_call_is_spliced_away() {
         let m = mcfg("proc main() { x = 3; call f(x, 4); print x; } proc f(a, b) { print a * b; }");
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 1);
         let main_cfg = r.module.cfg(r.module.module.entry);
         let has_call = main_cfg
@@ -341,7 +409,7 @@ mod tests {
     #[test]
     fn by_reference_formals_alias_caller_storage() {
         let m = mcfg("proc main() { x = 1; call bump(x); print x; } proc bump(a) { a = a + 41; }");
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();
         assert_eq!(out.output, vec![42]);
@@ -352,7 +420,7 @@ mod tests {
         let m = mcfg(
             "proc main() { read x; call f(x + 1); print x; } proc f(a) { a = 99; print a; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[5], &[0]]);
     }
 
@@ -363,7 +431,7 @@ mod tests {
         let m = mcfg(
             "proc main() { call g(); call g(); } proc g() { t = t + 7; print t; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 2);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();
@@ -378,7 +446,7 @@ mod tests {
              proc b(y) { call c(y + 1); } \
              proc c(z) { print z; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert!(r.rounds >= 2, "rounds {}", r.rounds);
         behaviour_preserved(&m, &r.module, &[&[]]);
         // main is now call-free.
@@ -395,7 +463,7 @@ mod tests {
             "proc main() { x = 3; call f(x); print x; } \
              proc f(a) { if (a > 0) { a = a - 1; call f(a); } }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 0);
         behaviour_preserved(&m, &r.module, &[&[]]);
     }
@@ -405,7 +473,7 @@ mod tests {
         let m = mcfg(
             "proc main() { call f(); } proc f() { array t[4]; t[0] = 1; print t[0]; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 0);
     }
 
@@ -415,9 +483,9 @@ mod tests {
             "proc main() { call f(); call f(); call f(); call f(); } \
              proc f() { print 1; print 2; print 3; print 4; print 5; }",
         );
-        let unbounded = inline_leaf_calls(&m, 100_000);
+        let unbounded = inline_leaf_calls(&m, &Config::default(), 100_000);
         assert_eq!(unbounded.inlined_calls, 4);
-        let bounded = inline_leaf_calls(&m, total_statements(&m) + 6);
+        let bounded = inline_leaf_calls(&m, &Config::default(), total_statements(&m) + 6);
         assert!(bounded.inlined_calls < 4, "{}", bounded.inlined_calls);
         behaviour_preserved(&m, &bounded.module, &[&[]]);
     }
@@ -427,7 +495,7 @@ mod tests {
         let m = mcfg(
             "proc main() { do i = 1, 3 { call f(i); } } proc f(k) { s = k * 2; print s; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();
         assert_eq!(out.output, vec![2, 4, 6]);
@@ -442,7 +510,7 @@ mod tests {
         let m = mcfg(src);
         let jf = Analysis::run(&m, &Config::polynomial()).substitute(&m).total;
         assert_eq!(jf, 0);
-        let (integrated, r) = integrate_and_count(&m, 10_000);
+        let (integrated, r) = integrate_and_count(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 2);
         assert_eq!(integrated, 4, "each inlined copy keeps its constant");
         behaviour_preserved(&m, &r.module, &[&[]]);
@@ -453,7 +521,7 @@ mod tests {
         let m = mcfg(
             "global g; proc main() { g = 5; call f(); print g; } proc f() { g = g + 1; }",
         );
-        let r = inline_leaf_calls(&m, 10_000);
+        let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();
         assert_eq!(out.output, vec![6]);
@@ -463,7 +531,7 @@ mod tests {
     fn suite_programs_survive_integration() {
         for p in ipcp_suite::PROGRAMS {
             let m = p.module_cfg();
-            let r = inline_leaf_calls(&m, 5_000);
+            let r = inline_leaf_calls(&m, &Config::default(), 5_000);
             behaviour_preserved(&m, &r.module, &[p.inputs]);
         }
     }

@@ -12,7 +12,9 @@
 //! (from the actual arguments) followed by every scalar global (whose
 //! value is transmitted implicitly at the call).
 
-use crate::config::{Config, JumpFnKind};
+use crate::config::{AnalysisLimits, Config, Stage};
+use crate::config::JumpFnKind;
+use crate::health::Governor;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
@@ -103,6 +105,34 @@ impl JumpFn {
         }
     }
 
+    /// Clamps this jump function to the configured shape budgets,
+    /// degrading down the §3.1 ladder: an over-budget polynomial weakens
+    /// to a pass-through when it is a bare entry slot (and one slot of
+    /// support is affordable), otherwise to ⊥ — which is always sound,
+    /// since a weaker jump function merely transmits less information.
+    ///
+    /// Returns the (possibly weakened) function and whether it degraded.
+    pub fn clamp(self, limits: &AnalysisLimits) -> (JumpFn, bool) {
+        match self {
+            JumpFn::Poly(p) => {
+                if p.fits_within(limits.max_poly_terms, limits.max_poly_degree, limits.max_support)
+                {
+                    (JumpFn::Poly(p), false)
+                } else if let Some(v) = p.as_var() {
+                    if limits.max_support >= 1 {
+                        (JumpFn::PassThrough(v), true)
+                    } else {
+                        (JumpFn::Bottom, true)
+                    }
+                } else {
+                    (JumpFn::Bottom, true)
+                }
+            }
+            JumpFn::PassThrough(_) if limits.max_support == 0 => (JumpFn::Bottom, true),
+            other => (other, false),
+        }
+    }
+
     /// Whether the function is the constant `⊥`.
     pub fn is_bottom(&self) -> bool {
         matches!(self, JumpFn::Bottom)
@@ -162,12 +192,18 @@ impl ForwardJumpFns {
 /// `symbolics[p]` must hold the SSA form and polynomial evaluation of
 /// procedure `p` under the configuration's call-effect assumptions (the
 /// pipeline builds these once and shares them).
+///
+/// Every constructed function charges one construction step to the
+/// governor's [`Stage::Jump`] budget and is clamped to the configured
+/// polynomial shape limits; exhaustion degrades the function to ⊥ and
+/// records a [degradation event](crate::health::DegradationEvent).
 pub fn build_forward_jump_fns(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
     config: &Config,
     symbolics: &[Option<ProcSymbolic>],
+    gov: &mut Governor,
 ) -> ForwardJumpFns {
     let n_globals = layout.scalar_globals.len();
     let mut out = ForwardJumpFns {
@@ -190,6 +226,7 @@ pub fn build_forward_jump_fns(
             }
         }
         let callee = mcfg.module.proc(edge.callee);
+        let caller_name = mcfg.module.proc(edge.caller).name.clone();
         let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ps.ssa.call_info(edge.site)
         else {
             continue;
@@ -222,7 +259,7 @@ pub fn build_forward_jump_fns(
                     None => JumpFn::Bottom,
                 }
             };
-            fns.push(jf);
+            fns.push(govern(jf, gov, &caller_name, edge.site.index(), i));
         }
         // A resolution-checked program always supplies every formal.
         while fns.len() < callee.arity() {
@@ -231,18 +268,42 @@ pub fn build_forward_jump_fns(
 
         // Global slots. The literal jump function misses them entirely
         // ("constant globals … passed implicitly at the call site").
-        for j in 0..n_globals {
+        for (j, &pre) in global_pre.iter().enumerate().take(n_globals) {
             let jf = if config.jump_fn == JumpFnKind::Literal {
                 JumpFn::Bottom
             } else {
-                JumpFn::from_sym(ps.sym.value(global_pre[j]), config.jump_fn)
+                JumpFn::from_sym(ps.sym.value(pre), config.jump_fn)
             };
-            fns.push(jf);
+            let slot = callee.arity() + j;
+            fns.push(govern(jf, gov, &caller_name, edge.site.index(), slot));
         }
 
         out.sites[edge.caller.index()][edge.site.index()] = fns;
     }
     out
+}
+
+/// Charges one construction step and clamps the function to the shape
+/// budgets, degrading to ⊥ (and recording why) when either trips.
+fn govern(jf: JumpFn, gov: &mut Governor, caller: &str, site: usize, slot: usize) -> JumpFn {
+    if !gov.charge(Stage::Jump) {
+        if !jf.is_bottom() {
+            gov.record(
+                Stage::Jump,
+                format!("{caller}: site {site} slot {slot}: construction budget exhausted; forced to ⊥"),
+            );
+        }
+        return JumpFn::Bottom;
+    }
+    let limits = *gov.limits();
+    let (clamped, degraded) = jf.clamp(&limits);
+    if degraded {
+        gov.record(
+            Stage::Jump,
+            format!("{caller}: site {site} slot {slot}: polynomial exceeds shape limits; degraded to {clamped}"),
+        );
+    }
+    clamped
 }
 
 /// A procedure's SSA form together with its polynomial evaluation —
@@ -328,6 +389,40 @@ mod tests {
         let p = Poly::var(0).mul(&Poly::constant(i64::MAX)).unwrap();
         let jf = JumpFn::Poly(p);
         assert_eq!(jf.eval(|_| Lattice::Const(3)), Lattice::Bottom);
+    }
+
+    #[test]
+    fn clamp_degrades_down_the_ladder() {
+        let tiny = AnalysisLimits::tiny(); // 1 term, degree 1, support 1
+        // x*y: one term but degree 2, and not a bare slot → ⊥.
+        let xy = Poly::var(0).mul(&Poly::var(1)).unwrap();
+        assert_eq!(JumpFn::Poly(xy).clamp(&tiny), (JumpFn::Bottom, true));
+        // A bare slot fits even the tiny budget.
+        assert_eq!(
+            JumpFn::Poly(Poly::var(2)).clamp(&tiny),
+            (JumpFn::Poly(Poly::var(2)), false)
+        );
+        // With a zero degree budget a bare slot weakens to pass-through…
+        let degree_zero = AnalysisLimits {
+            max_poly_degree: 0,
+            ..AnalysisLimits::default()
+        };
+        assert_eq!(
+            JumpFn::Poly(Poly::var(2)).clamp(&degree_zero),
+            (JumpFn::PassThrough(2), true)
+        );
+        // …and with no support budget at all, to ⊥.
+        let no_support = AnalysisLimits {
+            max_support: 0,
+            ..AnalysisLimits::default()
+        };
+        assert_eq!(
+            JumpFn::PassThrough(1).clamp(&no_support),
+            (JumpFn::Bottom, true)
+        );
+        // Constants and ⊥ survive any budget unchanged.
+        assert_eq!(JumpFn::Const(9).clamp(&no_support), (JumpFn::Const(9), false));
+        assert_eq!(JumpFn::Bottom.clamp(&tiny), (JumpFn::Bottom, false));
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! // The Metzger–Stroud usefulness metric: constants substituted.
 //! let substituted = analysis.substitute(&mcfg);
 //! assert!(substituted.total > 0);
-//! # Ok::<(), ipcp_ir::Diagnostics>(())
+//! # Ok::<(), ipcp::IpcpError>(())
 //! ```
 //!
 //! ## Crate map
@@ -55,13 +55,19 @@
 //!   transformation;
 //! * [`complete`] — propagate ⇄ dead-code-eliminate to fixpoint;
 //! * [`cloning`] — procedure cloning driven by incoming constant vectors
-//!   (the application pursued by Metzger–Stroud and Cooper–Hall–Kennedy).
+//!   (the application pursued by Metzger–Stroud and Cooper–Hall–Kennedy);
+//! * [`health`] — analysis budgets, the degradation governor, and run
+//!   telemetry (see `docs/ROBUSTNESS.md`);
+//! * [`error`] — the unified [`IpcpError`] taxonomy over front-end
+//!   diagnostics, interpreter faults, and exhausted budgets.
 
 pub mod binding;
 pub mod cloning;
 pub mod complete;
 pub mod config;
+pub mod error;
 pub mod explain;
+pub mod health;
 pub mod inline;
 pub mod jump;
 pub mod pipeline;
@@ -79,8 +85,10 @@ pub mod lattice {
 pub use binding::solve_binding_graph;
 pub use cloning::{clone_by_constants, cloning_gain, CloneResult};
 pub use complete::{complete_propagation, CompleteResult};
-pub use config::{Config, JumpFnKind};
+pub use config::{AnalysisLimits, Config, FaultInjection, JumpFnKind, Stage};
+pub use error::IpcpError;
 pub use explain::{explain, Explanation};
+pub use health::{AnalysisHealth, DegradationEvent, Governor};
 pub use inline::{inline_leaf_calls, integrate_and_count, InlineResult};
 pub use jump::{ForwardJumpFns, JumpFn};
 pub use lattice::Lattice;

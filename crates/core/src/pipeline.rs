@@ -2,14 +2,15 @@
 //! generate forward jump functions, propagate interprocedurally, record
 //! the results.
 
-use crate::config::Config;
+use crate::config::{Config, Stage};
+use crate::error::IpcpError;
+use crate::health::{AnalysisHealth, Governor};
 use crate::jump::{build_forward_jump_fns, ForwardJumpFns, ProcSymbolic};
 use crate::retjump::{build_return_jfs, RetOracle, ReturnJumpFns};
 use crate::solver::{solve, ValSets};
 use crate::substitute::{self, Substitution};
 use ipcp_analysis::{build_call_graph, compute_modref, CallGraph, ModRef};
 use ipcp_ir::cfg::ModuleCfg;
-use ipcp_ir::error::Diagnostics;
 use ipcp_ir::program::{ProcId, SlotLayout};
 use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
 use ipcp_ssa::ssa::{build_ssa, build_ssa_pruned, CallKills, ModKills, WorstCaseKills};
@@ -37,6 +38,10 @@ pub struct Analysis {
     pub jump_fns: ForwardJumpFns,
     /// The fixpoint `VAL` sets.
     pub vals: ValSets,
+    /// Degradation telemetry: empty when every stage ran to completion
+    /// within its [`AnalysisLimits`](crate::config::AnalysisLimits); the
+    /// results stay sound either way.
+    pub health: AnalysisHealth,
 }
 
 impl Analysis {
@@ -53,8 +58,12 @@ impl Analysis {
         if config.gated_jump_fns {
             for _ in 0..4 {
                 let vals = analysis.vals.vals.clone();
-                let next = Self::run_once(mcfg, config, Some(&vals));
+                let mut next = Self::run_once(mcfg, config, Some(&vals));
                 let stable = next.vals.vals == analysis.vals.vals;
+                // Telemetry accumulates across gating rounds.
+                let mut health = std::mem::take(&mut analysis.health);
+                health.absorb(std::mem::take(&mut next.health));
+                next.health = health;
                 analysis = next;
                 if stable {
                     break;
@@ -72,6 +81,7 @@ impl Analysis {
         let cg = build_call_graph(mcfg);
         let modref = compute_modref(mcfg, &cg);
         let layout = SlotLayout::new(&mcfg.module);
+        let mut gov = Governor::new(config);
 
         let mod_kills = ModKills(&modref);
         let kills: &dyn CallKills = if config.use_mod {
@@ -82,7 +92,7 @@ impl Analysis {
 
         // Stage 1: return jump functions (bottom-up over the call graph).
         let ret_jfs = if config.use_return_jfs {
-            build_return_jfs(mcfg, &cg, &layout, kills, config.compose_return_jfs)
+            build_return_jfs(mcfg, &cg, &layout, kills, config.compose_return_jfs, &mut gov)
         } else {
             ReturnJumpFns {
                 fns: vec![None; mcfg.module.procs.len()],
@@ -133,19 +143,34 @@ impl Analysis {
             } else {
                 None
             };
-            let sym = if config.use_return_jfs {
+            let max_steps = gov.limits().max_symbolic_steps;
+            let (sym, steps_exhausted) = if config.use_return_jfs {
                 let oracle = RetOracle {
                     table: &ret_jfs,
                     mcfg,
                     layout: &layout,
                 };
-                ipcp_ssa::symbolic::evaluate_gated(mcfg, &ssa, &layout, &oracle, gate.as_ref())
+                ipcp_ssa::symbolic::evaluate_budgeted(
+                    mcfg, &ssa, &layout, &oracle, gate.as_ref(), max_steps,
+                )
             } else {
-                ipcp_ssa::symbolic::evaluate_gated(mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref())
+                ipcp_ssa::symbolic::evaluate_budgeted(
+                    mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref(), max_steps,
+                )
             };
+            if steps_exhausted {
+                gov.record(
+                    Stage::Jump,
+                    format!(
+                        "{}: symbolic evaluation step budget exhausted; \
+                         pending values forced to ⊥",
+                        mcfg.module.proc(p).name
+                    ),
+                );
+            }
             symbolics.push(Some(ProcSymbolic { ssa, sym, gate }));
         }
-        let jump_fns = build_forward_jump_fns(mcfg, &cg, &layout, config, &symbolics);
+        let jump_fns = build_forward_jump_fns(mcfg, &cg, &layout, config, &symbolics, &mut gov);
 
         // Stage 3: interprocedural propagation.
         let entry_globals = if config.assume_zero_globals {
@@ -153,7 +178,7 @@ impl Analysis {
         } else {
             Lattice::Bottom
         };
-        let vals = solve(mcfg, &cg, &layout, &jump_fns, entry_globals);
+        let vals = solve(mcfg, &cg, &layout, &jump_fns, entry_globals, &mut gov);
 
         Analysis {
             config: *config,
@@ -164,6 +189,7 @@ impl Analysis {
             symbolics,
             jump_fns,
             vals,
+            health: gov.into_health(),
         }
     }
 
@@ -199,7 +225,10 @@ impl Analysis {
 ///
 /// # Errors
 ///
-/// Front-end diagnostics if the source is malformed.
+/// [`IpcpError::Frontend`] if the source is malformed. Budget exhaustion
+/// is **not** an error here — the analysis degrades soundly and reports
+/// what happened in [`Analysis::health`]; callers that demand full
+/// precision can promote degradations with [`IpcpError::check_strict`].
 ///
 /// ```
 /// use ipcp::{analyze_source, Config};
@@ -210,9 +239,10 @@ impl Analysis {
 /// let f = mcfg.module.proc_named("f").unwrap().id;
 /// let consts = analysis.constants_of(&mcfg, f);
 /// assert_eq!(consts, vec![("a".to_string(), 6), ("b".to_string(), 7)]);
-/// # Ok::<(), ipcp_ir::Diagnostics>(())
+/// assert!(!analysis.health.degraded());
+/// # Ok::<(), ipcp::IpcpError>(())
 /// ```
-pub fn analyze_source(src: &str, config: &Config) -> Result<(ModuleCfg, Analysis), Diagnostics> {
+pub fn analyze_source(src: &str, config: &Config) -> Result<(ModuleCfg, Analysis), IpcpError> {
     let module = ipcp_ir::parse_and_resolve(src)?;
     let mcfg = ipcp_ir::lower_module(&module);
     let analysis = Analysis::run(&mcfg, config);

@@ -48,6 +48,9 @@ pub struct CostReport {
     pub ssa_values: usize,
     /// Constant entry slots across reachable procedures.
     pub constant_slots: usize,
+    /// Degradation events recorded by the budget governor (0 means the
+    /// run completed at full precision).
+    pub degradations: usize,
 }
 
 impl CostReport {
@@ -59,6 +62,7 @@ impl CostReport {
             solver_meets: analysis.vals.meets,
             solver_iterations: analysis.vals.iterations,
             constant_slots: analysis.vals.n_constants(),
+            degradations: analysis.health.events.len(),
             ..CostReport::default()
         };
         for sites in &analysis.jump_fns.sites {
@@ -142,7 +146,8 @@ impl fmt::Display for CostReport {
             self.solver_meets, self.solver_iterations
         )?;
         writeln!(f, "ssa values               {}", self.ssa_values)?;
-        writeln!(f, "constant entry slots     {}", self.constant_slots)
+        writeln!(f, "constant entry slots     {}", self.constant_slots)?;
+        writeln!(f, "degradations             {}", self.degradations)
     }
 }
 
@@ -202,8 +207,21 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let text = report(SRC, &Config::default()).to_string();
-        for needle in ["call sites", "support", "solver", "constant entry slots"] {
+        for needle in ["call sites", "support", "solver", "constant entry slots", "degradations"] {
             assert!(text.contains(needle), "{text}");
         }
+    }
+
+    #[test]
+    fn degradations_counted_from_health() {
+        let full = report(SRC, &Config::default());
+        assert_eq!(full.degradations, 0, "default limits never degrade");
+        let limits = crate::config::AnalysisLimits {
+            max_solver_iterations: 1,
+            ..crate::config::AnalysisLimits::default()
+        };
+        let clipped = report(SRC, &Config::default().with_limits(limits));
+        assert!(clipped.degradations > 0, "{clipped:?}");
+        assert!(clipped.constant_slots <= full.constant_slots);
     }
 }

@@ -16,6 +16,8 @@
 //! be evaluated as constant". The `compose_return_jfs` extension lifts
 //! this by substituting the actual-argument polynomials symbolically.
 
+use crate::config::Stage;
+use crate::health::Governor;
 use crate::jump::JumpFn;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
@@ -24,7 +26,7 @@ use ipcp_ssa::lattice::Lattice;
 use ipcp_ssa::poly::Poly;
 use ipcp_ssa::sccp::CallDefLattice;
 use ipcp_ssa::ssa::{build_ssa, CallKills};
-use ipcp_ssa::symbolic::{evaluate, CallDefEval, RetTarget, SymVal};
+use ipcp_ssa::symbolic::{evaluate_budgeted, CallDefEval, RetTarget, SymVal};
 
 /// The return jump functions of a whole program: `fns[p][slot]`.
 ///
@@ -192,6 +194,7 @@ pub fn build_return_jfs(
     layout: &SlotLayout,
     kills: &dyn CallKills,
     compose: bool,
+    gov: &mut Governor,
 ) -> ReturnJumpFns {
     let mut table = ReturnJumpFns {
         fns: vec![None; mcfg.module.procs.len()],
@@ -199,15 +202,26 @@ pub fn build_return_jfs(
     };
     for p in cg.bottom_up() {
         let ssa = build_ssa(mcfg, p, kills);
-        let sym = {
+        let max_steps = gov.limits().max_symbolic_steps;
+        let (sym, steps_exhausted) = {
             let oracle = RetOracle {
                 table: &table,
                 mcfg,
                 layout,
             };
-            evaluate(mcfg, &ssa, layout, &oracle)
+            evaluate_budgeted(mcfg, &ssa, layout, &oracle, None, max_steps)
         };
         let proc = mcfg.module.proc(p);
+        if steps_exhausted {
+            gov.record(
+                Stage::RetJump,
+                format!(
+                    "{}: symbolic evaluation step budget exhausted; \
+                     pending values forced to ⊥",
+                    proc.name
+                ),
+            );
+        }
         let n_slots = layout.n_slots(proc.arity());
         let mut fns = Vec::with_capacity(n_slots);
         for slot in 0..n_slots {
@@ -239,6 +253,34 @@ pub fn build_return_jfs(
                 }
                 _ => JumpFn::Bottom,
             };
+            // Each slot classification charges the return-jump budget, and
+            // the result is clamped to the polynomial shape limits.
+            let jf = if gov.charge(Stage::RetJump) {
+                let limits = *gov.limits();
+                let (clamped, degraded) = jf.clamp(&limits);
+                if degraded {
+                    gov.record(
+                        Stage::RetJump,
+                        format!(
+                            "{}: slot {slot}: polynomial exceeds shape limits; \
+                             degraded to {clamped}",
+                            proc.name
+                        ),
+                    );
+                }
+                clamped
+            } else {
+                if !jf.is_bottom() {
+                    gov.record(
+                        Stage::RetJump,
+                        format!(
+                            "{}: slot {slot}: classification budget exhausted; forced to ⊥",
+                            proc.name
+                        ),
+                    );
+                }
+                JumpFn::Bottom
+            };
             fns.push(jf);
         }
         table.fns[p.index()] = Some(fns);
@@ -258,7 +300,7 @@ mod tests {
         let cg = build_call_graph(&m);
         let mr = compute_modref(&m, &cg);
         let layout = SlotLayout::new(&m.module);
-        let table = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), false);
+        let table = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), false, &mut Governor::unlimited());
         (m, cg, layout, table)
     }
 
@@ -376,7 +418,7 @@ mod tests {
         let mr = compute_modref(&m, &cg);
         let layout = SlotLayout::new(&m.module);
         for (compose, expect_poly) in [(false, false), (true, true)] {
-            let t = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), compose);
+            let t = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), compose, &mut Governor::unlimited());
             let oracle = RetOracle { table: &t, mcfg: &m, layout: &layout };
             let add1 = m.module.proc_named("add1").unwrap().id;
             // Argument symbolically = caller's formal-like poly var 0.

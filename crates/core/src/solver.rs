@@ -11,6 +11,8 @@
 //! the callee's `VAL`; because each element can be lowered at most twice
 //! (Figure 1), the iteration terminates quickly.
 
+use crate::config::Stage;
+use crate::health::Governor;
 use crate::jump::ForwardJumpFns;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
@@ -97,12 +99,20 @@ impl fmt::Display for ValDisplay<'_> {
 /// `entry_globals` is the initial assumption for the entry procedure's
 /// global slots (⊥ for FORTRAN-style unknown, `Const(0)` for FT's defined
 /// zero initialization).
+///
+/// Each procedure re-evaluation charges one [`Stage::Solver`] iteration to
+/// the governor. If the budget trips mid-solve, the partially descended
+/// `VAL` sets are still optimistic (too high to be trusted), so every
+/// reachable procedure's slots are forced to ⊥ — the lattice's always-safe
+/// answer — and a degradation event is recorded. Unreachable procedures
+/// keep ⊤, which is equally sound (they never execute).
 pub fn solve(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
     jump_fns: &ForwardJumpFns,
     entry_globals: Lattice,
+    gov: &mut Governor,
 ) -> ValSets {
     let n_procs = mcfg.module.procs.len();
     let mut vals: Vec<Vec<Lattice>> = (0..n_procs)
@@ -131,6 +141,21 @@ pub fn solve(
     queued[entry.index()] = true;
 
     while let Some(p) = work.pop_front() {
+        if !gov.charge(Stage::Solver) {
+            gov.record(
+                Stage::Solver,
+                format!(
+                    "iteration budget exhausted after {iterations} re-evaluations; \
+                     all reachable entry slots forced to ⊥"
+                ),
+            );
+            for (pi, v) in vals.iter_mut().enumerate() {
+                if cg.reachable[pi] {
+                    v.fill(Lattice::Bottom);
+                }
+            }
+            break;
+        }
         queued[p.index()] = false;
         iterations += 1;
         for edge in cg.calls_from(p) {

@@ -39,7 +39,10 @@ impl fmt::Display for BlockId {
 
 impl From<usize> for BlockId {
     fn from(i: usize) -> Self {
-        BlockId(u32::try_from(i).expect("block id overflow"))
+        match u32::try_from(i) {
+            Ok(n) => BlockId(n),
+            Err(_) => unreachable!("block id overflow"),
+        }
     }
 }
 
@@ -68,7 +71,10 @@ impl fmt::Display for CallSiteId {
 
 impl From<usize> for CallSiteId {
     fn from(i: usize) -> Self {
-        CallSiteId(u32::try_from(i).expect("call site id overflow"))
+        match u32::try_from(i) {
+            Ok(n) => CallSiteId(n),
+            Err(_) => unreachable!("call site id overflow"),
+        }
     }
 }
 

@@ -18,7 +18,8 @@
 //! only. `do var = lo, hi, step` evaluates `hi` and `step` once, then
 //! iterates while `var <= hi` (positive step) or `var >= hi` (negative
 //! step); a zero step runs zero iterations. `read` past the end of the
-//! input yields `0`.
+//! input is a runtime error ([`ExecError::InputExhausted`]) unless
+//! [`ExecLimits::lenient_reads`] is set, in which case it yields `0`.
 
 use crate::cfg::{CStmt, ModuleCfg, Terminator};
 use crate::lang::ast::{BinOp, UnOp};
@@ -37,6 +38,11 @@ pub struct ExecLimits {
     pub max_call_depth: usize,
     /// Whether to record the per-entry value trace.
     pub trace: bool,
+    /// When set, a `read` past the end of the input yields `0` instead of
+    /// raising [`ExecError::InputExhausted`]. Off by default: silently
+    /// manufacturing zeros hides harness bugs where a generated input
+    /// vector is shorter than the program's dynamic `read` count.
+    pub lenient_reads: bool,
 }
 
 impl Default for ExecLimits {
@@ -45,6 +51,7 @@ impl Default for ExecLimits {
             max_steps: 2_000_000,
             max_call_depth: 200,
             trace: true,
+            lenient_reads: false,
         }
     }
 }
@@ -65,6 +72,9 @@ pub enum ExecError {
     },
     /// The step budget was exhausted (probable infinite loop).
     OutOfFuel,
+    /// A `read` executed after the input vector was consumed (strict
+    /// mode; see [`ExecLimits::lenient_reads`]).
+    InputExhausted,
     /// The call stack exceeded the configured depth.
     CallDepthExceeded,
     /// A write to a scalar reachable under two names in one activation
@@ -82,6 +92,7 @@ impl fmt::Display for ExecError {
                 write!(f, "index {index} out of bounds for array of length {len}")
             }
             ExecError::OutOfFuel => write!(f, "step budget exhausted"),
+            ExecError::InputExhausted => write!(f, "read past the end of the input"),
             ExecError::CallDepthExceeded => write!(f, "call depth exceeded"),
             ExecError::AliasedWrite => {
                 write!(f, "write to a variable aliased through reference passing")
@@ -161,6 +172,10 @@ struct Frame {
     array_locs: Vec<Option<ArrLoc>>,
 }
 
+/// Per-argument formal bindings produced by `Machine::bind_args`: the
+/// scalar and array location slots, parallel to the argument list.
+type Bindings = (Vec<Option<Loc>>, Vec<Option<ArrLoc>>);
+
 impl<'a> Machine<'a> {
     fn new(module: &Module, input: &'a [i64], limits: ExecLimits) -> Self {
         let mut m = Machine {
@@ -215,10 +230,14 @@ impl<'a> Machine<'a> {
         loc
     }
 
-    fn read_input(&mut self) -> i64 {
-        let v = self.input.get(self.input_pos).copied().unwrap_or(0);
+    fn read_input(&mut self) -> Result<i64, ExecError> {
+        let v = match self.input.get(self.input_pos) {
+            Some(&v) => v,
+            None if self.limits.lenient_reads => 0,
+            None => return Err(ExecError::InputExhausted),
+        };
         self.input_pos += 1;
-        v
+        Ok(v)
     }
 
     /// Builds the frame for a fresh activation of `proc`, binding formals
@@ -287,8 +306,8 @@ impl<'a> Machine<'a> {
         }
         let globals = self.layout.scalar_globals.clone();
         for g in globals {
-            let loc = self.global_scalar_locs[g.index()].expect("scalar global has a loc");
-            snap.push(Some(self.scalars[loc.0]));
+            // The resolver allocates a loc for every scalar global.
+            snap.push(self.global_scalar_locs[g.index()].map(|loc| self.scalars[loc.0]));
         }
         self.trace.entries.push((proc.id, snap));
     }
@@ -322,8 +341,11 @@ impl<'a> Machine<'a> {
         if index < 0 || index >= len {
             return Err(ExecError::IndexOutOfBounds { index, len });
         }
-        let l = frame.array_locs[v.index()].expect("checked above");
-        Ok(self.arrays[l.0][index as usize])
+        match frame.array_locs[v.index()] {
+            Some(l) => Ok(self.arrays[l.0][index as usize]),
+            // A var with no backing array has len 0, caught above.
+            None => Err(ExecError::IndexOutOfBounds { index, len }),
+        }
     }
 
     fn store(&mut self, frame: &Frame, v: VarId, index: i64, value: i64) -> Result<(), ExecError> {
@@ -331,9 +353,14 @@ impl<'a> Machine<'a> {
         if index < 0 || index >= len {
             return Err(ExecError::IndexOutOfBounds { index, len });
         }
-        let l = frame.array_locs[v.index()].expect("checked above");
-        self.arrays[l.0][index as usize] = value;
-        Ok(())
+        match frame.array_locs[v.index()] {
+            Some(l) => {
+                self.arrays[l.0][index as usize] = value;
+                Ok(())
+            }
+            // A var with no backing array has len 0, caught above.
+            None => Err(ExecError::IndexOutOfBounds { index, len }),
+        }
     }
 
     fn eval(&self, frame: &Frame, e: &Expr) -> Result<i64, ExecError> {
@@ -361,11 +388,7 @@ impl<'a> Machine<'a> {
 
     /// Evaluates call arguments to formal bindings, allocating copy-in
     /// cells for by-value arguments.
-    fn bind_args(
-        &mut self,
-        frame: &Frame,
-        args: &[Arg],
-    ) -> Result<(Vec<Option<Loc>>, Vec<Option<ArrLoc>>), ExecError> {
+    fn bind_args(&mut self, frame: &Frame, args: &[Arg]) -> Result<Bindings, ExecError> {
         let mut scalars = Vec::with_capacity(args.len());
         let mut arrays = Vec::with_capacity(args.len());
         for a in args {
@@ -480,7 +503,7 @@ fn run_proc_ast(
     let frame = machine.make_frame(proc, formal_scalars, formal_arrays);
     let alias_marks = machine.note_aliases(&frame);
     machine.record_entry(proc, &frame);
-    let result = run_block_ast(module, proc, &proc.body, machine, &frame, depth);
+    let result = run_block_ast(module, &proc.body, machine, &frame, depth);
     machine.drop_aliases(alias_marks);
     result?;
     // Stack-discipline reclamation: everything this frame allocated sits at
@@ -492,7 +515,6 @@ fn run_proc_ast(
 
 fn run_block_ast(
     module: &Module,
-    proc: &Proc,
     block: &Block,
     machine: &mut Machine<'_>,
     frame: &Frame,
@@ -511,7 +533,7 @@ fn run_block_ast(
                 machine.store(frame, *arr, i, v)?;
             }
             Stmt::Read(dst, _) => {
-                let v = machine.read_input();
+                let v = machine.read_input()?;
                 machine.set_scalar(frame, *dst, v)?;
             }
             Stmt::Print(value, _) => {
@@ -522,7 +544,7 @@ fn run_block_ast(
             Stmt::If(cond, then_blk, else_blk, _) => {
                 let c = machine.eval(frame, cond)?;
                 let blk = if c != 0 { then_blk } else { else_blk };
-                if let Flow::Return = run_block_ast(module, proc, blk, machine, frame, depth)? {
+                if let Flow::Return = run_block_ast(module, blk, machine, frame, depth)? {
                     return Ok(Flow::Return);
                 }
             }
@@ -531,7 +553,7 @@ fn run_block_ast(
                 if machine.eval(frame, cond)? == 0 {
                     break;
                 }
-                if let Flow::Return = run_block_ast(module, proc, body, machine, frame, depth)? {
+                if let Flow::Return = run_block_ast(module, body, machine, frame, depth)? {
                     return Ok(Flow::Return);
                 }
             },
@@ -549,9 +571,7 @@ fn run_block_ast(
                     if !go {
                         break;
                     }
-                    if let Flow::Return =
-                        run_block_ast(module, proc, body, machine, frame, depth)?
-                    {
+                    if let Flow::Return = run_block_ast(module, body, machine, frame, depth)? {
                         return Ok(Flow::Return);
                     }
                     // The induction variable may have been modified by the
@@ -636,7 +656,7 @@ fn run_proc_cfg(
                     machine.store(&frame, *array, i, v)?;
                 }
                 CStmt::Read { dst } => {
-                    let v = machine.read_input();
+                    let v = machine.read_input()?;
                     machine.set_scalar(&frame, *dst, v)?;
                 }
                 CStmt::Print { value } => {
@@ -702,8 +722,21 @@ mod tests {
     }
 
     #[test]
-    fn read_past_end_yields_zero() {
-        let out = run("proc main() { read a; read b; print a; print b; }", &[9]);
+    fn read_past_end_errors_in_strict_mode() {
+        let m = parse_and_resolve("proc main() { read a; read b; print a; print b; }").unwrap();
+        let err = run_module(&m, &[9], &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, ExecError::InputExhausted);
+        let err = exec_cfg(&lower_module(&m), &[9], &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, ExecError::InputExhausted);
+    }
+
+    #[test]
+    fn read_past_end_yields_zero_when_lenient() {
+        let m = parse_and_resolve("proc main() { read a; read b; print a; print b; }").unwrap();
+        let limits = ExecLimits { lenient_reads: true, ..ExecLimits::default() };
+        let out = run_module(&m, &[9], &limits).unwrap();
+        assert_eq!(out.output, vec![9, 0]);
+        let out = exec_cfg(&lower_module(&m), &[9], &limits).unwrap();
         assert_eq!(out.output, vec![9, 0]);
     }
 

@@ -48,19 +48,53 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
     }
 }
 
+/// Maximum nesting depth of expressions and blocks. Recursive descent
+/// uses the host stack, so unbounded nesting (e.g. ten thousand open
+/// parentheses) would overflow it; past this depth the parser reports a
+/// diagnostic instead of recursing.
+const MAX_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
     diags: Diagnostics,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+    fn new(mut tokens: Vec<Token>) -> Self {
+        // `peek` indexes `tokens[..len]` unconditionally; guarantee the
+        // vector is non-empty and Eof-terminated even for callers that
+        // bypass `lex` (which always appends Eof).
+        if tokens.last().is_none_or(|t| t.kind != TokenKind::Eof) {
+            let at = tokens.last().map_or(0, |t| t.span.end);
+            tokens.push(Token::new(TokenKind::Eof, Span::new(at, at)));
+        }
         Parser {
             tokens,
             pos: 0,
+            depth: 0,
             diags: Diagnostics::new(),
         }
+    }
+
+    /// Charges one nesting level; errors (once per offending branch) when
+    /// the source nests deeper than [`MAX_DEPTH`].
+    fn enter(&mut self, what: &str) -> bool {
+        if self.depth >= MAX_DEPTH {
+            self.diags.error(
+                format!("{what} nesting exceeds the supported depth ({MAX_DEPTH})"),
+                self.peek_span(),
+            );
+            false
+        } else {
+            self.depth += 1;
+            true
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Token {
@@ -233,6 +267,15 @@ impl Parser {
     }
 
     fn block(&mut self) -> Option<Block> {
+        if !self.enter("block") {
+            return None;
+        }
+        let block = self.block_inner();
+        self.leave();
+        block
+    }
+
+    fn block_inner(&mut self) -> Option<Block> {
         self.expect(&TokenKind::LBrace)?;
         let mut stmts = Vec::new();
         while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
@@ -298,6 +341,10 @@ impl Parser {
                     format!("expected statement, found `{other}`"),
                     self.peek_span(),
                 );
+                // Consume the offending token: the caller's recovery loop
+                // stops *before* braces, so leaving it in place would spin
+                // forever on a stray `{` here.
+                self.bump();
                 None
             }
         }
@@ -433,7 +480,12 @@ impl Parser {
     // ---- expressions (precedence climbing) ----
 
     fn expr(&mut self) -> Option<Expr> {
-        self.or_expr()
+        if !self.enter("expression") {
+            return None;
+        }
+        let e = self.or_expr();
+        self.leave();
+        e
     }
 
     fn binary_tier(
@@ -508,6 +560,17 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Option<Expr> {
+        // Unary operators recurse without passing through `expr`; charge
+        // depth here too so `----…x` cannot overflow the stack.
+        if !self.enter("expression") {
+            return None;
+        }
+        let e = self.unary_expr_inner();
+        self.leave();
+        e
+    }
+
+    fn unary_expr_inner(&mut self) -> Option<Expr> {
         if self.at(&TokenKind::Minus) {
             let start = self.bump().span;
             let operand = self.unary_expr()?;
@@ -725,6 +788,51 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn stray_brace_after_failed_statement_terminates() {
+        // Regression: recovery used to stop *before* a `{` without
+        // consuming it, then re-enter `stmt` on the same token forever.
+        let err = parse_program("proc main() { x = { } }").unwrap_err();
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn deep_parentheses_diagnose_instead_of_overflowing() {
+        let src = format!("proc main() {{ x = {}1{}; }}", "(".repeat(10_000), ")".repeat(10_000));
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting exceeds"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chains_diagnose_instead_of_overflowing() {
+        let src = format!("proc main() {{ x = {}1; }}", "-".repeat(10_000));
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting exceeds"), "{err}");
+    }
+
+    #[test]
+    fn deep_blocks_diagnose_instead_of_overflowing() {
+        let src = format!(
+            "proc main() {{ {} print 1; {} }}",
+            "if (1) {".repeat(10_000),
+            "}".repeat(10_000)
+        );
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting exceeds"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_stays_within_the_cap() {
+        let src = format!("proc main() {{ x = {}1{}; }}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_program(&src).is_ok());
+        let src = format!(
+            "proc main() {{ {} print 1; {} }}",
+            "if (1) {".repeat(100),
+            "}".repeat(100)
+        );
+        assert!(parse_program(&src).is_ok());
     }
 
     #[test]

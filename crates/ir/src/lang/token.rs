@@ -32,6 +32,9 @@ pub enum Keyword {
 
 impl Keyword {
     /// Parses an identifier-like word into a keyword, if it is one.
+    // Not `FromStr`: absence of a keyword is the normal case (it's an
+    // identifier), not an error.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "proc" => Keyword::Proc,

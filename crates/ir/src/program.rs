@@ -883,12 +883,10 @@ impl<'a> Resolver<'a> {
             }
             for (pi, v) in promote {
                 let info = &mut procs[pi].vars[v.index()];
-                if !info.is_array {
-                    if info.is_formal() {
-                        info.is_array = true;
-                        changed = true;
-                    }
-                    // Non-formals are reported in `check_call_sites`.
+                // Non-formals are reported in `check_call_sites`.
+                if !info.is_array && info.is_formal() {
+                    info.is_array = true;
+                    changed = true;
                 }
             }
             if !changed {

@@ -38,10 +38,16 @@ impl DomTree {
         let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
             while a != b {
                 while rpo_pos[a.index()] > rpo_pos[b.index()] {
-                    a = idom[a.index()].expect("processed block has idom");
+                    match idom[a.index()] {
+                        Some(d) => a = d,
+                        None => unreachable!("processed block has idom"),
+                    }
                 }
                 while rpo_pos[b.index()] > rpo_pos[a.index()] {
-                    b = idom[b.index()].expect("processed block has idom");
+                    match idom[b.index()] {
+                        Some(d) => b = d,
+                        None => unreachable!("processed block has idom"),
+                    }
                 }
             }
             a
@@ -117,7 +123,11 @@ impl DomTree {
             if cur == self.entry {
                 return false;
             }
-            cur = self.idom[cur.index()].expect("reachable block");
+            // Reachable blocks have an idom chain ending at the entry.
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
         }
     }
 
@@ -156,12 +166,12 @@ pub fn dominance_frontiers(cfg: &Cfg, dom: &DomTree) -> Vec<Vec<BlockId>> {
     let n = cfg.len();
     let mut df = vec![Vec::new(); n];
     let preds = cfg.predecessors();
-    for b in 0..n {
+    for (b, b_preds) in preds.iter().enumerate().take(n) {
         let bid = BlockId::from(b);
         if !dom.is_reachable(bid) {
             continue;
         }
-        let reachable_preds: Vec<BlockId> = preds[b]
+        let reachable_preds: Vec<BlockId> = b_preds
             .iter()
             .copied()
             .filter(|&p| dom.is_reachable(p))

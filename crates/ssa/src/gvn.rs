@@ -60,9 +60,10 @@ pub fn number(ssa: &SsaProc) -> ValueNumbering {
     // termination argument, so the run is round-capped; if it fails to
     // settle, retry without the collapse (which provably refines and
     // terminates). In practice the capped run always converges.
-    number_with(ssa, true).unwrap_or_else(|| {
-        number_with(ssa, false).expect("collapse-free numbering terminates")
-    })
+    match number_with(ssa, true).or_else(|| number_with(ssa, false)) {
+        Some(numbering) => numbering,
+        None => unreachable!("collapse-free numbering terminates"),
+    }
 }
 
 fn number_with(ssa: &SsaProc, collapse: bool) -> Option<ValueNumbering> {
@@ -74,7 +75,7 @@ fn number_with(ssa: &SsaProc, collapse: bool) -> Option<ValueNumbering> {
         let mut table: HashMap<Key, u32> = HashMap::new();
         let mut next: Vec<u32> = vec![0; n];
         let mut fresh = 0u32;
-        for i in 0..n {
+        for (i, slot) in next.iter_mut().enumerate() {
             let v = ValueId::from(i);
             let key = match ssa.value(v) {
                 ValueKind::Const(c) => Key::Const(*c),
@@ -112,7 +113,7 @@ fn number_with(ssa: &SsaProc, collapse: bool) -> Option<ValueNumbering> {
                 fresh += 1;
                 id
             });
-            next[i] = id;
+            *slot = id;
         }
         // `PhiCollapsed(c)` must land in the same class as the values whose
         // class is `c`: remap collapsed phis onto their argument's class.

@@ -69,14 +69,10 @@ impl Poly {
     pub fn as_const(&self) -> Option<i64> {
         match self.terms.len() {
             0 => Some(0),
-            1 => {
-                let (m, &c) = self.terms.iter().next().expect("len checked");
-                if m.is_empty() {
-                    Some(c)
-                } else {
-                    None
-                }
-            }
+            1 => match self.terms.iter().next() {
+                Some((m, &c)) if m.is_empty() => Some(c),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -87,11 +83,9 @@ impl Poly {
         if self.terms.len() != 1 {
             return None;
         }
-        let (m, &c) = self.terms.iter().next().expect("len checked");
-        if c == 1 && m.len() == 1 && m[0].1 == 1 {
-            Some(m[0].0)
-        } else {
-            None
+        match self.terms.iter().next() {
+            Some((m, &c)) if c == 1 && m.len() == 1 && m[0].1 == 1 => Some(m[0].0),
+            _ => None,
         }
     }
 
@@ -120,6 +114,16 @@ impl Poly {
     /// Number of terms.
     pub fn n_terms(&self) -> usize {
         self.terms.len()
+    }
+
+    /// Whether the polynomial's shape is within the given caps — used by
+    /// analysis budgets tighter than the intrinsic [`Poly::MAX_TERMS`] /
+    /// [`Poly::MAX_DEGREE`] ceilings. Support is counted as distinct
+    /// variables.
+    pub fn fits_within(&self, max_terms: usize, max_degree: u32, max_support: usize) -> bool {
+        self.n_terms() <= max_terms
+            && self.degree() <= max_degree
+            && self.support().len() <= max_support
     }
 
     fn insert_term(&mut self, m: Monomial, c: i64) -> Option<()> {
@@ -478,6 +482,22 @@ mod tests {
             }
         }
         assert!(capped);
+    }
+
+    #[test]
+    fn fits_within_checks_all_three_axes() {
+        // p = x*y + 3: 2 terms, degree 2, support {x, y}.
+        let p = x()
+            .mul(&y())
+            .unwrap()
+            .add(&Poly::constant(3))
+            .unwrap();
+        assert!(p.fits_within(2, 2, 2));
+        assert!(!p.fits_within(1, 2, 2), "term cap");
+        assert!(!p.fits_within(2, 1, 2), "degree cap");
+        assert!(!p.fits_within(2, 2, 1), "support cap");
+        // Constants fit any budget.
+        assert!(Poly::constant(7).fits_within(1, 0, 0));
     }
 
     #[test]

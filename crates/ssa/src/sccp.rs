@@ -214,10 +214,12 @@ pub fn run(
             }
             Terminator::Return => {}
             Terminator::Branch { then_bb, else_bb, .. } => {
+                // Lowering attaches a condition value to every branch; if
+                // it were ever missing, ⊥ (both arms live) is the safe read.
                 let cond = ssa.blocks[b.index()]
                     .term_cond
-                    .expect("branch has a condition value");
-                match values[cond.index()] {
+                    .map_or(Lattice::Bottom, |c| values[c.index()]);
+                match cond {
                     Lattice::Top => {} // wait for the condition to resolve
                     Lattice::Const(c) => {
                         let t = if c != 0 { *then_bb } else { *else_bb };

@@ -47,7 +47,10 @@ impl fmt::Display for ValueId {
 
 impl From<usize> for ValueId {
     fn from(i: usize) -> Self {
-        ValueId(u32::try_from(i).expect("value id overflow"))
+        match u32::try_from(i) {
+            Ok(n) => ValueId(n),
+            Err(_) => unreachable!("value id overflow"),
+        }
     }
 }
 
@@ -249,9 +252,7 @@ impl SsaProc {
 
     /// Iterates over `(block, site, callee, arg_vals, defs)` for every
     /// reachable call.
-    pub fn calls(
-        &self,
-    ) -> impl Iterator<Item = (BlockId, CallSiteId, &[Option<ValueId>], &[(VarId, ValueId)])> {
+    pub fn calls(&self) -> impl Iterator<Item = CallRecord<'_>> {
         self.blocks.iter().enumerate().flat_map(|(bi, blk)| {
             blk.stmts.iter().filter_map(move |s| match s {
                 StmtInfo::Call { site, arg_vals, defs, .. } => {
@@ -262,6 +263,10 @@ impl SsaProc {
         })
     }
 }
+
+/// One reachable call, as yielded by [`SsaProc::calls`]:
+/// `(block, site, argument values, values defined by the call)`.
+pub type CallRecord<'a> = (BlockId, CallSiteId, &'a [Option<ValueId>], &'a [(VarId, ValueId)]);
 
 /// Oracle deciding which caller variables a call statement may modify.
 ///
@@ -364,11 +369,9 @@ impl<'a> Builder<'a> {
         let global_vars = layout
             .scalar_globals
             .iter()
-            .map(|&g| {
-                mcfg.module
-                    .proc(proc)
-                    .var_for_global(g)
-                    .expect("every procedure aliases every scalar global")
+            .map(|&g| match mcfg.module.proc(proc).var_for_global(g) {
+                Some(v) => v,
+                None => unreachable!("every procedure aliases every scalar global"),
             })
             .collect();
         Builder {
@@ -656,9 +659,10 @@ impl<'a> Builder<'a> {
     }
 
     fn current(&self, v: VarId) -> ValueId {
-        *self.stacks[v.index()]
-            .last()
-            .expect("scalar variable has an initial definition")
+        match self.stacks[v.index()].last() {
+            Some(&val) => val,
+            None => unreachable!("scalar variable has an initial definition"),
+        }
     }
 
     fn lower_expr(&mut self, e: &Expr, use_vals: &mut Vec<ValueId>) -> ValueId {

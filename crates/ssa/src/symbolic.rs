@@ -229,6 +229,25 @@ pub fn evaluate_gated(
     oracle: &dyn CallDefEval,
     gate: Option<&crate::sccp::SccpResult>,
 ) -> Symbolic {
+    evaluate_budgeted(mcfg, ssa, layout, oracle, gate, u64::MAX).0
+}
+
+/// Like [`evaluate_gated`], but with a transfer-step budget.
+///
+/// When `max_steps` runs out mid-fixpoint, every value still pending on
+/// the worklist — and everything data-dependent on one — is forced to ⊥
+/// and the second return value is `true`. The resulting assignment is
+/// still *consistent* (each value is either at its fixpoint or ⊥, and ⊥
+/// absorbs every transfer function), so downstream jump functions built
+/// from it remain sound; they are merely weaker.
+pub fn evaluate_budgeted(
+    mcfg: &ModuleCfg,
+    ssa: &SsaProc,
+    layout: &SlotLayout,
+    oracle: &dyn CallDefEval,
+    gate: Option<&crate::sccp::SccpResult>,
+    max_steps: u64,
+) -> (Symbolic, bool) {
     let slot_of_var = slot_map(mcfg, ssa.proc, layout);
     let n = ssa.len();
     let mut values = vec![SymVal::Top; n];
@@ -236,11 +255,17 @@ pub fn evaluate_gated(
 
     // Evaluate every value once, then chase changes through users.
     let mut work: Vec<ValueId> = (0..n).map(ValueId::from).collect();
-    let mut iterations = 0usize;
-    while let Some(v) = work.pop() {
+    let mut iterations = 0u64;
+    let mut exhausted = false;
+    while let Some(&v) = work.last() {
+        if iterations >= max_steps {
+            exhausted = true;
+            break;
+        }
+        work.pop();
         iterations += 1;
         debug_assert!(
-            iterations <= 8 * n.max(1) * n.max(1) + 64,
+            iterations <= 8 * (n.max(1) * n.max(1) + 8) as u64,
             "symbolic evaluation failed to converge"
         );
         let next = transfer(mcfg, ssa, &slot_of_var, &values, v, oracle, gate);
@@ -256,7 +281,18 @@ pub fn evaluate_gated(
         }
     }
 
-    Symbolic { values, slot_of_var }
+    if exhausted {
+        // Pending values may be stale; sink them and their transitive
+        // users to ⊥ so the assignment stays consistent.
+        while let Some(v) = work.pop() {
+            if values[v.index()] != SymVal::Bottom {
+                values[v.index()] = SymVal::Bottom;
+                work.extend(users[v.index()].iter().copied());
+            }
+        }
+    }
+
+    (Symbolic { values, slot_of_var }, exhausted)
 }
 
 fn rank(v: &SymVal) -> u8 {
@@ -403,6 +439,36 @@ mod tests {
     fn constants_fold_through_locals() {
         let v = printed_sym("proc main() { x = 3; y = x * 4 + 2; print y; }", "main");
         assert_eq!(v.as_const(), Some(14));
+    }
+
+    #[test]
+    fn step_budget_degrades_to_bottom_consistently() {
+        let src = "proc main() { x = 3; y = x * 4 + 2; z = y - 1; print z; }";
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let pid = m.module.entry;
+        let cg = build_call_graph(&m);
+        let mr = compute_modref(&m, &cg);
+        let ssa = build_ssa(&m, pid, &ModKills(&mr));
+        let layout = SlotLayout::new(&m.module);
+        // Unlimited budget reports no exhaustion and matches evaluate().
+        let (full, hit) = evaluate_budgeted(&m, &ssa, &layout, &OpaqueCalls, None, u64::MAX);
+        assert!(!hit);
+        assert_eq!(full.values, evaluate(&m, &ssa, &layout, &OpaqueCalls).values);
+        // A two-step budget exhausts; every value is then at its fixpoint
+        // or ⊥ (consistency), and exhaustion is reported.
+        let (cut, hit) = evaluate_budgeted(&m, &ssa, &layout, &OpaqueCalls, None, 2);
+        assert!(hit);
+        for (i, v) in cut.values.iter().enumerate() {
+            assert!(
+                *v == SymVal::Bottom || *v == full.values[i],
+                "value {i} is {v}, neither ⊥ nor its fixpoint {}",
+                full.values[i]
+            );
+        }
+        // A zero budget sinks everything.
+        let (zero, hit) = evaluate_budgeted(&m, &ssa, &layout, &OpaqueCalls, None, 0);
+        assert!(hit);
+        assert!(zero.values.iter().all(|v| *v == SymVal::Bottom));
     }
 
     #[test]

@@ -1,112 +1,128 @@
-//! Property-based algebra checks: the polynomial ring under evaluation,
-//! and the Figure-1 lattice laws over arbitrary elements.
+//! Property-style algebra checks: the polynomial ring under evaluation,
+//! and the Figure-1 lattice laws over arbitrary elements. Randomness comes
+//! from the suite's deterministic PRNG, so every run tests the same cases.
 
 use ipcp_ssa::lattice::Lattice;
 use ipcp_ssa::poly::Poly;
-use proptest::prelude::*;
+use ipcp_suite::Rng;
 
 /// A small random polynomial over variables 0..4, built from a list of
 /// (coefficient, exponents) terms by repeated checked ring operations.
-fn arb_poly() -> impl Strategy<Value = Poly> {
-    proptest::collection::vec(
-        (
-            -20i64..=20,
-            proptest::collection::vec(0u32..=2, 4), // exponent per variable
-        ),
-        0..5,
-    )
-    .prop_map(|terms| {
-        let mut p = Poly::zero();
-        for (c, exps) in terms {
-            let mut term = Poly::constant(c);
-            for (v, e) in exps.iter().enumerate() {
-                for _ in 0..*e {
-                    term = match term.mul(&Poly::var(v as u32)) {
-                        Some(t) => t,
-                        None => return p,
-                    };
-                }
+fn arb_poly(rng: &mut Rng) -> Poly {
+    let n_terms = rng.below(5);
+    let mut p = Poly::zero();
+    for _ in 0..n_terms {
+        let c = rng.range(-20, 20);
+        let mut term = Poly::constant(c);
+        for v in 0..4u32 {
+            let e = rng.range(0, 2);
+            for _ in 0..e {
+                term = match term.mul(&Poly::var(v)) {
+                    Some(t) => t,
+                    None => return p,
+                };
             }
-            p = match p.add(&term) {
-                Some(q) => q,
-                None => return p,
-            };
         }
-        p
-    })
+        p = match p.add(&term) {
+            Some(q) => q,
+            None => return p,
+        };
+    }
+    p
 }
 
-fn arb_env() -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::vec(-9i64..=9, 4)
+fn arb_env(rng: &mut Rng) -> Vec<i64> {
+    (0..4).map(|_| rng.range(-9, 9)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// eval is a ring homomorphism: eval(a ⊕ b) = eval(a) ⊕ eval(b).
-    #[test]
-    fn eval_commutes_with_ring_ops(a in arb_poly(), b in arb_poly(), env in arb_env()) {
+/// eval is a ring homomorphism: eval(a ⊕ b) = eval(a) ⊕ eval(b).
+#[test]
+fn eval_commutes_with_ring_ops() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..256 {
+        let (a, b, env) = (arb_poly(&mut rng), arb_poly(&mut rng), arb_env(&mut rng));
         if let (Some(sum), Some(va), Some(vb)) = (a.add(&b), a.eval(&env), b.eval(&env)) {
             if let (Some(vs), Some(expect)) = (sum.eval(&env), va.checked_add(vb)) {
-                prop_assert_eq!(vs, expect);
+                assert_eq!(vs, expect);
             }
         }
         if let (Some(prod), Some(va), Some(vb)) = (a.mul(&b), a.eval(&env), b.eval(&env)) {
             if let (Some(vp), Some(expect)) = (prod.eval(&env), va.checked_mul(vb)) {
-                prop_assert_eq!(vp, expect);
+                assert_eq!(vp, expect);
             }
         }
         if let (Some(diff), Some(va), Some(vb)) = (a.sub(&b), a.eval(&env), b.eval(&env)) {
             if let (Some(vd), Some(expect)) = (diff.eval(&env), va.checked_sub(vb)) {
-                prop_assert_eq!(vd, expect);
+                assert_eq!(vd, expect);
             }
         }
     }
+}
 
-    /// Ring laws at the representation level (canonical form ⇒ equality).
-    #[test]
-    fn ring_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+/// Ring laws at the representation level (canonical form ⇒ equality).
+#[test]
+fn ring_laws() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..256 {
+        let (a, b, c) = (arb_poly(&mut rng), arb_poly(&mut rng), arb_poly(&mut rng));
         // Commutativity.
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
         // a - a = 0.
-        prop_assert_eq!(a.sub(&a), Some(Poly::zero()));
+        assert_eq!(a.sub(&a), Some(Poly::zero()));
         // Identities.
-        prop_assert_eq!(a.add(&Poly::zero()), Some(a.clone()));
-        prop_assert_eq!(a.mul(&Poly::constant(1)), Some(a.clone()));
-        prop_assert_eq!(a.mul(&Poly::zero()), Some(Poly::zero()));
+        assert_eq!(a.add(&Poly::zero()), Some(a.clone()));
+        assert_eq!(a.mul(&Poly::constant(1)), Some(a.clone()));
+        assert_eq!(a.mul(&Poly::zero()), Some(Poly::zero()));
         // Associativity of addition (when all steps fit).
         if let (Some(ab), Some(bc)) = (a.add(&b), b.add(&c)) {
             if let (Some(l), Some(r)) = (ab.add(&c), a.add(&bc)) {
-                prop_assert_eq!(l, r);
+                assert_eq!(l, r);
             }
         }
         // Distributivity (when all steps fit).
         if let (Some(bc), Some(ab), Some(ac)) = (b.add(&c), a.mul(&b), a.mul(&c)) {
             if let (Some(l), Some(r)) = (a.mul(&bc), ab.add(&ac)) {
-                prop_assert_eq!(l, r);
+                assert_eq!(l, r);
             }
         }
     }
+}
 
-    /// Exact division round-trips and matches truncating semantics.
-    #[test]
-    fn div_exact_round_trips(a in arb_poly(), d in prop_oneof![1i64..=9, -9i64..=-1], env in arb_env()) {
+/// Exact division round-trips and matches truncating semantics.
+#[test]
+fn div_exact_round_trips() {
+    let mut rng = Rng::new(0xD1F);
+    for _ in 0..256 {
+        let a = arb_poly(&mut rng);
+        let d = {
+            let mag = rng.range(1, 9);
+            if rng.chance(1, 2) {
+                mag
+            } else {
+                -mag
+            }
+        };
+        let env = arb_env(&mut rng);
         if let Some(scaled) = a.mul(&Poly::constant(d)) {
             let q = scaled.div_exact(d).expect("scaled poly divides exactly");
-            prop_assert_eq!(&q, &a);
-            prop_assert!(scaled.divisible_by(d));
+            assert_eq!(&q, &a);
+            assert!(scaled.divisible_by(d));
             if let (Some(vs), Some(vq)) = (scaled.eval(&env), q.eval(&env)) {
-                prop_assert_eq!(vs / d, vq); // truncating division is exact here
-                prop_assert_eq!(vs % d, 0);
+                assert_eq!(vs / d, vq); // truncating division is exact here
+                assert_eq!(vs % d, 0);
             }
         }
     }
+}
 
-    /// Substitution composes with evaluation: eval(p[x := q]) =
-    /// eval-with-x-replaced.
-    #[test]
-    fn substitute_commutes_with_eval(p in arb_poly(), q in arb_poly(), env in arb_env()) {
+/// Substitution composes with evaluation: eval(p[x := q]) =
+/// eval-with-x-replaced.
+#[test]
+fn substitute_commutes_with_eval() {
+    let mut rng = Rng::new(0x5AB);
+    for _ in 0..256 {
+        let (p, q, env) = (arb_poly(&mut rng), arb_poly(&mut rng), arb_env(&mut rng));
         let composed = p.substitute(|v| {
             if v == 0 {
                 Some(q.clone())
@@ -117,16 +133,21 @@ proptest! {
         if let (Some(composed), Some(qv)) = (composed, q.eval(&env)) {
             let mut env2 = env.clone();
             env2[0] = qv;
-            match (composed.eval(&env), p.eval(&env2)) {
-                (Some(l), Some(r)) => prop_assert_eq!(l, r),
-                _ => {} // overflow on one side; nothing to compare
-            }
+            if let (Some(l), Some(r)) = (composed.eval(&env), p.eval(&env2)) {
+                assert_eq!(l, r);
+            } // overflow on one side: nothing to compare
         }
     }
+}
 
-    /// Support is exactly the set of variables eval depends on.
-    #[test]
-    fn support_is_precise(p in arb_poly(), env in arb_env(), delta in 1i64..=5) {
+/// Support is exactly the set of variables eval depends on.
+#[test]
+fn support_is_precise() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..256 {
+        let p = arb_poly(&mut rng);
+        let env = arb_env(&mut rng);
+        let delta = rng.range(1, 5);
         let support = p.support();
         for v in 0..4u32 {
             if support.contains(&v) {
@@ -134,30 +155,32 @@ proptest! {
             }
             let mut env2 = env.clone();
             env2[v as usize] += delta;
-            match (p.eval(&env), p.eval(&env2)) {
-                (Some(a), Some(b)) => prop_assert_eq!(a, b, "non-support var {} mattered", v),
-                _ => {}
+            if let (Some(a), Some(b)) = (p.eval(&env), p.eval(&env2)) {
+                assert_eq!(a, b, "non-support var {v} mattered");
             }
         }
     }
+}
 
-    /// Lattice laws over arbitrary elements (extends the unit tests'
-    /// fixed samples).
-    #[test]
-    fn lattice_laws(raw in proptest::collection::vec(proptest::option::of(-5i64..=5), 3)) {
-        let lift = |x: &Option<i64>, i: usize| match x {
-            None if i % 2 == 0 => Lattice::Top,
-            None => Lattice::Bottom,
-            Some(c) => Lattice::Const(*c),
-        };
-        let a = lift(&raw[0], 0);
-        let b = lift(&raw[1], 1);
-        let c = lift(&raw[2], 2);
-        prop_assert_eq!(a.meet(b), b.meet(a));
-        prop_assert_eq!(a.meet(a), a);
-        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
-        prop_assert_eq!(Lattice::Top.meet(a), a);
-        prop_assert_eq!(Lattice::Bottom.meet(a), Lattice::Bottom);
-        prop_assert!(a.meet(b).height() >= a.height().max(b.height()));
+/// Lattice laws over arbitrary elements (extends the unit tests' fixed
+/// samples).
+#[test]
+fn lattice_laws() {
+    let mut rng = Rng::new(0x1A7);
+    let arb_lattice = |rng: &mut Rng| match rng.below(4) {
+        0 => Lattice::Top,
+        1 => Lattice::Bottom,
+        _ => Lattice::Const(rng.range(-5, 5)),
+    };
+    for _ in 0..256 {
+        let a = arb_lattice(&mut rng);
+        let b = arb_lattice(&mut rng);
+        let c = arb_lattice(&mut rng);
+        assert_eq!(a.meet(b), b.meet(a));
+        assert_eq!(a.meet(a), a);
+        assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+        assert_eq!(Lattice::Top.meet(a), a);
+        assert_eq!(Lattice::Bottom.meet(a), Lattice::Bottom);
+        assert!(a.meet(b).height() >= a.height().max(b.height()));
     }
 }

@@ -6,7 +6,6 @@ use ipcp_ir::{lower_module, parse_and_resolve};
 use ipcp_ssa::dominators::{dominance_frontiers, DomTree};
 use ipcp_ssa::ssa::{build_ssa, ModKills, ValueKind};
 use ipcp_suite::{generate, GenConfig};
-use proptest::prelude::*;
 
 fn modules(seed: u64) -> ipcp_ir::ModuleCfg {
     let src = generate(&GenConfig::default(), seed);
@@ -33,18 +32,16 @@ fn naive_dominates(cfg: &ipcp_ir::cfg::Cfg, a: BlockId, b: BlockId) -> bool {
     cfg.reachable()[b.index()] && !seen[b.index()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    #[test]
-    fn dominators_match_reachability_definition(seed in 0u64..100_000) {
+#[test]
+fn dominators_match_reachability_definition() {
+    for seed in 0u64..40 {
         let mcfg = modules(seed);
         for (_, cfg) in mcfg.iter() {
             let dom = DomTree::build(cfg);
             for a in 0..cfg.len() {
                 for b in 0..cfg.len() {
                     let (a, b) = (BlockId::from(a), BlockId::from(b));
-                    prop_assert_eq!(
+                    assert_eq!(
                         dom.dominates(a, b),
                         naive_dominates(cfg, a, b),
                         "dominates({}, {}) mismatch (seed {})", a, b, seed
@@ -54,8 +51,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn dominance_frontier_definition_holds(seed in 0u64..100_000) {
+}
+
+#[test]
+fn dominance_frontier_definition_holds() {
+    for seed in 0u64..40 {
         let mcfg = modules(seed);
         for (_, cfg) in mcfg.iter() {
             let dom = DomTree::build(cfg);
@@ -78,7 +78,7 @@ proptest! {
                         .any(|&p| dom.is_reachable(p) && dom.dominates(a, p));
                     let strictly = a != b && dom.dominates(a, b);
                     let expected = dominates_a_pred && !strictly;
-                    prop_assert_eq!(
+                    assert_eq!(
                         df[a.index()].contains(&b),
                         expected,
                         "DF({}) vs {} (seed {})", a, b, seed
@@ -88,8 +88,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn ssa_phis_have_one_arg_per_reachable_pred(seed in 0u64..100_000) {
+}
+
+#[test]
+fn ssa_phis_have_one_arg_per_reachable_pred() {
+    for seed in 0u64..40 {
         let mcfg = modules(seed);
         let cg = build_call_graph(&mcfg);
         let mr = compute_modref(&mcfg, &cg);
@@ -105,22 +108,25 @@ proptest! {
                         .filter(|p| reach[p.index()])
                         .collect();
                     let args = &ssa.phi_args[i];
-                    prop_assert_eq!(
+                    assert_eq!(
                         args.len(),
                         reachable_preds.len(),
                         "phi arg count (seed {})",
                         seed
                     );
                     for (pred, _) in args {
-                        prop_assert!(reachable_preds.contains(pred));
+                        assert!(reachable_preds.contains(pred));
                     }
                 }
             }
         }
     }
 
-    #[test]
-    fn ssa_uses_are_dominated_by_defs(seed in 0u64..100_000) {
+}
+
+#[test]
+fn ssa_uses_are_dominated_by_defs() {
+    for seed in 0u64..40 {
         // Structural SSA invariant: for every value with operands, each
         // operand exists (indices in range) and phi blocks are reachable.
         let mcfg = modules(seed);
@@ -132,17 +138,20 @@ proptest! {
             for i in 0..ssa.len() {
                 let v = ipcp_ssa::ValueId::from(i);
                 for op in ssa.operands(v) {
-                    prop_assert!(op.index() < ssa.len());
+                    assert!(op.index() < ssa.len());
                 }
                 if let ValueKind::Phi { block, .. } = ssa.value(v) {
-                    prop_assert!(reach[block.index()]);
+                    assert!(reach[block.index()]);
                 }
             }
         }
     }
 
-    #[test]
-    fn gvn_never_merges_distinct_constants(seed in 0u64..100_000) {
+}
+
+#[test]
+fn gvn_never_merges_distinct_constants() {
+    for seed in 0u64..40 {
         let mcfg = modules(seed);
         let cg = build_call_graph(&mcfg);
         let mr = compute_modref(&mcfg, &cg);
@@ -154,7 +163,7 @@ proptest! {
                 if let ValueKind::Const(c) = kind {
                     let class = vn.class[i];
                     if let Some(prev) = by_class.insert(class, *c) {
-                        prop_assert_eq!(prev, *c, "class merged {} and {}", prev, c);
+                        assert_eq!(prev, *c, "class merged {} and {}", prev, c);
                     }
                 }
             }
@@ -162,13 +171,11 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// Pruned SSA: never more phis than minimal, and the analyses agree
-    /// on every observable value (prints and exits).
-    #[test]
-    fn pruned_ssa_agrees_with_minimal(seed in 0u64..100_000) {
+/// Pruned SSA: never more phis than minimal, and the analyses agree
+/// on every observable value (prints and exits).
+#[test]
+fn pruned_ssa_agrees_with_minimal() {
+    for seed in 0u64..32 {
         use ipcp_ir::program::SlotLayout;
         use ipcp_ssa::sccp::{self, OpaqueCallsLattice, Seeds};
         use ipcp_ssa::ssa::{build_ssa_pruned, StmtInfo};
@@ -187,7 +194,7 @@ proptest! {
                     .filter(|k| matches!(k, ValueKind::Phi { .. }))
                     .count()
             };
-            prop_assert!(phis(&pruned) <= phis(&minimal));
+            assert!(phis(&pruned) <= phis(&minimal));
 
             // Observable agreement: printed values under SCCP and the
             // symbolic evaluator.
@@ -203,11 +210,11 @@ proptest! {
                         StmtInfo::Print { value: vp, .. },
                     ) = (im, ip)
                     {
-                        prop_assert_eq!(
+                        assert_eq!(
                             sm.value(*vm), sp.value(*vp),
                             "SCCP disagreement in block {} (seed {})", bi, seed
                         );
-                        prop_assert_eq!(
+                        assert_eq!(
                             ym.value(*vm), yp.value(*vp),
                             "symbolic disagreement in block {} (seed {})", bi, seed
                         );
@@ -218,11 +225,11 @@ proptest! {
             for ((_, em), (_, ep)) in minimal.exits.iter().zip(&pruned.exits) {
                 for (vm, vp) in em.iter().zip(ep) {
                     match (vm, vp) {
-                        (Some(a), Some(b)) => prop_assert_eq!(
+                        (Some(a), Some(b)) => assert_eq!(
                             ym.value(*a), yp.value(*b), "exit disagreement (seed {})", seed
                         ),
                         (None, None) => {}
-                        other => prop_assert!(false, "exit shape mismatch: {:?}", other),
+                        other => panic!("exit shape mismatch: {other:?}"),
                     }
                 }
             }

@@ -8,8 +8,7 @@
 //! branches on read input, nested loops, and procedures that modify their
 //! reference parameters.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use std::fmt::Write as _;
 
 /// Knobs for [`generate`].
@@ -37,7 +36,7 @@ impl Default for GenConfig {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng,
     cfg: GenConfig,
     out: String,
 }
@@ -54,7 +53,7 @@ struct Gen {
 /// ```
 pub fn generate(config: &GenConfig, seed: u64) -> String {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(seed),
+        rng: Rng::new(seed),
         cfg: *config,
         out: String::new(),
     };
@@ -68,7 +67,7 @@ impl Gen {
             let _ = writeln!(self.out, "global g{gi};");
         }
         let arities: Vec<usize> = (0..self.cfg.n_procs)
-            .map(|i| if i == 0 { 0 } else { self.rng.gen_range(0..=3) })
+            .map(|i| if i == 0 { 0 } else { self.rng.below(4) as usize })
             .collect();
         for (i, &arity) in arities.iter().enumerate() {
             let name = if i == 0 {
@@ -98,7 +97,7 @@ impl Gen {
     }
 
     fn stmt(&mut self, scope: &mut Scope, indent: usize, depth: usize, arities: &[usize]) {
-        let choice = self.rng.gen_range(0..100);
+        let choice = self.rng.below(100);
         match choice {
             0..=34 => self.stmt_assign(scope, indent),
             35..=44 => {
@@ -112,23 +111,23 @@ impl Gen {
             55..=69 if depth > 0 => {
                 let c = self.cond(scope, indent);
                 self.line(indent, &format!("if ({c}) {{"));
-                let n = self.rng.gen_range(1..=2);
+                let n = self.rng.range(1, 2);
                 for _ in 0..n {
                     self.stmt(scope, indent + 1, depth - 1, arities);
                 }
-                if self.rng.gen_bool(0.4) {
+                if self.rng.chance(2, 5) {
                     self.line(indent, "} else {");
                     self.stmt(scope, indent + 1, depth - 1, arities);
                 }
                 self.line(indent, "}");
             }
             70..=79 if depth > 0 => {
-                let lo = self.rng.gen_range(0..=2);
-                let hi = self.rng.gen_range(0..=4);
+                let lo = self.rng.range(0, 2);
+                let hi = self.rng.range(0, 4);
                 let iv = format!("i{}", scope.loop_depth);
                 scope.loop_depth += 1;
                 self.line(indent, &format!("do {iv} = {lo}, {hi} {{"));
-                let n = self.rng.gen_range(1..=2);
+                let n = self.rng.range(1, 2);
                 for _ in 0..n {
                     self.stmt(scope, indent + 1, depth - 1, arities);
                 }
@@ -142,7 +141,7 @@ impl Gen {
                     self.stmt_assign(scope, indent);
                     return;
                 }
-                let callee = self.rng.gen_range(lo..arities.len());
+                let callee = lo + self.rng.below((arities.len() - lo) as u64) as usize;
                 // FT inherits the FORTRAN 77 aliasing rule: a procedure
                 // must not write a location visible under two names, so a
                 // conforming program never passes a global by reference
@@ -151,15 +150,15 @@ impl Gen {
                 let mut byref_used: Vec<String> = Vec::new();
                 let args: Vec<String> = (0..arities[callee])
                     .map(|_| {
-                        if self.rng.gen_bool(0.5) {
+                        if self.rng.chance(1, 2) {
                             let v = self.local_or_formal(scope);
                             if let Some(v) = v.filter(|v| !byref_used.contains(v)) {
                                 byref_used.push(v.clone());
                                 return v;
                             }
-                            self.rng.gen_range(-20..=20i64).to_string()
-                        } else if self.rng.gen_bool(0.5) {
-                            self.rng.gen_range(-20..=20i64).to_string()
+                            self.rng.range(-20, 20).to_string()
+                        } else if self.rng.chance(1, 2) {
+                            self.rng.range(-20, 20).to_string()
                         } else {
                             format!("0 + {}", self.expr(scope, indent))
                         }
@@ -172,7 +171,7 @@ impl Gen {
 
     fn stmt_assign(&mut self, scope: &mut Scope, indent: usize) {
         // Bias toward fresh locals so programs stay interesting.
-        let target = if self.rng.gen_bool(0.35) || scope.locals == 0 {
+        let target = if self.rng.chance(7, 20) || scope.locals == 0 {
             scope.locals += 1;
             format!("v{}", scope.locals - 1)
         } else {
@@ -188,7 +187,7 @@ impl Gen {
         if n == 0 {
             return None;
         }
-        let k = self.rng.gen_range(0..n);
+        let k = self.rng.below(n as u64) as usize;
         Some(if k < scope.locals {
             format!("v{k}")
         } else {
@@ -202,7 +201,7 @@ impl Gen {
         if n_choices == 0 {
             return "v0".to_owned(); // will be created as a local on use
         }
-        let k = self.rng.gen_range(0..n_choices);
+        let k = self.rng.below(n_choices as u64) as usize;
         if k < scope.locals {
             format!("v{k}")
         } else if k < scope.locals + scope.arity {
@@ -217,9 +216,9 @@ impl Gen {
     }
 
     fn expr_depth(&mut self, scope: &Scope, depth: usize) -> String {
-        if depth == 0 || self.rng.gen_bool(0.4) {
-            return if self.rng.gen_bool(0.45) {
-                self.rng.gen_range(-50..=50i64).to_string()
+        if depth == 0 || self.rng.chance(2, 5) {
+            return if self.rng.chance(9, 20) {
+                self.rng.range(-50, 50).to_string()
             } else {
                 // Reading an lvalue never creates it, so clamp to existing.
                 let mut s = self.lvalue(scope);
@@ -231,16 +230,16 @@ impl Gen {
         }
         let a = self.expr_depth(scope, depth - 1);
         let b = self.expr_depth(scope, depth - 1);
-        match self.rng.gen_range(0..10) {
+        match self.rng.below(10) {
             0..=3 => format!("({a} + {b})"),
             4..=6 => format!("({a} - {b})"),
             7 => format!("({a} * {b})"),
             8 => {
-                let d = self.rng.gen_range(2..=9);
+                let d = self.rng.range(2, 9);
                 format!("({a} / {d})")
             }
             _ => {
-                let d = self.rng.gen_range(2..=9);
+                let d = self.rng.range(2, 9);
                 format!("({a} % {d})")
             }
         }
@@ -249,7 +248,7 @@ impl Gen {
     fn cond(&mut self, scope: &Scope, _indent: usize) -> String {
         let a = self.expr_depth(scope, 1);
         let b = self.expr_depth(scope, 1);
-        let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.gen_range(0..6)];
+        let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.below(6) as usize];
         format!("{a} {op} {b}")
     }
 
@@ -295,6 +294,8 @@ mod tests {
     fn generated_programs_terminate() {
         let limits = ExecLimits {
             max_steps: 500_000,
+            // Generated programs may read more than the fixed vector holds.
+            lenient_reads: true,
             ..Default::default()
         };
         let mut ran = 0;

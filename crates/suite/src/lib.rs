@@ -19,9 +19,11 @@
 //! benchmarks.
 
 pub mod gen;
+pub mod rng;
 pub mod stats;
 
 pub use gen::{generate, GenConfig};
+pub use rng::Rng;
 pub use stats::{program_stats, ProgramStats};
 
 use ipcp_ir::{lower_module, parse_and_resolve, Diagnostics, Module, ModuleCfg};

@@ -1,0 +1,97 @@
+//! A tiny deterministic pseudo-random number generator (SplitMix64).
+//!
+//! The suite needs reproducible randomness for the program generator and
+//! for the property tests that replaced proptest when the workspace went
+//! dependency-free. SplitMix64 passes BigCrush, needs eight bytes of
+//! state, and — unlike an external crate — can never change its stream
+//! between versions, so `generate(config, seed)` is stable forever.
+
+/// Deterministic PRNG. The same seed always yields the same stream.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is ≤ n/2⁶⁴ — irrelevant for test-input generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        debug_assert!(den > 0 && num <= den);
+        self.below(den as u64) < num as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = Rng::new(99);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+        // Both endpoints of a small range appear.
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[(r.range(-3, 3) + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = Rng::new(1);
+        let hits = (0..10_000).filter(|_| r.chance(2, 5)).count();
+        assert!((3_500..4_500).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| r.chance(1, 1)));
+        assert!(!(0..100).any(|_| r.chance(0, 1)));
+    }
+}

@@ -32,7 +32,10 @@ pub struct ProgramStats {
 ///
 /// Panics if the source does not parse.
 pub fn program_stats(name: &str, src: &str) -> ProgramStats {
-    let ast = parse_program(src).expect("stats input parses");
+    let ast = match parse_program(src) {
+        Ok(ast) => ast,
+        Err(diags) => panic!("stats input does not parse: {diags:?}"),
+    };
     let mut starts: Vec<usize> = ast.procs.iter().map(|p| p.span.start as usize).collect();
     starts.sort_unstable();
 

@@ -1,0 +1,248 @@
+//! Robustness: the crash-free pipeline guarantee.
+//!
+//! Three properties, checked over generated programs, mutated sources and
+//! adversarially small budgets:
+//!
+//! 1. **No panics.** `analyze_source` and `Analysis::run` return values
+//!    (or `IpcpError`s) for every input, however mangled — verified with a
+//!    `catch_unwind` oracle.
+//! 2. **Termination.** Every analysis completes under every budget (the
+//!    tests themselves would hang otherwise).
+//! 3. **Soundness under degradation.** Whatever the budgets, every pair
+//!    reported in `CONSTANTS(p)` still holds on every dynamic entry
+//!    observed by the reference interpreter — degradation may only lose
+//!    precision (to ⊥), never invent constants.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ipcp::{
+    analyze_source, solve_binding_graph, Analysis, AnalysisLimits, Config, Governor, IpcpError,
+    Lattice, Stage,
+};
+use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
+use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
+
+/// Checks `CONSTANTS(p)` against an execution trace (the same oracle the
+/// soundness suite uses).
+fn check_trace(mcfg: &ModuleCfg, analysis: &Analysis, trace: &EntryTrace, label: &str) {
+    for (p, snapshot) in &trace.entries {
+        let vals = analysis.vals.of(*p);
+        for (slot, lattice) in vals.iter().enumerate() {
+            if let Lattice::Const(c) = lattice {
+                let observed = snapshot.get(slot).copied().unwrap_or(None);
+                assert_eq!(
+                    observed,
+                    Some(*c),
+                    "{label}: CONSTANTS({}) claims slot {slot} = {c}, but an \
+                     execution entered with {observed:?}",
+                    mcfg.module.proc(*p).name,
+                );
+            }
+        }
+    }
+}
+
+/// Adversarially small budget configurations: the full tiny() profile plus
+/// each limit starved on its own.
+fn starved_configs() -> Vec<Config> {
+    let d = AnalysisLimits::default;
+    [
+        AnalysisLimits::tiny(),
+        AnalysisLimits { max_solver_iterations: 1, ..d() },
+        AnalysisLimits { max_symbolic_steps: 1, ..d() },
+        AnalysisLimits { max_poly_terms: 1, max_poly_degree: 1, max_support: 1, ..d() },
+        AnalysisLimits { max_support: 0, ..d() },
+    ]
+    .into_iter()
+    .map(|limits| Config::polynomial().with_limits(limits))
+    .collect()
+}
+
+fn lenient_exec() -> ExecLimits {
+    ExecLimits {
+        max_steps: 200_000,
+        lenient_reads: true,
+        ..ExecLimits::default()
+    }
+}
+
+#[test]
+fn starved_budgets_never_panic_and_stay_sound() {
+    for seed in 0..20u64 {
+        let src = generate(&GenConfig::default(), seed);
+        let module = parse_and_resolve(&src).unwrap();
+        let mcfg = lower_module(&module);
+        let exec = run_module(&module, &[3, -1, 7, 0, 12], &lenient_exec()).ok();
+        for config in starved_configs() {
+            let analysis = catch_unwind(AssertUnwindSafe(|| Analysis::run(&mcfg, &config)))
+                .unwrap_or_else(|_| {
+                    panic!("seed {seed}: analysis panicked under {config:?}\n{src}")
+                });
+            if let Some(exec) = &exec {
+                check_trace(&mcfg, &analysis, &exec.trace, &format!("seed {seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn starved_budgets_stay_sound_on_the_suite() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let Ok(exec) = run_module(&mcfg.module, p.inputs, &lenient_exec()) else {
+            continue;
+        };
+        for config in starved_configs() {
+            let analysis = Analysis::run(&mcfg, &config);
+            check_trace(&mcfg, &analysis, &exec.trace, p.name);
+        }
+    }
+}
+
+/// With the default (generous) limits, the benchmark suite must complete
+/// at full precision — this is what keeps the paper-table outputs
+/// bit-identical to a build without the budget layer.
+#[test]
+fn default_budgets_never_degrade_on_the_suite() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let analysis = Analysis::run(&mcfg, &Config::polynomial());
+        assert!(!analysis.health.degraded(), "{}: {}", p.name, analysis.health);
+    }
+}
+
+#[test]
+fn byte_mutated_sources_never_panic_the_pipeline() {
+    let base: Vec<String> = (0..6).map(|s| generate(&GenConfig::default(), s)).collect();
+    let mut rng = Rng::new(0xB0B5);
+    for round in 0..250u32 {
+        let src = &base[rng.below(base.len() as u64) as usize];
+        let mut bytes = src.as_bytes().to_vec();
+        for _ in 0..=rng.below(4) {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = rng.below(bytes.len() as u64) as usize;
+            match rng.below(3) {
+                0 => bytes[i] = rng.below(256) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => {
+                    let b = bytes[rng.below(bytes.len() as u64) as usize];
+                    bytes.insert(i, b);
+                }
+            }
+        }
+        let Ok(mutated) = String::from_utf8(bytes) else {
+            continue; // the lexer API takes &str; invalid UTF-8 can't reach it
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            analyze_source(&mutated, &Config::polynomial()).map(|_| ())
+        }));
+        assert!(
+            result.is_ok(),
+            "round {round}: pipeline panicked on byte-mutated source:\n{mutated}"
+        );
+    }
+}
+
+#[test]
+fn token_spliced_sources_never_panic_the_pipeline() {
+    const SPLICE: &[&str] = &[
+        "proc", "global", "call", "do", "if", "else", "while", "read", "print", "return",
+        "array", "{", "}", "(", ")", "[", "]", ";", ",", "=", "==", "&&", "||", "+", "-",
+        "9223372036854775807", "0", "main",
+    ];
+    let base: Vec<String> = (6..12).map(|s| generate(&GenConfig::default(), s)).collect();
+    let mut rng = Rng::new(0x70C3);
+    for round in 0..250u32 {
+        let src = &base[rng.below(base.len() as u64) as usize];
+        let mut text = src.clone();
+        for _ in 0..=rng.below(3) {
+            // Splice at a char boundary (generated sources are ASCII).
+            let at = rng.below(text.len() as u64 + 1) as usize;
+            let tok = SPLICE[rng.below(SPLICE.len() as u64) as usize];
+            text.insert_str(at, tok);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            analyze_source(&text, &Config::polynomial()).map(|_| ())
+        }));
+        assert!(
+            result.is_ok(),
+            "round {round}: pipeline panicked on token-spliced source:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn frontend_errors_are_values_not_panics() {
+    match analyze_source("proc main( {", &Config::default()) {
+        Err(IpcpError::Frontend(diags)) => assert!(diags.has_errors()),
+        other => panic!("expected a frontend error, got {other:?}"),
+    }
+}
+
+/// A program that exercises forward jump functions, return jump functions
+/// and the solver: `f` modifies a global (so `main.g` after the call flows
+/// through f's return jump function) and forwards a polynomial.
+const FAULT_SRC: &str = "global g; \
+    proc main() { g = 1; call f(2, 3); print g; } \
+    proc f(a, b) { g = a + b; call h(a * b + 1); } \
+    proc h(x) { print x; }";
+
+#[test]
+fn fault_injection_trips_jump_retjump_and_solver() {
+    let mcfg = lower_module(&parse_and_resolve(FAULT_SRC).unwrap());
+    let exec = run_module(&mcfg.module, &[], &ExecLimits::default()).unwrap();
+    for stage in [Stage::Jump, Stage::RetJump, Stage::Solver] {
+        let config = Config::polynomial().with_fault(stage, 1);
+        let analysis = Analysis::run(&mcfg, &config);
+        assert!(
+            analysis.health.count(stage) >= 1,
+            "fault at {stage} recorded nothing:\n{}",
+            analysis.health
+        );
+        // Degraded ≠ unsound: whatever survived must still be true.
+        check_trace(&mcfg, &analysis, &exec.trace, &format!("fault {stage}"));
+    }
+}
+
+#[test]
+fn fault_injection_trips_the_binding_solver() {
+    let mcfg = lower_module(&parse_and_resolve(FAULT_SRC).unwrap());
+    let analysis = Analysis::run(&mcfg, &Config::polynomial());
+    let mut gov = Governor::new(&Config::polynomial().with_fault(Stage::Binding, 1));
+    let vals = solve_binding_graph(
+        &mcfg,
+        &analysis.cg,
+        &analysis.layout,
+        &analysis.jump_fns,
+        Lattice::Bottom,
+        &mut gov,
+    );
+    let health = gov.into_health();
+    assert!(health.count(Stage::Binding) >= 1, "{health}");
+    // Everything reachable was forced to ⊥ — coarse, but sound.
+    assert_eq!(vals.n_constants(), 0);
+}
+
+/// Deterministic fault injection is *deterministic*: the same fault point
+/// produces the same telemetry and the same values on every run.
+#[test]
+fn fault_injection_is_reproducible() {
+    let mcfg = lower_module(&parse_and_resolve(FAULT_SRC).unwrap());
+    let config = Config::polynomial().with_fault(Stage::Solver, 2);
+    let a = Analysis::run(&mcfg, &config);
+    let b = Analysis::run(&mcfg, &config);
+    assert_eq!(a.health.events.len(), b.health.events.len());
+    for (ea, eb) in a.health.events.iter().zip(&b.health.events) {
+        assert_eq!(ea.stage, eb.stage);
+        assert_eq!(ea.detail, eb.detail);
+    }
+    for (pi, _) in mcfg.module.procs.iter().enumerate() {
+        let p = ipcp_ir::program::ProcId::from(pi);
+        assert_eq!(a.vals.of(p), b.vals.of(p));
+    }
+}

@@ -47,7 +47,7 @@ fn table2_return_jf_effects() {
         let r = t2(name);
         let gain = r.poly - r.poly_noret;
         assert!(
-            gain >= 1 && gain <= 5,
+            (1..=5).contains(&gain),
             "{name}: return JFs should add a few constants, added {gain}"
         );
     }

@@ -11,8 +11,7 @@ use ipcp::{Analysis, Config, JumpFnKind};
 use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
 use ipcp_ssa::Lattice;
-use ipcp_suite::{generate, GenConfig, PROGRAMS};
-use proptest::prelude::*;
+use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
 
 /// All configurations exercised by the soundness checks.
 fn all_configs() -> Vec<Config> {
@@ -24,10 +23,7 @@ fn all_configs() -> Vec<Config> {
                     jump_fn: kind,
                     use_mod,
                     use_return_jfs: use_ret,
-                    compose_return_jfs: false,
-                    assume_zero_globals: false,
-                    gated_jump_fns: false,
-                    pruned_ssa: false,
+                    ..Config::default()
                 });
             }
         }
@@ -90,6 +86,9 @@ fn check_trace(mcfg: &ModuleCfg, analysis: &Analysis, trace: &EntryTrace, label:
 fn check_program(mcfg: &ModuleCfg, inputs: &[i64], label: &str) {
     let limits = ExecLimits {
         max_steps: 500_000,
+        // Varied-input sweeps deliberately under-supply `read`s; lenient
+        // zero-fill keeps the entry trace covering the whole program.
+        lenient_reads: true,
         ..Default::default()
     };
     let Ok(exec) = run_module(&mcfg.module, inputs, &limits) else {
@@ -149,26 +148,27 @@ fn zero_globals_extension_is_sound_for_ft_semantics() {
     assert_eq!(a.vals.constants(main), vec![(0, 0)]);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
+/// Deterministic random input vector for generated-program checks.
+fn random_inputs(rng: &mut Rng) -> Vec<i64> {
+    let n = rng.below(6) as usize;
+    (0..n).map(|_| rng.range(-30, 29)).collect()
+}
 
-    /// The workhorse: random programs, random inputs, every configuration.
-    #[test]
-    fn generated_programs_are_analyzed_soundly(
-        seed in 0u64..20_000,
-        inputs in proptest::collection::vec(-30i64..30, 0..6),
-    ) {
+/// The workhorse: random programs, random inputs, every configuration.
+#[test]
+fn generated_programs_are_analyzed_soundly() {
+    let mut rng = Rng::new(0x50A1);
+    for seed in 0u64..48 {
         let src = generate(&GenConfig::default(), seed);
         let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
-        check_program(&mcfg, &inputs, &format!("seed {seed}"));
+        check_program(&mcfg, &random_inputs(&mut rng), &format!("seed {seed}"));
     }
+}
 
-    /// Larger, deeper programs at a lower case count.
-    #[test]
-    fn generated_deep_programs_are_analyzed_soundly(seed in 0u64..10_000) {
+/// Larger, deeper programs at a lower case count.
+#[test]
+fn generated_deep_programs_are_analyzed_soundly() {
+    for seed in 0u64..24 {
         let config = GenConfig {
             n_procs: 10,
             n_globals: 4,
@@ -179,27 +179,32 @@ proptest! {
         let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
         check_program(&mcfg, &[5, -9, 2, 0, 1], &format!("deep seed {seed}"));
     }
+}
 
-    /// The AST and CFG interpreters agree on random programs — validating
-    /// the lowering both analyses and soundness checks rely on.
-    #[test]
-    fn interpreters_agree_on_generated_programs(
-        seed in 0u64..20_000,
-        inputs in proptest::collection::vec(-30i64..30, 0..6),
-    ) {
+/// The AST and CFG interpreters agree on random programs — validating
+/// the lowering both analyses and soundness checks rely on.
+#[test]
+fn interpreters_agree_on_generated_programs() {
+    let mut rng = Rng::new(0x1A7E);
+    for seed in 0u64..48 {
         let src = generate(&GenConfig::default(), seed);
         let module = parse_and_resolve(&src).unwrap();
         let mcfg = lower_module(&module);
-        let limits = ExecLimits { max_steps: 500_000, ..Default::default() };
+        let inputs = random_inputs(&mut rng);
+        let limits = ExecLimits {
+            max_steps: 500_000,
+            lenient_reads: true,
+            ..Default::default()
+        };
         let ast = run_module(&module, &inputs, &limits);
         let cfg = ipcp_ir::interp::exec_cfg(&mcfg, &inputs, &limits);
         match (ast, cfg) {
             (Ok(a), Ok(b)) => {
-                prop_assert_eq!(a.output, b.output);
-                prop_assert_eq!(a.trace, b.trace);
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.trace, b.trace);
             }
-            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
-            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a.map(|x| x.output), b.map(|x| x.output)),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!("divergence: {:?} vs {:?}", a.map(|x| x.output), b.map(|x| x.output)),
         }
     }
 }

@@ -180,7 +180,7 @@ fn zero_trip_everything_program() {
     let src = "global z; \
                proc main() { z = 0; do i = 1, 0 { call f(i); } if (z != 0) { call f(99); } print z; } \
                proc f(a) { print a; }";
-    let mcfg = build(&src);
+    let mcfg = build(src);
     let complete = ipcp::complete_propagation(&mcfg, &Config::polynomial());
     assert!(complete.substitution.total >= 1);
     let f = mcfg.module.proc_named("f").unwrap().id;

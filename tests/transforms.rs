@@ -4,13 +4,15 @@
 use ipcp::{complete_propagation, Analysis, Config, JumpFnKind};
 use ipcp_ir::interp::{exec_cfg, ExecError, ExecLimits};
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
-use ipcp_suite::{generate, GenConfig, PROGRAMS};
-use proptest::prelude::*;
+use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
 
 const LIMITS: ExecLimits = ExecLimits {
     max_steps: 500_000,
     max_call_depth: 200,
     trace: false,
+    // Transform checks run arbitrary input vectors against generated
+    // programs; zero-fill keeps both sides executing past the vector.
+    lenient_reads: true,
 };
 
 fn same_behaviour(a: &ModuleCfg, b: &ModuleCfg, inputs: &[i64], label: &str) {
@@ -118,20 +120,18 @@ fn substitution_counts_match_textual_difference() {
     assert_eq!(count_vars(&mcfg) - count_vars(&sub.module), 5);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+fn random_inputs(rng: &mut Rng) -> Vec<i64> {
+    let n = rng.below(6) as usize;
+    (0..n).map(|_| rng.range(-30, 29)).collect()
+}
 
-    #[test]
-    fn generated_transforms_preserve_behaviour(
-        seed in 0u64..50_000,
-        inputs in proptest::collection::vec(-30i64..30, 0..6),
-    ) {
+#[test]
+fn generated_transforms_preserve_behaviour() {
+    let mut rng = Rng::new(0x7F0);
+    for seed in 0u64..24 {
         let src = generate(&GenConfig::default(), seed);
         let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
-        check_transforms(&mcfg, &[&inputs], &format!("seed {seed}"));
+        check_transforms(&mcfg, &[&random_inputs(&mut rng)], &format!("seed {seed}"));
     }
 }
 
@@ -152,15 +152,11 @@ fn source_level_substitution_preserves_behaviour_and_reparses() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn generated_source_substitution_preserves_behaviour(
-        seed in 0u64..50_000,
-        inputs in proptest::collection::vec(-30i64..30, 0..6),
-    ) {
-        use ipcp_ir::interp::run_module;
+#[test]
+fn generated_source_substitution_preserves_behaviour() {
+    use ipcp_ir::interp::run_module;
+    let mut rng = Rng::new(0x9C4);
+    for seed in 0u64..24 {
         let text = generate(&GenConfig::default(), seed);
         let module = parse_and_resolve(&text).unwrap();
         let mcfg = ipcp_ir::lower_module(&module);
@@ -168,13 +164,19 @@ proptest! {
         let sub = analysis.substitute(&mcfg);
         let src = sub.to_source(&module);
         let re = parse_and_resolve(&src).unwrap();
-        let limits = ExecLimits { max_steps: 500_000, max_call_depth: 200, trace: false };
+        let inputs = random_inputs(&mut rng);
+        let limits = ExecLimits {
+            max_steps: 500_000,
+            max_call_depth: 200,
+            trace: false,
+            lenient_reads: true,
+        };
         let a = run_module(&module, &inputs, &limits);
         let b = run_module(&re, &inputs, &limits);
         match (a, b) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x.output, y.output),
-            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
-            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}",
+            (Ok(x), Ok(y)) => assert_eq!(x.output, y.output),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!("divergence: {:?} vs {:?}",
                 a.map(|x| x.output), b.map(|x| x.output)),
         }
     }
