@@ -14,6 +14,22 @@ cargo build --release --workspace
 echo "==> tests"
 cargo test -q --workspace
 
+echo "==> robustness suite again, with quarantine disabled"
+IPCP_QUARANTINE=off cargo test -q --test robustness
+
+echo "==> deadline smoke test (largest suite program, 1 ms budget)"
+# Pick the largest .ft by size; the run must terminate promptly (timeout
+# is the backstop) and exit 0 (degraded-but-sound) or 3 (with --strict).
+largest=$(wc -c crates/suite/programs/*.ft | sort -n | tail -2 | head -1 | awk '{print $2}')
+echo "    program: $largest"
+timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 1 >/dev/null
+status=0
+timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 0 --strict >/dev/null 2>&1 || status=$?
+if [ "$status" != 0 ] && [ "$status" != 3 ]; then
+    echo "deadline smoke test: unexpected exit $status" >&2
+    exit 1
+fi
+
 echo "==> clippy (lib/bins: no unwrap, no expect, no warnings)"
 cargo clippy --workspace --lib --bins -q -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used

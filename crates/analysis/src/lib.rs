@@ -22,4 +22,6 @@ pub mod callgraph;
 pub mod modref;
 
 pub use callgraph::{build_call_graph, CallEdge, CallGraph};
-pub use modref::{compute_modref, worst_case_killed, ModRef, ModSet};
+pub use modref::{
+    compute_modref, direct_effects, propagate_modref, worst_case_killed, ModRef, ModSet,
+};

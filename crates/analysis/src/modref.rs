@@ -33,6 +33,16 @@ impl ModSet {
         }
     }
 
+    /// The worst-case summary: every formal and every global is affected.
+    /// This is what a quarantined procedure's summary widens to — sound
+    /// for any behaviour the procedure could have.
+    pub fn everything(arity: usize, n_globals: usize) -> Self {
+        ModSet {
+            formals: vec![true; arity],
+            globals: vec![true; n_globals],
+        }
+    }
+
     /// Whether formal `i` is in the set.
     pub fn formal(&self, i: usize) -> bool {
         self.formals.get(i).copied().unwrap_or(false)
@@ -191,74 +201,93 @@ pub fn worst_case_killed(mcfg: &ModuleCfg, caller: ProcId, args: &[Arg]) -> Vec<
 /// # Ok::<(), ipcp_ir::Diagnostics>(())
 /// ```
 pub fn compute_modref(mcfg: &ModuleCfg, cg: &CallGraph) -> ModRef {
-    let n_globals = mcfg.module.globals.len();
     let mut mods = Vec::new();
     let mut refs = Vec::new();
-
-    // Direct (intraprocedural) effects.
     for p in &mcfg.module.procs {
-        let mut m = ModSet::new(p.arity(), n_globals);
-        let mut r = ModSet::new(p.arity(), n_globals);
-        let mut note_def = |v: VarId| match p.var(v).kind {
-            VarKind::Formal(i) => {
-                m.set_formal(i);
-            }
-            VarKind::Global(g) => {
-                m.set_global(g);
-            }
-            VarKind::Local => {}
+        let (m, r) = direct_effects(mcfg, p.id);
+        mods.push(m);
+        refs.push(r);
+    }
+    propagate_modref(mcfg, cg, mods, refs)
+}
+
+/// The direct (intraprocedural) MOD and REF effects of one procedure —
+/// the per-procedure unit of work the pipeline runs under quarantine.
+/// Call-edge propagation happens separately in [`propagate_modref`].
+pub fn direct_effects(mcfg: &ModuleCfg, pid: ProcId) -> (ModSet, ModSet) {
+    let n_globals = mcfg.module.globals.len();
+    let p = mcfg.module.proc(pid);
+    let mut m = ModSet::new(p.arity(), n_globals);
+    let mut r = ModSet::new(p.arity(), n_globals);
+    let mut note_def = |v: VarId| match p.var(v).kind {
+        VarKind::Formal(i) => {
+            m.set_formal(i);
+        }
+        VarKind::Global(g) => {
+            m.set_global(g);
+        }
+        VarKind::Local => {}
+    };
+    let cfg = &mcfg.cfgs[p.id.index()];
+    let reach = cfg.reachable();
+    for (bi, blk) in cfg.blocks.iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        let note_use_expr = |e: &ipcp_ir::program::Expr, r: &mut ModSet| {
+            e.for_each_var(&mut |v| match p.var(v).kind {
+                VarKind::Formal(i) => {
+                    r.set_formal(i);
+                }
+                VarKind::Global(g) => {
+                    r.set_global(g);
+                }
+                VarKind::Local => {}
+            });
+            // Array loads reference the array itself too.
+            note_array_refs(e, p, r);
         };
-        let cfg = &mcfg.cfgs[p.id.index()];
-        let reach = cfg.reachable();
-        for (bi, blk) in cfg.blocks.iter().enumerate() {
-            if !reach[bi] {
-                continue;
-            }
-            let note_use_expr = |e: &ipcp_ir::program::Expr, r: &mut ModSet| {
-                e.for_each_var(&mut |v| match p.var(v).kind {
-                    VarKind::Formal(i) => {
-                        r.set_formal(i);
-                    }
-                    VarKind::Global(g) => {
-                        r.set_global(g);
-                    }
-                    VarKind::Local => {}
-                });
-                // Array loads reference the array itself too.
-                note_array_refs(e, p, r);
-            };
-            for s in &blk.stmts {
-                match s {
-                    CStmt::Assign { dst, value } => {
-                        note_use_expr(value, &mut r);
-                        note_def(*dst);
-                    }
-                    CStmt::Store { array, index, value } => {
-                        note_use_expr(index, &mut r);
-                        note_use_expr(value, &mut r);
-                        note_def(*array);
-                    }
-                    CStmt::Read { dst } => note_def(*dst),
-                    CStmt::Print { value } => note_use_expr(value, &mut r),
-                    CStmt::Call { args, .. } => {
-                        // By-value argument expressions are caller-side uses.
-                        for a in args {
-                            if let Arg::Value(e) = a {
-                                note_use_expr(e, &mut r);
-                            }
+        for s in &blk.stmts {
+            match s {
+                CStmt::Assign { dst, value } => {
+                    note_use_expr(value, &mut r);
+                    note_def(*dst);
+                }
+                CStmt::Store { array, index, value } => {
+                    note_use_expr(index, &mut r);
+                    note_use_expr(value, &mut r);
+                    note_def(*array);
+                }
+                CStmt::Read { dst } => note_def(*dst),
+                CStmt::Print { value } => note_use_expr(value, &mut r),
+                CStmt::Call { args, .. } => {
+                    // By-value argument expressions are caller-side uses.
+                    for a in args {
+                        if let Arg::Value(e) = a {
+                            note_use_expr(e, &mut r);
                         }
                     }
                 }
             }
-            if let ipcp_ir::cfg::Terminator::Branch { cond, .. } = &blk.term {
-                note_use_expr(cond, &mut r);
-            }
         }
-        mods.push(m);
-        refs.push(r);
+        if let ipcp_ir::cfg::Terminator::Branch { cond, .. } = &blk.term {
+            note_use_expr(cond, &mut r);
+        }
     }
+    (m, r)
+}
 
-    // Propagate through calls to a fixpoint.
+/// Iterates per-procedure direct effects through the call graph to a
+/// fixpoint. `mods`/`refs` are indexed by procedure; a quarantined
+/// procedure's entries arrive pre-widened to [`ModSet::everything`] and
+/// the fixpoint soundly spreads that through reference bindings.
+pub fn propagate_modref(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    mut mods: Vec<ModSet>,
+    mut refs: Vec<ModSet>,
+) -> ModRef {
+    let n_globals = mcfg.module.globals.len();
     let mut changed = true;
     while changed {
         changed = false;
@@ -488,6 +517,47 @@ mod tests {
         assert!(mr.ref_of(f).formal(0));
         assert!(mr.ref_of(f).formal(1));
         assert!(mr.mod_of(f).is_empty());
+    }
+
+    #[test]
+    fn split_phases_agree_with_compute_modref() {
+        let src = "global g; proc main() { x = 0; call f(x); } \
+                   proc f(a) { a = 1; call h(); } proc h() { g = 2; }";
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let cg = build_call_graph(&m);
+        let (mods, refs): (Vec<_>, Vec<_>) = m
+            .module
+            .procs
+            .iter()
+            .map(|p| direct_effects(&m, p.id))
+            .unzip();
+        assert_eq!(propagate_modref(&m, &cg, mods, refs), compute_modref(&m, &cg));
+    }
+
+    #[test]
+    fn widened_summary_spreads_soundly_to_callers() {
+        // Pretend f was quarantined: its summary widens to everything,
+        // and propagation carries the widened effects up through the
+        // by-reference binding and the globals.
+        let src = "global g; proc main() { x = 0; call f(x); } proc f(a) { print a; }";
+        let m = lower_module(&parse_and_resolve(src).unwrap());
+        let cg = build_call_graph(&m);
+        let f = pid(&m, "f");
+        let n_globals = m.module.globals.len();
+        let (mut mods, mut refs): (Vec<_>, Vec<_>) = m
+            .module
+            .procs
+            .iter()
+            .map(|p| direct_effects(&m, p.id))
+            .unzip();
+        let arity = m.module.proc(f).arity();
+        mods[f.index()] = ModSet::everything(arity, n_globals);
+        refs[f.index()] = ModSet::everything(arity, n_globals);
+        let mr = propagate_modref(&m, &cg, mods, refs);
+        assert!(mr.mod_of(f).formal(0));
+        assert!(mr.mod_of(f).global(GlobalId(0)));
+        // main's x is a local, so no formal bit; but the global spread up.
+        assert!(mr.mod_of(pid(&m, "main")).global(GlobalId(0)));
     }
 
     #[test]

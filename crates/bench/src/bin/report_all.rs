@@ -7,8 +7,8 @@ use ipcp_suite::PROGRAMS;
 
 fn main() {
     println!(
-        "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8} {:>7} {:>6}",
-        "program", "sites", "jf", "const", "pass", "⊥", "support", "meets", "ssa"
+        "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8} {:>7} {:>6} {:>4} {:>4}",
+        "program", "sites", "jf", "const", "pass", "⊥", "support", "meets", "ssa", "deg", "quar"
     );
     let mut totals = CostReport::default();
     for p in PROGRAMS {
@@ -16,7 +16,7 @@ fn main() {
         let analysis = Analysis::run(&mcfg, &Config::default());
         let r = CostReport::collect(&mcfg, &analysis);
         println!(
-            "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8.2} {:>7} {:>6}",
+            "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8.2} {:>7} {:>6} {:>4} {:>4}",
             p.name,
             r.call_sites,
             r.jf_total(),
@@ -26,6 +26,8 @@ fn main() {
             r.mean_support(),
             r.solver_meets,
             r.ssa_values,
+            r.degradations,
+            r.quarantined,
         );
         totals.call_sites += r.call_sites;
         totals.jf_const += r.jf_const;
@@ -35,9 +37,11 @@ fn main() {
         totals.total_support += r.total_support;
         totals.solver_meets += r.solver_meets;
         totals.ssa_values += r.ssa_values;
+        totals.degradations += r.degradations;
+        totals.quarantined += r.quarantined;
     }
     println!(
-        "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8.2} {:>7} {:>6}",
+        "{:<10} {:>5} {:>6} {:>6} {:>6} {:>5} {:>8.2} {:>7} {:>6} {:>4} {:>4}",
         "TOTAL",
         totals.call_sites,
         totals.jf_total(),
@@ -47,6 +51,8 @@ fn main() {
         totals.mean_support(),
         totals.solver_meets,
         totals.ssa_values,
+        totals.degradations,
+        totals.quarantined,
     );
     println!();
     println!("§3.1.5's observation holds: mean support ≤ 1 — lowering one value");

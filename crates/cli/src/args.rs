@@ -1,6 +1,6 @@
 //! Minimal, dependency-free argument parsing for `ipcc`.
 
-use ipcp::{Config, JumpFnKind};
+use ipcp::{Config, Deadline, JumpFnKind, ReduceCheck, Stage};
 use std::fmt;
 
 /// A parsed command line.
@@ -84,6 +84,18 @@ pub enum Command {
         /// Statement-count growth budget.
         budget: usize,
     },
+    /// `ipcc reduce <file> --check <kind>` — shrink a failing input to a
+    /// minimal reproducer with delta debugging.
+    Reduce {
+        /// Input path.
+        file: String,
+        /// Analysis configuration (including any injected faults).
+        config: Config,
+        /// The failure class to preserve while shrinking.
+        check: ReduceCheck,
+        /// Predicate-evaluation budget for the search.
+        max_tests: usize,
+    },
     /// `ipcc tables` — regenerate the study's tables on the builtin suite.
     Tables,
     /// `ipcc help` / `--help`.
@@ -137,10 +149,11 @@ COMMANDS:
     clone <file>      constant-driven procedure cloning report
     explain <file>    show where a slot's constant (or ⊥) came from
     integrate <file>  Wegman-Zadeck procedure integration comparison
+    reduce <file>     shrink a failing input to a minimal reproducer
     tables            regenerate the paper's Tables 1-3 on the builtin suite
     help              show this message
 
-ANALYSIS OPTIONS (analyze / complete / clone):
+ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce):
     --jump-fn <literal|intra|pass|poly>   forward jump function (default: pass)
     --no-mod                              disable MOD information
     --no-return-jfs                       disable return jump functions
@@ -150,20 +163,28 @@ ANALYSIS OPTIONS (analyze / complete / clone):
     --pruned-ssa                          engineering: liveness-pruned SSA
     --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
 
-BUDGET OPTIONS (analyze / complete / clone / explain):
+BUDGET OPTIONS (analyze / complete / clone / explain / reduce):
     --max-poly-terms <N>                  cap polynomial jump-function terms
     --max-solver-iterations <N>           cap solver worklist re-evaluations
-    --strict                              exit 3 if any budget degraded the run
+    --strict                              exit 3 if the run degraded at all
+
+ROBUSTNESS OPTIONS (analyze / complete / clone / explain / reduce):
+    --deadline-ms <N>       wall-clock deadline; results degrade soundly
+    --no-quarantine         disable per-procedure fault isolation
+    --inject-panic <stage>:<proc>   panic in one procedure's unit (testing)
 
 OTHER OPTIONS:
-    run:   --input <a,b,c>    comma-separated integers for `read`
-    clone: --budget <N>       max clones (default 16)
+    run:    --input <a,b,c>   comma-separated integers for `read`
+    clone:  --budget <N>      max clones (default 16)
+    reduce: --check <panic|quarantine|degraded|unsound>  failure to preserve
+            --input <a,b,c>   oracle inputs for --check unsound
+            --max-tests <N>   predicate budget (default 2000)
 
 EXIT CODES:
     0  success
-    1  diagnostics or runtime error
+    1  diagnostics, runtime error, or a reduce target that does not fail
     2  usage error
-    3  analysis degraded under its budgets and --strict was given
+    3  analysis budgets or the deadline degraded the run and --strict was given
 
 Use `-` as <file> to read from standard input.
 ";
@@ -197,6 +218,32 @@ fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
             "--gated" => config.gated_jump_fns = true,
             "--pruned-ssa" => config.pruned_ssa = true,
             "--strict" => strict = true,
+            "--no-quarantine" => config.quarantine = false,
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--deadline-ms needs a value".into()))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad deadline `{v}`")))?;
+                config.deadline = Some(Deadline::after_ms(ms));
+            }
+            "--inject-panic" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--inject-panic needs <stage>:<proc>".into()))?;
+                let (stage_s, proc_s) = v.split_once(':').ok_or_else(|| {
+                    UsageError(format!("--inject-panic wants <stage>:<proc>, got `{v}`"))
+                })?;
+                let stage = Stage::ALL
+                    .into_iter()
+                    .find(|s| s.label() == stage_s)
+                    .ok_or_else(|| UsageError(format!("unknown stage `{stage_s}`")))?;
+                let proc = proc_s
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad procedure index `{proc_s}`")))?;
+                config = config.with_panic(stage, proc);
+            }
             "--max-poly-terms" => {
                 let v = it
                     .next()
@@ -357,6 +404,39 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             expect_empty(&args)?;
             Ok(Command::Integrate { file, budget })
         }
+        "reduce" => {
+            let (config, _strict) = parse_config(&mut args)?;
+            let inputs: Vec<i64> = match take_flag_value(&mut args, "--input")? {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|_| UsageError(format!("bad input value `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let check = match take_flag_value(&mut args, "--check")?.as_deref() {
+                None | Some("panic") => ReduceCheck::Panic,
+                Some("quarantine") => ReduceCheck::Quarantine,
+                Some("degraded") => ReduceCheck::Degraded,
+                Some("unsound") => ReduceCheck::Unsound { inputs },
+                Some(other) => {
+                    return Err(UsageError(format!("unknown check `{other}`")))
+                }
+            };
+            let max_tests = match take_flag_value(&mut args, "--max-tests")? {
+                None => 2_000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad test budget `{v}`")))?,
+            };
+            let file = take_file(&mut args, "reduce")?;
+            expect_empty(&args)?;
+            Ok(Command::Reduce { file, config, check, max_tests })
+        }
         "tables" => {
             expect_empty(&args)?;
             Ok(Command::Tables)
@@ -449,6 +529,52 @@ mod tests {
         assert_eq!(p(&["help"]).unwrap(), Command::Help);
         assert_eq!(p(&["--help"]).unwrap(), Command::Help);
         assert_eq!(p(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        match p(&["analyze", "--no-quarantine", "--deadline-ms", "250", "x.ft"]).unwrap() {
+            Command::Analyze { config, .. } => {
+                assert!(!config.quarantine);
+                assert!(config.deadline.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["analyze", "--inject-panic", "jump:2", "x.ft"]).unwrap() {
+            Command::Analyze { config, .. } => {
+                let inj = config.panic_injection.unwrap();
+                assert_eq!(inj.stage, Stage::Jump);
+                assert_eq!(inj.proc, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["analyze", "--deadline-ms", "soon", "x.ft"]).is_err());
+        assert!(p(&["analyze", "--inject-panic", "jump", "x.ft"]).is_err());
+        assert!(p(&["analyze", "--inject-panic", "warp:0", "x.ft"]).is_err());
+    }
+
+    #[test]
+    fn parses_reduce() {
+        match p(&["reduce", "--check", "unsound", "--input", "4,5", "x.ft"]).unwrap() {
+            Command::Reduce { file, check, max_tests, .. } => {
+                assert_eq!(file, "x.ft");
+                assert_eq!(check, ReduceCheck::Unsound { inputs: vec![4, 5] });
+                assert_eq!(max_tests, 2_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["reduce", "--check", "quarantine", "--max-tests", "9", "x.ft"]).unwrap() {
+            Command::Reduce { check, max_tests, .. } => {
+                assert_eq!(check, ReduceCheck::Quarantine);
+                assert_eq!(max_tests, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["reduce", "x.ft"]).unwrap() {
+            Command::Reduce { check, .. } => assert_eq!(check, ReduceCheck::Panic),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["reduce", "--check", "vibes", "x.ft"]).is_err());
     }
 
     #[test]

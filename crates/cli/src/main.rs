@@ -202,6 +202,26 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             println!("(integrated counts may double-count duplicated code)");
             Ok(())
         }
+        Command::Reduce { file, config, check, max_tests } => {
+            let src = read_source(&file)?;
+            match ipcp::reduce(&src, &config, &check, max_tests) {
+                None => Err(Failure::from(format!(
+                    "error: `{file}` does not reproduce a `{}` failure (nothing to reduce)",
+                    check.label()
+                ))),
+                Some(out) => {
+                    eprintln!(
+                        "reduce[{}]: {} -> {} bytes in {} test(s)",
+                        check.label(),
+                        out.original_bytes,
+                        out.reduced_bytes,
+                        out.tests
+                    );
+                    println!("{}", out.source);
+                    Ok(())
+                }
+            }
+        }
         Command::Tables => {
             // Reuses the suite directly so `ipcc tables` works anywhere.
             tables();
@@ -284,14 +304,14 @@ fn tables() {
     println!();
     println!("Table 3: polynomial vs other propagation techniques");
     println!(
-        "{:<10} {:>8} {:>8} {:>9} {:>7}",
-        "program", "no-mod", "with-mod", "complete", "intra"
+        "{:<10} {:>8} {:>8} {:>9} {:>7} {:>5} {:>5}",
+        "program", "no-mod", "with-mod", "complete", "intra", "deg", "quar"
     );
     for p in paper_programs() {
         let mcfg = p.module_cfg();
         let a = Analysis::run(&mcfg, &Config::polynomial());
         println!(
-            "{:<10} {:>8} {:>8} {:>9} {:>7}",
+            "{:<10} {:>8} {:>8} {:>9} {:>7} {:>5} {:>5}",
             p.name,
             Analysis::run(&mcfg, &Config::polynomial().with_mod(false))
                 .substitute(&mcfg)
@@ -299,6 +319,8 @@ fn tables() {
             a.substitute(&mcfg).total,
             complete(&mcfg, &Config::polynomial()).substitution.total,
             substitute_intraprocedural(&mcfg, &a).total,
+            a.health.events.len(),
+            a.quarantined.iter().filter(|&&q| q).count(),
         );
     }
 }

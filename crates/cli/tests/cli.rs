@@ -379,3 +379,81 @@ fn explain_traces_provenance() {
     assert!(text.contains("work.k = 5"), "{text}");
     assert!(text.contains("main cs"), "{text}");
 }
+
+#[test]
+fn inject_panic_quarantines_and_analyze_still_succeeds() {
+    let path = write_temp("quarantine", DEMO);
+    let out = ipcc()
+        .args(["analyze", "--inject-panic", "jump:1", "--emit", "report"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("quarantined procedures   1"), "{text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("panic contained"), "{err}");
+}
+
+#[test]
+fn no_quarantine_lets_the_injected_panic_crash() {
+    let path = write_temp("noquarantine", DEMO);
+    let out = ipcc()
+        .args(["analyze", "--inject-panic", "jump:1", "--no-quarantine"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(out.status.code() != Some(3), "a crash, not a strict degradation");
+}
+
+#[test]
+fn expired_deadline_degrades_and_strict_promotes_it_to_exit_3() {
+    let path = write_temp("deadline", DEMO);
+    // --deadline-ms 0 expires immediately; without --strict the run still
+    // succeeds with warnings.
+    let out = ipcc()
+        .args(["analyze", "--deadline-ms", "0"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("deadline"), "{err}");
+
+    let out = ipcc()
+        .args(["analyze", "--deadline-ms", "0", "--strict"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn reduce_shrinks_an_injected_panic_reproducer() {
+    let path = write_temp("reduce", DEMO);
+    let out = ipcc()
+        .args(["reduce", "--inject-panic", "jump:1", "--check", "quarantine"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let reduced = String::from_utf8(out.stdout).unwrap();
+    assert!(reduced.len() <= DEMO.len());
+    assert!(reduced.contains("proc"), "{reduced}");
+    let stats = String::from_utf8(out.stderr).unwrap();
+    assert!(stats.contains("reduce[quarantine]"), "{stats}");
+}
+
+#[test]
+fn reduce_without_a_failure_exits_1() {
+    let path = write_temp("reduce-clean", DEMO);
+    let out = ipcc()
+        .args(["reduce", "--check", "degraded"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("does not reproduce"), "{err}");
+}

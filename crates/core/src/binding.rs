@@ -117,6 +117,21 @@ pub fn solve_binding_graph(
 
     let mut iterations = 0usize;
     while let Some(node) = work.pop_front() {
+        if gov.deadline_expired() {
+            gov.record_deadline(
+                Stage::Binding,
+                format!(
+                    "deadline expired after {iterations} slot updates; \
+                     all reachable entry slots forced to ⊥"
+                ),
+            );
+            for (pi, v) in vals.iter_mut().enumerate() {
+                if cg.reachable[pi] {
+                    v.fill(Lattice::Bottom);
+                }
+            }
+            break;
+        }
         if !gov.charge(Stage::Binding) {
             gov.record(
                 Stage::Binding,

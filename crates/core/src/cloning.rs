@@ -128,6 +128,16 @@ pub fn clone_by_constants(
         // Each clone charges the cloning budget: the explicit request cap
         // and the configured growth limit both stop the round.
         for (_, sites) in groups.iter().skip(1) {
+            if gov.deadline_expired() {
+                if !budget_recorded {
+                    gov.record_deadline(
+                        Stage::Cloning,
+                        format!("deadline expired after {n_clones} clone(s)"),
+                    );
+                    budget_recorded = true;
+                }
+                break;
+            }
             if n_clones >= max_clones_total || !gov.charge(Stage::Cloning) {
                 if n_clones < max_clones_total && !budget_recorded {
                     gov.record(

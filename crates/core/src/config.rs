@@ -4,6 +4,7 @@
 //! bound every analysis stage. See `docs/ROBUSTNESS.md`.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// The four forward jump-function implementations compared by the paper
 /// (§3.1), in increasing order of power. The set of constants each
@@ -63,6 +64,8 @@ impl fmt::Display for JumpFnKind {
 /// an event at stage `s`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Per-procedure MOD/REF direct-effects collection.
+    ModRef,
     /// Forward jump-function construction (including the per-procedure
     /// symbolic evaluation that feeds it).
     Jump,
@@ -80,7 +83,8 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
+        Stage::ModRef,
         Stage::Jump,
         Stage::RetJump,
         Stage::Solver,
@@ -92,6 +96,7 @@ impl Stage {
     /// Stable lowercase label (used in event details and CLI output).
     pub fn label(self) -> &'static str {
         match self {
+            Stage::ModRef => "modref",
             Stage::Jump => "jump",
             Stage::RetJump => "retjump",
             Stage::Solver => "solver",
@@ -186,6 +191,61 @@ pub struct FaultInjection {
     pub at: u64,
 }
 
+/// A wall-clock deadline for the whole analysis.
+///
+/// Checked *cooperatively*: the solver loops test it once per iteration,
+/// the symbolic evaluator every [`Deadline::CHECK_INTERVAL`] transfer
+/// steps, and the cloning/inlining drivers once per operation. Expiry
+/// therefore overshoots by at most one cooperative-check interval. On
+/// expiry every in-flight stage degrades exactly as if its budget had run
+/// out (a sound, possibly weaker result) and a `Deadline`-kind
+/// degradation event is recorded — the pipeline never hangs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// How many symbolic-evaluation transfer steps may pass between two
+    /// deadline checks (the finest-grained cooperative loop).
+    pub const CHECK_INTERVAL: u64 = 1024;
+
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Deadline {
+        Deadline { at: Instant::now() + d }
+    }
+
+    /// A deadline `ms` milliseconds from now (the `--deadline-ms` flag).
+    pub fn after_ms(ms: u64) -> Deadline {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The raw instant, for callers that thread it into inner loops.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
+
+/// Deterministic panic injection: panics inside the named per-procedure
+/// unit of work, exercising the quarantine machinery end to end.
+///
+/// Unlike [`FaultInjection`] (which mimics a budget running out), this
+/// mimics a *bug* — an unexpected panic in one procedure's slice of one
+/// phase — and the contract is that only that procedure degrades.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Which per-procedure phase to panic in ([`Stage::ModRef`],
+    /// [`Stage::Jump`], or [`Stage::RetJump`]).
+    pub stage: Stage,
+    /// Index of the procedure whose unit of work panics.
+    pub proc: usize,
+}
+
 /// Full analysis configuration.
 ///
 /// The default is the paper's recommended production setting: pass-through
@@ -229,6 +289,18 @@ pub struct Config {
     /// Test hook: deterministically exhaust one stage's budget. `None`
     /// (the default) means budgets only trip when genuinely exhausted.
     pub fault_injection: Option<FaultInjection>,
+    /// Per-procedure fault quarantine. When on (the default), each
+    /// per-procedure unit of work runs under `catch_unwind`; a panic
+    /// degrades only that procedure to a sound worst case instead of
+    /// crashing the pipeline. Turn off to let panics propagate (useful
+    /// when debugging with a backtrace).
+    pub quarantine: bool,
+    /// Optional wall-clock deadline for the whole analysis. `None` (the
+    /// default) means no time bound.
+    pub deadline: Option<Deadline>,
+    /// Test hook: panic inside one procedure's unit of work in one phase.
+    /// `None` (the default) means no injected panics.
+    pub panic_injection: Option<PanicInjection>,
 }
 
 impl Default for Config {
@@ -243,6 +315,9 @@ impl Default for Config {
             pruned_ssa: false,
             limits: AnalysisLimits::default(),
             fault_injection: None,
+            quarantine: true,
+            deadline: None,
+            panic_injection: None,
         }
     }
 }
@@ -289,6 +364,27 @@ impl Config {
     #[must_use]
     pub fn with_fault(mut self, stage: Stage, at: u64) -> Config {
         self.fault_injection = Some(FaultInjection { stage, at });
+        self
+    }
+
+    /// Builder-style: toggle per-procedure fault quarantine.
+    #[must_use]
+    pub fn with_quarantine(mut self, on: bool) -> Config {
+        self.quarantine = on;
+        self
+    }
+
+    /// Builder-style: set a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Config {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: arm a panic-injection point.
+    #[must_use]
+    pub fn with_panic(mut self, stage: Stage, proc: usize) -> Config {
+        self.panic_injection = Some(PanicInjection { stage, proc });
         self
     }
 }
@@ -354,5 +450,32 @@ mod tests {
             Some(FaultInjection { stage: Stage::Solver, at: 3 })
         );
         assert_eq!(Config::default().fault_injection, None);
+    }
+
+    #[test]
+    fn quarantine_is_on_by_default_and_toggles() {
+        assert!(Config::default().quarantine);
+        assert!(!Config::default().with_quarantine(false).quarantine);
+    }
+
+    #[test]
+    fn panic_builder_arms_the_hook() {
+        let c = Config::default().with_panic(Stage::Jump, 2);
+        assert_eq!(
+            c.panic_injection,
+            Some(PanicInjection { stage: Stage::Jump, proc: 2 })
+        );
+        assert_eq!(Config::default().panic_injection, None);
+    }
+
+    #[test]
+    fn deadlines_expire_and_far_deadlines_do_not() {
+        let past = Deadline::after(Duration::from_secs(0));
+        assert!(past.expired());
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        // Deadline is Copy + Eq so Config stays Copy + Eq.
+        let c = Config::default().with_deadline(far);
+        assert_eq!(c.deadline, Some(far));
     }
 }

@@ -11,11 +11,45 @@
 use crate::config::{Config, Stage};
 use std::fmt;
 
+/// Why a degradation happened — the response ladder is the same (force
+/// toward ⊥, stay sound), but callers triage the three causes
+/// differently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DegradationKind {
+    /// A per-stage budget in `AnalysisLimits` ran out (or the
+    /// deterministic `FaultInjection` hook mimicked that).
+    Budget,
+    /// A per-procedure unit of work panicked or exhausted its slice, and
+    /// only that procedure was degraded. See `docs/ROBUSTNESS.md`.
+    Quarantined,
+    /// The wall-clock `Deadline` expired mid-stage.
+    Deadline,
+}
+
+impl DegradationKind {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationKind::Budget => "budget",
+            DegradationKind::Quarantined => "quarantined",
+            DegradationKind::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for DegradationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One budget exhaustion and the response taken.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DegradationEvent {
     /// The stage whose budget ran out.
     pub stage: Stage,
+    /// Why the stage degraded.
+    pub kind: DegradationKind,
     /// What was weakened, in human terms (procedure/slot names where
     /// available).
     pub detail: String,
@@ -23,7 +57,10 @@ pub struct DegradationEvent {
 
 impl fmt::Display for DegradationEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.stage, self.detail)
+        match self.kind {
+            DegradationKind::Budget => write!(f, "[{}] {}", self.stage, self.detail),
+            kind => write!(f, "[{}:{}] {}", self.stage, kind, self.detail),
+        }
     }
 }
 
@@ -50,10 +87,26 @@ impl AnalysisHealth {
         self.events.iter().filter(|e| e.stage == stage).count()
     }
 
-    /// Records one degradation.
+    /// Number of degradations of one kind (any stage).
+    pub fn count_kind(&self, kind: DegradationKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Records one budget degradation.
     pub fn record(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.record_kind(stage, DegradationKind::Budget, detail);
+    }
+
+    /// Records one degradation of an explicit kind.
+    pub fn record_kind(
+        &mut self,
+        stage: Stage,
+        kind: DegradationKind,
+        detail: impl Into<String>,
+    ) {
         self.events.push(DegradationEvent {
             stage,
+            kind,
             detail: detail.into(),
         });
     }
@@ -94,12 +147,13 @@ pub struct Governor {
 
 fn stage_index(stage: Stage) -> usize {
     match stage {
-        Stage::Jump => 0,
-        Stage::RetJump => 1,
-        Stage::Solver => 2,
-        Stage::Binding => 3,
-        Stage::Cloning => 4,
-        Stage::Inline => 5,
+        Stage::ModRef => 0,
+        Stage::Jump => 1,
+        Stage::RetJump => 2,
+        Stage::Solver => 3,
+        Stage::Binding => 4,
+        Stage::Cloning => 5,
+        Stage::Inline => 6,
     }
 }
 
@@ -125,6 +179,10 @@ impl Governor {
     fn cap(&self, stage: Stage) -> u64 {
         let l = &self.config.limits;
         match stage {
+            // One charge per procedure's direct-effects pass; a runaway
+            // here would mean a runaway procedure count, so the solver
+            // iteration cap is the natural bound.
+            Stage::ModRef => l.max_solver_iterations,
             Stage::Jump => l.max_symbolic_steps,
             Stage::RetJump => l.max_symbolic_steps,
             Stage::Solver => l.max_solver_iterations,
@@ -165,9 +223,30 @@ impl Governor {
         &self.config.limits
     }
 
-    /// Records a degradation event.
+    /// Records a budget degradation event.
     pub fn record(&mut self, stage: Stage, detail: impl Into<String>) {
         self.health.record(stage, detail);
+    }
+
+    /// Records a quarantine event (a per-procedure unit of work was
+    /// contained).
+    pub fn record_quarantine(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.health
+            .record_kind(stage, DegradationKind::Quarantined, detail);
+    }
+
+    /// Records a deadline-expiry event.
+    pub fn record_deadline(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.health
+            .record_kind(stage, DegradationKind::Deadline, detail);
+    }
+
+    /// Whether the configured wall-clock deadline (if any) has expired.
+    /// Cooperative loops check this once per iteration (or per
+    /// `Deadline::CHECK_INTERVAL` steps) and degrade soundly when it
+    /// fires.
+    pub fn deadline_expired(&self) -> bool {
+        self.config.deadline.is_some_and(|d| d.expired())
     }
 
     /// Consumes the governor, yielding the collected telemetry.
@@ -237,6 +316,48 @@ mod tests {
         b.record(Stage::Inline, "budget");
         a.absorb(b);
         assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn kinds_are_counted_and_labelled() {
+        let mut h = AnalysisHealth::default();
+        h.record(Stage::Solver, "iteration cap");
+        h.record_kind(Stage::Jump, DegradationKind::Quarantined, "f panicked");
+        h.record_kind(Stage::Solver, DegradationKind::Deadline, "out of time");
+        assert_eq!(h.count_kind(DegradationKind::Budget), 1);
+        assert_eq!(h.count_kind(DegradationKind::Quarantined), 1);
+        assert_eq!(h.count_kind(DegradationKind::Deadline), 1);
+        let text = h.to_string();
+        assert!(text.contains("[jump:quarantined] f panicked"), "{text}");
+        assert!(text.contains("[solver:deadline] out of time"), "{text}");
+        assert!(text.contains("[solver] iteration cap"), "{text}");
+    }
+
+    #[test]
+    fn governor_tracks_the_deadline() {
+        let gov = Governor::unlimited();
+        assert!(!gov.deadline_expired(), "no deadline configured");
+        let expired = Config::default()
+            .with_deadline(crate::config::Deadline::after(std::time::Duration::ZERO));
+        let mut gov = Governor::new(&expired);
+        assert!(gov.deadline_expired());
+        gov.record_deadline(Stage::Solver, "out of time");
+        gov.record_quarantine(Stage::Jump, "f panicked");
+        let h = gov.into_health();
+        assert_eq!(h.count_kind(DegradationKind::Deadline), 1);
+        assert_eq!(h.count_kind(DegradationKind::Quarantined), 1);
+    }
+
+    #[test]
+    fn modref_stage_is_metered() {
+        let limits = AnalysisLimits {
+            max_solver_iterations: 2,
+            ..AnalysisLimits::default()
+        };
+        let mut gov = Governor::new(&Config::default().with_limits(limits));
+        assert!(gov.charge(Stage::ModRef));
+        assert!(gov.charge(Stage::ModRef));
+        assert!(!gov.charge(Stage::ModRef));
     }
 
     #[test]

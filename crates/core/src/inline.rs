@@ -92,6 +92,18 @@ pub fn inline_leaf_calls(mcfg: &ModuleCfg, config: &Config, max_statements: usiz
             }
             let p = ProcId::from(pi);
             loop {
+                if gov.deadline_expired() {
+                    gov.record_deadline(
+                        Stage::Inline,
+                        format!("deadline expired after {inlined_calls} inlined call(s)"),
+                    );
+                    return InlineResult {
+                        module,
+                        inlined_calls,
+                        rounds,
+                        health: gov.into_health(),
+                    };
+                }
                 if total_statements(&module) >= cap {
                     if cap < max_statements {
                         gov.record(

@@ -197,12 +197,21 @@ impl ForwardJumpFns {
 /// governor's [`Stage::Jump`] budget and is clamped to the configured
 /// polynomial shape limits; exhaustion degrades the function to ⊥ and
 /// records a [degradation event](crate::health::DegradationEvent).
+///
+/// Each call edge's construction runs under quarantine: a panic degrades
+/// only the *caller* — every one of its call sites transmits ⊥ for every
+/// callee entry slot, which the solver treats exactly like a call whose
+/// arguments are unknown. A quarantined-but-reachable caller must **not**
+/// be skipped: an empty site entry would make the solver ignore the edge
+/// entirely (leaving the callee optimistically at ⊤), so quarantine
+/// materializes explicit all-⊥ functions of the correct length instead.
 pub fn build_forward_jump_fns(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
     config: &Config,
     symbolics: &[Option<ProcSymbolic>],
+    quarantined: &mut [bool],
     gov: &mut Governor,
 ) -> ForwardJumpFns {
     let n_globals = layout.scalar_globals.len();
@@ -217,6 +226,14 @@ pub fn build_forward_jump_fns(
     };
 
     for edge in &cg.edges {
+        let callee = mcfg.module.proc(edge.callee);
+        let all_bottom = || vec![JumpFn::Bottom; callee.arity() + n_globals];
+        if quarantined[edge.caller.index()] {
+            // Already contained by an earlier phase (or an earlier edge):
+            // the site still binds the callee, just with no information.
+            out.sites[edge.caller.index()][edge.site.index()] = all_bottom();
+            continue;
+        }
         let Some(ps) = symbolics[edge.caller.index()].as_ref() else {
             continue; // caller unreachable: no jump functions needed
         };
@@ -225,62 +242,106 @@ pub fn build_forward_jump_fns(
                 continue; // gated: the call site is provably dead
             }
         }
-        let callee = mcfg.module.proc(edge.callee);
         let caller_name = mcfg.module.proc(edge.caller).name.clone();
         let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ps.ssa.call_info(edge.site)
         else {
             continue;
         };
-        let mut fns: SiteJumpFns = Vec::with_capacity(callee.arity() + n_globals);
-
-        // Formal slots, from the actual arguments.
-        let mut syntactic: Vec<Option<i64>> = vec![None; arg_vals.len()];
-        mcfg.each_call_in(edge.caller, |_, s, _, args| {
-            if s == edge.site {
-                for (i, a) in args.iter().enumerate() {
-                    syntactic[i] = a.literal();
-                }
-            }
+        let unit = crate::quarantine::run_unit(config, Stage::Jump, edge.caller.index(), || {
+            build_site_jump_fns(
+                mcfg,
+                config,
+                ps,
+                callee,
+                &caller_name,
+                edge,
+                arg_vals,
+                global_pre,
+                n_globals,
+                gov,
+            )
         });
-        for (i, arg) in arg_vals.iter().enumerate() {
-            if i >= callee.arity() {
-                break;
+        let fns = match unit {
+            Ok(fns) => fns,
+            Err(msg) => {
+                quarantined[edge.caller.index()] = true;
+                gov.record_quarantine(
+                    Stage::Jump,
+                    format!(
+                        "{caller_name}: panic contained ({msg}); \
+                         jump functions at every call site forced to ⊥"
+                    ),
+                );
+                all_bottom()
             }
-            let jf = if callee.var(callee.formals[i]).is_array {
-                JumpFn::Bottom
-            } else if config.jump_fn == JumpFnKind::Literal {
-                match syntactic[i] {
-                    Some(c) => JumpFn::Const(c),
-                    None => JumpFn::Bottom,
-                }
-            } else {
-                match arg {
-                    Some(v) => JumpFn::from_sym(ps.sym.value(*v), config.jump_fn),
-                    None => JumpFn::Bottom,
-                }
-            };
-            fns.push(govern(jf, gov, &caller_name, edge.site.index(), i));
-        }
-        // A resolution-checked program always supplies every formal.
-        while fns.len() < callee.arity() {
-            fns.push(JumpFn::Bottom);
-        }
-
-        // Global slots. The literal jump function misses them entirely
-        // ("constant globals … passed implicitly at the call site").
-        for (j, &pre) in global_pre.iter().enumerate().take(n_globals) {
-            let jf = if config.jump_fn == JumpFnKind::Literal {
-                JumpFn::Bottom
-            } else {
-                JumpFn::from_sym(ps.sym.value(pre), config.jump_fn)
-            };
-            let slot = callee.arity() + j;
-            fns.push(govern(jf, gov, &caller_name, edge.site.index(), slot));
-        }
-
+        };
         out.sites[edge.caller.index()][edge.site.index()] = fns;
     }
     out
+}
+
+/// Constructs the jump functions of one call site — the unit of work
+/// [`build_forward_jump_fns`] runs under quarantine.
+#[allow(clippy::too_many_arguments)]
+fn build_site_jump_fns(
+    mcfg: &ModuleCfg,
+    config: &Config,
+    ps: &ProcSymbolic,
+    callee: &ipcp_ir::program::Proc,
+    caller_name: &str,
+    edge: &ipcp_analysis::CallEdge,
+    arg_vals: &[Option<ipcp_ssa::ValueId>],
+    global_pre: &[ipcp_ssa::ValueId],
+    n_globals: usize,
+    gov: &mut Governor,
+) -> SiteJumpFns {
+    let mut fns: SiteJumpFns = Vec::with_capacity(callee.arity() + n_globals);
+
+    // Formal slots, from the actual arguments.
+    let mut syntactic: Vec<Option<i64>> = vec![None; arg_vals.len()];
+    mcfg.each_call_in(edge.caller, |_, s, _, args| {
+        if s == edge.site {
+            for (i, a) in args.iter().enumerate() {
+                syntactic[i] = a.literal();
+            }
+        }
+    });
+    for (i, arg) in arg_vals.iter().enumerate() {
+        if i >= callee.arity() {
+            break;
+        }
+        let jf = if callee.var(callee.formals[i]).is_array {
+            JumpFn::Bottom
+        } else if config.jump_fn == JumpFnKind::Literal {
+            match syntactic[i] {
+                Some(c) => JumpFn::Const(c),
+                None => JumpFn::Bottom,
+            }
+        } else {
+            match arg {
+                Some(v) => JumpFn::from_sym(ps.sym.value(*v), config.jump_fn),
+                None => JumpFn::Bottom,
+            }
+        };
+        fns.push(govern(jf, gov, caller_name, edge.site.index(), i));
+    }
+    // A resolution-checked program always supplies every formal.
+    while fns.len() < callee.arity() {
+        fns.push(JumpFn::Bottom);
+    }
+
+    // Global slots. The literal jump function misses them entirely
+    // ("constant globals … passed implicitly at the call site").
+    for (j, &pre) in global_pre.iter().enumerate().take(n_globals) {
+        let jf = if config.jump_fn == JumpFnKind::Literal {
+            JumpFn::Bottom
+        } else {
+            JumpFn::from_sym(ps.sym.value(pre), config.jump_fn)
+        };
+        let slot = callee.arity() + j;
+        fns.push(govern(jf, gov, caller_name, edge.site.index(), slot));
+    }
+    fns
 }
 
 /// Charges one construction step and clamps the function to the shape

@@ -71,6 +71,8 @@ pub mod health;
 pub mod inline;
 pub mod jump;
 pub mod pipeline;
+pub mod quarantine;
+pub mod reduce;
 pub mod report;
 pub mod retjump;
 pub mod solver;
@@ -85,14 +87,17 @@ pub mod lattice {
 pub use binding::solve_binding_graph;
 pub use cloning::{clone_by_constants, cloning_gain, CloneResult};
 pub use complete::{complete_propagation, CompleteResult};
-pub use config::{AnalysisLimits, Config, FaultInjection, JumpFnKind, Stage};
+pub use config::{
+    AnalysisLimits, Config, Deadline, FaultInjection, JumpFnKind, PanicInjection, Stage,
+};
 pub use error::IpcpError;
 pub use explain::{explain, Explanation};
-pub use health::{AnalysisHealth, DegradationEvent, Governor};
+pub use health::{AnalysisHealth, DegradationEvent, DegradationKind, Governor};
 pub use inline::{inline_leaf_calls, integrate_and_count, InlineResult};
 pub use jump::{ForwardJumpFns, JumpFn};
 pub use lattice::Lattice;
 pub use pipeline::{analyze_source, Analysis};
+pub use reduce::{reduce, ReduceCheck, ReduceOutcome};
 pub use report::CostReport;
 pub use retjump::{build_return_jfs, ReturnJumpFns};
 pub use solver::{solve, ValSets};

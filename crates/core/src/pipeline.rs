@@ -9,7 +9,7 @@ use crate::jump::{build_forward_jump_fns, ForwardJumpFns, ProcSymbolic};
 use crate::retjump::{build_return_jfs, RetOracle, ReturnJumpFns};
 use crate::solver::{solve, ValSets};
 use crate::substitute::{self, Substitution};
-use ipcp_analysis::{build_call_graph, compute_modref, CallGraph, ModRef};
+use ipcp_analysis::{build_call_graph, direct_effects, propagate_modref, CallGraph, ModRef, ModSet};
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
 use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
@@ -42,6 +42,11 @@ pub struct Analysis {
     /// within its [`AnalysisLimits`](crate::config::AnalysisLimits); the
     /// results stay sound either way.
     pub health: AnalysisHealth,
+    /// `quarantined[p]` — procedure `p`'s unit of work panicked or
+    /// exhausted its slice in some per-procedure phase, so its summaries
+    /// were degraded to their sound worst case (jump functions ⊥, MOD/REF
+    /// everything). Every other procedure kept full precision.
+    pub quarantined: Vec<bool>,
 }
 
 impl Analysis {
@@ -79,9 +84,60 @@ impl Analysis {
         gate_seeds: Option<&Vec<Vec<Lattice>>>,
     ) -> Analysis {
         let cg = build_call_graph(mcfg);
-        let modref = compute_modref(mcfg, &cg);
         let layout = SlotLayout::new(&mcfg.module);
         let mut gov = Governor::new(config);
+        let mut quarantined = vec![false; mcfg.module.procs.len()];
+
+        // Stage 0: per-procedure MOD/REF direct effects (under
+        // quarantine), then call-edge propagation. A contained failure
+        // widens only that procedure's summary to "touches everything
+        // visible"; the fixpoint spreads the widening to callers exactly
+        // as far as reference bindings demand.
+        let n_globals = mcfg.module.globals.len();
+        let mut mods = Vec::with_capacity(mcfg.module.procs.len());
+        let mut refs = Vec::with_capacity(mcfg.module.procs.len());
+        for (pi, p) in mcfg.module.procs.iter().enumerate() {
+            let widen = || {
+                (
+                    ModSet::everything(p.arity(), n_globals),
+                    ModSet::everything(p.arity(), n_globals),
+                )
+            };
+            let (m, r) = if !gov.charge(Stage::ModRef) {
+                quarantined[pi] = true;
+                gov.record_quarantine(
+                    Stage::ModRef,
+                    format!(
+                        "{}: direct-effects budget exhausted; \
+                         summary widened to everything visible",
+                        p.name
+                    ),
+                );
+                widen()
+            } else {
+                let pid = ProcId::from(pi);
+                match crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
+                    direct_effects(mcfg, pid)
+                }) {
+                    Ok(pair) => pair,
+                    Err(msg) => {
+                        quarantined[pi] = true;
+                        gov.record_quarantine(
+                            Stage::ModRef,
+                            format!(
+                                "{}: panic contained ({msg}); \
+                                 summary widened to everything visible",
+                                p.name
+                            ),
+                        );
+                        widen()
+                    }
+                }
+            };
+            mods.push(m);
+            refs.push(r);
+        }
+        let modref = propagate_modref(mcfg, &cg, mods, refs);
 
         let mod_kills = ModKills(&modref);
         let kills: &dyn CallKills = if config.use_mod {
@@ -92,7 +148,7 @@ impl Analysis {
 
         // Stage 1: return jump functions (bottom-up over the call graph).
         let ret_jfs = if config.use_return_jfs {
-            build_return_jfs(mcfg, &cg, &layout, kills, config.compose_return_jfs, &mut gov)
+            build_return_jfs(mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov)
         } else {
             ReturnJumpFns {
                 fns: vec![None; mcfg.module.procs.len()],
@@ -105,72 +161,115 @@ impl Analysis {
         // return jump functions are already fixed).
         let mut symbolics: Vec<Option<ProcSymbolic>> = Vec::new();
         for (pi, _) in mcfg.module.procs.iter().enumerate() {
-            if !cg.reachable[pi] {
+            // A procedure quarantined by an earlier phase contributes no
+            // symbolic form: its call sites get explicit all-⊥ jump
+            // functions below, and re-running its unit here would fire
+            // the same fault twice.
+            if !cg.reachable[pi] || quarantined[pi] {
                 symbolics.push(None);
                 continue;
             }
             let p = ProcId::from(pi);
-            let ssa = if config.pruned_ssa {
-                build_ssa_pruned(mcfg, p, kills)
-            } else {
-                build_ssa(mcfg, p, kills)
+            let budget = ipcp_ssa::symbolic::EvalBudget {
+                max_steps: gov.limits().max_symbolic_steps,
+                deadline: config.deadline.map(|d| d.instant()),
             };
-            // Gate (extension): an unseeded SCCP pass whose executability
-            // facts prune phi inputs and dead call sites, approximating
-            // jump-function generation over gated single-assignment form.
-            let gate = if config.gated_jump_fns {
-                let n_vars = mcfg.module.proc(p).vars.len();
-                let seeds = match gate_seeds {
-                    Some(vals) => crate::substitute::seeds_from_vals(
-                        mcfg,
-                        &layout,
-                        p,
-                        &vals[pi],
-                    ),
-                    None => ipcp_ssa::Seeds::none(n_vars),
+            let unit = crate::quarantine::run_unit(config, Stage::Jump, pi, || {
+                let ssa = if config.pruned_ssa {
+                    build_ssa_pruned(mcfg, p, kills)
+                } else {
+                    build_ssa(mcfg, p, kills)
                 };
-                let res = if config.use_return_jfs {
+                // Gate (extension): an unseeded SCCP pass whose executability
+                // facts prune phi inputs and dead call sites, approximating
+                // jump-function generation over gated single-assignment form.
+                let gate = if config.gated_jump_fns {
+                    let n_vars = mcfg.module.proc(p).vars.len();
+                    let seeds = match gate_seeds {
+                        Some(vals) => crate::substitute::seeds_from_vals(
+                            mcfg,
+                            &layout,
+                            p,
+                            &vals[pi],
+                        ),
+                        None => ipcp_ssa::Seeds::none(n_vars),
+                    };
+                    let res = if config.use_return_jfs {
+                        let oracle = RetOracle {
+                            table: &ret_jfs,
+                            mcfg,
+                            layout: &layout,
+                        };
+                        ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
+                    } else {
+                        ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
+                    };
+                    Some(res)
+                } else {
+                    None
+                };
+                let (sym, steps_exhausted) = if config.use_return_jfs {
                     let oracle = RetOracle {
                         table: &ret_jfs,
                         mcfg,
                         layout: &layout,
                     };
-                    ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
+                    ipcp_ssa::symbolic::evaluate_under(
+                        mcfg, &ssa, &layout, &oracle, gate.as_ref(), &budget,
+                    )
                 } else {
-                    ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
+                    ipcp_ssa::symbolic::evaluate_under(
+                        mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref(), &budget,
+                    )
                 };
-                Some(res)
-            } else {
-                None
-            };
-            let max_steps = gov.limits().max_symbolic_steps;
-            let (sym, steps_exhausted) = if config.use_return_jfs {
-                let oracle = RetOracle {
-                    table: &ret_jfs,
-                    mcfg,
-                    layout: &layout,
-                };
-                ipcp_ssa::symbolic::evaluate_budgeted(
-                    mcfg, &ssa, &layout, &oracle, gate.as_ref(), max_steps,
-                )
-            } else {
-                ipcp_ssa::symbolic::evaluate_budgeted(
-                    mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref(), max_steps,
-                )
-            };
-            if steps_exhausted {
-                gov.record(
-                    Stage::Jump,
-                    format!(
-                        "{}: symbolic evaluation step budget exhausted; \
-                         pending values forced to ⊥",
-                        mcfg.module.proc(p).name
-                    ),
-                );
+                (ProcSymbolic { ssa, sym, gate }, steps_exhausted)
+            });
+            let name = &mcfg.module.proc(p).name;
+            match unit {
+                Ok((ps, steps_exhausted)) => {
+                    if steps_exhausted {
+                        if gov.deadline_expired() {
+                            gov.record_deadline(
+                                Stage::Jump,
+                                format!(
+                                    "{name}: deadline expired during symbolic \
+                                     evaluation; pending values forced to ⊥"
+                                ),
+                            );
+                        } else {
+                            gov.record_quarantine(
+                                Stage::Jump,
+                                format!(
+                                    "{name}: symbolic evaluation step slice \
+                                     exhausted; pending values forced to ⊥"
+                                ),
+                            );
+                        }
+                    }
+                    symbolics.push(Some(ps));
+                }
+                Err(msg) => {
+                    quarantined[pi] = true;
+                    gov.record_quarantine(
+                        Stage::Jump,
+                        format!(
+                            "{name}: panic contained ({msg}); procedure \
+                             quarantined, jump functions forced to ⊥"
+                        ),
+                    );
+                    symbolics.push(None);
+                }
             }
-            symbolics.push(Some(ProcSymbolic { ssa, sym, gate }));
         }
-        let jump_fns = build_forward_jump_fns(mcfg, &cg, &layout, config, &symbolics, &mut gov);
+        let jump_fns = build_forward_jump_fns(
+            mcfg,
+            &cg,
+            &layout,
+            config,
+            &symbolics,
+            &mut quarantined,
+            &mut gov,
+        );
 
         // Stage 3: interprocedural propagation.
         let entry_globals = if config.assume_zero_globals {
@@ -190,6 +289,7 @@ impl Analysis {
             jump_fns,
             vals,
             health: gov.into_health(),
+            quarantined,
         }
     }
 

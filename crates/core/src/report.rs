@@ -51,6 +51,10 @@ pub struct CostReport {
     /// Degradation events recorded by the budget governor (0 means the
     /// run completed at full precision).
     pub degradations: usize,
+    /// Procedures quarantined by the fault-isolation layer (their
+    /// summaries were forced to worst-case; everything else kept full
+    /// precision).
+    pub quarantined: usize,
 }
 
 impl CostReport {
@@ -63,6 +67,7 @@ impl CostReport {
             solver_iterations: analysis.vals.iterations,
             constant_slots: analysis.vals.n_constants(),
             degradations: analysis.health.events.len(),
+            quarantined: analysis.quarantined.iter().filter(|&&q| q).count(),
             ..CostReport::default()
         };
         for sites in &analysis.jump_fns.sites {
@@ -147,7 +152,8 @@ impl fmt::Display for CostReport {
         )?;
         writeln!(f, "ssa values               {}", self.ssa_values)?;
         writeln!(f, "constant entry slots     {}", self.constant_slots)?;
-        writeln!(f, "degradations             {}", self.degradations)
+        writeln!(f, "degradations             {}", self.degradations)?;
+        writeln!(f, "quarantined procedures   {}", self.quarantined)
     }
 }
 
@@ -210,6 +216,17 @@ mod tests {
         for needle in ["call sites", "support", "solver", "constant entry slots", "degradations"] {
             assert!(text.contains(needle), "{text}");
         }
+    }
+
+    #[test]
+    fn quarantined_procedures_are_counted() {
+        use crate::config::Stage;
+        let clean = report(SRC, &Config::default());
+        assert_eq!(clean.quarantined, 0);
+        let hurt = report(SRC, &Config::default().with_panic(Stage::Jump, 1));
+        assert_eq!(hurt.quarantined, 1, "{hurt:?}");
+        assert!(hurt.degradations > 0);
+        assert!(hurt.to_string().contains("quarantined procedures   1"));
     }
 
     #[test]

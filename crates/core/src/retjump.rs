@@ -16,9 +16,10 @@
 //! be evaluated as constant". The `compose_return_jfs` extension lifts
 //! this by substituting the actual-argument polynomials symbolically.
 
-use crate::config::Stage;
+use crate::config::{Config, Stage};
 use crate::health::Governor;
 use crate::jump::JumpFn;
+use crate::quarantine::run_unit;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout, VarId};
@@ -188,104 +189,149 @@ impl CallDefLattice for RetOracle<'_> {
 /// `kills` supplies the call-effect assumption (MOD-precise or worst-case)
 /// — the same oracle later used for forward jump functions, so both layers
 /// see one consistent world.
+///
+/// Each procedure's slice (SSA build, symbolic evaluation, slot
+/// classification) is a quarantine unit: a panic or a per-unit budget
+/// exhaustion degrades only that procedure's return jump functions to ⊥
+/// (marking it in `quarantined`), while every other procedure keeps full
+/// precision. Procedures already quarantined by an earlier phase get ⊥
+/// immediately, without re-running their unit.
 pub fn build_return_jfs(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
     kills: &dyn CallKills,
-    compose: bool,
+    config: &Config,
+    quarantined: &mut [bool],
     gov: &mut Governor,
 ) -> ReturnJumpFns {
+    let compose = config.compose_return_jfs;
     let mut table = ReturnJumpFns {
         fns: vec![None; mcfg.module.procs.len()],
         compose,
     };
     for p in cg.bottom_up() {
-        let ssa = build_ssa(mcfg, p, kills);
-        let max_steps = gov.limits().max_symbolic_steps;
-        let (sym, steps_exhausted) = {
-            let oracle = RetOracle {
-                table: &table,
-                mcfg,
-                layout,
-            };
-            evaluate_budgeted(mcfg, &ssa, layout, &oracle, None, max_steps)
-        };
         let proc = mcfg.module.proc(p);
-        if steps_exhausted {
-            gov.record(
-                Stage::RetJump,
-                format!(
-                    "{}: symbolic evaluation step budget exhausted; \
-                     pending values forced to ⊥",
-                    proc.name
-                ),
-            );
-        }
         let n_slots = layout.n_slots(proc.arity());
-        let mut fns = Vec::with_capacity(n_slots);
-        for slot in 0..n_slots {
-            let var: Option<VarId> = if slot < proc.arity() {
-                Some(proc.formals[slot])
-            } else {
-                proc.var_for_global(layout.scalar_globals[slot - proc.arity()])
-            };
-            let jf = match var {
-                Some(v) if !proc.var(v).is_array => {
-                    let mut acc = SymVal::Top;
-                    for (_, snapshot) in &ssa.exits {
-                        let at_exit = snapshot[v.index()]
-                            .map(|val| sym.value(val).clone())
-                            .unwrap_or(SymVal::Bottom);
-                        acc = acc.meet(&at_exit);
-                    }
-                    match acc {
-                        // No reachable exit (infinite loop): the value is
-                        // never observed after the call; ⊥ is safe.
-                        SymVal::Top => JumpFn::Bottom,
-                        SymVal::Bottom => JumpFn::Bottom,
-                        SymVal::Poly(p) => match (p.as_const(), p.as_var()) {
-                            (Some(c), _) => JumpFn::Const(c),
-                            (None, Some(v)) => JumpFn::PassThrough(v),
-                            _ => JumpFn::Poly(p),
-                        },
-                    }
-                }
-                _ => JumpFn::Bottom,
-            };
-            // Each slot classification charges the return-jump budget, and
-            // the result is clamped to the polynomial shape limits.
-            let jf = if gov.charge(Stage::RetJump) {
-                let limits = *gov.limits();
-                let (clamped, degraded) = jf.clamp(&limits);
-                if degraded {
-                    gov.record(
-                        Stage::RetJump,
-                        format!(
-                            "{}: slot {slot}: polynomial exceeds shape limits; \
-                             degraded to {clamped}",
-                            proc.name
-                        ),
-                    );
-                }
-                clamped
-            } else {
-                if !jf.is_bottom() {
-                    gov.record(
-                        Stage::RetJump,
-                        format!(
-                            "{}: slot {slot}: classification budget exhausted; forced to ⊥",
-                            proc.name
-                        ),
-                    );
-                }
-                JumpFn::Bottom
-            };
-            fns.push(jf);
+        if quarantined[p.index()] {
+            table.fns[p.index()] = Some(vec![JumpFn::Bottom; n_slots]);
+            continue;
         }
+        let unit = run_unit(config, Stage::RetJump, p.index(), || {
+            build_proc_ret_jfs(mcfg, &table, layout, kills, p, n_slots, gov)
+        });
+        let fns = match unit {
+            Ok(fns) => fns,
+            Err(msg) => {
+                quarantined[p.index()] = true;
+                gov.record_quarantine(
+                    Stage::RetJump,
+                    format!(
+                        "{}: panic contained ({msg}); return jump functions forced to ⊥",
+                        proc.name
+                    ),
+                );
+                vec![JumpFn::Bottom; n_slots]
+            }
+        };
         table.fns[p.index()] = Some(fns);
     }
     table
+}
+
+/// One procedure's slice of return-jump-function construction — the unit
+/// of work [`build_return_jfs`] runs under quarantine.
+fn build_proc_ret_jfs(
+    mcfg: &ModuleCfg,
+    table: &ReturnJumpFns,
+    layout: &SlotLayout,
+    kills: &dyn CallKills,
+    p: ProcId,
+    n_slots: usize,
+    gov: &mut Governor,
+) -> Vec<JumpFn> {
+    let ssa = build_ssa(mcfg, p, kills);
+    let max_steps = gov.limits().max_symbolic_steps;
+    let (sym, steps_exhausted) = {
+        let oracle = RetOracle {
+            table,
+            mcfg,
+            layout,
+        };
+        evaluate_budgeted(mcfg, &ssa, layout, &oracle, None, max_steps)
+    };
+    let proc = mcfg.module.proc(p);
+    if steps_exhausted {
+        gov.record_quarantine(
+            Stage::RetJump,
+            format!(
+                "{}: symbolic evaluation step slice exhausted; \
+                 pending values forced to ⊥",
+                proc.name
+            ),
+        );
+    }
+    let mut fns = Vec::with_capacity(n_slots);
+    for slot in 0..n_slots {
+        let var: Option<VarId> = if slot < proc.arity() {
+            Some(proc.formals[slot])
+        } else {
+            proc.var_for_global(layout.scalar_globals[slot - proc.arity()])
+        };
+        let jf = match var {
+            Some(v) if !proc.var(v).is_array => {
+                let mut acc = SymVal::Top;
+                for (_, snapshot) in &ssa.exits {
+                    let at_exit = snapshot[v.index()]
+                        .map(|val| sym.value(val).clone())
+                        .unwrap_or(SymVal::Bottom);
+                    acc = acc.meet(&at_exit);
+                }
+                match acc {
+                    // No reachable exit (infinite loop): the value is
+                    // never observed after the call; ⊥ is safe.
+                    SymVal::Top => JumpFn::Bottom,
+                    SymVal::Bottom => JumpFn::Bottom,
+                    SymVal::Poly(p) => match (p.as_const(), p.as_var()) {
+                        (Some(c), _) => JumpFn::Const(c),
+                        (None, Some(v)) => JumpFn::PassThrough(v),
+                        _ => JumpFn::Poly(p),
+                    },
+                }
+            }
+            _ => JumpFn::Bottom,
+        };
+        // Each slot classification charges the return-jump budget, and
+        // the result is clamped to the polynomial shape limits.
+        let jf = if gov.charge(Stage::RetJump) {
+            let limits = *gov.limits();
+            let (clamped, degraded) = jf.clamp(&limits);
+            if degraded {
+                gov.record(
+                    Stage::RetJump,
+                    format!(
+                        "{}: slot {slot}: polynomial exceeds shape limits; \
+                         degraded to {clamped}",
+                        proc.name
+                    ),
+                );
+            }
+            clamped
+        } else {
+            if !jf.is_bottom() {
+                gov.record(
+                    Stage::RetJump,
+                    format!(
+                        "{}: slot {slot}: classification budget exhausted; forced to ⊥",
+                        proc.name
+                    ),
+                );
+            }
+            JumpFn::Bottom
+        };
+        fns.push(jf);
+    }
+    fns
 }
 
 #[cfg(test)]
@@ -300,7 +346,16 @@ mod tests {
         let cg = build_call_graph(&m);
         let mr = compute_modref(&m, &cg);
         let layout = SlotLayout::new(&m.module);
-        let table = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), false, &mut Governor::unlimited());
+        let mut quarantined = vec![false; m.module.procs.len()];
+        let table = build_return_jfs(
+            &m,
+            &cg,
+            &layout,
+            &ModKills(&mr),
+            &Config::default(),
+            &mut quarantined,
+            &mut Governor::unlimited(),
+        );
         (m, cg, layout, table)
     }
 
@@ -418,7 +473,20 @@ mod tests {
         let mr = compute_modref(&m, &cg);
         let layout = SlotLayout::new(&m.module);
         for (compose, expect_poly) in [(false, false), (true, true)] {
-            let t = build_return_jfs(&m, &cg, &layout, &ModKills(&mr), compose, &mut Governor::unlimited());
+            let config = Config {
+                compose_return_jfs: compose,
+                ..Config::default()
+            };
+            let mut quarantined = vec![false; m.module.procs.len()];
+            let t = build_return_jfs(
+                &m,
+                &cg,
+                &layout,
+                &ModKills(&mr),
+                &config,
+                &mut quarantined,
+                &mut Governor::unlimited(),
+            );
             let oracle = RetOracle { table: &t, mcfg: &m, layout: &layout };
             let add1 = m.module.proc_named("add1").unwrap().id;
             // Argument symbolically = caller's formal-like poly var 0.

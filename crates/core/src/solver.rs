@@ -141,6 +141,21 @@ pub fn solve(
     queued[entry.index()] = true;
 
     while let Some(p) = work.pop_front() {
+        if gov.deadline_expired() {
+            gov.record_deadline(
+                Stage::Solver,
+                format!(
+                    "deadline expired after {iterations} re-evaluations; \
+                     all reachable entry slots forced to ⊥"
+                ),
+            );
+            for (pi, v) in vals.iter_mut().enumerate() {
+                if cg.reachable[pi] {
+                    v.fill(Lattice::Bottom);
+                }
+            }
+            break;
+        }
         if !gov.charge(Stage::Solver) {
             gov.record(
                 Stage::Solver,

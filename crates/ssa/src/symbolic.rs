@@ -248,6 +248,42 @@ pub fn evaluate_budgeted(
     gate: Option<&crate::sccp::SccpResult>,
     max_steps: u64,
 ) -> (Symbolic, bool) {
+    let budget = EvalBudget { max_steps, deadline: None };
+    evaluate_under(mcfg, ssa, layout, oracle, gate, &budget)
+}
+
+/// The resource envelope for one symbolic evaluation: a transfer-step
+/// budget and an optional wall-clock deadline.
+///
+/// The deadline is checked cooperatively every [`EvalBudget::CHECK_STEPS`]
+/// transfer steps (checking `Instant::now()` per step would dominate the
+/// transfer cost), so expiry overshoots by at most that interval.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalBudget {
+    /// Transfer steps allowed before the evaluation degrades.
+    pub max_steps: u64,
+    /// Absolute wall-clock cutoff, if any.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl EvalBudget {
+    /// Transfer steps between two deadline checks.
+    pub const CHECK_STEPS: u64 = 1024;
+}
+
+/// Like [`evaluate_budgeted`], but under a full [`EvalBudget`] (step
+/// budget + optional wall-clock deadline). Exhausting either degrades the
+/// same way: pending values sink to ⊥, the flag comes back `true`, and
+/// the assignment stays consistent and sound.
+pub fn evaluate_under(
+    mcfg: &ModuleCfg,
+    ssa: &SsaProc,
+    layout: &SlotLayout,
+    oracle: &dyn CallDefEval,
+    gate: Option<&crate::sccp::SccpResult>,
+    budget: &EvalBudget,
+) -> (Symbolic, bool) {
+    let max_steps = budget.max_steps;
     let slot_of_var = slot_map(mcfg, ssa.proc, layout);
     let n = ssa.len();
     let mut values = vec![SymVal::Top; n];
@@ -261,6 +297,14 @@ pub fn evaluate_budgeted(
         if iterations >= max_steps {
             exhausted = true;
             break;
+        }
+        if let Some(deadline) = budget.deadline {
+            if iterations.is_multiple_of(EvalBudget::CHECK_STEPS)
+                && std::time::Instant::now() >= deadline
+            {
+                exhausted = true;
+                break;
+            }
         }
         work.pop();
         iterations += 1;

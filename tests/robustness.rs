@@ -67,6 +67,141 @@ fn lenient_exec() -> ExecLimits {
     }
 }
 
+/// The configuration the fuzz-style tests run under. `ci.sh` runs this
+/// suite twice: once as-is (quarantine on, the default) and once with
+/// `IPCP_QUARANTINE=off`, so both fault-handling paths stay covered.
+fn base_config() -> Config {
+    let config = Config::polynomial();
+    match std::env::var("IPCP_QUARANTINE").ok().as_deref() {
+        Some("0") | Some("off") => config.with_quarantine(false),
+        _ => config,
+    }
+}
+
+/// Swaps one arithmetic operator for another — the program stays
+/// syntactically valid but computes something else.
+fn swap_operator(src: &str, rng: &mut Rng) -> String {
+    const OPS: &[u8] = b"+-*";
+    let positions: Vec<usize> = src
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| OPS.contains(b))
+        .map(|(i, _)| i)
+        .collect();
+    if positions.is_empty() {
+        return src.to_string();
+    }
+    let mut bytes = src.as_bytes().to_vec();
+    bytes[positions[rng.below(positions.len() as u64) as usize]] =
+        OPS[rng.below(OPS.len() as u64) as usize];
+    String::from_utf8(bytes).expect("ASCII in, ASCII out")
+}
+
+/// Copies a `;`-terminated statement to a random other position —
+/// typically into a *different* procedure, where its variables may be
+/// undefined or shadow locals.
+fn splice_statement(src: &str, rng: &mut Rng) -> String {
+    let semis: Vec<usize> = src
+        .char_indices()
+        .filter(|&(_, c)| c == ';')
+        .map(|(i, _)| i)
+        .collect();
+    if semis.len() < 2 {
+        return src.to_string();
+    }
+    let pick = semis[rng.below(semis.len() as u64) as usize];
+    let start = src[..pick].rfind(['{', ';']).map_or(0, |i| i + 1);
+    let stmt = src[start..=pick].to_string();
+    let dest = semis[rng.below(semis.len() as u64) as usize];
+    let mut out = src.to_string();
+    out.insert_str(dest + 1, &stmt);
+    out
+}
+
+/// Adds or drops one argument at a random call site, so formal/actual
+/// arity no longer matches the callee.
+fn perturb_call_arity(src: &str, rng: &mut Rng) -> String {
+    let calls: Vec<usize> = src.match_indices("call ").map(|(i, _)| i).collect();
+    if calls.is_empty() {
+        return src.to_string();
+    }
+    let at = calls[rng.below(calls.len() as u64) as usize];
+    let Some(open) = src[at..].find('(').map(|i| at + i) else {
+        return src.to_string();
+    };
+    let mut depth = 0i32;
+    let mut close = None;
+    for (i, c) in src[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return src.to_string();
+    };
+    let args = &src[open + 1..close];
+    let new_args = if args.trim().is_empty() {
+        "7".to_string()
+    } else if rng.below(2) == 0 {
+        format!("{args}, 7")
+    } else {
+        // Drop the last top-level argument.
+        let mut depth = 0i32;
+        let mut cut = None;
+        for (i, c) in args.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                ',' if depth == 0 => cut = Some(i),
+                _ => {}
+            }
+        }
+        cut.map_or(String::new(), |i| args[..i].to_string())
+    };
+    format!("{}{}{}", &src[..=open], new_args, &src[close..])
+}
+
+/// Grammar-aware mutations: unlike the byte-level fuzzing below, these
+/// produce programs that usually *parse*, driving faults deep into the
+/// analysis instead of bouncing off the frontend. The pipeline must not
+/// panic, and whenever the mutant both analyzes and executes, every
+/// claimed constant must hold on the observed entry states.
+#[test]
+fn grammar_mutated_sources_never_panic_and_stay_sound() {
+    let base: Vec<String> = (12..18).map(|s| generate(&GenConfig::default(), s)).collect();
+    let mut rng = Rng::new(0x6A3A);
+    let config = base_config();
+    for round in 0..200u32 {
+        let src = &base[rng.below(base.len() as u64) as usize];
+        let mutated = match rng.below(3) {
+            0 => swap_operator(src, &mut rng),
+            1 => splice_statement(src, &mut rng),
+            _ => perturb_call_arity(src, &mut rng),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let module = parse_and_resolve(&mutated).ok()?;
+            let mcfg = lower_module(&module);
+            let analysis = Analysis::run(&mcfg, &config);
+            let exec = run_module(&mcfg.module, &[5, 1, -2, 8, 0], &lenient_exec()).ok()?;
+            Some((mcfg, analysis, exec))
+        }));
+        let Ok(result) = outcome else {
+            panic!("round {round}: pipeline panicked on grammar-mutated source:\n{mutated}");
+        };
+        if let Some((mcfg, analysis, exec)) = result {
+            check_trace(&mcfg, &analysis, &exec.trace, &format!("round {round}"));
+        }
+    }
+}
+
 #[test]
 fn starved_budgets_never_panic_and_stay_sound() {
     for seed in 0..20u64 {
@@ -226,6 +361,132 @@ fn fault_injection_trips_the_binding_solver() {
     assert!(health.count(Stage::Binding) >= 1, "{health}");
     // Everything reachable was forced to ⊥ — coarse, but sound.
     assert_eq!(vals.n_constants(), 0);
+}
+
+/// The quarantine acceptance criterion: a panic in any single procedure's
+/// per-procedure phase quarantines only that procedure. Every other
+/// procedure's `CONSTANTS(p)` row is bit-identical to the fault-free run.
+///
+/// The victim `q` is an independent leaf that touches no globals and is
+/// called with a literal argument, so no dataflow fact about any other
+/// procedure routes through it.
+#[test]
+fn quarantine_of_one_procedure_leaves_the_rest_bit_identical() {
+    let src = "proc main() { call f(1, 2); call q(3); call h(5); } \
+        proc f(a, b) { print a + b; } \
+        proc q(x) { print x; } \
+        proc h(y) { print y; }";
+    let mcfg = lower_module(&parse_and_resolve(src).unwrap());
+    let clean = Analysis::run(&mcfg, &Config::polynomial());
+    let victim = mcfg.module.proc_named("q").unwrap().id;
+    for stage in [Stage::ModRef, Stage::Jump, Stage::RetJump] {
+        let config = Config::polynomial().with_panic(stage, victim.index());
+        let hurt = Analysis::run(&mcfg, &config);
+        assert!(
+            hurt.quarantined[victim.index()],
+            "panic at {stage} did not quarantine q:\n{}",
+            hurt.health
+        );
+        assert_eq!(hurt.quarantined.iter().filter(|&&q| q).count(), 1);
+        for (pi, p) in mcfg.module.procs.iter().enumerate() {
+            if pi == victim.index() {
+                continue;
+            }
+            let pid = ipcp_ir::program::ProcId::from(pi);
+            assert_eq!(
+                clean.vals.of(pid),
+                hurt.vals.of(pid),
+                "panic at {stage} in q changed CONSTANTS({})",
+                p.name
+            );
+        }
+    }
+}
+
+/// Panic-injected runs on the whole suite: the contained fault must never
+/// break a surviving constant — `CONSTANTS(p)` of every procedure
+/// (quarantined rows are ⊥ and trivially sound) still holds on every
+/// observed entry state.
+#[test]
+fn panic_injected_runs_stay_sound_on_the_suite() {
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let Ok(exec) = run_module(&mcfg.module, p.inputs, &lenient_exec()) else {
+            continue;
+        };
+        let n = mcfg.module.procs.len();
+        for stage in [Stage::ModRef, Stage::Jump, Stage::RetJump] {
+            for victim in [0, n / 2, n - 1] {
+                let config = Config::polynomial().with_panic(stage, victim);
+                let analysis = Analysis::run(&mcfg, &config);
+                check_trace(
+                    &mcfg,
+                    &analysis,
+                    &exec.trace,
+                    &format!("{} panic {stage}@{victim}", p.name),
+                );
+            }
+        }
+    }
+}
+
+/// With quarantine disabled, the same injected panic propagates — the
+/// escape hatch really turns the layer off.
+#[test]
+fn disabling_quarantine_lets_the_panic_escape() {
+    let mcfg = lower_module(&parse_and_resolve(FAULT_SRC).unwrap());
+    let config = Config::polynomial()
+        .with_panic(Stage::Jump, 1)
+        .with_quarantine(false);
+    let result = catch_unwind(AssertUnwindSafe(|| Analysis::run(&mcfg, &config)));
+    assert!(result.is_err(), "panic should escape with quarantine off");
+    // Back on (the default), the identical run completes and degrades.
+    let contained = Analysis::run(&mcfg, &Config::polynomial().with_panic(Stage::Jump, 1));
+    assert!(contained.quarantined[1]);
+    assert!(contained.health.degraded());
+}
+
+/// An already-expired deadline: the analysis still returns, the results
+/// are sound (everything reachable at ⊥ is always sound), and the
+/// telemetry says why precision was lost.
+#[test]
+fn expired_deadlines_degrade_soundly() {
+    use ipcp::{Deadline, DegradationKind};
+    use std::time::Duration;
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let config = Config::polynomial().with_deadline(Deadline::after(Duration::ZERO));
+        let analysis = Analysis::run(&mcfg, &config);
+        assert!(
+            analysis.health.count_kind(DegradationKind::Deadline) >= 1,
+            "{}: no deadline event recorded:\n{}",
+            p.name,
+            analysis.health
+        );
+        if let Ok(exec) = run_module(&mcfg.module, p.inputs, &lenient_exec()) {
+            check_trace(&mcfg, &analysis, &exec.trace, &format!("{} deadline", p.name));
+        }
+    }
+}
+
+/// A far-future deadline changes nothing: same values, no deadline events.
+#[test]
+fn generous_deadlines_do_not_perturb_results() {
+    use ipcp::{Deadline, DegradationKind};
+    use std::time::Duration;
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        let plain = Analysis::run(&mcfg, &Config::polynomial());
+        let timed = Analysis::run(
+            &mcfg,
+            &Config::polynomial().with_deadline(Deadline::after(Duration::from_secs(3600))),
+        );
+        assert_eq!(timed.health.count_kind(DegradationKind::Deadline), 0);
+        for (pi, _) in mcfg.module.procs.iter().enumerate() {
+            let pid = ipcp_ir::program::ProcId::from(pi);
+            assert_eq!(plain.vals.of(pid), timed.vals.of(pid), "{}", p.name);
+        }
+    }
 }
 
 /// Deterministic fault injection is *deterministic*: the same fault point

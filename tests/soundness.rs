@@ -225,6 +225,48 @@ fn meets_are_not_overly_optimistic() {
     }
 }
 
+/// Quarantine soundness: panic-injected and budget-starved runs keep
+/// every surviving `CONSTANTS(p)` claim true on the observed entry
+/// states. Quarantined procedures report all-⊥ rows, which are vacuously
+/// sound, so `check_trace` covers quarantined and healthy procedures
+/// alike.
+#[test]
+fn fault_injected_and_starved_runs_stay_sound() {
+    use ipcp::{AnalysisLimits, Stage};
+    let limits = ExecLimits {
+        max_steps: 500_000,
+        lenient_reads: true,
+        ..Default::default()
+    };
+    for seed in 0u64..12 {
+        let src = generate(&GenConfig::default(), seed);
+        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
+        let Ok(exec) = run_module(&mcfg.module, &[4, -1, 6], &limits) else {
+            continue;
+        };
+        let n = mcfg.module.procs.len();
+        for stage in [Stage::ModRef, Stage::Jump, Stage::RetJump] {
+            for victim in 0..n {
+                let config = Config::polynomial().with_panic(stage, victim);
+                let a = Analysis::run(&mcfg, &config);
+                check_trace(
+                    &mcfg,
+                    &a,
+                    &exec.trace,
+                    &format!("seed {seed} panic {stage}@{victim}"),
+                );
+            }
+        }
+        // Starvation and quarantine composed: both degradation paths at
+        // once must still only ever lose precision.
+        let starved = Config::polynomial()
+            .with_limits(AnalysisLimits::tiny())
+            .with_panic(Stage::Jump, n / 2);
+        let a = Analysis::run(&mcfg, &starved);
+        check_trace(&mcfg, &a, &exec.trace, &format!("seed {seed} starved+panic"));
+    }
+}
+
 /// FT adopts the FORTRAN 77 aliasing rule: writing through an aliased
 /// dummy is a (dynamic) error, which is precisely the assumption that
 /// keeps the jump-function framework sound. These programs must fault,
