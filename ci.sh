@@ -11,8 +11,11 @@ cd "$(dirname "$0")"
 echo "==> build (release)"
 cargo build --release --workspace
 
-echo "==> tests"
-cargo test -q --workspace
+echo "==> tests (sequential: IPCP_JOBS=1)"
+IPCP_JOBS=1 cargo test -q --workspace
+
+echo "==> tests (parallel: IPCP_JOBS=4)"
+IPCP_JOBS=4 cargo test -q --workspace
 
 echo "==> robustness suite again, with quarantine disabled"
 IPCP_QUARANTINE=off cargo test -q --test robustness
@@ -27,6 +30,22 @@ status=0
 timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 0 --strict >/dev/null 2>&1 || status=$?
 if [ "$status" != 0 ] && [ "$status" != 3 ]; then
     echo "deadline smoke test: unexpected exit $status" >&2
+    exit 1
+fi
+
+echo "==> lock-free lint (the hot phases must stay Mutex/RwLock-free)"
+# The determinism contract (docs/ROBUSTNESS.md, "Concurrency contract")
+# is built on sharded state + an ordered fold, not on locking. A Mutex
+# creeping into a per-procedure phase would reintroduce schedule-
+# dependent behaviour silently — fail loudly instead.
+hot_files=(
+    crates/core/src/pipeline.rs
+    crates/core/src/jump.rs
+    crates/core/src/retjump.rs
+    crates/analysis/src/modref.rs
+)
+if grep -nE 'Mutex|RwLock' "${hot_files[@]}"; then
+    echo "lock-free lint: Mutex/RwLock found in a per-procedure phase" >&2
     exit 1
 fi
 

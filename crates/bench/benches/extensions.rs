@@ -23,17 +23,19 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| sum_counts(&Config::polynomial(), &modules))
     });
     group.bench_function(BenchmarkId::from_parameter("compose-return-jfs"), |b| {
-        let config = Config {
-            compose_return_jfs: true,
-            ..Config::polynomial()
-        };
+        let config = Config::polynomial()
+            .rebuild()
+            .compose_return_jfs(true)
+            .build()
+            .expect("compose over polynomial is valid");
         b.iter(|| sum_counts(&config, &modules))
     });
     group.bench_function(BenchmarkId::from_parameter("gated-generation"), |b| {
-        let config = Config {
-            gated_jump_fns: true,
-            ..Config::polynomial()
-        };
+        let config = Config::polynomial()
+            .rebuild()
+            .gated(true)
+            .build()
+            .expect("gated over polynomial is valid");
         b.iter(|| sum_counts(&config, &modules))
     });
     group.bench_function(BenchmarkId::from_parameter("cloning"), |b| {

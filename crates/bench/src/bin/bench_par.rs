@@ -1,0 +1,116 @@
+//! Measures the `--jobs` speedup of the per-procedure phases on
+//! generated workloads and verifies the determinism contract along the
+//! way: every run is compared bit-for-bit against the sequential result
+//! before its time is reported.
+//!
+//! Writes `BENCH_par.json` into the current directory.
+
+use ipcp::{Analysis, Config};
+use ipcp_suite::{generate, GenConfig};
+use std::time::{Duration, Instant};
+
+/// One generated workload.
+struct Workload {
+    name: &'static str,
+    gen: GenConfig,
+    seed: u64,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "wide",
+        gen: GenConfig { n_procs: 160, n_globals: 6, stmts_per_proc: 24, max_depth: 2 },
+        seed: 11,
+    },
+    Workload {
+        name: "deep",
+        gen: GenConfig { n_procs: 48, n_globals: 8, stmts_per_proc: 64, max_depth: 4 },
+        seed: 23,
+    },
+    Workload {
+        name: "mixed",
+        gen: GenConfig { n_procs: 96, n_globals: 10, stmts_per_proc: 40, max_depth: 3 },
+        seed: 37,
+    },
+];
+
+const REPS: u32 = 5;
+
+/// Best-of-`REPS` wall time for one configuration, returning the last
+/// analysis so the caller can compare results across configurations.
+fn time_analysis(mcfg: &ipcp_ir::cfg::ModuleCfg, config: &Config) -> (Duration, Analysis) {
+    let mut best = Duration::MAX;
+    let mut last = Analysis::run(mcfg, config);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        last = Analysis::run(mcfg, config);
+        best = best.min(t0.elapsed());
+    }
+    (best, last)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let par_jobs = Config::default().effective_jobs().max(2);
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>8} {:>6}",
+        "program", "procs", "seq_us", "par_us", "speedup", "util"
+    );
+    for w in WORKLOADS {
+        let src = generate(&w.gen, w.seed);
+        let module = ipcp_ir::parse_and_resolve(&src)
+            .map_err(|d| format!("generated program failed to parse: {d:?}"))?;
+        let mcfg = ipcp_ir::lower_module(&module);
+
+        let seq_cfg = Config::default().with_jobs(1);
+        let par_cfg = Config::default().with_jobs(par_jobs);
+        let (seq_t, seq_a) = time_analysis(&mcfg, &seq_cfg);
+        let (par_t, par_a) = time_analysis(&mcfg, &par_cfg);
+
+        // The determinism contract: the parallel schedule must not be
+        // observable in any output the analysis reports.
+        if par_a.vals != seq_a.vals
+            || par_a.health != seq_a.health
+            || par_a.quarantined != seq_a.quarantined
+        {
+            return Err(format!(
+                "jobs={par_jobs} diverged from jobs=1 on workload `{}`",
+                w.name
+            )
+            .into());
+        }
+
+        let speedup = seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9);
+        let util = par_a.timings.utilization();
+        println!(
+            "{:<8} {:>6} {:>10} {:>10} {:>7.2}x {:>5.0}%",
+            w.name,
+            w.gen.n_procs,
+            seq_t.as_micros(),
+            par_t.as_micros(),
+            speedup,
+            100.0 * util,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"program\": \"{}\", \"n_procs\": {}, \"seq_us\": {}, ",
+                "\"par_us\": {}, \"speedup\": {:.3}, \"utilization\": {:.3}, ",
+                "\"identical\": true}}"
+            ),
+            w.name,
+            w.gen.n_procs,
+            seq_t.as_micros(),
+            par_t.as_micros(),
+            speedup,
+            util,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"jobs\": {par_jobs},\n  \"reps\": {REPS},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_par.json", &json)?;
+    println!("wrote BENCH_par.json (jobs={par_jobs}, best of {REPS})");
+    Ok(())
+}

@@ -58,4 +58,32 @@ fn main() {
     println!("§3.1.5's observation holds: mean support ≤ 1 — lowering one value");
     println!("re-evaluates at most one jump function per use, so propagation cost");
     println!("is dominated by the intraprocedural (SSA/symbolic) work.");
+
+    let auto_jobs = Config::default().effective_jobs();
+    println!();
+    println!("Per-stage wall time, sequential vs --jobs {auto_jobs} (machine-dependent)");
+    println!(
+        "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6}",
+        "program", "jobs", "modref_us", "retjf_us", "jump_us", "solve_us", "total_us", "util"
+    );
+    for p in PROGRAMS {
+        let mcfg = p.module_cfg();
+        for jobs in [1, auto_jobs] {
+            let t = Analysis::run(&mcfg, &Config::default().with_jobs(jobs)).timings;
+            println!(
+                "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5.0}%",
+                p.name,
+                t.jobs,
+                t.modref.wall.as_micros(),
+                t.retjump.wall.as_micros(),
+                t.jump.wall.as_micros(),
+                t.solve.wall.as_micros(),
+                t.total.as_micros(),
+                100.0 * t.utilization(),
+            );
+            if auto_jobs == 1 {
+                break;
+            }
+        }
+    }
 }

@@ -10,12 +10,10 @@ pub enum Command {
     Analyze {
         /// Input path (`-` for stdin).
         file: String,
-        /// Analysis configuration.
+        /// Analysis configuration (strict mode included: `Config::strict`).
         config: Config,
         /// What to print.
         emit: Emit,
-        /// Treat any budget degradation as an error (exit code 3).
-        strict: bool,
     },
     /// `ipcc run <file> [--input a,b,c]`
     Run {
@@ -47,8 +45,6 @@ pub enum Command {
         file: String,
         /// Analysis configuration.
         config: Config,
-        /// Treat any budget degradation as an error (exit code 3).
-        strict: bool,
     },
     /// `ipcc clone <file> [--budget N] [options]` — constant-driven cloning.
     Clone {
@@ -58,8 +54,6 @@ pub enum Command {
         config: Config,
         /// Maximum clones to create.
         budget: usize,
-        /// Treat any budget degradation as an error (exit code 3).
-        strict: bool,
     },
     /// `ipcc explain <file> --proc <name> [--slot <name>] [--depth N]`
     Explain {
@@ -73,8 +67,6 @@ pub enum Command {
         slot: Option<String>,
         /// Recursion depth through supporting slots.
         depth: usize,
-        /// Treat any budget degradation as an error (exit code 3).
-        strict: bool,
     },
     /// `ipcc integrate <file> [--budget N]` — Wegman–Zadeck procedure
     /// integration comparison.
@@ -161,6 +153,10 @@ ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce):
     --zero-globals                        extension: globals are 0 at main
     --gated                               extension: gated generation
     --pruned-ssa                          engineering: liveness-pruned SSA
+    --jobs <N>, -j <N>                    worker threads for the per-procedure
+                                          phases (0 = auto-detect, the default;
+                                          env IPCP_JOBS overrides auto; results
+                                          are bit-identical for every N)
     --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
 
 BUDGET OPTIONS (analyze / complete / clone / explain / reduce):
@@ -189,9 +185,8 @@ EXIT CODES:
 Use `-` as <file> to read from standard input.
 ";
 
-fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
-    let mut config = Config::default();
-    let mut strict = false;
+fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
+    let mut builder = Config::builder();
     let mut rest = Vec::new();
     let drained: Vec<String> = std::mem::take(args);
     let mut it = drained.into_iter().peekable();
@@ -201,7 +196,7 @@ fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
                 let v = it
                     .next()
                     .ok_or_else(|| UsageError("--jump-fn needs a value".into()))?;
-                config.jump_fn = match v.as_str() {
+                let kind = match v.as_str() {
                     "literal" => JumpFnKind::Literal,
                     "intra" | "intraprocedural" => JumpFnKind::IntraproceduralConstant,
                     "pass" | "pass-through" => JumpFnKind::PassThrough,
@@ -210,15 +205,25 @@ fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
                         return Err(UsageError(format!("unknown jump function `{other}`")))
                     }
                 };
+                builder = builder.jump_fn_impl(kind);
             }
-            "--no-mod" => config.use_mod = false,
-            "--no-return-jfs" => config.use_return_jfs = false,
-            "--compose-return-jfs" => config.compose_return_jfs = true,
-            "--zero-globals" => config.assume_zero_globals = true,
-            "--gated" => config.gated_jump_fns = true,
-            "--pruned-ssa" => config.pruned_ssa = true,
-            "--strict" => strict = true,
-            "--no-quarantine" => config.quarantine = false,
+            "--no-mod" => builder = builder.mod_info(false),
+            "--no-return-jfs" => builder = builder.return_jfs(false),
+            "--compose-return-jfs" => builder = builder.compose_return_jfs(true),
+            "--zero-globals" => builder = builder.zero_globals(true),
+            "--gated" => builder = builder.gated(true),
+            "--pruned-ssa" => builder = builder.pruned_ssa(true),
+            "--strict" => builder = builder.strict(true),
+            "--no-quarantine" => builder = builder.quarantine(false),
+            "--jobs" | "-j" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--jobs needs a value".into()))?;
+                let jobs: usize = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad job count `{v}`")))?;
+                builder = builder.jobs(jobs);
+            }
             "--deadline-ms" => {
                 let v = it
                     .next()
@@ -226,7 +231,7 @@ fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
                 let ms: u64 = v
                     .parse()
                     .map_err(|_| UsageError(format!("bad deadline `{v}`")))?;
-                config.deadline = Some(Deadline::after_ms(ms));
+                builder = builder.deadline(Deadline::after_ms(ms));
             }
             "--inject-panic" => {
                 let v = it
@@ -242,29 +247,33 @@ fn parse_config(args: &mut Vec<String>) -> Result<(Config, bool), UsageError> {
                 let proc = proc_s
                     .parse()
                     .map_err(|_| UsageError(format!("bad procedure index `{proc_s}`")))?;
-                config = config.with_panic(stage, proc);
+                builder = builder.inject_panic(stage, proc);
             }
             "--max-poly-terms" => {
                 let v = it
                     .next()
                     .ok_or_else(|| UsageError("--max-poly-terms needs a value".into()))?;
-                config.limits.max_poly_terms = v
+                let n = v
                     .parse()
                     .map_err(|_| UsageError(format!("bad term cap `{v}`")))?;
+                builder = builder.max_poly_terms(n);
             }
             "--max-solver-iterations" => {
                 let v = it.next().ok_or_else(|| {
                     UsageError("--max-solver-iterations needs a value".into())
                 })?;
-                config.limits.max_solver_iterations = v
+                let n = v
                     .parse()
                     .map_err(|_| UsageError(format!("bad iteration cap `{v}`")))?;
+                builder = builder.max_solver_iterations(n);
             }
             _ => rest.push(a),
         }
     }
     *args = rest;
-    Ok((config, strict))
+    // The builder rejects incompatible combinations (e.g. --jobs 4 with
+    // --no-quarantine) with a message naming the conflict and the fix.
+    builder.build().map_err(|e| UsageError(e.to_string()))
 }
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
@@ -313,7 +322,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "analyze" => {
-            let (config, strict) = parse_config(&mut args)?;
+            let config = parse_config(&mut args)?;
             let emit = match take_flag_value(&mut args, "--emit")?.as_deref() {
                 None | Some("constants") => Emit::Constants,
                 Some("substituted") => Emit::Substituted,
@@ -325,7 +334,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "analyze")?;
             expect_empty(&args)?;
-            Ok(Command::Analyze { file, config, emit, strict })
+            Ok(Command::Analyze { file, config, emit })
         }
         "run" => {
             let inputs = match take_flag_value(&mut args, "--input")? {
@@ -361,13 +370,13 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             Ok(Command::CallGraph { file })
         }
         "complete" => {
-            let (config, strict) = parse_config(&mut args)?;
+            let config = parse_config(&mut args)?;
             let file = take_file(&mut args, "complete")?;
             expect_empty(&args)?;
-            Ok(Command::Complete { file, config, strict })
+            Ok(Command::Complete { file, config })
         }
         "clone" => {
-            let (config, strict) = parse_config(&mut args)?;
+            let config = parse_config(&mut args)?;
             let budget = match take_flag_value(&mut args, "--budget")? {
                 None => 16,
                 Some(v) => v
@@ -376,10 +385,10 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "clone")?;
             expect_empty(&args)?;
-            Ok(Command::Clone { file, config, budget, strict })
+            Ok(Command::Clone { file, config, budget })
         }
         "explain" => {
-            let (config, strict) = parse_config(&mut args)?;
+            let config = parse_config(&mut args)?;
             let proc = take_flag_value(&mut args, "--proc")?
                 .ok_or_else(|| UsageError("explain needs --proc <name>".into()))?;
             let slot = take_flag_value(&mut args, "--slot")?;
@@ -391,7 +400,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "explain")?;
             expect_empty(&args)?;
-            Ok(Command::Explain { file, config, proc, slot, depth, strict })
+            Ok(Command::Explain { file, config, proc, slot, depth })
         }
         "integrate" => {
             let budget = match take_flag_value(&mut args, "--budget")? {
@@ -405,7 +414,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             Ok(Command::Integrate { file, budget })
         }
         "reduce" => {
-            let (config, _strict) = parse_config(&mut args)?;
+            let config = parse_config(&mut args)?;
             let inputs: Vec<i64> = match take_flag_value(&mut args, "--input")? {
                 None => Vec::new(),
                 Some(list) => list
@@ -462,12 +471,12 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Analyze { file, config, emit, strict } => {
+            Command::Analyze { file, config, emit } => {
                 assert_eq!(file, "x.ft");
                 assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
                 assert!(!config.use_mod);
                 assert_eq!(emit, Emit::Counts);
-                assert!(!strict);
+                assert!(!config.strict);
             }
             other => panic!("{other:?}"),
         }
@@ -481,8 +490,8 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Analyze { config, strict, .. } => {
-                assert!(strict);
+            Command::Analyze { config, .. } => {
+                assert!(config.strict);
                 assert_eq!(config.limits.max_poly_terms, 2);
                 assert_eq!(config.limits.max_solver_iterations, 99);
             }
@@ -551,6 +560,39 @@ mod tests {
         assert!(p(&["analyze", "--deadline-ms", "soon", "x.ft"]).is_err());
         assert!(p(&["analyze", "--inject-panic", "jump", "x.ft"]).is_err());
         assert!(p(&["analyze", "--inject-panic", "warp:0", "x.ft"]).is_err());
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        for spelling in [&["analyze", "--jobs", "4", "x.ft"], &["analyze", "-j", "4", "x.ft"]] {
+            match p(spelling).unwrap() {
+                Command::Analyze { config, .. } => {
+                    assert_eq!(config.jobs, 4);
+                    assert_eq!(config.effective_jobs(), 4);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // 0 means auto-detect and stays valid.
+        match p(&["analyze", "--jobs", "0", "x.ft"]).unwrap() {
+            Command::Analyze { config, .. } => assert_eq!(config.jobs, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["analyze", "--jobs", "many", "x.ft"]).is_err());
+        assert!(p(&["analyze", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn builder_validation_reaches_the_cli() {
+        // Parallel workers without quarantine cannot honor the
+        // panic-propagation contract; the builder refuses the combination.
+        let err = p(&["analyze", "--jobs", "4", "--no-quarantine", "x.ft"]).unwrap_err();
+        assert!(err.0.contains("quarantine"), "{err}");
+        let err = p(&["analyze", "--compose-return-jfs", "--no-return-jfs", "x.ft"]).unwrap_err();
+        assert!(err.0.contains("return"), "{err}");
+        // Each conflict alone is fine.
+        assert!(p(&["analyze", "--jobs", "1", "--no-quarantine", "x.ft"]).is_ok());
+        assert!(p(&["analyze", "--compose-return-jfs", "x.ft"]).is_ok());
     }
 
     #[test]

@@ -129,13 +129,13 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             }
             Ok(())
         }
-        Command::Analyze { file, config, emit, strict } => {
+        Command::Analyze { file, config, emit } => {
             let (_, mcfg) = load(&file)?;
             let analysis = Analysis::run(&mcfg, &config);
             emit_analysis(&mcfg, &analysis, emit);
-            check_health(&analysis.health, strict)
+            check_health(&analysis.health, config.strict)
         }
-        Command::Complete { file, config, strict } => {
+        Command::Complete { file, config } => {
             let (_, mcfg) = load(&file)?;
             let plain_analysis = Analysis::run(&mcfg, &config);
             let plain = plain_analysis.substitute(&mcfg).total;
@@ -149,9 +149,9 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
                 "dce rounds: {}   statements removed: {}",
                 result.dce_rounds, result.statements_removed
             );
-            check_health(&plain_analysis.health, strict)
+            check_health(&plain_analysis.health, config.strict)
         }
-        Command::Clone { file, config, budget, strict } => {
+        Command::Clone { file, config, budget } => {
             let (_, mcfg) = load(&file)?;
             let before = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
             let result = clone_by_constants(&mcfg, &config, budget);
@@ -165,9 +165,9 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
                 }
             }
             println!("constants substituted: {before} -> {after}");
-            check_health(&result.health, strict)
+            check_health(&result.health, config.strict)
         }
-        Command::Explain { file, config, proc, slot, depth, strict } => {
+        Command::Explain { file, config, proc, slot, depth } => {
             let (_, mcfg) = load(&file)?;
             let analysis = Analysis::run(&mcfg, &config);
             let p = mcfg
@@ -184,7 +184,7 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
                 }
                 print!("{}", ipcp::explain::render(&mcfg, &analysis, pid, s, depth));
             }
-            check_health(&analysis.health, strict)
+            check_health(&analysis.health, config.strict)
         }
         Command::Integrate { file, budget } => {
             let (_, mcfg) = load(&file)?;
@@ -322,5 +322,31 @@ fn tables() {
             a.health.events.len(),
             a.quarantined.iter().filter(|&&q| q).count(),
         );
+    }
+    println!();
+    let auto_jobs = Config::default().effective_jobs();
+    println!("Per-stage wall time, sequential vs --jobs {auto_jobs} (machine-dependent)");
+    println!(
+        "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "program", "jobs", "modref_us", "retjf_us", "jump_us", "solve_us", "util"
+    );
+    for p in paper_programs() {
+        let mcfg = p.module_cfg();
+        for jobs in [1, auto_jobs] {
+            let t = Analysis::run(&mcfg, &Config::polynomial().with_jobs(jobs)).timings;
+            println!(
+                "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>5.0}%",
+                p.name,
+                t.jobs,
+                t.modref.wall.as_micros(),
+                t.retjump.wall.as_micros(),
+                t.jump.wall.as_micros(),
+                t.solve.wall.as_micros(),
+                100.0 * t.utilization(),
+            );
+            if auto_jobs == 1 {
+                break;
+            }
+        }
     }
 }

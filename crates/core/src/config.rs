@@ -301,6 +301,18 @@ pub struct Config {
     /// Test hook: panic inside one procedure's unit of work in one phase.
     /// `None` (the default) means no injected panics.
     pub panic_injection: Option<PanicInjection>,
+    /// Worker threads for the per-procedure phases (MOD/REF direct
+    /// effects, SSA/symbolic + forward jump functions, return jump
+    /// functions). `0` (the default) resolves automatically: the
+    /// `IPCP_JOBS` environment variable when set, otherwise the machine's
+    /// available parallelism. `1` is the sequential path. Results are
+    /// bit-identical for every value — see `docs/ROBUSTNESS.md`.
+    pub jobs: usize,
+    /// Strict mode: any degradation event promotes to
+    /// [`IpcpError::ResourceExhausted`](crate::IpcpError) in
+    /// [`ipcp::analyze`](crate::analyze) (the `ipcc --strict` exit-code-3
+    /// semantics). Off by default — degraded runs stay sound.
+    pub strict: bool,
 }
 
 impl Default for Config {
@@ -318,6 +330,8 @@ impl Default for Config {
             quarantine: true,
             deadline: None,
             panic_injection: None,
+            jobs: 0,
+            strict: false,
         }
     }
 }
@@ -386,6 +400,242 @@ impl Config {
     pub fn with_panic(mut self, stage: Stage, proc: usize) -> Config {
         self.panic_injection = Some(PanicInjection { stage, proc });
         self
+    }
+
+    /// Builder-style: set the worker-thread count for the per-procedure
+    /// phases (`0` = auto-detect, `1` = sequential).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Config {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Builder-style: toggle strict mode (degradation → error).
+    #[must_use]
+    pub fn with_strict(mut self, on: bool) -> Config {
+        self.strict = on;
+        self
+    }
+
+    /// The worker-thread count this configuration actually runs with.
+    ///
+    /// `jobs == 0` resolves to the `IPCP_JOBS` environment variable when
+    /// it parses as a positive integer, otherwise to the machine's
+    /// available parallelism. Quarantine off forces `1`: the point of
+    /// `--no-quarantine` is to let a panic propagate with a usable
+    /// backtrace, which requires the single-threaded path.
+    pub fn effective_jobs(&self) -> usize {
+        if !self.quarantine {
+            return 1;
+        }
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Ok(v) = std::env::var("IPCP_JOBS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// A fluent, validating builder over every configuration axis.
+    ///
+    /// Unlike the `with_*` methods (which stay available and cannot
+    /// fail), [`ConfigBuilder::build`] rejects incompatible combinations
+    /// with [`IpcpError::InvalidConfig`](crate::IpcpError) instead of
+    /// silently producing a configuration that cannot mean what was
+    /// asked for.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder { config: Config::default() }
+    }
+
+    /// A [`ConfigBuilder`] seeded from this configuration, for deriving
+    /// a validated variant of an existing `Config`:
+    ///
+    /// ```
+    /// use ipcp::Config;
+    /// let base = Config::polynomial();
+    /// let gated = base.rebuild().gated(true).build()?;
+    /// assert_eq!(gated.jump_fn, base.jump_fn);
+    /// # Ok::<(), ipcp::IpcpError>(())
+    /// ```
+    pub fn rebuild(self) -> ConfigBuilder {
+        ConfigBuilder { config: self }
+    }
+}
+
+/// Fluent builder for [`Config`], created by [`Config::builder`].
+///
+/// Every setter mirrors a `Config` field; [`ConfigBuilder::build`]
+/// validates the combination and returns `Result<Config, IpcpError>`.
+/// The struct-literal and `with_*` paths remain available for callers
+/// that want infallible construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Which forward jump-function implementation to construct.
+    #[must_use]
+    pub fn jump_fn_impl(mut self, kind: JumpFnKind) -> Self {
+        self.config.jump_fn = kind;
+        self
+    }
+
+    /// Toggle interprocedural MOD information at call sites.
+    #[must_use]
+    pub fn mod_info(mut self, on: bool) -> Self {
+        self.config.use_mod = on;
+        self
+    }
+
+    /// Toggle return jump functions.
+    #[must_use]
+    pub fn return_jfs(mut self, on: bool) -> Self {
+        self.config.use_return_jfs = on;
+        self
+    }
+
+    /// Toggle symbolic composition of return jump functions (extension;
+    /// requires return jump functions to be on).
+    #[must_use]
+    pub fn compose_return_jfs(mut self, on: bool) -> Self {
+        self.config.compose_return_jfs = on;
+        self
+    }
+
+    /// Toggle the zero-initialized-globals extension.
+    #[must_use]
+    pub fn zero_globals(mut self, on: bool) -> Self {
+        self.config.assume_zero_globals = on;
+        self
+    }
+
+    /// Toggle SCCP-gated jump-function generation.
+    #[must_use]
+    pub fn gated(mut self, on: bool) -> Self {
+        self.config.gated_jump_fns = on;
+        self
+    }
+
+    /// Toggle pruned (liveness-filtered) SSA construction.
+    #[must_use]
+    pub fn pruned_ssa(mut self, on: bool) -> Self {
+        self.config.pruned_ssa = on;
+        self
+    }
+
+    /// Set all resource budgets at once.
+    #[must_use]
+    pub fn limits(mut self, limits: AnalysisLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Cap the number of terms a jump-function polynomial may carry.
+    #[must_use]
+    pub fn max_poly_terms(mut self, n: usize) -> Self {
+        self.config.limits.max_poly_terms = n;
+        self
+    }
+
+    /// Cap the VAL solver's worklist iterations.
+    #[must_use]
+    pub fn max_solver_iterations(mut self, n: u64) -> Self {
+        self.config.limits.max_solver_iterations = n;
+        self
+    }
+
+    /// Set the worker-thread count (`0` = auto, `1` = sequential).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// Set a wall-clock deadline `ms` milliseconds from now.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.config.deadline = Some(Deadline::after_ms(ms));
+        self
+    }
+
+    /// Set an explicit wall-clock deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Toggle strict mode (degradation → error in [`crate::analyze`]).
+    #[must_use]
+    pub fn strict(mut self, on: bool) -> Self {
+        self.config.strict = on;
+        self
+    }
+
+    /// Toggle per-procedure fault quarantine.
+    #[must_use]
+    pub fn quarantine(mut self, on: bool) -> Self {
+        self.config.quarantine = on;
+        self
+    }
+
+    /// Arm a deterministic fault-injection trip point.
+    #[must_use]
+    pub fn fault(mut self, stage: Stage, at: u64) -> Self {
+        self.config.fault_injection = Some(FaultInjection { stage, at });
+        self
+    }
+
+    /// Arm a deterministic panic-injection point.
+    #[must_use]
+    pub fn inject_panic(mut self, stage: Stage, proc: usize) -> Self {
+        self.config.panic_injection = Some(PanicInjection { stage, proc });
+        self
+    }
+
+    /// Validate the combination and produce the [`Config`].
+    ///
+    /// Rejected combinations:
+    /// * `jobs > 1` with quarantine off — `--no-quarantine` exists to let
+    ///   a panic propagate with a backtrace, which requires the
+    ///   single-threaded path (a multi-worker run would abort the process
+    ///   on the first worker panic instead);
+    /// * composing return jump functions while return jump functions are
+    ///   disabled — there would be nothing to compose;
+    /// * a fault-injection trip point of `0` — trip points are 1-based.
+    pub fn build(self) -> Result<Config, crate::IpcpError> {
+        let c = self.config;
+        if c.jobs > 1 && !c.quarantine {
+            return Err(crate::IpcpError::InvalidConfig(
+                "jobs > 1 requires quarantine: --no-quarantine exists to \
+                 propagate panics with a backtrace, which needs the \
+                 single-threaded path (use --jobs 1)"
+                    .to_string(),
+            ));
+        }
+        if c.compose_return_jfs && !c.use_return_jfs {
+            return Err(crate::IpcpError::InvalidConfig(
+                "--compose-return-jfs requires return jump functions \
+                 (remove --no-return-jfs)"
+                    .to_string(),
+            ));
+        }
+        if let Some(f) = c.fault_injection {
+            if f.at == 0 {
+                return Err(crate::IpcpError::InvalidConfig(
+                    "fault-injection trip points are 1-based; at = 0 \
+                     would never trip"
+                        .to_string(),
+                ));
+            }
+        }
+        Ok(c)
     }
 }
 
@@ -466,6 +716,72 @@ mod tests {
             Some(PanicInjection { stage: Stage::Jump, proc: 2 })
         );
         assert_eq!(Config::default().panic_injection, None);
+    }
+
+    #[test]
+    fn builder_defaults_match_config_default() {
+        let built = Config::builder().build().expect("default builds");
+        assert_eq!(built, Config::default());
+    }
+
+    #[test]
+    fn builder_sets_every_axis() {
+        let c = Config::builder()
+            .jump_fn_impl(JumpFnKind::Polynomial)
+            .mod_info(false)
+            .return_jfs(true)
+            .compose_return_jfs(true)
+            .zero_globals(true)
+            .gated(true)
+            .pruned_ssa(true)
+            .max_poly_terms(7)
+            .max_solver_iterations(99)
+            .jobs(4)
+            .strict(true)
+            .build()
+            .expect("valid combination");
+        assert_eq!(c.jump_fn, JumpFnKind::Polynomial);
+        assert!(!c.use_mod);
+        assert!(c.compose_return_jfs && c.use_return_jfs);
+        assert!(c.assume_zero_globals && c.gated_jump_fns && c.pruned_ssa);
+        assert_eq!(c.limits.max_poly_terms, 7);
+        assert_eq!(c.limits.max_solver_iterations, 99);
+        assert_eq!(c.jobs, 4);
+        assert!(c.strict);
+    }
+
+    #[test]
+    fn builder_rejects_parallel_without_quarantine() {
+        let err = Config::builder().jobs(4).quarantine(false).build();
+        assert!(matches!(err, Err(crate::IpcpError::InvalidConfig(_))));
+        // jobs = 1 without quarantine is fine: that IS the sequential path.
+        assert!(Config::builder().jobs(1).quarantine(false).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_compose_without_return_jfs() {
+        let err = Config::builder()
+            .return_jfs(false)
+            .compose_return_jfs(true)
+            .build();
+        assert!(matches!(err, Err(crate::IpcpError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn builder_rejects_zero_fault_trip_point() {
+        let err = Config::builder().fault(Stage::Solver, 0).build();
+        assert!(matches!(err, Err(crate::IpcpError::InvalidConfig(_))));
+        assert!(Config::builder().fault(Stage::Solver, 1).build().is_ok());
+    }
+
+    #[test]
+    fn effective_jobs_explicit_and_quarantine_override() {
+        assert_eq!(Config::default().with_jobs(3).effective_jobs(), 3);
+        // Quarantine off forces the sequential path regardless of jobs.
+        let c = Config::default().with_quarantine(false).with_jobs(8);
+        assert_eq!(c.effective_jobs(), 1);
+        // Auto-detect resolves to something positive.
+        assert!(Config::default().effective_jobs() >= 1);
     }
 
     #[test]

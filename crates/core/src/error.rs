@@ -31,6 +31,10 @@ pub enum IpcpError {
         /// The full telemetry of the run.
         health: AnalysisHealth,
     },
+    /// A [`ConfigBuilder`](crate::ConfigBuilder) was asked for an
+    /// incompatible combination of knobs (e.g. `jobs > 1` with
+    /// quarantine off). The message names the conflict and the fix.
+    InvalidConfig(String),
 }
 
 impl IpcpError {
@@ -61,6 +65,7 @@ impl fmt::Display for IpcpError {
                 "resource exhausted in {stage} stage ({} degradation(s))",
                 health.events.len()
             ),
+            IpcpError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -96,6 +101,13 @@ mod tests {
     fn exec_errors_convert() {
         let err: IpcpError = ExecError::DivideByZero.into();
         assert_eq!(err.to_string(), "runtime error: division by zero");
+    }
+
+    #[test]
+    fn invalid_config_displays_the_conflict() {
+        let err = IpcpError::InvalidConfig("jobs > 1 requires quarantine".into());
+        assert!(err.to_string().starts_with("invalid configuration:"));
+        assert!(err.to_string().contains("quarantine"));
     }
 
     #[test]

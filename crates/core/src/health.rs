@@ -9,7 +9,9 @@
 //! callers can tell a full-precision result from a clipped one.
 
 use crate::config::{Config, Stage};
+use ipcp_ssa::DeadlineLatch;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a degradation happened — the response ladder is the same (force
 /// toward ⊥, stay sound), but callers triage the three causes
@@ -112,7 +114,18 @@ impl AnalysisHealth {
     }
 
     /// Merges another run's events into this one (used when a pipeline
-    /// stage re-runs the analysis internally).
+    /// stage re-runs the analysis internally, and when parallel workers'
+    /// shard telemetry is folded back in).
+    ///
+    /// `absorb` is order-preserving concatenation, **not** commutative:
+    /// `a.absorb(b)` keeps `a`'s events before `b`'s, because event order
+    /// is meaningful chronology (strict mode promotes the *first* event,
+    /// and `ipcc` prints them in occurrence order). It *is* associative —
+    /// `(a ++ b) ++ c == a ++ (b ++ c)` — which is the property sharded
+    /// merges rely on: as long as every caller folds shards in the fixed
+    /// sequential unit order, the merged telemetry is identical to the
+    /// sequential run no matter how the folds are grouped. Tested by
+    /// `absorb_is_associative_not_commutative`.
     pub fn absorb(&mut self, other: AnalysisHealth) {
         self.events.extend(other.events);
     }
@@ -137,10 +150,21 @@ impl fmt::Display for AnalysisHealth {
 /// return means the stage's budget (or an injected fault) tripped and the
 /// stage must degrade. Counters are per-run — a fresh `Governor` is built
 /// for every [`Analysis::run`](crate::Analysis::run).
+///
+/// Under `jobs > 1` each worker charges against its own *shard* (a
+/// [`Governor::shard`] clone with zeroed counters), and the pipeline
+/// folds the shards back into the master in the fixed sequential unit
+/// order via [`Governor::can_absorb`] / [`Governor::absorb_shard`] —
+/// see `docs/ROBUSTNESS.md` § "Concurrency contract". The wall-clock
+/// deadline is the one piece of genuinely shared state: every shard
+/// holds the same [`DeadlineLatch`] behind an `Arc`, so the first
+/// cooperative check on any worker to observe expiry makes every later
+/// check, on every worker, a single relaxed load.
 #[derive(Clone, Debug)]
 pub struct Governor {
     config: Config,
     counters: [u64; Stage::ALL.len()],
+    latch: Arc<DeadlineLatch>,
     /// Accumulated telemetry; taken by the pipeline when the run ends.
     pub health: AnalysisHealth,
 }
@@ -163,8 +187,71 @@ impl Governor {
         Governor {
             config: *config,
             counters: [0; Stage::ALL.len()],
+            latch: Arc::new(DeadlineLatch::new()),
             health: AnalysisHealth::default(),
         }
+    }
+
+    /// A worker's shard: same config and the *shared* deadline latch, but
+    /// zeroed counters and empty telemetry. The worker runs its units
+    /// against the shard optimistically; the pipeline then either absorbs
+    /// the shard (when [`Governor::can_absorb`] proves the outcome is
+    /// bit-identical to sequential charging) or replays the unit against
+    /// the master.
+    pub fn shard(&self) -> Governor {
+        Governor {
+            config: self.config,
+            counters: [0; Stage::ALL.len()],
+            latch: Arc::clone(&self.latch),
+            health: AnalysisHealth::default(),
+        }
+    }
+
+    /// Would folding `shard`'s charges into this governor reproduce the
+    /// sequential outcome exactly?
+    ///
+    /// For each stage with `n > 0` shard charges on top of `c0` master
+    /// charges, sequential execution would have charged `c0+1 ..= c0+n`.
+    /// The shard saw `1 ..= n` — every charge clean (a shard that tripped
+    /// is replayed, never absorbed). The outcomes agree iff no charge in
+    /// `c0+1 ..= c0+n` trips either the cap (`c0 + n <= cap`) or an armed
+    /// fault on that stage (`c0 + n < fault.at`). Since trip conditions
+    /// are monotone in the counter, clean at offset `c0` implies every
+    /// intermediate charge is clean too.
+    pub fn can_absorb(&self, shard: &Governor) -> bool {
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            let n = shard.counters[i];
+            if n == 0 {
+                continue;
+            }
+            let total = self.counters[i] + n;
+            if total > self.cap(stage) {
+                return false;
+            }
+            if let Some(fault) = self.config.fault_injection {
+                if fault.stage == stage && total >= fault.at {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Folds a shard's charges and telemetry into this governor. Call in
+    /// the fixed sequential unit order, only after [`Governor::can_absorb`]
+    /// returned `true` (the caller replays the unit sequentially
+    /// otherwise).
+    pub fn absorb_shard(&mut self, shard: Governor) {
+        for i in 0..Stage::ALL.len() {
+            self.counters[i] += shard.counters[i];
+        }
+        self.health.absorb(shard.health);
+    }
+
+    /// The shared deadline latch, for threading into symbolic-evaluation
+    /// budgets ([`ipcp_ssa::symbolic::EvalBudget`]).
+    pub fn latch(&self) -> &Arc<DeadlineLatch> {
+        &self.latch
     }
 
     /// A governor that never trips — for callers that manage budgets
@@ -244,9 +331,12 @@ impl Governor {
     /// Whether the configured wall-clock deadline (if any) has expired.
     /// Cooperative loops check this once per iteration (or per
     /// `Deadline::CHECK_INTERVAL` steps) and degrade soundly when it
-    /// fires.
+    /// fires. Routed through the shared latch: after the first expiry
+    /// observed anywhere in the run, this is one relaxed load.
     pub fn deadline_expired(&self) -> bool {
-        self.config.deadline.is_some_and(|d| d.expired())
+        self.config
+            .deadline
+            .is_some_and(|d| self.latch.expired(d.instant()))
     }
 
     /// Consumes the governor, yielding the collected telemetry.
@@ -358,6 +448,107 @@ mod tests {
         assert!(gov.charge(Stage::ModRef));
         assert!(gov.charge(Stage::ModRef));
         assert!(!gov.charge(Stage::ModRef));
+    }
+
+    #[test]
+    fn absorb_is_associative_not_commutative() {
+        let ev = |stage: Stage, d: &str| {
+            let mut h = AnalysisHealth::default();
+            h.record(stage, d);
+            h
+        };
+        let (a, b, c) = (
+            ev(Stage::ModRef, "a"),
+            ev(Stage::Jump, "b"),
+            ev(Stage::Solver, "c"),
+        );
+        // (a ++ b) ++ c
+        let mut left = a.clone();
+        left.absorb(b.clone());
+        left.absorb(c.clone());
+        // a ++ (b ++ c)
+        let mut bc = b.clone();
+        bc.absorb(c.clone());
+        let mut right = a.clone();
+        right.absorb(bc);
+        assert_eq!(left, right, "absorb is associative");
+        // ...but NOT commutative: order is meaningful chronology.
+        let mut ba = b;
+        ba.absorb(a);
+        let mut ab = ev(Stage::ModRef, "a");
+        ab.absorb(ev(Stage::Jump, "b"));
+        assert_ne!(ab, ba, "absorb preserves order");
+    }
+
+    #[test]
+    fn shard_starts_clean_and_absorbs_back() {
+        let limits = AnalysisLimits {
+            max_solver_iterations: 10,
+            ..AnalysisLimits::default()
+        };
+        let mut master = Governor::new(&Config::default().with_limits(limits));
+        assert!(master.charge(Stage::Solver));
+        let mut shard = master.shard();
+        assert!(!shard.health.degraded());
+        for _ in 0..4 {
+            assert!(shard.charge(Stage::Solver));
+        }
+        shard.record(Stage::Solver, "from the shard");
+        assert!(master.can_absorb(&shard));
+        master.absorb_shard(shard);
+        // 1 (master) + 4 (shard) charges so far; 5 more fit under cap 10.
+        for _ in 0..5 {
+            assert!(master.charge(Stage::Solver));
+        }
+        assert!(!master.charge(Stage::Solver), "11th charge exceeds cap");
+        assert_eq!(master.health.events.len(), 1);
+    }
+
+    #[test]
+    fn can_absorb_rejects_cap_overflow_and_fault_crossings() {
+        let limits = AnalysisLimits {
+            max_solver_iterations: 5,
+            ..AnalysisLimits::default()
+        };
+        let mut master = Governor::new(&Config::default().with_limits(limits));
+        for _ in 0..3 {
+            assert!(master.charge(Stage::Solver));
+        }
+        let mut ok = master.shard();
+        assert!(ok.charge(Stage::Solver));
+        assert!(ok.charge(Stage::Solver));
+        assert!(master.can_absorb(&ok), "3 + 2 = 5 = cap is clean");
+        let mut over = master.shard();
+        for _ in 0..3 {
+            let _ = over.charge(Stage::Solver);
+        }
+        assert!(!master.can_absorb(&over), "3 + 3 = 6 > cap");
+
+        // Fault crossing: master at 1 charge, fault at 3.
+        let mut faulted = Governor::new(&Config::default().with_fault(Stage::RetJump, 3));
+        assert!(faulted.charge(Stage::RetJump));
+        let mut s1 = faulted.shard();
+        assert!(s1.charge(Stage::RetJump));
+        assert!(faulted.can_absorb(&s1), "1 + 1 = 2 < fault at 3");
+        let mut s2 = faulted.shard();
+        assert!(s2.charge(Stage::RetJump));
+        assert!(s2.charge(Stage::RetJump));
+        assert!(!faulted.can_absorb(&s2), "1 + 2 = 3 >= fault at 3");
+        // An empty shard is always absorbable, even past a trip point.
+        assert!(faulted.can_absorb(&faulted.shard()));
+    }
+
+    #[test]
+    fn shards_share_the_deadline_latch() {
+        let expired = Config::default()
+            .with_deadline(crate::config::Deadline::after(std::time::Duration::ZERO));
+        let master = Governor::new(&expired);
+        let shard = master.shard();
+        // The shard's check fires the shared latch...
+        assert!(shard.deadline_expired());
+        // ...which the master (and every other shard) then sees latched.
+        assert!(master.latch().has_fired());
+        assert!(master.deadline_expired());
     }
 
     #[test]

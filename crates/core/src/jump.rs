@@ -214,8 +214,70 @@ pub fn build_forward_jump_fns(
     quarantined: &mut [bool],
     gov: &mut Governor,
 ) -> ForwardJumpFns {
-    let n_globals = layout.scalar_globals.len();
-    let mut out = ForwardJumpFns {
+    let mut out = empty_sites(mcfg);
+    // `cg.edges` is grouped by caller in ascending index order, so the
+    // per-caller decomposition visits exactly the same edges in exactly
+    // the same order as a flat edge loop would.
+    for (caller, q) in quarantined.iter_mut().enumerate() {
+        let (fns, quar) =
+            build_caller_jump_fns(mcfg, cg, layout, config, symbolics, caller, *q, gov);
+        commit_caller(&mut out, caller, fns);
+        *q = quar;
+    }
+    out
+}
+
+/// Parallel [`build_forward_jump_fns`]: each caller's edges are one unit,
+/// run optimistically against a governor shard; the fold walks callers in
+/// ascending index order and either absorbs the shard (when
+/// [`Governor::can_absorb`] proves the charges land exactly where
+/// sequential charging would have put them) or replays the caller
+/// sequentially against the master. Results, telemetry, and quarantine
+/// flags are bit-identical to the sequential driver.
+#[allow(clippy::too_many_arguments)] // mirrors the sequential driver's signature plus `jobs`
+pub fn build_forward_jump_fns_par(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    config: &Config,
+    symbolics: &[Option<ProcSymbolic>],
+    quarantined: &mut [bool],
+    gov: &mut Governor,
+    jobs: usize,
+) -> (ForwardJumpFns, crate::par::PhaseTime) {
+    let n = mcfg.module.procs.len();
+    let snapshot: Vec<bool> = quarantined.to_vec();
+    let proto = gov.shard();
+    let (units, time) = crate::par::run(jobs, n, |caller| {
+        let mut shard = proto.shard();
+        let (fns, quar) = build_caller_jump_fns(
+            mcfg, cg, layout, config, symbolics, caller, snapshot[caller], &mut shard,
+        );
+        (fns, quar, shard)
+    });
+
+    let mut out = empty_sites(mcfg);
+    for (caller, (fns, quar, shard)) in units.into_iter().enumerate() {
+        if gov.can_absorb(&shard) {
+            gov.absorb_shard(shard);
+            commit_caller(&mut out, caller, fns);
+            quarantined[caller] = quar;
+        } else {
+            // The optimistic charges would cross a budget cap or fault
+            // trip point somewhere inside this unit; rerun it against the
+            // master so each charge sees the exact sequential counter.
+            let (fns, quar) = build_caller_jump_fns(
+                mcfg, cg, layout, config, symbolics, caller, snapshot[caller], gov,
+            );
+            commit_caller(&mut out, caller, fns);
+            quarantined[caller] = quar;
+        }
+    }
+    (out, time)
+}
+
+fn empty_sites(mcfg: &ModuleCfg) -> ForwardJumpFns {
+    ForwardJumpFns {
         sites: mcfg
             .module
             .procs
@@ -223,18 +285,42 @@ pub fn build_forward_jump_fns(
             .enumerate()
             .map(|(p, _)| vec![Vec::new(); mcfg.cfgs[p].n_call_sites])
             .collect(),
-    };
+    }
+}
 
-    for edge in &cg.edges {
+fn commit_caller(out: &mut ForwardJumpFns, caller: usize, fns: Vec<(usize, SiteJumpFns)>) {
+    for (site, f) in fns {
+        out.sites[caller][site] = f;
+    }
+}
+
+/// Builds the jump functions for every call site of one caller — the unit
+/// of both the sequential and the parallel driver. Returns the per-site
+/// functions plus the caller's (possibly newly set) quarantine flag.
+#[allow(clippy::too_many_arguments)]
+fn build_caller_jump_fns(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    config: &Config,
+    symbolics: &[Option<ProcSymbolic>],
+    caller: usize,
+    already_quarantined: bool,
+    gov: &mut Governor,
+) -> (Vec<(usize, SiteJumpFns)>, bool) {
+    let n_globals = layout.scalar_globals.len();
+    let mut quar = already_quarantined;
+    let mut out: Vec<(usize, SiteJumpFns)> = Vec::new();
+    for edge in cg.calls_from(ProcId::from(caller)) {
         let callee = mcfg.module.proc(edge.callee);
         let all_bottom = || vec![JumpFn::Bottom; callee.arity() + n_globals];
-        if quarantined[edge.caller.index()] {
+        if quar {
             // Already contained by an earlier phase (or an earlier edge):
             // the site still binds the callee, just with no information.
-            out.sites[edge.caller.index()][edge.site.index()] = all_bottom();
+            out.push((edge.site.index(), all_bottom()));
             continue;
         }
-        let Some(ps) = symbolics[edge.caller.index()].as_ref() else {
+        let Some(ps) = symbolics[caller].as_ref() else {
             continue; // caller unreachable: no jump functions needed
         };
         if let Some(gate) = &ps.gate {
@@ -247,7 +333,7 @@ pub fn build_forward_jump_fns(
         else {
             continue;
         };
-        let unit = crate::quarantine::run_unit(config, Stage::Jump, edge.caller.index(), || {
+        let unit = crate::quarantine::run_unit(config, Stage::Jump, caller, || {
             build_site_jump_fns(
                 mcfg,
                 config,
@@ -264,7 +350,7 @@ pub fn build_forward_jump_fns(
         let fns = match unit {
             Ok(fns) => fns,
             Err(msg) => {
-                quarantined[edge.caller.index()] = true;
+                quar = true;
                 gov.record_quarantine(
                     Stage::Jump,
                     format!(
@@ -275,9 +361,9 @@ pub fn build_forward_jump_fns(
                 all_bottom()
             }
         };
-        out.sites[edge.caller.index()][edge.site.index()] = fns;
+        out.push((edge.site.index(), fns));
     }
-    out
+    (out, quar)
 }
 
 /// Constructs the jump functions of one call site — the unit of work

@@ -70,6 +70,7 @@ pub mod explain;
 pub mod health;
 pub mod inline;
 pub mod jump;
+pub mod par;
 pub mod pipeline;
 pub mod quarantine;
 pub mod reduce;
@@ -88,15 +89,18 @@ pub use binding::solve_binding_graph;
 pub use cloning::{clone_by_constants, cloning_gain, CloneResult};
 pub use complete::{complete_propagation, CompleteResult};
 pub use config::{
-    AnalysisLimits, Config, Deadline, FaultInjection, JumpFnKind, PanicInjection, Stage,
+    AnalysisLimits, Config, ConfigBuilder, Deadline, FaultInjection, JumpFnKind, PanicInjection,
+    Stage,
 };
 pub use error::IpcpError;
 pub use explain::{explain, Explanation};
 pub use health::{AnalysisHealth, DegradationEvent, DegradationKind, Governor};
 pub use inline::{inline_leaf_calls, integrate_and_count, InlineResult};
+pub use ipcp_ssa::DeadlineLatch;
 pub use jump::{ForwardJumpFns, JumpFn};
 pub use lattice::Lattice;
-pub use pipeline::{analyze_source, Analysis};
+pub use par::{PhaseTime, Timings};
+pub use pipeline::{analyze, analyze_source, Analysis};
 pub use reduce::{reduce, ReduceCheck, ReduceOutcome};
 pub use report::CostReport;
 pub use retjump::{build_return_jfs, ReturnJumpFns};

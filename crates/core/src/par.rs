@@ -1,0 +1,252 @@
+//! A dependency-free scoped worker pool for the per-procedure phases.
+//!
+//! The repo is offline-vendored, so this is `std::thread::scope` plus an
+//! atomic self-scheduling counter — no external crates, no channels, no
+//! locks. Workers pull unit indices from a shared [`AtomicUsize`]
+//! (`fetch_add` work stealing: a worker stuck on a heavy procedure simply
+//! claims fewer units), stash `(index, result)` pairs in a thread-local
+//! vector, and the results are merged back into input order after the
+//! join. Order of *execution* is nondeterministic; order of *results* is
+//! not — which is all the deterministic fold in
+//! [`pipeline`](crate::pipeline) needs.
+//!
+//! [`PhaseTime`] / [`Timings`] carry the wall-clock and per-worker busy
+//! time of each phase, feeding the utilization columns of `ipcc tables`,
+//! `report_all`, and `bench_par`.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Wall-clock and utilization accounting for one parallel (or sequential)
+/// phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTime {
+    /// Elapsed wall-clock time of the phase.
+    pub wall: Duration,
+    /// Summed busy time across workers (== `wall` when sequential).
+    pub busy: Duration,
+    /// Workers that participated (1 for the sequential path).
+    pub workers: usize,
+    /// Units of work (procedures, callers, or SCCs) processed.
+    pub units: usize,
+}
+
+impl PhaseTime {
+    /// Accounting for a phase that ran on the sequential path.
+    pub fn sequential(wall: Duration, units: usize) -> PhaseTime {
+        PhaseTime { wall, busy: wall, workers: 1, units }
+    }
+
+    /// Fraction of worker capacity spent busy: `busy / (wall × workers)`.
+    /// `1.0` for a perfectly balanced phase, lower when workers idle at
+    /// the tail. `0.0` when the phase did not run.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Accumulates another measurement of the same phase (used when the
+    /// gating loop re-runs the pipeline: times add, worker count takes
+    /// the maximum).
+    pub fn absorb(&mut self, other: PhaseTime) {
+        self.wall += other.wall;
+        self.busy += other.busy;
+        self.workers = self.workers.max(other.workers);
+        self.units += other.units;
+    }
+}
+
+/// Per-stage timing for one analysis run, carried on
+/// [`Analysis`](crate::Analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Worker threads the run actually used (`Config::effective_jobs`).
+    pub jobs: usize,
+    /// MOD/REF direct-effects collection (per-procedure).
+    pub modref: PhaseTime,
+    /// Return jump-function construction (per-SCC, level-scheduled).
+    pub retjump: PhaseTime,
+    /// SSA + symbolic evaluation and forward jump functions
+    /// (per-procedure / per-caller).
+    pub jump: PhaseTime,
+    /// The interprocedural VAL solve (always sequential).
+    pub solve: PhaseTime,
+    /// Whole `run_once`, wall clock.
+    pub total: Duration,
+}
+
+impl Timings {
+    /// Accumulates a later round's timings (the gating loop re-runs the
+    /// pipeline up to four times; reported times cover all rounds).
+    pub fn absorb(&mut self, other: Timings) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.modref.absorb(other.modref);
+        self.retjump.absorb(other.retjump);
+        self.jump.absorb(other.jump);
+        self.solve.absorb(other.solve);
+        self.total += other.total;
+    }
+
+    /// Combined wall time of the three per-procedure phases — the part
+    /// `--jobs` parallelizes.
+    pub fn per_proc_wall(&self) -> Duration {
+        self.modref.wall + self.retjump.wall + self.jump.wall
+    }
+
+    /// Busy-time-weighted utilization over the per-procedure phases.
+    pub fn utilization(&self) -> f64 {
+        let mut agg = self.modref;
+        agg.absorb(self.retjump);
+        agg.absorb(self.jump);
+        agg.utilization()
+    }
+}
+
+/// Runs `f(0) .. f(n - 1)` on up to `jobs` scoped workers and returns the
+/// results **in index order**, plus the phase accounting.
+///
+/// * `jobs <= 1` or `n <= 1` short-circuits to a plain sequential loop on
+///   the calling thread (no threads spawned, no atomics touched).
+/// * Workers self-schedule via `fetch_add` on a shared counter, so load
+///   balances at unit granularity without a queue or a lock.
+/// * A panicking closure is **not** caught here: the panic is re-raised
+///   on the calling thread after every worker has drained (the quarantine
+///   layer inside `f` is what catches per-procedure panics; one escaping
+///   it means quarantine was off, and then the contract is to propagate).
+pub fn run<T, F>(jobs: usize, n: usize, f: F) -> (Vec<T>, PhaseTime)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let start = Instant::now();
+    if jobs <= 1 || n <= 1 {
+        let results: Vec<T> = (0..n).map(&f).collect();
+        return (results, PhaseTime::sequential(start.elapsed(), n));
+    }
+
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<(Vec<(usize, T)>, Duration)> = Vec::with_capacity(workers);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let t0 = Instant::now();
+                let mut mine: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    mine.push((i, f(i)));
+                }
+                (mine, t0.elapsed())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(out) => per_worker.push(out),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let busy = per_worker.iter().map(|(_, d)| *d).sum();
+    let mut indexed: Vec<(usize, T)> = per_worker
+        .into_iter()
+        .flat_map(|(results, _)| results)
+        .collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    let results = indexed.into_iter().map(|(_, r)| r).collect();
+    (
+        results,
+        PhaseTime { wall: start.elapsed(), busy, workers, units: n },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 4, 8] {
+            let (out, pt) = run(jobs, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(pt.units, 100);
+            assert!(pt.workers >= 1 && pt.workers <= jobs.max(1));
+        }
+    }
+
+    #[test]
+    fn sequential_path_spawns_no_workers() {
+        let (out, pt) = run(1, 5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(pt.workers, 1);
+        assert_eq!(pt.busy, pt.wall);
+    }
+
+    #[test]
+    fn single_unit_stays_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let (out, _) = run(8, 1, |_| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (out, pt) = run(4, 0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(pt.units, 0);
+        assert!((0.0..=1.0).contains(&pt.utilization()));
+        assert_eq!(PhaseTime::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_unit_count() {
+        let (out, pt) = run(16, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(pt.workers <= 3);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let res = std::panic::catch_unwind(|| {
+            run(4, 10, |i| {
+                assert!(i != 7, "unit 7 exploded");
+                i
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (_, pt) = run(4, 64, |i| {
+            // A little uneven work so busy time is non-trivial.
+            (0..(i % 7) * 1000).fold(0u64, |a, b| a.wrapping_add(b as u64))
+        });
+        let u = pt.utilization();
+        assert!((0.0..=1.0).contains(&u), "{u}");
+    }
+
+    #[test]
+    fn timings_absorb_accumulates() {
+        let mut t = Timings { jobs: 2, ..Timings::default() };
+        t.modref = PhaseTime::sequential(Duration::from_millis(2), 4);
+        let mut other = Timings { jobs: 4, ..Timings::default() };
+        other.modref = PhaseTime::sequential(Duration::from_millis(3), 4);
+        other.total = Duration::from_millis(10);
+        t.absorb(other);
+        assert_eq!(t.jobs, 4);
+        assert_eq!(t.modref.wall, Duration::from_millis(5));
+        assert_eq!(t.modref.units, 8);
+        assert_eq!(t.total, Duration::from_millis(10));
+        assert!(t.per_proc_wall() >= Duration::from_millis(5));
+    }
+}

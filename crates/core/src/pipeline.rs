@@ -5,8 +5,11 @@
 use crate::config::{Config, Stage};
 use crate::error::IpcpError;
 use crate::health::{AnalysisHealth, Governor};
-use crate::jump::{build_forward_jump_fns, ForwardJumpFns, ProcSymbolic};
-use crate::retjump::{build_return_jfs, RetOracle, ReturnJumpFns};
+use crate::jump::{
+    build_forward_jump_fns, build_forward_jump_fns_par, ForwardJumpFns, ProcSymbolic,
+};
+use crate::par::{PhaseTime, Timings};
+use crate::retjump::{build_return_jfs, build_return_jfs_par, RetOracle, ReturnJumpFns};
 use crate::solver::{solve, ValSets};
 use crate::substitute::{self, Substitution};
 use ipcp_analysis::{build_call_graph, direct_effects, propagate_modref, CallGraph, ModRef, ModSet};
@@ -14,8 +17,9 @@ use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
 use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
 use ipcp_ssa::ssa::{build_ssa, build_ssa_pruned, CallKills, ModKills, WorstCaseKills};
-use ipcp_ssa::symbolic::OpaqueCalls;
+use ipcp_ssa::symbolic::{EvalBudget, OpaqueCalls};
 use ipcp_ssa::Lattice;
+use std::time::Instant;
 
 /// Everything the interprocedural constant propagation computed for one
 /// module under one [`Config`].
@@ -47,6 +51,10 @@ pub struct Analysis {
     /// were degraded to their sound worst case (jump functions ⊥, MOD/REF
     /// everything). Every other procedure kept full precision.
     pub quarantined: Vec<bool>,
+    /// Per-stage wall-clock and worker-utilization accounting (summed
+    /// across gating rounds). Purely observational: timings never feed
+    /// back into results.
+    pub timings: Timings,
 }
 
 impl Analysis {
@@ -65,10 +73,15 @@ impl Analysis {
                 let vals = analysis.vals.vals.clone();
                 let mut next = Self::run_once(mcfg, config, Some(&vals));
                 let stable = next.vals.vals == analysis.vals.vals;
-                // Telemetry accumulates across gating rounds.
+                // Telemetry accumulates across gating rounds. `absorb` is
+                // order-preserving concatenation (associative, documented
+                // on `AnalysisHealth::absorb`): round order is chronology.
                 let mut health = std::mem::take(&mut analysis.health);
                 health.absorb(std::mem::take(&mut next.health));
                 next.health = health;
+                let mut timings = analysis.timings;
+                timings.absorb(next.timings);
+                next.timings = timings;
                 analysis = next;
                 if stable {
                     break;
@@ -83,185 +96,172 @@ impl Analysis {
         config: &Config,
         gate_seeds: Option<&Vec<Vec<Lattice>>>,
     ) -> Analysis {
+        let t_run = Instant::now();
+        let jobs = config.effective_jobs();
         let cg = build_call_graph(mcfg);
         let layout = SlotLayout::new(&mcfg.module);
         let mut gov = Governor::new(config);
-        let mut quarantined = vec![false; mcfg.module.procs.len()];
+        let n_procs = mcfg.module.procs.len();
+        let mut quarantined = vec![false; n_procs];
+        let mut timings = Timings { jobs, ..Timings::default() };
 
         // Stage 0: per-procedure MOD/REF direct effects (under
         // quarantine), then call-edge propagation. A contained failure
         // widens only that procedure's summary to "touches everything
         // visible"; the fixpoint spreads the widening to callers exactly
         // as far as reference bindings demand.
+        //
+        // `jobs == 1` takes the original sequential loop verbatim (charge,
+        // then run the unit only if the charge succeeded — the path
+        // `--no-quarantine` debugging relies on). `jobs > 1` runs every
+        // unit optimistically (units are pure and make no charges) and
+        // folds in procedure order, charging the master governor exactly
+        // where the sequential loop would; a charge that fails discards
+        // the unit's result, reproducing the sequential skip bit for bit.
         let n_globals = mcfg.module.globals.len();
-        let mut mods = Vec::with_capacity(mcfg.module.procs.len());
-        let mut refs = Vec::with_capacity(mcfg.module.procs.len());
-        for (pi, p) in mcfg.module.procs.iter().enumerate() {
-            let widen = || {
-                (
-                    ModSet::everything(p.arity(), n_globals),
-                    ModSet::everything(p.arity(), n_globals),
-                )
-            };
-            let (m, r) = if !gov.charge(Stage::ModRef) {
-                quarantined[pi] = true;
-                gov.record_quarantine(
-                    Stage::ModRef,
-                    format!(
-                        "{}: direct-effects budget exhausted; \
-                         summary widened to everything visible",
-                        p.name
-                    ),
-                );
-                widen()
-            } else {
-                let pid = ProcId::from(pi);
-                match crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
-                    direct_effects(mcfg, pid)
-                }) {
-                    Ok(pair) => pair,
-                    Err(msg) => {
-                        quarantined[pi] = true;
-                        gov.record_quarantine(
-                            Stage::ModRef,
-                            format!(
-                                "{}: panic contained ({msg}); \
-                                 summary widened to everything visible",
-                                p.name
-                            ),
-                        );
-                        widen()
-                    }
-                }
-            };
-            mods.push(m);
-            refs.push(r);
+        let t0 = Instant::now();
+        let mut mods = Vec::with_capacity(n_procs);
+        let mut refs = Vec::with_capacity(n_procs);
+        if jobs <= 1 {
+            for (pi, p) in mcfg.module.procs.iter().enumerate() {
+                let (m, r) = if !gov.charge(Stage::ModRef) {
+                    quarantined[pi] = true;
+                    gov.record_quarantine(
+                        Stage::ModRef,
+                        format!(
+                            "{}: direct-effects budget exhausted; \
+                             summary widened to everything visible",
+                            p.name
+                        ),
+                    );
+                    widen_modref(p.arity(), n_globals)
+                } else {
+                    let pid = ProcId::from(pi);
+                    let unit = crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
+                        direct_effects(mcfg, pid)
+                    });
+                    commit_modref_unit(&p.name, unit, p.arity(), n_globals, pi, &mut quarantined, &mut gov)
+                };
+                mods.push(m);
+                refs.push(r);
+            }
+            timings.modref = PhaseTime::sequential(t0.elapsed(), n_procs);
+        } else {
+            let (units, pt) = crate::par::run(jobs, n_procs, |pi| {
+                crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
+                    direct_effects(mcfg, ProcId::from(pi))
+                })
+            });
+            for (pi, unit) in units.into_iter().enumerate() {
+                let p = &mcfg.module.procs[pi];
+                let (m, r) = if !gov.charge(Stage::ModRef) {
+                    quarantined[pi] = true;
+                    gov.record_quarantine(
+                        Stage::ModRef,
+                        format!(
+                            "{}: direct-effects budget exhausted; \
+                             summary widened to everything visible",
+                            p.name
+                        ),
+                    );
+                    widen_modref(p.arity(), n_globals)
+                } else {
+                    commit_modref_unit(&p.name, unit, p.arity(), n_globals, pi, &mut quarantined, &mut gov)
+                };
+                mods.push(m);
+                refs.push(r);
+            }
+            timings.modref = pt;
         }
         let modref = propagate_modref(mcfg, &cg, mods, refs);
 
         let mod_kills = ModKills(&modref);
-        let kills: &dyn CallKills = if config.use_mod {
+        let kills: &(dyn CallKills + Sync) = if config.use_mod {
             &mod_kills
         } else {
             &WorstCaseKills
         };
 
-        // Stage 1: return jump functions (bottom-up over the call graph).
-        let ret_jfs = if config.use_return_jfs {
-            build_return_jfs(mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov)
-        } else {
+        // Stage 1: return jump functions (bottom-up over the call graph;
+        // parallel over the SCC levels of the condensation).
+        let t1 = Instant::now();
+        let ret_jfs = if !config.use_return_jfs {
             ReturnJumpFns {
-                fns: vec![None; mcfg.module.procs.len()],
+                fns: vec![None; n_procs],
                 compose: false,
             }
+        } else if jobs <= 1 {
+            let t = build_return_jfs(mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov);
+            timings.retjump = PhaseTime::sequential(t1.elapsed(), cg.bottom_up().count());
+            t
+        } else {
+            let (t, pt) = build_return_jfs_par(
+                mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov, jobs,
+            );
+            timings.retjump = pt;
+            t
         };
 
         // Stage 2: per-procedure SSA + symbolic evaluation, then forward
         // jump functions (top-down conceptually; order is irrelevant since
-        // return jump functions are already fixed).
+        // return jump functions are already fixed). The symbolic units
+        // charge nothing — step budgets are enforced inside the evaluator
+        // — so the parallel fold only replays the *recording* of outcomes
+        // in procedure order.
+        let t2 = Instant::now();
+        let latch = std::sync::Arc::clone(gov.latch());
+        let max_steps = gov.limits().max_symbolic_steps;
+        let deadline = config.deadline.map(|d| d.instant());
         let mut symbolics: Vec<Option<ProcSymbolic>> = Vec::new();
-        for (pi, _) in mcfg.module.procs.iter().enumerate() {
-            // A procedure quarantined by an earlier phase contributes no
-            // symbolic form: its call sites get explicit all-⊥ jump
-            // functions below, and re-running its unit here would fire
-            // the same fault twice.
-            if !cg.reachable[pi] || quarantined[pi] {
-                symbolics.push(None);
-                continue;
-            }
-            let p = ProcId::from(pi);
-            let budget = ipcp_ssa::symbolic::EvalBudget {
-                max_steps: gov.limits().max_symbolic_steps,
-                deadline: config.deadline.map(|d| d.instant()),
-            };
-            let unit = crate::quarantine::run_unit(config, Stage::Jump, pi, || {
-                let ssa = if config.pruned_ssa {
-                    build_ssa_pruned(mcfg, p, kills)
-                } else {
-                    build_ssa(mcfg, p, kills)
-                };
-                // Gate (extension): an unseeded SCCP pass whose executability
-                // facts prune phi inputs and dead call sites, approximating
-                // jump-function generation over gated single-assignment form.
-                let gate = if config.gated_jump_fns {
-                    let n_vars = mcfg.module.proc(p).vars.len();
-                    let seeds = match gate_seeds {
-                        Some(vals) => crate::substitute::seeds_from_vals(
-                            mcfg,
-                            &layout,
-                            p,
-                            &vals[pi],
-                        ),
-                        None => ipcp_ssa::Seeds::none(n_vars),
-                    };
-                    let res = if config.use_return_jfs {
-                        let oracle = RetOracle {
-                            table: &ret_jfs,
-                            mcfg,
-                            layout: &layout,
-                        };
-                        ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
-                    } else {
-                        ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
-                    };
-                    Some(res)
-                } else {
-                    None
-                };
-                let (sym, steps_exhausted) = if config.use_return_jfs {
-                    let oracle = RetOracle {
-                        table: &ret_jfs,
-                        mcfg,
-                        layout: &layout,
-                    };
-                    ipcp_ssa::symbolic::evaluate_under(
-                        mcfg, &ssa, &layout, &oracle, gate.as_ref(), &budget,
-                    )
-                } else {
-                    ipcp_ssa::symbolic::evaluate_under(
-                        mcfg, &ssa, &layout, &OpaqueCalls, gate.as_ref(), &budget,
-                    )
-                };
-                (ProcSymbolic { ssa, sym, gate }, steps_exhausted)
-            });
-            let name = &mcfg.module.proc(p).name;
-            match unit {
-                Ok((ps, steps_exhausted)) => {
-                    if steps_exhausted {
-                        if gov.deadline_expired() {
-                            gov.record_deadline(
-                                Stage::Jump,
-                                format!(
-                                    "{name}: deadline expired during symbolic \
-                                     evaluation; pending values forced to ⊥"
-                                ),
-                            );
-                        } else {
-                            gov.record_quarantine(
-                                Stage::Jump,
-                                format!(
-                                    "{name}: symbolic evaluation step slice \
-                                     exhausted; pending values forced to ⊥"
-                                ),
-                            );
-                        }
-                    }
-                    symbolics.push(Some(ps));
-                }
-                Err(msg) => {
-                    quarantined[pi] = true;
-                    gov.record_quarantine(
-                        Stage::Jump,
-                        format!(
-                            "{name}: panic contained ({msg}); procedure \
-                             quarantined, jump functions forced to ⊥"
-                        ),
-                    );
+        if jobs <= 1 {
+            for pi in 0..n_procs {
+                // A procedure quarantined by an earlier phase contributes
+                // no symbolic form: its call sites get explicit all-⊥ jump
+                // functions below, and re-running its unit here would fire
+                // the same fault twice.
+                if !cg.reachable[pi] || quarantined[pi] {
                     symbolics.push(None);
+                    continue;
+                }
+                let budget = EvalBudget { max_steps, deadline, latch: Some(&latch) };
+                let unit = crate::quarantine::run_unit(config, Stage::Jump, pi, || {
+                    build_proc_symbolic(mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget)
+                });
+                commit_symbolic_unit(mcfg, pi, unit, &mut symbolics, &mut quarantined, &mut gov);
+            }
+            let jump_fns = build_forward_jump_fns(
+                mcfg,
+                &cg,
+                &layout,
+                config,
+                &symbolics,
+                &mut quarantined,
+                &mut gov,
+            );
+            timings.jump = PhaseTime::sequential(t2.elapsed(), n_procs);
+            return Self::finish(
+                mcfg, config, cg, modref, layout, ret_jfs, symbolics, jump_fns, gov,
+                quarantined, timings, t_run,
+            );
+        }
+        let (units, mut pt) = crate::par::run(jobs, n_procs, |pi| {
+            if !cg.reachable[pi] || quarantined[pi] {
+                return None;
+            }
+            let budget = EvalBudget { max_steps, deadline, latch: Some(&latch) };
+            Some(crate::quarantine::run_unit(config, Stage::Jump, pi, || {
+                build_proc_symbolic(mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget)
+            }))
+        });
+        for (pi, unit) in units.into_iter().enumerate() {
+            match unit {
+                None => symbolics.push(None),
+                Some(u) => {
+                    commit_symbolic_unit(mcfg, pi, u, &mut symbolics, &mut quarantined, &mut gov);
                 }
             }
         }
-        let jump_fns = build_forward_jump_fns(
+        let (jump_fns, pt_fwd) = build_forward_jump_fns_par(
             mcfg,
             &cg,
             &layout,
@@ -269,15 +269,42 @@ impl Analysis {
             &symbolics,
             &mut quarantined,
             &mut gov,
+            jobs,
         );
+        pt.absorb(pt_fwd);
+        timings.jump = pt;
+        Self::finish(
+            mcfg, config, cg, modref, layout, ret_jfs, symbolics, jump_fns, gov, quarantined,
+            timings, t_run,
+        )
+    }
 
-        // Stage 3: interprocedural propagation.
+    /// Stage 3 (the sequential interprocedural solve) and assembly —
+    /// shared tail of both `run_once` paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        mcfg: &ModuleCfg,
+        config: &Config,
+        cg: CallGraph,
+        modref: ModRef,
+        layout: SlotLayout,
+        ret_jfs: ReturnJumpFns,
+        symbolics: Vec<Option<ProcSymbolic>>,
+        jump_fns: ForwardJumpFns,
+        mut gov: Governor,
+        quarantined: Vec<bool>,
+        mut timings: Timings,
+        t_run: Instant,
+    ) -> Analysis {
         let entry_globals = if config.assume_zero_globals {
             Lattice::Const(0)
         } else {
             Lattice::Bottom
         };
+        let t3 = Instant::now();
         let vals = solve(mcfg, &cg, &layout, &jump_fns, entry_globals, &mut gov);
+        timings.solve = PhaseTime::sequential(t3.elapsed(), 1);
+        timings.total = t_run.elapsed();
 
         Analysis {
             config: *config,
@@ -290,6 +317,7 @@ impl Analysis {
             vals,
             health: gov.into_health(),
             quarantined,
+            timings,
         }
     }
 
@@ -319,6 +347,165 @@ impl Analysis {
     pub fn substitute(&self, mcfg: &ModuleCfg) -> Substitution {
         substitute::substitute(mcfg, self)
     }
+}
+
+/// The worst-case MOD/REF pair a quarantined procedure is widened to.
+fn widen_modref(arity: usize, n_globals: usize) -> (ModSet, ModSet) {
+    (
+        ModSet::everything(arity, n_globals),
+        ModSet::everything(arity, n_globals),
+    )
+}
+
+/// Commits one MOD/REF unit outcome: the pair on success, the sound
+/// widening (plus a quarantine event) on a contained panic. Shared by the
+/// sequential loop and the parallel fold so both record byte-identical
+/// telemetry.
+fn commit_modref_unit(
+    name: &str,
+    unit: Result<(ModSet, ModSet), String>,
+    arity: usize,
+    n_globals: usize,
+    pi: usize,
+    quarantined: &mut [bool],
+    gov: &mut Governor,
+) -> (ModSet, ModSet) {
+    match unit {
+        Ok(pair) => pair,
+        Err(msg) => {
+            quarantined[pi] = true;
+            gov.record_quarantine(
+                Stage::ModRef,
+                format!(
+                    "{name}: panic contained ({msg}); \
+                     summary widened to everything visible"
+                ),
+            );
+            widen_modref(arity, n_globals)
+        }
+    }
+}
+
+/// One procedure's SSA + gate + symbolic evaluation — the Stage::Jump
+/// unit of work, shared by the sequential loop and the parallel workers.
+#[allow(clippy::too_many_arguments)]
+fn build_proc_symbolic(
+    mcfg: &ModuleCfg,
+    config: &Config,
+    layout: &SlotLayout,
+    kills: &(dyn CallKills + Sync),
+    ret_jfs: &ReturnJumpFns,
+    gate_seeds: Option<&Vec<Vec<Lattice>>>,
+    pi: usize,
+    budget: &EvalBudget<'_>,
+) -> (ProcSymbolic, bool) {
+    let p = ProcId::from(pi);
+    let ssa = if config.pruned_ssa {
+        build_ssa_pruned(mcfg, p, kills)
+    } else {
+        build_ssa(mcfg, p, kills)
+    };
+    // Gate (extension): an unseeded SCCP pass whose executability
+    // facts prune phi inputs and dead call sites, approximating
+    // jump-function generation over gated single-assignment form.
+    let gate = if config.gated_jump_fns {
+        let n_vars = mcfg.module.proc(p).vars.len();
+        let seeds = match gate_seeds {
+            Some(vals) => crate::substitute::seeds_from_vals(mcfg, layout, p, &vals[pi]),
+            None => ipcp_ssa::Seeds::none(n_vars),
+        };
+        let res = if config.use_return_jfs {
+            let oracle = RetOracle { table: ret_jfs, mcfg, layout };
+            ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
+        } else {
+            ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
+        };
+        Some(res)
+    } else {
+        None
+    };
+    let (sym, steps_exhausted) = if config.use_return_jfs {
+        let oracle = RetOracle { table: ret_jfs, mcfg, layout };
+        ipcp_ssa::symbolic::evaluate_under(mcfg, &ssa, layout, &oracle, gate.as_ref(), budget)
+    } else {
+        ipcp_ssa::symbolic::evaluate_under(mcfg, &ssa, layout, &OpaqueCalls, gate.as_ref(), budget)
+    };
+    (ProcSymbolic { ssa, sym, gate }, steps_exhausted)
+}
+
+/// Commits one symbolic unit outcome into `symbolics`, recording the
+/// deadline/step-slice/panic events exactly as the sequential loop would.
+fn commit_symbolic_unit(
+    mcfg: &ModuleCfg,
+    pi: usize,
+    unit: Result<(ProcSymbolic, bool), String>,
+    symbolics: &mut Vec<Option<ProcSymbolic>>,
+    quarantined: &mut [bool],
+    gov: &mut Governor,
+) {
+    let name = &mcfg.module.procs[pi].name;
+    match unit {
+        Ok((ps, steps_exhausted)) => {
+            if steps_exhausted {
+                if gov.deadline_expired() {
+                    gov.record_deadline(
+                        Stage::Jump,
+                        format!(
+                            "{name}: deadline expired during symbolic \
+                             evaluation; pending values forced to ⊥"
+                        ),
+                    );
+                } else {
+                    gov.record_quarantine(
+                        Stage::Jump,
+                        format!(
+                            "{name}: symbolic evaluation step slice \
+                             exhausted; pending values forced to ⊥"
+                        ),
+                    );
+                }
+            }
+            symbolics.push(Some(ps));
+        }
+        Err(msg) => {
+            quarantined[pi] = true;
+            gov.record_quarantine(
+                Stage::Jump,
+                format!(
+                    "{name}: panic contained ({msg}); procedure \
+                     quarantined, jump functions forced to ⊥"
+                ),
+            );
+            symbolics.push(None);
+        }
+    }
+}
+
+/// The façade entry point: runs the full pipeline and applies strict-mode
+/// promotion, so library callers get the same semantics as `ipcc`
+/// (`--strict` → exit code 3) without reimplementing the health check.
+///
+/// # Errors
+///
+/// [`IpcpError::ResourceExhausted`] when [`Config::strict`] is set and
+/// any stage degraded. Without strict mode this never fails — degraded
+/// runs stay sound and report what happened in [`Analysis::health`].
+///
+/// ```
+/// use ipcp::{analyze, Config};
+/// let module = ipcp_ir::parse_and_resolve(
+///     "proc main() { call f(6); } proc f(a) { print a; }",
+/// )?;
+/// let mcfg = ipcp_ir::lower_module(&module);
+/// let analysis = analyze(&mcfg, &Config::builder().strict(true).build()?)?;
+/// let f = mcfg.module.proc_named("f").unwrap().id;
+/// assert_eq!(analysis.constants_of(&mcfg, f), vec![("a".to_string(), 6)]);
+/// # Ok::<(), ipcp::IpcpError>(())
+/// ```
+pub fn analyze(mcfg: &ModuleCfg, config: &Config) -> Result<Analysis, IpcpError> {
+    let analysis = Analysis::run(mcfg, config);
+    IpcpError::check_strict(config.strict, &analysis.health)?;
+    Ok(analysis)
 }
 
 /// Parses, resolves, lowers, and analyzes FT source in one call.

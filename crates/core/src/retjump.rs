@@ -200,43 +200,214 @@ pub fn build_return_jfs(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
-    kills: &dyn CallKills,
+    kills: &(dyn CallKills + Sync),
     config: &Config,
     quarantined: &mut [bool],
     gov: &mut Governor,
 ) -> ReturnJumpFns {
-    let compose = config.compose_return_jfs;
     let mut table = ReturnJumpFns {
         fns: vec![None; mcfg.module.procs.len()],
-        compose,
+        compose: config.compose_return_jfs,
     };
     for p in cg.bottom_up() {
-        let proc = mcfg.module.proc(p);
-        let n_slots = layout.n_slots(proc.arity());
-        if quarantined[p.index()] {
-            table.fns[p.index()] = Some(vec![JumpFn::Bottom; n_slots]);
-            continue;
+        let (fns, newly_quarantined) =
+            run_scc_member(mcfg, &table, layout, kills, config, p, quarantined[p.index()], gov);
+        if newly_quarantined {
+            quarantined[p.index()] = true;
         }
-        let unit = run_unit(config, Stage::RetJump, p.index(), || {
-            build_proc_ret_jfs(mcfg, &table, layout, kills, p, n_slots, gov)
-        });
-        let fns = match unit {
-            Ok(fns) => fns,
-            Err(msg) => {
-                quarantined[p.index()] = true;
-                gov.record_quarantine(
-                    Stage::RetJump,
-                    format!(
-                        "{}: panic contained ({msg}); return jump functions forced to ⊥",
-                        proc.name
-                    ),
-                );
-                vec![JumpFn::Bottom; n_slots]
-            }
-        };
         table.fns[p.index()] = Some(fns);
     }
     table
+}
+
+/// Parallel [`build_return_jfs`].
+///
+/// Return jump functions are the one per-procedure phase with *data*
+/// dependences: a procedure's construction reads the (already built)
+/// tables of its callees. The schedule follows the call-graph
+/// condensation: each SCC is one unit (members may read each other's
+/// fresh entries, so they stay sequential inside the unit), and units run
+/// level by level — level 0 is the leaf SCCs, level `k` depends only on
+/// levels `< k` — with each unit charging a governor shard
+/// optimistically. Between levels the optimistic tables are committed so
+/// the next level can read them.
+///
+/// The fold then walks SCCs in the exact bottom-up (Tarjan emission)
+/// order the sequential driver uses. A unit is absorbed as-is when (a) no
+/// callee SCC's committed table differs from the optimistic one its run
+/// saw, and (b) [`Governor::can_absorb`] proves its charges land exactly
+/// where sequential charging would have. Otherwise the unit is replayed
+/// sequentially against the final table and master governor, and the
+/// difference (if any) propagates to its dependents through `changed`.
+/// Results, telemetry, and quarantine flags are bit-identical to the
+/// sequential driver.
+#[allow(clippy::too_many_arguments)]
+pub fn build_return_jfs_par(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    kills: &(dyn CallKills + Sync),
+    config: &Config,
+    quarantined: &mut [bool],
+    gov: &mut Governor,
+    jobs: usize,
+) -> (ReturnJumpFns, crate::par::PhaseTime) {
+    let n_procs = mcfg.module.procs.len();
+    let n_sccs = cg.sccs.len();
+    let snapshot: Vec<bool> = quarantined.to_vec();
+    let proto = gov.shard();
+    let compose = config.compose_return_jfs;
+
+    // One SCC unit's optimistic result: per-member `(ret_jfs,
+    // newly_quarantined)` pairs plus the governor shard they charged.
+    type SccUnit = (Vec<(Vec<JumpFn>, bool)>, Governor);
+
+    // Optimistic phase: run each level's SCC units in parallel, committing
+    // their tables before the next level starts.
+    let mut opt_table = ReturnJumpFns { fns: vec![None; n_procs], compose };
+    let mut units: Vec<Option<SccUnit>> = (0..n_sccs).map(|_| None).collect();
+    let mut time = crate::par::PhaseTime::default();
+    for level in scc_levels(cg) {
+        let (level_units, pt) = crate::par::run(jobs, level.len(), |k| {
+            let si = level[k];
+            let members = &cg.sccs[si];
+            let mut shard = proto.shard();
+            // Members of a multi-procedure SCC read each other's fresh
+            // entries, so they get a private overlay of the table.
+            let mut overlay: Option<ReturnJumpFns> =
+                (members.len() > 1).then(|| opt_table.clone());
+            let mut outs = Vec::with_capacity(members.len());
+            for &p in members {
+                let visible = overlay.as_ref().unwrap_or(&opt_table);
+                let (fns, newly) = run_scc_member(
+                    mcfg, visible, layout, kills, config, p, snapshot[p.index()], &mut shard,
+                );
+                if let Some(o) = overlay.as_mut() {
+                    o.fns[p.index()] = Some(fns.clone());
+                }
+                outs.push((fns, newly));
+            }
+            (outs, shard)
+        });
+        time.absorb(pt);
+        for (k, unit) in level_units.into_iter().enumerate() {
+            let si = level[k];
+            for (m, &p) in cg.sccs[si].iter().enumerate() {
+                opt_table.fns[p.index()] = Some(unit.0[m].0.clone());
+            }
+            units[si] = Some(unit);
+        }
+    }
+
+    // Deterministic fold, in the sequential driver's SCC order.
+    let mut table = ReturnJumpFns { fns: vec![None; n_procs], compose };
+    let mut changed = vec![false; n_sccs];
+    for si in 0..n_sccs {
+        let Some((outs, shard)) = units[si].take() else {
+            continue; // unreachable SCC: never built, exactly as sequential
+        };
+        let members = &cg.sccs[si];
+        let dep_changed = members.iter().any(|&p| {
+            cg.calls_from(p).iter().any(|e| {
+                let cs = cg.scc_of[e.callee.index()];
+                cs != si && changed[cs]
+            })
+        });
+        if !dep_changed && gov.can_absorb(&shard) {
+            gov.absorb_shard(shard);
+            for ((fns, newly), &p) in outs.into_iter().zip(members) {
+                quarantined[p.index()] = snapshot[p.index()] || newly;
+                table.fns[p.index()] = Some(fns);
+            }
+            // Committed == optimistic, so `changed[si]` stays false.
+        } else {
+            let mut any_diff = false;
+            for &p in members {
+                let (fns, newly) = run_scc_member(
+                    mcfg, &table, layout, kills, config, p, snapshot[p.index()], gov,
+                );
+                if opt_table.fns[p.index()].as_ref() != Some(&fns) {
+                    any_diff = true;
+                }
+                quarantined[p.index()] = snapshot[p.index()] || newly;
+                table.fns[p.index()] = Some(fns);
+            }
+            changed[si] = any_diff;
+        }
+    }
+    (table, time)
+}
+
+/// Groups the call graph's reachable SCCs into dependency levels: level 0
+/// has no cross-SCC callees, level `k` calls only into levels `< k`.
+/// Within a level, SCC indices ascend (their relative bottom-up order).
+/// All SCCs of one level can be built concurrently once the previous
+/// levels' tables are committed.
+fn scc_levels(cg: &CallGraph) -> Vec<Vec<usize>> {
+    let mut level = vec![0usize; cg.sccs.len()];
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for (si, members) in cg.sccs.iter().enumerate() {
+        // Reachability is uniform across an SCC (it is strongly
+        // connected), so the first member decides.
+        if !members.first().is_some_and(|p| cg.reachable[p.index()]) {
+            continue;
+        }
+        let mut lv = 0;
+        for &p in members {
+            for e in cg.calls_from(p) {
+                let cs = cg.scc_of[e.callee.index()];
+                if cs != si {
+                    // Tarjan emits callee SCCs first, so level[cs] is final.
+                    lv = lv.max(level[cs] + 1);
+                }
+            }
+        }
+        level[si] = lv;
+        while levels.len() <= lv {
+            levels.push(Vec::new());
+        }
+        levels[lv].push(si);
+    }
+    levels
+}
+
+/// One procedure's slice of the bottom-up walk: the quarantine
+/// short-circuit, the quarantined unit, and the panic containment —
+/// shared verbatim by the sequential driver, the optimistic parallel
+/// units, and the fold's replay path. Returns the slot functions and
+/// whether the procedure was *newly* quarantined here.
+#[allow(clippy::too_many_arguments)]
+fn run_scc_member(
+    mcfg: &ModuleCfg,
+    table: &ReturnJumpFns,
+    layout: &SlotLayout,
+    kills: &(dyn CallKills + Sync),
+    config: &Config,
+    p: ProcId,
+    already_quarantined: bool,
+    gov: &mut Governor,
+) -> (Vec<JumpFn>, bool) {
+    let proc = mcfg.module.proc(p);
+    let n_slots = layout.n_slots(proc.arity());
+    if already_quarantined {
+        return (vec![JumpFn::Bottom; n_slots], false);
+    }
+    let unit = run_unit(config, Stage::RetJump, p.index(), || {
+        build_proc_ret_jfs(mcfg, table, layout, kills, p, n_slots, gov)
+    });
+    match unit {
+        Ok(fns) => (fns, false),
+        Err(msg) => {
+            gov.record_quarantine(
+                Stage::RetJump,
+                format!(
+                    "{}: panic contained ({msg}); return jump functions forced to ⊥",
+                    proc.name
+                ),
+            );
+            (vec![JumpFn::Bottom; n_slots], true)
+        }
+    }
 }
 
 /// One procedure's slice of return-jump-function construction — the unit
@@ -245,7 +416,7 @@ fn build_proc_ret_jfs(
     mcfg: &ModuleCfg,
     table: &ReturnJumpFns,
     layout: &SlotLayout,
-    kills: &dyn CallKills,
+    kills: &(dyn CallKills + Sync),
     p: ProcId,
     n_slots: usize,
     gov: &mut Governor,
@@ -473,10 +644,10 @@ mod tests {
         let mr = compute_modref(&m, &cg);
         let layout = SlotLayout::new(&m.module);
         for (compose, expect_poly) in [(false, false), (true, true)] {
-            let config = Config {
-                compose_return_jfs: compose,
-                ..Config::default()
-            };
+            let config = Config::builder()
+                .compose_return_jfs(compose)
+                .build()
+                .expect("valid combination");
             let mut quarantined = vec![false; m.module.procs.len()];
             let t = build_return_jfs(
                 &m,

@@ -248,8 +248,48 @@ pub fn evaluate_budgeted(
     gate: Option<&crate::sccp::SccpResult>,
     max_steps: u64,
 ) -> (Symbolic, bool) {
-    let budget = EvalBudget { max_steps, deadline: None };
+    let budget = EvalBudget { max_steps, deadline: None, latch: None };
     evaluate_under(mcfg, ssa, layout, oracle, gate, &budget)
+}
+
+/// A lock-free "the deadline has fired" latch shared by every worker of
+/// one analysis run.
+///
+/// The first cooperative check to observe expiry stores `true`; every
+/// later check on any thread is then a single relaxed load instead of a
+/// monotonic-clock read. Relaxed ordering is sufficient — the latch only
+/// ever moves `false → true` and carries no other data, so the worst a
+/// stale load can do is pay one extra `Instant::now()`.
+#[derive(Debug, Default)]
+pub struct DeadlineLatch {
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl DeadlineLatch {
+    /// A latch that has not fired.
+    pub fn new() -> DeadlineLatch {
+        DeadlineLatch::default()
+    }
+
+    /// Whether the deadline `at` has passed, latching the answer: once
+    /// this returns `true` it returns `true` forever, without reading the
+    /// clock again.
+    pub fn expired(&self, at: std::time::Instant) -> bool {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.fired.load(Relaxed) {
+            return true;
+        }
+        if std::time::Instant::now() >= at {
+            self.fired.store(true, Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether some checker has already observed expiry.
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// The resource envelope for one symbolic evaluation: a transfer-step
@@ -257,16 +297,21 @@ pub fn evaluate_budgeted(
 ///
 /// The deadline is checked cooperatively every [`EvalBudget::CHECK_STEPS`]
 /// transfer steps (checking `Instant::now()` per step would dominate the
-/// transfer cost), so expiry overshoots by at most that interval.
+/// transfer cost), so expiry overshoots by at most that interval — per
+/// worker, when several evaluations run concurrently.
 #[derive(Clone, Copy, Debug)]
-pub struct EvalBudget {
+pub struct EvalBudget<'a> {
     /// Transfer steps allowed before the evaluation degrades.
     pub max_steps: u64,
     /// Absolute wall-clock cutoff, if any.
     pub deadline: Option<std::time::Instant>,
+    /// Shared expiry latch: when present, deadline checks go through it so
+    /// concurrent evaluations pay one relaxed load after the first expiry
+    /// instead of a clock read each.
+    pub latch: Option<&'a DeadlineLatch>,
 }
 
-impl EvalBudget {
+impl EvalBudget<'_> {
     /// Transfer steps between two deadline checks.
     pub const CHECK_STEPS: u64 = 1024;
 }
@@ -281,7 +326,7 @@ pub fn evaluate_under(
     layout: &SlotLayout,
     oracle: &dyn CallDefEval,
     gate: Option<&crate::sccp::SccpResult>,
-    budget: &EvalBudget,
+    budget: &EvalBudget<'_>,
 ) -> (Symbolic, bool) {
     let max_steps = budget.max_steps;
     let slot_of_var = slot_map(mcfg, ssa.proc, layout);
@@ -299,11 +344,15 @@ pub fn evaluate_under(
             break;
         }
         if let Some(deadline) = budget.deadline {
-            if iterations.is_multiple_of(EvalBudget::CHECK_STEPS)
-                && std::time::Instant::now() >= deadline
-            {
-                exhausted = true;
-                break;
+            if iterations.is_multiple_of(EvalBudget::CHECK_STEPS) {
+                let hit = match budget.latch {
+                    Some(latch) => latch.expired(deadline),
+                    None => std::time::Instant::now() >= deadline,
+                };
+                if hit {
+                    exhausted = true;
+                    break;
+                }
             }
         }
         work.pop();

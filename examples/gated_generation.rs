@@ -30,10 +30,11 @@ fn main() {
         let complete = complete_propagation(&mcfg, &Config::polynomial());
         let t_complete = t0.elapsed();
 
-        let gated_config = Config {
-            gated_jump_fns: true,
-            ..Config::polynomial()
-        };
+        let gated_config = Config::polynomial()
+            .rebuild()
+            .gated(true)
+            .build()
+            .expect("gated over polynomial is valid");
         let t0 = Instant::now();
         let gated = Analysis::run(&mcfg, &gated_config)
             .substitute(&mcfg)

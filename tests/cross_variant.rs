@@ -99,16 +99,18 @@ fn check_information_axes(mcfg: &ModuleCfg, label: &str, strict_mod: bool) {
         );
     }
     // Composition extends the §3.2 limitation.
-    let composed = Config {
-        compose_return_jfs: true,
-        ..base
-    };
+    let composed = base
+        .rebuild()
+        .compose_return_jfs(true)
+        .build()
+        .expect("composition over a return-jf base is valid");
     val_sets_refine(mcfg, &base, &composed, &format!("{label}: compose"));
     // Gated jump-function generation only refines results.
-    let gated = Config {
-        gated_jump_fns: true,
-        ..base
-    };
+    let gated = base
+        .rebuild()
+        .gated(true)
+        .build()
+        .expect("gating composes with any base");
     val_sets_refine(mcfg, &base, &gated, &format!("{label}: gated"));
     if strict_mod {
         assert!(
@@ -123,7 +125,7 @@ fn pruned_ssa_changes_nothing_observable() {
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
         for base in [Config::default(), Config::polynomial()] {
-            let pruned = Config { pruned_ssa: true, ..base };
+            let pruned = base.rebuild().pruned_ssa(true).build().expect("pruning is always valid");
             let a = Analysis::run(&mcfg, &base);
             let b = Analysis::run(&mcfg, &pruned);
             assert_eq!(a.vals.vals, b.vals.vals, "{}: VAL sets differ", p.name);
@@ -150,10 +152,7 @@ fn gated_generation_subsumes_complete_propagation_gains() {
             .total;
         let gated = counts(
             &mcfg,
-            &Config {
-                gated_jump_fns: true,
-                ..Config::polynomial()
-            },
+            &Config::polynomial().rebuild().gated(true).build().expect("gated is valid"),
         );
         assert!(
             gated >= complete - 1,

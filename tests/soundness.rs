@@ -13,43 +13,30 @@ use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
 use ipcp_ssa::Lattice;
 use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
 
-/// All configurations exercised by the soundness checks.
+/// All configurations exercised by the soundness checks, assembled
+/// through the fluent builder (which also validates each combination).
 fn all_configs() -> Vec<Config> {
+    let build = |b: ipcp::ConfigBuilder| b.build().expect("soundness matrix is valid");
+    let poly = || Config::builder().jump_fn_impl(JumpFnKind::Polynomial);
     let mut out = Vec::new();
     for kind in JumpFnKind::ALL {
         for use_mod in [true, false] {
             for use_ret in [true, false] {
-                out.push(Config {
-                    jump_fn: kind,
-                    use_mod,
-                    use_return_jfs: use_ret,
-                    ..Config::default()
-                });
+                out.push(build(
+                    Config::builder()
+                        .jump_fn_impl(kind)
+                        .mod_info(use_mod)
+                        .return_jfs(use_ret),
+                ));
             }
         }
     }
     // The extensions.
-    out.push(Config {
-        compose_return_jfs: true,
-        ..Config::polynomial()
-    });
-    out.push(Config {
-        assume_zero_globals: true,
-        ..Config::polynomial()
-    });
-    out.push(Config {
-        gated_jump_fns: true,
-        ..Config::polynomial()
-    });
-    out.push(Config {
-        gated_jump_fns: true,
-        compose_return_jfs: true,
-        ..Config::polynomial()
-    });
-    out.push(Config {
-        pruned_ssa: true,
-        ..Config::polynomial()
-    });
+    out.push(build(poly().compose_return_jfs(true)));
+    out.push(build(poly().zero_globals(true)));
+    out.push(build(poly().gated(true)));
+    out.push(build(poly().gated(true).compose_return_jfs(true)));
+    out.push(build(poly().pruned_ssa(true)));
     out
 }
 
@@ -134,10 +121,10 @@ fn zero_globals_extension_is_sound_for_ft_semantics() {
     // g = 0 at main entry — and the trace must confirm it.
     let src = "global g; proc main() { call f(); g = 1; call f(); } proc f() { print g; }";
     let mcfg = lower_module(&parse_and_resolve(src).unwrap());
-    let config = Config {
-        assume_zero_globals: true,
-        ..Config::default()
-    };
+    let config = Config::builder()
+        .zero_globals(true)
+        .build()
+        .expect("zero-globals alone is valid");
     let a = Analysis::run(&mcfg, &config);
     let exec = run_module(&mcfg.module, &[], &ExecLimits::default()).unwrap();
     check_trace(&mcfg, &a, &exec.trace, "zero-globals");

@@ -37,14 +37,15 @@ fn check_transforms(mcfg: &ModuleCfg, input_sets: &[&[i64]], label: &str) {
         Config::default().with_jump_fn(JumpFnKind::Literal),
         Config::polynomial().with_mod(false),
         Config::polynomial().with_return_jfs(false),
-        Config {
-            gated_jump_fns: true,
-            ..Config::polynomial()
-        },
-        Config {
-            pruned_ssa: true,
-            ..Config::default()
-        },
+        Config::builder()
+            .jump_fn_impl(JumpFnKind::Polynomial)
+            .gated(true)
+            .build()
+            .expect("gated polynomial is valid"),
+        Config::builder()
+            .pruned_ssa(true)
+            .build()
+            .expect("pruned SSA alone is valid"),
     ] {
         let analysis = Analysis::run(mcfg, &config);
         let sub = analysis.substitute(mcfg);
