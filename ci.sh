@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# The full local gate: build, tests, and the lint wall.
+# The full local gate: build, tests, bench-identity, and the lint wall.
+#
+# Every stage is a function, and `bash ci.sh <stage>` runs exactly one of
+# them — that is what .github/workflows/ci.yml does, one named job per
+# stage, so the workflow can never drift from what this script checks.
+# With no argument every stage runs in order, each echoing its wall time.
 #
 # Library and binary code is held to a stricter standard than tests:
 # `unwrap`/`expect` are denied there so that every pipeline failure is a
@@ -8,52 +13,150 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> build (release)"
-cargo build --release --workspace
+stage_build() {
+    cargo build --release --workspace
+}
 
-echo "==> tests (sequential: IPCP_JOBS=1)"
-IPCP_JOBS=1 cargo test -q --workspace
+stage_tests_seq() {
+    IPCP_JOBS=1 cargo test -q --workspace
+}
 
-echo "==> tests (parallel: IPCP_JOBS=4)"
-IPCP_JOBS=4 cargo test -q --workspace
+stage_tests_par() {
+    IPCP_JOBS=4 cargo test -q --workspace
+}
 
-echo "==> robustness suite again, with quarantine disabled"
-IPCP_QUARANTINE=off cargo test -q --test robustness
+stage_robustness() {
+    IPCP_QUARANTINE=off cargo test -q --test robustness
+}
 
-echo "==> deadline smoke test (largest suite program, 1 ms budget)"
-# Pick the largest .ft by size; the run must terminate promptly (timeout
-# is the backstop) and exit 0 (degraded-but-sound) or 3 (with --strict).
-largest=$(wc -c crates/suite/programs/*.ft | sort -n | tail -2 | head -1 | awk '{print $2}')
-echo "    program: $largest"
-timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 1 >/dev/null
-status=0
-timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 0 --strict >/dev/null 2>&1 || status=$?
-if [ "$status" != 0 ] && [ "$status" != 3 ]; then
-    echo "deadline smoke test: unexpected exit $status" >&2
-    exit 1
-fi
+stage_deadline_smoke() {
+    # Pick the largest .ft by size; the run must terminate promptly
+    # (timeout is the backstop) and exit 0 (degraded-but-sound) or 3
+    # (with --strict). Sizes are read one file at a time — `wc -c FILES`
+    # appends a "total" line that a sort|tail pipeline can mistake for a
+    # program.
+    [ -x target/release/ipcc ] || cargo build --release -q -p ipcp-cli
+    local largest="" largest_size=0 f size
+    for f in crates/suite/programs/*.ft; do
+        size=$(wc -c < "$f")
+        if [ "$size" -gt "$largest_size" ]; then
+            largest_size=$size
+            largest=$f
+        fi
+    done
+    echo "    program: $largest ($largest_size bytes)"
+    timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 1 >/dev/null
+    local status=0
+    timeout 30 ./target/release/ipcc analyze "$largest" --deadline-ms 0 --strict >/dev/null 2>&1 || status=$?
+    if [ "$status" != 0 ] && [ "$status" != 3 ]; then
+        echo "deadline smoke test: unexpected exit $status" >&2
+        return 1
+    fi
+}
 
-echo "==> lock-free lint (the hot phases must stay Mutex/RwLock-free)"
-# The determinism contract (docs/ROBUSTNESS.md, "Concurrency contract")
-# is built on sharded state + an ordered fold, not on locking. A Mutex
-# creeping into a per-procedure phase would reintroduce schedule-
-# dependent behaviour silently — fail loudly instead.
-hot_files=(
-    crates/core/src/pipeline.rs
-    crates/core/src/jump.rs
-    crates/core/src/retjump.rs
-    crates/analysis/src/modref.rs
+stage_bench_identity() {
+    # Run both bench binaries at low rep count — this gate cares about
+    # the `identical` verdicts (jobs=1 vs jobs=N, wavefront vs the §4.1
+    # worklist reference), not stable timings. The binaries exit nonzero
+    # on any divergence; the grep is a belt-and-braces check that the
+    # JSON they wrote actually carries identity records.
+    [ -x target/release/bench_par ] && [ -x target/release/bench_solver ] \
+        || cargo build --release -q -p ipcp-bench
+    IPCP_BENCH_REPS=2 ./target/release/bench_par
+    IPCP_BENCH_REPS=2 ./target/release/bench_solver
+    local j
+    for j in BENCH_par.json BENCH_solver.json; do
+        if grep -q '"identical": false' "$j"; then
+            echo "bench identity gate: $j reports a schedule divergence" >&2
+            return 1
+        fi
+        if ! grep -q '"identical": true' "$j"; then
+            echo "bench identity gate: $j carries no identity records" >&2
+            return 1
+        fi
+    done
+}
+
+stage_lockfree_lint() {
+    # The determinism contract (docs/ROBUSTNESS.md, "Concurrency
+    # contract") is built on sharded state + an ordered fold, not on
+    # locking. A Mutex creeping into a per-procedure phase, the solver
+    # wavefront, or a transformation driver would reintroduce schedule-
+    # dependent behaviour silently — fail loudly instead. Line comments
+    # are stripped first so prose *about* locks (like this) never trips
+    # the lint.
+    local hot_files=(
+        crates/core/src/pipeline.rs
+        crates/core/src/jump.rs
+        crates/core/src/retjump.rs
+        crates/analysis/src/modref.rs
+        crates/core/src/solver.rs
+        crates/core/src/cloning.rs
+        crates/core/src/inline.rs
+        crates/core/src/complete.rs
+    )
+    local f bad=0
+    for f in "${hot_files[@]}"; do
+        if sed 's://.*$::' "$f" | grep -nE 'Mutex|RwLock' | sed "s|^|$f:|"; then
+            bad=1
+        fi
+    done
+    if [ "$bad" != 0 ]; then
+        echo "lock-free lint: Mutex/RwLock found in a hot file" >&2
+        return 1
+    fi
+}
+
+stage_clippy_strict() {
+    cargo clippy --workspace --lib --bins -q -- \
+        -D warnings -D clippy::unwrap_used -D clippy::expect_used
+}
+
+stage_clippy_all() {
+    cargo clippy --workspace --all-targets -q -- -D warnings
+}
+
+# Stage registry: "name|description". Order is the full-run order.
+STAGES=(
+    "build|build (release)"
+    "tests-seq|tests (sequential: IPCP_JOBS=1)"
+    "tests-par|tests (parallel: IPCP_JOBS=4)"
+    "robustness|robustness suite again, with quarantine disabled"
+    "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
+    "bench-identity|bench identity gate (jobs=1 vs jobs=N, wavefront vs worklist)"
+    "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"
+    "clippy-strict|clippy (lib/bins: no unwrap, no expect, no warnings)"
+    "clippy-all|clippy (all targets: no warnings)"
 )
-if grep -nE 'Mutex|RwLock' "${hot_files[@]}"; then
-    echo "lock-free lint: Mutex/RwLock found in a per-procedure phase" >&2
-    exit 1
-fi
 
-echo "==> clippy (lib/bins: no unwrap, no expect, no warnings)"
-cargo clippy --workspace --lib --bins -q -- \
-    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+run_stage() {
+    local name=$1 desc=$2
+    echo "==> $desc"
+    local t0=$SECONDS
+    "stage_${name//-/_}"
+    echo "    [$name: $((SECONDS - t0))s]"
+}
 
-echo "==> clippy (all targets: no warnings)"
-cargo clippy --workspace --all-targets -q -- -D warnings
+main() {
+    local want=${1:-all}
+    if [ "$want" = "all" ]; then
+        local entry
+        for entry in "${STAGES[@]}"; do
+            run_stage "${entry%%|*}" "${entry#*|}"
+        done
+        echo "==> ok"
+        return 0
+    fi
+    local entry
+    for entry in "${STAGES[@]}"; do
+        if [ "${entry%%|*}" = "$want" ]; then
+            run_stage "$want" "${entry#*|}"
+            return 0
+        fi
+    done
+    echo "ci.sh: unknown stage '$want'" >&2
+    echo "stages: all ${STAGES[*]%%|*}" >&2
+    return 2
+}
 
-echo "==> ok"
+main "$@"

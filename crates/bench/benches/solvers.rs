@@ -25,16 +25,21 @@ fn bench_solvers(c: &mut Criterion) {
         let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
         // Jump functions are built once; only the propagation differs.
         let analysis = Analysis::run(&mcfg, &Config::default());
-        group.bench_function(BenchmarkId::new("worklist", n_procs), |b| {
+        group.bench_function(BenchmarkId::new("wavefront", n_procs), |b| {
             b.iter(|| {
+                let mut quarantined = vec![false; mcfg.module.procs.len()];
                 ipcp::solve(
                     &mcfg,
                     &analysis.cg,
                     &analysis.layout,
                     &analysis.jump_fns,
                     Lattice::Bottom,
+                    &Config::default(),
                     &mut Governor::unlimited(),
+                    &mut quarantined,
+                    1,
                 )
+                .0
                 .n_constants()
             })
         });

@@ -34,14 +34,23 @@ const WORKLOADS: &[Workload] = &[
     },
 ];
 
-const REPS: u32 = 5;
+/// Repetitions per configuration: best-of-5 by default, overridable via
+/// `IPCP_BENCH_REPS` (the CI identity gate runs with a low count — it
+/// cares about `identical`, not stable timings).
+fn reps() -> u32 {
+    std::env::var("IPCP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5)
+}
 
-/// Best-of-`REPS` wall time for one configuration, returning the last
+/// Best-of-[`reps`] wall time for one configuration, returning the last
 /// analysis so the caller can compare results across configurations.
 fn time_analysis(mcfg: &ipcp_ir::cfg::ModuleCfg, config: &Config) -> (Duration, Analysis) {
     let mut best = Duration::MAX;
     let mut last = Analysis::run(mcfg, config);
-    for _ in 0..REPS {
+    for _ in 0..reps() {
         let t0 = Instant::now();
         last = Analysis::run(mcfg, config);
         best = best.min(t0.elapsed());
@@ -106,11 +115,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
+    let reps = reps();
     let json = format!(
-        "{{\n  \"jobs\": {par_jobs},\n  \"reps\": {REPS},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"jobs\": {par_jobs},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_par.json", &json)?;
-    println!("wrote BENCH_par.json (jobs={par_jobs}, best of {REPS})");
+    println!("wrote BENCH_par.json (jobs={par_jobs}, best of {reps})");
     Ok(())
 }

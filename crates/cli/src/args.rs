@@ -154,14 +154,16 @@ ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce):
     --gated                               extension: gated generation
     --pruned-ssa                          engineering: liveness-pruned SSA
     --jobs <N>, -j <N>                    worker threads for the per-procedure
-                                          phases (0 = auto-detect, the default;
-                                          env IPCP_JOBS overrides auto; results
-                                          are bit-identical for every N)
+                                          phases, the VAL solver wavefront, and
+                                          the transformation drivers (0 = auto-
+                                          detect, the default; env IPCP_JOBS
+                                          overrides auto; results are
+                                          bit-identical for every N)
     --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
 
 BUDGET OPTIONS (analyze / complete / clone / explain / reduce):
     --max-poly-terms <N>                  cap polynomial jump-function terms
-    --max-solver-iterations <N>           cap solver worklist re-evaluations
+    --max-solver-iterations <N>           cap solver procedure re-evaluations
     --strict                              exit 3 if the run degraded at all
 
 ROBUSTNESS OPTIONS (analyze / complete / clone / explain / reduce):

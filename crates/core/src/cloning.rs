@@ -92,13 +92,19 @@ pub fn clone_by_constants(
     let mut budget_recorded = false;
     let mut retarget: HashMap<(ProcId, CallSiteId), ProcId> = HashMap::new();
 
-    for (callee_idx, clone_count) in clones_of.iter_mut().enumerate() {
+    // Planning — grouping each callee's call edges by the constant vector
+    // they transmit and judging whether a split is worthwhile — is pure
+    // given the fixpoint analysis, so it runs on the worker pool. Clone
+    // *creation* stays sequential in callee order below: it charges the
+    // cloning budget and grows the module, and the budget's trip point
+    // must not depend on the schedule.
+    let (plans, _pt) = crate::par::run(config.effective_jobs(), n_orig, |callee_idx| {
         let callee = ProcId::from(callee_idx);
         if callee == mcfg.module.entry
             || !analysis.cg.reachable[callee_idx]
             || analysis.cg.is_recursive(callee)
         {
-            continue;
+            return None;
         }
         let mut groups: ConstGroups = Vec::new();
         for edge in analysis.cg.calls_to(callee) {
@@ -111,7 +117,7 @@ pub fn clone_by_constants(
             }
         }
         if groups.len() < 2 {
-            continue;
+            return None;
         }
         // Only worth splitting when some group carries a constant the
         // merged VAL set lost.
@@ -122,8 +128,14 @@ pub fn clone_by_constants(
             })
         });
         if !worthwhile {
-            continue;
+            return None;
         }
+        Some(groups)
+    });
+
+    for (callee_idx, plan) in plans.into_iter().enumerate() {
+        let Some(groups) = plan else { continue };
+        let clone_count = &mut clones_of[callee_idx];
         // Group 0 keeps the original procedure; later groups get clones.
         // Each clone charges the cloning budget: the explicit request cap
         // and the configured growth limit both stop the round.

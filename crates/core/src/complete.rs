@@ -54,32 +54,39 @@ pub fn complete_propagation(mcfg: &ModuleCfg, config: &Config) -> CompleteResult
         let mut substitution = analysis.substitute(&module);
 
         let live_before: usize = module.cfgs.iter().map(live_statements).sum();
-        let mut pruned_any = false;
-        let mut next = module.clone();
-        for (pi, sccp) in substitution.sccps.iter().enumerate() {
-            let Some(sccp) = sccp else { continue };
-            let Some(ps) = analysis.symbolics[pi].as_ref() else {
-                continue;
-            };
+        // Each procedure's prune (SCCP verdicts → folded branches) is pure
+        // given the round's analysis, so the scan runs on the worker pool;
+        // the fold below applies results in procedure order, keeping the
+        // counts and the pruned module identical to a sequential round.
+        let (units, _pt) = crate::par::run(config.effective_jobs(), module.cfgs.len(), |pi| {
+            let sccp = substitution.sccps[pi].as_ref()?;
+            let ps = analysis.symbolics[pi].as_ref()?;
             let p = ProcId::from(pi);
             let cfg = module.cfg(p);
-            if let Some(pruned) = prune_constant_branches(cfg, &ps.ssa, sccp) {
-                // The occurrences substituted inside the folded conditions
-                // disappear with the test; remember them so the final count
-                // reflects every substitution the analyzer performed.
-                for bi in 0..cfg.len() {
-                    let b = ipcp_ir::cfg::BlockId::from(bi);
-                    if sccp.folded_branch(cfg, b, &ps.ssa).is_some() {
-                        carried_substitutions += ps.ssa.blocks[bi]
-                            .term_use_vals
-                            .iter()
-                            .filter(|&&v| sccp.value(v).is_const())
-                            .count();
-                    }
+            let pruned = prune_constant_branches(cfg, &ps.ssa, sccp)?;
+            // The occurrences substituted inside the folded conditions
+            // disappear with the test; remember them so the final count
+            // reflects every substitution the analyzer performed.
+            let mut carried = 0usize;
+            for bi in 0..cfg.len() {
+                let b = ipcp_ir::cfg::BlockId::from(bi);
+                if sccp.folded_branch(cfg, b, &ps.ssa).is_some() {
+                    carried += ps.ssa.blocks[bi]
+                        .term_use_vals
+                        .iter()
+                        .filter(|&&v| sccp.value(v).is_const())
+                        .count();
                 }
-                next.cfgs[pi] = pruned;
-                pruned_any = true;
             }
+            Some((pruned, carried))
+        });
+        let mut pruned_any = false;
+        let mut next = module.clone();
+        for (pi, unit) in units.into_iter().enumerate() {
+            let Some((pruned, carried)) = unit else { continue };
+            carried_substitutions += carried;
+            next.cfgs[pi] = pruned;
+            pruned_any = true;
         }
 
         if !pruned_any {

@@ -82,9 +82,14 @@ pub fn inline_leaf_calls(mcfg: &ModuleCfg, config: &Config, max_statements: usiz
     let round_cap = module.module.procs.len() + 2;
 
     for _ in 0..round_cap {
-        let leaves: Vec<bool> = (0..module.module.procs.len())
-            .map(|p| is_inlinable_leaf(&module, ProcId::from(p)))
-            .collect();
+        // The per-procedure leaf scan is pure and read-only over the
+        // module; run it on the worker pool (results come back in index
+        // order, so the splicing below is schedule-independent).
+        let (leaves, _pt) = crate::par::run(
+            config.effective_jobs(),
+            module.module.procs.len(),
+            |p| is_inlinable_leaf(&module, ProcId::from(p)),
+        );
         let mut changed = false;
         for pi in 0..module.module.procs.len() {
             if leaves[pi] {

@@ -49,8 +49,11 @@
 //! * [`jump`] — forward jump functions and their construction;
 //! * [`retjump`] — return jump functions (bottom-up generation and the
 //!   §3.2 evaluation limitation);
-//! * [`solver`] — the worklist propagation of `VAL` sets over the call
-//!   graph (lattice re-exported as [`lattice`], the paper's Figure 1);
+//! * [`solver`] — the wavefront propagation of `VAL` sets over the
+//!   levels of the call-graph SCC condensation, parallel within a level
+//!   when `jobs > 1`, plus the classic §4.1 worklist retained as a
+//!   reference oracle (lattice re-exported as [`lattice`], the paper's
+//!   Figure 1);
 //! * [`mod@substitute`] — the constants-substituted metric and program
 //!   transformation;
 //! * [`complete`] — propagate ⇄ dead-code-eliminate to fixpoint;
@@ -104,5 +107,5 @@ pub use pipeline::{analyze, analyze_source, Analysis};
 pub use reduce::{reduce, ReduceCheck, ReduceOutcome};
 pub use report::CostReport;
 pub use retjump::{build_return_jfs, ReturnJumpFns};
-pub use solver::{solve, ValSets};
+pub use solver::{solve, solve_worklist_reference, ValSets};
 pub use substitute::{substitute, substitute_intraprocedural, Substitution};

@@ -73,7 +73,8 @@ pub struct Timings {
     /// SSA + symbolic evaluation and forward jump functions
     /// (per-procedure / per-caller).
     pub jump: PhaseTime,
-    /// The interprocedural VAL solve (always sequential).
+    /// The interprocedural VAL solve (wavefront over the SCC levels of
+    /// the call-graph condensation; parallel within each level).
     pub solve: PhaseTime,
     /// Whole `run_once`, wall clock.
     pub total: Duration,

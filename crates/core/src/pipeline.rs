@@ -279,8 +279,9 @@ impl Analysis {
         )
     }
 
-    /// Stage 3 (the sequential interprocedural solve) and assembly —
-    /// shared tail of both `run_once` paths.
+    /// Stage 3 (the interprocedural wavefront solve, parallel over the
+    /// SCC levels when `jobs > 1`) and assembly — shared tail of both
+    /// `run_once` paths.
     #[allow(clippy::too_many_arguments)]
     fn finish(
         mcfg: &ModuleCfg,
@@ -292,7 +293,7 @@ impl Analysis {
         symbolics: Vec<Option<ProcSymbolic>>,
         jump_fns: ForwardJumpFns,
         mut gov: Governor,
-        quarantined: Vec<bool>,
+        mut quarantined: Vec<bool>,
         mut timings: Timings,
         t_run: Instant,
     ) -> Analysis {
@@ -301,9 +302,18 @@ impl Analysis {
         } else {
             Lattice::Bottom
         };
-        let t3 = Instant::now();
-        let vals = solve(mcfg, &cg, &layout, &jump_fns, entry_globals, &mut gov);
-        timings.solve = PhaseTime::sequential(t3.elapsed(), 1);
+        let (vals, solve_time) = solve(
+            mcfg,
+            &cg,
+            &layout,
+            &jump_fns,
+            entry_globals,
+            config,
+            &mut gov,
+            &mut quarantined,
+            timings.jobs,
+        );
+        timings.solve = solve_time;
         timings.total = t_run.elapsed();
 
         Analysis {

@@ -51,8 +51,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Fires the configured panic injection if it names this (stage,
-/// procedure) unit.
-fn maybe_inject(config: &Config, stage: Stage, proc_index: usize) {
+/// procedure) unit. Crate-visible so the solver can fire it per
+/// procedure *re-evaluation* (its quarantine boundary is the SCC unit,
+/// not the procedure, but the injection hook still addresses procedures).
+pub(crate) fn maybe_inject(config: &Config, stage: Stage, proc_index: usize) {
     if let Some(pi) = config.panic_injection {
         if pi.stage == stage && pi.proc == proc_index {
             panic!(

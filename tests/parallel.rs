@@ -24,6 +24,17 @@ fn assert_schedule_unobservable(mcfg: &ModuleCfg, config: &Config, label: &str) 
     let seq = Analysis::run(mcfg, &config.with_jobs(1));
     for &jobs in JOB_COUNTS {
         let par = Analysis::run(mcfg, &config.with_jobs(jobs));
+        // The solver's cost counters are part of the contract: the
+        // wavefront must charge the same meets and re-evaluations no
+        // matter how its levels were scheduled.
+        assert_eq!(
+            par.vals.meets, seq.vals.meets,
+            "{label}: solver meet count differs at jobs={jobs}"
+        );
+        assert_eq!(
+            par.vals.iterations, seq.vals.iterations,
+            "{label}: solver re-evaluation count differs at jobs={jobs}"
+        );
         assert_eq!(par.vals, seq.vals, "{label}: CONSTANTS differ at jobs={jobs}");
         assert_eq!(par.health, seq.health, "{label}: telemetry differs at jobs={jobs}");
         assert_eq!(
@@ -154,6 +165,81 @@ fn worker_panics_stay_quarantined_to_their_procedure() {
                 "{}: panic in one unit quarantined {quarantined} procedures",
                 p.name
             );
+        }
+    }
+}
+
+#[test]
+fn solver_panics_landing_mid_wavefront_are_identical_for_every_job_count() {
+    // A panic injected into the VAL solver fires inside a wavefront
+    // worker while other units of the same level are in flight. The
+    // quarantine unit there is the SCC (a panic anywhere in a cycle
+    // poisons the whole cycle), so unlike the per-procedure phases we
+    // tolerate more than one quarantined flag — but the set of flags,
+    // the degradation events, and CONSTANTS(p) must still be identical
+    // to the sequential run.
+    for p in PROGRAMS.iter().filter(|p| p.module_cfg().module.procs.len() >= 3) {
+        let mcfg = p.module_cfg();
+        for at in [1, 2] {
+            let config = Config::polynomial().with_panic(Stage::Solver, at);
+            let seq = assert_schedule_unobservable(
+                &mcfg,
+                &config,
+                &format!("{} solver panic @{at}", p.name),
+            );
+            let quarantined = seq.quarantined.iter().filter(|&&q| q).count();
+            if quarantined > 0 {
+                assert!(
+                    seq.health
+                        .events
+                        .iter()
+                        .any(|e| e.kind == DegradationKind::Quarantined),
+                    "{}: solver quarantined {quarantined} procedures without \
+                     reporting a Quarantined event",
+                    p.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deadline_expiring_mid_wavefront_terminates_and_stays_sound() {
+    // Unlike the already-expired deadline above, a short-but-nonzero
+    // deadline races the wavefront itself: the latch can trip between
+    // levels, inside a worker, or not at all. Which run it hits is
+    // timing-dependent, so no identity claim is possible — the contract
+    // is that every worker stops without a panic, the only degradations
+    // reported are Deadline-kind, and whatever survives in CONSTANTS(p)
+    // is still sound.
+    let exec = ExecLimits { max_steps: 200_000, lenient_reads: true, ..ExecLimits::default() };
+    let src = generate(&GenConfig { n_procs: 160, n_globals: 8, stmts_per_proc: 48, max_depth: 4 }, 51);
+    let module = parse_and_resolve(&src).expect("generated program parses");
+    let mcfg = lower_module(&module);
+    for &jobs in JOB_COUNTS {
+        for deadline_ms in [1, 2] {
+            let config = Config::polynomial()
+                .with_deadline(Deadline::after_ms(deadline_ms))
+                .with_jobs(jobs);
+            let outcome = catch_unwind(AssertUnwindSafe(|| Analysis::run(&mcfg, &config)));
+            let analysis = outcome.unwrap_or_else(|_| {
+                panic!("deadline {deadline_ms}ms panicked at jobs={jobs}")
+            });
+            for e in &analysis.health.events {
+                assert_eq!(
+                    e.kind,
+                    DegradationKind::Deadline,
+                    "unexpected degradation under a mid-solve deadline: {e}"
+                );
+            }
+            if let Ok(run) = run_module(&mcfg.module, &[5, 1, -2, 8, 0], &exec) {
+                check_trace(
+                    &mcfg,
+                    &analysis,
+                    &run.trace,
+                    &format!("deadline {deadline_ms}ms jobs={jobs}"),
+                );
+            }
         }
     }
 }
