@@ -13,8 +13,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
 stage_build() {
-    cargo build --release --workspace
+    # --locked: the committed Cargo.lock must already be up to date; a
+    # drifted lockfile fails the gate instead of being silently rewritten.
+    cargo build --release --workspace --locked
 }
 
 stage_tests_seq() {
@@ -52,6 +58,26 @@ stage_deadline_smoke() {
         echo "deadline smoke test: unexpected exit $status" >&2
         return 1
     fi
+}
+
+stage_fuzz() {
+    # The shrinking property harness as a CI gate: `ipcc fuzz` drives
+    # seeded generated programs through every registered property
+    # (panic-free, soundness, jobs-identity, wavefront-worklist,
+    # exit-consistency), minimizing any counterexample into the corpus
+    # dir and exiting 1. The PR lane runs the default 45 s budget; the
+    # nightly lane (`fuzz-nightly` in ci.yml) raises the budget to 10
+    # minutes and seeds from the workflow run id — the seed is echoed
+    # below so a red night is replayable from its log.
+    cargo build --release -q -p ipcp-cli
+    local seed=${IPCP_FUZZ_SEED:-1}
+    local budget_ms=${IPCP_FUZZ_BUDGET_MS:-45000}
+    local cases=${IPCP_FUZZ_CASES:-100000}
+    local corpus=${IPCP_FUZZ_CORPUS:-target/fuzz-corpus}
+    echo "    seed: $seed  budget: ${budget_ms}ms  corpus: $corpus"
+    ./target/release/ipcc fuzz --jump-fn poly \
+        --seed "$seed" --cases "$cases" \
+        --time-budget-ms "$budget_ms" --corpus "$corpus"
 }
 
 stage_bench_identity() {
@@ -118,10 +144,12 @@ stage_clippy_all() {
 
 # Stage registry: "name|description". Order is the full-run order.
 STAGES=(
-    "build|build (release)"
+    "fmt|rustfmt check (cargo fmt --all -- --check)"
+    "build|build (release, --locked)"
     "tests-seq|tests (sequential: IPCP_JOBS=1)"
     "tests-par|tests (parallel: IPCP_JOBS=4)"
     "robustness|robustness suite again, with quarantine disabled"
+    "fuzz|property fuzz lane (ipcc fuzz: shrinking harness, time-boxed)"
     "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
     "bench-identity|bench identity gate (jobs=1 vs jobs=N, wavefront vs worklist)"
     "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"

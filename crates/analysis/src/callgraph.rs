@@ -250,9 +250,7 @@ mod tests {
 
     #[test]
     fn bottom_up_puts_callees_first() {
-        let (m, g) = cg(
-            "proc main() { call mid(); } proc mid() { call leaf(); } proc leaf() { }",
-        );
+        let (m, g) = cg("proc main() { call mid(); } proc mid() { call leaf(); } proc leaf() { }");
         let order: Vec<ProcId> = g.bottom_up().collect();
         let posn = |p: ProcId| order.iter().position(|&q| q == p).unwrap();
         assert!(posn(pid(&m, "leaf")) < posn(pid(&m, "mid")));

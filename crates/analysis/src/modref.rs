@@ -55,8 +55,7 @@ impl ModSet {
 
     /// Number of members (for reporting).
     pub fn len(&self) -> usize {
-        self.formals.iter().filter(|&&b| b).count()
-            + self.globals.iter().filter(|&&b| b).count()
+        self.formals.iter().filter(|&&b| b).count() + self.globals.iter().filter(|&&b| b).count()
     }
 
     /// Whether the set is empty.
@@ -253,7 +252,11 @@ pub fn direct_effects(mcfg: &ModuleCfg, pid: ProcId) -> (ModSet, ModSet) {
                     note_use_expr(value, &mut r);
                     note_def(*dst);
                 }
-                CStmt::Store { array, index, value } => {
+                CStmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
                     note_use_expr(index, &mut r);
                     note_use_expr(value, &mut r);
                     note_def(*array);
@@ -398,7 +401,8 @@ mod tests {
 
     #[test]
     fn unmodified_formal_is_not_mod() {
-        let (m, _, mr) = analyze("proc main() { x = 0; call f(x); } proc f(a) { y = a + 1; print y; }");
+        let (m, _, mr) =
+            analyze("proc main() { x = 0; call f(x); } proc f(a) { y = a + 1; print y; }");
         let f = pid(&m, "f");
         assert!(!mr.mod_of(f).formal(0));
         assert!(mr.ref_of(f).formal(0));
@@ -435,9 +439,7 @@ mod tests {
 
     #[test]
     fn array_store_marks_array_formal() {
-        let (m, _, mr) = analyze(
-            "proc main() { array t[4]; call f(t); } proc f(b) { b[0] = 1; }",
-        );
+        let (m, _, mr) = analyze("proc main() { array t[4]; call f(t); } proc f(b) { b[0] = 1; }");
         assert!(mr.mod_of(pid(&m, "f")).formal(0));
     }
 
@@ -531,7 +533,10 @@ mod tests {
             .iter()
             .map(|p| direct_effects(&m, p.id))
             .unzip();
-        assert_eq!(propagate_modref(&m, &cg, mods, refs), compute_modref(&m, &cg));
+        assert_eq!(
+            propagate_modref(&m, &cg, mods, refs),
+            compute_modref(&m, &cg)
+        );
     }
 
     #[test]
@@ -562,9 +567,7 @@ mod tests {
 
     #[test]
     fn effects_in_unreachable_code_are_ignored() {
-        let (m, _, mr) = analyze(
-            "global g; proc main() { call f(); } proc f() { return; g = 1; }",
-        );
+        let (m, _, mr) = analyze("global g; proc main() { call f(); } proc f() { return; g = 1; }");
         assert!(mr.mod_of(pid(&m, "f")).is_empty());
     }
 }

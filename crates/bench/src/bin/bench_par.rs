@@ -19,17 +19,32 @@ struct Workload {
 const WORKLOADS: &[Workload] = &[
     Workload {
         name: "wide",
-        gen: GenConfig { n_procs: 160, n_globals: 6, stmts_per_proc: 24, max_depth: 2 },
+        gen: GenConfig {
+            n_procs: 160,
+            n_globals: 6,
+            stmts_per_proc: 24,
+            max_depth: 2,
+        },
         seed: 11,
     },
     Workload {
         name: "deep",
-        gen: GenConfig { n_procs: 48, n_globals: 8, stmts_per_proc: 64, max_depth: 4 },
+        gen: GenConfig {
+            n_procs: 48,
+            n_globals: 8,
+            stmts_per_proc: 64,
+            max_depth: 4,
+        },
         seed: 23,
     },
     Workload {
         name: "mixed",
-        gen: GenConfig { n_procs: 96, n_globals: 10, stmts_per_proc: 40, max_depth: 3 },
+        gen: GenConfig {
+            n_procs: 96,
+            n_globals: 10,
+            stmts_per_proc: 40,
+            max_depth: 3,
+        },
         seed: 37,
     },
 ];

@@ -108,22 +108,44 @@ fn wide_source() -> String {
 
 fn deep_source() -> String {
     generate(
-        &GenConfig { n_procs: 120, n_globals: 8, stmts_per_proc: 64, max_depth: 4 },
+        &GenConfig {
+            n_procs: 120,
+            n_globals: 8,
+            stmts_per_proc: 64,
+            max_depth: 4,
+        },
         23,
     )
 }
 
 fn mixed_source() -> String {
     generate(
-        &GenConfig { n_procs: 240, n_globals: 10, stmts_per_proc: 40, max_depth: 3 },
+        &GenConfig {
+            n_procs: 240,
+            n_globals: 10,
+            stmts_per_proc: 40,
+            max_depth: 3,
+        },
         37,
     )
 }
 
 const WORKLOADS: &[Workload] = &[
-    Workload { name: "wide", source: wide_source, n_procs_hint: 0 },
-    Workload { name: "deep", source: deep_source, n_procs_hint: 120 },
-    Workload { name: "mixed", source: mixed_source, n_procs_hint: 240 },
+    Workload {
+        name: "wide",
+        source: wide_source,
+        n_procs_hint: 0,
+    },
+    Workload {
+        name: "deep",
+        source: deep_source,
+        n_procs_hint: 120,
+    },
+    Workload {
+        name: "mixed",
+        source: mixed_source,
+        n_procs_hint: 240,
+    },
 ];
 
 /// Repetitions per configuration: best-of-5 by default, overridable via
@@ -167,7 +189,16 @@ fn time_wavefront(
         best = best.min(t0.elapsed());
         last = Some((v, quarantined));
     }
-    let (v, q) = last.unwrap_or_else(|| (ValSets { vals: Vec::new(), meets: 0, iterations: 0 }, Vec::new()));
+    let (v, q) = last.unwrap_or_else(|| {
+        (
+            ValSets {
+                vals: Vec::new(),
+                meets: 0,
+                iterations: 0,
+            },
+            Vec::new(),
+        )
+    });
     (best, v, q)
 }
 
@@ -178,11 +209,16 @@ fn time_worklist(mcfg: &ModuleCfg, a: &Analysis, layout: &SlotLayout) -> (Durati
     for _ in 0..reps() {
         let mut gov = Governor::unlimited();
         let t0 = Instant::now();
-        let v = solve_worklist_reference(mcfg, &a.cg, layout, &a.jump_fns, Lattice::Bottom, &mut gov);
+        let v =
+            solve_worklist_reference(mcfg, &a.cg, layout, &a.jump_fns, Lattice::Bottom, &mut gov);
         best = best.min(t0.elapsed());
         last = Some(v);
     }
-    let v = last.unwrap_or(ValSets { vals: Vec::new(), meets: 0, iterations: 0 });
+    let v = last.unwrap_or(ValSets {
+        vals: Vec::new(),
+        meets: 0,
+        iterations: 0,
+    });
     (best, v)
 }
 
@@ -192,14 +228,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     println!(
         "{:<8} {:>6} {:>10} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8}",
-        "program", "procs", "seq_us", "par_us", "worklist_us", "speedup", "jobs_spd", "wf_iter", "wl_iter"
+        "program",
+        "procs",
+        "seq_us",
+        "par_us",
+        "worklist_us",
+        "speedup",
+        "jobs_spd",
+        "wf_iter",
+        "wl_iter"
     );
     for w in WORKLOADS {
         let src = (w.source)();
         let module = ipcp_ir::parse_and_resolve(&src)
             .map_err(|d| format!("generated program failed to parse: {d:?}"))?;
         let mcfg = ipcp_ir::lower_module(&module);
-        let n_procs = if w.n_procs_hint > 0 { w.n_procs_hint } else { mcfg.module.procs.len() };
+        let n_procs = if w.n_procs_hint > 0 {
+            w.n_procs_hint
+        } else {
+            mcfg.module.procs.len()
+        };
         // Jump functions are built once; only the propagation is timed.
         let analysis = Analysis::run(&mcfg, &config);
         let layout = SlotLayout::new(&mcfg.module);

@@ -6,7 +6,13 @@ fn main() {
     let rows = table1_rows();
     println!("Table 1: Characteristics of the program test suite.\n");
     let text = render(
-        &["Program", "Lines", "Procs", "Mean lines/proc", "Median lines/proc"],
+        &[
+            "Program",
+            "Lines",
+            "Procs",
+            "Mean lines/proc",
+            "Median lines/proc",
+        ],
         &rows,
         |r| {
             vec![

@@ -7,7 +7,15 @@ fn main() {
     println!("Table 2: Constants found through use of jump functions.");
     println!("(columns 1-4 use return jump functions; 5-6 do not)\n");
     let text = render(
-        &["Program", "Polynomial", "Pass-through", "Intraproc", "Literal", "Poly/NoRet", "Pass/NoRet"],
+        &[
+            "Program",
+            "Polynomial",
+            "Pass-through",
+            "Intraproc",
+            "Literal",
+            "Poly/NoRet",
+            "Pass/NoRet",
+        ],
         &rows,
         |r| {
             vec![

@@ -7,7 +7,13 @@ fn main() {
     let rows = table3_rows();
     println!("Table 3: Comparison of the polynomial jump function with other techniques.\n");
     let text = render(
-        &["Program", "Poly w/o MOD", "Poly w/ MOD", "Complete", "Intraproc only"],
+        &[
+            "Program",
+            "Poly w/o MOD",
+            "Poly w/ MOD",
+            "Complete",
+            "Intraproc only",
+        ],
         &rows,
         |r| {
             vec![

@@ -55,9 +55,8 @@ pub fn table2_rows() -> Vec<Table2Row> {
     paper_programs()
         .map(|p| {
             let with = |k: JumpFnKind| count(p, &Config::default().with_jump_fn(k));
-            let without = |k: JumpFnKind| {
-                count(p, &Config::default().with_jump_fn(k).with_return_jfs(false))
-            };
+            let without =
+                |k: JumpFnKind| count(p, &Config::default().with_jump_fn(k).with_return_jfs(false));
             Table2Row {
                 name: p.name,
                 poly: with(JumpFnKind::Polynomial),
@@ -78,8 +77,7 @@ pub fn table3_rows() -> Vec<Table3Row> {
             let mcfg = p.module_cfg();
             let poly_mod_analysis = Analysis::run(&mcfg, &Config::polynomial());
             let poly_mod = poly_mod_analysis.substitute(&mcfg).total;
-            let intra_only =
-                ipcp::substitute_intraprocedural(&mcfg, &poly_mod_analysis).total;
+            let intra_only = ipcp::substitute_intraprocedural(&mcfg, &poly_mod_analysis).total;
             Table3Row {
                 name: p.name,
                 poly_nomod: count(p, &Config::polynomial().with_mod(false)),

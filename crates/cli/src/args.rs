@@ -88,6 +88,27 @@ pub enum Command {
         /// Predicate-evaluation budget for the search.
         max_tests: usize,
     },
+    /// `ipcc fuzz [--props a,b] [--seed N]` — run the shrinking property
+    /// harness on seeded generated programs.
+    Fuzz {
+        /// Analysis configuration the properties check under.
+        config: Config,
+        /// Property registry names to check (validated at parse time).
+        props: Vec<String>,
+        /// Base case seed; case `i` uses `seed + i`.
+        seed: u64,
+        /// Generated cases to run.
+        cases: usize,
+        /// Optional wall-clock budget for the whole run.
+        time_budget_ms: Option<u64>,
+        /// Corpus directory: `*.ft` entries are replayed before the
+        /// generative run, and minimized counterexamples are persisted.
+        corpus: Option<String>,
+        /// Inputs fed to the soundness oracle's interpreter runs.
+        inputs: Vec<i64>,
+        /// Probe-evaluation budget per shrink.
+        shrink_tests: usize,
+    },
     /// `ipcc tables` — regenerate the study's tables on the builtin suite.
     Tables,
     /// `ipcc help` / `--help`.
@@ -142,10 +163,12 @@ COMMANDS:
     explain <file>    show where a slot's constant (or ⊥) came from
     integrate <file>  Wegman-Zadeck procedure integration comparison
     reduce <file>     shrink a failing input to a minimal reproducer
+    fuzz              check properties on seeded random programs, shrinking
+                      any counterexample to a minimal replayable reproducer
     tables            regenerate the paper's Tables 1-3 on the builtin suite
     help              show this message
 
-ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce):
+ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce / fuzz):
     --jump-fn <literal|intra|pass|poly>   forward jump function (default: pass)
     --no-mod                              disable MOD information
     --no-return-jfs                       disable return jump functions
@@ -161,12 +184,12 @@ ANALYSIS OPTIONS (analyze / complete / clone / explain / reduce):
                                           bit-identical for every N)
     --emit <constants|substituted|counts|jumpfns|report|source>  analyze output
 
-BUDGET OPTIONS (analyze / complete / clone / explain / reduce):
+BUDGET OPTIONS (analyze / complete / clone / explain / reduce / fuzz):
     --max-poly-terms <N>                  cap polynomial jump-function terms
     --max-solver-iterations <N>           cap solver procedure re-evaluations
     --strict                              exit 3 if the run degraded at all
 
-ROBUSTNESS OPTIONS (analyze / complete / clone / explain / reduce):
+ROBUSTNESS OPTIONS (analyze / complete / clone / explain / reduce / fuzz):
     --deadline-ms <N>       wall-clock deadline; results degrade soundly
     --no-quarantine         disable per-procedure fault isolation
     --inject-panic <stage>:<proc>   panic in one procedure's unit (testing)
@@ -177,10 +200,24 @@ OTHER OPTIONS:
     reduce: --check <panic|quarantine|degraded|unsound>  failure to preserve
             --input <a,b,c>   oracle inputs for --check unsound
             --max-tests <N>   predicate budget (default 2000)
+    fuzz:   --props <a,b,...>       properties to check, from: panic-free,
+                                    soundness, jobs-identity,
+                                    wavefront-worklist, exit-consistency
+                                    (default: all of them)
+            --seed <N>              base case seed (default 1); case i runs
+                                    seed N+i, so failures replay exactly
+                                    with `--seed <case seed> --cases 1`
+            --cases <N>             generated cases to run (default 256)
+            --time-budget-ms <N>    stop generating when the budget expires
+            --corpus <DIR>          replay *.ft files in DIR first; persist
+                                    minimized counterexamples there
+            --input <a,b,c>         oracle inputs for the soundness property
+            --shrink-tests <N>      probe budget per shrink (default 800)
 
 EXIT CODES:
     0  success
-    1  diagnostics, runtime error, or a reduce target that does not fail
+    1  diagnostics, a runtime error, a fuzz counterexample, or a reduce
+       target that does not fail
     2  usage error
     3  analysis budgets or the deadline degraded the run and --strict was given
 
@@ -203,9 +240,7 @@ fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
                     "intra" | "intraprocedural" => JumpFnKind::IntraproceduralConstant,
                     "pass" | "pass-through" => JumpFnKind::PassThrough,
                     "poly" | "polynomial" => JumpFnKind::Polynomial,
-                    other => {
-                        return Err(UsageError(format!("unknown jump function `{other}`")))
-                    }
+                    other => return Err(UsageError(format!("unknown jump function `{other}`"))),
                 };
                 builder = builder.jump_fn_impl(kind);
             }
@@ -261,9 +296,9 @@ fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
                 builder = builder.max_poly_terms(n);
             }
             "--max-solver-iterations" => {
-                let v = it.next().ok_or_else(|| {
-                    UsageError("--max-solver-iterations needs a value".into())
-                })?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--max-solver-iterations needs a value".into()))?;
                 let n = v
                     .parse()
                     .map_err(|_| UsageError(format!("bad iteration cap `{v}`")))?;
@@ -276,6 +311,72 @@ fn parse_config(args: &mut Vec<String>) -> Result<Config, UsageError> {
     // The builder rejects incompatible combinations (e.g. --jobs 4 with
     // --no-quarantine) with a message naming the conflict and the fix.
     builder.build().map_err(|e| UsageError(e.to_string()))
+}
+
+/// Renders `config`'s non-default analysis flags, each preceded by one
+/// space, so a fuzz counterexample's replay line reproduces the exact
+/// configuration. Deadlines (absolute instants) and budget fault
+/// injection (no CLI spelling) are omitted; `ipcc fuzz` re-supplies the
+/// time budget itself.
+pub fn render_config_flags(config: &Config) -> String {
+    let d = Config::default();
+    let mut s = String::new();
+    if config.jump_fn != d.jump_fn {
+        let name = match config.jump_fn {
+            JumpFnKind::Literal => "literal",
+            JumpFnKind::IntraproceduralConstant => "intra",
+            JumpFnKind::PassThrough => "pass",
+            JumpFnKind::Polynomial => "poly",
+        };
+        s.push_str(&format!(" --jump-fn {name}"));
+    }
+    if !config.use_mod {
+        s.push_str(" --no-mod");
+    }
+    if !config.use_return_jfs {
+        s.push_str(" --no-return-jfs");
+    }
+    if config.compose_return_jfs {
+        s.push_str(" --compose-return-jfs");
+    }
+    if config.assume_zero_globals {
+        s.push_str(" --zero-globals");
+    }
+    if config.gated_jump_fns {
+        s.push_str(" --gated");
+    }
+    if config.pruned_ssa {
+        s.push_str(" --pruned-ssa");
+    }
+    if config.jobs != d.jobs {
+        s.push_str(&format!(" --jobs {}", config.jobs));
+    }
+    if config.strict {
+        s.push_str(" --strict");
+    }
+    if !config.quarantine {
+        s.push_str(" --no-quarantine");
+    }
+    if config.limits.max_poly_terms != d.limits.max_poly_terms {
+        s.push_str(&format!(
+            " --max-poly-terms {}",
+            config.limits.max_poly_terms
+        ));
+    }
+    if config.limits.max_solver_iterations != d.limits.max_solver_iterations {
+        s.push_str(&format!(
+            " --max-solver-iterations {}",
+            config.limits.max_solver_iterations
+        ));
+    }
+    if let Some(inj) = config.panic_injection {
+        s.push_str(&format!(
+            " --inject-panic {}:{}",
+            inj.stage.label(),
+            inj.proc
+        ));
+    }
+    s
 }
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
@@ -318,7 +419,11 @@ fn expect_empty(args: &[String]) -> Result<(), UsageError> {
 ///
 /// [`UsageError`] with a message suitable for printing to stderr.
 pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
-    let Some(cmd) = (if args.is_empty() { None } else { Some(args.remove(0)) }) else {
+    let Some(cmd) = (if args.is_empty() {
+        None
+    } else {
+        Some(args.remove(0))
+    }) else {
         return Ok(Command::Help);
     };
     match cmd.as_str() {
@@ -387,7 +492,11 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "clone")?;
             expect_empty(&args)?;
-            Ok(Command::Clone { file, config, budget })
+            Ok(Command::Clone {
+                file,
+                config,
+                budget,
+            })
         }
         "explain" => {
             let config = parse_config(&mut args)?;
@@ -402,7 +511,13 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "explain")?;
             expect_empty(&args)?;
-            Ok(Command::Explain { file, config, proc, slot, depth })
+            Ok(Command::Explain {
+                file,
+                config,
+                proc,
+                slot,
+                depth,
+            })
         }
         "integrate" => {
             let budget = match take_flag_value(&mut args, "--budget")? {
@@ -434,9 +549,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
                 Some("quarantine") => ReduceCheck::Quarantine,
                 Some("degraded") => ReduceCheck::Degraded,
                 Some("unsound") => ReduceCheck::Unsound { inputs },
-                Some(other) => {
-                    return Err(UsageError(format!("unknown check `{other}`")))
-                }
+                Some(other) => return Err(UsageError(format!("unknown check `{other}`"))),
             };
             let max_tests = match take_flag_value(&mut args, "--max-tests")? {
                 None => 2_000,
@@ -446,7 +559,90 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
             };
             let file = take_file(&mut args, "reduce")?;
             expect_empty(&args)?;
-            Ok(Command::Reduce { file, config, check, max_tests })
+            Ok(Command::Reduce {
+                file,
+                config,
+                check,
+                max_tests,
+            })
+        }
+        "fuzz" => {
+            let config = parse_config(&mut args)?;
+            let registry = ipcp_suite::prop::property_names();
+            let props: Vec<String> = match take_flag_value(&mut args, "--props")? {
+                None => registry.iter().map(|s| (*s).to_string()).collect(),
+                Some(list) => {
+                    let named: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if named.is_empty() {
+                        return Err(UsageError(
+                            "--props needs at least one property name".into(),
+                        ));
+                    }
+                    for name in &named {
+                        if !registry.contains(&name.as_str()) {
+                            return Err(UsageError(format!(
+                                "unknown property `{name}` (have: {})",
+                                registry.join(", ")
+                            )));
+                        }
+                    }
+                    named
+                }
+            };
+            let seed = match take_flag_value(&mut args, "--seed")? {
+                None => 1,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad seed `{v}`")))?,
+            };
+            let cases = match take_flag_value(&mut args, "--cases")? {
+                None => 256,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad case count `{v}`")))?,
+            };
+            let time_budget_ms = match take_flag_value(&mut args, "--time-budget-ms")? {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad time budget `{v}`")))?,
+                ),
+            };
+            let shrink_tests = match take_flag_value(&mut args, "--shrink-tests")? {
+                None => 800,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad shrink budget `{v}`")))?,
+            };
+            let corpus = take_flag_value(&mut args, "--corpus")?;
+            let inputs: Vec<i64> = match take_flag_value(&mut args, "--input")? {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|_| UsageError(format!("bad input value `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            expect_empty(&args)?;
+            Ok(Command::Fuzz {
+                config,
+                props,
+                seed,
+                cases,
+                time_budget_ms,
+                corpus,
+                inputs,
+                shrink_tests,
+            })
         }
         "tables" => {
             expect_empty(&args)?;
@@ -469,7 +665,13 @@ mod tests {
     #[test]
     fn parses_analyze_with_options() {
         let cmd = p(&[
-            "analyze", "--jump-fn", "poly", "--no-mod", "--emit", "counts", "x.ft",
+            "analyze",
+            "--jump-fn",
+            "poly",
+            "--no-mod",
+            "--emit",
+            "counts",
+            "x.ft",
         ])
         .unwrap();
         match cmd {
@@ -487,8 +689,13 @@ mod tests {
     #[test]
     fn parses_budget_flags() {
         let cmd = p(&[
-            "analyze", "--strict", "--max-poly-terms", "2",
-            "--max-solver-iterations", "99", "x.ft",
+            "analyze",
+            "--strict",
+            "--max-poly-terms",
+            "2",
+            "--max-solver-iterations",
+            "99",
+            "x.ft",
         ])
         .unwrap();
         match cmd {
@@ -566,7 +773,10 @@ mod tests {
 
     #[test]
     fn parses_jobs_flag() {
-        for spelling in [&["analyze", "--jobs", "4", "x.ft"], &["analyze", "-j", "4", "x.ft"]] {
+        for spelling in [
+            &["analyze", "--jobs", "4", "x.ft"],
+            &["analyze", "-j", "4", "x.ft"],
+        ] {
             match p(spelling).unwrap() {
                 Command::Analyze { config, .. } => {
                     assert_eq!(config.jobs, 4);
@@ -600,15 +810,31 @@ mod tests {
     #[test]
     fn parses_reduce() {
         match p(&["reduce", "--check", "unsound", "--input", "4,5", "x.ft"]).unwrap() {
-            Command::Reduce { file, check, max_tests, .. } => {
+            Command::Reduce {
+                file,
+                check,
+                max_tests,
+                ..
+            } => {
                 assert_eq!(file, "x.ft");
                 assert_eq!(check, ReduceCheck::Unsound { inputs: vec![4, 5] });
                 assert_eq!(max_tests, 2_000);
             }
             other => panic!("{other:?}"),
         }
-        match p(&["reduce", "--check", "quarantine", "--max-tests", "9", "x.ft"]).unwrap() {
-            Command::Reduce { check, max_tests, .. } => {
+        match p(&[
+            "reduce",
+            "--check",
+            "quarantine",
+            "--max-tests",
+            "9",
+            "x.ft",
+        ])
+        .unwrap()
+        {
+            Command::Reduce {
+                check, max_tests, ..
+            } => {
                 assert_eq!(check, ReduceCheck::Quarantine);
                 assert_eq!(max_tests, 9);
             }
@@ -619,6 +845,116 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(p(&["reduce", "--check", "vibes", "x.ft"]).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        match p(&["fuzz"]).unwrap() {
+            Command::Fuzz {
+                props,
+                seed,
+                cases,
+                time_budget_ms,
+                corpus,
+                shrink_tests,
+                ..
+            } => {
+                assert_eq!(props, ipcp_suite::prop::property_names());
+                assert_eq!(seed, 1);
+                assert_eq!(cases, 256);
+                assert_eq!(time_budget_ms, None);
+                assert_eq!(corpus, None);
+                assert_eq!(shrink_tests, 800);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&[
+            "fuzz",
+            "--props",
+            "soundness,panic-free",
+            "--seed",
+            "77",
+            "--cases",
+            "9",
+            "--time-budget-ms",
+            "1500",
+            "--corpus",
+            "c",
+            "--input",
+            "1,2",
+            "--jump-fn",
+            "poly",
+        ])
+        .unwrap()
+        {
+            Command::Fuzz {
+                config,
+                props,
+                seed,
+                cases,
+                time_budget_ms,
+                corpus,
+                inputs,
+                ..
+            } => {
+                assert_eq!(props, vec!["soundness", "panic-free"]);
+                assert_eq!(seed, 77);
+                assert_eq!(cases, 9);
+                assert_eq!(time_budget_ms, Some(1500));
+                assert_eq!(corpus.as_deref(), Some("c"));
+                assert_eq!(inputs, vec![1, 2]);
+                assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_properties() {
+        let err = p(&["fuzz", "--props", "soundness,vibes"]).unwrap_err();
+        assert!(err.0.contains("unknown property `vibes`"), "{err}");
+        assert!(err.0.contains("soundness"), "lists the registry: {err}");
+        assert!(p(&["fuzz", "--props", ","]).is_err());
+        assert!(p(&["fuzz", "--seed", "many"]).is_err());
+        assert!(p(&["fuzz", "extra.ft"]).is_err());
+    }
+
+    #[test]
+    fn config_flags_render_for_replay_lines() {
+        assert_eq!(render_config_flags(&Config::default()), "");
+        let cfg = p(&[
+            "analyze",
+            "--jump-fn",
+            "poly",
+            "--no-mod",
+            "--strict",
+            "--max-poly-terms",
+            "2",
+            "--inject-panic",
+            "jump:1",
+            "x.ft",
+        ])
+        .map(|cmd| match cmd {
+            Command::Analyze { config, .. } => config,
+            other => panic!("{other:?}"),
+        })
+        .unwrap();
+        assert_eq!(
+            render_config_flags(&cfg),
+            " --jump-fn poly --no-mod --strict --max-poly-terms 2 --inject-panic jump:1"
+        );
+        // Round-trip: re-parsing the rendered flags rebuilds the config.
+        let mut argv = vec!["analyze".to_string()];
+        argv.extend(
+            render_config_flags(&cfg)
+                .split_whitespace()
+                .map(str::to_string),
+        );
+        argv.push("x.ft".to_string());
+        match parse(argv).unwrap() {
+            Command::Analyze { config, .. } => assert_eq!(config, cfg),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -151,7 +151,11 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             );
             check_health(&plain_analysis.health, config.strict)
         }
-        Command::Clone { file, config, budget } => {
+        Command::Clone {
+            file,
+            config,
+            budget,
+        } => {
             let (_, mcfg) = load(&file)?;
             let before = Analysis::run(&mcfg, &config).substitute(&mcfg).total;
             let result = clone_by_constants(&mcfg, &config, budget);
@@ -167,7 +171,13 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             println!("constants substituted: {before} -> {after}");
             check_health(&result.health, config.strict)
         }
-        Command::Explain { file, config, proc, slot, depth } => {
+        Command::Explain {
+            file,
+            config,
+            proc,
+            slot,
+            depth,
+        } => {
             let (_, mcfg) = load(&file)?;
             let analysis = Analysis::run(&mcfg, &config);
             let p = mcfg
@@ -191,8 +201,7 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             let jf = Analysis::run(&mcfg, &Config::polynomial())
                 .substitute(&mcfg)
                 .total;
-            let (integrated, result) =
-                ipcp::integrate_and_count(&mcfg, &Config::default(), budget);
+            let (integrated, result) = ipcp::integrate_and_count(&mcfg, &Config::default(), budget);
             println!(
                 "inlined {} call(s) in {} round(s)",
                 result.inlined_calls, result.rounds
@@ -202,9 +211,17 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             println!("(integrated counts may double-count duplicated code)");
             Ok(())
         }
-        Command::Reduce { file, config, check, max_tests } => {
+        Command::Reduce {
+            file,
+            config,
+            check,
+            max_tests,
+        } => {
             let src = read_source(&file)?;
-            match ipcp::reduce(&src, &config, &check, max_tests) {
+            // The suite's grammar-aware pass drops whole procedures,
+            // blocks, and call arguments before byte-level ddmin runs.
+            let prepass = ipcp_suite::prop::structural_pass;
+            match ipcp::reduce_with_prepass(&src, &config, &check, max_tests, Some(&prepass)) {
                 None => Err(Failure::from(format!(
                     "error: `{file}` does not reproduce a `{}` failure (nothing to reduce)",
                     check.label()
@@ -222,11 +239,141 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
                 }
             }
         }
+        Command::Fuzz {
+            config,
+            props,
+            seed,
+            cases,
+            time_budget_ms,
+            corpus,
+            inputs,
+            shrink_tests,
+        } => fuzz(
+            config,
+            &props,
+            seed,
+            cases,
+            time_budget_ms,
+            corpus.as_deref(),
+            inputs,
+            shrink_tests,
+        ),
         Command::Tables => {
             // Reuses the suite directly so `ipcc tables` works anywhere.
             tables();
             Ok(())
         }
+    }
+}
+
+/// `ipcc fuzz`: replays any persisted corpus first, then drives seeded
+/// generated cases through the property harness, printing every
+/// minimized counterexample with its replay line and persisting it to
+/// the corpus directory. Any counterexample exits 1.
+#[allow(clippy::too_many_arguments)]
+fn fuzz(
+    config: Config,
+    props: &[String],
+    seed: u64,
+    cases: usize,
+    time_budget_ms: Option<u64>,
+    corpus: Option<&str>,
+    inputs: Vec<i64>,
+    shrink_tests: usize,
+) -> Result<(), Failure> {
+    use ipcp_suite::prop;
+
+    // Parse-time validation guarantees every name resolves.
+    let boxed: Vec<Box<dyn ipcp_suite::Property>> = props
+        .iter()
+        .filter_map(|name| prop::property(name))
+        .collect();
+    let refs: Vec<&dyn ipcp_suite::Property> = boxed.iter().map(Box::as_ref).collect();
+    let flags = args::render_config_flags(&config);
+    let mut checker = ipcp_suite::Checker::new(seed);
+    checker.cases = cases;
+    checker.deadline = time_budget_ms.map(ipcp::Deadline::after_ms);
+    checker.shrink_tests = shrink_tests;
+    checker.ctx.config = config;
+    if !inputs.is_empty() {
+        checker.ctx.inputs = inputs;
+    }
+
+    let mut found = Vec::new();
+
+    // Corpus replay: previously minimized reproducers must stay fixed.
+    // A missing directory just means no corpus yet.
+    if let Some(dir) = corpus {
+        let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "ft"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        entries.sort();
+        for path in entries {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let label = path.display().to_string();
+            found.extend(checker.check_source(&label, &src, &refs));
+        }
+    }
+
+    let report = checker.run(&refs);
+    eprintln!(
+        "fuzz: seed {seed}: {} generated case(s) x {} propert{}{}",
+        report.cases,
+        refs.len(),
+        if refs.len() == 1 { "y" } else { "ies" },
+        if report.timed_out {
+            " (time budget reached)"
+        } else {
+            ""
+        },
+    );
+    found.extend(report.counterexamples);
+
+    if found.is_empty() {
+        return Ok(());
+    }
+    for cx in &found {
+        eprint!("{}", cx.render(&flags));
+    }
+    if let Some(dir) = corpus {
+        persist_corpus(dir, &found, &flags);
+    }
+    Err(Failure {
+        code: 1,
+        msg: format!("error: {} counterexample(s) found", found.len()),
+    })
+}
+
+/// Writes each generative counterexample's minimized source to
+/// `<corpus>/<property>-<case seed>.ft` next to a `.repro` file carrying
+/// the full report and replay line. Corpus-replay failures are already
+/// on disk and are skipped.
+fn persist_corpus(dir: &str, found: &[ipcp_suite::Counterexample], flags: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create corpus dir {dir}: {e}");
+        return;
+    }
+    for cx in found {
+        let Some(case_seed) = cx.case_seed else {
+            continue;
+        };
+        let stem = format!("{}-{case_seed}", cx.property);
+        let ft = std::path::Path::new(dir).join(format!("{stem}.ft"));
+        let repro = std::path::Path::new(dir).join(format!("{stem}.repro"));
+        if let Err(e) = std::fs::write(&ft, &cx.minimized) {
+            eprintln!("warning: cannot write {}: {e}", ft.display());
+            continue;
+        }
+        if let Err(e) = std::fs::write(&repro, cx.render(flags)) {
+            eprintln!("warning: cannot write {}: {e}", repro.display());
+        }
+        eprintln!("corpus: wrote {}", ft.display());
     }
 }
 
@@ -265,8 +412,7 @@ fn emit_analysis(mcfg: &ModuleCfg, analysis: &Analysis, emit: Emit) {
                     if fns.is_empty() {
                         continue;
                     }
-                    let rendered: Vec<String> =
-                        fns.iter().map(|jf| jf.to_string()).collect();
+                    let rendered: Vec<String> = fns.iter().map(|jf| jf.to_string()).collect();
                     println!(
                         "{} cs{si}: [{}]",
                         mcfg.module.proc(caller).name,
@@ -297,8 +443,16 @@ fn tables() {
             count(&Config::default().with_jump_fn(JumpFnKind::PassThrough)),
             count(&Config::default().with_jump_fn(JumpFnKind::IntraproceduralConstant)),
             count(&Config::default().with_jump_fn(JumpFnKind::Literal)),
-            count(&Config::default().with_jump_fn(JumpFnKind::Polynomial).with_return_jfs(false)),
-            count(&Config::default().with_jump_fn(JumpFnKind::PassThrough).with_return_jfs(false)),
+            count(
+                &Config::default()
+                    .with_jump_fn(JumpFnKind::Polynomial)
+                    .with_return_jfs(false)
+            ),
+            count(
+                &Config::default()
+                    .with_jump_fn(JumpFnKind::PassThrough)
+                    .with_return_jfs(false)
+            ),
         );
     }
     println!();

@@ -49,14 +49,20 @@ fn no_args_prints_usage() {
 fn unknown_command_fails_with_code_2() {
     let out = ipcc().arg("bogus").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
 }
 
 #[test]
 fn analyze_reports_constants() {
     let path = write_temp("analyze", DEMO);
     let out = ipcc().arg("analyze").arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("CONSTANTS(work)"), "{text}");
     assert!(text.contains("k = 5"), "{text}");
@@ -133,7 +139,9 @@ fn run_reports_runtime_errors() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8(out.stderr).unwrap().contains("division by zero"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("division by zero"));
 }
 
 #[test]
@@ -164,7 +172,9 @@ fn fmt_reads_stdin() {
         .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("print 1 + 2;"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("print 1 + 2;"));
 }
 
 #[test]
@@ -233,7 +243,11 @@ fn integrate_compares_against_jump_functions() {
     let src = "proc main() { call f(1); call f(2); } proc f(a) { print a; }";
     let path = write_temp("integrate", src);
     let out = ipcc().arg("integrate").arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("inlined 2 call(s)"), "{text}");
     assert!(text.contains("integration + intraprocedural: 2"), "{text}");
@@ -261,7 +275,11 @@ fn gated_flag_is_accepted() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -309,7 +327,11 @@ fn degraded_analysis_warns_but_succeeds_without_strict() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("warning: analysis degraded"), "{err}");
 }
@@ -318,11 +340,23 @@ fn degraded_analysis_warns_but_succeeds_without_strict() {
 fn strict_degraded_analysis_fails_with_code_3() {
     let path = write_temp("strict", POLY);
     let out = ipcc()
-        .args(["analyze", "--jump-fn", "poly", "--max-poly-terms", "1", "--strict"])
+        .args([
+            "analyze",
+            "--jump-fn",
+            "poly",
+            "--max-poly-terms",
+            "1",
+            "--strict",
+        ])
         .arg(&path)
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("resource exhausted"), "{err}");
 }
@@ -335,8 +369,16 @@ fn strict_passes_cleanly_within_budgets() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        out.stderr.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -347,7 +389,12 @@ fn solver_iteration_cap_degrades_deterministically() {
         .arg(&path)
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("[solver]"), "{err}");
 }
@@ -356,13 +403,24 @@ fn solver_iteration_cap_degrades_deterministically() {
 fn report_counts_degradations() {
     let path = write_temp("degr-report", POLY);
     let out = ipcc()
-        .args(["analyze", "--emit", "report", "--jump-fn", "poly", "--max-poly-terms", "1"])
+        .args([
+            "analyze",
+            "--emit",
+            "report",
+            "--jump-fn",
+            "poly",
+            "--max-poly-terms",
+            "1",
+        ])
         .arg(&path)
         .output()
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    let line = text.lines().find(|l| l.starts_with("degradations")).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("degradations"))
+        .unwrap();
     assert!(!line.contains(" 0"), "{text}");
 }
 
@@ -374,7 +432,11 @@ fn explain_traces_provenance() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("work.k = 5"), "{text}");
     assert!(text.contains("main cs"), "{text}");
@@ -388,7 +450,11 @@ fn inject_panic_quarantines_and_analyze_still_succeeds() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("quarantined procedures   1"), "{text}");
     let err = String::from_utf8(out.stderr).unwrap();
@@ -404,7 +470,10 @@ fn no_quarantine_lets_the_injected_panic_crash() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(out.status.code() != Some(3), "a crash, not a strict degradation");
+    assert!(
+        out.status.code() != Some(3),
+        "a crash, not a strict degradation"
+    );
 }
 
 #[test]
@@ -417,7 +486,11 @@ fn expired_deadline_degrades_and_strict_promotes_it_to_exit_3() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("deadline"), "{err}");
 
@@ -433,16 +506,149 @@ fn expired_deadline_degrades_and_strict_promotes_it_to_exit_3() {
 fn reduce_shrinks_an_injected_panic_reproducer() {
     let path = write_temp("reduce", DEMO);
     let out = ipcc()
-        .args(["reduce", "--inject-panic", "jump:1", "--check", "quarantine"])
+        .args([
+            "reduce",
+            "--inject-panic",
+            "jump:1",
+            "--check",
+            "quarantine",
+        ])
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let reduced = String::from_utf8(out.stdout).unwrap();
     assert!(reduced.len() <= DEMO.len());
     assert!(reduced.contains("proc"), "{reduced}");
     let stats = String::from_utf8(out.stderr).unwrap();
     assert!(stats.contains("reduce[quarantine]"), "{stats}");
+}
+
+#[test]
+fn fuzz_clean_run_exits_0() {
+    let out = ipcc()
+        .args(["fuzz", "--jump-fn", "poly", "--seed", "11", "--cases", "6"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("fuzz: seed 11: 6 generated case(s)"), "{err}");
+}
+
+#[test]
+fn fuzz_unknown_property_is_a_usage_error() {
+    let out = ipcc().args(["fuzz", "--props", "vibes"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown property `vibes`"), "{err}");
+}
+
+#[test]
+fn fuzz_finds_minimizes_and_persists_an_injected_fault() {
+    let corpus = std::env::temp_dir()
+        .join("ipcc-tests")
+        .join(format!("corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&corpus);
+    let run = || {
+        ipcc()
+            .args([
+                "fuzz",
+                "--props",
+                "panic-free",
+                "--inject-panic",
+                "jump:1",
+                "--no-quarantine",
+                "--seed",
+                "5",
+                "--cases",
+                "12",
+                "--corpus",
+                corpus.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("property `panic-free` falsified"), "{err}");
+    assert!(err.contains("minimized repro"), "{err}");
+    // The replay line re-supplies the full injected-fault configuration.
+    assert!(
+        err.contains("replay: ipcc fuzz --props panic-free --seed "),
+        "{err}"
+    );
+    assert!(err.contains("--inject-panic jump:1"), "{err}");
+    assert!(err.contains("--no-quarantine"), "{err}");
+
+    // Minimized corpus artifacts: an .ft reproducer (≤ 300 bytes, the
+    // acceptance bound) plus its .repro report.
+    let fts: Vec<std::path::PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ft"))
+        .collect();
+    assert!(!fts.is_empty(), "{err}");
+    for ft in &fts {
+        let repro = std::fs::read_to_string(ft).unwrap();
+        assert!(
+            repro.len() <= 300,
+            "{}: {} bytes",
+            ft.display(),
+            repro.len()
+        );
+        assert!(ft.with_extension("repro").exists());
+    }
+
+    // Determinism: the second run replays the corpus, re-finds the same
+    // generative failures, and rewrites byte-identical minima.
+    let before: Vec<String> = fts
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    let out2 = run();
+    assert_eq!(out2.status.code(), Some(1));
+    let err2 = String::from_utf8(out2.stderr).unwrap();
+    for ft in &fts {
+        assert!(
+            err2.contains(&format!("falsified on {}", ft.display())),
+            "corpus entry replayed: {err2}"
+        );
+    }
+    let after: Vec<String> = fts
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    assert_eq!(before, after, "minimized corpus is stable across runs");
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn fuzz_time_budget_stops_the_run() {
+    let out = ipcc()
+        .args(["fuzz", "--cases", "1000000", "--time-budget-ms", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("time budget reached"), "{err}");
 }
 
 #[test]

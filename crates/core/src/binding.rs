@@ -91,11 +91,11 @@ pub fn solve_binding_graph(
     let mut queued: Vec<Vec<bool>> = (0..n_procs).map(|p| vec![false; slots_of(p)]).collect();
     let mut work: VecDeque<Node> = VecDeque::new();
     let lower = |vals: &mut Vec<Vec<Lattice>>,
-                     queued: &mut Vec<Vec<bool>>,
-                     work: &mut VecDeque<Node>,
-                     node: Node,
-                     value: Lattice,
-                     meets: &mut usize| {
+                 queued: &mut Vec<Vec<bool>>,
+                 work: &mut VecDeque<Node>,
+                 node: Node,
+                 value: Lattice,
+                 meets: &mut usize| {
         *meets += 1;
         if vals[node.0][node.1].meet_in(value) && !queued[node.0][node.1] {
             queued[node.0][node.1] = true;
@@ -107,12 +107,30 @@ pub fn solve_binding_graph(
     let entry = mcfg.module.entry.index();
     let arity = mcfg.module.procs[entry].arity();
     for slot in 0..slots_of(entry) {
-        let init = if slot < arity { Lattice::Bottom } else { entry_globals };
-        lower(&mut vals, &mut queued, &mut work, (entry, slot), init, &mut meets);
+        let init = if slot < arity {
+            Lattice::Bottom
+        } else {
+            entry_globals
+        };
+        lower(
+            &mut vals,
+            &mut queued,
+            &mut work,
+            (entry, slot),
+            init,
+            &mut meets,
+        );
     }
     // Constant jump functions fire once.
     for (t, value) in initial {
-        lower(&mut vals, &mut queued, &mut work, (t.callee, t.slot), value, &mut meets);
+        lower(
+            &mut vals,
+            &mut queued,
+            &mut work,
+            (t.callee, t.slot),
+            value,
+            &mut meets,
+        );
     }
 
     let mut iterations = 0usize;
@@ -151,10 +169,7 @@ pub fn solve_binding_graph(
         iterations += 1;
         // Re-evaluate every jump function that reads this slot.
         for &t in &deps[node.0][node.1] {
-            let jf = &jump_fns.at(
-                ipcp_ir::program::ProcId::from(t.caller),
-                t.site,
-            )[t.slot];
+            let jf = &jump_fns.at(ipcp_ir::program::ProcId::from(t.caller), t.site)[t.slot];
             let caller_vals = &vals[t.caller];
             let incoming = jf.eval(|v| {
                 caller_vals

@@ -42,11 +42,7 @@ impl CloneResult {
 
 /// The constant vector a call edge transmits: the jump-function values
 /// under the caller's fixpoint `VAL`, with ⊥/⊤ normalized to `None`.
-fn edge_vector(
-    analysis: &Analysis,
-    caller: ProcId,
-    site: CallSiteId,
-) -> Option<Vec<Option<i64>>> {
+fn edge_vector(analysis: &Analysis, caller: ProcId, site: CallSiteId) -> Option<Vec<Option<i64>>> {
     let fns = analysis.jump_fns.at(caller, site);
     if fns.is_empty() {
         return None; // unreachable site
@@ -123,9 +119,9 @@ pub fn clone_by_constants(
         // merged VAL set lost.
         let merged = analysis.vals.of(callee);
         let worthwhile = groups.iter().any(|(v, _)| {
-            v.iter().enumerate().any(|(slot, c)| {
-                c.is_some() && merged.get(slot).is_some_and(|l| !l.is_const())
-            })
+            v.iter()
+                .enumerate()
+                .any(|(slot, c)| c.is_some() && merged.get(slot).is_some_and(|l| !l.is_const()))
         });
         if !worthwhile {
             return None;
@@ -262,9 +258,8 @@ mod tests {
 
     #[test]
     fn all_unknown_vectors_do_not_clone() {
-        let m = mcfg(
-            "proc main() { read x; read y; call f(x); call f(y); } proc f(a) { print a; }",
-        );
+        let m =
+            mcfg("proc main() { read x; read y; call f(x); call f(y); } proc f(a) { print a; }");
         assert!(!clone_by_constants(&m, &Config::default(), 8).changed());
     }
 
@@ -284,9 +279,7 @@ mod tests {
     #[test]
     fn configured_clone_limit_degrades_with_telemetry() {
         use crate::config::AnalysisLimits;
-        let m = mcfg(
-            "proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }",
-        );
+        let m = mcfg("proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }");
         let limits = AnalysisLimits {
             max_clones: 1,
             ..AnalysisLimits::default()
@@ -303,9 +296,7 @@ mod tests {
 
     #[test]
     fn fault_injection_stops_cloning_deterministically() {
-        let m = mcfg(
-            "proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }",
-        );
+        let m = mcfg("proc main() { call f(1); call f(2); call f(3); } proc f(a) { print a; }");
         let r = clone_by_constants(&m, &Config::default().with_fault(Stage::Cloning, 1), 8);
         assert_eq!(r.n_clones, 0, "the fault trips before the first clone");
         assert!(r.health.count(Stage::Cloning) >= 1, "{}", r.health);

@@ -83,7 +83,9 @@ pub fn complete_propagation(mcfg: &ModuleCfg, config: &Config) -> CompleteResult
         let mut pruned_any = false;
         let mut next = module.clone();
         for (pi, unit) in units.into_iter().enumerate() {
-            let Some((pruned, carried)) = unit else { continue };
+            let Some((pruned, carried)) = unit else {
+                continue;
+            };
             carried_substitutions += carried;
             next.cfgs[pi] = pruned;
             pruned_any = true;
@@ -122,10 +124,7 @@ mod tests {
 
     #[test]
     fn no_dead_code_means_zero_rounds() {
-        let (_, r) = run(
-            "proc main() { read x; print x; }",
-            &Config::default(),
-        );
+        let (_, r) = run("proc main() { read x; print x; }", &Config::default());
         assert_eq!(r.dce_rounds, 0);
         assert_eq!(r.statements_removed, 0);
     }

@@ -212,7 +212,9 @@ impl Deadline {
 
     /// A deadline `d` from now.
     pub fn after(d: Duration) -> Deadline {
-        Deadline { at: Instant::now() + d }
+        Deadline {
+            at: Instant::now() + d,
+        }
     }
 
     /// A deadline `ms` milliseconds from now (the `--deadline-ms` flag).
@@ -449,7 +451,9 @@ impl Config {
     /// silently producing a configuration that cannot mean what was
     /// asked for.
     pub fn builder() -> ConfigBuilder {
-        ConfigBuilder { config: Config::default() }
+        ConfigBuilder {
+            config: Config::default(),
+        }
     }
 
     /// A [`ConfigBuilder`] seeded from this configuration, for deriving
@@ -677,8 +681,7 @@ mod tests {
 
     #[test]
     fn stage_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Stage::ALL.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = Stage::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), Stage::ALL.len());
     }
 
@@ -697,7 +700,10 @@ mod tests {
         let c = Config::default().with_fault(Stage::Solver, 3);
         assert_eq!(
             c.fault_injection,
-            Some(FaultInjection { stage: Stage::Solver, at: 3 })
+            Some(FaultInjection {
+                stage: Stage::Solver,
+                at: 3
+            })
         );
         assert_eq!(Config::default().fault_injection, None);
     }
@@ -713,7 +719,10 @@ mod tests {
         let c = Config::default().with_panic(Stage::Jump, 2);
         assert_eq!(
             c.panic_injection,
-            Some(PanicInjection { stage: Stage::Jump, proc: 2 })
+            Some(PanicInjection {
+                stage: Stage::Jump,
+                proc: 2
+            })
         );
         assert_eq!(Config::default().panic_injection, None);
     }

@@ -180,9 +180,7 @@ mod tests {
 
     #[test]
     fn explains_a_conflicting_meet() {
-        let (mcfg, a) = setup(
-            "proc main() { call f(1); call f(2); } proc f(x) { print x; }",
-        );
+        let (mcfg, a) = setup("proc main() { call f(1); call f(2); } proc f(x) { print x; }");
         let f = mcfg.module.proc_named("f").unwrap().id;
         let e = explain(&mcfg, &a, f, 0);
         assert_eq!(e.value, Lattice::Bottom);

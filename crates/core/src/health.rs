@@ -100,12 +100,7 @@ impl AnalysisHealth {
     }
 
     /// Records one degradation of an explicit kind.
-    pub fn record_kind(
-        &mut self,
-        stage: Stage,
-        kind: DegradationKind,
-        detail: impl Into<String>,
-    ) {
+    pub fn record_kind(&mut self, stage: Stage, kind: DegradationKind, detail: impl Into<String>) {
         self.events.push(DegradationEvent {
             stage,
             kind,

@@ -85,11 +85,10 @@ pub fn inline_leaf_calls(mcfg: &ModuleCfg, config: &Config, max_statements: usiz
         // The per-procedure leaf scan is pure and read-only over the
         // module; run it on the worker pool (results come back in index
         // order, so the splicing below is schedule-independent).
-        let (leaves, _pt) = crate::par::run(
-            config.effective_jobs(),
-            module.module.procs.len(),
-            |p| is_inlinable_leaf(&module, ProcId::from(p)),
-        );
+        let (leaves, _pt) =
+            crate::par::run(config.effective_jobs(), module.module.procs.len(), |p| {
+                is_inlinable_leaf(&module, ProcId::from(p))
+            });
         let mut changed = false;
         for pi in 0..module.module.procs.len() {
             if leaves[pi] {
@@ -197,7 +196,8 @@ fn inline_one(mcfg: &mut ModuleCfg, caller: ProcId, block: BlockId, stmt: usize,
     let span = Span::dummy();
 
     // Extract the call statement.
-    let CStmt::Call { args, .. } = mcfg.cfgs[caller.index()].blocks[block.index()].stmts[stmt].clone()
+    let CStmt::Call { args, .. } =
+        mcfg.cfgs[caller.index()].blocks[block.index()].stmts[stmt].clone()
     else {
         unreachable!("inline target is a call");
     };
@@ -283,7 +283,11 @@ fn inline_one(mcfg: &mut ModuleCfg, caller: ProcId, block: BlockId, stmt: usize,
         nb.term = match &cb.term {
             Terminator::Return => Terminator::Jump(cont_id),
             Terminator::Jump(t) => Terminator::Jump(remap_block(*t)),
-            Terminator::Branch { cond, then_bb, else_bb } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
                 cond: remap_expr(cond, &map_var),
                 then_bb: remap_block(*then_bb),
                 else_bb: remap_block(*else_bb),
@@ -304,7 +308,11 @@ fn remap_stmt(s: &CStmt, map_var: &impl Fn(VarId) -> VarId, next_site: &mut usiz
             dst: map_var(*dst),
             value: remap_expr(value, map_var),
         },
-        CStmt::Store { array, index, value } => CStmt::Store {
+        CStmt::Store {
+            array,
+            index,
+            value,
+        } => CStmt::Store {
             array: map_var(*array),
             index: remap_expr(index, map_var),
             value: remap_expr(value, map_var),
@@ -434,9 +442,8 @@ mod tests {
 
     #[test]
     fn by_value_arguments_copy_once() {
-        let m = mcfg(
-            "proc main() { read x; call f(x + 1); print x; } proc f(a) { a = 99; print a; }",
-        );
+        let m =
+            mcfg("proc main() { read x; call f(x + 1); print x; } proc f(a) { a = 99; print a; }");
         let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[5], &[0]]);
     }
@@ -445,9 +452,7 @@ mod tests {
     fn locals_are_rezeroed_per_activation() {
         // g is called twice; its local must read 0 at the second splice
         // too, not the first activation's leftover.
-        let m = mcfg(
-            "proc main() { call g(); call g(); } proc g() { t = t + 7; print t; }",
-        );
+        let m = mcfg("proc main() { call g(); call g(); } proc g() { t = t + 7; print t; }");
         let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 2);
         behaviour_preserved(&m, &r.module, &[&[]]);
@@ -487,9 +492,7 @@ mod tests {
 
     #[test]
     fn callees_with_local_arrays_are_skipped() {
-        let m = mcfg(
-            "proc main() { call f(); } proc f() { array t[4]; t[0] = 1; print t[0]; }",
-        );
+        let m = mcfg("proc main() { call f(); } proc f() { array t[4]; t[0] = 1; print t[0]; }");
         let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 0);
     }
@@ -509,9 +512,8 @@ mod tests {
 
     #[test]
     fn loops_around_inlined_bodies_stay_correct() {
-        let m = mcfg(
-            "proc main() { do i = 1, 3 { call f(i); } } proc f(k) { s = k * 2; print s; }",
-        );
+        let m =
+            mcfg("proc main() { do i = 1, 3 { call f(i); } } proc f(k) { s = k * 2; print s; }");
         let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();
@@ -525,7 +527,9 @@ mod tests {
         // path separate.
         let src = "proc main() { call f(1); call f(2); } proc f(a) { print a; print a + 1; }";
         let m = mcfg(src);
-        let jf = Analysis::run(&m, &Config::polynomial()).substitute(&m).total;
+        let jf = Analysis::run(&m, &Config::polynomial())
+            .substitute(&m)
+            .total;
         assert_eq!(jf, 0);
         let (integrated, r) = integrate_and_count(&m, &Config::default(), 10_000);
         assert_eq!(r.inlined_calls, 2);
@@ -535,9 +539,7 @@ mod tests {
 
     #[test]
     fn globals_keep_flowing_after_integration() {
-        let m = mcfg(
-            "global g; proc main() { g = 5; call f(); print g; } proc f() { g = g + 1; }",
-        );
+        let m = mcfg("global g; proc main() { g = 5; call f(); print g; } proc f() { g = g + 1; }");
         let r = inline_leaf_calls(&m, &Config::default(), 10_000);
         behaviour_preserved(&m, &r.module, &[&[]]);
         let out = exec_cfg(&r.module, &[], &ExecLimits::default()).unwrap();

@@ -12,8 +12,8 @@
 //! (from the actual arguments) followed by every scalar global (whose
 //! value is transmitted implicitly at the call).
 
-use crate::config::{AnalysisLimits, Config, Stage};
 use crate::config::JumpFnKind;
+use crate::config::{AnalysisLimits, Config, Stage};
 use crate::health::Governor;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
@@ -115,8 +115,11 @@ impl JumpFn {
     pub fn clamp(self, limits: &AnalysisLimits) -> (JumpFn, bool) {
         match self {
             JumpFn::Poly(p) => {
-                if p.fits_within(limits.max_poly_terms, limits.max_poly_degree, limits.max_support)
-                {
+                if p.fits_within(
+                    limits.max_poly_terms,
+                    limits.max_poly_degree,
+                    limits.max_support,
+                ) {
                     (JumpFn::Poly(p), false)
                 } else if let Some(v) = p.as_var() {
                     if limits.max_support >= 1 {
@@ -251,7 +254,14 @@ pub fn build_forward_jump_fns_par(
     let (units, time) = crate::par::run(jobs, n, |caller| {
         let mut shard = proto.shard();
         let (fns, quar) = build_caller_jump_fns(
-            mcfg, cg, layout, config, symbolics, caller, snapshot[caller], &mut shard,
+            mcfg,
+            cg,
+            layout,
+            config,
+            symbolics,
+            caller,
+            snapshot[caller],
+            &mut shard,
         );
         (fns, quar, shard)
     });
@@ -267,7 +277,14 @@ pub fn build_forward_jump_fns_par(
             // trip point somewhere inside this unit; rerun it against the
             // master so each charge sees the exact sequential counter.
             let (fns, quar) = build_caller_jump_fns(
-                mcfg, cg, layout, config, symbolics, caller, snapshot[caller], gov,
+                mcfg,
+                cg,
+                layout,
+                config,
+                symbolics,
+                caller,
+                snapshot[caller],
+                gov,
             );
             commit_caller(&mut out, caller, fns);
             quarantined[caller] = quar;
@@ -329,7 +346,11 @@ fn build_caller_jump_fns(
             }
         }
         let caller_name = mcfg.module.proc(edge.caller).name.clone();
-        let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ps.ssa.call_info(edge.site)
+        let Some(StmtInfo::Call {
+            arg_vals,
+            global_pre,
+            ..
+        }) = ps.ssa.call_info(edge.site)
         else {
             continue;
         };
@@ -437,7 +458,9 @@ fn govern(jf: JumpFn, gov: &mut Governor, caller: &str, site: usize, slot: usize
         if !jf.is_bottom() {
             gov.record(
                 Stage::Jump,
-                format!("{caller}: site {site} slot {slot}: construction budget exhausted; forced to ⊥"),
+                format!(
+                    "{caller}: site {site} slot {slot}: construction budget exhausted; forced to ⊥"
+                ),
             );
         }
         return JumpFn::Bottom;
@@ -494,8 +517,14 @@ mod tests {
             JumpFn::PassThrough(2)
         );
         assert_eq!(JumpFn::from_sym(&poly, PassThrough), JumpFn::Bottom);
-        assert!(matches!(JumpFn::from_sym(&poly, Polynomial), JumpFn::Poly(_)));
-        assert_eq!(JumpFn::from_sym(&SymVal::Bottom, Polynomial), JumpFn::Bottom);
+        assert!(matches!(
+            JumpFn::from_sym(&poly, Polynomial),
+            JumpFn::Poly(_)
+        ));
+        assert_eq!(
+            JumpFn::from_sym(&SymVal::Bottom, Polynomial),
+            JumpFn::Bottom
+        );
     }
 
     #[test]
@@ -541,7 +570,7 @@ mod tests {
     #[test]
     fn clamp_degrades_down_the_ladder() {
         let tiny = AnalysisLimits::tiny(); // 1 term, degree 1, support 1
-        // x*y: one term but degree 2, and not a bare slot → ⊥.
+                                           // x*y: one term but degree 2, and not a bare slot → ⊥.
         let xy = Poly::var(0).mul(&Poly::var(1)).unwrap();
         assert_eq!(JumpFn::Poly(xy).clamp(&tiny), (JumpFn::Bottom, true));
         // A bare slot fits even the tiny budget.
@@ -568,7 +597,10 @@ mod tests {
             (JumpFn::Bottom, true)
         );
         // Constants and ⊥ survive any budget unchanged.
-        assert_eq!(JumpFn::Const(9).clamp(&no_support), (JumpFn::Const(9), false));
+        assert_eq!(
+            JumpFn::Const(9).clamp(&no_support),
+            (JumpFn::Const(9), false)
+        );
         assert_eq!(JumpFn::Bottom.clamp(&tiny), (JumpFn::Bottom, false));
     }
 

@@ -104,7 +104,10 @@ pub use jump::{ForwardJumpFns, JumpFn};
 pub use lattice::Lattice;
 pub use par::{PhaseTime, Timings};
 pub use pipeline::{analyze, analyze_source, Analysis};
-pub use reduce::{reduce, ReduceCheck, ReduceOutcome};
+pub use reduce::{
+    ddmin_text, is_interesting, reduce, reduce_with_prepass, soundness_violation, ReduceCheck,
+    ReduceOutcome, StructuralPass,
+};
 pub use report::CostReport;
 pub use retjump::{build_return_jfs, ReturnJumpFns};
 pub use solver::{solve, solve_worklist_reference, ValSets};

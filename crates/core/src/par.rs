@@ -35,7 +35,12 @@ pub struct PhaseTime {
 impl PhaseTime {
     /// Accounting for a phase that ran on the sequential path.
     pub fn sequential(wall: Duration, units: usize) -> PhaseTime {
-        PhaseTime { wall, busy: wall, workers: 1, units }
+        PhaseTime {
+            wall,
+            busy: wall,
+            workers: 1,
+            units,
+        }
     }
 
     /// Fraction of worker capacity spent busy: `busy / (wall × workers)`.
@@ -166,7 +171,12 @@ where
     let results = indexed.into_iter().map(|(_, r)| r).collect();
     (
         results,
-        PhaseTime { wall: start.elapsed(), busy, workers, units: n },
+        PhaseTime {
+            wall: start.elapsed(),
+            busy,
+            workers,
+            units: n,
+        },
     )
 }
 
@@ -238,9 +248,15 @@ mod tests {
 
     #[test]
     fn timings_absorb_accumulates() {
-        let mut t = Timings { jobs: 2, ..Timings::default() };
+        let mut t = Timings {
+            jobs: 2,
+            ..Timings::default()
+        };
         t.modref = PhaseTime::sequential(Duration::from_millis(2), 4);
-        let mut other = Timings { jobs: 4, ..Timings::default() };
+        let mut other = Timings {
+            jobs: 4,
+            ..Timings::default()
+        };
         other.modref = PhaseTime::sequential(Duration::from_millis(3), 4);
         other.total = Duration::from_millis(10);
         t.absorb(other);

@@ -12,7 +12,9 @@ use crate::par::{PhaseTime, Timings};
 use crate::retjump::{build_return_jfs, build_return_jfs_par, RetOracle, ReturnJumpFns};
 use crate::solver::{solve, ValSets};
 use crate::substitute::{self, Substitution};
-use ipcp_analysis::{build_call_graph, direct_effects, propagate_modref, CallGraph, ModRef, ModSet};
+use ipcp_analysis::{
+    build_call_graph, direct_effects, propagate_modref, CallGraph, ModRef, ModSet,
+};
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
 use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
@@ -103,7 +105,10 @@ impl Analysis {
         let mut gov = Governor::new(config);
         let n_procs = mcfg.module.procs.len();
         let mut quarantined = vec![false; n_procs];
-        let mut timings = Timings { jobs, ..Timings::default() };
+        let mut timings = Timings {
+            jobs,
+            ..Timings::default()
+        };
 
         // Stage 0: per-procedure MOD/REF direct effects (under
         // quarantine), then call-edge propagation. A contained failure
@@ -140,7 +145,15 @@ impl Analysis {
                     let unit = crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
                         direct_effects(mcfg, pid)
                     });
-                    commit_modref_unit(&p.name, unit, p.arity(), n_globals, pi, &mut quarantined, &mut gov)
+                    commit_modref_unit(
+                        &p.name,
+                        unit,
+                        p.arity(),
+                        n_globals,
+                        pi,
+                        &mut quarantined,
+                        &mut gov,
+                    )
                 };
                 mods.push(m);
                 refs.push(r);
@@ -166,7 +179,15 @@ impl Analysis {
                     );
                     widen_modref(p.arity(), n_globals)
                 } else {
-                    commit_modref_unit(&p.name, unit, p.arity(), n_globals, pi, &mut quarantined, &mut gov)
+                    commit_modref_unit(
+                        &p.name,
+                        unit,
+                        p.arity(),
+                        n_globals,
+                        pi,
+                        &mut quarantined,
+                        &mut gov,
+                    )
                 };
                 mods.push(m);
                 refs.push(r);
@@ -191,12 +212,27 @@ impl Analysis {
                 compose: false,
             }
         } else if jobs <= 1 {
-            let t = build_return_jfs(mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov);
+            let t = build_return_jfs(
+                mcfg,
+                &cg,
+                &layout,
+                kills,
+                config,
+                &mut quarantined,
+                &mut gov,
+            );
             timings.retjump = PhaseTime::sequential(t1.elapsed(), cg.bottom_up().count());
             t
         } else {
             let (t, pt) = build_return_jfs_par(
-                mcfg, &cg, &layout, kills, config, &mut quarantined, &mut gov, jobs,
+                mcfg,
+                &cg,
+                &layout,
+                kills,
+                config,
+                &mut quarantined,
+                &mut gov,
+                jobs,
             );
             timings.retjump = pt;
             t
@@ -223,9 +259,15 @@ impl Analysis {
                     symbolics.push(None);
                     continue;
                 }
-                let budget = EvalBudget { max_steps, deadline, latch: Some(&latch) };
+                let budget = EvalBudget {
+                    max_steps,
+                    deadline,
+                    latch: Some(&latch),
+                };
                 let unit = crate::quarantine::run_unit(config, Stage::Jump, pi, || {
-                    build_proc_symbolic(mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget)
+                    build_proc_symbolic(
+                        mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget,
+                    )
                 });
                 commit_symbolic_unit(mcfg, pi, unit, &mut symbolics, &mut quarantined, &mut gov);
             }
@@ -240,17 +282,33 @@ impl Analysis {
             );
             timings.jump = PhaseTime::sequential(t2.elapsed(), n_procs);
             return Self::finish(
-                mcfg, config, cg, modref, layout, ret_jfs, symbolics, jump_fns, gov,
-                quarantined, timings, t_run,
+                mcfg,
+                config,
+                cg,
+                modref,
+                layout,
+                ret_jfs,
+                symbolics,
+                jump_fns,
+                gov,
+                quarantined,
+                timings,
+                t_run,
             );
         }
         let (units, mut pt) = crate::par::run(jobs, n_procs, |pi| {
             if !cg.reachable[pi] || quarantined[pi] {
                 return None;
             }
-            let budget = EvalBudget { max_steps, deadline, latch: Some(&latch) };
+            let budget = EvalBudget {
+                max_steps,
+                deadline,
+                latch: Some(&latch),
+            };
             Some(crate::quarantine::run_unit(config, Stage::Jump, pi, || {
-                build_proc_symbolic(mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget)
+                build_proc_symbolic(
+                    mcfg, config, &layout, kills, &ret_jfs, gate_seeds, pi, &budget,
+                )
             }))
         });
         for (pi, unit) in units.into_iter().enumerate() {
@@ -274,8 +332,18 @@ impl Analysis {
         pt.absorb(pt_fwd);
         timings.jump = pt;
         Self::finish(
-            mcfg, config, cg, modref, layout, ret_jfs, symbolics, jump_fns, gov, quarantined,
-            timings, t_run,
+            mcfg,
+            config,
+            cg,
+            modref,
+            layout,
+            ret_jfs,
+            symbolics,
+            jump_fns,
+            gov,
+            quarantined,
+            timings,
+            t_run,
         )
     }
 
@@ -425,7 +493,11 @@ fn build_proc_symbolic(
             None => ipcp_ssa::Seeds::none(n_vars),
         };
         let res = if config.use_return_jfs {
-            let oracle = RetOracle { table: ret_jfs, mcfg, layout };
+            let oracle = RetOracle {
+                table: ret_jfs,
+                mcfg,
+                layout,
+            };
             ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &oracle)
         } else {
             ipcp_ssa::sccp::run(mcfg, &ssa, &seeds, &OpaqueCallsLattice)
@@ -435,7 +507,11 @@ fn build_proc_symbolic(
         None
     };
     let (sym, steps_exhausted) = if config.use_return_jfs {
-        let oracle = RetOracle { table: ret_jfs, mcfg, layout };
+        let oracle = RetOracle {
+            table: ret_jfs,
+            mcfg,
+            layout,
+        };
         ipcp_ssa::symbolic::evaluate_under(mcfg, &ssa, layout, &oracle, gate.as_ref(), budget)
     } else {
         ipcp_ssa::symbolic::evaluate_under(mcfg, &ssa, layout, &OpaqueCalls, gate.as_ref(), budget)
@@ -606,10 +682,7 @@ mod tests {
         for kind in JumpFnKind::ALL {
             let a = Analysis::run(&mcfg, &Config::default().with_jump_fn(kind));
             let count = a.substitute(&mcfg).total;
-            assert!(
-                count >= last,
-                "{kind} found {count} < previous {last}"
-            );
+            assert!(count >= last, "{kind} found {count} < previous {last}");
             last = count;
         }
     }
@@ -620,7 +693,9 @@ mod tests {
                    proc main() { g = 1; x = 2; call f(x); print g + x; } \
                    proc f(a) { print a; }";
         let mcfg = ipcp_ir::lower_module(&ipcp_ir::parse_and_resolve(src).unwrap());
-        let with_mod = Analysis::run(&mcfg, &Config::polynomial()).substitute(&mcfg).total;
+        let with_mod = Analysis::run(&mcfg, &Config::polynomial())
+            .substitute(&mcfg)
+            .total;
         let without = Analysis::run(&mcfg, &Config::polynomial().with_mod(false))
             .substitute(&mcfg)
             .total;

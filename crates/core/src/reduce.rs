@@ -86,8 +86,7 @@ pub fn is_interesting(src: &str, config: &Config, check: &ReduceCheck) -> bool {
             .map(|a| a.health.degraded())
             .unwrap_or(false),
         ReduceCheck::Unsound { inputs } => {
-            quiet_catch(|| soundness_violation(&mcfg, config, inputs).is_some())
-                .unwrap_or(false)
+            quiet_catch(|| soundness_violation(&mcfg, config, inputs).is_some()).unwrap_or(false)
         }
     }
 }
@@ -129,6 +128,16 @@ pub fn soundness_violation(
     None
 }
 
+/// A grammar-aware structural pre-pass plugged into
+/// [`reduce_with_prepass`]. Given the current reproducer and the shared
+/// probe, it may return a strictly smaller candidate that the probe has
+/// already confirmed still fails. Every candidate it tries **must** go
+/// through the probe — that is what keeps the `--max-tests` budget
+/// airtight across layers; a probe returning `None` means the budget is
+/// spent and the pass must give up.
+pub type StructuralPass<'a> =
+    dyn Fn(&str, &mut dyn FnMut(&str) -> Option<bool>) -> Option<String> + 'a;
+
 /// Shrinks `src` to a small program that still reproduces `check`.
 ///
 /// Returns `None` when the original program does not reproduce the
@@ -142,8 +151,27 @@ pub fn reduce(
     check: &ReduceCheck,
     max_tests: usize,
 ) -> Option<ReduceOutcome> {
+    reduce_with_prepass(src, config, check, max_tests, None)
+}
+
+/// [`reduce`] with an optional grammar-aware structural pre-pass run to a
+/// fixpoint before the byte-level ddmin passes. Structural shrinking
+/// (dropping whole procedures, statements, call arguments) converges in
+/// far fewer probes than ddmin on grammar-shaped failures; the pre-pass
+/// shares the single `max_tests` probe budget, so every candidate it
+/// evaluates is charged exactly like a ddmin candidate.
+pub fn reduce_with_prepass(
+    src: &str,
+    config: &Config,
+    check: &ReduceCheck,
+    max_tests: usize,
+    prepass: Option<&StructuralPass>,
+) -> Option<ReduceOutcome> {
     let mut tests = 0usize;
-    // `None` = test budget spent; ddmin stops and keeps its best-so-far.
+    // `None` = test budget spent; every layer stops and keeps its
+    // best-so-far. This closure is the only place a candidate is ever
+    // evaluated, so no path — structural, line, token, or a candidate
+    // that fails to parse — can skip the counter.
     let mut probe = |candidate: &str| -> Option<bool> {
         if tests >= max_tests {
             return None;
@@ -155,23 +183,53 @@ pub fn reduce(
         return None;
     }
 
-    // Pass 1: ddmin over lines (structure-preserving, fast convergence).
-    let lines: Vec<&str> = src.lines().collect();
-    let kept_lines = ddmin(&lines, "\n", &mut probe);
-    let line_reduced = kept_lines.join("\n");
+    let mut current = src.to_string();
+    if let Some(pass) = prepass {
+        while let Some(smaller) = pass(&current, &mut probe) {
+            if smaller.len() >= current.len() {
+                break; // a pass must make strict progress
+            }
+            current = smaller;
+        }
+    }
 
-    // Pass 2: ddmin over whitespace-separated tokens (FT is free-form, so
-    // rejoining with single spaces preserves meaning).
-    let tokens: Vec<&str> = line_reduced.split_whitespace().collect();
-    let kept_tokens = ddmin(&tokens, " ", &mut probe);
-    let reduced = kept_tokens.join(" ");
-
+    let reduced = ddmin_text(&current, &mut probe);
     Some(ReduceOutcome {
         original_bytes: src.len(),
         reduced_bytes: reduced.len(),
         source: reduced,
         tests,
     })
+}
+
+/// The byte-level minimization engine: ddmin over source lines
+/// (structure-preserving, fast convergence) followed by ddmin over
+/// whitespace-separated tokens (FT is free-form, so rejoining with single
+/// spaces preserves meaning). The probe contract is the same as
+/// [`StructuralPass`]: `Some(true)` = still fails, `Some(false)` = fixed,
+/// `None` = budget spent. The returned text is always one the probe has
+/// accepted — when the token pass makes no progress, its single-space
+/// rejoin (which no probe ever saw) is verified before being preferred
+/// over the line-verified form.
+pub fn ddmin_text(src: &str, probe: &mut dyn FnMut(&str) -> Option<bool>) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let kept_lines = ddmin(&lines, "\n", probe);
+    let line_reduced = kept_lines.join("\n");
+
+    let tokens: Vec<&str> = line_reduced.split_whitespace().collect();
+    let n_tokens = tokens.len();
+    let kept_tokens = ddmin(&tokens, " ", probe);
+    let reduced = kept_tokens.join(" ");
+
+    if kept_tokens.len() == n_tokens && reduced != line_reduced {
+        // No token was dropped, so `reduced` is just `line_reduced` with
+        // normalized whitespace — and was never itself probed. Keep the
+        // verified form unless the normalization provably still fails.
+        if !matches!(probe(&reduced), Some(true)) {
+            return line_reduced;
+        }
+    }
+    reduced
 }
 
 /// Classic ddmin: repeatedly try dropping chunks of the item list,
@@ -181,7 +239,7 @@ pub fn reduce(
 fn ddmin<'a>(
     items: &[&'a str],
     sep: &str,
-    probe: &mut impl FnMut(&str) -> Option<bool>,
+    probe: &mut dyn FnMut(&str) -> Option<bool>,
 ) -> Vec<&'a str> {
     let mut current: Vec<&'a str> = items.to_vec();
     let mut n = 2usize;
@@ -244,7 +302,11 @@ mod tests {
         let config = Config::default().with_panic(Stage::Jump, f_index);
         let out = reduce(FAULTY, &config, &ReduceCheck::Quarantine, 2_000)
             .expect("fault must reproduce on the original");
-        assert!(is_interesting(&out.source, &config, &ReduceCheck::Quarantine));
+        assert!(is_interesting(
+            &out.source,
+            &config,
+            &ReduceCheck::Quarantine
+        ));
         assert!(out.reduced_bytes <= out.original_bytes);
         assert!(out.tests > 0);
     }
@@ -260,8 +322,8 @@ mod tests {
     #[test]
     fn reduces_budget_degradations() {
         let config = Config::default().with_fault(Stage::Solver, 1);
-        let out = reduce(FAULTY, &config, &ReduceCheck::Degraded, 2_000)
-            .expect("fault must reproduce");
+        let out =
+            reduce(FAULTY, &config, &ReduceCheck::Degraded, 2_000).expect("fault must reproduce");
         // A single-procedure program still runs the solver once.
         assert!(out.source.contains("main"), "{}", out.source);
     }
@@ -269,17 +331,101 @@ mod tests {
     #[test]
     fn soundness_oracle_passes_on_sound_analyses() {
         let m = ipcp_ir::lower_module(&ipcp_ir::parse_and_resolve(FAULTY).unwrap());
-        assert_eq!(
-            soundness_violation(&m, &Config::polynomial(), &[]),
-            None
-        );
+        assert_eq!(soundness_violation(&m, &Config::polynomial(), &[]), None);
     }
 
     #[test]
     fn test_budget_bounds_the_search() {
         let config = Config::default().with_fault(Stage::Solver, 1);
-        let out = reduce(FAULTY, &config, &ReduceCheck::Degraded, 3)
-            .expect("fault must reproduce");
-        assert!(out.tests <= 5, "budget {} grossly exceeded", out.tests);
+        let out = reduce(FAULTY, &config, &ReduceCheck::Degraded, 3).expect("fault must reproduce");
+        assert!(out.tests <= 3, "budget 3 exceeded: {} tests", out.tests);
+    }
+
+    /// Regression: mid-ddmin candidates that fail to parse must still be
+    /// charged to the `max_tests` budget — a parse failure is one cheap
+    /// predicate test, not a free pass around the counter. FAULTY is
+    /// built so most single-line drops unresolve a callee, which is
+    /// exactly the unparseable-candidate shape the soundness-check path
+    /// sees.
+    #[test]
+    fn max_tests_is_honored_when_candidates_fail_to_parse() {
+        let config = Config::default().with_panic(Stage::Jump, 1);
+        for budget in [1usize, 4, 10] {
+            let out = reduce(FAULTY, &config, &ReduceCheck::Quarantine, budget)
+                .expect("fault must reproduce on the original");
+            assert!(
+                out.tests <= budget,
+                "budget {budget} exceeded: {} tests",
+                out.tests
+            );
+        }
+    }
+
+    /// The interpreter-soundness check rejects an unparseable candidate
+    /// as uninteresting (one cheap test) instead of probing the oracle.
+    #[test]
+    fn unsound_check_rejects_unparseable_candidates() {
+        let check = ReduceCheck::Unsound { inputs: vec![1, 2] };
+        assert!(!is_interesting(
+            "proc main( {",
+            &Config::polynomial(),
+            &check
+        ));
+        assert!(!is_interesting("", &Config::polynomial(), &check));
+    }
+
+    /// Structural pre-pass probes share the one budget: candidates a
+    /// prepass evaluates count exactly like ddmin candidates.
+    #[test]
+    fn prepass_probes_are_charged_to_the_budget() {
+        let config = Config::default().with_panic(Stage::Jump, 1);
+        let rounds = std::cell::Cell::new(0u32);
+        let pass: &StructuralPass = &|cur, probe| {
+            if rounds.get() >= 8 {
+                return None;
+            }
+            rounds.set(rounds.get() + 1);
+            // Probe two truncated (unparseable) candidates; neither is
+            // interesting, so the pass reports no progress.
+            for cut in 1..3usize {
+                probe(&cur[..cur.len() - cut])?;
+            }
+            None
+        };
+        let out = reduce_with_prepass(FAULTY, &config, &ReduceCheck::Quarantine, 4, Some(pass))
+            .expect("fault must reproduce on the original");
+        assert!(
+            out.tests <= 4,
+            "prepass escaped the budget: {} tests",
+            out.tests
+        );
+    }
+
+    /// A prepass that claims progress without shrinking must not loop.
+    #[test]
+    fn prepass_without_strict_progress_terminates() {
+        let config = Config::default().with_panic(Stage::Jump, 1);
+        let pass: &StructuralPass = &|cur, _probe| Some(cur.to_string());
+        let out = reduce_with_prepass(FAULTY, &config, &ReduceCheck::Quarantine, 200, Some(pass))
+            .expect("fault must reproduce on the original");
+        assert!(is_interesting(
+            &out.source,
+            &config,
+            &ReduceCheck::Quarantine
+        ));
+    }
+
+    /// When the token pass makes no progress, its whitespace-normalized
+    /// rejoin was never probed; `ddmin_text` must verify it before
+    /// preferring it over the line-verified form.
+    #[test]
+    fn unverified_whitespace_normalization_is_rolled_back() {
+        let src = "keep\nme";
+        let mut probe = |c: &str| -> Option<bool> { Some(c.contains("keep") && c.contains('\n')) };
+        let out = ddmin_text(src, &mut probe);
+        assert!(
+            out.contains('\n'),
+            "returned a form the predicate rejects: {out:?}"
+        );
     }
 }

@@ -198,7 +198,10 @@ mod tests {
         // h leaves g untouched → identity; f modifies nothing either.
         assert!(r.ret_jf_identity > 0, "{r:?}");
         let none = report(SRC, &Config::default().with_return_jfs(false));
-        assert_eq!(none.ret_jf_const + none.ret_jf_identity + none.ret_jf_symbolic, 0);
+        assert_eq!(
+            none.ret_jf_const + none.ret_jf_identity + none.ret_jf_symbolic,
+            0
+        );
     }
 
     #[test]
@@ -213,7 +216,13 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let text = report(SRC, &Config::default()).to_string();
-        for needle in ["call sites", "support", "solver", "constant entry slots", "degradations"] {
+        for needle in [
+            "call sites",
+            "support",
+            "solver",
+            "constant entry slots",
+            "degradations",
+        ] {
             assert!(text.contains(needle), "{text}");
         }
     }

@@ -49,7 +49,13 @@ impl ReturnJumpFns {
         self.fns[proc.index()].as_ref().and_then(|v| v.get(slot))
     }
 
-    fn target_slot(&self, mcfg: &ModuleCfg, callee: ProcId, target: RetTarget, layout: &SlotLayout) -> Option<usize> {
+    fn target_slot(
+        &self,
+        mcfg: &ModuleCfg,
+        callee: ProcId,
+        target: RetTarget,
+        layout: &SlotLayout,
+    ) -> Option<usize> {
         let arity = mcfg.module.proc(callee).arity();
         match target {
             RetTarget::Formal(i) => (i < arity).then_some(i),
@@ -177,7 +183,10 @@ impl CallDefLattice for RetOracle<'_> {
             if s < arity {
                 arg_lats.get(s).copied().unwrap_or(Lattice::Bottom)
             } else {
-                global_lats.get(s - arity).copied().unwrap_or(Lattice::Bottom)
+                global_lats
+                    .get(s - arity)
+                    .copied()
+                    .unwrap_or(Lattice::Bottom)
             }
         })
     }
@@ -210,8 +219,16 @@ pub fn build_return_jfs(
         compose: config.compose_return_jfs,
     };
     for p in cg.bottom_up() {
-        let (fns, newly_quarantined) =
-            run_scc_member(mcfg, &table, layout, kills, config, p, quarantined[p.index()], gov);
+        let (fns, newly_quarantined) = run_scc_member(
+            mcfg,
+            &table,
+            layout,
+            kills,
+            config,
+            p,
+            quarantined[p.index()],
+            gov,
+        );
         if newly_quarantined {
             quarantined[p.index()] = true;
         }
@@ -264,7 +281,10 @@ pub fn build_return_jfs_par(
 
     // Optimistic phase: run each level's SCC units in parallel, committing
     // their tables before the next level starts.
-    let mut opt_table = ReturnJumpFns { fns: vec![None; n_procs], compose };
+    let mut opt_table = ReturnJumpFns {
+        fns: vec![None; n_procs],
+        compose,
+    };
     let mut units: Vec<Option<SccUnit>> = (0..n_sccs).map(|_| None).collect();
     let mut time = crate::par::PhaseTime::default();
     for level in scc_levels(cg) {
@@ -274,13 +294,19 @@ pub fn build_return_jfs_par(
             let mut shard = proto.shard();
             // Members of a multi-procedure SCC read each other's fresh
             // entries, so they get a private overlay of the table.
-            let mut overlay: Option<ReturnJumpFns> =
-                (members.len() > 1).then(|| opt_table.clone());
+            let mut overlay: Option<ReturnJumpFns> = (members.len() > 1).then(|| opt_table.clone());
             let mut outs = Vec::with_capacity(members.len());
             for &p in members {
                 let visible = overlay.as_ref().unwrap_or(&opt_table);
                 let (fns, newly) = run_scc_member(
-                    mcfg, visible, layout, kills, config, p, snapshot[p.index()], &mut shard,
+                    mcfg,
+                    visible,
+                    layout,
+                    kills,
+                    config,
+                    p,
+                    snapshot[p.index()],
+                    &mut shard,
                 );
                 if let Some(o) = overlay.as_mut() {
                     o.fns[p.index()] = Some(fns.clone());
@@ -300,7 +326,10 @@ pub fn build_return_jfs_par(
     }
 
     // Deterministic fold, in the sequential driver's SCC order.
-    let mut table = ReturnJumpFns { fns: vec![None; n_procs], compose };
+    let mut table = ReturnJumpFns {
+        fns: vec![None; n_procs],
+        compose,
+    };
     let mut changed = vec![false; n_sccs];
     for si in 0..n_sccs {
         let Some((outs, shard)) = units[si].take() else {
@@ -324,7 +353,14 @@ pub fn build_return_jfs_par(
             let mut any_diff = false;
             for &p in members {
                 let (fns, newly) = run_scc_member(
-                    mcfg, &table, layout, kills, config, p, snapshot[p.index()], gov,
+                    mcfg,
+                    &table,
+                    layout,
+                    kills,
+                    config,
+                    p,
+                    snapshot[p.index()],
+                    gov,
                 );
                 if opt_table.fns[p.index()].as_ref() != Some(&fns) {
                     any_diff = true;
@@ -536,17 +572,15 @@ mod tests {
 
     #[test]
     fn constant_assignment_yields_const_ret_jf() {
-        let (m, _, _, t) = ret_jfs(
-            "proc main() { x = 0; call setx(x); print x; } proc setx(a) { a = 42; }",
-        );
+        let (m, _, _, t) =
+            ret_jfs("proc main() { x = 0; call setx(x); print x; } proc setx(a) { a = 42; }");
         assert_eq!(t.get(pid(&m, "setx"), 0), Some(&JumpFn::Const(42)));
     }
 
     #[test]
     fn untouched_formal_is_identity() {
-        let (m, _, _, t) = ret_jfs(
-            "proc main() { x = 0; call f(x, 1); } proc f(a, b) { a = b + 1; }",
-        );
+        let (m, _, _, t) =
+            ret_jfs("proc main() { x = 0; call f(x, 1); } proc f(a, b) { a = b + 1; }");
         let f = pid(&m, "f");
         // a = b + 1 → polynomial x1 + 1; b untouched → identity x1.
         match t.get(f, 0) {
@@ -558,9 +592,8 @@ mod tests {
 
     #[test]
     fn polynomial_of_entries() {
-        let (m, _, _, t) = ret_jfs(
-            "proc main() { x = 0; call f(x, 3, 4); } proc f(a, b, c) { a = b * c + 1; }",
-        );
+        let (m, _, _, t) =
+            ret_jfs("proc main() { x = 0; call f(x, 3, 4); } proc f(a, b, c) { a = b * c + 1; }");
         match t.get(pid(&m, "f"), 0) {
             Some(JumpFn::Poly(p)) => {
                 assert_eq!(p.eval(&[0, 3, 4]), Some(13));
@@ -580,17 +613,19 @@ mod tests {
         );
         let init = pid(&m, "init");
         let arity = 0;
-        let nx_slot = layout.global_slot(arity, ipcp_ir::program::GlobalId(0)).unwrap();
-        let ny_slot = layout.global_slot(arity, ipcp_ir::program::GlobalId(1)).unwrap();
+        let nx_slot = layout
+            .global_slot(arity, ipcp_ir::program::GlobalId(0))
+            .unwrap();
+        let ny_slot = layout
+            .global_slot(arity, ipcp_ir::program::GlobalId(1))
+            .unwrap();
         assert_eq!(t.get(init, nx_slot), Some(&JumpFn::Const(128)));
         assert_eq!(t.get(init, ny_slot), Some(&JumpFn::Const(64)));
     }
 
     #[test]
     fn data_dependent_exit_is_bottom() {
-        let (m, _, _, t) = ret_jfs(
-            "proc main() { x = 0; call f(x); } proc f(a) { read a; }",
-        );
+        let (m, _, _, t) = ret_jfs("proc main() { x = 0; call f(x); } proc f(a) { read a; }");
         assert_eq!(t.get(pid(&m, "f"), 0), Some(&JumpFn::Bottom));
     }
 
@@ -658,17 +693,15 @@ mod tests {
                 &mut quarantined,
                 &mut Governor::unlimited(),
             );
-            let oracle = RetOracle { table: &t, mcfg: &m, layout: &layout };
+            let oracle = RetOracle {
+                table: &t,
+                mcfg: &m,
+                layout: &layout,
+            };
             let add1 = m.module.proc_named("add1").unwrap().id;
             // Argument symbolically = caller's formal-like poly var 0.
             let arg = SymVal::Poly(Poly::var(0));
-            let got = CallDefEval::eval_call_def(
-                &oracle,
-                add1,
-                RetTarget::Formal(0),
-                &[arg],
-                &[],
-            );
+            let got = CallDefEval::eval_call_def(&oracle, add1, RetTarget::Formal(0), &[arg], &[]);
             if expect_poly {
                 let p = got.as_poly().expect("composed polynomial");
                 assert_eq!(p.eval(&[9]), Some(10));

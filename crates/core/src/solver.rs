@@ -113,10 +113,18 @@ impl fmt::Display for ValDisplay<'_> {
             let rendered: Vec<String> = consts
                 .iter()
                 .map(|&(slot, c)| {
-                    format!("{} = {c}", self.layout.slot_name(&self.mcfg.module, p, slot))
+                    format!(
+                        "{} = {c}",
+                        self.layout.slot_name(&self.mcfg.module, p, slot)
+                    )
                 })
                 .collect();
-            writeln!(f, "CONSTANTS({}) = {{ {} }}", proc.name, rendered.join(", "))?;
+            writeln!(
+                f,
+                "CONSTANTS({}) = {{ {} }}",
+                proc.name,
+                rendered.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -133,8 +141,7 @@ impl fmt::Display for ValDisplay<'_> {
 /// relaxing its callees.
 fn topdown_levels(cg: &CallGraph) -> Vec<Vec<usize>> {
     let n_sccs = cg.sccs.len();
-    let reachable_scc =
-        |si: usize| cg.sccs[si].first().is_some_and(|p| cg.reachable[p.index()]);
+    let reachable_scc = |si: usize| cg.sccs[si].first().is_some_and(|p| cg.reachable[p.index()]);
     let mut level = vec![0usize; n_sccs];
     for si in (0..n_sccs).rev() {
         if !reachable_scc(si) {
@@ -299,7 +306,9 @@ fn eval_unit_guarded(
             eval_unit(cg, jump_fns, config, members, scc, vals, dirty, gov)
         })
     } else {
-        Ok(eval_unit(cg, jump_fns, config, members, scc, vals, dirty, gov))
+        Ok(eval_unit(
+            cg, jump_fns, config, members, scc, vals, dirty, gov,
+        ))
     }
 }
 
@@ -382,12 +391,8 @@ fn eval_unit_inplace(
                 let snapshot = caller_row.clone();
                 let mut changed = false;
                 for (slot, jf) in site_fns.iter().enumerate() {
-                    let incoming = jf.eval(|v| {
-                        snapshot
-                            .get(v as usize)
-                            .copied()
-                            .unwrap_or(Lattice::Bottom)
-                    });
+                    let incoming =
+                        jf.eval(|v| snapshot.get(v as usize).copied().unwrap_or(Lattice::Bottom));
                     out.meets += 1;
                     let target = if edge.callee == p {
                         &mut caller_row[slot]
@@ -441,7 +446,9 @@ fn eval_unit_inplace_guarded(
             eval_unit_inplace(cg, jump_fns, config, members, scc, vals, dirty, gov)
         })
     } else {
-        Ok(eval_unit_inplace(cg, jump_fns, config, members, scc, vals, dirty, gov))
+        Ok(eval_unit_inplace(
+            cg, jump_fns, config, members, scc, vals, dirty, gov,
+        ))
     }
 }
 
@@ -502,7 +509,11 @@ pub fn solve(
     {
         let arity = mcfg.module.proc(entry).arity();
         for (i, v) in vals[entry.index()].iter_mut().enumerate() {
-            *v = if i < arity { Lattice::Bottom } else { entry_globals };
+            *v = if i < arity {
+                Lattice::Bottom
+            } else {
+                entry_globals
+            };
         }
     }
 
@@ -593,8 +604,7 @@ pub fn solve(
                             }
                         } else {
                             eval_unit_inplace_guarded(
-                                cg, jump_fns, config, members, si, &mut vals, &mut dirty,
-                                gov,
+                                cg, jump_fns, config, members, si, &mut vals, &mut dirty, gov,
                             )
                         }
                     }
@@ -726,7 +736,11 @@ pub fn solve_worklist_reference(
     {
         let arity = mcfg.module.proc(entry).arity();
         for (i, v) in vals[entry.index()].iter_mut().enumerate() {
-            *v = if i < arity { Lattice::Bottom } else { entry_globals };
+            *v = if i < arity {
+                Lattice::Bottom
+            } else {
+                entry_globals
+            };
         }
     }
 
@@ -813,10 +827,7 @@ mod tests {
             "proc main() { call f(42); } proc f(a) { print a; }",
             Config::default().with_jump_fn(JumpFnKind::Literal),
         );
-        assert_eq!(
-            slot_const(&m, &layout, &v, "f", "a"),
-            Lattice::Const(42)
-        );
+        assert_eq!(slot_const(&m, &layout, &v, "f", "a"), Lattice::Const(42));
     }
 
     #[test]
@@ -993,7 +1004,14 @@ mod tests {
             let mut gov = Governor::new(&config);
             let mut q = vec![false; n];
             let (v, _) = solve(
-                &m, &a.cg, &layout, &a.jump_fns, entry_globals, &config, &mut gov, &mut q,
+                &m,
+                &a.cg,
+                &layout,
+                &a.jump_fns,
+                entry_globals,
+                &config,
+                &mut gov,
+                &mut q,
                 jobs,
             );
             (v, q)

@@ -142,10 +142,7 @@ pub fn apply_replacements(module: &Module, replacements: &[(Span, i64)]) -> Modu
     out
 }
 
-fn rewrite_ast_block(
-    b: &mut ipcp_ir::program::Block,
-    map: &std::collections::HashMap<Span, i64>,
-) {
+fn rewrite_ast_block(b: &mut ipcp_ir::program::Block, map: &std::collections::HashMap<Span, i64>) {
     use ipcp_ir::program::Stmt;
     for s in &mut b.stmts {
         match s {
@@ -163,7 +160,9 @@ fn rewrite_ast_block(
                 rewrite_ast_expr(c, map);
                 rewrite_ast_block(body, map);
             }
-            Stmt::Do { lo, hi, step, body, .. } => {
+            Stmt::Do {
+                lo, hi, step, body, ..
+            } => {
                 rewrite_ast_expr(lo, map);
                 rewrite_ast_expr(hi, map);
                 if let Some(st) = step {
@@ -223,11 +222,22 @@ fn rewrite_proc(
             out_block.stmts[si] = new_stmt;
             count += n;
         }
-        if let Terminator::Branch { cond, then_bb, else_bb } = &cfg.block(b).term {
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = &cfg.block(b).term
+        {
             let mut idx = 0;
             let mut n = 0;
-            let new_cond =
-                rewrite_expr(cond, &info.term_use_vals, &mut idx, res, &mut n, replacements);
+            let new_cond = rewrite_expr(
+                cond,
+                &info.term_use_vals,
+                &mut idx,
+                res,
+                &mut n,
+                replacements,
+            );
             debug_assert_eq!(idx, info.term_use_vals.len());
             out_block.term = Terminator::Branch {
                 cond: new_cond,
@@ -248,48 +258,56 @@ fn rewrite_stmt(
 ) -> (CStmt, usize) {
     let mut n = 0usize;
     let mut idx = 0usize;
-    let new = match (stmt, info) {
-        (CStmt::Assign { dst, value }, StmtInfo::Assign { use_vals, .. }) => {
-            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
-            debug_assert_eq!(idx, use_vals.len());
-            CStmt::Assign { dst: *dst, value }
-        }
-        (CStmt::Store { array, index, value }, StmtInfo::Store { use_vals, .. }) => {
-            let index = rewrite_expr(index, use_vals, &mut idx, res, &mut n, replacements);
-            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
-            debug_assert_eq!(idx, use_vals.len());
-            CStmt::Store {
-                array: *array,
-                index,
-                value,
+    let new =
+        match (stmt, info) {
+            (CStmt::Assign { dst, value }, StmtInfo::Assign { use_vals, .. }) => {
+                let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+                debug_assert_eq!(idx, use_vals.len());
+                CStmt::Assign { dst: *dst, value }
             }
-        }
-        (CStmt::Print { value }, StmtInfo::Print { use_vals, .. }) => {
-            let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
-            debug_assert_eq!(idx, use_vals.len());
-            CStmt::Print { value }
-        }
-        (CStmt::Call { callee, args, site }, StmtInfo::Call { use_vals, .. }) => {
-            let mut new_args = Vec::with_capacity(args.len());
-            for a in args {
-                new_args.push(match a {
-                    ipcp_ir::program::Arg::Value(e) => ipcp_ir::program::Arg::Value(
-                        rewrite_expr(e, use_vals, &mut idx, res, &mut n, replacements),
-                    ),
-                    // By-reference actuals cannot be replaced by values.
-                    other => other.clone(),
-                });
+            (
+                CStmt::Store {
+                    array,
+                    index,
+                    value,
+                },
+                StmtInfo::Store { use_vals, .. },
+            ) => {
+                let index = rewrite_expr(index, use_vals, &mut idx, res, &mut n, replacements);
+                let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+                debug_assert_eq!(idx, use_vals.len());
+                CStmt::Store {
+                    array: *array,
+                    index,
+                    value,
+                }
             }
-            debug_assert_eq!(idx, use_vals.len());
-            CStmt::Call {
-                callee: *callee,
-                args: new_args,
-                site: *site,
+            (CStmt::Print { value }, StmtInfo::Print { use_vals, .. }) => {
+                let value = rewrite_expr(value, use_vals, &mut idx, res, &mut n, replacements);
+                debug_assert_eq!(idx, use_vals.len());
+                CStmt::Print { value }
             }
-        }
-        (CStmt::Read { dst }, StmtInfo::Read { .. }) => CStmt::Read { dst: *dst },
-        (stmt, info) => unreachable!("statement/annotation mismatch: {stmt:?} vs {info:?}"),
-    };
+            (CStmt::Call { callee, args, site }, StmtInfo::Call { use_vals, .. }) => {
+                let mut new_args = Vec::with_capacity(args.len());
+                for a in args {
+                    new_args.push(match a {
+                        ipcp_ir::program::Arg::Value(e) => ipcp_ir::program::Arg::Value(
+                            rewrite_expr(e, use_vals, &mut idx, res, &mut n, replacements),
+                        ),
+                        // By-reference actuals cannot be replaced by values.
+                        other => other.clone(),
+                    });
+                }
+                debug_assert_eq!(idx, use_vals.len());
+                CStmt::Call {
+                    callee: *callee,
+                    args: new_args,
+                    site: *site,
+                }
+            }
+            (CStmt::Read { dst }, StmtInfo::Read { .. }) => CStmt::Read { dst: *dst },
+            (stmt, info) => unreachable!("statement/annotation mismatch: {stmt:?} vs {info:?}"),
+        };
     (new, n)
 }
 

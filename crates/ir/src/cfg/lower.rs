@@ -158,7 +158,14 @@ impl<'a> Lowerer<'a> {
                 self.terminate(Terminator::Jump(header));
                 self.current = exit;
             }
-            Stmt::Do { var, lo, hi, step, body, span } => {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 self.lower_do(*var, lo, hi, step.as_ref(), body, *span);
             }
         }
@@ -345,7 +352,13 @@ mod tests {
         let cfg = m.cfg(m.module.entry);
         // Dynamic step: direction test present.
         let has_or = cfg.blocks.iter().any(|b| {
-            matches!(&b.term, Terminator::Branch { cond: Expr::Binary(BinOp::Or, _, _, _), .. })
+            matches!(
+                &b.term,
+                Terminator::Branch {
+                    cond: Expr::Binary(BinOp::Or, _, _, _),
+                    ..
+                }
+            )
         });
         assert!(has_or);
     }

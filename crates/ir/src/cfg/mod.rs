@@ -142,7 +142,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Return => Vec::new(),
         }
     }
@@ -264,7 +266,11 @@ impl Cfg {
 
     /// Renders the CFG as indented text (for snapshots and debugging).
     pub fn display<'a>(&'a self, module: &'a Module, proc: ProcId) -> CfgDisplay<'a> {
-        CfgDisplay { cfg: self, module, proc }
+        CfgDisplay {
+            cfg: self,
+            module,
+            proc,
+        }
     }
 }
 
@@ -283,16 +289,22 @@ impl fmt::Display for CfgDisplay<'_> {
         let expr = |e: &Expr| display_expr(e, p);
         writeln!(f, "proc {} {{", p.name)?;
         for (i, blk) in self.cfg.blocks.iter().enumerate() {
-            let tag = if BlockId::from(i) == self.cfg.entry { " (entry)" } else { "" };
+            let tag = if BlockId::from(i) == self.cfg.entry {
+                " (entry)"
+            } else {
+                ""
+            };
             writeln!(f, "  bb{i}{tag}:")?;
             for s in &blk.stmts {
                 match s {
                     CStmt::Assign { dst, value } => {
                         writeln!(f, "    {} = {}", name(*dst), expr(value))?
                     }
-                    CStmt::Store { array, index, value } => {
-                        writeln!(f, "    {}[{}] = {}", name(*array), expr(index), expr(value))?
-                    }
+                    CStmt::Store {
+                        array,
+                        index,
+                        value,
+                    } => writeln!(f, "    {}[{}] = {}", name(*array), expr(index), expr(value))?,
                     CStmt::Read { dst } => writeln!(f, "    read {}", name(*dst))?,
                     CStmt::Print { value } => writeln!(f, "    print {}", expr(value))?,
                     CStmt::Call { callee, args, site } => {
@@ -315,9 +327,11 @@ impl fmt::Display for CfgDisplay<'_> {
             }
             match &blk.term {
                 Terminator::Jump(b) => writeln!(f, "    jump {b}")?,
-                Terminator::Branch { cond, then_bb, else_bb } => {
-                    writeln!(f, "    branch {} ? {then_bb} : {else_bb}", expr(cond))?
-                }
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => writeln!(f, "    branch {} ? {then_bb} : {else_bb}", expr(cond))?,
                 Terminator::Return => writeln!(f, "    return")?,
             }
         }
@@ -331,8 +345,14 @@ fn display_expr(e: &Expr, p: &crate::program::Proc) -> String {
         use crate::lang::ast;
         fn go(e: &Expr, p: &crate::program::Proc) -> ast::Expr {
             match e {
-                Expr::Const(v, s) => ast::Expr::Const { value: *v, span: *s },
-                Expr::Var(v, s) => ast::Expr::Var { name: p.var(*v).name.clone(), span: *s },
+                Expr::Const(v, s) => ast::Expr::Const {
+                    value: *v,
+                    span: *s,
+                },
+                Expr::Var(v, s) => ast::Expr::Var {
+                    name: p.var(*v).name.clone(),
+                    span: *s,
+                },
                 Expr::Load(v, i, s) => ast::Expr::Load {
                     name: p.var(*v).name.clone(),
                     index: Box::new(go(i, p)),
@@ -382,15 +402,14 @@ impl ModuleCfg {
 
     /// Iterates over `(ProcId, &Cfg)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, &Cfg)> {
-        self.cfgs.iter().enumerate().map(|(i, c)| (ProcId::from(i), c))
+        self.cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ProcId::from(i), c))
     }
 
     /// Visits every call statement in procedure `p`.
-    pub fn each_call_in(
-        &self,
-        p: ProcId,
-        mut f: impl FnMut(BlockId, CallSiteId, ProcId, &[Arg]),
-    ) {
+    pub fn each_call_in(&self, p: ProcId, mut f: impl FnMut(BlockId, CallSiteId, ProcId, &[Arg])) {
         for (bi, blk) in self.cfg(p).blocks.iter().enumerate() {
             for s in &blk.stmts {
                 if let CStmt::Call { callee, args, site } = s {
@@ -418,7 +437,10 @@ mod tests {
                            if (x > 0) { call f(x, 3, t); } print g; } \
              proc f(a, b, arr) { a = b; arr[0] = a; }",
         );
-        let text = m.cfg(m.module.entry).display(&m.module, m.module.entry).to_string();
+        let text = m
+            .cfg(m.module.entry)
+            .display(&m.module, m.module.entry)
+            .to_string();
         assert!(text.contains("proc main {"), "{text}");
         assert!(text.contains("(entry)"), "{text}");
         assert!(text.contains("read x"), "{text}");
@@ -487,9 +509,7 @@ mod tests {
 
     #[test]
     fn each_call_in_reports_blocks_and_sites() {
-        let m = lower(
-            "proc main() { call f(); if (1) { call g(); } } proc f() { } proc g() { }",
-        );
+        let m = lower("proc main() { call f(); if (1) { call g(); } } proc f() { } proc g() { }");
         let mut seen = Vec::new();
         m.each_call_in(m.module.entry, |block, site, callee, args| {
             assert!(args.is_empty());

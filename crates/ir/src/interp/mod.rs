@@ -23,9 +23,7 @@
 
 use crate::cfg::{CStmt, ModuleCfg, Terminator};
 use crate::lang::ast::{BinOp, UnOp};
-use crate::program::{
-    Arg, Block, Expr, Module, Proc, ProcId, SlotLayout, Stmt, VarId, VarKind,
-};
+use crate::program::{Arg, Block, Expr, Module, Proc, ProcId, SlotLayout, Stmt, VarId, VarKind};
 use std::error::Error;
 use std::fmt;
 
@@ -158,7 +156,7 @@ struct Machine<'a> {
     limits: ExecLimits,
     trace: EntryTrace,
     layout: SlotLayout,
-    global_scalar_locs: Vec<Option<Loc>>, // by GlobalId
+    global_scalar_locs: Vec<Option<Loc>>,   // by GlobalId
     global_array_locs: Vec<Option<ArrLoc>>, // by GlobalId
     /// Scalar locations currently visible under two names in some active
     /// frame; writing them is the FT analogue of the FORTRAN 77 aliasing
@@ -557,7 +555,14 @@ fn run_block_ast(
                     return Ok(Flow::Return);
                 }
             },
-            Stmt::Do { var, lo, hi, step, body, .. } => {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
                 let mut i = machine.eval(frame, lo)?;
                 let hi_v = machine.eval(frame, hi)?;
                 let step_v = match step {
@@ -640,46 +645,54 @@ fn run_proc_cfg(
     machine.record_entry(proc, &frame);
 
     let result = (|| -> Result<(), ExecError> {
-    let mut bb = cfg.entry;
-    loop {
-        let block = cfg.block(bb);
-        for s in &block.stmts {
-            machine.tick()?;
-            match s {
-                CStmt::Assign { dst, value } => {
-                    let v = machine.eval(&frame, value)?;
-                    machine.set_scalar(&frame, *dst, v)?;
-                }
-                CStmt::Store { array, index, value } => {
-                    let i = machine.eval(&frame, index)?;
-                    let v = machine.eval(&frame, value)?;
-                    machine.store(&frame, *array, i, v)?;
-                }
-                CStmt::Read { dst } => {
-                    let v = machine.read_input()?;
-                    machine.set_scalar(&frame, *dst, v)?;
-                }
-                CStmt::Print { value } => {
-                    let v = machine.eval(&frame, value)?;
-                    machine.output.push(v);
-                }
-                CStmt::Call { callee, args, .. } => {
-                    let (scalars, arrays) = machine.bind_args(&frame, args)?;
-                    run_proc_cfg(mcfg, *callee, machine, &scalars, &arrays, depth + 1)?;
-                }
-            }
-        }
-        match &block.term {
-            Terminator::Jump(b) => bb = *b,
-            Terminator::Branch { cond, then_bb, else_bb } => {
+        let mut bb = cfg.entry;
+        loop {
+            let block = cfg.block(bb);
+            for s in &block.stmts {
                 machine.tick()?;
-                let c = machine.eval(&frame, cond)?;
-                bb = if c != 0 { *then_bb } else { *else_bb };
+                match s {
+                    CStmt::Assign { dst, value } => {
+                        let v = machine.eval(&frame, value)?;
+                        machine.set_scalar(&frame, *dst, v)?;
+                    }
+                    CStmt::Store {
+                        array,
+                        index,
+                        value,
+                    } => {
+                        let i = machine.eval(&frame, index)?;
+                        let v = machine.eval(&frame, value)?;
+                        machine.store(&frame, *array, i, v)?;
+                    }
+                    CStmt::Read { dst } => {
+                        let v = machine.read_input()?;
+                        machine.set_scalar(&frame, *dst, v)?;
+                    }
+                    CStmt::Print { value } => {
+                        let v = machine.eval(&frame, value)?;
+                        machine.output.push(v);
+                    }
+                    CStmt::Call { callee, args, .. } => {
+                        let (scalars, arrays) = machine.bind_args(&frame, args)?;
+                        run_proc_cfg(mcfg, *callee, machine, &scalars, &arrays, depth + 1)?;
+                    }
+                }
             }
-            Terminator::Return => break,
+            match &block.term {
+                Terminator::Jump(b) => bb = *b,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    machine.tick()?;
+                    let c = machine.eval(&frame, cond)?;
+                    bb = if c != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Return => break,
+            }
         }
-    }
-    Ok(())
+        Ok(())
     })();
     machine.drop_aliases(alias_marks);
     result?;
@@ -733,7 +746,10 @@ mod tests {
     #[test]
     fn read_past_end_yields_zero_when_lenient() {
         let m = parse_and_resolve("proc main() { read a; read b; print a; print b; }").unwrap();
-        let limits = ExecLimits { lenient_reads: true, ..ExecLimits::default() };
+        let limits = ExecLimits {
+            lenient_reads: true,
+            ..ExecLimits::default()
+        };
         let out = run_module(&m, &[9], &limits).unwrap();
         assert_eq!(out.output, vec![9, 0]);
         let out = exec_cfg(&lower_module(&m), &[9], &limits).unwrap();
@@ -795,7 +811,10 @@ mod tests {
 
     #[test]
     fn do_loop_zero_step_runs_zero_iterations() {
-        let out = run("proc main() { read s; do i = 1, 10, s { print i; } print 7; }", &[0]);
+        let out = run(
+            "proc main() { read s; do i = 1, 10, s { print i; } print 7; }",
+            &[0],
+        );
         assert_eq!(out.output, vec![7]);
     }
 
@@ -841,8 +860,14 @@ mod tests {
     #[test]
     fn infinite_loop_exhausts_fuel() {
         let m = parse_and_resolve("proc main() { while (1) { } }").unwrap();
-        let limits = ExecLimits { max_steps: 1000, ..Default::default() };
-        assert_eq!(run_module(&m, &[], &limits).unwrap_err(), ExecError::OutOfFuel);
+        let limits = ExecLimits {
+            max_steps: 1000,
+            ..Default::default()
+        };
+        assert_eq!(
+            run_module(&m, &[], &limits).unwrap_err(),
+            ExecError::OutOfFuel
+        );
     }
 
     #[test]
@@ -866,10 +891,9 @@ mod tests {
 
     #[test]
     fn entry_trace_records_formals_and_globals() {
-        let m = parse_and_resolve(
-            "global g; proc main() { g = 7; call f(3); } proc f(a) { print a; }",
-        )
-        .unwrap();
+        let m =
+            parse_and_resolve("global g; proc main() { g = 7; call f(3); } proc f(a) { print a; }")
+                .unwrap();
         let out = run_module(&m, &[], &ExecLimits::default()).unwrap();
         let f = m.proc_named("f").unwrap().id;
         let snaps: Vec<_> = out.trace.for_proc(f).collect();
@@ -921,7 +945,10 @@ mod tests {
     #[test]
     fn trace_can_be_disabled() {
         let m = parse_and_resolve("proc main() { call f(1); } proc f(a) { }").unwrap();
-        let limits = ExecLimits { trace: false, ..Default::default() };
+        let limits = ExecLimits {
+            trace: false,
+            ..Default::default()
+        };
         let out = run_module(&m, &[], &limits).unwrap();
         assert!(out.trace.entries.is_empty());
     }

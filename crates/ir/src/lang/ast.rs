@@ -351,7 +351,9 @@ mod tests {
 
     #[test]
     fn stmt_span_is_reachable_for_all_variants() {
-        let s = Stmt::Return { span: Span::new(1, 8) };
+        let s = Stmt::Return {
+            span: Span::new(1, 8),
+        };
         assert_eq!(s.span(), Span::new(1, 8));
     }
 }

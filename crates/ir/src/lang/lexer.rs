@@ -69,7 +69,8 @@ impl<'a> Lexer<'a> {
         let Some(b) = self.bump() else {
             return Ok(Token::new(TokenKind::Eof, Span::new(start, start)));
         };
-        let simple = |kind: TokenKind, end: usize| Ok(Token::new(kind, Span::new(start, end as u32)));
+        let simple =
+            |kind: TokenKind, end: usize| Ok(Token::new(kind, Span::new(start, end as u32)));
         match b {
             b'0'..=b'9' => self.lex_int(start as usize),
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.lex_word(start as usize)),
@@ -163,7 +164,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_word(&mut self, start: usize) -> Token {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.pos += 1;
         }
         let span = Span::new(start as u32, self.pos as u32);

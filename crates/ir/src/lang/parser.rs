@@ -182,7 +182,9 @@ impl Parser {
     fn recover_to_item(&mut self) {
         while !matches!(
             self.peek_kind(),
-            TokenKind::Eof | TokenKind::Keyword(Keyword::Proc) | TokenKind::Keyword(Keyword::Global)
+            TokenKind::Eof
+                | TokenKind::Keyword(Keyword::Proc)
+                | TokenKind::Keyword(Keyword::Global)
         ) {
             self.bump();
         }
@@ -226,8 +228,10 @@ impl Parser {
         let array_len = if self.eat(&TokenKind::LBracket) {
             let (len, len_span) = self.expect_int()?;
             if len <= 0 {
-                self.diags
-                    .error(format!("array length must be positive, got {len}"), len_span);
+                self.diags.error(
+                    format!("array length must be positive, got {len}"),
+                    len_span,
+                );
             }
             self.expect(&TokenKind::RBracket)?;
             Some(len)
@@ -356,8 +360,10 @@ impl Parser {
         self.expect(&TokenKind::LBracket)?;
         let (len, len_span) = self.expect_int()?;
         if len <= 0 {
-            self.diags
-                .error(format!("array length must be positive, got {len}"), len_span);
+            self.diags.error(
+                format!("array length must be positive, got {len}"),
+                len_span,
+            );
         }
         self.expect(&TokenKind::RBracket)?;
         let end = self.expect(&TokenKind::Semi)?.span;
@@ -378,7 +384,9 @@ impl Parser {
             if self.at_kw(Keyword::If) {
                 // `else if` chains desugar to a one-statement else block.
                 let nested = self.if_stmt()?;
-                Block { stmts: vec![nested] }
+                Block {
+                    stmts: vec![nested],
+                }
             } else {
                 self.block()?
             }
@@ -544,7 +552,10 @@ impl Parser {
     fn add_expr(&mut self) -> Option<Expr> {
         self.binary_tier(
             Self::mul_expr,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -668,7 +679,11 @@ mod tests {
     fn precedence_mul_binds_tighter_than_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected +, got {other:?}"),
@@ -691,7 +706,11 @@ mod tests {
     fn unary_stacks() {
         let e = parse_expr("--x").unwrap();
         match e {
-            Expr::Unary { op: UnOp::Neg, operand, .. } => {
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => {
                 assert!(matches!(*operand, Expr::Unary { op: UnOp::Neg, .. }));
             }
             other => panic!("{other:?}"),
@@ -702,7 +721,9 @@ mod tests {
     fn parses_do_loop_with_step() {
         let p = parse_ok("proc main() { do i = 1, 10, 2 { print i; } }");
         match &p.procs[0].body.stmts[0] {
-            Stmt::Do { var, step, body, .. } => {
+            Stmt::Do {
+                var, step, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert!(step.is_some());
                 assert_eq!(body.stmts.len(), 1);
@@ -722,9 +743,7 @@ mod tests {
 
     #[test]
     fn parses_else_if_chain() {
-        let p = parse_ok(
-            "proc main() { if (a == 1) { } else if (a == 2) { } else { print 3; } }",
-        );
+        let p = parse_ok("proc main() { if (a == 1) { } else if (a == 2) { } else { print 3; } }");
         match &p.procs[0].body.stmts[0] {
             Stmt::If { else_blk, .. } => {
                 assert_eq!(else_blk.stmts.len(), 1);
@@ -753,7 +772,10 @@ mod tests {
     #[test]
     fn parses_array_store_and_load() {
         let p = parse_ok("proc main() { array a[8]; a[0] = a[1] + 1; }");
-        assert!(matches!(p.procs[0].body.stmts[0], Stmt::ArrayDecl { len: 8, .. }));
+        assert!(matches!(
+            p.procs[0].body.stmts[0],
+            Stmt::ArrayDecl { len: 8, .. }
+        ));
         assert!(matches!(p.procs[0].body.stmts[1], Stmt::Store { .. }));
     }
 
@@ -783,7 +805,11 @@ mod tests {
     fn parenthesized_expressions_override_precedence() {
         let e = parse_expr("(1 + 2) * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(*lhs, Expr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("{other:?}"),
@@ -800,7 +826,11 @@ mod tests {
 
     #[test]
     fn deep_parentheses_diagnose_instead_of_overflowing() {
-        let src = format!("proc main() {{ x = {}1{}; }}", "(".repeat(10_000), ")".repeat(10_000));
+        let src = format!(
+            "proc main() {{ x = {}1{}; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
         let err = parse_program(&src).unwrap_err();
         assert!(err.to_string().contains("nesting exceeds"), "{err}");
     }
@@ -825,7 +855,11 @@ mod tests {
 
     #[test]
     fn reasonable_nesting_stays_within_the_cap() {
-        let src = format!("proc main() {{ x = {}1{}; }}", "(".repeat(100), ")".repeat(100));
+        let src = format!(
+            "proc main() {{ x = {}1{}; }}",
+            "(".repeat(100),
+            ")".repeat(100)
+        );
         assert!(parse_program(&src).is_ok());
         let src = format!(
             "proc main() {{ {} print 1; {} }}",
@@ -840,7 +874,12 @@ mod tests {
         // `a - b - c` is `(a - b) - c`.
         let e = parse_expr("a - b - c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Sub, lhs, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*lhs, Expr::Binary { op: BinOp::Sub, .. }));
                 assert!(matches!(*rhs, Expr::Var { .. }));
             }
@@ -866,7 +905,11 @@ mod neg_literal_tests {
         ));
         // Folding respects precedence: `-5 * 2` is `(-5) * 2`.
         match parse_expr("-5 * 2").unwrap() {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(*lhs, Expr::Const { value: -5, .. }));
             }
             other => panic!("{other:?}"),
@@ -908,7 +951,10 @@ mod neg_literal_tests {
             })
             .unwrap();
         // Constant negative step: plain `i >= $hi`, no direction test.
-        assert!(matches!(header, crate::program::Expr::Binary(BinOp::Ge, _, _, _)));
+        assert!(matches!(
+            header,
+            crate::program::Expr::Binary(BinOp::Ge, _, _, _)
+        ));
         // And it executes correctly.
         let out = crate::interp::run_module(
             &parse_and_resolve("proc main() { do i = 10, 1, -2 { print i; } }").unwrap(),

@@ -75,10 +75,17 @@ fn stmt_into(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::Assign { name, value, .. } => {
             let _ = writeln!(out, "{name} = {};", expr(value));
         }
-        Stmt::Store { name, index, value, .. } => {
+        Stmt::Store {
+            name, index, value, ..
+        } => {
             let _ = writeln!(out, "{name}[{}] = {};", expr(index), expr(value));
         }
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr(cond));
             block_body(out, then_blk, indent + 1);
             pad(out, indent);
@@ -97,10 +104,23 @@ fn stmt_into(out: &mut String, s: &Stmt, indent: usize) {
             pad(out, indent);
             out.push_str("}\n");
         }
-        Stmt::Do { var, lo, hi, step, body, .. } => {
+        Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
             match step {
                 Some(st) => {
-                    let _ = writeln!(out, "do {var} = {}, {}, {} {{", expr(lo), expr(hi), expr(st));
+                    let _ = writeln!(
+                        out,
+                        "do {var} = {}, {}, {} {{",
+                        expr(lo),
+                        expr(hi),
+                        expr(st)
+                    );
                 }
                 None => {
                     let _ = writeln!(out, "do {var} = {}, {} {{", expr(lo), expr(hi));

@@ -378,7 +378,10 @@ impl Module {
 
 fn unresolve_expr(p: &Proc, e: &Expr) -> ast::Expr {
     match e {
-        Expr::Const(v, span) => ast::Expr::Const { value: *v, span: *span },
+        Expr::Const(v, span) => ast::Expr::Const {
+            value: *v,
+            span: *span,
+        },
         Expr::Var(v, span) => ast::Expr::Var {
             name: p.var(*v).name.clone(),
             span: *span,
@@ -446,7 +449,14 @@ fn unresolve_stmts(p: &Proc, procs: &[Proc], b: &Block, out: &mut Vec<ast::Stmt>
                 body: unresolve_inner(p, procs, body),
                 span: *span,
             },
-            Stmt::Do { var, lo, hi, step, body, span } => ast::Stmt::Do {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => ast::Stmt::Do {
                 var: p.var(*var).name.clone(),
                 lo: unresolve_expr(p, lo),
                 hi: unresolve_expr(p, hi),
@@ -614,10 +624,8 @@ impl<'a> Resolver<'a> {
         let entry = match self.proc_ids.get("main") {
             Some(&id) => {
                 if !procs[id.index()].formals.is_empty() {
-                    self.diags.error(
-                        "`main` must take no parameters",
-                        procs[id.index()].span,
-                    );
+                    self.diags
+                        .error("`main` must take no parameters", procs[id.index()].span);
                 }
                 id
             }
@@ -764,7 +772,14 @@ impl<'a> Resolver<'a> {
                 if let Some(&existing) = ctx.by_name.get(name) {
                     let info = &ctx.vars[existing.index()];
                     self.diags.error(
-                        format!("`{name}` already declared as {}", if info.is_array { "an array" } else { "a scalar" }),
+                        format!(
+                            "`{name}` already declared as {}",
+                            if info.is_array {
+                                "an array"
+                            } else {
+                                "a scalar"
+                            }
+                        ),
                         *span,
                     );
                 } else {
@@ -785,14 +800,24 @@ impl<'a> Resolver<'a> {
                 self.mark_scalar_use(ctx, v, *span);
                 Stmt::Assign(v, value, *span)
             }
-            ast::Stmt::Store { name, index, value, span } => {
+            ast::Stmt::Store {
+                name,
+                index,
+                value,
+                span,
+            } => {
                 let v = ctx.lookup(name, &self.global_ids, &self.globals);
                 self.mark_array_use(ctx, v, *span);
                 let index = self.resolve_expr(ctx, index);
                 let value = self.resolve_expr(ctx, value);
                 Stmt::Store(v, index, value, *span)
             }
-            ast::Stmt::If { cond, then_blk, else_blk, span } => {
+            ast::Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
                 let cond = self.resolve_expr(ctx, cond);
                 let t = self.resolve_block(ctx, then_blk);
                 let e = self.resolve_block(ctx, else_blk);
@@ -803,14 +828,28 @@ impl<'a> Resolver<'a> {
                 let body = self.resolve_block(ctx, body);
                 Stmt::While(cond, body, *span)
             }
-            ast::Stmt::Do { var, lo, hi, step, body, span } => {
+            ast::Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 let v = ctx.lookup(var, &self.global_ids, &self.globals);
                 self.mark_scalar_use(ctx, v, *span);
                 let lo = self.resolve_expr(ctx, lo);
                 let hi = self.resolve_expr(ctx, hi);
                 let step = step.as_ref().map(|s| self.resolve_expr(ctx, s));
                 let body = self.resolve_block(ctx, body);
-                Stmt::Do { var: v, lo, hi, step, body, span: *span }
+                Stmt::Do {
+                    var: v,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    span: *span,
+                }
             }
             ast::Stmt::Call { callee, args, span } => {
                 let Some(&pid) = self.proc_ids.get(callee) else {
@@ -852,9 +891,7 @@ impl<'a> Resolver<'a> {
                 self.mark_scalar_use(ctx, v, *span);
                 Stmt::Read(v, *span)
             }
-            ast::Stmt::Print { value, span } => {
-                Stmt::Print(self.resolve_expr(ctx, value), *span)
-            }
+            ast::Stmt::Print { value, span } => Stmt::Print(self.resolve_expr(ctx, value), *span),
         })
     }
 
@@ -869,7 +906,9 @@ impl<'a> Resolver<'a> {
                 each_call(&p.body, &mut |callee, args, _| {
                     let cp = &procs[callee.index()];
                     for (ai, arg) in args.iter().enumerate() {
-                        let Some(&fv) = cp.formals.get(ai) else { continue };
+                        let Some(&fv) = cp.formals.get(ai) else {
+                            continue;
+                        };
                         if !cp.var(fv).is_array {
                             continue;
                         }
@@ -906,7 +945,9 @@ impl<'a> Resolver<'a> {
             each_call(&p.body, &mut |callee, args, span| {
                 let cp = &procs[callee.index()];
                 for (ai, arg) in args.iter().enumerate() {
-                    let Some(&fv) = cp.formals.get(ai) else { continue };
+                    let Some(&fv) = cp.formals.get(ai) else {
+                        continue;
+                    };
                     let formal_is_array = cp.var(fv).is_array;
                     let actual_is_array = matches!(arg, Arg::Array(..));
                     if formal_is_array && !actual_is_array {
@@ -1036,10 +1077,8 @@ mod tests {
 
     #[test]
     fn resolves_globals_formals_and_locals() {
-        let m = parse_and_resolve(
-            "global g; proc main() { call f(1); } proc f(a) { x = a + g; }",
-        )
-        .unwrap();
+        let m = parse_and_resolve("global g; proc main() { call f(1); } proc f(a) { x = a + g; }")
+            .unwrap();
         let f = m.proc_named("f").unwrap();
         assert_eq!(f.arity(), 1);
         let a = f.var_named("a").unwrap();
@@ -1069,8 +1108,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_an_error() {
-        let err =
-            parse_and_resolve("proc main() { call f(1, 2); } proc f(a) { }").unwrap_err();
+        let err = parse_and_resolve("proc main() { call f(1, 2); } proc f(a) { }").unwrap_err();
         assert!(err.to_string().contains("expects 1 argument"));
     }
 
@@ -1117,19 +1155,16 @@ mod tests {
 
     #[test]
     fn passing_scalar_where_array_expected_is_an_error() {
-        let err = parse_and_resolve(
-            "proc main() { x = 1; call f(x); } proc f(b) { b[0] = 1; }",
-        )
-        .unwrap_err();
+        let err = parse_and_resolve("proc main() { x = 1; call f(x); } proc f(b) { b[0] = 1; }")
+            .unwrap_err();
         assert!(err.to_string().contains("must be an array"));
     }
 
     #[test]
     fn passing_array_where_scalar_expected_is_an_error() {
-        let err = parse_and_resolve(
-            "proc main() { array a[4]; call f(a); } proc f(x) { y = x + 1; }",
-        )
-        .unwrap_err();
+        let err =
+            parse_and_resolve("proc main() { array a[4]; call f(a); } proc f(x) { y = x + 1; }")
+                .unwrap_err();
         assert!(err.to_string().contains("is an array but formal"));
     }
 
@@ -1142,8 +1177,9 @@ mod tests {
 
     #[test]
     fn literal_detection_on_args() {
-        let m = parse_and_resolve("proc main() { x = 2; call f(1, x, x + 1); } proc f(a, b, c) { }")
-            .unwrap();
+        let m =
+            parse_and_resolve("proc main() { x = 2; call f(1, x, x + 1); } proc f(a, b, c) { }")
+                .unwrap();
         let main = m.proc(m.entry);
         each_call(&main.body, &mut |_, args, _| {
             assert_eq!(args[0].literal(), Some(1));

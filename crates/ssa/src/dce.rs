@@ -72,7 +72,8 @@ mod tests {
 
     #[test]
     fn constant_guard_folds_to_jump() {
-        let (m, pruned) = prune_main("proc main() { debug = 0; if (debug) { print 111; } print 1; }");
+        let (m, pruned) =
+            prune_main("proc main() { debug = 0; if (debug) { print 111; } print 1; }");
         let pruned = pruned.expect("branch should fold");
         assert!(live_statements(&pruned) < live_statements(m.cfg(m.module.entry)) + 1);
         // The 111 print is now unreachable.
@@ -96,7 +97,8 @@ mod tests {
 
     #[test]
     fn pruning_preserves_behaviour() {
-        let src = "proc main() { flag = 1; if (flag) { print 10; } else { print 20; } read z; print z; }";
+        let src =
+            "proc main() { flag = 1; if (flag) { print 10; } else { print 20; } read z; print z; }";
         let m0 = lower_module(&parse_and_resolve(src).unwrap());
         let (m, pruned) = prune_main(src);
         let pruned = pruned.expect("fold");
@@ -117,9 +119,8 @@ mod tests {
 
     #[test]
     fn live_statement_count_ignores_dead_blocks() {
-        let (m, pruned) = prune_main(
-            "proc main() { k = 0; if (k) { print 1; print 2; print 3; } print 4; }",
-        );
+        let (m, pruned) =
+            prune_main("proc main() { k = 0; if (k) { print 1; print 2; print 3; } print 4; }");
         let before = live_statements(m.cfg(m.module.entry));
         let after = live_statements(&pruned.unwrap());
         assert_eq!(before - after, 3);

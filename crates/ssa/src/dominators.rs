@@ -35,23 +35,24 @@ impl DomTree {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[cfg.entry.index()] = Some(cfg.entry);
 
-        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while rpo_pos[a.index()] > rpo_pos[b.index()] {
-                    match idom[a.index()] {
-                        Some(d) => a = d,
-                        None => unreachable!("processed block has idom"),
+        let intersect =
+            |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                        match idom[a.index()] {
+                            Some(d) => a = d,
+                            None => unreachable!("processed block has idom"),
+                        }
+                    }
+                    while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                        match idom[b.index()] {
+                            Some(d) => b = d,
+                            None => unreachable!("processed block has idom"),
+                        }
                     }
                 }
-                while rpo_pos[b.index()] > rpo_pos[a.index()] {
-                    match idom[b.index()] {
-                        Some(d) => b = d,
-                        None => unreachable!("processed block has idom"),
-                    }
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {
@@ -207,7 +208,10 @@ mod tests {
     fn naive_dominators(cfg: &Cfg) -> Vec<Option<Vec<BlockId>>> {
         let n = cfg.len();
         let reach = cfg.reachable();
-        let all: Vec<BlockId> = (0..n).map(BlockId::from).filter(|b| reach[b.index()]).collect();
+        let all: Vec<BlockId> = (0..n)
+            .map(BlockId::from)
+            .filter(|b| reach[b.index()])
+            .collect();
         let mut doms: Vec<Option<Vec<BlockId>>> = vec![None; n];
         for &b in &all {
             doms[b.index()] = Some(if b == cfg.entry { vec![b] } else { all.clone() });
@@ -295,9 +299,8 @@ mod tests {
 
     #[test]
     fn entry_dominates_everything_reachable() {
-        let cfg = entry_cfg(
-            "proc main() { read x; if (x) { while (x > 0) { x = x - 1; } } print x; }",
-        );
+        let cfg =
+            entry_cfg("proc main() { read x; if (x) { while (x > 0) { x = x - 1; } } print x; }");
         let dom = DomTree::build(&cfg);
         for (i, r) in cfg.reachable().iter().enumerate() {
             if *r {
@@ -326,9 +329,8 @@ mod tests {
 
     #[test]
     fn frontier_of_branch_arms_is_the_join() {
-        let cfg = entry_cfg(
-            "proc main() { read x; if (x) { print 1; } else { print 2; } print 3; }",
-        );
+        let cfg =
+            entry_cfg("proc main() { read x; if (x) { print 1; } else { print 2; } print 3; }");
         let dom = DomTree::build(&cfg);
         let df = dominance_frontiers(&cfg, &dom);
         // Both arms have the join block in their frontier.

@@ -42,13 +42,13 @@ impl ValueNumbering {
 /// Hashable per-round key for a value.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Key {
-    Opaque(u32),                    // unique per value
+    Opaque(u32), // unique per value
     Const(i64),
     Entry(u32),
     Unary(u8, u32),
     Binary(u8, u32, u32),
-    Phi(u32, Vec<u32>),             // block, arg classes
-    PhiCollapsed(u32),              // phi with all-congruent args
+    Phi(u32, Vec<u32>), // block, arg classes
+    PhiCollapsed(u32),  // phi with all-congruent args
 }
 
 /// Computes the optimistic congruence partition.

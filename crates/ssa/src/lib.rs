@@ -37,5 +37,8 @@ pub use dominators::{dominance_frontiers, DomTree};
 pub use lattice::Lattice;
 pub use poly::{Poly, PolyVar};
 pub use sccp::{CallDefLattice, OpaqueCallsLattice, SccpResult, Seeds};
-pub use ssa::{build_ssa, build_ssa_pruned, CallKills, ModKills, SsaProc, StmtInfo, ValueId, ValueKind, WorstCaseKills};
+pub use ssa::{
+    build_ssa, build_ssa_pruned, CallKills, ModKills, SsaProc, StmtInfo, ValueId, ValueKind,
+    WorstCaseKills,
+};
 pub use symbolic::{CallDefEval, DeadlineLatch, OpaqueCalls, RetTarget, SymVal, Symbolic};

@@ -161,7 +161,10 @@ mod tests {
     use ipcp_ir::cfg::BlockId;
     use ipcp_ir::{lower_module, parse_and_resolve};
 
-    fn liveness_for(src: &str, name: &str) -> (ipcp_ir::ModuleCfg, Liveness, ipcp_ir::program::ProcId) {
+    fn liveness_for(
+        src: &str,
+        name: &str,
+    ) -> (ipcp_ir::ModuleCfg, Liveness, ipcp_ir::program::ProcId) {
         let m = lower_module(&parse_and_resolve(src).unwrap());
         let pid = m.module.proc_named(name).unwrap().id;
         let l = compute(m.module.proc(pid), m.cfg(pid));
@@ -227,10 +230,10 @@ mod tests {
         );
         let g = m.module.proc(pid).var_named("g").unwrap();
         assert!(!l.live_at(BlockId(0), g)); // killed by the assignment first
-        // But g is in gen of any block whose call precedes a kill — here
-        // there is only one block; the property we care about is that the
-        // call marked g used *after* the kill, which shows up as live_out
-        // only; entry stays dead. Nothing to assert beyond no-panic.
+                                            // But g is in gen of any block whose call precedes a kill — here
+                                            // there is only one block; the property we care about is that the
+                                            // call marked g used *after* the kill, which shows up as live_out
+                                            // only; entry stays dead. Nothing to assert beyond no-panic.
         let _ = m;
     }
 }

@@ -414,9 +414,19 @@ mod tests {
 
     #[test]
     fn div_exact_only_when_all_coefficients_divide() {
-        let p = x().mul(&Poly::constant(4)).unwrap().add(&Poly::constant(6)).unwrap();
+        let p = x()
+            .mul(&Poly::constant(4))
+            .unwrap()
+            .add(&Poly::constant(6))
+            .unwrap();
         let q = p.div_exact(2).unwrap();
-        assert_eq!(q, x().mul(&Poly::constant(2)).unwrap().add(&Poly::constant(3)).unwrap());
+        assert_eq!(
+            q,
+            x().mul(&Poly::constant(2))
+                .unwrap()
+                .add(&Poly::constant(3))
+                .unwrap()
+        );
         assert!(p.div_exact(4).is_none());
         assert!(p.div_exact(0).is_none());
         // Semantics check: (4x+6)/2 == 2x+3 under truncating division for
@@ -428,7 +438,11 @@ mod tests {
 
     #[test]
     fn divisible_by_matches_rem_semantics() {
-        let p = x().mul(&Poly::constant(6)).unwrap().add(&Poly::constant(9)).unwrap();
+        let p = x()
+            .mul(&Poly::constant(6))
+            .unwrap()
+            .add(&Poly::constant(9))
+            .unwrap();
         assert!(p.divisible_by(3));
         assert!(!p.divisible_by(2));
         for xv in [-4i64, 0, 5] {
@@ -487,11 +501,7 @@ mod tests {
     #[test]
     fn fits_within_checks_all_three_axes() {
         // p = x*y + 3: 2 terms, degree 2, support {x, y}.
-        let p = x()
-            .mul(&y())
-            .unwrap()
-            .add(&Poly::constant(3))
-            .unwrap();
+        let p = x().mul(&y()).unwrap().add(&Poly::constant(3)).unwrap();
         assert!(p.fits_within(2, 2, 2));
         assert!(!p.fits_within(1, 2, 2), "term cap");
         assert!(!p.fits_within(2, 1, 2), "degree cap");

@@ -14,10 +14,10 @@
 use crate::lattice::Lattice;
 use crate::ssa::{SsaProc, StmtInfo, ValueId, ValueKind};
 use crate::symbolic::{ret_target, RetTarget};
+use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::cfg::{BlockId, Cfg, Terminator};
 use ipcp_ir::interp::eval_binop;
 use ipcp_ir::lang::ast::UnOp;
-use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, VarId};
 use std::collections::HashSet;
 
@@ -72,7 +72,10 @@ impl Seeds {
 
     /// The seed for `v` (⊥ when out of range).
     pub fn seed(&self, v: VarId) -> Lattice {
-        self.by_var.get(v.index()).copied().unwrap_or(Lattice::Bottom)
+        self.by_var
+            .get(v.index())
+            .copied()
+            .unwrap_or(Lattice::Bottom)
     }
 }
 
@@ -99,7 +102,10 @@ impl SccpResult {
         if !self.block_exec[b.index()] {
             return None;
         }
-        let Terminator::Branch { then_bb, else_bb, .. } = &cfg.block(b).term else {
+        let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = &cfg.block(b).term
+        else {
             return None;
         };
         let cond = ssa.blocks[b.index()].term_cond?;
@@ -138,56 +144,58 @@ pub fn run(
         }
     }
 
-    let eval = |values: &[Lattice],
-                edge_exec: &HashSet<(BlockId, BlockId)>,
-                v: ValueId|
-     -> Lattice {
-        match ssa.value(v) {
-            ValueKind::Entry { var } => seeds.seed(*var),
-            ValueKind::Const(c) => Lattice::Const(*c),
-            ValueKind::ReadInput { .. } | ValueKind::Load { .. } => Lattice::Bottom,
-            ValueKind::Unary(op, x) => match (op, values[x.index()]) {
-                (_, Lattice::Top) => Lattice::Top,
-                (_, Lattice::Bottom) => Lattice::Bottom,
-                (UnOp::Neg, Lattice::Const(c)) => {
-                    c.checked_neg().map_or(Lattice::Bottom, Lattice::Const)
-                }
-                (UnOp::Not, Lattice::Const(c)) => Lattice::Const(i64::from(c == 0)),
-            },
-            ValueKind::Binary(op, a, b) => match (values[a.index()], values[b.index()]) {
-                (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
-                (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
-                (Lattice::Const(x), Lattice::Const(y)) => {
-                    eval_binop(*op, x, y).map_or(Lattice::Bottom, Lattice::Const)
-                }
-            },
-            ValueKind::Phi { block, .. } => {
-                let mut acc = Lattice::Top;
-                for &(pred, arg) in &ssa.phi_args[v.index()] {
-                    if edge_exec.contains(&(pred, *block)) {
-                        acc = acc.meet(values[arg.index()]);
+    let eval =
+        |values: &[Lattice], edge_exec: &HashSet<(BlockId, BlockId)>, v: ValueId| -> Lattice {
+            match ssa.value(v) {
+                ValueKind::Entry { var } => seeds.seed(*var),
+                ValueKind::Const(c) => Lattice::Const(*c),
+                ValueKind::ReadInput { .. } | ValueKind::Load { .. } => Lattice::Bottom,
+                ValueKind::Unary(op, x) => match (op, values[x.index()]) {
+                    (_, Lattice::Top) => Lattice::Top,
+                    (_, Lattice::Bottom) => Lattice::Bottom,
+                    (UnOp::Neg, Lattice::Const(c)) => {
+                        c.checked_neg().map_or(Lattice::Bottom, Lattice::Const)
                     }
+                    (UnOp::Not, Lattice::Const(c)) => Lattice::Const(i64::from(c == 0)),
+                },
+                ValueKind::Binary(op, a, b) => match (values[a.index()], values[b.index()]) {
+                    (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    (Lattice::Const(x), Lattice::Const(y)) => {
+                        eval_binop(*op, x, y).map_or(Lattice::Bottom, Lattice::Const)
+                    }
+                },
+                ValueKind::Phi { block, .. } => {
+                    let mut acc = Lattice::Top;
+                    for &(pred, arg) in &ssa.phi_args[v.index()] {
+                        if edge_exec.contains(&(pred, *block)) {
+                            acc = acc.meet(values[arg.index()]);
+                        }
+                    }
+                    acc
                 }
-                acc
+                ValueKind::CallDef { site, callee, var } => {
+                    let Some(target) = ret_target(mcfg, ssa.proc, *site, *var) else {
+                        return Lattice::Bottom;
+                    };
+                    let Some(StmtInfo::Call {
+                        arg_vals,
+                        global_pre,
+                        ..
+                    }) = ssa.call_info(*site)
+                    else {
+                        return Lattice::Bottom;
+                    };
+                    let arg_lats: Vec<Lattice> = arg_vals
+                        .iter()
+                        .map(|a| a.map_or(Lattice::Bottom, |x| values[x.index()]))
+                        .collect();
+                    let global_lats: Vec<Lattice> =
+                        global_pre.iter().map(|&x| values[x.index()]).collect();
+                    oracle.eval_call_def(*callee, target, &arg_lats, &global_lats)
+                }
             }
-            ValueKind::CallDef { site, callee, var } => {
-                let Some(target) = ret_target(mcfg, ssa.proc, *site, *var) else {
-                    return Lattice::Bottom;
-                };
-                let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ssa.call_info(*site)
-                else {
-                    return Lattice::Bottom;
-                };
-                let arg_lats: Vec<Lattice> = arg_vals
-                    .iter()
-                    .map(|a| a.map_or(Lattice::Bottom, |x| values[x.index()]))
-                    .collect();
-                let global_lats: Vec<Lattice> =
-                    global_pre.iter().map(|&x| values[x.index()]).collect();
-                oracle.eval_call_def(*callee, target, &arg_lats, &global_lats)
-            }
-        }
-    };
+        };
 
     // Seed: evaluate every value once; enter at the entry block.
     let mut ssa_work: Vec<ValueId> = (0..n).rev().map(ValueId::from).collect();
@@ -213,7 +221,9 @@ pub fn run(
                 mark_edge(b, *t, &mut edge_exec, &mut flow_work, &mut ssa_work, ssa);
             }
             Terminator::Return => {}
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 // Lowering attaches a condition value to every branch; if
                 // it were ever missing, ⊥ (both arms live) is the safe read.
                 let cond = ssa.blocks[b.index()]
@@ -226,8 +236,22 @@ pub fn run(
                         mark_edge(b, t, &mut edge_exec, &mut flow_work, &mut ssa_work, ssa);
                     }
                     Lattice::Bottom => {
-                        mark_edge(b, *then_bb, &mut edge_exec, &mut flow_work, &mut ssa_work, ssa);
-                        mark_edge(b, *else_bb, &mut edge_exec, &mut flow_work, &mut ssa_work, ssa);
+                        mark_edge(
+                            b,
+                            *then_bb,
+                            &mut edge_exec,
+                            &mut flow_work,
+                            &mut ssa_work,
+                            ssa,
+                        );
+                        mark_edge(
+                            b,
+                            *else_bb,
+                            &mut edge_exec,
+                            &mut flow_work,
+                            &mut ssa_work,
+                            ssa,
+                        );
                     }
                 }
             }

@@ -15,10 +15,10 @@
 
 use crate::dominators::{dominance_frontiers, DomTree};
 use crate::liveness::{self, Liveness};
+use ipcp_analysis::modref::{worst_case_killed, ModRef};
 use ipcp_ir::cfg::{BlockId, CStmt, CallSiteId, ModuleCfg, Terminator};
 use ipcp_ir::lang::ast::{BinOp, UnOp};
 use ipcp_ir::program::{Arg, Expr, ProcId, VarId};
-use ipcp_analysis::modref::{worst_case_killed, ModRef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -220,7 +220,11 @@ impl SsaProc {
             ValueKind::Load { index, .. } => vec![*index],
             ValueKind::Phi { .. } => self.phi_args[v.index()].iter().map(|&(_, a)| a).collect(),
             ValueKind::CallDef { site, .. } => match self.call_info(*site) {
-                Some(StmtInfo::Call { arg_vals, global_pre, .. }) => arg_vals
+                Some(StmtInfo::Call {
+                    arg_vals,
+                    global_pre,
+                    ..
+                }) => arg_vals
                     .iter()
                     .flatten()
                     .copied()
@@ -255,9 +259,17 @@ impl SsaProc {
     pub fn calls(&self) -> impl Iterator<Item = CallRecord<'_>> {
         self.blocks.iter().enumerate().flat_map(|(bi, blk)| {
             blk.stmts.iter().filter_map(move |s| match s {
-                StmtInfo::Call { site, arg_vals, defs, .. } => {
-                    Some((BlockId::from(bi), *site, arg_vals.as_slice(), defs.as_slice()))
-                }
+                StmtInfo::Call {
+                    site,
+                    arg_vals,
+                    defs,
+                    ..
+                } => Some((
+                    BlockId::from(bi),
+                    *site,
+                    arg_vals.as_slice(),
+                    defs.as_slice(),
+                )),
                 _ => None,
             })
         })
@@ -266,7 +278,12 @@ impl SsaProc {
 
 /// One reachable call, as yielded by [`SsaProc::calls`]:
 /// `(block, site, argument values, values defined by the call)`.
-pub type CallRecord<'a> = (BlockId, CallSiteId, &'a [Option<ValueId>], &'a [(VarId, ValueId)]);
+pub type CallRecord<'a> = (
+    BlockId,
+    CallSiteId,
+    &'a [Option<ValueId>],
+    &'a [(VarId, ValueId)],
+);
 
 /// Oracle deciding which caller variables a call statement may modify.
 ///
@@ -276,13 +293,7 @@ pub type CallRecord<'a> = (BlockId, CallSiteId, &'a [Option<ValueId>], &'a [(Var
 pub trait CallKills {
     /// Caller-side variables possibly modified by `call callee(args…)`
     /// inside `caller`.
-    fn killed(
-        &self,
-        mcfg: &ModuleCfg,
-        caller: ProcId,
-        callee: ProcId,
-        args: &[Arg],
-    ) -> Vec<VarId>;
+    fn killed(&self, mcfg: &ModuleCfg, caller: ProcId, callee: ProcId, args: &[Arg]) -> Vec<VarId>;
 }
 
 /// MOD-precise kills.
@@ -290,13 +301,7 @@ pub trait CallKills {
 pub struct ModKills<'a>(pub &'a ModRef);
 
 impl CallKills for ModKills<'_> {
-    fn killed(
-        &self,
-        mcfg: &ModuleCfg,
-        caller: ProcId,
-        callee: ProcId,
-        args: &[Arg],
-    ) -> Vec<VarId> {
+    fn killed(&self, mcfg: &ModuleCfg, caller: ProcId, callee: ProcId, args: &[Arg]) -> Vec<VarId> {
         self.0.killed_by_call(mcfg, caller, callee, args)
     }
 }
@@ -403,7 +408,9 @@ impl<'a> Builder<'a> {
     /// Hash-consing for pure nodes; other kinds are always fresh.
     fn intern(&mut self, kind: ValueKind) -> ValueId {
         match kind {
-            ValueKind::Const(_) | ValueKind::Unary(..) | ValueKind::Binary(..)
+            ValueKind::Const(_)
+            | ValueKind::Unary(..)
+            | ValueKind::Binary(..)
             | ValueKind::Entry { .. } => {
                 if let Some(&v) = self.interned.get(&kind) {
                     return v;
@@ -531,7 +538,10 @@ impl<'a> Builder<'a> {
     /// Renames one block; returns the (var, pop-count) list to unwind.
     fn rename_block(&mut self, cfg: &ipcp_ir::cfg::Cfg, b: BlockId) -> Vec<(VarId, usize)> {
         let mut pushed: HashMap<VarId, usize> = HashMap::new();
-        let push = |stacks: &mut Vec<Vec<ValueId>>, pushed: &mut HashMap<VarId, usize>, v: VarId, val: ValueId| {
+        let push = |stacks: &mut Vec<Vec<ValueId>>,
+                    pushed: &mut HashMap<VarId, usize>,
+                    v: VarId,
+                    val: ValueId| {
             stacks[v.index()].push(val);
             *pushed.entry(v).or_insert(0) += 1;
         };
@@ -559,7 +569,11 @@ impl<'a> Builder<'a> {
                     let mut use_vals = Vec::new();
                     let i = self.lower_expr(index, &mut use_vals);
                     let v = self.lower_expr(value, &mut use_vals);
-                    StmtInfo::Store { index: i, value: v, use_vals }
+                    StmtInfo::Store {
+                        index: i,
+                        value: v,
+                        use_vals,
+                    }
                 }
                 CStmt::Read { dst } => {
                     let seq = self.read_seq;
@@ -609,7 +623,13 @@ impl<'a> Builder<'a> {
                         defs.push((v, d));
                     }
                     self.call_sites[site.index()] = Some((b, infos.len()));
-                    StmtInfo::Call { site: *site, arg_vals, defs, use_vals, global_pre }
+                    StmtInfo::Call {
+                        site: *site,
+                        arg_vals,
+                        defs,
+                        use_vals,
+                        global_pre,
+                    }
                 }
             };
             infos.push(info);
@@ -675,7 +695,10 @@ impl<'a> Builder<'a> {
             }
             Expr::Load(arr, idx, _) => {
                 let i = self.lower_expr(idx, use_vals);
-                self.fresh(ValueKind::Load { array: *arr, index: i })
+                self.fresh(ValueKind::Load {
+                    array: *arr,
+                    index: i,
+                })
             }
             Expr::Unary(op, x, _) => {
                 let xv = self.lower_expr(x, use_vals);
@@ -770,13 +793,19 @@ mod tests {
         let g = f.var_named("g").unwrap();
         assert!(ssa.entry_vals[a.index()].is_some());
         assert!(ssa.entry_vals[g.index()].is_some());
-        assert_eq!(count_kind(&ssa, |k| matches!(k, ValueKind::Entry { .. })), 2);
+        assert_eq!(
+            count_kind(&ssa, |k| matches!(k, ValueKind::Entry { .. })),
+            2
+        );
     }
 
     #[test]
     fn locals_start_at_zero_not_entry() {
         let (_, ssa) = ssa_for("proc main() { print x; }", "main");
-        assert_eq!(count_kind(&ssa, |k| matches!(k, ValueKind::Entry { .. })), 0);
+        assert_eq!(
+            count_kind(&ssa, |k| matches!(k, ValueKind::Entry { .. })),
+            0
+        );
         // The print's value is the constant 0.
         let blk = &ssa.blocks[0];
         match &blk.stmts[0] {
@@ -866,7 +895,10 @@ mod tests {
         let at_exit = ssa.exits[0].1[a.index()].unwrap();
         // a = 41 + 1 — constant folding happens later (SCCP), here it is
         // a Binary over Const.
-        assert!(matches!(ssa.value(at_exit), ValueKind::Binary(BinOp::Add, _, _)));
+        assert!(matches!(
+            ssa.value(at_exit),
+            ValueKind::Binary(BinOp::Add, _, _)
+        ));
     }
 
     #[test]

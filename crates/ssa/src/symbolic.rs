@@ -16,9 +16,9 @@
 
 use crate::poly::Poly;
 use crate::ssa::{SsaProc, StmtInfo, ValueId, ValueKind};
+use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::interp::eval_binop;
 use ipcp_ir::lang::ast::{BinOp, UnOp};
-use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{GlobalId, ProcId, SlotLayout, VarId, VarKind};
 use std::fmt;
 
@@ -117,7 +117,11 @@ pub fn ret_target(
                 }
             }
         });
-        return if passed { None } else { Some(RetTarget::Global(g)) };
+        return if passed {
+            None
+        } else {
+            Some(RetTarget::Global(g))
+        };
     }
     let mut positions = Vec::new();
     mcfg.each_call_in(caller, |_, s, _, args| {
@@ -195,9 +199,7 @@ pub fn slot_map(mcfg: &ModuleCfg, proc: ProcId, layout: &SlotLayout) -> Vec<Opti
             }
             match info.kind {
                 VarKind::Formal(i) => Some(i as u32),
-                VarKind::Global(g) => layout
-                    .global_slot(p.arity(), g)
-                    .map(|s| s as u32),
+                VarKind::Global(g) => layout.global_slot(p.arity(), g).map(|s| s as u32),
                 VarKind::Local => None,
             }
         })
@@ -248,7 +250,11 @@ pub fn evaluate_budgeted(
     gate: Option<&crate::sccp::SccpResult>,
     max_steps: u64,
 ) -> (Symbolic, bool) {
-    let budget = EvalBudget { max_steps, deadline: None, latch: None };
+    let budget = EvalBudget {
+        max_steps,
+        deadline: None,
+        latch: None,
+    };
     evaluate_under(mcfg, ssa, layout, oracle, gate, &budget)
 }
 
@@ -385,7 +391,13 @@ pub fn evaluate_under(
         }
     }
 
-    (Symbolic { values, slot_of_var }, exhausted)
+    (
+        Symbolic {
+            values,
+            slot_of_var,
+        },
+        exhausted,
+    )
 }
 
 fn rank(v: &SymVal) -> u8 {
@@ -442,7 +454,11 @@ fn transfer(
             let Some(target) = ret_target(mcfg, ssa.proc, *site, *var) else {
                 return SymVal::Bottom;
             };
-            let Some(StmtInfo::Call { arg_vals, global_pre, .. }) = ssa.call_info(*site)
+            let Some(StmtInfo::Call {
+                arg_vals,
+                global_pre,
+                ..
+            }) = ssa.call_info(*site)
             else {
                 return SymVal::Bottom;
             };
@@ -450,8 +466,7 @@ fn transfer(
                 .iter()
                 .map(|a| a.map_or(SymVal::Bottom, |x| val(x).clone()))
                 .collect();
-            let global_syms: Vec<SymVal> =
-                global_pre.iter().map(|&x| val(x).clone()).collect();
+            let global_syms: Vec<SymVal> = global_pre.iter().map(|&x| val(x).clone()).collect();
             oracle.eval_call_def(*callee, target, &arg_syms, &global_syms)
         }
     }
@@ -546,7 +561,10 @@ mod tests {
         // Unlimited budget reports no exhaustion and matches evaluate().
         let (full, hit) = evaluate_budgeted(&m, &ssa, &layout, &OpaqueCalls, None, u64::MAX);
         assert!(!hit);
-        assert_eq!(full.values, evaluate(&m, &ssa, &layout, &OpaqueCalls).values);
+        assert_eq!(
+            full.values,
+            evaluate(&m, &ssa, &layout, &OpaqueCalls).values
+        );
         // A two-step budget exhausts; every value is then at its fixpoint
         // or ⊥ (consistency), and exhaustion is reported.
         let (cut, hit) = evaluate_budgeted(&m, &ssa, &layout, &OpaqueCalls, None, 2);

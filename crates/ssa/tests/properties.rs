@@ -44,13 +44,15 @@ fn dominators_match_reachability_definition() {
                     assert_eq!(
                         dom.dominates(a, b),
                         naive_dominates(cfg, a, b),
-                        "dominates({}, {}) mismatch (seed {})", a, b, seed
+                        "dominates({}, {}) mismatch (seed {})",
+                        a,
+                        b,
+                        seed
                     );
                 }
             }
         }
     }
-
 }
 
 #[test]
@@ -81,13 +83,15 @@ fn dominance_frontier_definition_holds() {
                     assert_eq!(
                         df[a.index()].contains(&b),
                         expected,
-                        "DF({}) vs {} (seed {})", a, b, seed
+                        "DF({}) vs {} (seed {})",
+                        a,
+                        b,
+                        seed
                     );
                 }
             }
         }
     }
-
 }
 
 #[test]
@@ -121,7 +125,6 @@ fn ssa_phis_have_one_arg_per_reachable_pred() {
             }
         }
     }
-
 }
 
 #[test]
@@ -146,7 +149,6 @@ fn ssa_uses_are_dominated_by_defs() {
             }
         }
     }
-
 }
 
 #[test]
@@ -205,18 +207,22 @@ fn pruned_ssa_agrees_with_minimal() {
             let yp = evaluate(&mcfg, &pruned, &layout, &OpaqueCalls);
             for (bi, (bm, bp)) in minimal.blocks.iter().zip(&pruned.blocks).enumerate() {
                 for (im, ip) in bm.stmts.iter().zip(&bp.stmts) {
-                    if let (
-                        StmtInfo::Print { value: vm, .. },
-                        StmtInfo::Print { value: vp, .. },
-                    ) = (im, ip)
+                    if let (StmtInfo::Print { value: vm, .. }, StmtInfo::Print { value: vp, .. }) =
+                        (im, ip)
                     {
                         assert_eq!(
-                            sm.value(*vm), sp.value(*vp),
-                            "SCCP disagreement in block {} (seed {})", bi, seed
+                            sm.value(*vm),
+                            sp.value(*vp),
+                            "SCCP disagreement in block {} (seed {})",
+                            bi,
+                            seed
                         );
                         assert_eq!(
-                            ym.value(*vm), yp.value(*vp),
-                            "symbolic disagreement in block {} (seed {})", bi, seed
+                            ym.value(*vm),
+                            yp.value(*vp),
+                            "symbolic disagreement in block {} (seed {})",
+                            bi,
+                            seed
                         );
                     }
                 }
@@ -226,7 +232,10 @@ fn pruned_ssa_agrees_with_minimal() {
                 for (vm, vp) in em.iter().zip(ep) {
                     match (vm, vp) {
                         (Some(a), Some(b)) => assert_eq!(
-                            ym.value(*a), yp.value(*b), "exit disagreement (seed {})", seed
+                            ym.value(*a),
+                            yp.value(*b),
+                            "exit disagreement (seed {})",
+                            seed
                         ),
                         (None, None) => {}
                         other => panic!("exit shape mismatch: {other:?}"),

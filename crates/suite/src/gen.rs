@@ -67,7 +67,13 @@ impl Gen {
             let _ = writeln!(self.out, "global g{gi};");
         }
         let arities: Vec<usize> = (0..self.cfg.n_procs)
-            .map(|i| if i == 0 { 0 } else { self.rng.below(4) as usize })
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    self.rng.below(4) as usize
+                }
+            })
             .collect();
         for (i, &arity) in arities.iter().enumerate() {
             let name = if i == 0 {
@@ -278,8 +284,7 @@ mod tests {
     fn generated_programs_always_resolve() {
         for seed in 0..60 {
             let src = generate(&GenConfig::default(), seed);
-            parse_and_resolve(&src)
-                .unwrap_or_else(|e| panic!("seed {seed} failed: {e}\n{src}"));
+            parse_and_resolve(&src).unwrap_or_else(|e| panic!("seed {seed} failed: {e}\n{src}"));
         }
     }
 

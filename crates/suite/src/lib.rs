@@ -19,10 +19,13 @@
 //! benchmarks.
 
 pub mod gen;
+pub mod mutate;
+pub mod prop;
 pub mod rng;
 pub mod stats;
 
 pub use gen::{generate, GenConfig};
+pub use prop::{Checker, Counterexample, PropContext, Property, Report};
 pub use rng::Rng;
 pub use stats::{program_stats, ProgramStats};
 

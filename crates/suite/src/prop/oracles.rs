@@ -1,0 +1,254 @@
+//! The standard oracle set, registered as named properties.
+//!
+//! Every oracle treats a source that fails to parse as vacuously passing
+//! (frontend errors are values, and [`PanicFree`] separately guarantees
+//! the frontend cannot crash) — which also means the shrinker can throw
+//! arbitrary fragments at a property and invalid candidates are simply
+//! rejected.
+
+use ipcp::quarantine::quiet_catch;
+use ipcp::{
+    analyze, analyze_source, solve_worklist_reference, soundness_violation, Analysis, Governor,
+    IpcpError, Lattice,
+};
+use ipcp_ir::program::ProcId;
+use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+
+use super::{PropContext, Property};
+
+fn lowered(src: &str) -> Option<ModuleCfg> {
+    parse_and_resolve(src).ok().map(|m| lower_module(&m))
+}
+
+/// `panic-free`: the whole pipeline returns values — or `IpcpError`s —
+/// for every input, never a panic. Probed with quarantine forced off so
+/// a contained fault is still observable.
+pub struct PanicFree;
+
+impl Property for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-free"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        let probe = ctx.config.with_quarantine(false);
+        quiet_catch(|| {
+            let _ = analyze_source(src, &probe);
+        })
+        .map_err(|msg| format!("pipeline panicked: {msg}"))
+    }
+}
+
+/// `soundness`: no claimed `CONSTANTS(p)` pair is contradicted by the
+/// reference interpreter's entry trace — the 1986 paper's safety
+/// invariant, checked on the context's canonical inputs.
+pub struct Soundness;
+
+impl Property for Soundness {
+    fn name(&self) -> &'static str {
+        "soundness"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        let Some(mcfg) = lowered(src) else {
+            return Ok(());
+        };
+        match soundness_violation(&mcfg, &ctx.config, &ctx.inputs) {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        }
+    }
+}
+
+/// `jobs-identity`: the worker count is unobservable — `jobs = 1` and
+/// `jobs = N` produce bit-identical vals (including the meet/iteration
+/// cost counters), telemetry, and quarantine flags.
+pub struct JobsIdentity;
+
+impl Property for JobsIdentity {
+    fn name(&self) -> &'static str {
+        "jobs-identity"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        let Some(mcfg) = lowered(src) else {
+            return Ok(());
+        };
+        let seq = Analysis::run(&mcfg, &ctx.config.with_jobs(1));
+        for jobs in [2usize, 4] {
+            let par = Analysis::run(&mcfg, &ctx.config.with_jobs(jobs));
+            if par.vals != seq.vals {
+                return Err(format!(
+                    "CONSTANTS or solver counters differ at jobs={jobs}"
+                ));
+            }
+            if par.health != seq.health {
+                return Err(format!("degradation telemetry differs at jobs={jobs}"));
+            }
+            if par.quarantined != seq.quarantined {
+                return Err(format!("quarantine flags differ at jobs={jobs}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `wavefront-worklist`: on a clean (undegraded, unquarantined) run the
+/// SCC-wavefront solver computes the same fixpoint `vals` as the classic
+/// §4.1 FIFO worklist. Degraded runs are vacuous — the two schedules
+/// legitimately lose different precision when a budget or deadline trips
+/// mid-solve.
+pub struct WavefrontWorklist;
+
+impl Property for WavefrontWorklist {
+    fn name(&self) -> &'static str {
+        "wavefront-worklist"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        let Some(mcfg) = lowered(src) else {
+            return Ok(());
+        };
+        let analysis = Analysis::run(&mcfg, &ctx.config.with_jobs(1));
+        if analysis.health.degraded() || analysis.quarantined.iter().any(|&q| q) {
+            return Ok(());
+        }
+        // The reference runs under a pristine copy of the config: no
+        // injected faults or deadline, which would trip at a different
+        // point of its (longer) schedule.
+        let mut pristine = ctx.config;
+        pristine.fault_injection = None;
+        pristine.panic_injection = None;
+        pristine.deadline = None;
+        let entry_globals = if pristine.assume_zero_globals {
+            Lattice::Const(0)
+        } else {
+            Lattice::Bottom
+        };
+        let reference = quiet_catch(|| {
+            let mut gov = Governor::new(&pristine);
+            solve_worklist_reference(
+                &mcfg,
+                &analysis.cg,
+                &analysis.layout,
+                &analysis.jump_fns,
+                entry_globals,
+                &mut gov,
+            )
+        })
+        .map_err(|msg| format!("worklist reference panicked: {msg}"))?;
+        for pi in 0..mcfg.module.procs.len() {
+            let pid = ProcId::from(pi);
+            if reference.of(pid) != analysis.vals.of(pid) {
+                return Err(format!(
+                    "wavefront and worklist disagree on CONSTANTS({})",
+                    mcfg.module.proc(pid).name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `exit-consistency`: strict mode errors with `ResourceExhausted`
+/// exactly when the lenient run reports degradation, and both modes
+/// compute identical vals when strict succeeds — the contract behind
+/// `ipcc`'s exit codes 0 and 3.
+pub struct ExitConsistency;
+
+impl Property for ExitConsistency {
+    fn name(&self) -> &'static str {
+        "exit-consistency"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        let Some(mcfg) = lowered(src) else {
+            return Ok(());
+        };
+        let mut lenient_cfg = ctx.config;
+        lenient_cfg.strict = false;
+        let mut strict_cfg = ctx.config;
+        strict_cfg.strict = true;
+        let lenient = Analysis::run(&mcfg, &lenient_cfg);
+        match analyze(&mcfg, &strict_cfg) {
+            Ok(strict) => {
+                if lenient.health.degraded() {
+                    Err("strict mode accepted a run the lenient mode reports degraded".into())
+                } else if strict.vals != lenient.vals {
+                    Err("strict and lenient modes disagree on CONSTANTS".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Err(IpcpError::ResourceExhausted { .. }) => {
+                if lenient.health.degraded() {
+                    Ok(())
+                } else {
+                    Err("strict mode rejected a run the lenient mode reports clean".into())
+                }
+            }
+            Err(e) => Err(format!("strict analyze returned an unexpected error: {e}")),
+        }
+    }
+}
+
+/// Every registered property, in stable order.
+pub fn all_properties() -> Vec<Box<dyn Property>> {
+    vec![
+        Box::new(PanicFree),
+        Box::new(Soundness),
+        Box::new(JobsIdentity),
+        Box::new(WavefrontWorklist),
+        Box::new(ExitConsistency),
+    ]
+}
+
+/// Looks a property up by its registry name.
+pub fn property(name: &str) -> Option<Box<dyn Property>> {
+    all_properties().into_iter().find(|p| p.name() == name)
+}
+
+/// The registry names, in stable order (CLI help and flag validation).
+pub fn property_names() -> Vec<&'static str> {
+    all_properties().iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::PropContext;
+    use crate::PROGRAMS;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = property_names();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        for name in names {
+            assert!(property(name).is_some(), "{name}");
+        }
+        assert!(property("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_property_holds_on_the_benchmark_suite() {
+        let ctx = PropContext::default();
+        let props = all_properties();
+        for p in PROGRAMS {
+            let mut ctx = ctx.clone();
+            ctx.inputs = p.inputs.to_vec();
+            for prop in &props {
+                prop.check(p.source, &ctx)
+                    .unwrap_or_else(|msg| panic!("{} on {}: {msg}", prop.name(), p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn unparseable_sources_are_vacuous_for_every_oracle() {
+        let ctx = PropContext::default();
+        for prop in all_properties() {
+            assert_eq!(prop.check("proc main( {", &ctx), Ok(()), "{}", prop.name());
+        }
+    }
+}

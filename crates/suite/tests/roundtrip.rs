@@ -73,8 +73,8 @@ fn suite_sources_round_trip_through_resolution() {
     for p in ipcp_suite::PROGRAMS {
         let m1 = p.module();
         let printed = m1.to_source();
-        let m2 = parse_and_resolve(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
+        let m2 =
+            parse_and_resolve(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
         assert_eq!(printed, m2.to_source(), "{}", p.name);
     }
 }

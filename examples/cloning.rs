@@ -34,21 +34,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mcfg = lower_module(&parse_and_resolve(SRC)?);
 
     let (before, after, result) = cloning_gain(&mcfg, &Config::default(), 8);
-    println!("round 1: {} clone(s); constants substituted {before} -> {after}", result.n_clones);
+    println!(
+        "round 1: {} clone(s); constants substituted {before} -> {after}",
+        result.n_clones
+    );
     for p in &result.module.module.procs {
         println!("  proc {}", p.name);
     }
 
     // A second round specializes the next level of the call chain.
     let (b2, a2, round2) = cloning_gain(&result.module, &Config::default(), 8);
-    println!("round 2: {} clone(s); constants substituted {b2} -> {a2}", round2.n_clones);
+    println!(
+        "round 2: {} clone(s); constants substituted {b2} -> {a2}",
+        round2.n_clones
+    );
 
     let final_analysis = Analysis::run(&round2.module, &Config::default());
     for p in &round2.module.module.procs {
         let consts = final_analysis.constants_of(&round2.module, p.id);
         if !consts.is_empty() {
-            let shown: Vec<String> =
-                consts.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            let shown: Vec<String> = consts.iter().map(|(n, v)| format!("{n}={v}")).collect();
             println!("  CONSTANTS({}) = {{ {} }}", p.name, shown.join(", "));
         }
     }

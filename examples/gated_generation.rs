@@ -36,9 +36,7 @@ fn main() {
             .build()
             .expect("gated over polynomial is valid");
         let t0 = Instant::now();
-        let gated = Analysis::run(&mcfg, &gated_config)
-            .substitute(&mcfg)
-            .total;
+        let gated = Analysis::run(&mcfg, &gated_config).substitute(&mcfg).total;
         let t_gated = t0.elapsed();
 
         println!("{name}:");
@@ -47,7 +45,9 @@ fn main() {
             "  complete propagation   {:>4} constants  ({t_complete:.2?}, {} DCE round(s))",
             complete.substitution.total, complete.dce_rounds
         );
-        println!("  gated generation       {gated:>4} constants  ({t_gated:.2?}, no transformation)");
+        println!(
+            "  gated generation       {gated:>4} constants  ({t_gated:.2?}, no transformation)"
+        );
         println!();
     }
     println!("Gated generation matches the complete-propagation counts without");

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== usefulness (Metzger–Stroud metric) ==\n");
     for (pi, n) in substitution.counts.iter().enumerate() {
         if *n > 0 {
-            println!("{:<10} {n} constants substituted", mcfg.module.procs[pi].name);
+            println!(
+                "{:<10} {n} constants substituted",
+                mcfg.module.procs[pi].name
+            );
         }
     }
     println!("total: {}", substitution.total);
@@ -59,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== blur, after substitution (CFG form) ==\n");
     print!(
         "{}",
-        substitution.module.cfg(blur.id).display(&substitution.module.module, blur.id)
+        substitution
+            .module
+            .cfg(blur.id)
+            .display(&substitution.module.module, blur.id)
     );
     Ok(())
 }

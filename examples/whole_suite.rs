@@ -18,8 +18,8 @@ fn main() {
         let mcfg = p.module_cfg();
         let analysis = Analysis::run(&mcfg, &Config::default());
         let substituted = analysis.substitute(&mcfg);
-        let exec = run_module(&p.module(), p.inputs, &ExecLimits::default())
-            .expect("suite programs run");
+        let exec =
+            run_module(&p.module(), p.inputs, &ExecLimits::default()).expect("suite programs run");
         println!(
             "{:<10} {:>6} {:>6} {:>7} {:>9} {:>11} {:>7}",
             p.name,

@@ -125,7 +125,11 @@ fn pruned_ssa_changes_nothing_observable() {
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
         for base in [Config::default(), Config::polynomial()] {
-            let pruned = base.rebuild().pruned_ssa(true).build().expect("pruning is always valid");
+            let pruned = base
+                .rebuild()
+                .pruned_ssa(true)
+                .build()
+                .expect("pruning is always valid");
             let a = Analysis::run(&mcfg, &base);
             let b = Analysis::run(&mcfg, &pruned);
             assert_eq!(a.vals.vals, b.vals.vals, "{}: VAL sets differ", p.name);
@@ -152,7 +156,11 @@ fn gated_generation_subsumes_complete_propagation_gains() {
             .total;
         let gated = counts(
             &mcfg,
-            &Config::polynomial().rebuild().gated(true).build().expect("gated is valid"),
+            &Config::polynomial()
+                .rebuild()
+                .gated(true)
+                .build()
+                .expect("gated is valid"),
         );
         assert!(
             gated >= complete - 1,
@@ -183,13 +191,25 @@ fn pass_through_equals_polynomial_on_paper_programs() {
     // Our paper-named programs reproduce that; `poly_demo` breaks it.
     for p in ipcp_suite::paper_programs() {
         let mcfg = p.module_cfg();
-        let pass = counts(&mcfg, &Config::default().with_jump_fn(JumpFnKind::PassThrough));
-        let poly = counts(&mcfg, &Config::default().with_jump_fn(JumpFnKind::Polynomial));
+        let pass = counts(
+            &mcfg,
+            &Config::default().with_jump_fn(JumpFnKind::PassThrough),
+        );
+        let poly = counts(
+            &mcfg,
+            &Config::default().with_jump_fn(JumpFnKind::Polynomial),
+        );
         assert_eq!(pass, poly, "{}", p.name);
     }
     let demo = ipcp_suite::program("poly_demo").unwrap().module_cfg();
-    let pass = counts(&demo, &Config::default().with_jump_fn(JumpFnKind::PassThrough));
-    let poly = counts(&demo, &Config::default().with_jump_fn(JumpFnKind::Polynomial));
+    let pass = counts(
+        &demo,
+        &Config::default().with_jump_fn(JumpFnKind::PassThrough),
+    );
+    let poly = counts(
+        &demo,
+        &Config::default().with_jump_fn(JumpFnKind::Polynomial),
+    );
     assert!(poly > pass, "poly_demo: {poly} !> {pass}");
 }
 

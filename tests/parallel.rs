@@ -13,7 +13,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use ipcp::{Analysis, AnalysisLimits, Config, Deadline, DegradationKind, Lattice, Stage};
 use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
-use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
+use ipcp_suite::mutate::swap_operator;
+use ipcp_suite::prop::oracles::JobsIdentity;
+use ipcp_suite::{generate, Checker, Counterexample, GenConfig, Rng, PROGRAMS};
 
 const JOB_COUNTS: &[usize] = &[2, 4, 8];
 
@@ -35,8 +37,14 @@ fn assert_schedule_unobservable(mcfg: &ModuleCfg, config: &Config, label: &str) 
             par.vals.iterations, seq.vals.iterations,
             "{label}: solver re-evaluation count differs at jobs={jobs}"
         );
-        assert_eq!(par.vals, seq.vals, "{label}: CONSTANTS differ at jobs={jobs}");
-        assert_eq!(par.health, seq.health, "{label}: telemetry differs at jobs={jobs}");
+        assert_eq!(
+            par.vals, seq.vals,
+            "{label}: CONSTANTS differ at jobs={jobs}"
+        );
+        assert_eq!(
+            par.health, seq.health,
+            "{label}: telemetry differs at jobs={jobs}"
+        );
         assert_eq!(
             par.quarantined, seq.quarantined,
             "{label}: quarantine flags differ at jobs={jobs}"
@@ -81,39 +89,36 @@ fn suite_results_are_identical_for_every_job_count() {
     }
 }
 
-/// Swaps one arithmetic operator — syntactically valid, semantically
-/// different — to drive the corpus away from the generator's habits.
-fn swap_operator(src: &str, rng: &mut Rng) -> String {
-    const OPS: &[u8] = b"+-*";
-    let positions: Vec<usize> = src
-        .bytes()
-        .enumerate()
-        .filter(|(_, b)| OPS.contains(b))
-        .map(|(i, _)| i)
-        .collect();
-    if positions.is_empty() {
-        return src.to_string();
+/// Panics with every minimized counterexample from the property harness
+/// (a failing round reports a shrunk repro, not the raw mutant).
+fn assert_no_counterexamples(cxs: &[Counterexample]) {
+    if cxs.is_empty() {
+        return;
     }
-    let mut bytes = src.as_bytes().to_vec();
-    bytes[positions[rng.below(positions.len() as u64) as usize]] =
-        OPS[rng.below(OPS.len() as u64) as usize];
-    String::from_utf8(bytes).expect("ASCII in, ASCII out")
+    let rendered: Vec<String> = cxs.iter().map(|cx| cx.render(" --jump-fn poly")).collect();
+    panic!("{}", rendered.join("\n"));
 }
 
 #[test]
 fn mutated_corpus_results_are_identical_for_every_job_count() {
     let mut rng = Rng::new(0x9A72);
+    let mut checker = Checker::new(0);
+    checker.ctx.config = Config::polynomial();
     for seed in 40..48u64 {
         let base = generate(&GenConfig::default(), seed);
         for round in 0..4 {
-            let src = if round == 0 { base.clone() } else { swap_operator(&base, &mut rng) };
-            let Ok(module) = parse_and_resolve(&src) else { continue };
-            let mcfg = lower_module(&module);
-            assert_schedule_unobservable(
-                &mcfg,
-                &Config::polynomial(),
+            // Unparseable mutants are vacuous for the oracle, mirroring
+            // the old `continue` on frontend errors.
+            let src = if round == 0 {
+                base.clone()
+            } else {
+                swap_operator(&base, &mut rng)
+            };
+            assert_no_counterexamples(&checker.check_source(
                 &format!("gen seed {seed} round {round}"),
-            );
+                &src,
+                &[&JobsIdentity],
+            ));
         }
     }
 }
@@ -122,9 +127,18 @@ fn mutated_corpus_results_are_identical_for_every_job_count() {
 fn starved_budgets_and_injected_faults_are_identical_for_every_job_count() {
     let starved = [
         AnalysisLimits::tiny(),
-        AnalysisLimits { max_solver_iterations: 1, ..AnalysisLimits::default() },
-        AnalysisLimits { max_symbolic_steps: 1, ..AnalysisLimits::default() },
-        AnalysisLimits { max_support: 0, ..AnalysisLimits::default() },
+        AnalysisLimits {
+            max_solver_iterations: 1,
+            ..AnalysisLimits::default()
+        },
+        AnalysisLimits {
+            max_symbolic_steps: 1,
+            ..AnalysisLimits::default()
+        },
+        AnalysisLimits {
+            max_support: 0,
+            ..AnalysisLimits::default()
+        },
     ];
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
@@ -150,7 +164,10 @@ fn worker_panics_stay_quarantined_to_their_procedure() {
     // A panic injected into one procedure's unit while jobs > 1 must
     // degrade only that procedure, leave the rest of the analysis
     // intact, and produce exactly the sequential result.
-    for p in PROGRAMS.iter().filter(|p| p.module_cfg().module.procs.len() >= 3) {
+    for p in PROGRAMS
+        .iter()
+        .filter(|p| p.module_cfg().module.procs.len() >= 3)
+    {
         let mcfg = p.module_cfg();
         for stage in [Stage::ModRef, Stage::Jump, Stage::RetJump] {
             let config = Config::polynomial().with_panic(stage, 1);
@@ -178,7 +195,10 @@ fn solver_panics_landing_mid_wavefront_are_identical_for_every_job_count() {
     // tolerate more than one quarantined flag — but the set of flags,
     // the degradation events, and CONSTANTS(p) must still be identical
     // to the sequential run.
-    for p in PROGRAMS.iter().filter(|p| p.module_cfg().module.procs.len() >= 3) {
+    for p in PROGRAMS
+        .iter()
+        .filter(|p| p.module_cfg().module.procs.len() >= 3)
+    {
         let mcfg = p.module_cfg();
         for at in [1, 2] {
             let config = Config::polynomial().with_panic(Stage::Solver, at);
@@ -212,8 +232,20 @@ fn deadline_expiring_mid_wavefront_terminates_and_stays_sound() {
     // is that every worker stops without a panic, the only degradations
     // reported are Deadline-kind, and whatever survives in CONSTANTS(p)
     // is still sound.
-    let exec = ExecLimits { max_steps: 200_000, lenient_reads: true, ..ExecLimits::default() };
-    let src = generate(&GenConfig { n_procs: 160, n_globals: 8, stmts_per_proc: 48, max_depth: 4 }, 51);
+    let exec = ExecLimits {
+        max_steps: 200_000,
+        lenient_reads: true,
+        ..ExecLimits::default()
+    };
+    let src = generate(
+        &GenConfig {
+            n_procs: 160,
+            n_globals: 8,
+            stmts_per_proc: 48,
+            max_depth: 4,
+        },
+        51,
+    );
     let module = parse_and_resolve(&src).expect("generated program parses");
     let mcfg = lower_module(&module);
     for &jobs in JOB_COUNTS {
@@ -222,9 +254,8 @@ fn deadline_expiring_mid_wavefront_terminates_and_stays_sound() {
                 .with_deadline(Deadline::after_ms(deadline_ms))
                 .with_jobs(jobs);
             let outcome = catch_unwind(AssertUnwindSafe(|| Analysis::run(&mcfg, &config)));
-            let analysis = outcome.unwrap_or_else(|_| {
-                panic!("deadline {deadline_ms}ms panicked at jobs={jobs}")
-            });
+            let analysis = outcome
+                .unwrap_or_else(|_| panic!("deadline {deadline_ms}ms panicked at jobs={jobs}"));
             for e in &analysis.health.events {
                 assert_eq!(
                     e.kind,
@@ -268,7 +299,11 @@ fn expired_deadline_under_concurrency_terminates_and_stays_sound() {
     // The deadline latch is the only state shared between workers; an
     // already-expired deadline must stop every worker without a panic,
     // and whatever survives in CONSTANTS(p) must still be sound.
-    let exec = ExecLimits { max_steps: 200_000, lenient_reads: true, ..ExecLimits::default() };
+    let exec = ExecLimits {
+        max_steps: 200_000,
+        lenient_reads: true,
+        ..ExecLimits::default()
+    };
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
         for &jobs in JOB_COUNTS {
@@ -276,9 +311,8 @@ fn expired_deadline_under_concurrency_terminates_and_stays_sound() {
                 .with_deadline(Deadline::after_ms(0))
                 .with_jobs(jobs);
             let outcome = catch_unwind(AssertUnwindSafe(|| Analysis::run(&mcfg, &config)));
-            let analysis = outcome.unwrap_or_else(|_| {
-                panic!("{}: expired deadline panicked at jobs={jobs}", p.name)
-            });
+            let analysis = outcome
+                .unwrap_or_else(|_| panic!("{}: expired deadline panicked at jobs={jobs}", p.name));
             for e in &analysis.health.events {
                 assert_eq!(
                     e.kind,
@@ -288,7 +322,12 @@ fn expired_deadline_under_concurrency_terminates_and_stays_sound() {
                 );
             }
             if let Ok(run) = run_module(&mcfg.module, &[5, 1, -2, 8, 0], &exec) {
-                check_trace(&mcfg, &analysis, &run.trace, &format!("{} jobs={jobs}", p.name));
+                check_trace(
+                    &mcfg,
+                    &analysis,
+                    &run.trace,
+                    &format!("{} jobs={jobs}", p.name),
+                );
             }
         }
     }
@@ -306,7 +345,11 @@ fn far_deadline_does_not_perturb_results() {
             let far = Analysis::run(&mcfg, &config.with_jobs(jobs));
             assert_eq!(far.vals, no_deadline.vals, "{} jobs={jobs}", p.name);
             assert_eq!(far.health, no_deadline.health, "{} jobs={jobs}", p.name);
-            assert_eq!(far.quarantined, no_deadline.quarantined, "{} jobs={jobs}", p.name);
+            assert_eq!(
+                far.quarantined, no_deadline.quarantined,
+                "{} jobs={jobs}",
+                p.name
+            );
         }
     }
 }

@@ -12,6 +12,11 @@
 //!    reported in `CONSTANTS(p)` still holds on every dynamic entry
 //!    observed by the reference interpreter — degradation may only lose
 //!    precision (to ⊥), never invent constants.
+//!
+//! The fuzz-style loops run on the shrinking property harness
+//! (`ipcp_suite::prop`): a failing round panics with a *minimized*
+//! reproducer instead of the raw mutant, plus an `ipcc fuzz` replay
+//! line for generated cases.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -21,7 +26,11 @@ use ipcp::{
 };
 use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
-use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
+use ipcp_suite::mutate::{perturb_call_arity, splice_statement, swap_operator};
+use ipcp_suite::prop::oracles::{PanicFree, Soundness};
+use ipcp_suite::{
+    generate, Checker, Counterexample, GenConfig, PropContext, Property, Rng, PROGRAMS,
+};
 
 /// Checks `CONSTANTS(p)` against an execution trace (the same oracle the
 /// soundness suite uses).
@@ -49,10 +58,24 @@ fn starved_configs() -> Vec<Config> {
     let d = AnalysisLimits::default;
     [
         AnalysisLimits::tiny(),
-        AnalysisLimits { max_solver_iterations: 1, ..d() },
-        AnalysisLimits { max_symbolic_steps: 1, ..d() },
-        AnalysisLimits { max_poly_terms: 1, max_poly_degree: 1, max_support: 1, ..d() },
-        AnalysisLimits { max_support: 0, ..d() },
+        AnalysisLimits {
+            max_solver_iterations: 1,
+            ..d()
+        },
+        AnalysisLimits {
+            max_symbolic_steps: 1,
+            ..d()
+        },
+        AnalysisLimits {
+            max_poly_terms: 1,
+            max_poly_degree: 1,
+            max_support: 1,
+            ..d()
+        },
+        AnalysisLimits {
+            max_support: 0,
+            ..d()
+        },
     ]
     .into_iter()
     .map(|limits| Config::polynomial().with_limits(limits))
@@ -78,107 +101,49 @@ fn base_config() -> Config {
     }
 }
 
-/// Swaps one arithmetic operator for another — the program stays
-/// syntactically valid but computes something else.
-fn swap_operator(src: &str, rng: &mut Rng) -> String {
-    const OPS: &[u8] = b"+-*";
-    let positions: Vec<usize> = src
-        .bytes()
-        .enumerate()
-        .filter(|(_, b)| OPS.contains(b))
-        .map(|(i, _)| i)
-        .collect();
-    if positions.is_empty() {
-        return src.to_string();
+/// The replay-line flags matching [`base_config`] — what `ipcc fuzz`
+/// needs to reproduce a failure under the same configuration.
+fn base_flags() -> &'static str {
+    match std::env::var("IPCP_QUARANTINE").ok().as_deref() {
+        Some("0") | Some("off") => " --jump-fn poly --no-quarantine",
+        _ => " --jump-fn poly",
     }
-    let mut bytes = src.as_bytes().to_vec();
-    bytes[positions[rng.below(positions.len() as u64) as usize]] =
-        OPS[rng.below(OPS.len() as u64) as usize];
-    String::from_utf8(bytes).expect("ASCII in, ASCII out")
 }
 
-/// Copies a `;`-terminated statement to a random other position —
-/// typically into a *different* procedure, where its variables may be
-/// undefined or shadow locals.
-fn splice_statement(src: &str, rng: &mut Rng) -> String {
-    let semis: Vec<usize> = src
-        .char_indices()
-        .filter(|&(_, c)| c == ';')
-        .map(|(i, _)| i)
-        .collect();
-    if semis.len() < 2 {
-        return src.to_string();
-    }
-    let pick = semis[rng.below(semis.len() as u64) as usize];
-    let start = src[..pick].rfind(['{', ';']).map_or(0, |i| i + 1);
-    let stmt = src[start..=pick].to_string();
-    let dest = semis[rng.below(semis.len() as u64) as usize];
-    let mut out = src.to_string();
-    out.insert_str(dest + 1, &stmt);
-    out
+/// A property-harness checker running under [`base_config`]: any failure
+/// is shrunk automatically before it reaches the test's panic message.
+fn checker(inputs: &[i64]) -> Checker {
+    let mut checker = Checker::new(0);
+    checker.ctx = PropContext {
+        config: base_config(),
+        inputs: inputs.to_vec(),
+    };
+    checker
 }
 
-/// Adds or drops one argument at a random call site, so formal/actual
-/// arity no longer matches the callee.
-fn perturb_call_arity(src: &str, rng: &mut Rng) -> String {
-    let calls: Vec<usize> = src.match_indices("call ").map(|(i, _)| i).collect();
-    if calls.is_empty() {
-        return src.to_string();
+/// Panics with every minimized counterexample: repro, shrink stats, and
+/// (for generated cases) the `ipcc fuzz` replay line.
+fn assert_no_counterexamples(cxs: &[Counterexample]) {
+    if cxs.is_empty() {
+        return;
     }
-    let at = calls[rng.below(calls.len() as u64) as usize];
-    let Some(open) = src[at..].find('(').map(|i| at + i) else {
-        return src.to_string();
-    };
-    let mut depth = 0i32;
-    let mut close = None;
-    for (i, c) in src[open..].char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    close = Some(open + i);
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    let Some(close) = close else {
-        return src.to_string();
-    };
-    let args = &src[open + 1..close];
-    let new_args = if args.trim().is_empty() {
-        "7".to_string()
-    } else if rng.below(2) == 0 {
-        format!("{args}, 7")
-    } else {
-        // Drop the last top-level argument.
-        let mut depth = 0i32;
-        let mut cut = None;
-        for (i, c) in args.char_indices() {
-            match c {
-                '(' => depth += 1,
-                ')' => depth -= 1,
-                ',' if depth == 0 => cut = Some(i),
-                _ => {}
-            }
-        }
-        cut.map_or(String::new(), |i| args[..i].to_string())
-    };
-    format!("{}{}{}", &src[..=open], new_args, &src[close..])
+    let rendered: Vec<String> = cxs.iter().map(|cx| cx.render(base_flags())).collect();
+    panic!("{}", rendered.join("\n"));
 }
 
 /// Grammar-aware mutations: unlike the byte-level fuzzing below, these
 /// produce programs that usually *parse*, driving faults deep into the
-/// analysis instead of bouncing off the frontend. The pipeline must not
-/// panic, and whenever the mutant both analyzes and executes, every
-/// claimed constant must hold on the observed entry states.
+/// analysis instead of bouncing off the frontend. The harness checks the
+/// panic-freedom and soundness oracles on every mutant and shrinks any
+/// counterexample to a minimal repro.
 #[test]
 fn grammar_mutated_sources_never_panic_and_stay_sound() {
-    let base: Vec<String> = (12..18).map(|s| generate(&GenConfig::default(), s)).collect();
+    let base: Vec<String> = (12..18)
+        .map(|s| generate(&GenConfig::default(), s))
+        .collect();
     let mut rng = Rng::new(0x6A3A);
-    let config = base_config();
+    let checker = checker(&[5, 1, -2, 8, 0]);
+    let props: [&dyn Property; 2] = [&PanicFree, &Soundness];
     for round in 0..200u32 {
         let src = &base[rng.below(base.len() as u64) as usize];
         let mutated = match rng.below(3) {
@@ -186,19 +151,11 @@ fn grammar_mutated_sources_never_panic_and_stay_sound() {
             1 => splice_statement(src, &mut rng),
             _ => perturb_call_arity(src, &mut rng),
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let module = parse_and_resolve(&mutated).ok()?;
-            let mcfg = lower_module(&module);
-            let analysis = Analysis::run(&mcfg, &config);
-            let exec = run_module(&mcfg.module, &[5, 1, -2, 8, 0], &lenient_exec()).ok()?;
-            Some((mcfg, analysis, exec))
-        }));
-        let Ok(result) = outcome else {
-            panic!("round {round}: pipeline panicked on grammar-mutated source:\n{mutated}");
-        };
-        if let Some((mcfg, analysis, exec)) = result {
-            check_trace(&mcfg, &analysis, &exec.trace, &format!("round {round}"));
-        }
+        assert_no_counterexamples(&checker.check_source(
+            &format!("grammar-mutated round {round}"),
+            &mutated,
+            &props,
+        ));
     }
 }
 
@@ -243,7 +200,12 @@ fn default_budgets_never_degrade_on_the_suite() {
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
         let analysis = Analysis::run(&mcfg, &Config::polynomial());
-        assert!(!analysis.health.degraded(), "{}: {}", p.name, analysis.health);
+        assert!(
+            !analysis.health.degraded(),
+            "{}: {}",
+            p.name,
+            analysis.health
+        );
     }
 }
 
@@ -251,6 +213,7 @@ fn default_budgets_never_degrade_on_the_suite() {
 fn byte_mutated_sources_never_panic_the_pipeline() {
     let base: Vec<String> = (0..6).map(|s| generate(&GenConfig::default(), s)).collect();
     let mut rng = Rng::new(0xB0B5);
+    let checker = checker(&[]);
     for round in 0..250u32 {
         let src = &base[rng.below(base.len() as u64) as usize];
         let mut bytes = src.as_bytes().to_vec();
@@ -273,25 +236,51 @@ fn byte_mutated_sources_never_panic_the_pipeline() {
         let Ok(mutated) = String::from_utf8(bytes) else {
             continue; // the lexer API takes &str; invalid UTF-8 can't reach it
         };
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            analyze_source(&mutated, &Config::polynomial()).map(|_| ())
-        }));
-        assert!(
-            result.is_ok(),
-            "round {round}: pipeline panicked on byte-mutated source:\n{mutated}"
-        );
+        assert_no_counterexamples(&checker.check_source(
+            &format!("byte-mutated round {round}"),
+            &mutated,
+            &[&PanicFree],
+        ));
     }
 }
 
 #[test]
 fn token_spliced_sources_never_panic_the_pipeline() {
     const SPLICE: &[&str] = &[
-        "proc", "global", "call", "do", "if", "else", "while", "read", "print", "return",
-        "array", "{", "}", "(", ")", "[", "]", ";", ",", "=", "==", "&&", "||", "+", "-",
-        "9223372036854775807", "0", "main",
+        "proc",
+        "global",
+        "call",
+        "do",
+        "if",
+        "else",
+        "while",
+        "read",
+        "print",
+        "return",
+        "array",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        "=",
+        "==",
+        "&&",
+        "||",
+        "+",
+        "-",
+        "9223372036854775807",
+        "0",
+        "main",
     ];
-    let base: Vec<String> = (6..12).map(|s| generate(&GenConfig::default(), s)).collect();
+    let base: Vec<String> = (6..12)
+        .map(|s| generate(&GenConfig::default(), s))
+        .collect();
     let mut rng = Rng::new(0x70C3);
+    let checker = checker(&[]);
     for round in 0..250u32 {
         let src = &base[rng.below(base.len() as u64) as usize];
         let mut text = src.clone();
@@ -301,14 +290,27 @@ fn token_spliced_sources_never_panic_the_pipeline() {
             let tok = SPLICE[rng.below(SPLICE.len() as u64) as usize];
             text.insert_str(at, tok);
         }
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            analyze_source(&text, &Config::polynomial()).map(|_| ())
-        }));
-        assert!(
-            result.is_ok(),
-            "round {round}: pipeline panicked on token-spliced source:\n{text}"
-        );
+        assert_no_counterexamples(&checker.check_source(
+            &format!("token-spliced round {round}"),
+            &text,
+            &[&PanicFree],
+        ));
     }
+}
+
+/// The tier-1 face of the fuzz lane: a generative sweep of every
+/// registered property. A failure panics with a minimized repro and an
+/// `ipcc fuzz --seed <case seed> --cases 1` replay line, so reproducing
+/// a red CI run is one copy-paste.
+#[test]
+fn generative_property_sweep_is_clean() {
+    let mut checker = checker(&[3, -1, 7, 0, 12]);
+    checker.cases = 48;
+    let props = ipcp_suite::prop::all_properties();
+    let refs: Vec<&dyn Property> = props.iter().map(Box::as_ref).collect();
+    let report = checker.run(&refs);
+    assert_eq!(report.cases, 48);
+    report.assert_clean(base_flags());
 }
 
 #[test]
@@ -464,7 +466,12 @@ fn expired_deadlines_degrade_soundly() {
             analysis.health
         );
         if let Ok(exec) = run_module(&mcfg.module, p.inputs, &lenient_exec()) {
-            check_trace(&mcfg, &analysis, &exec.trace, &format!("{} deadline", p.name));
+            check_trace(
+                &mcfg,
+                &analysis,
+                &exec.trace,
+                &format!("{} deadline", p.name),
+            );
         }
     }
 }

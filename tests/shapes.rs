@@ -24,9 +24,17 @@ fn table2_global_orderings() {
     for r in table2_rows() {
         assert!(r.literal <= r.intra, "{}: literal > intra", r.name);
         assert!(r.intra <= r.pass, "{}: intra > pass", r.name);
-        assert_eq!(r.pass, r.poly, "{}: pass != poly on the paper suite", r.name);
+        assert_eq!(
+            r.pass, r.poly,
+            "{}: pass != poly on the paper suite",
+            r.name
+        );
         assert!(r.poly_noret <= r.poly, "{}: ret JFs hurt poly", r.name);
-        assert_eq!(r.pass_noret, r.poly_noret, "{}: noret columns differ", r.name);
+        assert_eq!(
+            r.pass_noret, r.poly_noret,
+            "{}: noret columns differ",
+            r.name
+        );
         assert!(r.poly > 0, "{}: nothing found at all", r.name);
     }
 }
@@ -51,7 +59,16 @@ fn table2_return_jf_effects() {
             "{name}: return JFs should add a few constants, added {gain}"
         );
     }
-    for name in ["adm", "linpackd", "matrix300", "qcd", "simple", "snasa7", "spec77", "trfd"] {
+    for name in [
+        "adm",
+        "linpackd",
+        "matrix300",
+        "qcd",
+        "simple",
+        "snasa7",
+        "spec77",
+        "trfd",
+    ] {
         let r = t2(name);
         assert_eq!(r.poly, r.poly_noret, "{name}: unexpected return-JF effect");
     }
@@ -79,7 +96,12 @@ fn table2_row_characters() {
     // (parameters flow through procedure bodies).
     for name in ["fpppp", "matrix300"] {
         let r = t2(name);
-        assert!(r.pass > r.intra, "{name}: pass {} !> intra {}", r.pass, r.intra);
+        assert!(
+            r.pass > r.intra,
+            "{name}: pass {} !> intra {}",
+            r.pass,
+            r.intra
+        );
     }
     // doduc: literal is exactly one short of the strongest.
     let d = t2("doduc");
@@ -143,7 +165,10 @@ fn table3_mod_information_is_decisive() {
     );
     // doduc barely moves.
     let d = t3("doduc");
-    assert!(d.poly_mod - d.poly_nomod <= 1, "doduc should be MOD-insensitive");
+    assert!(
+        d.poly_mod - d.poly_nomod <= 1,
+        "doduc should be MOD-insensitive"
+    );
 }
 
 #[test]
@@ -184,7 +209,11 @@ fn table3_intraprocedural_gap() {
     // Interprocedural propagation strictly beats intraprocedural
     // everywhere constants exist.
     for r in table3_rows() {
-        assert!(r.poly_mod > r.intra_only, "{}: no interprocedural gain", r.name);
+        assert!(
+            r.poly_mod > r.intra_only,
+            "{}: no interprocedural gain",
+            r.name
+        );
     }
 }
 

@@ -11,7 +11,8 @@ use ipcp::{Analysis, Config, JumpFnKind};
 use ipcp_ir::interp::{run_module, EntryTrace, ExecLimits};
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
 use ipcp_ssa::Lattice;
-use ipcp_suite::{generate, GenConfig, Rng, PROGRAMS};
+use ipcp_suite::prop::oracles::Soundness;
+use ipcp_suite::{generate, Checker, GenConfig, PropContext, Rng, PROGRAMS};
 
 /// All configurations exercised by the soundness checks, assembled
 /// through the fluent builder (which also validates each combination).
@@ -70,46 +71,46 @@ fn check_trace(mcfg: &ModuleCfg, analysis: &Analysis, trace: &EntryTrace, label:
     }
 }
 
-fn check_program(mcfg: &ModuleCfg, inputs: &[i64], label: &str) {
-    let limits = ExecLimits {
-        max_steps: 500_000,
-        // Varied-input sweeps deliberately under-supply `read`s; lenient
-        // zero-fill keeps the entry trace covering the whole program.
-        lenient_reads: true,
-        ..Default::default()
-    };
-    let Ok(exec) = run_module(&mcfg.module, inputs, &limits) else {
-        return; // arithmetic fault or fuel: nothing to check
-    };
+/// Checks `src` against the soundness oracle under every configuration
+/// in the matrix, via the shrinking property harness: a failure panics
+/// with a *minimized* reproducer instead of the whole program. (The
+/// oracle itself runs the interpreter leniently — under-supplied `read`s
+/// zero-fill so the entry trace covers the whole program.)
+fn check_program(src: &str, inputs: &[i64], label: &str) {
     for config in all_configs() {
-        let analysis = Analysis::run(mcfg, &config);
-        check_trace(mcfg, &analysis, &exec.trace, &format!("{label} {config:?}"));
+        let mut checker = Checker::new(0);
+        checker.ctx = PropContext {
+            config,
+            inputs: inputs.to_vec(),
+        };
+        let cxs = checker.check_source(&format!("{label} {config:?}"), src, &[&Soundness]);
+        if !cxs.is_empty() {
+            let rendered: Vec<String> = cxs.iter().map(|cx| cx.render("")).collect();
+            panic!("{}", rendered.join("\n"));
+        }
     }
 }
 
 #[test]
 fn suite_programs_are_analyzed_soundly() {
     for p in PROGRAMS {
-        let mcfg = p.module_cfg();
-        check_program(&mcfg, p.inputs, p.name);
+        check_program(p.source, p.inputs, p.name);
     }
 }
 
 #[test]
 fn suite_programs_with_varied_inputs() {
     for p in PROGRAMS {
-        let mcfg = p.module_cfg();
         for inputs in [&[0i64][..], &[1, 1], &[7, -2, 3], &[2, 0, 0, 5]] {
-            check_program(&mcfg, inputs, p.name);
+            check_program(p.source, inputs, p.name);
         }
     }
 }
 
 #[test]
 fn unreachable_procedures_report_no_constants() {
-    let mcfg = lower_module(
-        &parse_and_resolve("proc main() { } proc dead(a) { print a; }").unwrap(),
-    );
+    let mcfg =
+        lower_module(&parse_and_resolve("proc main() { } proc dead(a) { print a; }").unwrap());
     let a = Analysis::run(&mcfg, &Config::default());
     let dead = mcfg.module.proc_named("dead").unwrap().id;
     assert!(a.vals.constants(dead).is_empty());
@@ -147,8 +148,7 @@ fn generated_programs_are_analyzed_soundly() {
     let mut rng = Rng::new(0x50A1);
     for seed in 0u64..48 {
         let src = generate(&GenConfig::default(), seed);
-        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
-        check_program(&mcfg, &random_inputs(&mut rng), &format!("seed {seed}"));
+        check_program(&src, &random_inputs(&mut rng), &format!("seed {seed}"));
     }
 }
 
@@ -163,8 +163,7 @@ fn generated_deep_programs_are_analyzed_soundly() {
             max_depth: 3,
         };
         let src = generate(&config, seed);
-        let mcfg = lower_module(&parse_and_resolve(&src).unwrap());
-        check_program(&mcfg, &[5, -9, 2, 0, 1], &format!("deep seed {seed}"));
+        check_program(&src, &[5, -9, 2, 0, 1], &format!("deep seed {seed}"));
     }
 }
 
@@ -191,7 +190,11 @@ fn interpreters_agree_on_generated_programs() {
                 assert_eq!(a.trace, b.trace);
             }
             (Err(ea), Err(eb)) => assert_eq!(ea, eb),
-            (a, b) => panic!("divergence: {:?} vs {:?}", a.map(|x| x.output), b.map(|x| x.output)),
+            (a, b) => panic!(
+                "divergence: {:?} vs {:?}",
+                a.map(|x| x.output),
+                b.map(|x| x.output)
+            ),
         }
     }
 }
@@ -250,7 +253,12 @@ fn fault_injected_and_starved_runs_stay_sound() {
             .with_limits(AnalysisLimits::tiny())
             .with_panic(Stage::Jump, n / 2);
         let a = Analysis::run(&mcfg, &starved);
-        check_trace(&mcfg, &a, &exec.trace, &format!("seed {seed} starved+panic"));
+        check_trace(
+            &mcfg,
+            &a,
+            &exec.trace,
+            &format!("seed {seed} starved+panic"),
+        );
     }
 }
 
@@ -261,7 +269,8 @@ fn fault_injected_and_starved_runs_stay_sound() {
 #[test]
 fn aliased_writes_fault_instead_of_breaking_soundness() {
     // Same variable passed by reference twice, then written.
-    let src = "proc main() { x = 1; call f(x, x); print x; }                proc f(a, b) { a = 5; }";
+    let src =
+        "proc main() { x = 1; call f(x, x); print x; }                proc f(a, b) { a = 5; }";
     let m = parse_and_resolve(src).unwrap();
     assert_eq!(
         run_module(&m, &[], &ExecLimits::default()).unwrap_err(),

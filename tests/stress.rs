@@ -42,7 +42,10 @@ fn fan_out_of_400_call_sites_meets_correctly() {
     assert_eq!(a.vals.of(f)[0], Lattice::Const(7));
 
     // One dissenting site destroys it.
-    let src2 = src.replace("proc main() {\n    call f(7);", "proc main() {\n    call f(8);");
+    let src2 = src.replace(
+        "proc main() {\n    call f(7);",
+        "proc main() {\n    call f(8);",
+    );
     let mcfg2 = build(&src2);
     let a2 = Analysis::run(&mcfg2, &Config::default());
     let f2 = mcfg2.module.proc_named("f").unwrap().id;
@@ -64,7 +67,12 @@ fn many_globals_stay_tractable() {
     }
     src.push_str("}\n");
     for p in 0..40 {
-        let _ = writeln!(src, "proc w{p}() {{ print g{} + g{}; }}", p % 64, (p * 7) % 64);
+        let _ = writeln!(
+            src,
+            "proc w{p}() {{ print g{} + g{}; }}",
+            p % 64,
+            (p * 7) % 64
+        );
     }
     let mcfg = build(&src);
     let start = std::time::Instant::now();

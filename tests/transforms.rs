@@ -50,7 +50,12 @@ fn check_transforms(mcfg: &ModuleCfg, input_sets: &[&[i64]], label: &str) {
         let analysis = Analysis::run(mcfg, &config);
         let sub = analysis.substitute(mcfg);
         for inputs in input_sets {
-            same_behaviour(mcfg, &sub.module, inputs, &format!("{label} sub {config:?}"));
+            same_behaviour(
+                mcfg,
+                &sub.module,
+                inputs,
+                &format!("{label} sub {config:?}"),
+            );
         }
         let complete = complete_propagation(mcfg, &config);
         for inputs in input_sets {
@@ -109,8 +114,8 @@ fn substitution_counts_match_textual_difference() {
         let mut n = 0;
         for blk in &m.cfg(f).blocks {
             for s in &blk.stmts {
-                if let ipcp_ir::cfg::CStmt::Print { value } | ipcp_ir::cfg::CStmt::Assign { value, .. } =
-                    s
+                if let ipcp_ir::cfg::CStmt::Print { value }
+                | ipcp_ir::cfg::CStmt::Assign { value, .. } = s
                 {
                     value.for_each_var(&mut |_| n += 1);
                 }
@@ -177,8 +182,11 @@ fn generated_source_substitution_preserves_behaviour() {
         match (a, b) {
             (Ok(x), Ok(y)) => assert_eq!(x.output, y.output),
             (Err(ea), Err(eb)) => assert_eq!(ea, eb),
-            (a, b) => panic!("divergence: {:?} vs {:?}",
-                a.map(|x| x.output), b.map(|x| x.output)),
+            (a, b) => panic!(
+                "divergence: {:?} vs {:?}",
+                a.map(|x| x.output),
+                b.map(|x| x.output)
+            ),
         }
     }
 }
