@@ -60,6 +60,98 @@ stage_deadline_smoke() {
     fi
 }
 
+stage_serve_smoke() {
+    # The daemon's fault-isolation proof as a CI gate (docs/SERVE.md,
+    # "Service contract"): a scripted stdin session whose third request
+    # panics by injection — the daemon must answer it as a structured
+    # error and serve the next request bit-identically to before the
+    # crash — then a concurrent socket-client burst against a tiny
+    # admission bound (every reply is service or an explicit shed), and
+    # a clean SIGTERM drain. A static audit first: no serve path may
+    # exit the process.
+    [ -x target/release/ipcc ] || cargo build --release -q -p ipcp-cli
+    if sed 's://.*$::' crates/cli/src/serve.rs crates/core/src/serve/*.rs \
+        | grep -n 'process::exit'; then
+        echo "serve smoke: process::exit found in a serve path" >&2
+        return 1
+    fi
+    local prog=crates/suite/programs/ocean.ft
+    local out=target/serve-smoke.out
+    timeout 60 ./target/release/ipcc serve "$prog" --drain-ms 30000 >"$out" <<'EOF'
+{"id":1,"op":"health"}
+{"id":2,"op":"constants"}
+{"id":3,"op":"analyze","config":{"quarantine":false,"inject_panic":{"stage":"jump","proc":1}}}
+{"id":4,"op":"constants"}
+{"id":5,"op":"stats"}
+EOF
+    grep -qF '"id":3,"ok":false,"error":{"kind":"panic"' "$out" || {
+        echo "serve smoke: injected panic was not answered as a contained error" >&2
+        cat "$out" >&2
+        return 1
+    }
+    local before after
+    before=$(grep -F '"id":2' "$out" | sed 's/"id":[0-9]*,//')
+    after=$(grep -F '"id":4' "$out" | sed 's/"id":[0-9]*,//')
+    if [ -z "$before" ] || [ "$before" != "$after" ]; then
+        echo "serve smoke: constants differ across a contained crash" >&2
+        cat "$out" >&2
+        return 1
+    fi
+    grep -qF '"panics_contained":1' "$out" || {
+        echo "serve smoke: stats do not record the contained panic" >&2
+        return 1
+    }
+
+    local sock=target/serve-smoke.sock
+    rm -f "$sock"
+    timeout 60 ./target/release/ipcc serve "$prog" --socket "$sock" \
+        --max-inflight 2 </dev/null >/dev/null 2>&1 &
+    local daemon=$!
+    local i
+    for i in $(seq 100); do
+        [ -S "$sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$sock" ] || {
+        echo "serve smoke: socket never appeared" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    }
+    : >"$out.burst"
+    local cpids=() c
+    for c in 1 2 3 4 5 6 7 8; do
+        printf '{"id":"b%s","op":"constants"}\n' "$c" \
+            | timeout 20 ./target/release/ipcc serve --connect "$sock" >>"$out.burst" &
+        cpids+=($!)
+    done
+    local p
+    for p in "${cpids[@]}"; do wait "$p"; done
+    local replies
+    replies=$(wc -l <"$out.burst")
+    if [ "$replies" != 8 ]; then
+        echo "serve smoke: burst got $replies/8 replies" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if grep -vF '"ok":true' "$out.burst" | grep -vF '"kind":"overloaded"' | grep -q .; then
+        echo "serve smoke: burst reply is neither service nor an explicit shed" >&2
+        cat "$out.burst" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    kill -TERM "$daemon"
+    local status=0
+    wait "$daemon" || status=$?
+    if [ "$status" != 0 ]; then
+        echo "serve smoke: daemon exited $status on SIGTERM" >&2
+        return 1
+    fi
+    if [ -e "$sock" ]; then
+        echo "serve smoke: socket file survived shutdown" >&2
+        return 1
+    fi
+}
+
 stage_fuzz() {
     # The shrinking property harness as a CI gate: `ipcc fuzz` drives
     # seeded generated programs through every registered property
@@ -151,6 +243,7 @@ STAGES=(
     "robustness|robustness suite again, with quarantine disabled"
     "fuzz|property fuzz lane (ipcc fuzz: shrinking harness, time-boxed)"
     "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
+    "serve-smoke|serve smoke test (panic drill, client burst, SIGTERM drain)"
     "bench-identity|bench identity gate (jobs=1 vs jobs=N, wavefront vs worklist)"
     "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"
     "clippy-strict|clippy (lib/bins: no unwrap, no expect, no warnings)"

@@ -2,8 +2,38 @@
 //! default configuration — the quantities behind the paper's cost
 //! arguments (jump-function shapes, support sizes, solver work).
 
+use ipcp::serve::{ProgramModel, ServeEngine};
 use ipcp::{Analysis, Config, CostReport};
 use ipcp_suite::PROGRAMS;
+
+/// Cold misses, warm-rerun hits, hit/miss split after a one-procedure
+/// edit, and degraded request count — the serve-cache row for `src`.
+fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
+    let mut engine = ServeEngine::new(src, &Config::default()).map_err(|e| e.to_string())?;
+    let cold = engine.last_outcome().misses;
+    let warm = engine.analyze(None).map_err(|e| e.to_string())?.hits;
+    let model = ProgramModel::from_source(&engine.source()).map_err(|e| e.to_string())?;
+    let name = model
+        .proc_names()
+        .last()
+        .ok_or_else(|| "program has no procedures".to_string())?
+        .to_string();
+    let text = model
+        .proc_text(&name)
+        .ok_or_else(|| format!("no text for `{name}`"))?;
+    let brace = text
+        .rfind('}')
+        .ok_or_else(|| format!("`{name}` has no body"))?;
+    let fragment = format!("{}    print 0;\n{}", &text[..brace], &text[brace..]);
+    let edited = engine.update(&name, &fragment).map_err(|e| e.to_string())?;
+    Ok((
+        cold,
+        warm,
+        edited.hits,
+        edited.misses,
+        engine.stats().degraded_requests,
+    ))
+}
 
 fn main() {
     println!(
@@ -58,6 +88,29 @@ fn main() {
     println!("§3.1.5's observation holds: mean support ≤ 1 — lowering one value");
     println!("re-evaluates at most one jump function per use, so propagation cost");
     println!("is dominated by the intraprocedural (SSA/symbolic) work.");
+
+    println!();
+    println!("Serve cache: summary reuse across a warm daemon (ipcc serve)");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7}",
+        "program", "cold_miss", "warm_hit", "edit_hit", "edit_miss", "reuse%", "deg_req"
+    );
+    for p in PROGRAMS {
+        match serve_cache_row(p.source) {
+            Ok((cold, warm, ehit, emiss, deg)) => {
+                let reuse = if ehit + emiss > 0 {
+                    100.0 * ehit as f64 / (ehit + emiss) as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7}",
+                    p.name, cold, warm, ehit, emiss, reuse, deg
+                );
+            }
+            Err(e) => println!("{:<10} serve row unavailable: {e}", p.name),
+        }
+    }
 
     let auto_jobs = Config::default().effective_jobs();
     println!();

@@ -109,6 +109,33 @@ pub enum Command {
         /// Probe-evaluation budget per shrink.
         shrink_tests: usize,
     },
+    /// `ipcc serve <file> [options]` — the long-lived incremental
+    /// analysis daemon (JSON-lines over stdin/stdout and a Unix socket).
+    Serve {
+        /// Initial program path (`-` for stdin).
+        file: String,
+        /// Base analysis configuration for every request.
+        config: Config,
+        /// Unix socket path to also listen on.
+        socket: Option<String>,
+        /// Admission bound: queued + running requests beyond this are
+        /// shed with an explicit `overloaded` response.
+        max_inflight: usize,
+        /// Queue deadline: a request that waited longer than this before
+        /// processing started is shed instead of served stale.
+        queue_ms: u64,
+        /// Drain deadline for graceful shutdown (SIGTERM/`shutdown`).
+        drain_ms: u64,
+        /// Default per-request wall-clock deadline (the degradation
+        /// ladder's top rung), applied at request-processing time.
+        request_deadline_ms: Option<u64>,
+    },
+    /// `ipcc serve --connect <socket>` — client mode: forward stdin
+    /// JSON lines to a running daemon's socket, print its responses.
+    ServeConnect {
+        /// Socket path of the daemon.
+        socket: String,
+    },
     /// `ipcc tables` — regenerate the study's tables on the builtin suite.
     Tables,
     /// `ipcc help` / `--help`.
@@ -165,6 +192,8 @@ COMMANDS:
     reduce <file>     shrink a failing input to a minimal reproducer
     fuzz              check properties on seeded random programs, shrinking
                       any counterexample to a minimal replayable reproducer
+    serve <file>      long-lived incremental analysis daemon (JSON lines on
+                      stdin/stdout, optionally a Unix socket)
     tables            regenerate the paper's Tables 1-3 on the builtin suite
     help              show this message
 
@@ -213,6 +242,19 @@ OTHER OPTIONS:
                                     minimized counterexamples there
             --input <a,b,c>         oracle inputs for the soundness property
             --shrink-tests <N>      probe budget per shrink (default 800)
+    serve:  --socket <PATH>         also listen on a Unix socket
+            --max-inflight <N>      admission bound; excess requests get an
+                                    explicit `overloaded` response (default 8)
+            --queue-ms <N>          shed requests queued longer than this
+                                    (default 1000)
+            --drain-ms <N>          graceful-shutdown drain deadline
+                                    (default 2000)
+            --request-deadline-ms <N>  default per-request deadline; timed-out
+                                    stages answer ⊥ and mark `degraded`
+            --connect <PATH>        client mode: forward stdin JSON lines to a
+                                    running daemon and print its responses
+            (analysis/budget/robustness options set the base configuration;
+             see docs/SERVE.md for the request protocol)
 
 EXIT CODES:
     0  success
@@ -644,6 +686,59 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
                 shrink_tests,
             })
         }
+        "serve" => {
+            if let Some(socket) = take_flag_value(&mut args, "--connect")? {
+                expect_empty(&args)?;
+                return Ok(Command::ServeConnect { socket });
+            }
+            // Serve-specific flags come out before parse_config so the
+            // daemon owns --request-deadline-ms (a per-request relative
+            // deadline) instead of the absolute --deadline-ms.
+            let socket = take_flag_value(&mut args, "--socket")?;
+            let max_inflight = match take_flag_value(&mut args, "--max-inflight")? {
+                None => 8,
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| UsageError(format!("bad admission bound `{v}`")))?;
+                    if n == 0 {
+                        return Err(UsageError("--max-inflight must be at least 1".into()));
+                    }
+                    n
+                }
+            };
+            let queue_ms = match take_flag_value(&mut args, "--queue-ms")? {
+                None => 1_000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad queue deadline `{v}`")))?,
+            };
+            let drain_ms = match take_flag_value(&mut args, "--drain-ms")? {
+                None => 2_000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad drain deadline `{v}`")))?,
+            };
+            let request_deadline_ms = match take_flag_value(&mut args, "--request-deadline-ms")? {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad request deadline `{v}`")))?,
+                ),
+            };
+            let config = parse_config(&mut args)?;
+            let file = take_file(&mut args, "serve")?;
+            expect_empty(&args)?;
+            Ok(Command::Serve {
+                file,
+                config,
+                socket,
+                max_inflight,
+                queue_ms,
+                drain_ms,
+                request_deadline_ms,
+            })
+        }
         "tables" => {
             expect_empty(&args)?;
             Ok(Command::Tables)
@@ -660,6 +755,71 @@ mod tests {
 
     fn p(args: &[&str]) -> Result<Command, UsageError> {
         parse(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let cmd = p(&[
+            "serve",
+            "--socket",
+            "/tmp/i.sock",
+            "--max-inflight",
+            "4",
+            "--queue-ms",
+            "500",
+            "--request-deadline-ms",
+            "250",
+            "--jump-fn",
+            "poly",
+            "x.ft",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                file,
+                config,
+                socket,
+                max_inflight,
+                queue_ms,
+                drain_ms,
+                request_deadline_ms,
+            } => {
+                assert_eq!(file, "x.ft");
+                assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
+                assert_eq!(socket.as_deref(), Some("/tmp/i.sock"));
+                assert_eq!(max_inflight, 4);
+                assert_eq!(queue_ms, 500);
+                assert_eq!(drain_ms, 2_000);
+                assert_eq!(request_deadline_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The daemon's --request-deadline-ms must not reach parse_config:
+        // a relative per-request deadline is not an absolute analysis one.
+        match p(&["serve", "x.ft"]).unwrap() {
+            Command::Serve {
+                config,
+                max_inflight,
+                request_deadline_ms,
+                ..
+            } => {
+                assert!(config.deadline.is_none());
+                assert_eq!(max_inflight, 8);
+                assert_eq!(request_deadline_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_connect_and_bad_bounds() {
+        match p(&["serve", "--connect", "/tmp/i.sock"]).unwrap() {
+            Command::ServeConnect { socket } => assert_eq!(socket, "/tmp/i.sock"),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "--max-inflight", "0", "x.ft"]).is_err());
+        assert!(p(&["serve", "--queue-ms", "soon", "x.ft"]).is_err());
+        assert!(p(&["serve"]).is_err());
     }
 
     #[test]

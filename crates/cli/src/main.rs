@@ -2,6 +2,7 @@
 //! propagation toolchain. See `ipcc help` or [`args::HELP`].
 
 mod args;
+mod serve;
 
 use args::{Command, Emit};
 use ipcp::{clone_by_constants, complete_propagation, Analysis, AnalysisHealth, Config, IpcpError};
@@ -258,6 +259,28 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             inputs,
             shrink_tests,
         ),
+        Command::Serve {
+            file,
+            config,
+            socket,
+            max_inflight,
+            queue_ms,
+            drain_ms,
+            request_deadline_ms,
+        } => {
+            let src = read_source(&file)?;
+            serve::serve(
+                &src,
+                &config,
+                socket.as_deref(),
+                max_inflight,
+                queue_ms,
+                drain_ms,
+                request_deadline_ms,
+            )
+            .map_err(Failure::from)
+        }
+        Command::ServeConnect { socket } => serve::connect(&socket).map_err(Failure::from),
         Command::Tables => {
             // Reuses the suite directly so `ipcc tables` works anywhere.
             tables();
@@ -424,6 +447,40 @@ fn emit_analysis(mcfg: &ModuleCfg, analysis: &Analysis, emit: Emit) {
     }
 }
 
+/// One `Serve cache` table row: cold misses, warm-rerun hits, and the
+/// hit/miss split after appending a statement to the last procedure —
+/// plus how many of those requests degraded. The edit is the canonical
+/// "touch one procedure" probe, so `edit_hit` is the summary reuse an
+/// editor-driven daemon sees.
+fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
+    use ipcp::serve::{ProgramModel, ServeEngine};
+
+    let mut engine = ServeEngine::new(src, &Config::polynomial()).map_err(|e| e.to_string())?;
+    let cold = engine.last_outcome().misses;
+    let warm = engine.analyze(None).map_err(|e| e.to_string())?.hits;
+    let model = ProgramModel::from_source(&engine.source()).map_err(|e| e.to_string())?;
+    let name = model
+        .proc_names()
+        .last()
+        .ok_or_else(|| "program has no procedures".to_string())?
+        .to_string();
+    let text = model
+        .proc_text(&name)
+        .ok_or_else(|| format!("no text for `{name}`"))?;
+    let brace = text
+        .rfind('}')
+        .ok_or_else(|| format!("`{name}` has no body"))?;
+    let fragment = format!("{}    print 0;\n{}", &text[..brace], &text[brace..]);
+    let edited = engine.update(&name, &fragment).map_err(|e| e.to_string())?;
+    Ok((
+        cold,
+        warm,
+        edited.hits,
+        edited.misses,
+        engine.stats().degraded_requests,
+    ))
+}
+
 fn tables() {
     use ipcp::{complete_propagation as complete, substitute_intraprocedural, JumpFnKind};
     use ipcp_suite::paper_programs;
@@ -476,6 +533,28 @@ fn tables() {
             a.health.events.len(),
             a.quarantined.iter().filter(|&&q| q).count(),
         );
+    }
+    println!();
+    println!("Serve cache: summary reuse across a warm daemon (ipcc serve)");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7}",
+        "program", "cold_miss", "warm_hit", "edit_hit", "edit_miss", "reuse%", "deg_req"
+    );
+    for p in paper_programs() {
+        match serve_cache_row(p.source) {
+            Ok((cold, warm, ehit, emiss, deg)) => {
+                let reuse = if ehit + emiss > 0 {
+                    100.0 * ehit as f64 / (ehit + emiss) as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7}",
+                    p.name, cold, warm, ehit, emiss, reuse, deg
+                );
+            }
+            Err(e) => println!("{:<10} serve row unavailable: {e}", p.name),
+        }
     }
     println!();
     let auto_jobs = Config::default().effective_jobs();

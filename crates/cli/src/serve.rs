@@ -1,0 +1,595 @@
+//! `ipcc serve` — the transport layer of the incremental analysis
+//! daemon.
+//!
+//! The engine ([`ipcp::serve::ServeEngine`]) owns all analysis state and
+//! runs on the main thread. Transports — a stdin reader and, with
+//! `--socket`, a Unix-socket acceptor — parse nothing: they push raw
+//! request lines through a *bounded* channel (the admission control) and
+//! carry a reply sink back to their origin. Everything a request can do
+//! wrong becomes a structured JSON error response; no serve-path code
+//! calls `process::exit`.
+//!
+//! Robustness envelope, outermost first:
+//!
+//! * **Admission.** The channel holds at most `--max-inflight` requests;
+//!   a full channel sheds immediately with an `overloaded` response, and
+//!   a request older than `--queue-ms` when dequeued is shed rather than
+//!   served stale.
+//! * **Deadlines.** `--request-deadline-ms` (or a per-request
+//!   `config.deadline_ms` override) bounds each analysis; stages that
+//!   time out answer ⊥ and the response carries `degraded: true` —
+//!   constants are never invented under pressure.
+//! * **Quarantine.** Panics inside analysis units degrade per-procedure;
+//!   a request-level panic (quarantine disabled by override) is caught at
+//!   the request boundary, answered as `"kind": "panic"`, and provably
+//!   leaves the warm state and summary cache untouched.
+//! * **Drain.** SIGTERM/SIGINT or a `shutdown` request stop admission and
+//!   drain queued requests under `--drain-ms`; whatever cannot drain in
+//!   time is shed with `shutting_down`.
+//!
+//! Protocol reference: `docs/SERVE.md`.
+
+use ipcp::serve::json;
+use ipcp::serve::{config_from_overrides, Json, Object, RequestOutcome, ServeEngine, ServeError};
+use ipcp::Config;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Set by the C signal handler; polled by the worker loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        // POSIX signal(2) via the C ABI — no crates, no masks to manage;
+        // the handler is a single atomic store.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Where a request's response goes.
+#[derive(Clone)]
+enum Sink {
+    Stdout,
+    Conn(Arc<Mutex<UnixStream>>),
+}
+
+impl Sink {
+    /// Best-effort line write: a transport that died mid-request must
+    /// not take the daemon with it.
+    fn send_line(&self, line: &str) {
+        match self {
+            Sink::Stdout => {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(out, "{line}");
+                let _ = out.flush();
+            }
+            Sink::Conn(stream) => {
+                if let Ok(mut s) = stream.lock() {
+                    let _ = writeln!(s, "{line}");
+                    let _ = s.flush();
+                }
+            }
+        }
+    }
+}
+
+/// One admitted request: the raw line, its reply sink, and when it was
+/// accepted (for the queue deadline).
+struct Incoming {
+    line: String,
+    sink: Sink,
+    at: Instant,
+}
+
+/// Transport-shared counters (the worker owns everything else).
+#[derive(Default)]
+struct Shared {
+    /// Requests shed at admission or by the queue/drain deadlines.
+    shed: AtomicU64,
+    /// Requests currently queued or being processed.
+    in_flight: AtomicU64,
+}
+
+fn error_response(id: &Json, kind: &str, message: &str) -> String {
+    let mut err = Object::new();
+    err.set("kind", Json::from(kind));
+    err.set("message", Json::from(message));
+    let mut o = Object::new();
+    o.set("id", id.clone());
+    o.set("ok", Json::from(false));
+    o.set("error", Json::from(err));
+    Json::from(o).to_string()
+}
+
+fn ok_response(id: &Json, payload: Object) -> String {
+    let mut o = Object::new();
+    o.set("id", id.clone());
+    o.set("ok", Json::from(true));
+    for (k, v) in payload.iter() {
+        o.set(k, v.clone());
+    }
+    Json::from(o).to_string()
+}
+
+/// Pulls the request id out of a raw line for shed responses written
+/// off-worker. Falls back to `null` when the line is not even JSON.
+fn peek_id(line: &str) -> Json {
+    json::parse(line)
+        .ok()
+        .and_then(|j| j.as_object().and_then(|o| o.get("id")).cloned())
+        .unwrap_or(Json::Null)
+}
+
+fn outcome_payload(outcome: &RequestOutcome) -> Object {
+    let mut o = Object::new();
+    o.set("degraded", Json::from(outcome.degraded));
+    o.set("cache_hits", Json::from(outcome.hits));
+    o.set("cache_misses", Json::from(outcome.misses));
+    o.set("cache_bypassed", Json::from(outcome.bypassed));
+    o.set(
+        "events",
+        Json::Array(
+            outcome
+                .events
+                .iter()
+                .map(|e| Json::from(e.to_string()))
+                .collect(),
+        ),
+    );
+    o.set(
+        "quarantined",
+        Json::Array(
+            outcome
+                .quarantined
+                .iter()
+                .map(|q| Json::from(q.as_str()))
+                .collect(),
+        ),
+    );
+    o
+}
+
+/// The daemon. Blocks until stdin closes, SIGTERM/SIGINT arrives, or a
+/// `shutdown` request is served; returns the number of requests shed so
+/// the caller can report it.
+#[allow(clippy::too_many_arguments)]
+pub fn serve(
+    src: &str,
+    config: &Config,
+    socket: Option<&str>,
+    max_inflight: usize,
+    queue_ms: u64,
+    drain_ms: u64,
+    request_deadline_ms: Option<u64>,
+) -> Result<(), String> {
+    let mut engine =
+        ServeEngine::new(src, config).map_err(|e| format!("error: starting daemon: {e}"))?;
+    install_signal_handlers();
+
+    let shared = Arc::new(Shared::default());
+    let (tx, rx) = mpsc::sync_channel::<Incoming>(max_inflight);
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+
+    {
+        let tx = tx.clone();
+        let shared = Arc::clone(&shared);
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                admit(&tx, &shared, line, Sink::Stdout);
+            }
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+
+    let mut socket_path = None;
+    if let Some(path) = socket {
+        // A stale socket file from a previous daemon would break bind.
+        let _ = std::fs::remove_file(path);
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("error: binding {path}: {e}"))?;
+        socket_path = Some(path.to_string());
+        let tx = tx.clone();
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let tx = tx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let Ok(write_half) = conn.try_clone() else {
+                        return;
+                    };
+                    let sink = Sink::Conn(Arc::new(Mutex::new(write_half)));
+                    for line in BufReader::new(conn).lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        admit(&tx, &shared, line, sink.clone());
+                    }
+                });
+            }
+        });
+    }
+    drop(tx);
+
+    let started = Instant::now();
+    let queue_deadline = Duration::from_millis(queue_ms);
+    let mut shutdown = false;
+
+    // Serve until a shutdown signal, then fall through to the drain.
+    // Stdin EOF ends a stdin-only daemon; with a socket configured it
+    // just retires the stdin transport (daemons under a supervisor run
+    // with stdin on /dev/null), and the socket keeps serving.
+    let stdin_eof_stops = socket_path.is_none();
+    while !shutdown {
+        if TERM.load(Ordering::SeqCst) || (stdin_eof_stops && stdin_closed.load(Ordering::SeqCst)) {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(inc) => {
+                handle(
+                    &mut engine,
+                    &shared,
+                    inc,
+                    queue_deadline,
+                    request_deadline_ms,
+                    started,
+                    &mut shutdown,
+                    false,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Graceful drain: serve whatever is already queued, under a deadline;
+    // shed the rest explicitly. New connections may still enqueue during
+    // the drain — they get `shutting_down` like everything else past the
+    // deadline, or service if they make it in time.
+    let drain_until = Instant::now() + Duration::from_millis(drain_ms);
+    loop {
+        let now = Instant::now();
+        if now >= drain_until {
+            // Past the deadline: shed synchronously, do not analyze.
+            while let Ok(inc) = rx.try_recv() {
+                shared.shed.fetch_add(1, Ordering::SeqCst);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                inc.sink.send_line(&error_response(
+                    &peek_id(&inc.line),
+                    "shutting_down",
+                    "daemon is shutting down",
+                ));
+            }
+            break;
+        }
+        match rx.recv_timeout(drain_until - now) {
+            Ok(inc) => {
+                let mut ignored = false;
+                handle(
+                    &mut engine,
+                    &shared,
+                    inc,
+                    queue_deadline,
+                    request_deadline_ms,
+                    started,
+                    &mut ignored,
+                    true,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+    let shed = shared.shed.load(Ordering::SeqCst);
+    let stats = engine.stats();
+    eprintln!(
+        "serve: {} request(s), {} degraded, {} panic(s) contained, {} shed; \
+         cache {}/{} hit/miss",
+        stats.requests,
+        stats.degraded_requests,
+        stats.panics_contained,
+        shed,
+        engine.cache_stats().hits,
+        engine.cache_stats().misses,
+    );
+    Ok(())
+}
+
+/// Admission control: try to enqueue, shed with an explicit response on
+/// overflow. Runs on transport threads.
+fn admit(tx: &SyncSender<Incoming>, shared: &Shared, line: String, sink: Sink) {
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    let inc = Incoming {
+        line,
+        sink,
+        at: Instant::now(),
+    };
+    match tx.try_send(inc) {
+        Ok(()) => {}
+        Err(TrySendError::Full(inc)) => {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            inc.sink.send_line(&error_response(
+                &peek_id(&inc.line),
+                "overloaded",
+                "admission queue is full; retry later",
+            ));
+        }
+        Err(TrySendError::Disconnected(inc)) => {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            inc.sink.send_line(&error_response(
+                &peek_id(&inc.line),
+                "shutting_down",
+                "daemon is shutting down",
+            ));
+        }
+    }
+}
+
+/// Serves one admitted request on the worker thread.
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    engine: &mut ServeEngine,
+    shared: &Shared,
+    inc: Incoming,
+    queue_deadline: Duration,
+    request_deadline_ms: Option<u64>,
+    started: Instant,
+    shutdown: &mut bool,
+    draining: bool,
+) {
+    let response = if inc.at.elapsed() > queue_deadline {
+        shared.shed.fetch_add(1, Ordering::SeqCst);
+        error_response(
+            &peek_id(&inc.line),
+            "overloaded",
+            "request exceeded the queue deadline before processing",
+        )
+    } else {
+        match json::parse(&inc.line) {
+            Err(e) => error_response(&Json::Null, "bad_request", &format!("malformed JSON: {e}")),
+            Ok(req) => {
+                let id = req
+                    .as_object()
+                    .and_then(|o| o.get("id"))
+                    .cloned()
+                    .unwrap_or(Json::Null);
+                match dispatch(
+                    engine,
+                    shared,
+                    &req,
+                    request_deadline_ms,
+                    started,
+                    shutdown,
+                    draining,
+                ) {
+                    Ok(payload) => ok_response(&id, payload),
+                    Err(e) => error_response(&id, e.kind(), &e.to_string()),
+                }
+            }
+        }
+    };
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    inc.sink.send_line(&response);
+}
+
+/// Builds the effective per-request configuration: explicit `config`
+/// overrides win; otherwise the daemon's default request deadline (if
+/// any) is stamped fresh so the countdown starts now, not at boot.
+fn request_config(
+    engine: &ServeEngine,
+    req: &Object,
+    request_deadline_ms: Option<u64>,
+) -> Result<Option<Config>, ServeError> {
+    if let Some(value) = req.get("config") {
+        let overrides = value.as_object().ok_or_else(|| {
+            ServeError::BadRequest("`config` must be an object of overrides".into())
+        })?;
+        return config_from_overrides(*engine.config(), overrides).map(Some);
+    }
+    match request_deadline_ms {
+        None => Ok(None),
+        Some(ms) => Ok(Some(
+            engine
+                .config()
+                .rebuild()
+                .deadline_ms(ms)
+                .build()
+                .map_err(ServeError::Invalid)?,
+        )),
+    }
+}
+
+fn str_field<'a>(req: &'a Object, key: &str) -> Result<&'a str, ServeError> {
+    req.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}` field")))
+}
+
+fn dispatch(
+    engine: &mut ServeEngine,
+    shared: &Shared,
+    req: &Json,
+    request_deadline_ms: Option<u64>,
+    started: Instant,
+    shutdown: &mut bool,
+    draining: bool,
+) -> Result<Object, ServeError> {
+    let req = req
+        .as_object()
+        .ok_or_else(|| ServeError::BadRequest("request must be a JSON object".into()))?;
+    let op = str_field(req, "op")?;
+    match op {
+        "health" => {
+            let cache = engine.cache_stats();
+            let mut o = Object::new();
+            o.set(
+                "status",
+                Json::from(if draining { "draining" } else { "ok" }),
+            );
+            o.set(
+                "uptime_ms",
+                Json::from(started.elapsed().as_millis() as u64),
+            );
+            o.set(
+                "in_flight",
+                Json::from(shared.in_flight.load(Ordering::SeqCst)),
+            );
+            o.set("shed", Json::from(shared.shed.load(Ordering::SeqCst)));
+            o.set("cache_hits", Json::from(cache.hits));
+            o.set("cache_misses", Json::from(cache.misses));
+            o.set("cache_entries", Json::from(engine.cache_len()));
+            o.set("degraded_last", Json::from(engine.last_outcome().degraded));
+            Ok(o)
+        }
+        "stats" => {
+            let stats = engine.stats();
+            let cache = engine.cache_stats();
+            let t = &engine.analysis().timings;
+            let mut o = Object::new();
+            o.set("requests", Json::from(stats.requests));
+            o.set("updates", Json::from(stats.updates));
+            o.set("loads", Json::from(stats.loads));
+            o.set("errors", Json::from(stats.errors));
+            o.set("degraded_requests", Json::from(stats.degraded_requests));
+            o.set("panics_contained", Json::from(stats.panics_contained));
+            o.set("shed", Json::from(shared.shed.load(Ordering::SeqCst)));
+            o.set("cache_hits", Json::from(cache.hits));
+            o.set("cache_misses", Json::from(cache.misses));
+            o.set("cache_evictions", Json::from(cache.evictions));
+            o.set("cache_bypasses", Json::from(cache.bypasses));
+            o.set("cache_entries", Json::from(engine.cache_len()));
+            if let Some(rate) = cache.hit_rate() {
+                o.set("cache_hit_rate", Json::Float(rate));
+            }
+            let mut timings = Object::new();
+            timings.set("modref_us", Json::from(t.modref.wall.as_micros() as u64));
+            timings.set("retjump_us", Json::from(t.retjump.wall.as_micros() as u64));
+            timings.set("jump_us", Json::from(t.jump.wall.as_micros() as u64));
+            timings.set("solve_us", Json::from(t.solve.wall.as_micros() as u64));
+            o.set("last_timings", Json::from(timings));
+            Ok(o)
+        }
+        "analyze" => {
+            let config = request_config(engine, req, request_deadline_ms)?;
+            let outcome = engine.analyze(config)?;
+            Ok(outcome_payload(&outcome))
+        }
+        "constants" => {
+            let config = request_config(engine, req, request_deadline_ms)?;
+            let proc = match req.get("proc") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| ServeError::BadRequest("`proc` must be a string".into()))?,
+                ),
+            };
+            let (report, outcome) = engine.constants(proc, config)?;
+            let mut o = outcome_payload(&outcome);
+            let report = report.to_json();
+            if let Some(fields) = report.as_object() {
+                for (k, v) in fields.iter() {
+                    o.set(k, v.clone());
+                }
+            }
+            Ok(o)
+        }
+        "explain" => {
+            let proc = str_field(req, "proc")?;
+            let slot = match req.get("slot") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| ServeError::BadRequest("`slot` must be a string".into()))?,
+                ),
+            };
+            let depth = match req.get("depth") {
+                None => 3,
+                Some(v) => v.as_i64().filter(|&d| d >= 0).ok_or_else(|| {
+                    ServeError::BadRequest("`depth` must be a non-negative integer".into())
+                })? as usize,
+            };
+            let text = engine.explain(proc, slot, depth)?;
+            let mut o = Object::new();
+            o.set("text", Json::from(text));
+            Ok(o)
+        }
+        "update" => {
+            let proc = str_field(req, "proc")?.to_string();
+            let body = str_field(req, "body")?.to_string();
+            let outcome = engine.update(&proc, &body)?;
+            Ok(outcome_payload(&outcome))
+        }
+        "load" => {
+            let source = str_field(req, "source")?.to_string();
+            let outcome = engine.load(&source)?;
+            Ok(outcome_payload(&outcome))
+        }
+        "shutdown" => {
+            *shutdown = true;
+            let mut o = Object::new();
+            o.set("status", Json::from("draining"));
+            Ok(o)
+        }
+        other => Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Client mode (`ipcc serve --connect <socket>`): forward stdin lines to
+/// a running daemon, print every response line to stdout. Exits when
+/// stdin closes and all responses have been received.
+pub fn connect(socket: &str) -> Result<(), String> {
+    let stream =
+        UnixStream::connect(socket).map_err(|e| format!("error: connecting {socket}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("error: cloning socket: {e}"))?;
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(read_half).lines() {
+            let Ok(line) = line else { break };
+            println!("{line}");
+        }
+    });
+    let mut write_half = stream;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(write_half, "{line}").map_err(|e| format!("error: writing request: {e}"))?;
+    }
+    write_half
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| format!("error: closing socket: {e}"))?;
+    let _ = reader.join();
+    Ok(())
+}

@@ -243,6 +243,25 @@ impl Governor {
         self.health.absorb(shard.health);
     }
 
+    /// The raw per-stage charge counters, in [`Stage::ALL`] order. The
+    /// serve cache records a clean unit's shard counters alongside its
+    /// summary, so a later cache hit can replay the charges bulk-wise
+    /// (see [`Governor::add_charges`]) and stay bit-identical to a cold
+    /// run even under budgets and fault injection.
+    pub fn counters(&self) -> [u64; Stage::ALL.len()] {
+        self.counters
+    }
+
+    /// Bulk-charges previously recorded counters onto this governor
+    /// *without* trip checks — pair with [`Governor::can_absorb`] on a
+    /// shard: record the counters into a fresh shard, prove the fold is
+    /// clean, then absorb. Used by the serve cache's hit path.
+    pub fn add_charges(&mut self, counts: &[u64; Stage::ALL.len()]) {
+        for (counter, &charge) in self.counters.iter_mut().zip(counts) {
+            *counter += charge;
+        }
+    }
+
     /// The shared deadline latch, for threading into symbolic-evaluation
     /// budgets ([`ipcp_ssa::symbolic::EvalBudget`]).
     pub fn latch(&self) -> &Arc<DeadlineLatch> {

@@ -479,7 +479,7 @@ fn govern(jf: JumpFn, gov: &mut Governor, caller: &str, site: usize, slot: usize
 /// A procedure's SSA form together with its polynomial evaluation —
 /// produced once per procedure by the pipeline and shared by the jump
 /// function generator and the substitution metric.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ProcSymbolic {
     /// SSA form under the configured call-effect assumptions.
     pub ssa: ipcp_ssa::SsaProc,

@@ -61,6 +61,9 @@
 //!   (the application pursued by Metzger–Stroud and Cooper–Hall–Kennedy);
 //! * [`health`] — analysis budgets, the degradation governor, and run
 //!   telemetry (see `docs/ROBUSTNESS.md`);
+//! * [`serve`] — the crash-isolated incremental analysis service behind
+//!   `ipcc serve`: content-hash-keyed summary cache, transactional
+//!   commits, and the typed request engine (see `docs/SERVE.md`);
 //! * [`error`] — the unified [`IpcpError`] taxonomy over front-end
 //!   diagnostics, interpreter faults, and exhausted budgets.
 
@@ -79,6 +82,7 @@ pub mod quarantine;
 pub mod reduce;
 pub mod report;
 pub mod retjump;
+pub mod serve;
 pub mod solver;
 pub mod substitute;
 
@@ -110,5 +114,6 @@ pub use reduce::{
 };
 pub use report::CostReport;
 pub use retjump::{build_return_jfs, ReturnJumpFns};
+pub use serve::{ServeEngine, ServeError, SummaryCache};
 pub use solver::{solve, solve_worklist_reference, ValSets};
 pub use substitute::{substitute, substitute_intraprocedural, Substitution};

@@ -93,7 +93,7 @@ impl Analysis {
         analysis
     }
 
-    fn run_once(
+    pub(crate) fn run_once(
         mcfg: &ModuleCfg,
         config: &Config,
         gate_seeds: Option<&Vec<Vec<Lattice>>>,
@@ -351,7 +351,7 @@ impl Analysis {
     /// SCC levels when `jobs > 1`) and assembly — shared tail of both
     /// `run_once` paths.
     #[allow(clippy::too_many_arguments)]
-    fn finish(
+    pub(crate) fn finish(
         mcfg: &ModuleCfg,
         config: &Config,
         cg: CallGraph,
@@ -428,7 +428,7 @@ impl Analysis {
 }
 
 /// The worst-case MOD/REF pair a quarantined procedure is widened to.
-fn widen_modref(arity: usize, n_globals: usize) -> (ModSet, ModSet) {
+pub(crate) fn widen_modref(arity: usize, n_globals: usize) -> (ModSet, ModSet) {
     (
         ModSet::everything(arity, n_globals),
         ModSet::everything(arity, n_globals),
@@ -439,7 +439,7 @@ fn widen_modref(arity: usize, n_globals: usize) -> (ModSet, ModSet) {
 /// widening (plus a quarantine event) on a contained panic. Shared by the
 /// sequential loop and the parallel fold so both record byte-identical
 /// telemetry.
-fn commit_modref_unit(
+pub(crate) fn commit_modref_unit(
     name: &str,
     unit: Result<(ModSet, ModSet), String>,
     arity: usize,
@@ -467,7 +467,7 @@ fn commit_modref_unit(
 /// One procedure's SSA + gate + symbolic evaluation — the Stage::Jump
 /// unit of work, shared by the sequential loop and the parallel workers.
 #[allow(clippy::too_many_arguments)]
-fn build_proc_symbolic(
+pub(crate) fn build_proc_symbolic(
     mcfg: &ModuleCfg,
     config: &Config,
     layout: &SlotLayout,
@@ -521,7 +521,7 @@ fn build_proc_symbolic(
 
 /// Commits one symbolic unit outcome into `symbolics`, recording the
 /// deadline/step-slice/panic events exactly as the sequential loop would.
-fn commit_symbolic_unit(
+pub(crate) fn commit_symbolic_unit(
     mcfg: &ModuleCfg,
     pi: usize,
     unit: Result<(ProcSymbolic, bool), String>,

@@ -413,7 +413,7 @@ fn scc_levels(cg: &CallGraph) -> Vec<Vec<usize>> {
 /// units, and the fold's replay path. Returns the slot functions and
 /// whether the procedure was *newly* quarantined here.
 #[allow(clippy::too_many_arguments)]
-fn run_scc_member(
+pub(crate) fn run_scc_member(
     mcfg: &ModuleCfg,
     table: &ReturnJumpFns,
     layout: &SlotLayout,

@@ -1,0 +1,312 @@
+//! The content-hash-keyed summary cache and its transaction overlay.
+//!
+//! The daemon caches three kinds of per-procedure summaries across
+//! requests, keyed by the [`summary keys`](ipcp_analysis::keys) derived
+//! from normalized procedure text, the program shape, and the analysis
+//! configuration:
+//!
+//! * MOD/REF direct effects (keyed by the procedure's *own* hash — the
+//!   unit reads nothing else);
+//! * return jump functions (keyed by the transitive-callee Merkle cone,
+//!   with the governor charges the unit made recorded alongside, so a
+//!   hit replays them — see [`crate::Governor::add_charges`]);
+//! * the SSA + symbolic form feeding forward jump functions (cone-keyed;
+//!   the unit makes no governor charges).
+//!
+//! Only *clean* units are cached: a unit that quarantined, tripped a
+//! budget, or exhausted its step slice is recomputed on every request,
+//! so a cached entry never freezes a degradation into the warm path (and
+//! a crashing request "repairs" itself by simply never polluting the
+//! cache — the next identical request recomputes from scratch).
+//!
+//! Writes never land directly: each request stages its inserts in a
+//! [`CacheTxn`] and the engine commits the transaction only after the
+//! request completed without a request-level panic — snapshot, validate,
+//! commit. A dropped transaction provably leaves the cache untouched.
+//!
+//! The cache is bounded ([`SummaryCache::with_capacity`]) with FIFO
+//! eviction: admission control bounds the request queue, this bounds the
+//! memory a long-lived daemon accretes.
+
+use crate::config::Stage;
+use crate::jump::ProcSymbolic;
+use crate::JumpFn;
+use ipcp_analysis::ModSet;
+use std::collections::{HashMap, VecDeque};
+
+/// Recorded per-stage governor charges, in [`Stage::ALL`] order.
+pub type Charges = [u64; Stage::ALL.len()];
+
+/// Which summary family a key addresses. Part of the key so the three
+/// families can never alias even under hash collision of the content
+/// part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SummaryStage {
+    /// MOD/REF direct effects.
+    ModRef,
+    /// Return jump functions.
+    RetJump,
+    /// SSA + symbolic evaluation (the forward-jump-function input).
+    Jump,
+}
+
+/// A cache key: the summary family plus the content digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Summary family.
+    pub stage: SummaryStage,
+    /// Content digest (own hash or Merkle cone, mixed with the program
+    /// shape and configuration fingerprints).
+    pub digest: u128,
+}
+
+/// One cached summary.
+#[derive(Clone, Debug)]
+pub enum CachedSummary {
+    /// Direct MOD/REF effects of one procedure. The unit charges nothing
+    /// (the per-procedure `Stage::ModRef` charge is made by the loop,
+    /// hit or miss alike).
+    ModRef {
+        /// Directly modified slots.
+        mods: ModSet,
+        /// Directly referenced slots.
+        refs: ModSet,
+    },
+    /// Return jump functions for every entry slot of one procedure, with
+    /// the `Stage::RetJump` charges the clean unit made.
+    RetJump {
+        /// Per-slot functions.
+        fns: Vec<JumpFn>,
+        /// Recorded governor charges, replayed on a hit.
+        charges: Charges,
+    },
+    /// The SSA + symbolic form of one procedure (charge-free).
+    Jump {
+        /// The cached symbolic form.
+        sym: Box<ProcSymbolic>,
+    },
+}
+
+/// Aggregate cache telemetry, surfaced by `health`/`stats` and the
+/// telemetry tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Units served from cache (charges replayed cleanly).
+    pub hits: u64,
+    /// Units recomputed (absent, unreplayable, or forced live).
+    pub misses: u64,
+    /// Entries evicted by the FIFO bound.
+    pub evictions: u64,
+    /// Requests that bypassed the cache entirely (configurations whose
+    /// units read prior-round state, e.g. gated jump functions).
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of lookups, `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// The daemon-lifetime summary cache. See the module docs.
+#[derive(Debug)]
+pub struct SummaryCache {
+    entries: HashMap<CacheKey, CachedSummary>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl SummaryCache {
+    /// Default entry bound: three families × a generous procedure count.
+    pub const DEFAULT_CAPACITY: usize = 16 * 1024;
+
+    /// An empty cache with the default bound.
+    pub fn new() -> SummaryCache {
+        SummaryCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> SummaryCache {
+        SummaryCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime telemetry.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a summary. Hit/miss accounting happens in the
+    /// transaction (a present entry can still be treated as a miss when
+    /// its recorded charges cannot be replayed bit-identically).
+    pub fn get(&self, key: CacheKey) -> Option<&CachedSummary> {
+        self.entries.get(&key)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: CachedSummary) {
+        if self.entries.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.entries.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Commits a completed request's transaction: staged inserts land,
+    /// per-request counters fold into the lifetime stats. Only called
+    /// after the request ran to completion — a panicked request's
+    /// transaction is dropped instead, leaving the cache untouched.
+    pub fn commit(&mut self, txn: CacheTxn) {
+        for (key, value) in txn.staged {
+            self.insert(key, value);
+        }
+        self.stats.hits += txn.hits;
+        self.stats.misses += txn.misses;
+        self.stats.bypasses += txn.bypassed as u64;
+    }
+}
+
+impl Default for SummaryCache {
+    fn default() -> Self {
+        SummaryCache::new()
+    }
+}
+
+/// One request's staged view of the cache: reads go to the base cache,
+/// writes stage here until [`SummaryCache::commit`].
+#[derive(Debug, Default)]
+pub struct CacheTxn {
+    staged: Vec<(CacheKey, CachedSummary)>,
+    /// Units served from cache during this request.
+    pub hits: u64,
+    /// Units recomputed during this request.
+    pub misses: u64,
+    /// Whether this request's configuration bypassed the cache.
+    pub bypassed: bool,
+}
+
+impl CacheTxn {
+    /// A fresh, empty transaction.
+    pub fn new() -> CacheTxn {
+        CacheTxn::default()
+    }
+
+    /// Stages an insert for commit.
+    pub fn stage(&mut self, key: CacheKey, value: CachedSummary) {
+        self.staged.push((key, value));
+    }
+
+    /// Number of staged inserts.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_analysis::ModSet;
+
+    fn key(d: u128) -> CacheKey {
+        CacheKey {
+            stage: SummaryStage::ModRef,
+            digest: d,
+        }
+    }
+
+    fn entry() -> CachedSummary {
+        CachedSummary::ModRef {
+            mods: ModSet::default(),
+            refs: ModSet::default(),
+        }
+    }
+
+    #[test]
+    fn commit_lands_staged_entries_and_counters() {
+        let mut cache = SummaryCache::new();
+        let mut txn = CacheTxn::new();
+        txn.stage(key(1), entry());
+        txn.hits = 2;
+        txn.misses = 1;
+        assert!(cache.get(key(1)).is_none(), "staged, not visible");
+        cache.commit(txn);
+        assert!(cache.get(key(1)).is_some());
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn dropped_txn_leaves_cache_untouched() {
+        let cache = SummaryCache::new();
+        {
+            let mut txn = CacheTxn::new();
+            txn.stage(key(7), entry());
+            txn.misses = 5;
+            // Dropped without commit — the panic path.
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let mut cache = SummaryCache::with_capacity(2);
+        for d in 0..5u128 {
+            let mut txn = CacheTxn::new();
+            txn.stage(key(d), entry());
+            cache.commit(txn);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 3);
+        assert!(cache.get(key(0)).is_none(), "oldest evicted");
+        assert!(cache.get(key(4)).is_some(), "newest kept");
+    }
+
+    #[test]
+    fn families_do_not_alias() {
+        let mut cache = SummaryCache::new();
+        let mut txn = CacheTxn::new();
+        txn.stage(key(9), entry());
+        cache.commit(txn);
+        let other = CacheKey {
+            stage: SummaryStage::Jump,
+            digest: 9,
+        };
+        assert!(cache.get(other).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_grow_the_order_queue() {
+        let mut cache = SummaryCache::with_capacity(2);
+        for _ in 0..10 {
+            let mut txn = CacheTxn::new();
+            txn.stage(key(1), entry());
+            cache.commit(txn);
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `ipcc serve` — the crash-isolated incremental analysis service.
+//!
+//! This module is the library half of the daemon: everything except the
+//! transport. The CLI layers a JSON-lines protocol (stdin/stdout and a
+//! Unix socket), admission control, and signal handling on top of
+//! [`ServeEngine`]; the tier-1 tests and the `serve-identity` fuzz
+//! oracle drive the engine directly.
+//!
+//! * [`json`] — a minimal, bounded JSON parser/serializer (the protocol
+//!   wire format; no external dependencies);
+//! * [`cache`] — the content-hash-keyed [`SummaryCache`] with its
+//!   snapshot–validate–commit transaction overlay;
+//! * [`incremental`] — the cache-aware analysis driver, differentially
+//!   bit-identical to a cold [`crate::Analysis::run`];
+//! * [`engine`] — the typed request engine: `analyze`, `constants`,
+//!   `explain`, `update`, `load`, plus telemetry.
+//!
+//! See `docs/SERVE.md` for the protocol and the service contract.
+
+pub mod cache;
+pub mod engine;
+pub mod incremental;
+pub mod json;
+
+pub use cache::{CacheKey, CacheStats, CacheTxn, CachedSummary, SummaryCache, SummaryStage};
+pub use engine::{
+    config_from_overrides, ConstantsReport, EngineStats, ProgramModel, RequestOutcome, ServeEngine,
+    ServeError,
+};
+pub use incremental::{analyze_incremental, cacheable, same_results};
+pub use json::{Json, Object};

@@ -46,6 +46,7 @@
 
 pub mod cfg;
 pub mod error;
+pub mod hash;
 pub mod interp;
 pub mod lang;
 pub mod program;

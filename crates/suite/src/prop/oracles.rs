@@ -7,12 +7,17 @@
 //! rejected.
 
 use ipcp::quarantine::quiet_catch;
+use ipcp::serve::{same_results, ProgramModel, ServeEngine};
 use ipcp::{
     analyze, analyze_source, solve_worklist_reference, soundness_violation, Analysis, Governor,
     IpcpError, Lattice,
 };
+use ipcp_ir::hash::hash_str;
 use ipcp_ir::program::ProcId;
 use ipcp_ir::{lower_module, parse_and_resolve, ModuleCfg};
+
+use crate::mutate;
+use crate::rng::Rng;
 
 use super::{PropContext, Property};
 
@@ -192,6 +197,92 @@ impl Property for ExitConsistency {
     }
 }
 
+/// `serve-identity`: a warm `ipcc serve` daemon is unobservable. A
+/// random edit session — procedure-body replacements derived
+/// deterministically from the source, pushed through
+/// [`ServeEngine::update`] — must leave the daemon bit-identical (vals,
+/// telemetry, quarantine flags, jump-function summaries) to a cold
+/// analysis of whatever source the daemon currently holds, after every
+/// single edit. Rejected edits (the mutator happily produces arity
+/// mismatches) must leave the source unchanged — the rollback contract.
+///
+/// Wall-clock deadlines are stripped: a deadline legitimately trips at
+/// different points warm vs cold, and the identity contract explicitly
+/// excludes it (see `docs/SERVE.md`).
+pub struct ServeIdentity;
+
+impl ServeIdentity {
+    /// Derives one candidate replacement for `proc_src` (a normalized
+    /// single-procedure program). The mutators keep the procedure name
+    /// intact; arity perturbation is deliberately in the mix so rejected
+    /// updates exercise rollback.
+    fn mutate_proc(proc_src: &str, rng: &mut Rng) -> String {
+        match rng.below(3) {
+            0 => mutate::swap_operator(proc_src, rng),
+            1 => mutate::splice_statement(proc_src, rng),
+            _ => mutate::perturb_call_arity(proc_src, rng),
+        }
+    }
+}
+
+impl Property for ServeIdentity {
+    fn name(&self) -> &'static str {
+        "serve-identity"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        if lowered(src).is_none() {
+            return Ok(());
+        }
+        let mut config = ctx.config;
+        config.deadline = None;
+        let mut engine = match ServeEngine::new(src, &config) {
+            Ok(engine) => engine,
+            // The daemon's first analysis panicking is a real finding —
+            // the same crash `panic-free` hunts, seen from the service.
+            Err(e @ ipcp::ServeError::Panic(_)) => {
+                return Err(format!("daemon construction failed: {e}"));
+            }
+            // Builder validation or resolution failures under this
+            // config are vacuous, like any unparseable source.
+            Err(_) => return Ok(()),
+        };
+        // The edit session is a pure function of the source text.
+        let mut rng = Rng::new(hash_str(src) as u64 ^ 0x5EDE_1D17);
+        for step in 0..4u32 {
+            let model = ProgramModel::from_source(&engine.source())
+                .map_err(|e| format!("daemon source stopped parsing: {e}"))?;
+            let names: Vec<String> = model.proc_names().map(String::from).collect();
+            if names.is_empty() {
+                return Ok(());
+            }
+            let name = &names[rng.below(names.len() as u64) as usize];
+            let Some(proc_src) = model.proc_text(name) else {
+                return Err(format!("model lost procedure `{name}`"));
+            };
+            let before = engine.source();
+            let fragment = Self::mutate_proc(proc_src, &mut rng);
+            if engine.update(name, &fragment).is_err() && engine.source() != before {
+                return Err(format!(
+                    "step {step}: rejected update to `{name}` mutated the daemon's source"
+                ));
+            }
+            let Some(cold_mcfg) = lowered(&engine.source()) else {
+                return Err(format!(
+                    "step {step}: accepted update left unresolvable source"
+                ));
+            };
+            let cold = Analysis::run(&cold_mcfg, engine.config());
+            if !same_results(engine.analysis(), &cold) {
+                return Err(format!(
+                    "step {step}: warm daemon diverged from a cold run after editing `{name}`"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Every registered property, in stable order.
 pub fn all_properties() -> Vec<Box<dyn Property>> {
     vec![
@@ -200,6 +291,7 @@ pub fn all_properties() -> Vec<Box<dyn Property>> {
         Box::new(JobsIdentity),
         Box::new(WavefrontWorklist),
         Box::new(ExitConsistency),
+        Box::new(ServeIdentity),
     ]
 }
 

@@ -1,0 +1,402 @@
+//! The `ipcc serve` engine: differential identity, cache invalidation,
+//! and fault isolation.
+//!
+//! Three contracts from `docs/SERVE.md` are enforced here:
+//!
+//! 1. **Identity.** A warm engine's results — values, health events,
+//!    quarantine flags — are bit-identical to a cold `Analysis::run` on
+//!    the same program and configuration, after any sequence of edits.
+//! 2. **Exact invalidation.** An `update` to procedure `p` recomputes
+//!    exactly `p` plus its transitive dependents (SCC siblings included);
+//!    everything else is served from cache. Shape changes (arity edits)
+//!    re-key everything.
+//! 3. **Isolation.** A panic-injected request returns a structured error
+//!    with the model and cache provably untouched; invalid overrides are
+//!    structured errors; failed updates roll back completely.
+
+use ipcp::serve::{config_from_overrides, same_results, Json, Object, ServeEngine, ServeError};
+use ipcp::{Analysis, Config, IpcpError, Stage};
+use ipcp_suite::PROGRAMS;
+
+/// `main → f → g`, all reachable: 3 procedures × 3 summary stages.
+const CHAIN: &str = "proc main() { call f(1); } \
+    proc f(a) { call g(a + 1); } \
+    proc g(b) { print b; }";
+
+/// `f ⇄ g` mutual recursion under `main`: one non-trivial SCC.
+const MUTUAL: &str = "proc main() { call f(3); } \
+    proc f(n) { if (n > 0) { call g(n - 1); } } \
+    proc g(m) { call f(m); }";
+
+fn engine(src: &str) -> ServeEngine {
+    ServeEngine::new(src, &Config::polynomial()).expect("engine builds")
+}
+
+fn cold_twin(engine: &ServeEngine) -> Analysis {
+    Analysis::run(engine.mcfg(), engine.config())
+}
+
+/// Identity + full warm service on every benchmark program: the second
+/// `analyze` recomputes nothing, and both runs equal a cold analysis.
+#[test]
+fn warm_rerun_on_the_suite_is_all_hits_and_bit_identical() {
+    for p in PROGRAMS {
+        let mut e = ServeEngine::new(p.source, &Config::polynomial()).unwrap();
+        let cold = cold_twin(&e);
+        assert!(
+            same_results(e.analysis(), &cold),
+            "{}: cold vs engine",
+            p.name
+        );
+        let first = e.last_outcome().clone();
+        assert_eq!(first.hits, 0, "{}: nothing to hit on a cold cache", p.name);
+        let warm = e.analyze(None).unwrap();
+        assert_eq!(warm.misses, 0, "{}: warm rerun recomputed units", p.name);
+        assert_eq!(warm.hits, first.misses, "{}: warm hit set", p.name);
+        assert!(
+            same_results(e.analysis(), &cold),
+            "{}: warm vs cold",
+            p.name
+        );
+    }
+}
+
+/// Exact invalidation on a call chain. With 3 reachable procedures the
+/// cold run misses 9 units (MOD/REF, return-jump, symbolic each). An
+/// edit to `p` re-keys `p`'s own-hash (1 MOD/REF unit) plus the Merkle
+/// cones of `p` and its transitive callers (return-jump + symbolic).
+#[test]
+fn update_recomputes_exactly_the_dependent_cone() {
+    let mut e = engine(CHAIN);
+    assert_eq!(e.last_outcome().misses, 9);
+
+    // Leaf edit: g's cone change propagates to f and main. 1 + 3 + 3.
+    let out = e.update("g", "proc g(b) { print b + 1; }").unwrap();
+    assert_eq!((out.misses, out.hits), (7, 2), "leaf edit");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+
+    // Root edit: nothing depends on main. 1 + 1 + 1.
+    let out = e.update("main", "proc main() { call f(2); }").unwrap();
+    assert_eq!((out.misses, out.hits), (3, 6), "root edit");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+
+    // Middle edit: f and main re-key, g's summaries survive. 1 + 2 + 2.
+    let out = e.update("f", "proc f(a) { call g(a + 2); }").unwrap();
+    assert_eq!((out.misses, out.hits), (5, 4), "middle edit");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+}
+
+/// A body edit inside a strongly connected component re-keys every
+/// member of the SCC (they share a cone) plus the callers above it.
+#[test]
+fn scc_members_share_invalidation_fate() {
+    let edits = [
+        ("f", "proc f(n) { if (n > 1) { call g(n - 1); } }"),
+        ("g", "proc g(m) { call f(m - 1); }"),
+    ];
+    for (victim, fragment) in edits {
+        let mut e = engine(MUTUAL);
+        assert_eq!(e.last_outcome().misses, 9);
+        let out = e.update(victim, fragment).unwrap();
+        // 1 MOD/REF + the whole program's cones (f, g, main): 1 + 3 + 3.
+        assert_eq!((out.misses, out.hits), (7, 2), "SCC edit via {victim}");
+        assert!(same_results(e.analysis(), &cold_twin(&e)));
+    }
+}
+
+/// Reformatting without structural change is free: the model normalizes
+/// through the pretty-printer, so the hashes — and the cache — survive.
+#[test]
+fn formatting_only_updates_are_all_hits() {
+    let mut e = engine(CHAIN);
+    let out = e
+        .update("g", "proc g( b )   {\n\n      print b;   }")
+        .unwrap();
+    assert_eq!((out.misses, out.hits), (0, 9));
+}
+
+/// Arity changes change the program shape, which is mixed into every
+/// cache key: a consistent signature change re-keys the whole program.
+#[test]
+fn arity_changes_rekey_everything() {
+    // Via update, on a procedure nobody calls (callers would otherwise
+    // fail arity resolution):
+    let mut e = engine(
+        "proc main() { call f(1); } \
+         proc f(a) { print a; } \
+         proc dead(x) { print x; }",
+    );
+    let out = e
+        .update("dead", "proc dead(x, y) { print x + y; }")
+        .unwrap();
+    assert_eq!(out.hits, 0, "shape change must invalidate every summary");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+
+    // Via load, changing a called signature and its call sites together:
+    let mut e = engine(CHAIN);
+    let out = e
+        .load(
+            "proc main() { call f(1, 2); } \
+             proc f(a, c) { call g(a + c); } \
+             proc g(b) { print b; }",
+        )
+        .unwrap();
+    assert_eq!(out.hits, 0, "shape change must invalidate every summary");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+}
+
+/// An arity change whose callers were *not* updated is caught by the
+/// resolver and rolls back completely.
+#[test]
+fn inconsistent_arity_updates_roll_back() {
+    let mut e = engine(CHAIN);
+    let before = e.source();
+    let err = e.update("g", "proc g(b, c) { print b + c; }").unwrap_err();
+    assert!(matches!(err, ServeError::Invalid(IpcpError::Frontend(_))));
+    assert_eq!(e.source(), before, "model must be untouched");
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+}
+
+/// Every malformed update is a structured error and a complete rollback:
+/// model, analysis, and cache all stay exactly as they were.
+#[test]
+fn failed_updates_leave_model_and_cache_untouched() {
+    let mut e = engine(CHAIN);
+    let before_src = e.source();
+    let before_cache = e.cache_stats();
+    let before_len = e.cache_len();
+
+    let cases: [(&str, &str, &str); 6] = [
+        ("f", "proc f(a) { call nosuch(a); }", "frontend"),
+        ("f", "proc f(a) {", "frontend"),
+        ("f", "proc q(a) { print a; }", "bad_request"),
+        ("f", "global z; proc f(a) { print a; }", "bad_request"),
+        (
+            "f",
+            "proc f(a) { print a; } proc extra() { print 1; }",
+            "bad_request",
+        ),
+        ("nosuch", "proc nosuch() { print 0; }", "bad_request"),
+    ];
+    for (name, fragment, kind) in cases {
+        let err = e.update(name, fragment).unwrap_err();
+        assert_eq!(err.kind(), kind, "update {name} <- {fragment:?}");
+    }
+    assert_eq!(e.source(), before_src);
+    assert_eq!(e.cache_stats(), before_cache);
+    assert_eq!(e.cache_len(), before_len);
+    assert_eq!(e.stats().errors, cases.len() as u64);
+
+    // And the engine still serves.
+    let (report, _) = e.constants(Some("g"), None).unwrap();
+    assert_eq!(report.procs.len(), 1);
+}
+
+/// The fault-isolation criterion: a request whose analysis panics (panic
+/// injection with quarantine disabled) returns a structured `panic`
+/// error; the cache and warm state are provably untouched; the daemon
+/// keeps serving; and the identical request with containment back on
+/// yields correct results.
+#[test]
+fn panicking_requests_are_contained_with_cache_untouched() {
+    let mut e = engine(CHAIN);
+    let cold = cold_twin(&e);
+    let before_cache = e.cache_stats();
+    let before_len = e.cache_len();
+
+    let mut inject = Object::new();
+    inject.set("stage", Json::from("jump"));
+    inject.set("proc", Json::from(1i64));
+    let mut o = Object::new();
+    o.set("quarantine", Json::from(false));
+    o.set("inject_panic", Json::from(inject));
+    let hostile = config_from_overrides(*e.config(), &o).unwrap();
+
+    let err = e.analyze(Some(hostile)).unwrap_err();
+    assert_eq!(err.kind(), "panic");
+    assert!(matches!(err, ServeError::Panic(_)));
+    assert_eq!(e.cache_stats(), before_cache, "cache stats must not move");
+    assert_eq!(e.cache_len(), before_len, "no staged entry may land");
+    assert_eq!(e.stats().panics_contained, 1);
+    assert!(same_results(e.analysis(), &cold), "warm state untouched");
+
+    // Still serving: plain requests and edits keep working.
+    let (report, outcome) = e.constants(None, None).unwrap();
+    assert_eq!(report.procs.len(), 3);
+    assert!(!outcome.degraded);
+    e.update("g", "proc g(b) { print b * 2; }").unwrap();
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+
+    // The same injection with quarantine on degrades instead of erroring,
+    // exactly as a cold run with that configuration would.
+    let mut o = Object::new();
+    let mut inject = Object::new();
+    inject.set("stage", Json::from("jump"));
+    inject.set("proc", Json::from(1i64));
+    o.set("inject_panic", Json::from(inject));
+    let contained = config_from_overrides(*e.config(), &o).unwrap();
+    let out = e.analyze(Some(contained)).unwrap();
+    assert!(out.degraded);
+    assert_eq!(out.quarantined, vec!["f".to_string()]);
+}
+
+/// Panic injection as the *base* configuration: the forced-miss rule
+/// keeps warm runs bit-identical to cold ones (the injected unit is
+/// never served from cache, so it fires every time), and the poisoned
+/// unit is never cached.
+#[test]
+fn injected_units_are_forced_misses_and_never_cached() {
+    let injected = Config::polynomial().with_panic(Stage::Jump, 1);
+    let mut e = ServeEngine::new(CHAIN, &injected).unwrap();
+    let cold = Analysis::run(e.mcfg(), &injected);
+    assert!(same_results(e.analysis(), &cold));
+    assert!(e.analysis().quarantined[1]);
+
+    let warm = e.analyze(None).unwrap();
+    assert!(
+        same_results(e.analysis(), &cold),
+        "warm vs cold under injection"
+    );
+    assert_eq!(warm.misses, 1, "exactly the injected unit re-runs");
+    assert_eq!(warm.quarantined, vec!["f".to_string()]);
+}
+
+/// Invalid per-request override combinations surface the builder's
+/// `InvalidConfig` as a structured error; unknown keys and ill-typed
+/// values are `bad_request`. Nothing exits.
+#[test]
+fn config_overrides_validate_through_the_builder() {
+    let base = Config::polynomial();
+
+    // jobs > 1 without quarantine is the builder's canonical rejection.
+    let mut o = Object::new();
+    o.set("jobs", Json::from(4i64));
+    o.set("quarantine", Json::from(false));
+    let err = config_from_overrides(base, &o).unwrap_err();
+    assert_eq!(err.kind(), "invalid_config");
+    assert!(matches!(
+        err,
+        ServeError::Invalid(IpcpError::InvalidConfig(_))
+    ));
+
+    let mut o = Object::new();
+    o.set("bogus_knob", Json::from(true));
+    assert_eq!(
+        config_from_overrides(base, &o).unwrap_err().kind(),
+        "bad_request"
+    );
+
+    let mut o = Object::new();
+    o.set("jump_fn", Json::from("quadratic"));
+    assert_eq!(
+        config_from_overrides(base, &o).unwrap_err().kind(),
+        "bad_request"
+    );
+
+    let mut o = Object::new();
+    o.set("deadline_ms", Json::from("soon"));
+    assert_eq!(
+        config_from_overrides(base, &o).unwrap_err().kind(),
+        "bad_request"
+    );
+
+    // A valid override set round-trips into a working configuration.
+    let mut o = Object::new();
+    o.set("jump_fn", Json::from("pass-through"));
+    o.set("return_jfs", Json::from(true));
+    o.set("max_solver_iterations", Json::from(500i64));
+    let cfg = config_from_overrides(base, &o).unwrap();
+    assert_eq!(cfg.jump_fn.label(), "pass-through");
+    assert_eq!(cfg.limits.max_solver_iterations, 500);
+}
+
+/// `constants` and `explain` answer from the warm analysis without
+/// recomputation, and reject unknown names as structured errors.
+#[test]
+fn constants_and_explain_serve_from_the_warm_analysis() {
+    let mut e = engine(CHAIN);
+    let misses_before = e.cache_stats().misses;
+
+    let (report, _) = e.constants(None, None).unwrap();
+    assert_eq!(report.procs.len(), 3);
+    let g = report.procs.iter().find(|(n, _)| n == "g").unwrap();
+    assert!(
+        g.1.contains(&("b".to_string(), 2)),
+        "g(b) is entered with b = 2"
+    );
+
+    let (one, _) = e.constants(Some("g"), None).unwrap();
+    assert_eq!(one.procs.len(), 1);
+    assert_eq!(one.procs[0].1, g.1);
+
+    let rendered = e.explain("g", Some("b"), 3).unwrap();
+    assert!(!rendered.is_empty());
+    assert!(rendered.contains('b'));
+
+    assert_eq!(e.cache_stats().misses, misses_before, "no recomputation");
+    assert_eq!(
+        e.constants(Some("nope"), None).unwrap_err().kind(),
+        "bad_request"
+    );
+    assert_eq!(
+        e.explain("nope", None, 1).unwrap_err().kind(),
+        "bad_request"
+    );
+    assert_eq!(
+        e.explain("g", Some("zz"), 1).unwrap_err().kind(),
+        "bad_request"
+    );
+}
+
+/// A longer editing session on a benchmark program: after every accepted
+/// edit the warm results equal a cold run, and a formatting-only reload
+/// of the same text is fully warm.
+#[test]
+fn edit_sessions_stay_identical_to_cold_runs() {
+    let p = PROGRAMS[0];
+    let mut e = ServeEngine::new(p.source, &Config::polynomial()).unwrap();
+    let names: Vec<String> = e
+        .analysis()
+        .cg
+        .reachable
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r)
+        .map(|(i, _)| e.mcfg().module.procs[i].name.clone())
+        .collect();
+    assert!(!names.is_empty());
+
+    // Reload the normalized source: byte-identical model, zero misses.
+    let src = e.source();
+    let out = e.load(&src).unwrap();
+    assert_eq!(out.misses, 0, "{}: reload of identical source", p.name);
+    assert!(same_results(e.analysis(), &cold_twin(&e)));
+
+    // An accepted structural edit keeps the identity contract.
+    let mut edited = 0;
+    for name in &names {
+        let proc = e.mcfg().module.proc_named(name).unwrap();
+        let params: Vec<String> = (0..proc.arity()).map(|i| format!("p{i}")).collect();
+        let fragment = format!(
+            "proc {name}({}) {{ print {}; }}",
+            params.join(", "),
+            if params.is_empty() {
+                "7".to_string()
+            } else {
+                params[0].clone()
+            },
+        );
+        if e.update(name, &fragment).is_ok() {
+            assert!(
+                same_results(e.analysis(), &cold_twin(&e)),
+                "{}: after editing {name}",
+                p.name
+            );
+            edited += 1;
+            if edited == 3 {
+                break;
+            }
+        }
+    }
+    assert!(edited > 0, "{}: no edit was accepted", p.name);
+}
