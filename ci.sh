@@ -150,13 +150,131 @@ EOF
         echo "serve smoke: socket file survived shutdown" >&2
         return 1
     fi
+
+    # --- Crash-restart drill (docs/ROBUSTNESS.md, "Durability contract").
+    # A daemon with a store is killed -9 mid-session; the restart must
+    # reclaim the stale socket, restore the snapshot (persisted hits in
+    # stats), and answer bit-identically to the pre-crash daemon. Then a
+    # truncated and a scribbled-on store must each cold-start exit 0
+    # with a logged reason — never a crash, never a wrong answer.
+    local store=target/serve-smoke.store
+    rm -f "$store" "$sock"
+    timeout 60 ./target/release/ipcc serve "$prog" --socket "$sock" \
+        --store "$store" --snapshot-every-n 1 </dev/null >/dev/null 2>&1 &
+    daemon=$!
+    for i in $(seq 100); do
+        [ -S "$sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$sock" ] || {
+        echo "serve smoke: store daemon socket never appeared" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    }
+    printf '{"id":"c1","op":"constants"}\n' \
+        | timeout 20 ./target/release/ipcc serve --connect "$sock" >"$out.cold"
+    for i in $(seq 100); do
+        [ -s "$store" ] && break
+        sleep 0.1
+    done
+    [ -s "$store" ] || {
+        echo "serve smoke: snapshot never reached the store file" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    }
+    # $daemon is the `timeout` wrapper; SIGKILL is not forwarded, so
+    # aim at the daemon process itself — the whole point is a death the
+    # daemon gets no chance to handle.
+    local dpid
+    dpid=$(pgrep -P "$daemon" || echo "$daemon")
+    kill -9 "$dpid"
+    wait "$daemon" 2>/dev/null || true
+    [ -S "$sock" ] || {
+        echo "serve smoke: kill -9 did not leave a stale socket to reclaim" >&2
+        return 1
+    }
+    timeout 60 ./target/release/ipcc serve "$prog" --socket "$sock" \
+        --store "$store" </dev/null >/dev/null 2>"$out.warm.err" &
+    daemon=$!
+    for i in $(seq 100); do
+        timeout 20 ./target/release/ipcc serve --connect "$sock" \
+            </dev/null >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    printf '{"id":"c1","op":"constants"}\n{"id":"s1","op":"stats"}\n' \
+        | timeout 20 ./target/release/ipcc serve --connect "$sock" >"$out.warm" || {
+        echo "serve smoke: restarted daemon did not reclaim the stale socket" >&2
+        cat "$out.warm.err" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    }
+    # Compare the analysis payload only — the reply also carries cache
+    # counters, and hits-vs-misses is exactly what a warm restart changes.
+    local payload='s/.*"procs"/"procs"/'
+    if [ "$(grep -F '"id":"c1"' "$out.cold" | sed "$payload")" \
+        != "$(grep -F '"id":"c1"' "$out.warm" | sed "$payload")" ]; then
+        echo "serve smoke: constants differ across a kill -9 restart" >&2
+        diff "$out.cold" "$out.warm" >&2 || true
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if grep -F '"id":"s1"' "$out.warm" | grep -qF '"cache_persisted_hits":0'; then
+        echo "serve smoke: restart answered cold — no persisted hits" >&2
+        cat "$out.warm" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    kill -TERM "$daemon"
+    status=0
+    wait "$daemon" || status=$?
+    if [ "$status" != 0 ]; then
+        echo "serve smoke: restarted daemon exited $status on SIGTERM" >&2
+        return 1
+    fi
+
+    cp "$store" "$store.pristine"
+    local shape
+    for shape in truncated scribbled; do
+        cp "$store.pristine" "$store"
+        case "$shape" in
+        truncated)
+            head -c 40 "$store.pristine" >"$store"
+            ;;
+        scribbled)
+            printf '\xde\xad\xbe\xef' | dd of="$store" bs=1 \
+                seek=$(($(wc -c <"$store.pristine") / 2)) conv=notrunc 2>/dev/null
+            ;;
+        esac
+        status=0
+        timeout 60 ./target/release/ipcc serve "$prog" --store "$store" \
+            >"$out.$shape" 2>"$out.$shape.err" <<'EOF' || status=$?
+{"id":"c1","op":"constants"}
+EOF
+        if [ "$status" != 0 ]; then
+            echo "serve smoke: $shape store crashed the daemon (exit $status)" >&2
+            cat "$out.$shape.err" >&2
+            return 1
+        fi
+        grep -q 'starting cold' "$out.$shape.err" || {
+            echo "serve smoke: $shape store discarded without a logged reason" >&2
+            cat "$out.$shape.err" >&2
+            return 1
+        }
+        if [ "$(grep -F '"id":"c1"' "$out.cold" | sed "$payload")" \
+            != "$(grep -F '"id":"c1"' "$out.$shape" | sed "$payload")" ]; then
+            echo "serve smoke: $shape store produced a wrong answer" >&2
+            return 1
+        fi
+    done
+    rm -f "$store" "$store.pristine" "$store.tmp"
 }
 
 stage_fuzz() {
     # The shrinking property harness as a CI gate: `ipcc fuzz` drives
     # seeded generated programs through every registered property
     # (panic-free, soundness, jobs-identity, wavefront-worklist,
-    # exit-consistency), minimizing any counterexample into the corpus
+    # exit-consistency, serve-identity, serve-persist), minimizing any
+    # counterexample into the corpus
     # dir and exiting 1. The PR lane runs the default 45 s budget; the
     # nightly lane (`fuzz-nightly` in ci.yml) raises the budget to 10
     # minutes and seeds from the workflow run id — the seed is echoed
@@ -243,7 +361,7 @@ STAGES=(
     "robustness|robustness suite again, with quarantine disabled"
     "fuzz|property fuzz lane (ipcc fuzz: shrinking harness, time-boxed)"
     "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
-    "serve-smoke|serve smoke test (panic drill, client burst, SIGTERM drain)"
+    "serve-smoke|serve smoke test (panic drill, client burst, SIGTERM drain, crash-restart)"
     "bench-identity|bench identity gate (jobs=1 vs jobs=N, wavefront vs worklist)"
     "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"
     "clippy-strict|clippy (lib/bins: no unwrap, no expect, no warnings)"

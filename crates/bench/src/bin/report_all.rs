@@ -2,13 +2,17 @@
 //! default configuration — the quantities behind the paper's cost
 //! arguments (jump-function shapes, support sizes, solver work).
 
-use ipcp::serve::{ProgramModel, ServeEngine};
+use ipcp::serve::store::{decode, encode};
+use ipcp::serve::{ProgramModel, ServeEngine, SummaryCache};
 use ipcp::{Analysis, Config, CostReport};
 use ipcp_suite::PROGRAMS;
 
 /// Cold misses, warm-rerun hits, hit/miss split after a one-procedure
-/// edit, and degraded request count — the serve-cache row for `src`.
-fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
+/// edit, degraded request count — plus the persistence leg: records
+/// recovered from a snapshot, a restarted daemon's persisted startup
+/// hits, and the discard label a corrupted snapshot reports.
+#[allow(clippy::type_complexity)]
+fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64, u64, u64, &'static str), String> {
     let mut engine = ServeEngine::new(src, &Config::default()).map_err(|e| e.to_string())?;
     let cold = engine.last_outcome().misses;
     let warm = engine.analyze(None).map_err(|e| e.to_string())?.hits;
@@ -26,12 +30,30 @@ fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
         .ok_or_else(|| format!("`{name}` has no body"))?;
     let fragment = format!("{}    print 0;\n{}", &text[..brace], &text[brace..]);
     let edited = engine.update(&name, &fragment).map_err(|e| e.to_string())?;
+    let (cfp, sfp) = engine.fingerprints();
+    let bytes = encode(engine.cache(), cfp, sfp);
+    let entries = decode(&bytes, cfp, sfp).map_err(|r| r.to_string())?;
+    let recovered = entries.len() as u64;
+    let cache = SummaryCache::restore(entries, SummaryCache::DEFAULT_CAPACITY);
+    let restarted = ServeEngine::new_with_cache(&engine.source(), &Config::default(), cache)
+        .map_err(|e| e.to_string())?;
+    let persisted = restarted.last_outcome().persisted_hits;
+    let mut bad = bytes;
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    let discarded = match decode(&bad, cfp, sfp) {
+        Err(reason) => reason.label(),
+        Ok(_) => "accepted?!",
+    };
     Ok((
         cold,
         warm,
         edited.hits,
         edited.misses,
         engine.stats().degraded_requests,
+        recovered,
+        persisted,
+        discarded,
     ))
 }
 
@@ -92,20 +114,29 @@ fn main() {
     println!();
     println!("Serve cache: summary reuse across a warm daemon (ipcc serve)");
     println!(
-        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7}",
-        "program", "cold_miss", "warm_hit", "edit_hit", "edit_miss", "reuse%", "deg_req"
+        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7} {:>5} {:>8} {:>12}",
+        "program",
+        "cold_miss",
+        "warm_hit",
+        "edit_hit",
+        "edit_miss",
+        "reuse%",
+        "deg_req",
+        "recov",
+        "pers_hit",
+        "discard"
     );
     for p in PROGRAMS {
         match serve_cache_row(p.source) {
-            Ok((cold, warm, ehit, emiss, deg)) => {
+            Ok((cold, warm, ehit, emiss, deg, recov, pers, discard)) => {
                 let reuse = if ehit + emiss > 0 {
                     100.0 * ehit as f64 / (ehit + emiss) as f64
                 } else {
                     0.0
                 };
                 println!(
-                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7}",
-                    p.name, cold, warm, ehit, emiss, reuse, deg
+                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7} {:>5} {:>8} {:>12}",
+                    p.name, cold, warm, ehit, emiss, reuse, deg, recov, pers, discard
                 );
             }
             Err(e) => println!("{:<10} serve row unavailable: {e}", p.name),

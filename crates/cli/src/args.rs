@@ -116,30 +116,69 @@ pub enum Command {
         file: String,
         /// Base analysis configuration for every request.
         config: Config,
-        /// Unix socket path to also listen on.
-        socket: Option<String>,
-        /// Admission bound: queued + running requests beyond this are
-        /// shed with an explicit `overloaded` response.
-        max_inflight: usize,
-        /// Queue deadline: a request that waited longer than this before
-        /// processing started is shed instead of served stale.
-        queue_ms: u64,
-        /// Drain deadline for graceful shutdown (SIGTERM/`shutdown`).
-        drain_ms: u64,
-        /// Default per-request wall-clock deadline (the degradation
-        /// ladder's top rung), applied at request-processing time.
-        request_deadline_ms: Option<u64>,
+        /// Daemon options (transport, admission, persistence).
+        opts: ServeOpts,
     },
     /// `ipcc serve --connect <socket>` — client mode: forward stdin
     /// JSON lines to a running daemon's socket, print its responses.
     ServeConnect {
         /// Socket path of the daemon.
         socket: String,
+        /// Retries for refused connections and explicit sheds
+        /// (`overloaded` / `shutting_down`); 0 disables retrying.
+        retries: u32,
+        /// Base backoff delay in milliseconds (doubles per attempt,
+        /// capped, jittered).
+        retry_ms: u64,
     },
     /// `ipcc tables` — regenerate the study's tables on the builtin suite.
     Tables,
     /// `ipcc help` / `--help`.
     Help,
+}
+
+/// Every `ipcc serve` daemon option (everything but the program and the
+/// analysis configuration), bundled so the transport layer takes one
+/// argument instead of eight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Unix socket path to also listen on.
+    pub socket: Option<String>,
+    /// Admission bound: queued + running requests beyond this are shed
+    /// with an explicit `overloaded` response.
+    pub max_inflight: usize,
+    /// Queue deadline: a request that waited longer than this before
+    /// processing started is shed instead of served stale.
+    pub queue_ms: u64,
+    /// Drain deadline for graceful shutdown (SIGTERM/`shutdown`).
+    pub drain_ms: u64,
+    /// Default per-request wall-clock deadline (the degradation
+    /// ladder's top rung), applied at request-processing time.
+    pub request_deadline_ms: Option<u64>,
+    /// Path of the durable summary store (`--store`); `None` disables
+    /// persistence.
+    pub store: Option<String>,
+    /// Snapshot the store every N served requests (as well as on
+    /// drain); `None` snapshots only on drain.
+    pub snapshot_every_n: Option<u64>,
+    /// Validated `--inject-io <fault>:<point>` spelling (testing only);
+    /// parsed again by the store's [`ipcp::serve::IoInjector`].
+    pub inject_io: Option<String>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> ServeOpts {
+        ServeOpts {
+            socket: None,
+            max_inflight: 8,
+            queue_ms: 1_000,
+            drain_ms: 2_000,
+            request_deadline_ms: None,
+            store: None,
+            snapshot_every_n: None,
+            inject_io: None,
+        }
+    }
 }
 
 /// What `analyze` prints.
@@ -231,7 +270,8 @@ OTHER OPTIONS:
             --max-tests <N>   predicate budget (default 2000)
     fuzz:   --props <a,b,...>       properties to check, from: panic-free,
                                     soundness, jobs-identity,
-                                    wavefront-worklist, exit-consistency
+                                    wavefront-worklist, exit-consistency,
+                                    serve-identity, serve-persist
                                     (default: all of them)
             --seed <N>              base case seed (default 1); case i runs
                                     seed N+i, so failures replay exactly
@@ -251,10 +291,25 @@ OTHER OPTIONS:
                                     (default 2000)
             --request-deadline-ms <N>  default per-request deadline; timed-out
                                     stages answer ⊥ and mark `degraded`
+            --store <PATH>          durable summary store: restored (after full
+                                    verification) at startup, snapshotted on
+                                    drain; corrupt or mismatched stores are
+                                    discarded with a logged reason and the
+                                    daemon cold-starts
+            --snapshot-every-n <N>  also snapshot every N served requests
+            --inject-io <fault>:<point>  fail the point-th store write with
+                                    short-write | enospc | eio | rename-fail
+                                    (deterministic fault injection, testing)
             --connect <PATH>        client mode: forward stdin JSON lines to a
                                     running daemon and print its responses
+            --retries <N>           with --connect: retry refused connections
+                                    and overloaded/shutting_down sheds up to N
+                                    times (default 0: fail fast)
+            --retry-ms <N>          base backoff delay for --retries; doubles
+                                    per attempt, capped and jittered
+                                    (default 50)
             (analysis/budget/robustness options set the base configuration;
-             see docs/SERVE.md for the request protocol)
+             see docs/SERVE.md for the request protocol and persistence)
 
 EXIT CODES:
     0  success
@@ -688,56 +743,93 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
         }
         "serve" => {
             if let Some(socket) = take_flag_value(&mut args, "--connect")? {
+                let retries = match take_flag_value(&mut args, "--retries")? {
+                    None => 0,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| UsageError(format!("bad retry count `{v}`")))?,
+                };
+                let retry_ms = match take_flag_value(&mut args, "--retry-ms")? {
+                    None => 50,
+                    Some(v) => {
+                        let ms: u64 = v
+                            .parse()
+                            .map_err(|_| UsageError(format!("bad retry delay `{v}`")))?;
+                        if ms == 0 {
+                            return Err(UsageError("--retry-ms must be at least 1".into()));
+                        }
+                        ms
+                    }
+                };
                 expect_empty(&args)?;
-                return Ok(Command::ServeConnect { socket });
+                return Ok(Command::ServeConnect {
+                    socket,
+                    retries,
+                    retry_ms,
+                });
             }
             // Serve-specific flags come out before parse_config so the
             // daemon owns --request-deadline-ms (a per-request relative
             // deadline) instead of the absolute --deadline-ms.
-            let socket = take_flag_value(&mut args, "--socket")?;
-            let max_inflight = match take_flag_value(&mut args, "--max-inflight")? {
-                None => 8,
-                Some(v) => {
-                    let n: usize = v
-                        .parse()
-                        .map_err(|_| UsageError(format!("bad admission bound `{v}`")))?;
-                    if n == 0 {
-                        return Err(UsageError("--max-inflight must be at least 1".into()));
-                    }
-                    n
+            let mut opts = ServeOpts {
+                socket: take_flag_value(&mut args, "--socket")?,
+                ..ServeOpts::default()
+            };
+            if let Some(v) = take_flag_value(&mut args, "--max-inflight")? {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad admission bound `{v}`")))?;
+                if n == 0 {
+                    return Err(UsageError("--max-inflight must be at least 1".into()));
                 }
-            };
-            let queue_ms = match take_flag_value(&mut args, "--queue-ms")? {
-                None => 1_000,
-                Some(v) => v
+                opts.max_inflight = n;
+            }
+            if let Some(v) = take_flag_value(&mut args, "--queue-ms")? {
+                opts.queue_ms = v
                     .parse()
-                    .map_err(|_| UsageError(format!("bad queue deadline `{v}`")))?,
-            };
-            let drain_ms = match take_flag_value(&mut args, "--drain-ms")? {
-                None => 2_000,
-                Some(v) => v
+                    .map_err(|_| UsageError(format!("bad queue deadline `{v}`")))?;
+            }
+            if let Some(v) = take_flag_value(&mut args, "--drain-ms")? {
+                opts.drain_ms = v
                     .parse()
-                    .map_err(|_| UsageError(format!("bad drain deadline `{v}`")))?,
-            };
-            let request_deadline_ms = match take_flag_value(&mut args, "--request-deadline-ms")? {
-                None => None,
-                Some(v) => Some(
+                    .map_err(|_| UsageError(format!("bad drain deadline `{v}`")))?;
+            }
+            if let Some(v) = take_flag_value(&mut args, "--request-deadline-ms")? {
+                opts.request_deadline_ms = Some(
                     v.parse()
                         .map_err(|_| UsageError(format!("bad request deadline `{v}`")))?,
-                ),
-            };
+                );
+            }
+            opts.store = take_flag_value(&mut args, "--store")?;
+            if let Some(v) = take_flag_value(&mut args, "--snapshot-every-n")? {
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad snapshot interval `{v}`")))?;
+                if n == 0 {
+                    return Err(UsageError("--snapshot-every-n must be at least 1".into()));
+                }
+                opts.snapshot_every_n = Some(n);
+            }
+            if let Some(v) = take_flag_value(&mut args, "--inject-io")? {
+                if ipcp::serve::IoInjector::parse(&v).is_none() {
+                    return Err(UsageError(format!(
+                        "--inject-io wants <fault>:<point> with fault one of \
+                         short-write, enospc, eio, rename-fail and point >= 1, \
+                         got `{v}`"
+                    )));
+                }
+                opts.inject_io = Some(v);
+            }
+            if opts.snapshot_every_n.is_some() && opts.store.is_none() {
+                return Err(UsageError("--snapshot-every-n needs --store <path>".into()));
+            }
+            if opts.inject_io.is_some() && opts.store.is_none() {
+                return Err(UsageError("--inject-io needs --store <path>".into()));
+            }
             let config = parse_config(&mut args)?;
             let file = take_file(&mut args, "serve")?;
             expect_empty(&args)?;
-            Ok(Command::Serve {
-                file,
-                config,
-                socket,
-                max_inflight,
-                queue_ms,
-                drain_ms,
-                request_deadline_ms,
-            })
+            Ok(Command::Serve { file, config, opts })
         }
         "tables" => {
             expect_empty(&args)?;
@@ -775,48 +867,104 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Serve {
-                file,
-                config,
-                socket,
-                max_inflight,
-                queue_ms,
-                drain_ms,
-                request_deadline_ms,
-            } => {
+            Command::Serve { file, config, opts } => {
                 assert_eq!(file, "x.ft");
                 assert_eq!(config.jump_fn, JumpFnKind::Polynomial);
-                assert_eq!(socket.as_deref(), Some("/tmp/i.sock"));
-                assert_eq!(max_inflight, 4);
-                assert_eq!(queue_ms, 500);
-                assert_eq!(drain_ms, 2_000);
-                assert_eq!(request_deadline_ms, Some(250));
+                assert_eq!(opts.socket.as_deref(), Some("/tmp/i.sock"));
+                assert_eq!(opts.max_inflight, 4);
+                assert_eq!(opts.queue_ms, 500);
+                assert_eq!(opts.drain_ms, 2_000);
+                assert_eq!(opts.request_deadline_ms, Some(250));
+                assert_eq!(opts.store, None);
+                assert_eq!(opts.snapshot_every_n, None);
+                assert_eq!(opts.inject_io, None);
             }
             other => panic!("{other:?}"),
         }
         // The daemon's --request-deadline-ms must not reach parse_config:
         // a relative per-request deadline is not an absolute analysis one.
         match p(&["serve", "x.ft"]).unwrap() {
-            Command::Serve {
-                config,
-                max_inflight,
-                request_deadline_ms,
-                ..
-            } => {
+            Command::Serve { config, opts, .. } => {
                 assert!(config.deadline.is_none());
-                assert_eq!(max_inflight, 8);
-                assert_eq!(request_deadline_ms, None);
+                assert_eq!(opts, ServeOpts::default());
             }
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
-    fn serve_connect_and_bad_bounds() {
-        match p(&["serve", "--connect", "/tmp/i.sock"]).unwrap() {
-            Command::ServeConnect { socket } => assert_eq!(socket, "/tmp/i.sock"),
+    fn parses_serve_persistence_flags() {
+        match p(&[
+            "serve",
+            "--store",
+            "/tmp/i.store",
+            "--snapshot-every-n",
+            "3",
+            "--inject-io",
+            "enospc:2",
+            "x.ft",
+        ])
+        .unwrap()
+        {
+            Command::Serve { opts, .. } => {
+                assert_eq!(opts.store.as_deref(), Some("/tmp/i.store"));
+                assert_eq!(opts.snapshot_every_n, Some(3));
+                assert_eq!(opts.inject_io.as_deref(), Some("enospc:2"));
+            }
             other => panic!("{other:?}"),
         }
+        // Validation: injector spellings and interval bounds are checked
+        // at parse time, and both riders need the store itself.
+        assert!(p(&["serve", "--store", "s", "--snapshot-every-n", "0", "x.ft"]).is_err());
+        assert!(p(&[
+            "serve",
+            "--store",
+            "s",
+            "--inject-io",
+            "gamma-ray:1",
+            "x.ft"
+        ])
+        .is_err());
+        assert!(p(&["serve", "--store", "s", "--inject-io", "eio:0", "x.ft"]).is_err());
+        assert!(p(&["serve", "--snapshot-every-n", "2", "x.ft"]).is_err());
+        assert!(p(&["serve", "--inject-io", "eio:1", "x.ft"]).is_err());
+    }
+
+    #[test]
+    fn serve_connect_and_bad_bounds() {
+        match p(&["serve", "--connect", "/tmp/i.sock"]).unwrap() {
+            Command::ServeConnect {
+                socket,
+                retries,
+                retry_ms,
+            } => {
+                assert_eq!(socket, "/tmp/i.sock");
+                assert_eq!(retries, 0);
+                assert_eq!(retry_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&[
+            "serve",
+            "--connect",
+            "/tmp/i.sock",
+            "--retries",
+            "5",
+            "--retry-ms",
+            "20",
+        ])
+        .unwrap()
+        {
+            Command::ServeConnect {
+                retries, retry_ms, ..
+            } => {
+                assert_eq!(retries, 5);
+                assert_eq!(retry_ms, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "--connect", "s", "--retries", "often"]).is_err());
+        assert!(p(&["serve", "--connect", "s", "--retry-ms", "0"]).is_err());
         assert!(p(&["serve", "--max-inflight", "0", "x.ft"]).is_err());
         assert!(p(&["serve", "--queue-ms", "soon", "x.ft"]).is_err());
         assert!(p(&["serve"]).is_err());

@@ -259,28 +259,15 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             inputs,
             shrink_tests,
         ),
-        Command::Serve {
-            file,
-            config,
-            socket,
-            max_inflight,
-            queue_ms,
-            drain_ms,
-            request_deadline_ms,
-        } => {
+        Command::Serve { file, config, opts } => {
             let src = read_source(&file)?;
-            serve::serve(
-                &src,
-                &config,
-                socket.as_deref(),
-                max_inflight,
-                queue_ms,
-                drain_ms,
-                request_deadline_ms,
-            )
-            .map_err(Failure::from)
+            serve::serve(&src, &config, &opts).map_err(Failure::from)
         }
-        Command::ServeConnect { socket } => serve::connect(&socket).map_err(Failure::from),
+        Command::ServeConnect {
+            socket,
+            retries,
+            retry_ms,
+        } => serve::connect(&socket, retries, retry_ms).map_err(Failure::from),
         Command::Tables => {
             // Reuses the suite directly so `ipcc tables` works anywhere.
             tables();
@@ -447,13 +434,31 @@ fn emit_analysis(mcfg: &ModuleCfg, analysis: &Analysis, emit: Emit) {
     }
 }
 
-/// One `Serve cache` table row: cold misses, warm-rerun hits, and the
-/// hit/miss split after appending a statement to the last procedure —
-/// plus how many of those requests degraded. The edit is the canonical
-/// "touch one procedure" probe, so `edit_hit` is the summary reuse an
-/// editor-driven daemon sees.
-fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
-    use ipcp::serve::{ProgramModel, ServeEngine};
+/// One `Serve cache` table row.
+struct ServeCacheRow {
+    /// Cold-start misses.
+    cold: u64,
+    /// Warm-rerun hits.
+    warm: u64,
+    /// Hit/miss split after appending a statement to the last procedure
+    /// — the canonical "touch one procedure" probe, so `edit_hit` is the
+    /// summary reuse an editor-driven daemon sees.
+    edit_hit: u64,
+    edit_miss: u64,
+    /// How many of those requests degraded.
+    deg: u64,
+    /// Records restored from a snapshot taken after the edit.
+    recovered: u64,
+    /// Startup hits a restarted daemon served from those records — the
+    /// restart payoff of `--store`.
+    persisted_hit: u64,
+    /// The discard label a one-byte-corrupted snapshot reports.
+    discarded: &'static str,
+}
+
+fn serve_cache_row(src: &str) -> Result<ServeCacheRow, String> {
+    use ipcp::serve::store::{decode, encode};
+    use ipcp::serve::{ProgramModel, ServeEngine, SummaryCache};
 
     let mut engine = ServeEngine::new(src, &Config::polynomial()).map_err(|e| e.to_string())?;
     let cold = engine.last_outcome().misses;
@@ -472,13 +477,35 @@ fn serve_cache_row(src: &str) -> Result<(u64, u64, u64, u64, u64), String> {
         .ok_or_else(|| format!("`{name}` has no body"))?;
     let fragment = format!("{}    print 0;\n{}", &text[..brace], &text[brace..]);
     let edited = engine.update(&name, &fragment).map_err(|e| e.to_string())?;
-    Ok((
+
+    // The persistence leg: snapshot through the on-disk wire format,
+    // restart from it, and probe what a corrupted snapshot reports.
+    let (cfp, sfp) = engine.fingerprints();
+    let bytes = encode(engine.cache(), cfp, sfp);
+    let entries = decode(&bytes, cfp, sfp).map_err(|r| r.to_string())?;
+    let recovered = entries.len() as u64;
+    let cache = SummaryCache::restore(entries, SummaryCache::DEFAULT_CAPACITY);
+    let restarted = ServeEngine::new_with_cache(&engine.source(), &Config::polynomial(), cache)
+        .map_err(|e| e.to_string())?;
+    let persisted_hit = restarted.last_outcome().persisted_hits;
+    let mut bad = bytes;
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    let discarded = match decode(&bad, cfp, sfp) {
+        Err(reason) => reason.label(),
+        Ok(_) => "accepted?!",
+    };
+
+    Ok(ServeCacheRow {
         cold,
         warm,
-        edited.hits,
-        edited.misses,
-        engine.stats().degraded_requests,
-    ))
+        edit_hit: edited.hits,
+        edit_miss: edited.misses,
+        deg: engine.stats().degraded_requests,
+        recovered,
+        persisted_hit,
+        discarded,
+    })
 }
 
 fn tables() {
@@ -537,20 +564,38 @@ fn tables() {
     println!();
     println!("Serve cache: summary reuse across a warm daemon (ipcc serve)");
     println!(
-        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7}",
-        "program", "cold_miss", "warm_hit", "edit_hit", "edit_miss", "reuse%", "deg_req"
+        "{:<10} {:>9} {:>8} {:>8} {:>9} {:>7} {:>7} {:>5} {:>8} {:>12}",
+        "program",
+        "cold_miss",
+        "warm_hit",
+        "edit_hit",
+        "edit_miss",
+        "reuse%",
+        "deg_req",
+        "recov",
+        "pers_hit",
+        "discard"
     );
     for p in paper_programs() {
         match serve_cache_row(p.source) {
-            Ok((cold, warm, ehit, emiss, deg)) => {
-                let reuse = if ehit + emiss > 0 {
-                    100.0 * ehit as f64 / (ehit + emiss) as f64
+            Ok(r) => {
+                let reuse = if r.edit_hit + r.edit_miss > 0 {
+                    100.0 * r.edit_hit as f64 / (r.edit_hit + r.edit_miss) as f64
                 } else {
                     0.0
                 };
                 println!(
-                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7}",
-                    p.name, cold, warm, ehit, emiss, reuse, deg
+                    "{:<10} {:>9} {:>8} {:>8} {:>9} {:>6.0}% {:>7} {:>5} {:>8} {:>12}",
+                    p.name,
+                    r.cold,
+                    r.warm,
+                    r.edit_hit,
+                    r.edit_miss,
+                    reuse,
+                    r.deg,
+                    r.recovered,
+                    r.persisted_hit,
+                    r.discarded
                 );
             }
             Err(e) => println!("{:<10} serve row unavailable: {e}", p.name),

@@ -26,12 +26,23 @@
 //! * **Drain.** SIGTERM/SIGINT or a `shutdown` request stop admission and
 //!   drain queued requests under `--drain-ms`; whatever cannot drain in
 //!   time is shed with `shutting_down`.
+//! * **Persistence.** With `--store`, the summary cache is restored
+//!   (after full verification — any mismatch is a logged cold start,
+//!   never a wrong answer) at boot and snapshotted atomically on drain
+//!   and every `--snapshot-every-n` requests. Snapshot failures are
+//!   logged and counted, never fatal. See `docs/ROBUSTNESS.md` for the
+//!   durability contract.
 //!
 //! Protocol reference: `docs/SERVE.md`.
 
+use crate::args::ServeOpts;
 use ipcp::serve::json;
-use ipcp::serve::{config_from_overrides, Json, Object, RequestOutcome, ServeEngine, ServeError};
+use ipcp::serve::{
+    config_from_overrides, DiscardReason, IoInjector, Json, LoadStatus, Object, RequestOutcome,
+    ServeEngine, ServeError, SummaryStore,
+};
 use ipcp::Config;
+use ipcp_suite::Rng;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -135,10 +146,56 @@ fn peek_id(line: &str) -> Json {
         .unwrap_or(Json::Null)
 }
 
+/// The daemon-side persistence state: the store plus its telemetry.
+struct StoreState {
+    store: SummaryStore,
+    /// Records restored at boot.
+    recovered: u64,
+    /// Why the boot-time store was discarded, if it was.
+    discarded: Option<DiscardReason>,
+    /// Successful snapshots this process wrote.
+    snapshots: u64,
+    /// Snapshot attempts that failed (logged, never fatal).
+    snapshot_failures: u64,
+    /// Requests served since the last successful snapshot.
+    since_snapshot: u64,
+}
+
+impl StoreState {
+    /// Atomically snapshots the engine's cache, logging (not failing)
+    /// on error. Returns what a `snapshot` response reports.
+    fn snapshot(&mut self, engine: &ServeEngine) -> Result<usize, String> {
+        let (cfp, sfp) = engine.fingerprints();
+        match self.store.save(engine.cache(), cfp, sfp) {
+            Ok(records) => {
+                self.snapshots += 1;
+                self.since_snapshot = 0;
+                Ok(records)
+            }
+            Err(e) => {
+                self.snapshot_failures += 1;
+                let msg = format!("snapshot to {} failed: {e}", self.store.path().display());
+                eprintln!("serve: {msg}");
+                Err(msg)
+            }
+        }
+    }
+
+    /// Counts one served request and snapshots when `--snapshot-every-n`
+    /// says it is due.
+    fn after_request(&mut self, engine: &ServeEngine, every_n: Option<u64>) {
+        self.since_snapshot += 1;
+        if every_n.is_some_and(|n| self.since_snapshot >= n) {
+            let _ = self.snapshot(engine);
+        }
+    }
+}
+
 fn outcome_payload(outcome: &RequestOutcome) -> Object {
     let mut o = Object::new();
     o.set("degraded", Json::from(outcome.degraded));
     o.set("cache_hits", Json::from(outcome.hits));
+    o.set("cache_persisted_hits", Json::from(outcome.persisted_hits));
     o.set("cache_misses", Json::from(outcome.misses));
     o.set("cache_bypassed", Json::from(outcome.bypassed));
     o.set(
@@ -167,18 +224,16 @@ fn outcome_payload(outcome: &RequestOutcome) -> Object {
 /// The daemon. Blocks until stdin closes, SIGTERM/SIGINT arrives, or a
 /// `shutdown` request is served; returns the number of requests shed so
 /// the caller can report it.
-#[allow(clippy::too_many_arguments)]
-pub fn serve(
-    src: &str,
-    config: &Config,
-    socket: Option<&str>,
-    max_inflight: usize,
-    queue_ms: u64,
-    drain_ms: u64,
-    request_deadline_ms: Option<u64>,
-) -> Result<(), String> {
-    let mut engine =
-        ServeEngine::new(src, config).map_err(|e| format!("error: starting daemon: {e}"))?;
+pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String> {
+    let ServeOpts {
+        socket,
+        max_inflight,
+        queue_ms,
+        drain_ms,
+        request_deadline_ms,
+        ..
+    } = opts.clone();
+    let (mut engine, mut store) = boot_engine(src, config, opts)?;
     install_signal_handlers();
 
     let shared = Arc::new(Shared::default());
@@ -203,11 +258,8 @@ pub fn serve(
     }
 
     let mut socket_path = None;
-    if let Some(path) = socket {
-        // A stale socket file from a previous daemon would break bind.
-        let _ = std::fs::remove_file(path);
-        let listener =
-            UnixListener::bind(path).map_err(|e| format!("error: binding {path}: {e}"))?;
+    if let Some(path) = socket.as_deref() {
+        let listener = bind_socket(path)?;
         socket_path = Some(path.to_string());
         let tx = tx.clone();
         let shared = Arc::clone(&shared);
@@ -258,7 +310,11 @@ pub fn serve(
                     started,
                     &mut shutdown,
                     false,
+                    &mut store,
                 );
+                if let Some(st) = store.as_mut() {
+                    st.after_request(&engine, opts.snapshot_every_n);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -297,11 +353,22 @@ pub fn serve(
                     started,
                     &mut ignored,
                     true,
+                    &mut store,
                 );
+                if let Some(st) = store.as_mut() {
+                    st.after_request(&engine, opts.snapshot_every_n);
+                }
             }
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
+    }
+
+    // Snapshot-on-drain: persist whatever the session learned. A failure
+    // here is logged and counted like any other snapshot failure — the
+    // previous store file, if any, is still intact and verifiable.
+    if let Some(st) = store.as_mut() {
+        let _ = st.snapshot(&engine);
     }
 
     if let Some(path) = socket_path {
@@ -309,17 +376,90 @@ pub fn serve(
     }
     let shed = shared.shed.load(Ordering::SeqCst);
     let stats = engine.stats();
+    let cache = engine.cache_stats();
+    let store_note = match &store {
+        None => String::new(),
+        Some(st) => format!(
+            "; store {} snapshot(s), {} failed, {} recovered",
+            st.snapshots, st.snapshot_failures, st.recovered
+        ),
+    };
     eprintln!(
         "serve: {} request(s), {} degraded, {} panic(s) contained, {} shed; \
-         cache {}/{} hit/miss",
+         cache {}/{} hit/miss ({} persisted){store_note}",
         stats.requests,
         stats.degraded_requests,
         stats.panics_contained,
         shed,
-        engine.cache_stats().hits,
-        engine.cache_stats().misses,
+        cache.hits,
+        cache.misses,
+        cache.persisted_hits,
     );
     Ok(())
+}
+
+/// Builds the engine, restoring the summary cache from `--store` when
+/// one is configured. Store problems of any kind are a logged cold
+/// start, never a boot failure.
+fn boot_engine(
+    src: &str,
+    config: &Config,
+    opts: &ServeOpts,
+) -> Result<(ServeEngine, Option<StoreState>), String> {
+    let Some(path) = opts.store.as_deref() else {
+        let engine =
+            ServeEngine::new(src, config).map_err(|e| format!("error: starting daemon: {e}"))?;
+        return Ok((engine, None));
+    };
+    // The spelling was validated at argument-parse time.
+    let injector = opts.inject_io.as_deref().and_then(IoInjector::parse);
+    let mut summary_store = SummaryStore::with_injector(path, injector);
+    let (engine, status) = ServeEngine::new_with_store(src, config, &mut summary_store)
+        .map_err(|e| format!("error: starting daemon: {e}"))?;
+    let mut state = StoreState {
+        store: summary_store,
+        recovered: 0,
+        discarded: None,
+        snapshots: 0,
+        snapshot_failures: 0,
+        since_snapshot: 0,
+    };
+    match status {
+        LoadStatus::Fresh => eprintln!("serve: store {path}: no prior store, starting cold"),
+        LoadStatus::Restored(n) => {
+            state.recovered = n as u64;
+            eprintln!("serve: store {path}: restored {n} summaries");
+        }
+        LoadStatus::Discarded(reason) => {
+            eprintln!(
+                "serve: store {path}: discarded ({}): {reason}; starting cold",
+                reason.label()
+            );
+            state.discarded = Some(reason);
+        }
+    }
+    Ok((engine, Some(state)))
+}
+
+/// Binds the daemon's Unix socket, reclaiming a stale socket file left
+/// by a crashed daemon: on `AddrInUse`, probe with a connect — if
+/// something accepts, a live daemon owns the path and binding fails; if
+/// nothing does, the file is an orphan and is unlinked and rebound.
+fn bind_socket(path: &str) -> Result<UnixListener, String> {
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(format!(
+                    "error: binding {path}: another daemon is already listening"
+                ));
+            }
+            std::fs::remove_file(path)
+                .map_err(|e| format!("error: removing stale socket {path}: {e}"))?;
+            UnixListener::bind(path).map_err(|e| format!("error: binding {path}: {e}"))
+        }
+        Err(e) => Err(format!("error: binding {path}: {e}")),
+    }
 }
 
 /// Admission control: try to enqueue, shed with an explicit response on
@@ -365,6 +505,7 @@ fn handle(
     started: Instant,
     shutdown: &mut bool,
     draining: bool,
+    store: &mut Option<StoreState>,
 ) {
     let response = if inc.at.elapsed() > queue_deadline {
         shared.shed.fetch_add(1, Ordering::SeqCst);
@@ -390,6 +531,7 @@ fn handle(
                     started,
                     shutdown,
                     draining,
+                    store,
                 ) {
                     Ok(payload) => ok_response(&id, payload),
                     Err(e) => error_response(&id, e.kind(), &e.to_string()),
@@ -434,6 +576,7 @@ fn str_field<'a>(req: &'a Object, key: &str) -> Result<&'a str, ServeError> {
         .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}` field")))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     engine: &mut ServeEngine,
     shared: &Shared,
@@ -442,6 +585,7 @@ fn dispatch(
     started: Instant,
     shutdown: &mut bool,
     draining: bool,
+    store: &mut Option<StoreState>,
 ) -> Result<Object, ServeError> {
     let req = req
         .as_object()
@@ -467,6 +611,8 @@ fn dispatch(
             o.set("cache_hits", Json::from(cache.hits));
             o.set("cache_misses", Json::from(cache.misses));
             o.set("cache_entries", Json::from(engine.cache_len()));
+            o.set("cache_recovered", Json::from(cache.recovered));
+            o.set("cache_persisted_hits", Json::from(cache.persisted_hits));
             o.set("degraded_last", Json::from(engine.last_outcome().degraded));
             Ok(o)
         }
@@ -487,8 +633,22 @@ fn dispatch(
             o.set("cache_evictions", Json::from(cache.evictions));
             o.set("cache_bypasses", Json::from(cache.bypasses));
             o.set("cache_entries", Json::from(engine.cache_len()));
+            o.set("cache_recovered", Json::from(cache.recovered));
+            o.set("cache_persisted_hits", Json::from(cache.persisted_hits));
             if let Some(rate) = cache.hit_rate() {
                 o.set("cache_hit_rate", Json::Float(rate));
+            }
+            if let Some(st) = store.as_ref() {
+                o.set("store_snapshots", Json::from(st.snapshots));
+                o.set("store_snapshot_failures", Json::from(st.snapshot_failures));
+                o.set("store_recovered", Json::from(st.recovered));
+                o.set(
+                    "store_discarded",
+                    match &st.discarded {
+                        None => Json::Null,
+                        Some(reason) => Json::from(reason.label()),
+                    },
+                );
             }
             let mut timings = Object::new();
             timings.set("modref_us", Json::from(t.modref.wall.as_micros() as u64));
@@ -553,6 +713,27 @@ fn dispatch(
             let outcome = engine.load(&source)?;
             Ok(outcome_payload(&outcome))
         }
+        "snapshot" => {
+            let Some(st) = store.as_mut() else {
+                return Err(ServeError::BadRequest(
+                    "no store configured (start the daemon with --store <path>)".into(),
+                ));
+            };
+            let mut o = Object::new();
+            match st.snapshot(engine) {
+                Ok(records) => {
+                    o.set("snapshotted", Json::from(true));
+                    o.set("records", Json::from(records));
+                }
+                Err(msg) => {
+                    // A failed snapshot is still a served request: the
+                    // previous store file is intact, so report and go on.
+                    o.set("snapshotted", Json::from(false));
+                    o.set("message", Json::from(msg));
+                }
+            }
+            Ok(o)
+        }
         "shutdown" => {
             *shutdown = true;
             let mut o = Object::new();
@@ -563,10 +744,165 @@ fn dispatch(
     }
 }
 
+/// Backoff delays are capped here so a long retry ladder degrades into
+/// polling, not into unbounded sleeps.
+const RETRY_CAP_MS: u64 = 5_000;
+
+/// The deterministic backoff schedule for `--retries`: attempt `i`
+/// sleeps `min(cap, base << i)` plus a jitter of up to half that,
+/// drawn from the in-tree [`Rng`] seeded with `seed`. Pure, so the
+/// exact schedule is unit-testable and reproducible.
+fn backoff_schedule(retries: u32, base_ms: u64, cap_ms: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Rng::new(seed ^ 0xC0FF_EE00_B0FF_u64);
+    (0..retries)
+        .map(|i| {
+            let exp = base_ms.saturating_mul(1u64.checked_shl(i).unwrap_or(u64::MAX));
+            let delay = exp.min(cap_ms);
+            delay + rng.below(delay / 2 + 1)
+        })
+        .collect()
+}
+
+/// One lockstep client connection: a write half plus a buffered reader
+/// over its clone.
+struct Client {
+    write: UnixStream,
+    read: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn open(socket: &str) -> std::io::Result<Client> {
+        let write = UnixStream::connect(socket)?;
+        let read = BufReader::new(write.try_clone()?);
+        Ok(Client { write, read })
+    }
+
+    /// Opens a connection, sleeping through `schedule` on refusal. The
+    /// final error is the one reported.
+    fn open_with_backoff(socket: &str, schedule: &[u64]) -> Result<Client, String> {
+        let mut last = None;
+        for (i, delay) in schedule
+            .iter()
+            .map(Some)
+            .chain(std::iter::once(None))
+            .enumerate()
+        {
+            match Client::open(socket) {
+                Ok(client) => {
+                    if i > 0 {
+                        eprintln!(
+                            "connect: {socket}: connected after {i} retr{}",
+                            if i == 1 { "y" } else { "ies" }
+                        );
+                    }
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+            let Some(delay) = delay else { break };
+            std::thread::sleep(Duration::from_millis(*delay));
+        }
+        Err(format!(
+            "error: connecting {socket}: {}",
+            last.map(|e| e.to_string()).unwrap_or_default()
+        ))
+    }
+
+    /// Sends one request line, returns the one response line, or `None`
+    /// on a dead connection (EOF / write failure).
+    fn exchange(&mut self, line: &str) -> Option<String> {
+        writeln!(self.write, "{line}").ok()?;
+        self.write.flush().ok()?;
+        let mut response = String::new();
+        match self.read.read_line(&mut response) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(response.trim_end_matches('\n').to_string()),
+        }
+    }
+}
+
+/// Whether a response line is an explicit shed the client may retry
+/// (`overloaded` admission rejections and `shutting_down` drains).
+fn is_retryable_shed(response: &str) -> bool {
+    let Ok(parsed) = json::parse(response) else {
+        return false;
+    };
+    let kind = parsed
+        .as_object()
+        .and_then(|o| o.get("error"))
+        .and_then(Json::as_object)
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str);
+    matches!(kind, Some("overloaded") | Some("shutting_down"))
+}
+
 /// Client mode (`ipcc serve --connect <socket>`): forward stdin lines to
 /// a running daemon, print every response line to stdout. Exits when
 /// stdin closes and all responses have been received.
-pub fn connect(socket: &str) -> Result<(), String> {
+///
+/// With `retries = 0` requests are pipelined: stdin is streamed to the
+/// daemon while a reader thread prints responses as they arrive. With
+/// `retries > 0` the client runs in lockstep (one request, one
+/// response) so it can retry refused connections, explicit
+/// `overloaded`/`shutting_down` sheds, and mid-session EOFs with the
+/// capped, jittered exponential backoff of [`backoff_schedule`].
+pub fn connect(socket: &str, retries: u32, retry_ms: u64) -> Result<(), String> {
+    if retries == 0 {
+        return connect_pipelined(socket);
+    }
+    let schedule = backoff_schedule(retries, retry_ms, RETRY_CAP_MS, hash_seed(socket));
+    let mut client = Client::open_with_backoff(socket, &schedule)?;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = client.exchange(&line);
+        for delay in &schedule {
+            match &response {
+                // A shed is a complete response from a live daemon:
+                // back off, then resend on the same connection.
+                Some(r) if is_retryable_shed(r) => {
+                    std::thread::sleep(Duration::from_millis(*delay));
+                    response = client.exchange(&line);
+                }
+                // A dead connection (daemon crashed or restarted
+                // mid-session): back off, reconnect, resend.
+                None => {
+                    std::thread::sleep(Duration::from_millis(*delay));
+                    if let Ok(next) = Client::open(socket) {
+                        client = next;
+                        response = client.exchange(&line);
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        match response {
+            Some(r) => println!("{r}"),
+            None => {
+                return Err(format!(
+                    "error: {socket}: connection lost; retries exhausted"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A stable per-socket-path jitter seed (FNV-1a over the path bytes).
+fn hash_seed(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The original pipelined client (`--retries 0`, the default).
+fn connect_pipelined(socket: &str) -> Result<(), String> {
     let stream =
         UnixStream::connect(socket).map_err(|e| format!("error: connecting {socket}: {e}"))?;
     let read_half = stream
@@ -592,4 +928,85 @@ pub fn connect(socket: &str) -> Result<(), String> {
         .map_err(|e| format!("error: closing socket: {e}"))?;
     let _ = reader.join();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_monotone_in_base() {
+        let a = backoff_schedule(5, 50, 5_000, 7);
+        let b = backoff_schedule(5, 50, 5_000, 7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 5);
+        // Attempt i's delay lies in [min(cap, base * 2^i), 1.5x that].
+        for (i, &delay) in a.iter().enumerate() {
+            let exp = (50u64 << i).min(5_000);
+            assert!(delay >= exp, "attempt {i}: {delay} < {exp}");
+            assert!(delay <= exp + exp / 2, "attempt {i}: {delay} too jittered");
+        }
+        // The cap really does bound a long ladder.
+        let long = backoff_schedule(20, 100, 1_000, 3);
+        assert!(long.iter().all(|&d| d <= 1_500), "{long:?}");
+        // Different seeds jitter differently (with overwhelming odds).
+        let c = backoff_schedule(5, 50, 5_000, 8);
+        assert_ne!(a, c);
+        assert!(backoff_schedule(0, 50, 5_000, 7).is_empty());
+    }
+
+    #[test]
+    fn shed_detection_only_matches_retryable_kinds() {
+        assert!(is_retryable_shed(
+            r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"m"}}"#
+        ));
+        assert!(is_retryable_shed(
+            r#"{"id":1,"ok":false,"error":{"kind":"shutting_down","message":"m"}}"#
+        ));
+        assert!(!is_retryable_shed(
+            r#"{"id":1,"ok":false,"error":{"kind":"bad_request","message":"m"}}"#
+        ));
+        assert!(!is_retryable_shed(r#"{"id":1,"ok":true}"#));
+        assert!(!is_retryable_shed("not json at all"));
+    }
+
+    fn scratch_socket(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipcc-serve-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn bind_socket_reclaims_a_stale_socket_file() {
+        let path = scratch_socket("stale.sock");
+        let path_s = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        // A socket file with no listener behind it — what a kill -9'd
+        // daemon leaves. Bind and drop so only the file remains.
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists(), "dropping the listener keeps the file");
+        let reclaimed = bind_socket(&path_s).expect("stale socket must be reclaimed");
+        drop(reclaimed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_socket_refuses_a_live_daemon() {
+        let path = scratch_socket("live.sock");
+        let path_s = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        let live = UnixListener::bind(&path).expect("first bind");
+        // Keep the listener alive: the second daemon must refuse, not
+        // steal the socket.
+        let err = bind_socket(&path_s).expect_err("live socket must not be stolen");
+        assert!(err.contains("already listening"), "{err}");
+        drop(live);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_socket_reports_unbindable_paths() {
+        let err = bind_socket("/nonexistent-dir-ipcc/x.sock").expect_err("bad dir");
+        assert!(err.contains("error: binding"), "{err}");
+    }
 }

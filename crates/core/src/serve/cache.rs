@@ -100,6 +100,11 @@ pub struct CacheStats {
     /// Requests that bypassed the cache entirely (configurations whose
     /// units read prior-round state, e.g. gated jump functions).
     pub bypasses: u64,
+    /// Entries restored from a persisted store at startup.
+    pub recovered: u64,
+    /// The subset of `hits` served by a restored entry — the payoff of
+    /// persistence: work a *previous process* did and this one did not.
+    pub persisted_hits: u64,
 }
 
 impl CacheStats {
@@ -110,10 +115,20 @@ impl CacheStats {
     }
 }
 
+/// One live entry: the summary plus whether it was restored from a
+/// persisted store (rather than computed by this process) — restored
+/// entries are counted separately on a hit so the payoff of persistence
+/// is observable.
+#[derive(Debug)]
+struct CacheEntry {
+    summary: CachedSummary,
+    recovered: bool,
+}
+
 /// The daemon-lifetime summary cache. See the module docs.
 #[derive(Debug)]
 pub struct SummaryCache {
-    entries: HashMap<CacheKey, CachedSummary>,
+    entries: HashMap<CacheKey, CacheEntry>,
     order: VecDeque<CacheKey>,
     capacity: usize,
     stats: CacheStats,
@@ -157,11 +172,58 @@ impl SummaryCache {
     /// transaction (a present entry can still be treated as a miss when
     /// its recorded charges cannot be replayed bit-identically).
     pub fn get(&self, key: CacheKey) -> Option<&CachedSummary> {
-        self.entries.get(&key)
+        self.entries.get(&key).map(|e| &e.summary)
+    }
+
+    /// Like [`SummaryCache::get`], also reporting whether the entry was
+    /// restored from a persisted store rather than computed live.
+    pub fn get_with_origin(&self, key: CacheKey) -> Option<(&CachedSummary, bool)> {
+        self.entries.get(&key).map(|e| (&e.summary, e.recovered))
+    }
+
+    /// Rebuilds a cache from entries decoded out of a persisted store,
+    /// preserving their FIFO order and marking every entry recovered.
+    /// Entries beyond the capacity evict oldest-first exactly as live
+    /// inserts would (without counting as evictions — they were evicted
+    /// by the *bound*, not by churn).
+    pub fn restore(entries: Vec<(CacheKey, CachedSummary)>, capacity: usize) -> SummaryCache {
+        let mut cache = SummaryCache::with_capacity(capacity);
+        for (key, summary) in entries {
+            cache.insert_entry(
+                key,
+                CacheEntry {
+                    summary,
+                    recovered: true,
+                },
+            );
+        }
+        cache.stats = CacheStats {
+            recovered: cache.entries.len() as u64,
+            ..CacheStats::default()
+        };
+        cache
+    }
+
+    /// The live entries in FIFO (insertion) order — the order a snapshot
+    /// persists, so restore + re-encode is byte-identical.
+    pub fn iter_fifo(&self) -> impl Iterator<Item = (CacheKey, &CachedSummary)> {
+        self.order
+            .iter()
+            .filter_map(|k| self.entries.get(k).map(|e| (*k, &e.summary)))
     }
 
     fn insert(&mut self, key: CacheKey, value: CachedSummary) {
-        if self.entries.insert(key, value).is_none() {
+        self.insert_entry(
+            key,
+            CacheEntry {
+                summary: value,
+                recovered: false,
+            },
+        );
+    }
+
+    fn insert_entry(&mut self, key: CacheKey, entry: CacheEntry) {
+        if self.entries.insert(key, entry).is_none() {
             self.order.push_back(key);
             while self.entries.len() > self.capacity {
                 if let Some(oldest) = self.order.pop_front() {
@@ -184,6 +246,7 @@ impl SummaryCache {
         }
         self.stats.hits += txn.hits;
         self.stats.misses += txn.misses;
+        self.stats.persisted_hits += txn.persisted_hits;
         self.stats.bypasses += txn.bypassed as u64;
     }
 }
@@ -203,6 +266,9 @@ pub struct CacheTxn {
     pub hits: u64,
     /// Units recomputed during this request.
     pub misses: u64,
+    /// The subset of `hits` served by entries restored from a persisted
+    /// store.
+    pub persisted_hits: u64,
     /// Whether this request's configuration bypassed the cache.
     pub bypassed: bool,
 }
@@ -296,6 +362,52 @@ mod tests {
             digest: 9,
         };
         assert!(cache.get(other).is_none());
+    }
+
+    #[test]
+    fn restore_preserves_fifo_order_and_marks_recovery() {
+        let entries: Vec<(CacheKey, CachedSummary)> =
+            (0..4u128).map(|d| (key(d), entry())).collect();
+        let cache = SummaryCache::restore(entries, SummaryCache::DEFAULT_CAPACITY);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().recovered, 4);
+        assert_eq!(cache.stats().evictions, 0);
+        let order: Vec<u128> = cache.iter_fifo().map(|(k, _)| k.digest).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        for d in 0..4u128 {
+            let (_, recovered) = cache.get_with_origin(key(d)).expect("restored");
+            assert!(recovered);
+        }
+        // A live insert on top is not marked recovered.
+        let mut cache = cache;
+        let mut txn = CacheTxn::new();
+        txn.stage(key(9), entry());
+        cache.commit(txn);
+        let (_, recovered) = cache.get_with_origin(key(9)).expect("inserted");
+        assert!(!recovered);
+    }
+
+    #[test]
+    fn restore_beyond_capacity_keeps_the_newest() {
+        let entries: Vec<(CacheKey, CachedSummary)> =
+            (0..5u128).map(|d| (key(d), entry())).collect();
+        let cache = SummaryCache::restore(entries, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().recovered, 2);
+        assert_eq!(cache.stats().evictions, 0, "bound, not churn");
+        assert!(cache.get(key(3)).is_some());
+        assert!(cache.get(key(4)).is_some());
+    }
+
+    #[test]
+    fn persisted_hits_fold_into_lifetime_stats() {
+        let mut cache = SummaryCache::new();
+        let mut txn = CacheTxn::new();
+        txn.hits = 3;
+        txn.persisted_hits = 2;
+        cache.commit(txn);
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().persisted_hits, 2);
     }
 
     #[test]

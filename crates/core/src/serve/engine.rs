@@ -204,6 +204,9 @@ impl ProgramModel {
 pub struct RequestOutcome {
     /// Units served from cache.
     pub hits: u64,
+    /// The subset of `hits` served by entries a previous process
+    /// persisted (restored via `--store`).
+    pub persisted_hits: u64,
     /// Units recomputed.
     pub misses: u64,
     /// Whether the configuration bypassed the cache.
@@ -222,6 +225,7 @@ impl RequestOutcome {
     fn from_run(txn: &CacheTxn, mcfg: &ModuleCfg, analysis: &Analysis) -> RequestOutcome {
         RequestOutcome {
             hits: txn.hits,
+            persisted_hits: txn.persisted_hits,
             misses: txn.misses,
             bypassed: txn.bypassed,
             degraded: analysis.health.degraded(),
@@ -292,11 +296,70 @@ impl ServeEngine {
     /// [`ServeError::Panic`] if the initial analysis panicked outside
     /// quarantine.
     pub fn new(src: &str, config: &Config) -> Result<ServeEngine, ServeError> {
+        ServeEngine::new_with_cache(src, config, SummaryCache::new())
+    }
+
+    /// Builds an engine over `src` seeded with a pre-populated cache —
+    /// typically one restored from a persisted store
+    /// ([`SummaryCache::restore`]). Seeding happens *before* the initial
+    /// analysis, so even the startup run is served warm: its outcome's
+    /// `persisted_hits` is the restart payoff.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::new`].
+    pub fn new_with_cache(
+        src: &str,
+        config: &Config,
+        cache: SummaryCache,
+    ) -> Result<ServeEngine, ServeError> {
+        let (config, model, mcfg) = ServeEngine::boot(src, config)?;
+        ServeEngine::finish(config, model, mcfg, cache)
+    }
+
+    /// Builds an engine whose cache is restored from a persisted
+    /// [`SummaryStore`]. The store is verified against the fingerprints
+    /// of *this* `(src, config)` pair; any mismatch or corruption means
+    /// a cold cache, reported in the returned [`LoadStatus`] — never an
+    /// error. The initial analysis then runs against whatever was
+    /// restored, so a clean restart is warm from its very first request.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::new`] — store problems alone never fail.
+    pub fn new_with_store(
+        src: &str,
+        config: &Config,
+        store: &mut crate::serve::store::SummaryStore,
+    ) -> Result<(ServeEngine, crate::serve::store::LoadStatus), ServeError> {
+        let (config, model, mcfg) = ServeEngine::boot(src, config)?;
+        let cfp = crate::serve::incremental::config_fingerprint(&config);
+        let sfp = crate::serve::incremental::shape_fingerprint(&mcfg, &config);
+        let (entries, status) = store.load(cfp, sfp);
+        let cache = SummaryCache::restore(entries, SummaryCache::DEFAULT_CAPACITY);
+        let engine = ServeEngine::finish(config, model, mcfg, cache)?;
+        Ok((engine, status))
+    }
+
+    /// Validates the configuration and lowers the program — everything
+    /// construction needs before a cache exists.
+    fn boot(src: &str, config: &Config) -> Result<(Config, ProgramModel, ModuleCfg), ServeError> {
         let config = config.rebuild().build()?;
         let model = ProgramModel::from_source(src)?;
         let module = parse_and_resolve(&model.source()).map_err(IpcpError::from)?;
         let mcfg = lower_module(&module);
-        let mut cache = SummaryCache::new();
+        Ok((config, model, mcfg))
+    }
+
+    /// Runs the initial analysis over a booted program with `cache`
+    /// already seeded.
+    fn finish(
+        config: Config,
+        model: ProgramModel,
+        mcfg: ModuleCfg,
+        cache: SummaryCache,
+    ) -> Result<ServeEngine, ServeError> {
+        let mut cache = cache;
         let own = model.own_hashes();
         let (analysis, txn) =
             run_request(&cache, &config, &mcfg, &own).map_err(ServeError::Panic)?;
@@ -345,6 +408,23 @@ impl ServeEngine {
     /// Lifetime cache telemetry.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The live summary cache (read-only) — what a snapshot persists.
+    pub fn cache(&self) -> &SummaryCache {
+        &self.cache
+    }
+
+    /// The `(configuration, shape)` fingerprints of the *current*
+    /// program under the base configuration — the pair the summary
+    /// store stamps into its header. The shape fingerprint tracks the
+    /// current model, so a snapshot taken after `load`ing a different
+    /// program only restores against that program.
+    pub fn fingerprints(&self) -> (u128, u128) {
+        (
+            crate::serve::incremental::config_fingerprint(&self.base_config),
+            crate::serve::incremental::shape_fingerprint(&self.mcfg, &self.base_config),
+        )
     }
 
     /// Live cache entry count.

@@ -65,7 +65,11 @@ pub fn cacheable(config: &Config) -> bool {
 /// replay cannot reproduce them); the injection hooks are *not* —
 /// fault trips are reproduced by charge replay and panic injections by
 /// forced misses.
-fn config_fingerprint(config: &Config) -> u128 {
+///
+/// Public because the persisted summary store stamps this fingerprint
+/// into its header: a store written under one configuration is discarded
+/// (config drift) rather than consulted under another.
+pub fn config_fingerprint(config: &Config) -> u128 {
     let mut h = Fnv128::new();
     h.write_str(config.jump_fn.label());
     h.write(&[
@@ -92,7 +96,10 @@ fn config_fingerprint(config: &Config) -> u128 {
 /// Mixed into every cache key so entries from a differently shaped
 /// program (renumbered `ProcId`s, different entry-slot layouts) can
 /// never alias.
-fn shape_fingerprint(mcfg: &ModuleCfg, config: &Config) -> u128 {
+///
+/// Public because the persisted summary store stamps this fingerprint
+/// into its header (shape drift ⇒ discard at load).
+pub fn shape_fingerprint(mcfg: &ModuleCfg, config: &Config) -> u128 {
     let mut h = Fnv128::new();
     h.write_u128(config_fingerprint(config));
     for g in &mcfg.module.globals {
@@ -178,9 +185,10 @@ pub fn analyze_incremental(
                 digest: mix(shape, keys.own[pi]),
             };
             let forced = forced_miss(config, Stage::ModRef, pi);
-            match (forced, cache.get(key)) {
-                (false, Some(CachedSummary::ModRef { mods, refs })) => {
+            match (forced, cache.get_with_origin(key)) {
+                (false, Some((CachedSummary::ModRef { mods, refs }, recovered))) => {
                     txn.hits += 1;
+                    txn.persisted_hits += u64::from(recovered);
                     (mods.clone(), refs.clone())
                 }
                 _ => {
@@ -257,12 +265,15 @@ pub fn analyze_incremental(
             };
             let forced = forced_miss(config, Stage::RetJump, pi);
             if !forced {
-                if let Some(CachedSummary::RetJump { fns, charges }) = cache.get(key) {
+                if let Some((CachedSummary::RetJump { fns, charges }, recovered)) =
+                    cache.get_with_origin(key)
+                {
                     let mut shard = gov.shard();
                     shard.add_charges(charges);
                     if gov.can_absorb(&shard) {
                         gov.absorb_shard(shard);
                         txn.hits += 1;
+                        txn.persisted_hits += u64::from(recovered);
                         table.fns[pi] = Some(fns.clone());
                         continue;
                     }
@@ -327,8 +338,9 @@ pub fn analyze_incremental(
         };
         let forced = forced_miss(config, Stage::Jump, pi);
         if !forced {
-            if let Some(CachedSummary::Jump { sym }) = cache.get(key) {
+            if let Some((CachedSummary::Jump { sym }, recovered)) = cache.get_with_origin(key) {
                 txn.hits += 1;
+                txn.persisted_hits += u64::from(recovered);
                 symbolics.push(Some((**sym).clone()));
                 continue;
             }

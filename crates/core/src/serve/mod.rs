@@ -13,19 +13,30 @@
 //! * [`incremental`] — the cache-aware analysis driver, differentially
 //!   bit-identical to a cold [`crate::Analysis::run`];
 //! * [`engine`] — the typed request engine: `analyze`, `constants`,
-//!   `explain`, `update`, `load`, plus telemetry.
+//!   `explain`, `update`, `load`, plus telemetry;
+//! * [`wire`] — panic-free binary codecs for every cached summary;
+//! * [`store`] — the durable on-disk snapshot of the cache (atomic
+//!   write-temp/fsync/rename saves, fully checksummed loads that
+//!   discard with a reason and cold-start on any mismatch, plus the
+//!   deterministic disk-fault injector behind `--inject-io`).
 //!
-//! See `docs/SERVE.md` for the protocol and the service contract.
+//! See `docs/SERVE.md` for the protocol and the service contract, and
+//! `docs/ROBUSTNESS.md` for the durability contract.
 
 pub mod cache;
 pub mod engine;
 pub mod incremental;
 pub mod json;
+pub mod store;
+pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, CacheTxn, CachedSummary, SummaryCache, SummaryStage};
 pub use engine::{
     config_from_overrides, ConstantsReport, EngineStats, ProgramModel, RequestOutcome, ServeEngine,
     ServeError,
 };
-pub use incremental::{analyze_incremental, cacheable, same_results};
+pub use incremental::{
+    analyze_incremental, cacheable, config_fingerprint, same_results, shape_fingerprint,
+};
 pub use json::{Json, Object};
+pub use store::{DiscardReason, IoFault, IoInjector, LoadStatus, SummaryStore};

@@ -50,6 +50,11 @@ impl Fnv128 {
         self.write(&[0xFF]);
     }
 
+    /// Absorbs a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
     /// Absorbs a `u64` in little-endian byte order.
     pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
@@ -70,6 +75,15 @@ impl Fnv128 {
 pub fn hash_str(s: &str) -> u128 {
     let mut h = Fnv128::new();
     h.write_str(s);
+    h.finish()
+}
+
+/// One-shot digest of a byte slice — the checksum primitive of the serve
+/// summary store (per-record and whole-file integrity, not security; see
+/// the module docs for the trust model).
+pub fn hash_bytes(bytes: &[u8]) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(bytes);
     h.finish()
 }
 
@@ -100,6 +114,16 @@ mod tests {
         b.write_str("a");
         b.write_str("bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_digest_matches_incremental_writes() {
+        let mut h = Fnv128::new();
+        h.write(b"abc");
+        assert_eq!(hash_bytes(b"abc"), h.finish());
+        let mut w32 = Fnv128::new();
+        w32.write_u32(0x0403_0201);
+        assert_eq!(hash_bytes(&[1, 2, 3, 4]), w32.finish());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod sccp;
 pub mod ssa;
 pub mod symbolic;
 
-pub use dominators::{dominance_frontiers, DomTree};
+pub use dominators::{dominance_frontiers, DomTree, DomTreeParts};
 pub use lattice::Lattice;
 pub use poly::{Poly, PolyVar};
 pub use sccp::{CallDefLattice, OpaqueCallsLattice, SccpResult, Seeds};

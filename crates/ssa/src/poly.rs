@@ -126,6 +126,50 @@ impl Poly {
             && self.support().len() <= max_support
     }
 
+    /// The raw term list `(monomial, coefficient)` in the canonical
+    /// (sorted) order — the stable shape used by the serve summary store.
+    /// Monomials are `(variable, exponent)` pairs sorted by variable.
+    pub fn terms_raw(&self) -> impl Iterator<Item = (&[(PolyVar, u32)], i64)> {
+        self.terms.iter().map(|(m, &c)| (m.as_slice(), c))
+    }
+
+    /// Rebuilds a polynomial from raw terms, enforcing every invariant
+    /// [`Poly::terms_raw`] guarantees: monomials strictly sorted by
+    /// variable with positive exponents, no zero coefficients, no
+    /// duplicate monomials, and the term/degree caps. Returns `None` for
+    /// any violation — deserializers map that to a corrupt-input error
+    /// rather than admitting an invariant-breaking value.
+    pub fn from_terms_raw(terms: Vec<(Vec<(PolyVar, u32)>, i64)>) -> Option<Poly> {
+        if terms.len() > Self::MAX_TERMS {
+            return None;
+        }
+        let mut out = BTreeMap::new();
+        for (m, c) in terms {
+            if c == 0 {
+                return None;
+            }
+            let mut degree: u32 = 0;
+            for pair in m.windows(2) {
+                if pair[0].0 >= pair[1].0 {
+                    return None;
+                }
+            }
+            for &(_, e) in &m {
+                if e == 0 {
+                    return None;
+                }
+                degree = degree.checked_add(e)?;
+            }
+            if degree > Self::MAX_DEGREE {
+                return None;
+            }
+            if out.insert(m, c).is_some() {
+                return None;
+            }
+        }
+        Some(Poly { terms: out })
+    }
+
     fn insert_term(&mut self, m: Monomial, c: i64) -> Option<()> {
         if c == 0 {
             return Some(());
@@ -508,6 +552,35 @@ mod tests {
         assert!(!p.fits_within(2, 2, 1), "support cap");
         // Constants fit any budget.
         assert!(Poly::constant(7).fits_within(1, 0, 0));
+    }
+
+    #[test]
+    fn raw_terms_round_trip_and_reject_invariant_breaks() {
+        // p = 2x^2 - 3y + 7
+        let p = x()
+            .mul(&x())
+            .unwrap()
+            .mul(&Poly::constant(2))
+            .unwrap()
+            .sub(&y().mul(&Poly::constant(3)).unwrap())
+            .unwrap()
+            .add(&Poly::constant(7))
+            .unwrap();
+        let raw: Vec<(Vec<(PolyVar, u32)>, i64)> =
+            p.terms_raw().map(|(m, c)| (m.to_vec(), c)).collect();
+        assert_eq!(Poly::from_terms_raw(raw).unwrap(), p);
+        assert_eq!(Poly::from_terms_raw(Vec::new()).unwrap(), Poly::zero());
+
+        // Zero coefficient.
+        assert!(Poly::from_terms_raw(vec![(vec![(0, 1)], 0)]).is_none());
+        // Zero exponent.
+        assert!(Poly::from_terms_raw(vec![(vec![(0, 0)], 1)]).is_none());
+        // Unsorted monomial variables.
+        assert!(Poly::from_terms_raw(vec![(vec![(1, 1), (0, 1)], 1)]).is_none());
+        // Duplicate monomials.
+        assert!(Poly::from_terms_raw(vec![(vec![(0, 1)], 1), (vec![(0, 1)], 2)]).is_none());
+        // Degree over the cap.
+        assert!(Poly::from_terms_raw(vec![(vec![(0, Poly::MAX_DEGREE + 1)], 1)]).is_none());
     }
 
     #[test]

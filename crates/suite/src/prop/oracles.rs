@@ -283,6 +283,114 @@ impl Property for ServeIdentity {
     }
 }
 
+/// `serve-persist`: the durable summary store is transparent across
+/// process death. A random edit session runs against a daemon engine;
+/// after every step the cache is snapshotted through the on-disk wire
+/// format (`encode`), decoded back as a restart would (`decode` +
+/// [`SummaryCache::restore`]), and a fresh engine is booted from it.
+/// The restarted engine must be bit-identical (via [`same_results`]) to
+/// both the pre-crash warm engine and a cold analysis of the same
+/// source — and on a clean configuration its startup run must actually
+/// hit the persisted summaries. A random single-byte corruption of the
+/// snapshot must decode to a structured discard, never a panic and
+/// never an acceptance.
+pub struct ServePersist;
+
+impl Property for ServePersist {
+    fn name(&self) -> &'static str {
+        "serve-persist"
+    }
+
+    fn check(&self, src: &str, ctx: &PropContext) -> Result<(), String> {
+        use ipcp::serve::store::{decode, encode};
+        use ipcp::serve::SummaryCache;
+
+        if lowered(src).is_none() {
+            return Ok(());
+        }
+        let mut config = ctx.config;
+        config.deadline = None;
+        let mut engine = match ServeEngine::new(src, &config) {
+            Ok(engine) => engine,
+            Err(e @ ipcp::ServeError::Panic(_)) => {
+                return Err(format!("daemon construction failed: {e}"));
+            }
+            Err(_) => return Ok(()),
+        };
+        let clean = config.panic_injection.is_none() && config.fault_injection.is_none();
+        let mut rng = Rng::new(hash_str(src) as u64 ^ 0x0005_708E);
+        for step in 0..3u32 {
+            // One random edit; a rejected mutation is fine — the crash
+            // below then replays the unedited session.
+            let model = ProgramModel::from_source(&engine.source())
+                .map_err(|e| format!("daemon source stopped parsing: {e}"))?;
+            let names: Vec<String> = model.proc_names().map(String::from).collect();
+            if names.is_empty() {
+                return Ok(());
+            }
+            let name = &names[rng.below(names.len() as u64) as usize];
+            if let Some(proc_src) = model.proc_text(name) {
+                let fragment = ServeIdentity::mutate_proc(proc_src, &mut rng);
+                let _ = engine.update(name, &fragment);
+            }
+
+            // Snapshot exactly as `--store` would persist it.
+            let (cfp, sfp) = engine.fingerprints();
+            let bytes = encode(engine.cache(), cfp, sfp);
+
+            // Corruption half: one flipped byte anywhere must yield a
+            // structured discard — no panic, no acceptance.
+            if !bytes.is_empty() {
+                let pos = rng.below(bytes.len() as u64) as usize;
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x20;
+                let verdict = quiet_catch(|| decode(&bad, cfp, sfp).is_ok())
+                    .map_err(|msg| format!("step {step}: corrupt store decode panicked: {msg}"))?;
+                if verdict {
+                    return Err(format!(
+                        "step {step}: a store with byte {pos} flipped was accepted"
+                    ));
+                }
+            }
+
+            // Crash + restart: decode, restore, boot a fresh engine.
+            let entries = decode(&bytes, cfp, sfp)
+                .map_err(|reason| format!("step {step}: own snapshot rejected: {reason}"))?;
+            let restored_count = entries.len();
+            let cache = SummaryCache::restore(entries, SummaryCache::DEFAULT_CAPACITY);
+            let restarted = ServeEngine::new_with_cache(&engine.source(), &config, cache)
+                .map_err(|e| format!("step {step}: restart failed: {e}"))?;
+            if !same_results(restarted.analysis(), engine.analysis()) {
+                return Err(format!(
+                    "step {step}: restarted daemon diverged from the pre-crash warm engine"
+                ));
+            }
+            let Some(cold_mcfg) = lowered(&engine.source()) else {
+                return Err(format!("step {step}: daemon source stopped resolving"));
+            };
+            let cold = Analysis::run(&cold_mcfg, &config);
+            if !same_results(restarted.analysis(), &cold) {
+                return Err(format!(
+                    "step {step}: restarted daemon diverged from a cold analysis"
+                ));
+            }
+            let out = restarted.last_outcome();
+            if out.persisted_hits > out.hits {
+                return Err(format!(
+                    "step {step}: persisted_hits {} exceeds hits {}",
+                    out.persisted_hits, out.hits
+                ));
+            }
+            if clean && !out.bypassed && restored_count > 0 && out.persisted_hits == 0 {
+                return Err(format!(
+                    "step {step}: {restored_count} restored summaries produced no warm hit"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Every registered property, in stable order.
 pub fn all_properties() -> Vec<Box<dyn Property>> {
     vec![
@@ -292,6 +400,7 @@ pub fn all_properties() -> Vec<Box<dyn Property>> {
         Box::new(WavefrontWorklist),
         Box::new(ExitConsistency),
         Box::new(ServeIdentity),
+        Box::new(ServePersist),
     ]
 }
 

@@ -400,3 +400,231 @@ fn edit_sessions_stay_identical_to_cold_runs() {
     }
     assert!(edited > 0, "{}: no edit was accepted", p.name);
 }
+
+// ---------------------------------------------------------------------
+// Persistence: the durable summary store (`ipcc serve --store`).
+//
+// Contract under test (docs/ROBUSTNESS.md, "Durability contract"):
+// a verified restore makes the restart warm and bit-identical to a
+// cold analysis; any corruption or drift is a logged cold start with
+// a specific reason; an interrupted save never damages the previous
+// store file.
+// ---------------------------------------------------------------------
+
+use ipcp::serve::{DiscardReason, IoFault, IoInjector, LoadStatus, SummaryStore};
+use std::path::PathBuf;
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipcp-serve-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    dir
+}
+
+/// Every suite program: snapshot a warm daemon, restart from the file,
+/// and the restarted daemon is (a) fully warm — its startup run misses
+/// nothing and every hit is a persisted hit — and (b) bit-identical to
+/// a cold analysis.
+#[test]
+fn restart_from_a_store_is_warm_and_bit_identical_across_the_suite() {
+    let dir = store_dir("suite");
+    for p in PROGRAMS {
+        let path = dir.join(format!("{}.store", p.name));
+        let config = Config::polynomial();
+        let before = ServeEngine::new(p.source, &config).unwrap();
+        let units = before.last_outcome().misses;
+        let (cfp, sfp) = before.fingerprints();
+        let mut store = SummaryStore::new(&path);
+        let written = store.save(before.cache(), cfp, sfp).expect("save");
+        assert_eq!(written, before.cache_len(), "{}: record count", p.name);
+
+        let (after, status) = ServeEngine::new_with_store(p.source, &config, &mut store).unwrap();
+        assert_eq!(status, LoadStatus::Restored(written), "{}", p.name);
+        let out = after.last_outcome();
+        assert_eq!(out.misses, 0, "{}: restart recomputed units", p.name);
+        assert_eq!(out.persisted_hits, units, "{}: persisted hits", p.name);
+        assert_eq!(
+            out.hits, out.persisted_hits,
+            "{}: all hits persisted",
+            p.name
+        );
+        assert_eq!(after.cache_stats().recovered, written as u64, "{}", p.name);
+        assert!(
+            same_results(after.analysis(), &Analysis::run(after.mcfg(), &config)),
+            "{}: restart vs cold",
+            p.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An edit session, a snapshot, a restart, and more edits: the store
+/// round-trips mid-session state, and the restarted daemon keeps the
+/// identity contract through further edits.
+#[test]
+fn restart_after_an_edit_session_replays_identically() {
+    let dir = store_dir("session");
+    let path = dir.join("chain.store");
+    let config = Config::polynomial();
+    let mut before = ServeEngine::new(CHAIN, &config).unwrap();
+    before.update("g", "proc g(b) { print b + 2; }").unwrap();
+    before.update("main", "proc main() { call f(5); }").unwrap();
+    let edited_src = before.source();
+    let (cfp, sfp) = before.fingerprints();
+    let mut store = SummaryStore::new(&path);
+    store.save(before.cache(), cfp, sfp).expect("save");
+
+    // Restart against the *edited* source — what a daemon supervisor
+    // would feed it after writing the program back to disk.
+    let (mut after, status) =
+        ServeEngine::new_with_store(&edited_src, &config, &mut store).unwrap();
+    assert!(matches!(status, LoadStatus::Restored(n) if n > 0));
+    assert_eq!(after.last_outcome().misses, 0, "restart is fully warm");
+    assert!(after.last_outcome().persisted_hits > 0);
+    assert!(same_results(after.analysis(), before.analysis()));
+
+    // The session continues: edits on the restarted daemon still match
+    // cold runs, and unchanged summaries still come from the store.
+    let out = after.update("f", "proc f(a) { call g(a + 9); }").unwrap();
+    assert!(out.persisted_hits > 0, "untouched units stay persisted");
+    assert!(same_results(after.analysis(), &cold_twin(&after)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every corruption and drift shape cold-starts with its specific
+/// reason — and the engine it hands back still works.
+#[test]
+fn corrupted_and_drifted_stores_cold_start_with_a_reason() {
+    let dir = store_dir("corrupt");
+    let path = dir.join("x.store");
+    let config = Config::polynomial();
+    let before = ServeEngine::new(CHAIN, &config).unwrap();
+    let (cfp, sfp) = before.fingerprints();
+    let mut store = SummaryStore::new(&path);
+    store.save(before.cache(), cfp, sfp).expect("save");
+    let pristine = std::fs::read(&path).expect("read store");
+
+    let reload = |bytes: &[u8]| {
+        std::fs::write(&path, bytes).expect("write store");
+        let mut s = SummaryStore::new(&path);
+        let (engine, status) = ServeEngine::new_with_store(CHAIN, &config, &mut s).unwrap();
+        // Whatever happened to the store, the daemon must be sound.
+        assert!(same_results(engine.analysis(), &cold_twin(&engine)));
+        assert_eq!(
+            engine.cache_stats().recovered,
+            match &status {
+                LoadStatus::Restored(n) => *n as u64,
+                _ => 0,
+            }
+        );
+        status
+    };
+
+    // Bit flip in the middle: whole-file checksum.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert_eq!(
+        reload(&flipped),
+        LoadStatus::Discarded(DiscardReason::BadChecksum)
+    );
+
+    // Truncation at any point is Truncated or BadChecksum, never a
+    // panic or an acceptance; a short prefix is plain Truncated.
+    assert_eq!(
+        reload(&pristine[..pristine.len() / 3]),
+        LoadStatus::Discarded(DiscardReason::BadChecksum)
+    );
+    assert_eq!(
+        reload(&pristine[..5]),
+        LoadStatus::Discarded(DiscardReason::Truncated)
+    );
+
+    // Not a store at all.
+    assert_eq!(
+        reload(b"definitely not a summary store"),
+        LoadStatus::Discarded(DiscardReason::BadMagic)
+    );
+
+    // Version skew: a future format is discarded, not misread.
+    let mut skewed = pristine.clone();
+    skewed[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        reload(&skewed),
+        LoadStatus::Discarded(DiscardReason::VersionSkew { .. })
+    ));
+
+    // Config drift: same file, different analysis configuration.
+    std::fs::write(&path, &pristine).unwrap();
+    let mut s = SummaryStore::new(&path);
+    let (_, status) = ServeEngine::new_with_store(CHAIN, &Config::default(), &mut s).unwrap();
+    assert_eq!(status, LoadStatus::Discarded(DiscardReason::ConfigDrift));
+
+    // Shape drift: same file, a program whose procedure roster differs.
+    // (MUTUAL shares CHAIN's names and arities, so its shape fingerprint
+    // coincides — drift needs an actual roster change.)
+    let reshaped = "proc main() { call h(1, 2); } proc h(x, y) { print x + y; }";
+    let mut s = SummaryStore::new(&path);
+    let (_, status) = ServeEngine::new_with_store(reshaped, &config, &mut s).unwrap();
+    assert_eq!(status, LoadStatus::Discarded(DiscardReason::ShapeDrift));
+
+    // And a clean reload still restores.
+    assert!(matches!(reload(&pristine), LoadStatus::Restored(n) if n > 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The kill-during-save drill, deterministic edition: a save interrupted
+/// at every reachable fault point — short write, ENOSPC, EIO, rename
+/// failure — leaves the previous store byte-identical and restorable,
+/// over at least 20 interruption points.
+#[test]
+fn interrupted_saves_never_tear_the_previous_store() {
+    let dir = store_dir("torn");
+    let path = dir.join("x.store");
+    let config = Config::polynomial();
+    let engine = ServeEngine::new(CHAIN, &config).unwrap();
+    let (cfp, sfp) = engine.fingerprints();
+    SummaryStore::new(&path)
+        .save(engine.cache(), cfp, sfp)
+        .expect("baseline save");
+    let baseline = std::fs::read(&path).expect("baseline bytes");
+
+    let mut iterations = 0u32;
+    for fault in [
+        IoFault::ShortWrite,
+        IoFault::Enospc,
+        IoFault::Eio,
+        IoFault::RenameFail,
+    ] {
+        for point in 1..=16u64 {
+            let injector = IoInjector::new(fault, point);
+            let mut store = SummaryStore::with_injector(&path, Some(injector));
+            match store.save(engine.cache(), cfp, sfp) {
+                Err(_) => {
+                    iterations += 1;
+                    assert_eq!(
+                        std::fs::read(&path).expect("store still readable"),
+                        baseline,
+                        "{fault:?} at {point} damaged the previous store"
+                    );
+                    // And a restart still restores the old snapshot.
+                    let (_, status) =
+                        ServeEngine::new_with_store(CHAIN, &config, &mut SummaryStore::new(&path))
+                            .unwrap();
+                    assert!(
+                        matches!(status, LoadStatus::Restored(n) if n > 0),
+                        "{fault:?} at {point}: baseline no longer restores"
+                    );
+                }
+                // Points past the operation count never fire: the save
+                // succeeds and rewrites the identical image.
+                Ok(_) => assert_eq!(std::fs::read(&path).unwrap(), baseline),
+            }
+        }
+    }
+    assert!(
+        iterations >= 20,
+        "only {iterations} interruptions exercised"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
