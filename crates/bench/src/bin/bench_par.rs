@@ -60,6 +60,30 @@ fn reps() -> u32 {
         .unwrap_or(5)
 }
 
+/// The parallel job counts to sweep (each against the jobs=1 baseline):
+/// `{2, 4}` by default, overridable via `IPCP_BENCH_JOBS` (comma list).
+fn job_sweep() -> Vec<usize> {
+    std::env::var("IPCP_BENCH_JOBS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&j| j >= 2)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4])
+}
+
+/// Physical parallelism actually available — recorded in the JSON so a
+/// reader can tell a real speedup apart from a single-core container
+/// (where jobs > 1 cannot beat jobs = 1 and only identity is meaningful).
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Best-of-[`reps`] wall time for one configuration, returning the last
 /// analysis so the caller can compare results across configurations.
 fn time_analysis(mcfg: &ipcp_ir::cfg::ModuleCfg, config: &Config) -> (Duration, Analysis) {
@@ -74,11 +98,11 @@ fn time_analysis(mcfg: &ipcp_ir::cfg::ModuleCfg, config: &Config) -> (Duration, 
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let par_jobs = Config::default().effective_jobs().max(2);
+    let sweep = job_sweep();
     let mut rows = Vec::new();
     println!(
-        "{:<8} {:>6} {:>10} {:>10} {:>8} {:>6}",
-        "program", "procs", "seq_us", "par_us", "speedup", "util"
+        "{:<8} {:>6} {:>5} {:>10} {:>10} {:>8} {:>6}",
+        "program", "procs", "jobs", "seq_us", "par_us", "speedup", "util"
     );
     for w in WORKLOADS {
         let src = generate(&w.gen, w.seed);
@@ -87,55 +111,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mcfg = ipcp_ir::lower_module(&module);
 
         let seq_cfg = Config::default().with_jobs(1);
-        let par_cfg = Config::default().with_jobs(par_jobs);
         let (seq_t, seq_a) = time_analysis(&mcfg, &seq_cfg);
-        let (par_t, par_a) = time_analysis(&mcfg, &par_cfg);
+        for &jobs in &sweep {
+            let par_cfg = Config::default().with_jobs(jobs);
+            let (par_t, par_a) = time_analysis(&mcfg, &par_cfg);
 
-        // The determinism contract: the parallel schedule must not be
-        // observable in any output the analysis reports.
-        if par_a.vals != seq_a.vals
-            || par_a.health != seq_a.health
-            || par_a.quarantined != seq_a.quarantined
-        {
-            return Err(format!(
-                "jobs={par_jobs} diverged from jobs=1 on workload `{}`",
-                w.name
-            )
-            .into());
+            // The determinism contract: the parallel schedule must not be
+            // observable in any output the analysis reports.
+            if par_a.vals != seq_a.vals
+                || par_a.health != seq_a.health
+                || par_a.quarantined != seq_a.quarantined
+            {
+                return Err(
+                    format!("jobs={jobs} diverged from jobs=1 on workload `{}`", w.name).into(),
+                );
+            }
+
+            let speedup = seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9);
+            let util = par_a.timings.utilization();
+            println!(
+                "{:<8} {:>6} {:>5} {:>10} {:>10} {:>7.2}x {:>5.0}%",
+                w.name,
+                w.gen.n_procs,
+                jobs,
+                seq_t.as_micros(),
+                par_t.as_micros(),
+                speedup,
+                100.0 * util,
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"program\": \"{}\", \"n_procs\": {}, \"jobs\": {}, ",
+                    "\"seq_us\": {}, \"par_us\": {}, \"speedup\": {:.3}, ",
+                    "\"utilization\": {:.3}, \"identical\": true}}"
+                ),
+                w.name,
+                w.gen.n_procs,
+                jobs,
+                seq_t.as_micros(),
+                par_t.as_micros(),
+                speedup,
+                util,
+            ));
         }
-
-        let speedup = seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9);
-        let util = par_a.timings.utilization();
-        println!(
-            "{:<8} {:>6} {:>10} {:>10} {:>7.2}x {:>5.0}%",
-            w.name,
-            w.gen.n_procs,
-            seq_t.as_micros(),
-            par_t.as_micros(),
-            speedup,
-            100.0 * util,
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\"program\": \"{}\", \"n_procs\": {}, \"seq_us\": {}, ",
-                "\"par_us\": {}, \"speedup\": {:.3}, \"utilization\": {:.3}, ",
-                "\"identical\": true}}"
-            ),
-            w.name,
-            w.gen.n_procs,
-            seq_t.as_micros(),
-            par_t.as_micros(),
-            speedup,
-            util,
-        ));
     }
 
     let reps = reps();
+    let cores = cores();
+    let jobs_list = sweep
+        .iter()
+        .map(|j| j.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"jobs\": {par_jobs},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"jobs\": [{jobs_list}],\n  \"cores\": {cores},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_par.json", &json)?;
-    println!("wrote BENCH_par.json (jobs={par_jobs}, best of {reps})");
+    println!("wrote BENCH_par.json (jobs=[{jobs_list}], cores={cores}, best of {reps})");
     Ok(())
 }

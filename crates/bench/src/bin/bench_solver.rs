@@ -308,11 +308,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let reps = reps();
+    // Physical parallelism actually available: on a single-core container
+    // `jobs_speedup > 1` is unattainable and only `identical` matters.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"jobs\": {par_jobs},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"jobs\": {par_jobs},\n  \"cores\": {cores},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_solver.json", &json)?;
-    println!("wrote BENCH_solver.json (jobs={par_jobs}, best of {reps})");
+    println!("wrote BENCH_solver.json (jobs={par_jobs}, cores={cores}, best of {reps})");
     Ok(())
 }

@@ -4,7 +4,7 @@
 
 use ipcp::serve::store::{decode, encode};
 use ipcp::serve::{ProgramModel, ServeEngine, SummaryCache};
-use ipcp::{Analysis, Config, CostReport};
+use ipcp::{Analysis, Config, CostReport, PhaseReport};
 use ipcp_suite::PROGRAMS;
 
 /// Cold misses, warm-rerun hits, hit/miss split after a one-procedure
@@ -146,25 +146,12 @@ fn main() {
     let auto_jobs = Config::default().effective_jobs();
     println!();
     println!("Per-stage wall time, sequential vs --jobs {auto_jobs} (machine-dependent)");
-    println!(
-        "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6}",
-        "program", "jobs", "modref_us", "retjf_us", "jump_us", "solve_us", "total_us", "util"
-    );
+    println!("{}", PhaseReport::header());
     for p in PROGRAMS {
         let mcfg = p.module_cfg();
         for jobs in [1, auto_jobs] {
             let t = Analysis::run(&mcfg, &Config::default().with_jobs(jobs)).timings;
-            println!(
-                "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5.0}%",
-                p.name,
-                t.jobs,
-                t.modref.wall.as_micros(),
-                t.retjump.wall.as_micros(),
-                t.jump.wall.as_micros(),
-                t.solve.wall.as_micros(),
-                t.total.as_micros(),
-                100.0 * t.utilization(),
-            );
+            println!("{}", PhaseReport::collect(&t).render_row(p.name));
             if auto_jobs == 1 {
                 break;
             }

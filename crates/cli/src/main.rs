@@ -604,26 +604,12 @@ fn tables() {
     println!();
     let auto_jobs = Config::default().effective_jobs();
     println!("Per-stage wall time, sequential vs --jobs {auto_jobs} (machine-dependent)");
-    println!(
-        "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
-        "program", "jobs", "modref_us", "retjf_us", "jump_us", "solve_us", "sccs", "s_util", "util"
-    );
+    println!("{}", ipcp::PhaseReport::header());
     for p in paper_programs() {
         let mcfg = p.module_cfg();
         for jobs in [1, auto_jobs] {
             let t = Analysis::run(&mcfg, &Config::polynomial().with_jobs(jobs)).timings;
-            println!(
-                "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>5.0}% {:>5.0}%",
-                p.name,
-                t.jobs,
-                t.modref.wall.as_micros(),
-                t.retjump.wall.as_micros(),
-                t.jump.wall.as_micros(),
-                t.solve.wall.as_micros(),
-                t.solve.units,
-                100.0 * t.solve.utilization(),
-                100.0 * t.utilization(),
-            );
+            println!("{}", ipcp::PhaseReport::collect(&t).render_row(p.name));
             if auto_jobs == 1 {
                 break;
             }

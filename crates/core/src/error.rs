@@ -9,6 +9,7 @@
 
 use crate::config::Stage;
 use crate::health::AnalysisHealth;
+use crate::pipeline::UnitError;
 use ipcp_ir::interp::ExecError;
 use ipcp_ir::Diagnostics;
 use std::error::Error;
@@ -35,6 +36,11 @@ pub enum IpcpError {
     /// incompatible combination of knobs (e.g. `jobs > 1` with
     /// quarantine off). The message names the conflict and the fix.
     InvalidConfig(String),
+    /// A phase unit faulted under quarantine and the caller asked for the
+    /// failure itself rather than the sound degraded result. Carries the
+    /// typed [`UnitError`] (stage, unit index, panic message) so drivers
+    /// stop pattern-matching on strings.
+    Unit(UnitError),
 }
 
 impl IpcpError {
@@ -66,6 +72,7 @@ impl fmt::Display for IpcpError {
                 health.events.len()
             ),
             IpcpError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            IpcpError::Unit(e) => write!(f, "quarantined unit: {e}"),
         }
     }
 }
@@ -81,6 +88,12 @@ impl From<Diagnostics> for IpcpError {
 impl From<ExecError> for IpcpError {
     fn from(e: ExecError) -> Self {
         IpcpError::Exec(e)
+    }
+}
+
+impl From<UnitError> for IpcpError {
+    fn from(e: UnitError) -> Self {
+        IpcpError::Unit(e)
     }
 }
 
@@ -108,6 +121,24 @@ mod tests {
         let err = IpcpError::InvalidConfig("jobs > 1 requires quarantine".into());
         assert!(err.to_string().starts_with("invalid configuration:"));
         assert!(err.to_string().contains("quarantine"));
+    }
+
+    #[test]
+    fn unit_errors_convert_and_stay_typed() {
+        let unit = UnitError::new(Stage::Jump, 3, "boom");
+        let err: IpcpError = unit.clone().into();
+        match &err {
+            IpcpError::Unit(e) => {
+                assert_eq!(e.stage, Stage::Jump);
+                assert_eq!(e.unit, 3);
+                assert_eq!(e.message, "boom");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "quarantined unit: jump unit #3 faulted: boom"
+        );
     }
 
     #[test]

@@ -213,6 +213,16 @@ impl Governor {
     /// fault on that stage (`c0 + n < fault.at`). Since trip conditions
     /// are monotone in the counter, clean at offset `c0` implies every
     /// intermediate charge is clean too.
+    ///
+    /// This is the canonical fold's documented **fast path**: the check
+    /// is `O(|stages|)` integer compares with no allocation, so in a
+    /// healthy run (budgets not near a cap, no armed fault) every unit
+    /// absorbs and the fold's cost is a handful of adds per unit —
+    /// replay, which re-runs the unit against the master, is reserved
+    /// for units whose charges genuinely cross a boundary. The split is
+    /// observable: [`PhaseFold`](crate::PhaseFold) stamps
+    /// absorbed/replayed counts into each phase's
+    /// [`PhaseTime`](crate::PhaseTime).
     pub fn can_absorb(&self, shard: &Governor) -> bool {
         for (i, &stage) in Stage::ALL.iter().enumerate() {
             let n = shard.counters[i];

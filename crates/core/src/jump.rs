@@ -15,6 +15,7 @@
 use crate::config::JumpFnKind;
 use crate::config::{AnalysisLimits, Config, Stage};
 use crate::health::Governor;
+use crate::pipeline::{PhaseFold, PhaseUnit};
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
@@ -237,8 +238,8 @@ pub fn build_forward_jump_fns(
 /// sequential charging would have put them) or replays the caller
 /// sequentially against the master. Results, telemetry, and quarantine
 /// flags are bit-identical to the sequential driver.
-#[allow(clippy::too_many_arguments)] // mirrors the sequential driver's signature plus `jobs`
-pub fn build_forward_jump_fns_par(
+#[allow(clippy::too_many_arguments)] // mirrors the sequential driver's signature plus the pool
+pub(crate) fn build_forward_jump_fns_par(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
@@ -246,12 +247,12 @@ pub fn build_forward_jump_fns_par(
     symbolics: &[Option<ProcSymbolic>],
     quarantined: &mut [bool],
     gov: &mut Governor,
-    jobs: usize,
+    pool: &crate::par::Pool<'_>,
 ) -> (ForwardJumpFns, crate::par::PhaseTime) {
     let n = mcfg.module.procs.len();
     let snapshot: Vec<bool> = quarantined.to_vec();
     let proto = gov.shard();
-    let (units, time) = crate::par::run(jobs, n, |caller| {
+    let (units, mut time) = pool.run(n, |caller| {
         let mut shard = proto.shard();
         let (fns, quar) = build_caller_jump_fns(
             mcfg,
@@ -263,33 +264,43 @@ pub fn build_forward_jump_fns_par(
             snapshot[caller],
             &mut shard,
         );
-        (fns, quar, shard)
+        PhaseUnit::new(caller, Ok((fns, quar)), shard)
     });
 
     let mut out = empty_sites(mcfg);
-    for (caller, (fns, quar, shard)) in units.into_iter().enumerate() {
-        if gov.can_absorb(&shard) {
-            gov.absorb_shard(shard);
-            commit_caller(&mut out, caller, fns);
-            quarantined[caller] = quar;
-        } else {
-            // The optimistic charges would cross a budget cap or fault
-            // trip point somewhere inside this unit; rerun it against the
-            // master so each charge sees the exact sequential counter.
-            let (fns, quar) = build_caller_jump_fns(
-                mcfg,
-                cg,
-                layout,
-                config,
-                symbolics,
-                caller,
-                snapshot[caller],
-                gov,
-            );
-            commit_caller(&mut out, caller, fns);
-            quarantined[caller] = quar;
+    let mut fold = PhaseFold::default();
+    for (caller, pu) in units.into_iter().enumerate() {
+        match fold.try_absorb(gov, pu, true) {
+            Some(Ok((fns, quar))) => {
+                commit_caller(&mut out, caller, fns);
+                quarantined[caller] = quar;
+            }
+            Some(Err(e)) => {
+                // Panics are contained per call site inside the unit and
+                // reported through the quarantine flag, never the outcome.
+                unreachable!("jump units never fail the outcome: {e}")
+            }
+            None => {
+                // The optimistic charges would cross a budget cap or fault
+                // trip point somewhere inside this unit; rerun it against
+                // the master so each charge sees the exact sequential
+                // counter.
+                let (fns, quar) = build_caller_jump_fns(
+                    mcfg,
+                    cg,
+                    layout,
+                    config,
+                    symbolics,
+                    caller,
+                    snapshot[caller],
+                    gov,
+                );
+                commit_caller(&mut out, caller, fns);
+                quarantined[caller] = quar;
+            }
         }
     }
+    fold.stamp(&mut time);
     (out, time)
 }
 
@@ -326,6 +337,9 @@ fn build_caller_jump_fns(
     gov: &mut Governor,
 ) -> (Vec<(usize, SiteJumpFns)>, bool) {
     let n_globals = layout.scalar_globals.len();
+    // Loop-invariant: every edge below has `edge.caller == caller`, so
+    // borrow the name once instead of cloning it per edge.
+    let caller_name: &str = &mcfg.module.proc(ProcId::from(caller)).name;
     let mut quar = already_quarantined;
     let mut out: Vec<(usize, SiteJumpFns)> = Vec::new();
     for edge in cg.calls_from(ProcId::from(caller)) {
@@ -345,7 +359,6 @@ fn build_caller_jump_fns(
                 continue; // gated: the call site is provably dead
             }
         }
-        let caller_name = mcfg.module.proc(edge.caller).name.clone();
         let Some(StmtInfo::Call {
             arg_vals,
             global_pre,
@@ -360,7 +373,7 @@ fn build_caller_jump_fns(
                 config,
                 ps,
                 callee,
-                &caller_name,
+                caller_name,
                 edge,
                 arg_vals,
                 global_pre,
@@ -370,13 +383,14 @@ fn build_caller_jump_fns(
         });
         let fns = match unit {
             Ok(fns) => fns,
-            Err(msg) => {
+            Err(e) => {
                 quar = true;
                 gov.record_quarantine(
                     Stage::Jump,
                     format!(
-                        "{caller_name}: panic contained ({msg}); \
-                         jump functions at every call site forced to ⊥"
+                        "{caller_name}: panic contained ({}); \
+                         jump functions at every call site forced to ⊥",
+                        e.message
                     ),
                 );
                 all_bottom()

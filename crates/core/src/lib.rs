@@ -107,12 +107,12 @@ pub use ipcp_ssa::DeadlineLatch;
 pub use jump::{ForwardJumpFns, JumpFn};
 pub use lattice::Lattice;
 pub use par::{PhaseTime, Timings};
-pub use pipeline::{analyze, analyze_source, Analysis};
+pub use pipeline::{analyze, analyze_source, Analysis, PhaseFold, PhaseUnit, UnitError};
 pub use reduce::{
     ddmin_text, is_interesting, reduce, reduce_with_prepass, soundness_violation, ReduceCheck,
     ReduceOutcome, StructuralPass,
 };
-pub use report::CostReport;
+pub use report::{CostReport, PhaseReport, PhaseRow};
 pub use retjump::{build_return_jfs, ReturnJumpFns};
 pub use serve::{ServeEngine, ServeError, SummaryCache};
 pub use solver::{solve, solve_worklist_reference, ValSets};

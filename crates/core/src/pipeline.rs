@@ -10,7 +10,7 @@ use crate::jump::{
 };
 use crate::par::{PhaseTime, Timings};
 use crate::retjump::{build_return_jfs, build_return_jfs_par, RetOracle, ReturnJumpFns};
-use crate::solver::{solve, ValSets};
+use crate::solver::ValSets;
 use crate::substitute::{self, Substitution};
 use ipcp_analysis::{
     build_call_graph, direct_effects, propagate_modref, CallGraph, ModRef, ModSet,
@@ -21,7 +21,126 @@ use ipcp_ssa::sccp::{CallDefLattice, OpaqueCallsLattice};
 use ipcp_ssa::ssa::{build_ssa, build_ssa_pruned, CallKills, ModKills, WorstCaseKills};
 use ipcp_ssa::symbolic::{EvalBudget, OpaqueCalls};
 use ipcp_ssa::Lattice;
+use std::fmt;
 use std::time::Instant;
+
+/// A typed phase-unit failure: which [`Stage`] faulted, which unit, and
+/// the contained panic (or exhaustion) message.
+///
+/// `unit` is the index in the phase's own unit space — a procedure index
+/// for the per-procedure phases (MOD/REF, symbolic, forward and return
+/// jump functions), an SCC index for solver units. This replaces the
+/// stringly `Result<_, String>` contract the drivers used to share:
+/// quarantine widening, the parallel folds, and serve's incremental path
+/// all see the same structured error, and strict-mode promotion can carry
+/// it through [`IpcpError`](crate::IpcpError) without string matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitError {
+    /// The stage whose unit faulted.
+    pub stage: Stage,
+    /// The unit's index (procedure index, or SCC index for the solver).
+    pub unit: usize,
+    /// The contained panic message.
+    pub message: String,
+}
+
+impl UnitError {
+    /// Builds a unit error for `stage` / `unit`.
+    pub fn new(stage: Stage, unit: usize, message: impl Into<String>) -> Self {
+        UnitError {
+            stage,
+            unit,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} unit #{} faulted: {}",
+            self.stage.label(),
+            self.unit,
+            self.message
+        )
+    }
+}
+
+/// One parallel phase unit's outcome, as handed to the canonical fold:
+/// its index in the phase's unit space, its result (or typed failure),
+/// and the optimistic [`Governor`] shard it charged while running.
+///
+/// This is the contract every parallel driver shares: workers produce
+/// `PhaseUnit`s out of order, and the fold walks them **in index order**,
+/// absorbing each unit's shard into the authoritative governor when
+/// [`Governor::can_absorb`] proves the merged counters land exactly where
+/// a sequential run's would — otherwise the unit is discarded and
+/// replayed sequentially ([`PhaseFold::try_absorb`]). Serve's incremental
+/// path replays recorded shards through the same gate.
+#[derive(Clone, Debug)]
+pub struct PhaseUnit<T> {
+    /// Index in the phase's unit space (procedure or SCC index).
+    pub index: usize,
+    /// The unit's computed result, or its typed quarantine failure.
+    pub outcome: Result<T, UnitError>,
+    /// The optimistic governor shard the unit charged.
+    pub shard: Governor,
+}
+
+impl<T> PhaseUnit<T> {
+    /// Wraps a unit outcome with the shard it charged.
+    pub fn new(index: usize, outcome: Result<T, UnitError>, shard: Governor) -> Self {
+        PhaseUnit {
+            index,
+            outcome,
+            shard,
+        }
+    }
+}
+
+/// Absorb/replay accounting for one phase's canonical fold.
+///
+/// Every parallel driver folds its [`PhaseUnit`]s through
+/// [`PhaseFold::try_absorb`]; the counters are stamped into the phase's
+/// [`PhaseTime`] so `Timings` reports how often the optimistic path paid
+/// off (absorb is O(stages); replay re-runs the unit sequentially).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseFold {
+    /// Units whose shard merged cleanly (result kept).
+    pub absorbed: usize,
+    /// Units discarded and re-run against the authoritative governor.
+    pub replayed: usize,
+}
+
+impl PhaseFold {
+    /// Attempts to absorb `unit`: when `absorbable` holds and the shard
+    /// merges without crossing a budget or fault boundary
+    /// ([`Governor::can_absorb`] — the documented fast path), the shard
+    /// is folded into `gov` and the unit's outcome is returned. Otherwise
+    /// returns `None`; the caller must replay the unit sequentially.
+    pub fn try_absorb<T>(
+        &mut self,
+        gov: &mut Governor,
+        unit: PhaseUnit<T>,
+        absorbable: bool,
+    ) -> Option<Result<T, UnitError>> {
+        if absorbable && gov.can_absorb(&unit.shard) {
+            gov.absorb_shard(unit.shard);
+            self.absorbed += 1;
+            Some(unit.outcome)
+        } else {
+            self.replayed += 1;
+            None
+        }
+    }
+
+    /// Stamps the fold's counters into a phase's [`PhaseTime`].
+    pub fn stamp(self, pt: &mut PhaseTime) {
+        pt.absorbed += self.absorbed;
+        pt.replayed += self.replayed;
+    }
+}
 
 /// Everything the interprocedural constant propagation computed for one
 /// module under one [`Config`].
@@ -69,11 +188,20 @@ impl Analysis {
     /// propagation". The iteration stops at a fixpoint (or after a small
     /// bound; one extra round almost always suffices).
     pub fn run(mcfg: &ModuleCfg, config: &Config) -> Analysis {
-        let mut analysis = Self::run_once(mcfg, config, None);
+        // One pool for the whole analysis: workers are spawned here once
+        // and parked between rounds, so every phase (and every gating
+        // round) reuses them instead of paying a spawn/join per level.
+        crate::par::with_pool(config.effective_jobs(), |pool| {
+            Self::run_on(mcfg, config, pool)
+        })
+    }
+
+    fn run_on(mcfg: &ModuleCfg, config: &Config, pool: &crate::par::Pool<'_>) -> Analysis {
+        let mut analysis = Self::run_once_on(mcfg, config, None, pool);
         if config.gated_jump_fns {
             for _ in 0..4 {
                 let vals = analysis.vals.vals.clone();
-                let mut next = Self::run_once(mcfg, config, Some(&vals));
+                let mut next = Self::run_once_on(mcfg, config, Some(&vals), pool);
                 let stable = next.vals.vals == analysis.vals.vals;
                 // Telemetry accumulates across gating rounds. `absorb` is
                 // order-preserving concatenation (associative, documented
@@ -93,10 +221,11 @@ impl Analysis {
         analysis
     }
 
-    pub(crate) fn run_once(
+    pub(crate) fn run_once_on(
         mcfg: &ModuleCfg,
         config: &Config,
         gate_seeds: Option<&Vec<Vec<Lattice>>>,
+        pool: &crate::par::Pool<'_>,
     ) -> Analysis {
         let t_run = Instant::now();
         let jobs = config.effective_jobs();
@@ -127,7 +256,7 @@ impl Analysis {
         let t0 = Instant::now();
         let mut mods = Vec::with_capacity(n_procs);
         let mut refs = Vec::with_capacity(n_procs);
-        if jobs <= 1 {
+        if !pool.parallel() {
             for (pi, p) in mcfg.module.procs.iter().enumerate() {
                 let (m, r) = if !gov.charge(Stage::ModRef) {
                     quarantined[pi] = true;
@@ -160,7 +289,7 @@ impl Analysis {
             }
             timings.modref = PhaseTime::sequential(t0.elapsed(), n_procs);
         } else {
-            let (units, pt) = crate::par::run(jobs, n_procs, |pi| {
+            let (units, pt) = pool.run(n_procs, |pi| {
                 crate::quarantine::run_unit(config, Stage::ModRef, pi, || {
                     direct_effects(mcfg, ProcId::from(pi))
                 })
@@ -211,7 +340,7 @@ impl Analysis {
                 fns: vec![None; n_procs],
                 compose: false,
             }
-        } else if jobs <= 1 {
+        } else if !pool.parallel() {
             let t = build_return_jfs(
                 mcfg,
                 &cg,
@@ -232,7 +361,7 @@ impl Analysis {
                 config,
                 &mut quarantined,
                 &mut gov,
-                jobs,
+                pool,
             );
             timings.retjump = pt;
             t
@@ -249,7 +378,7 @@ impl Analysis {
         let max_steps = gov.limits().max_symbolic_steps;
         let deadline = config.deadline.map(|d| d.instant());
         let mut symbolics: Vec<Option<ProcSymbolic>> = Vec::new();
-        if jobs <= 1 {
+        if !pool.parallel() {
             for pi in 0..n_procs {
                 // A procedure quarantined by an earlier phase contributes
                 // no symbolic form: its call sites get explicit all-⊥ jump
@@ -281,7 +410,7 @@ impl Analysis {
                 &mut gov,
             );
             timings.jump = PhaseTime::sequential(t2.elapsed(), n_procs);
-            return Self::finish(
+            return Self::finish_on(
                 mcfg,
                 config,
                 cg,
@@ -294,9 +423,10 @@ impl Analysis {
                 quarantined,
                 timings,
                 t_run,
+                pool,
             );
         }
-        let (units, mut pt) = crate::par::run(jobs, n_procs, |pi| {
+        let (units, mut pt) = pool.run(n_procs, |pi| {
             if !cg.reachable[pi] || quarantined[pi] {
                 return None;
             }
@@ -327,11 +457,11 @@ impl Analysis {
             &symbolics,
             &mut quarantined,
             &mut gov,
-            jobs,
+            pool,
         );
         pt.absorb(pt_fwd);
         timings.jump = pt;
-        Self::finish(
+        Self::finish_on(
             mcfg,
             config,
             cg,
@@ -344,14 +474,52 @@ impl Analysis {
             quarantined,
             timings,
             t_run,
+            pool,
         )
     }
 
-    /// Stage 3 (the interprocedural wavefront solve, parallel over the
-    /// SCC levels when `jobs > 1`) and assembly — shared tail of both
-    /// `run_once` paths.
+    /// [`Analysis::finish_on`] without a caller-provided pool: used by
+    /// serve's incremental path, whose phases upstream of the solve are
+    /// cache replays (sequential by construction).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish(
+        mcfg: &ModuleCfg,
+        config: &Config,
+        cg: CallGraph,
+        modref: ModRef,
+        layout: SlotLayout,
+        ret_jfs: ReturnJumpFns,
+        symbolics: Vec<Option<ProcSymbolic>>,
+        jump_fns: ForwardJumpFns,
+        gov: Governor,
+        quarantined: Vec<bool>,
+        timings: Timings,
+        t_run: Instant,
+    ) -> Analysis {
+        crate::par::with_pool(timings.jobs, |pool| {
+            Self::finish_on(
+                mcfg,
+                config,
+                cg,
+                modref,
+                layout,
+                ret_jfs,
+                symbolics,
+                jump_fns,
+                gov,
+                quarantined,
+                timings,
+                t_run,
+                pool,
+            )
+        })
+    }
+
+    /// Stage 3 (the interprocedural wavefront solve, parallel over the
+    /// SCC levels when the pool is) and assembly — shared tail of both
+    /// `run_once_on` paths.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_on(
         mcfg: &ModuleCfg,
         config: &Config,
         cg: CallGraph,
@@ -364,13 +532,14 @@ impl Analysis {
         mut quarantined: Vec<bool>,
         mut timings: Timings,
         t_run: Instant,
+        pool: &crate::par::Pool<'_>,
     ) -> Analysis {
         let entry_globals = if config.assume_zero_globals {
             Lattice::Const(0)
         } else {
             Lattice::Bottom
         };
-        let (vals, solve_time) = solve(
+        let (vals, solve_time) = crate::solver::solve_on(
             mcfg,
             &cg,
             &layout,
@@ -379,7 +548,7 @@ impl Analysis {
             config,
             &mut gov,
             &mut quarantined,
-            timings.jobs,
+            pool,
         );
         timings.solve = solve_time;
         timings.total = t_run.elapsed();
@@ -417,7 +586,7 @@ impl Analysis {
         self.vals
             .constants(p)
             .into_iter()
-            .map(|(slot, c)| (self.layout.slot_name(&mcfg.module, p, slot), c))
+            .map(|(slot, c)| (self.layout.slot_name(&mcfg.module, p, slot).to_string(), c))
             .collect()
     }
 
@@ -441,7 +610,7 @@ pub(crate) fn widen_modref(arity: usize, n_globals: usize) -> (ModSet, ModSet) {
 /// telemetry.
 pub(crate) fn commit_modref_unit(
     name: &str,
-    unit: Result<(ModSet, ModSet), String>,
+    unit: Result<(ModSet, ModSet), UnitError>,
     arity: usize,
     n_globals: usize,
     pi: usize,
@@ -450,13 +619,14 @@ pub(crate) fn commit_modref_unit(
 ) -> (ModSet, ModSet) {
     match unit {
         Ok(pair) => pair,
-        Err(msg) => {
+        Err(e) => {
             quarantined[pi] = true;
             gov.record_quarantine(
                 Stage::ModRef,
                 format!(
-                    "{name}: panic contained ({msg}); \
-                     summary widened to everything visible"
+                    "{name}: panic contained ({}); \
+                     summary widened to everything visible",
+                    e.message
                 ),
             );
             widen_modref(arity, n_globals)
@@ -524,7 +694,7 @@ pub(crate) fn build_proc_symbolic(
 pub(crate) fn commit_symbolic_unit(
     mcfg: &ModuleCfg,
     pi: usize,
-    unit: Result<(ProcSymbolic, bool), String>,
+    unit: Result<(ProcSymbolic, bool), UnitError>,
     symbolics: &mut Vec<Option<ProcSymbolic>>,
     quarantined: &mut [bool],
     gov: &mut Governor,
@@ -553,13 +723,14 @@ pub(crate) fn commit_symbolic_unit(
             }
             symbolics.push(Some(ps));
         }
-        Err(msg) => {
+        Err(e) => {
             quarantined[pi] = true;
             gov.record_quarantine(
                 Stage::Jump,
                 format!(
-                    "{name}: panic contained ({msg}); procedure \
-                     quarantined, jump functions forced to ⊥"
+                    "{name}: panic contained ({}); procedure \
+                     quarantined, jump functions forced to ⊥",
+                    e.message
                 ),
             );
             symbolics.push(None);

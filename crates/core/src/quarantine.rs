@@ -15,6 +15,7 @@
 //! panics so quarantined units don't spray stderr.
 
 use crate::config::{Config, Stage};
+use crate::pipeline::UnitError;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
@@ -68,7 +69,8 @@ pub(crate) fn maybe_inject(config: &Config, stage: Stage, proc_index: usize) {
 /// Runs one procedure's unit of work for `stage` under quarantine.
 ///
 /// With `config.quarantine` on (the default) a panic inside `f` is caught
-/// and returned as `Err(message)` — the caller then degrades *only* this
+/// and returned as a typed [`UnitError`] naming the stage, the unit
+/// index, and the panic message — the caller then degrades *only* this
 /// procedure. With quarantine off, panics propagate (useful for
 /// debugging with a backtrace). The injected-panic test hook fires inside
 /// the protected region either way, so turning quarantine off converts an
@@ -78,7 +80,7 @@ pub fn run_unit<T>(
     stage: Stage,
     proc_index: usize,
     f: impl FnOnce() -> T,
-) -> Result<T, String> {
+) -> Result<T, UnitError> {
     if !config.quarantine {
         maybe_inject(config, stage, proc_index);
         return Ok(f());
@@ -87,6 +89,7 @@ pub fn run_unit<T>(
         maybe_inject(config, stage, proc_index);
         f()
     })
+    .map_err(|msg| UnitError::new(stage, proc_index, msg))
 }
 
 /// Runs `f` under `catch_unwind` with the backtrace-suppressing hook —
@@ -111,10 +114,10 @@ mod tests {
     }
 
     #[test]
-    fn panics_are_contained_with_their_message() {
+    fn panics_are_contained_with_a_typed_error() {
         let config = Config::default();
         let r = run_unit(&config, Stage::Jump, 0, || -> i64 { panic!("boom") });
-        assert_eq!(r, Err("boom".to_string()));
+        assert_eq!(r, Err(UnitError::new(Stage::Jump, 0, "boom")));
         // The thread is still healthy: later units run normally.
         assert_eq!(run_unit(&config, Stage::Jump, 1, || 7), Ok(7));
     }
@@ -125,10 +128,13 @@ mod tests {
         assert!(run_unit(&config, Stage::RetJump, 1, || ()).is_ok());
         assert!(run_unit(&config, Stage::Jump, 2, || ()).is_ok());
         let r = run_unit(&config, Stage::RetJump, 2, || ());
-        let msg = r.expect_err("injection must fire");
-        assert!(msg.contains("injected panic"), "{msg}");
-        assert!(msg.contains("retjump"), "{msg}");
-        assert!(msg.contains("#2"), "{msg}");
+        let e = r.expect_err("injection must fire");
+        assert_eq!(e.stage, Stage::RetJump);
+        assert_eq!(e.unit, 2);
+        assert!(e.message.contains("injected panic"), "{e}");
+        let shown = e.to_string();
+        assert!(shown.contains("retjump"), "{shown}");
+        assert!(shown.contains("#2"), "{shown}");
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! quantities from a finished [`Analysis`].
 
 use crate::jump::JumpFn;
+use crate::par::{PhaseTime, Timings};
 use crate::pipeline::Analysis;
 use ipcp_ir::cfg::ModuleCfg;
 use std::fmt;
+use std::time::Duration;
 
 /// Aggregated statistics for one analysis run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -118,6 +120,110 @@ impl CostReport {
         } else {
             self.total_support as f64 / self.jf_total() as f64
         }
+    }
+}
+
+/// One stage's line in a [`PhaseReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Stage label (`modref`, `retjump`, `jump`, `solve`).
+    pub stage: &'static str,
+    /// Wall-clock time of the stage, summed across gating rounds.
+    pub wall: Duration,
+    /// Units the stage processed (procedures, or SCCs for the solver).
+    pub units: usize,
+    /// Parallel-fold units whose optimistic governor shard merged cleanly.
+    pub absorbed: usize,
+    /// Parallel-fold units discarded and replayed against the master.
+    pub replayed: usize,
+}
+
+/// The per-stage timing and absorb/replay census of one analysis run —
+/// the typed table both `ipcc tables` and the bench `report_all` binary
+/// render, so the two never drift apart column by column.
+///
+/// Collect with [`PhaseReport::collect`], render a header once with
+/// [`PhaseReport::header`] and one line per run with
+/// [`PhaseReport::render_row`]. All quantities are observational: they
+/// come from [`Timings`] and never feed back into results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Worker threads the run was configured with.
+    pub jobs: usize,
+    /// One row per pipeline stage, in pipeline order.
+    pub rows: Vec<PhaseRow>,
+    /// Whole-run wall clock.
+    pub total: Duration,
+    /// Busy-time utilization across `jobs` workers in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl PhaseReport {
+    /// Gathers the report from a finished run's timings.
+    pub fn collect(t: &Timings) -> PhaseReport {
+        let row = |stage: &'static str, pt: &PhaseTime| PhaseRow {
+            stage,
+            wall: pt.wall,
+            units: pt.units,
+            absorbed: pt.absorbed,
+            replayed: pt.replayed,
+        };
+        PhaseReport {
+            jobs: t.jobs,
+            rows: vec![
+                row("modref", &t.modref),
+                row("retjump", &t.retjump),
+                row("jump", &t.jump),
+                row("solve", &t.solve),
+            ],
+            total: t.total,
+            utilization: t.utilization(),
+        }
+    }
+
+    /// Total units absorbed by the parallel folds (0 when sequential).
+    pub fn absorbed(&self) -> usize {
+        self.rows.iter().map(|r| r.absorbed).sum()
+    }
+
+    /// Total units replayed by the parallel folds.
+    pub fn replayed(&self) -> usize {
+        self.rows.iter().map(|r| r.replayed).sum()
+    }
+
+    /// The column header matching [`PhaseReport::render_row`].
+    pub fn header() -> String {
+        format!(
+            "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6}",
+            "program",
+            "jobs",
+            "modref_us",
+            "retjf_us",
+            "jump_us",
+            "solve_us",
+            "total_us",
+            "absorb",
+            "replay",
+            "util"
+        )
+    }
+
+    /// One table line for this run, labelled `program`.
+    pub fn render_row(&self, program: &str) -> String {
+        let us = |i: usize| self.rows[i].wall.as_micros();
+        format!(
+            "{:<10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>5.0}%",
+            program,
+            self.jobs,
+            us(0),
+            us(1),
+            us(2),
+            us(3),
+            self.total.as_micros(),
+            self.absorbed(),
+            self.replayed(),
+            100.0 * self.utilization,
+        )
     }
 }
 
@@ -236,6 +342,39 @@ mod tests {
         assert_eq!(hurt.quarantined, 1, "{hurt:?}");
         assert!(hurt.degradations > 0);
         assert!(hurt.to_string().contains("quarantined procedures   1"));
+    }
+
+    #[test]
+    fn phase_report_rows_follow_pipeline_order() {
+        let mcfg = lower_module(&parse_and_resolve(SRC).unwrap());
+        // Pin jobs=1: Config::default() auto-resolves through IPCP_JOBS,
+        // which the parallel test lane sets.
+        let seq = Analysis::run(&mcfg, &Config::default().with_jobs(1));
+        let pr = PhaseReport::collect(&seq.timings);
+        let stages: Vec<&str> = pr.rows.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, ["modref", "retjump", "jump", "solve"]);
+        assert_eq!(pr.jobs, 1);
+        // Sequential runs never touch the optimistic fold.
+        assert_eq!(pr.absorbed(), 0);
+        assert_eq!(pr.replayed(), 0);
+        let line = pr.render_row("probe");
+        assert!(line.starts_with("probe"), "{line}");
+        // Header and rows agree column-for-column (same widths, so the
+        // rendered line is never wider than the header's last column).
+        assert!(PhaseReport::header().contains("absorb"));
+        assert!(PhaseReport::header().contains("replay"));
+    }
+
+    #[test]
+    fn phase_report_counts_parallel_folds() {
+        let mcfg = lower_module(&parse_and_resolve(SRC).unwrap());
+        let par = Analysis::run(&mcfg, &Config::default().with_jobs(2));
+        let pr = PhaseReport::collect(&par.timings);
+        // Every optimistically-run unit is accounted exactly once.
+        assert!(pr.absorbed() + pr.replayed() > 0, "{pr:?}");
+        // A healthy run absorbs everything: replay only fires on budget
+        // or fault boundaries.
+        assert_eq!(pr.replayed(), 0, "{pr:?}");
     }
 
     #[test]

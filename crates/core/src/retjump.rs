@@ -19,6 +19,8 @@
 use crate::config::{Config, Stage};
 use crate::health::Governor;
 use crate::jump::JumpFn;
+use crate::par::Pool;
+use crate::pipeline::{PhaseFold, PhaseUnit};
 use crate::quarantine::run_unit;
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
@@ -259,7 +261,7 @@ pub fn build_return_jfs(
 /// Results, telemetry, and quarantine flags are bit-identical to the
 /// sequential driver.
 #[allow(clippy::too_many_arguments)]
-pub fn build_return_jfs_par(
+pub(crate) fn build_return_jfs_par(
     mcfg: &ModuleCfg,
     cg: &CallGraph,
     layout: &SlotLayout,
@@ -267,7 +269,7 @@ pub fn build_return_jfs_par(
     config: &Config,
     quarantined: &mut [bool],
     gov: &mut Governor,
-    jobs: usize,
+    pool: &Pool<'_>,
 ) -> (ReturnJumpFns, crate::par::PhaseTime) {
     let n_procs = mcfg.module.procs.len();
     let n_sccs = cg.sccs.len();
@@ -276,8 +278,8 @@ pub fn build_return_jfs_par(
     let compose = config.compose_return_jfs;
 
     // One SCC unit's optimistic result: per-member `(ret_jfs,
-    // newly_quarantined)` pairs plus the governor shard they charged.
-    type SccUnit = (Vec<(Vec<JumpFn>, bool)>, Governor);
+    // newly_quarantined)` pairs, with the governor shard it charged.
+    type SccOut = Vec<(Vec<JumpFn>, bool)>;
 
     // Optimistic phase: run each level's SCC units in parallel, committing
     // their tables before the next level starts.
@@ -285,10 +287,10 @@ pub fn build_return_jfs_par(
         fns: vec![None; n_procs],
         compose,
     };
-    let mut units: Vec<Option<SccUnit>> = (0..n_sccs).map(|_| None).collect();
+    let mut units: Vec<Option<PhaseUnit<SccOut>>> = (0..n_sccs).map(|_| None).collect();
     let mut time = crate::par::PhaseTime::default();
     for level in scc_levels(cg) {
-        let (level_units, pt) = crate::par::run(jobs, level.len(), |k| {
+        let (level_units, pt) = pool.run(level.len(), |k| {
             let si = level[k];
             let members = &cg.sccs[si];
             let mut shard = proto.shard();
@@ -313,13 +315,15 @@ pub fn build_return_jfs_par(
                 }
                 outs.push((fns, newly));
             }
-            (outs, shard)
+            PhaseUnit::new(si, Ok(outs), shard)
         });
         time.absorb(pt);
         for (k, unit) in level_units.into_iter().enumerate() {
             let si = level[k];
-            for (m, &p) in cg.sccs[si].iter().enumerate() {
-                opt_table.fns[p.index()] = Some(unit.0[m].0.clone());
+            if let Ok(outs) = &unit.outcome {
+                for (m, &p) in cg.sccs[si].iter().enumerate() {
+                    opt_table.fns[p.index()] = Some(outs[m].0.clone());
+                }
             }
             units[si] = Some(unit);
         }
@@ -330,9 +334,10 @@ pub fn build_return_jfs_par(
         fns: vec![None; n_procs],
         compose,
     };
+    let mut fold = PhaseFold::default();
     let mut changed = vec![false; n_sccs];
     for si in 0..n_sccs {
-        let Some((outs, shard)) = units[si].take() else {
+        let Some(pu) = units[si].take() else {
             continue; // unreachable SCC: never built, exactly as sequential
         };
         let members = &cg.sccs[si];
@@ -342,35 +347,43 @@ pub fn build_return_jfs_par(
                 cs != si && changed[cs]
             })
         });
-        if !dep_changed && gov.can_absorb(&shard) {
-            gov.absorb_shard(shard);
-            for ((fns, newly), &p) in outs.into_iter().zip(members) {
-                quarantined[p.index()] = snapshot[p.index()] || newly;
-                table.fns[p.index()] = Some(fns);
-            }
-            // Committed == optimistic, so `changed[si]` stays false.
-        } else {
-            let mut any_diff = false;
-            for &p in members {
-                let (fns, newly) = run_scc_member(
-                    mcfg,
-                    &table,
-                    layout,
-                    kills,
-                    config,
-                    p,
-                    snapshot[p.index()],
-                    gov,
-                );
-                if opt_table.fns[p.index()].as_ref() != Some(&fns) {
-                    any_diff = true;
+        match fold.try_absorb(gov, pu, !dep_changed) {
+            Some(Ok(outs)) => {
+                for ((fns, newly), &p) in outs.into_iter().zip(members) {
+                    quarantined[p.index()] = snapshot[p.index()] || newly;
+                    table.fns[p.index()] = Some(fns);
                 }
-                quarantined[p.index()] = snapshot[p.index()] || newly;
-                table.fns[p.index()] = Some(fns);
+                // Committed == optimistic, so `changed[si]` stays false.
             }
-            changed[si] = any_diff;
+            Some(Err(e)) => {
+                // Units catch their own panics inside `run_scc_member`
+                // and report degradation through the result pair.
+                unreachable!("return-JF units never fail the outcome: {e}")
+            }
+            None => {
+                let mut any_diff = false;
+                for &p in members {
+                    let (fns, newly) = run_scc_member(
+                        mcfg,
+                        &table,
+                        layout,
+                        kills,
+                        config,
+                        p,
+                        snapshot[p.index()],
+                        gov,
+                    );
+                    if opt_table.fns[p.index()].as_ref() != Some(&fns) {
+                        any_diff = true;
+                    }
+                    quarantined[p.index()] = snapshot[p.index()] || newly;
+                    table.fns[p.index()] = Some(fns);
+                }
+                changed[si] = any_diff;
+            }
         }
     }
+    fold.stamp(&mut time);
     (table, time)
 }
 
@@ -433,12 +446,12 @@ pub(crate) fn run_scc_member(
     });
     match unit {
         Ok(fns) => (fns, false),
-        Err(msg) => {
+        Err(e) => {
             gov.record_quarantine(
                 Stage::RetJump,
                 format!(
-                    "{}: panic contained ({msg}); return jump functions forced to ⊥",
-                    proc.name
+                    "{}: panic contained ({}); return jump functions forced to ⊥",
+                    proc.name, e.message
                 ),
             );
             (vec![JumpFn::Bottom; n_slots], true)

@@ -40,7 +40,8 @@
 use crate::config::{Config, Stage};
 use crate::health::Governor;
 use crate::jump::ForwardJumpFns;
-use crate::par::PhaseTime;
+use crate::par::{PhaseTime, Pool, Scratch};
+use crate::pipeline::{PhaseFold, PhaseUnit, UnitError};
 use ipcp_analysis::CallGraph;
 use ipcp_ir::cfg::ModuleCfg;
 use ipcp_ir::program::{ProcId, SlotLayout};
@@ -202,6 +203,7 @@ fn eval_unit(
     vals: &[Vec<Lattice>],
     dirty: &[bool],
     gov: &mut Governor,
+    scratch: &mut Scratch,
 ) -> UnitEval {
     let mut out = UnitEval {
         member_vals: members.iter().map(|&p| vals[p.index()].clone()).collect(),
@@ -213,8 +215,14 @@ fn eval_unit(
         tripped: false,
         deadline: false,
     };
-    let mut queued = vec![false; members.len()];
-    let mut work: VecDeque<usize> = VecDeque::new();
+    // The per-unit `queued` flags and FIFO worklist live in the
+    // participant's reusable scratch — one allocation per worker per
+    // round instead of two per SCC unit.
+    scratch.reset(members.len());
+    let Scratch {
+        flags: queued,
+        queue: work,
+    } = scratch;
     for (li, &p) in members.iter().enumerate() {
         if dirty[p.index()] {
             queued[li] = true;
@@ -300,14 +308,18 @@ fn eval_unit_guarded(
     vals: &[Vec<Lattice>],
     dirty: &[bool],
     gov: &mut Governor,
-) -> Result<UnitEval, String> {
+    scratch: &mut Scratch,
+) -> Result<UnitEval, UnitError> {
     if config.quarantine {
         crate::quarantine::quiet_catch(|| {
-            eval_unit(cg, jump_fns, config, members, scc, vals, dirty, gov)
+            eval_unit(
+                cg, jump_fns, config, members, scc, vals, dirty, gov, scratch,
+            )
         })
+        .map_err(|msg| UnitError::new(Stage::Solver, scc, msg))
     } else {
         Ok(eval_unit(
-            cg, jump_fns, config, members, scc, vals, dirty, gov,
+            cg, jump_fns, config, members, scc, vals, dirty, gov, scratch,
         ))
     }
 }
@@ -344,6 +356,7 @@ fn eval_unit_inplace(
     vals: &mut [Vec<Lattice>],
     dirty: &mut [bool],
     gov: &mut Governor,
+    scratch: &mut Scratch,
 ) -> UnitOutcome {
     let mut out = UnitOutcome {
         meets: 0,
@@ -351,8 +364,11 @@ fn eval_unit_inplace(
         tripped: false,
         deadline: false,
     };
-    let mut queued = vec![false; members.len()];
-    let mut work: VecDeque<usize> = VecDeque::new();
+    scratch.reset(members.len());
+    let Scratch {
+        flags: queued,
+        queue: work,
+    } = scratch;
     for (li, &p) in members.iter().enumerate() {
         if dirty[p.index()] {
             queued[li] = true;
@@ -440,14 +456,18 @@ fn eval_unit_inplace_guarded(
     vals: &mut [Vec<Lattice>],
     dirty: &mut [bool],
     gov: &mut Governor,
-) -> Result<UnitOutcome, String> {
+    scratch: &mut Scratch,
+) -> Result<UnitOutcome, UnitError> {
     if config.quarantine {
         crate::quarantine::quiet_catch(|| {
-            eval_unit_inplace(cg, jump_fns, config, members, scc, vals, dirty, gov)
+            eval_unit_inplace(
+                cg, jump_fns, config, members, scc, vals, dirty, gov, scratch,
+            )
         })
+        .map_err(|msg| UnitError::new(Stage::Solver, scc, msg))
     } else {
         Ok(eval_unit_inplace(
-            cg, jump_fns, config, members, scc, vals, dirty, gov,
+            cg, jump_fns, config, members, scc, vals, dirty, gov, scratch,
         ))
     }
 }
@@ -493,6 +513,39 @@ pub fn solve(
     quarantined: &mut [bool],
     jobs: usize,
 ) -> (ValSets, PhaseTime) {
+    // Standalone entry point: spin up a pool for the whole solve (one
+    // spawn per solve, not one per wavefront level). The pipeline calls
+    // `solve_on` directly with its own pool instead.
+    crate::par::with_pool(jobs, |pool| {
+        solve_on(
+            mcfg,
+            cg,
+            layout,
+            jump_fns,
+            entry_globals,
+            config,
+            gov,
+            quarantined,
+            pool,
+        )
+    })
+}
+
+/// [`solve`] against an existing worker [`Pool`] — the pipeline threads
+/// one pool through every phase so workers are spawned once per analysis
+/// run and parked between rounds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_on(
+    mcfg: &ModuleCfg,
+    cg: &CallGraph,
+    layout: &SlotLayout,
+    jump_fns: &ForwardJumpFns,
+    entry_globals: Lattice,
+    config: &Config,
+    gov: &mut Governor,
+    quarantined: &mut [bool],
+    pool: &Pool<'_>,
+) -> (ValSets, PhaseTime) {
     let t0 = Instant::now();
     let n_procs = mcfg.module.procs.len();
     let mut vals: Vec<Vec<Lattice>> = (0..n_procs)
@@ -525,11 +578,14 @@ pub fn solve(
     let levels = topdown_levels(cg);
     let n_units: usize = levels.iter().map(Vec::len).sum();
     let mut par_time = PhaseTime::default();
+    let mut fold = PhaseFold::default();
+    // The canonical fold's replay scratch, reused across every level.
+    let mut fold_scratch = Scratch::default();
 
-    // Spawning the level's workers costs tens of microseconds; a level
-    // with only a couple of activated units is cheaper to evaluate inline
-    // on the canonical path. Pure scheduling — the fold below produces
-    // identical results either way.
+    // Dispatching a round to the (parked) pool still costs a few
+    // park/unpark round-trips; a level with only a couple of activated
+    // units is cheaper to evaluate inline on the canonical path. Pure
+    // scheduling — the fold below produces identical results either way.
     const MIN_PAR_UNITS: usize = 16;
 
     'levels: for level in &levels {
@@ -538,23 +594,23 @@ pub fn solve(
         // their own members' (disjoint) slices of `vals`/`dirty`, so the
         // inputs each unit sees are exactly what the canonical fold below
         // would hand it.
-        let mut optimistic: Vec<Option<(Result<UnitEval, String>, Governor)>> = Vec::new();
+        let mut optimistic: Vec<Option<PhaseUnit<UnitEval>>> = Vec::new();
         let n_active = level
             .iter()
             .filter(|&&si| cg.sccs[si].iter().any(|&m| dirty[m.index()]))
             .count();
-        if jobs > 1 && n_active >= MIN_PAR_UNITS {
+        if pool.parallel() && n_active >= MIN_PAR_UNITS {
             let proto = gov.shard();
-            let (outs, pt) = crate::par::run(jobs, level.len(), |k| {
+            let (outs, pt) = pool.run_with_scratch(level.len(), Scratch::default, |scratch, k| {
                 let members: &[ProcId] = &cg.sccs[level[k]];
                 if !members.iter().any(|&m| dirty[m.index()]) {
                     return None; // never activated — nothing to evaluate
                 }
                 let mut shard = proto.shard();
                 let res = eval_unit_guarded(
-                    cg, jump_fns, config, members, level[k], &vals, &dirty, &mut shard,
+                    cg, jump_fns, config, members, level[k], &vals, &dirty, &mut shard, scratch,
                 );
-                Some((res, shard))
+                Some(PhaseUnit::new(k, res, shard))
             });
             par_time.absorb(pt);
             optimistic = outs;
@@ -571,49 +627,62 @@ pub fn solve(
             if !members.iter().any(|&m| dirty[m.index()]) {
                 continue;
             }
-            let unit: Result<UnitOutcome, String> =
+            let unit: Result<UnitOutcome, UnitError> =
                 match optimistic.get_mut(k).and_then(Option::take) {
-                    Some((res, shard)) => {
-                        let clean = matches!(&res, Ok(u) if !u.tripped && !u.deadline);
-                        if (clean || res.is_err()) && gov.can_absorb(&shard) {
-                            gov.absorb_shard(shard);
-                            match res {
-                                Ok(u) => {
-                                    // Commit the buffered unit: member rows
-                                    // move in, external contributions are
-                                    // met in recorded order. (Absorbed Ok
-                                    // units are always clean — tripped or
-                                    // deadlined ones replay below.)
-                                    let outcome = UnitOutcome {
-                                        meets: u.meets,
-                                        iterations: u.iterations,
-                                        tripped: u.tripped,
-                                        deadline: u.deadline,
-                                    };
-                                    for (vm, &m) in u.member_vals.into_iter().zip(members) {
-                                        vals[m.index()] = vm;
-                                    }
-                                    for (callee, slot, incoming) in u.contribs {
-                                        if vals[callee][slot].meet_in(incoming) {
-                                            dirty[callee] = true;
-                                        }
-                                    }
-                                    Ok(outcome)
+                    Some(pu) => {
+                        let clean = matches!(&pu.outcome, Ok(u) if !u.tripped && !u.deadline);
+                        let absorbable = clean || pu.outcome.is_err();
+                        match fold.try_absorb(gov, pu, absorbable) {
+                            Some(Ok(u)) => {
+                                // Commit the buffered unit: member rows
+                                // move in, external contributions are
+                                // met in recorded order. (Absorbed Ok
+                                // units are always clean — tripped or
+                                // deadlined ones replay below.)
+                                let outcome = UnitOutcome {
+                                    meets: u.meets,
+                                    iterations: u.iterations,
+                                    tripped: u.tripped,
+                                    deadline: u.deadline,
+                                };
+                                for (vm, &m) in u.member_vals.into_iter().zip(members) {
+                                    vals[m.index()] = vm;
                                 }
-                                Err(e) => Err(e),
+                                for (callee, slot, incoming) in u.contribs {
+                                    if vals[callee][slot].meet_in(incoming) {
+                                        dirty[callee] = true;
+                                    }
+                                }
+                                Ok(outcome)
                             }
-                        } else {
-                            eval_unit_inplace_guarded(
-                                cg, jump_fns, config, members, si, &mut vals, &mut dirty, gov,
-                            )
+                            Some(Err(e)) => Err(e),
+                            None => eval_unit_inplace_guarded(
+                                cg,
+                                jump_fns,
+                                config,
+                                members,
+                                si,
+                                &mut vals,
+                                &mut dirty,
+                                gov,
+                                &mut fold_scratch,
+                            ),
                         }
                     }
                     None => eval_unit_inplace_guarded(
-                        cg, jump_fns, config, members, si, &mut vals, &mut dirty, gov,
+                        cg,
+                        jump_fns,
+                        config,
+                        members,
+                        si,
+                        &mut vals,
+                        &mut dirty,
+                        gov,
+                        &mut fold_scratch,
                     ),
                 };
             match unit {
-                Err(msg) => {
+                Err(e) => {
                     // Quarantine the whole SCC: a panic mid-fixpoint means
                     // the members' values (and any contribution they would
                     // have made) cannot be trusted to be post-fixpoint, so
@@ -631,8 +700,9 @@ pub fn solve(
                     gov.record_quarantine(
                         Stage::Solver,
                         format!(
-                            "{names}: panic contained ({msg}); entry slots and \
-                             outgoing call contributions forced to ⊥"
+                            "{names}: panic contained ({}); entry slots and \
+                             outgoing call contributions forced to ⊥",
+                            e.message
                         ),
                     );
                     for &m in members {
@@ -685,7 +755,7 @@ pub fn solve(
         }
     }
 
-    let time = if jobs <= 1 {
+    let time = if !pool.parallel() {
         PhaseTime::sequential(t0.elapsed(), n_units)
     } else {
         PhaseTime {
@@ -693,6 +763,8 @@ pub fn solve(
             busy: par_time.busy,
             workers: par_time.workers.max(1),
             units: n_units,
+            absorbed: fold.absorbed,
+            replayed: fold.replayed,
         }
     };
     (

@@ -49,12 +49,14 @@ pub mod error;
 pub mod hash;
 pub mod interp;
 pub mod lang;
+pub mod names;
 pub mod program;
 pub mod span;
 
 pub use cfg::{lower_module, ModuleCfg};
 pub use error::{Diagnostic, Diagnostics};
 pub use lang::{parse_program, pretty};
+pub use names::{NameId, Names};
 pub use program::{resolve, GlobalId, Module, Proc, ProcId, VarId};
 pub use span::Span;
 

@@ -1,0 +1,125 @@
+//! A dense string interner for identifier paths in hot analysis code.
+//!
+//! The analysis crates index almost everything by dense ids (`ProcId`,
+//! `VarId`, slot index), but a few hot paths still carry `String`s:
+//! per-edge caller names, per-query slot names, report rows. [`Names`]
+//! gives those paths a `u32` handle ([`NameId`]) that is `Copy`, cheap to
+//! compare, and resolves back to `&str` without allocating.
+//!
+//! Interning the same string twice returns the same id, so equality on
+//! [`NameId`] is equality on the underlying string *within one interner*.
+//! Ids from different interners are not comparable; keep one interner per
+//! module-scoped table (e.g. [`crate::program::SlotLayout`]).
+
+use std::collections::HashMap;
+
+/// A dense handle to an interned string. `Copy`, 4 bytes, ordered by
+/// interning order (not lexicographically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The id as a dense `usize` index (0-based interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner: `&str` in, dense [`NameId`] out, `&str` back on
+/// [`Names::resolve`] with no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Names {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, NameId>,
+}
+
+impl Names {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its dense id. Idempotent: the same string
+    /// always maps to the same id.
+    pub fn intern(&mut self, s: &str) -> NameId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = NameId(self.strings.len() as u32);
+        self.strings.push(s.into());
+        self.index.insert(s.into(), id);
+        id
+    }
+
+    /// Looks up `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<NameId> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+impl PartialEq for Names {
+    /// Two interners are equal when they intern the same strings in the
+    /// same order (ids then agree across both).
+    fn eq(&self, other: &Self) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for Names {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut names = Names::new();
+        let a = names.intern("alpha");
+        let b = names.intern("beta");
+        let a2 = names.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(names.len(), 2);
+        assert_eq!(names.resolve(a), "alpha");
+        assert_eq!(names.resolve(b), "beta");
+        assert_eq!(names.get("beta"), Some(b));
+        assert_eq!(names.get("gamma"), None);
+    }
+
+    #[test]
+    fn equality_is_content_and_order() {
+        let mut x = Names::new();
+        let mut y = Names::new();
+        x.intern("a");
+        x.intern("b");
+        y.intern("a");
+        assert_ne!(x, y);
+        y.intern("b");
+        assert_eq!(x, y);
+        let mut z = Names::new();
+        z.intern("b");
+        z.intern("a");
+        assert_ne!(x, z);
+    }
+}

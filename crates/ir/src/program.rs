@@ -992,13 +992,38 @@ impl<'a> Resolver<'a> {
 pub struct SlotLayout {
     /// Scalar globals in slot order.
     pub scalar_globals: Vec<GlobalId>,
+    /// Interner backing the precomputed slot-name table.
+    names: crate::names::Names,
+    /// `slot_ids[p][slot]` is the interned name of slot `slot` of
+    /// procedure `p`. Built once in [`SlotLayout::new`] so the explain /
+    /// display hot paths never allocate per query.
+    slot_ids: Vec<Vec<crate::names::NameId>>,
 }
 
 impl SlotLayout {
-    /// Builds the layout for `module`.
+    /// Builds the layout for `module`, including the per-procedure
+    /// slot-name table.
     pub fn new(module: &Module) -> Self {
+        let scalar_globals = module.scalar_global_ids();
+        let mut names = crate::names::Names::new();
+        let slot_ids = module
+            .procs
+            .iter()
+            .map(|proc| {
+                let mut ids = Vec::with_capacity(proc.arity() + scalar_globals.len());
+                for &fv in &proc.formals {
+                    ids.push(names.intern(&proc.var(fv).name));
+                }
+                for g in &scalar_globals {
+                    ids.push(names.intern(&module.globals[g.index()].name));
+                }
+                ids
+            })
+            .collect();
         SlotLayout {
-            scalar_globals: module.scalar_global_ids(),
+            scalar_globals,
+            names,
+            slot_ids,
         }
     }
 
@@ -1021,15 +1046,24 @@ impl SlotLayout {
     }
 
     /// Human-readable name of slot `i` of procedure `p`.
-    pub fn slot_name(&self, module: &Module, p: ProcId, slot: usize) -> String {
-        let proc = module.proc(p);
-        if slot < proc.arity() {
-            proc.var(proc.formals[slot]).name.clone()
-        } else {
-            module.globals[self.scalar_globals[slot - proc.arity()].index()]
-                .name
-                .clone()
-        }
+    ///
+    /// Served from the table precomputed in [`SlotLayout::new`] — no
+    /// allocation per query. The `module` argument is kept so call sites
+    /// read naturally and the signature can fall back to recomputation if
+    /// the table ever becomes optional; it is not consulted today.
+    pub fn slot_name(&self, _module: &Module, p: ProcId, slot: usize) -> &str {
+        self.names.resolve(self.slot_ids[p.index()][slot])
+    }
+
+    /// Interned id of slot `slot` of procedure `p` (resolve via
+    /// [`SlotLayout::names`]).
+    pub fn slot_name_id(&self, p: ProcId, slot: usize) -> crate::names::NameId {
+        self.slot_ids[p.index()][slot]
+    }
+
+    /// The interner backing [`SlotLayout::slot_name`].
+    pub fn names(&self) -> &crate::names::Names {
+        &self.names
     }
 }
 

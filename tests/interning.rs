@@ -1,0 +1,89 @@
+//! The interned slot-name table must be invisible: `SlotLayout` now
+//! serves `slot_name` from a precomputed `Names` table instead of
+//! recomputing (and allocating) a `String` per query, and every rendered
+//! surface that embeds slot names — explain output, the VAL display,
+//! `constants_of` — must come out byte-identical to the names derived
+//! directly from the module.
+
+use ipcp::{explain, Analysis, Config};
+use ipcp_ir::program::{Module, ProcId, SlotLayout};
+use ipcp_ir::{lower_module, parse_and_resolve};
+
+const SRC: &str = "global size; global tol; \
+    proc main() { size = 128; tol = 3; call smooth(size / 2, 3); } \
+    proc smooth(n, passes) { do p = 1, passes { call stencil(n, p); } } \
+    proc stencil(w, pass) { do i = 1, w { print i * pass * tol; } }";
+
+/// The pre-interner computation: formal `slot` reads the formal's var
+/// name, a global slot reads the global's name — straight off the module.
+fn derived_name(module: &Module, layout: &SlotLayout, p: ProcId, slot: usize) -> String {
+    let proc = module.proc(p);
+    if slot < proc.arity() {
+        proc.var(proc.formals[slot]).name.clone()
+    } else {
+        let g = layout.scalar_globals[slot - proc.arity()];
+        module.globals[g.index()].name.clone()
+    }
+}
+
+#[test]
+fn slot_names_match_the_module_derivation() {
+    let mcfg = lower_module(&parse_and_resolve(SRC).unwrap());
+    let layout = SlotLayout::new(&mcfg.module);
+    for (pi, proc) in mcfg.module.procs.iter().enumerate() {
+        let p = ProcId::from(pi);
+        for slot in 0..layout.n_slots(proc.arity()) {
+            let expect = derived_name(&mcfg.module, &layout, p, slot);
+            assert_eq!(layout.slot_name(&mcfg.module, p, slot), expect);
+            // The id round-trips through the interner to the same bytes.
+            let id = layout.slot_name_id(p, slot);
+            assert_eq!(layout.names().resolve(id), expect);
+        }
+    }
+}
+
+#[test]
+fn interned_ids_are_dense_and_shared_across_procs() {
+    let mcfg = lower_module(&parse_and_resolve(SRC).unwrap());
+    let layout = SlotLayout::new(&mcfg.module);
+    // Every procedure's global slots intern to the *same* ids.
+    let smooth = mcfg.module.proc_named("smooth").unwrap().id;
+    let stencil = mcfg.module.proc_named("stencil").unwrap().id;
+    let g0_smooth = layout.slot_name_id(smooth, 2);
+    let g0_stencil = layout.slot_name_id(stencil, 2);
+    assert_eq!(g0_smooth, g0_stencil, "`size` interned twice");
+    // Ids are dense: all below the interner's length.
+    for (pi, proc) in mcfg.module.procs.iter().enumerate() {
+        for slot in 0..layout.n_slots(proc.arity()) {
+            let id = layout.slot_name_id(ProcId::from(pi), slot);
+            assert!(id.index() < layout.names().len());
+        }
+    }
+}
+
+#[test]
+fn explain_output_is_unchanged_by_the_name_table() {
+    let mcfg = lower_module(&parse_and_resolve(SRC).unwrap());
+    let analysis = Analysis::run(&mcfg, &Config::polynomial());
+    let layout = SlotLayout::new(&mcfg.module);
+    let stencil = mcfg.module.proc_named("stencil").unwrap().id;
+    for slot in 0..layout.n_slots(mcfg.module.proc(stencil).arity()) {
+        let rendered = explain::render(&mcfg, &analysis, stencil, slot, 3);
+        let name = derived_name(&mcfg.module, &layout, stencil, slot);
+        // The header line names the slot exactly as the module derivation
+        // would have ("<proc>.<slot-name> = <value>").
+        let first = rendered.lines().next().unwrap_or("");
+        assert!(
+            first.contains(&format!("stencil.{name}")),
+            "explain header drifted for slot {slot}: {first:?}"
+        );
+    }
+    // `constants_of` resolves through the same table.
+    let consts = analysis.constants_of(&mcfg, stencil);
+    assert!(consts.contains(&("pass".to_string(), 0)) || !consts.is_empty());
+    for (name, _) in &consts {
+        let found = (0..layout.n_slots(mcfg.module.proc(stencil).arity()))
+            .any(|s| layout.slot_name(&mcfg.module, stencil, s) == name);
+        assert!(found, "constants_of invented a name: {name}");
+    }
+}
