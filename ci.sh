@@ -285,10 +285,15 @@ stage_fuzz() {
     local budget_ms=${IPCP_FUZZ_BUDGET_MS:-45000}
     local cases=${IPCP_FUZZ_CASES:-100000}
     local corpus=${IPCP_FUZZ_CORPUS:-target/fuzz-corpus}
-    echo "    seed: $seed  budget: ${budget_ms}ms  corpus: $corpus"
+    # One modest whole-program generation rides along as a fixed corpus
+    # source: real call-graph structure (SCCs, fan-out, depth) that the
+    # small random cases never reach. IPCP_FUZZ_GEN overrides the spec.
+    local gen=${IPCP_FUZZ_GEN:-scale:procs=200,shape=mixed,recursion=10,seed=11}
+    echo "    seed: $seed  budget: ${budget_ms}ms  corpus: $corpus  gen: $gen"
     ./target/release/ipcc fuzz --jump-fn poly \
         --seed "$seed" --cases "$cases" \
-        --time-budget-ms "$budget_ms" --corpus "$corpus"
+        --time-budget-ms "$budget_ms" --corpus "$corpus" \
+        --gen "$gen"
 }
 
 stage_bench_par() {
@@ -332,6 +337,78 @@ stage_bench_identity() {
     # Back-compat alias: the identity checks now live in the bench-par
     # trend gate.
     stage_bench_par
+}
+
+stage_scale_smoke() {
+    # The whole-program scale gate, PR-sized: the 1k and 10k tiers
+    # (IPCP_SCALE_TIERS overrides; the nightly lane passes 100k)
+    # through the streaming front end at jobs={1,4}, each (tier, jobs)
+    # cell in its own child process so peak RSS is per-cell truth. The
+    # wall/RSS ceilings are deliberately generous — shared runners have
+    # noisy clocks — but a complexity regression blows through them
+    # with room to spare: the class of bug this tier exists to catch
+    # once turned the 10k analysis from 7 s into 88 s. docs/SCALE.md
+    # explains how to read the output.
+    [ -x target/release/bench_scale ] || cargo build --release -q -p ipcp-bench
+    IPCP_SCALE_TIERS=${IPCP_SCALE_TIERS:-1k,10k} \
+    IPCP_SCALE_MAX_WALL_MS=${IPCP_SCALE_MAX_WALL_MS:-240000} \
+    IPCP_SCALE_MAX_RSS_MB=${IPCP_SCALE_MAX_RSS_MB:-2048} \
+        ./target/release/bench_scale
+    if grep -q '"identical": false' BENCH_scale.json; then
+        echo "scale gate: BENCH_scale.json reports a schedule divergence" >&2
+        return 1
+    fi
+    if ! grep -q '"identical": true' BENCH_scale.json; then
+        echo "scale gate: BENCH_scale.json carries no identity records" >&2
+        return 1
+    fi
+}
+
+stage_bench_trend() {
+    # The cross-run trend gate over every BENCH_*.json report
+    # (bench_par, bench_solver, bench_scale share one row convention —
+    # see crates/bench/src/trend.rs). The baseline is the previous
+    # run's reports under target/bench-baseline (ci.yml downloads the
+    # last successful run's artifacts there); no baseline is a note,
+    # never a failure. What FAILS is a fresh report carrying
+    # "identical": false or not parsing at all; metric regressions
+    # beyond IPCP_BENCH_TREND_PCT (default 15) are warn-lines, because
+    # wall clocks on shared runners are noise — the warn-lines make a
+    # persistent trend visible without flaking the gate.
+    [ -x target/release/bench_trend ] || cargo build --release -q -p ipcp-bench
+    local base=${IPCP_BENCH_BASELINE:-target/bench-baseline}
+    if [ -d "$base" ]; then
+        ./target/release/bench_trend --new . --old "$base"
+    else
+        echo "    no baseline at $base (first run?) — reporting only"
+        ./target/release/bench_trend --new .
+    fi
+
+    # Self-drill: prove the gate gates. A doctored report with an
+    # injected "identical": false must be fatal, and a synthetic
+    # blow-up against a doctored baseline must surface as a warning.
+    local drill=target/bench-trend-drill
+    rm -rf "$drill"
+    mkdir -p "$drill/new" "$drill/old"
+    cp BENCH_par.json "$drill/old/"
+    sed 's/"identical": true/"identical": false/' BENCH_par.json \
+        >"$drill/new/BENCH_par.json"
+    if ./target/release/bench_trend --new "$drill/new" --old "$drill/old" \
+        >/dev/null 2>&1; then
+        echo "bench-trend drill: injected identical:false was not fatal" >&2
+        return 1
+    fi
+    # Append three zeros to every _us metric: a guaranteed >15% regression.
+    sed -E 's/"([a-z_]+_us)": ([0-9]+)/"\1": \2000/g' BENCH_par.json \
+        >"$drill/new/BENCH_par.json"
+    ./target/release/bench_trend --new "$drill/new" --old "$drill/old" \
+        >"$drill/out"
+    grep -q '^WARN:' "$drill/out" || {
+        echo "bench-trend drill: synthetic regression raised no warning" >&2
+        cat "$drill/out" >&2
+        return 1
+    }
+    echo "    drill: injected divergence fails, synthetic regression warns"
 }
 
 stage_lockfree_lint() {
@@ -384,6 +461,8 @@ STAGES=(
     "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
     "serve-smoke|serve smoke test (panic drill, client burst, SIGTERM drain, crash-restart)"
     "bench-par|bench-par trend gate (identity at jobs={1,2,4}; speedups warn-lined)"
+    "scale-smoke|whole-program scale gate (1k/10k tiers, wall + RSS ceilings)"
+    "bench-trend|cross-run bench trend gate (BENCH_*.json vs previous run + self-drill)"
     "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"
     "clippy-strict|clippy (lib/bins: no unwrap, no expect, no warnings)"
     "clippy-all|clippy (all targets: no warnings)"
@@ -394,11 +473,27 @@ run_stage() {
     echo "==> $desc"
     local t0=$SECONDS
     "stage_${name//-/_}"
-    echo "    [$name: $((SECONDS - t0))s]"
+    local dt=$((SECONDS - t0))
+    echo "    [$name: ${dt}s]"
+    # On GitHub each job's summary gets a per-stage wall-time table row
+    # (one row per job in CI, all rows in a local-style full run).
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        if [ ! -s "$GITHUB_STEP_SUMMARY" ]; then
+            printf '| stage | wall |\n| --- | --- |\n' >>"$GITHUB_STEP_SUMMARY"
+        fi
+        printf '| %s | %ss |\n' "$name" "$dt" >>"$GITHUB_STEP_SUMMARY"
+    fi
 }
 
 main() {
     local want=${1:-all}
+    if [ "$want" = "list" ]; then
+        local entry
+        for entry in "${STAGES[@]}"; do
+            printf '%-16s %s\n' "${entry%%|*}" "${entry#*|}"
+        done
+        return 0
+    fi
     if [ "$want" = "all" ]; then
         local entry
         for entry in "${STAGES[@]}"; do
@@ -415,7 +510,8 @@ main() {
         fi
     done
     echo "ci.sh: unknown stage '$want'" >&2
-    echo "stages: all ${STAGES[*]%%|*}" >&2
+    echo "stages: all list ${STAGES[*]%%|*}" >&2
+    echo "(run 'bash ci.sh list' for one line of detail per stage)" >&2
     return 2
 }
 

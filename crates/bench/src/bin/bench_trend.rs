@@ -1,0 +1,69 @@
+//! Compares this run's BENCH_*.json reports against the previous run's
+//! (see `ipcp_bench::trend` for the classification rules).
+//!
+//! Usage: `bench_trend --new <dir> [--old <dir>] [--pct <percent>]`
+//!
+//! `--new` points at the directory holding the fresh reports (usually
+//! the repo root); `--old` at the previous run's downloaded artifacts —
+//! omit it on a first run and every comparison becomes a note. The
+//! warning threshold defaults to `IPCP_BENCH_TREND_PCT` (15 when
+//! unset). Exit status is nonzero only for failures: a fresh report
+//! carrying `"identical": false`, an unparseable fresh report, or no
+//! fresh reports at all.
+
+use ipcp_bench::trend;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_trend --new <dir> [--old <dir>] [--pct <percent>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut new_dir: Option<PathBuf> = None;
+    let mut old_dir: Option<PathBuf> = None;
+    let mut pct = trend::threshold_pct();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("bench_trend: {flag} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--new" => new_dir = Some(PathBuf::from(value("--new"))),
+            "--old" => old_dir = Some(PathBuf::from(value("--old"))),
+            "--pct" => match value("--pct").parse::<f64>() {
+                Ok(p) if p > 0.0 => pct = p,
+                _ => {
+                    eprintln!("bench_trend: --pct needs a positive number");
+                    usage();
+                }
+            },
+            _ => {
+                eprintln!("bench_trend: unknown argument {arg:?}");
+                usage();
+            }
+        }
+    }
+    let Some(new_dir) = new_dir else { usage() };
+    // With no baseline directory, point the old side at a path that has
+    // no reports: every file falls into the "no baseline" note path.
+    let old_dir = old_dir.unwrap_or_else(|| new_dir.join("no-baseline"));
+
+    let report = trend::compare_dirs(&old_dir, &new_dir, pct);
+    print!("{report}");
+    if report.ok() {
+        println!(
+            "bench-trend: ok ({} warning(s), {} note(s), threshold {pct}%)",
+            report.warnings.len(),
+            report.notes.len()
+        );
+    } else {
+        eprintln!("bench-trend: {} failure(s)", report.failures.len());
+        std::process::exit(1);
+    }
+}

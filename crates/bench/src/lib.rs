@@ -13,5 +13,7 @@
 //! in `benches/` measure the corresponding compile-time costs (§3.1.5).
 
 pub mod tables;
+pub mod trend;
 
 pub use tables::{table1_rows, table2_rows, table3_rows, Table2Row, Table3Row};
+pub use trend::{compare_dirs, compare_report, TrendReport, BENCH_FILES};

@@ -108,6 +108,9 @@ pub enum Command {
         inputs: Vec<i64>,
         /// Probe-evaluation budget per shrink.
         shrink_tests: usize,
+        /// Extra deterministic corpus sources (`--gen scale:<spec>`,
+        /// repeatable), checked before the generative run.
+        gens: Vec<String>,
     },
     /// `ipcc serve <file> [options]` — the long-lived incremental
     /// analysis daemon (JSON-lines over stdin/stdout and a Unix socket).
@@ -282,6 +285,9 @@ OTHER OPTIONS:
                                     minimized counterexamples there
             --input <a,b,c>         oracle inputs for the soundness property
             --shrink-tests <N>      probe budget per shrink (default 800)
+            --gen scale:<spec>      also check one whole-program scale
+                                    generation (e.g. scale:procs=200,
+                                    shape=power-law,seed=9); repeatable
     serve:  --socket <PATH>         also listen on a Unix socket
             --max-inflight <N>      admission bound; excess requests get an
                                     explicit `overloaded` response (default 8)
@@ -729,6 +735,23 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
                     })
                     .collect::<Result<_, _>>()?,
             };
+            // `--gen` is repeatable; each value is validated at parse
+            // time so a typo'd spec fails before any fuzzing runs.
+            let mut gens = Vec::new();
+            while let Some(gen) = take_flag_value(&mut args, "--gen")? {
+                match gen.strip_prefix("scale:") {
+                    Some(spec) => {
+                        ipcp_suite::ScaleSpec::parse(spec)
+                            .map_err(|e| UsageError(format!("bad --gen spec: {e}")))?;
+                    }
+                    None => {
+                        return Err(UsageError(format!(
+                            "unknown generator `{gen}` (have: scale:<spec>)"
+                        )));
+                    }
+                }
+                gens.push(gen);
+            }
             expect_empty(&args)?;
             Ok(Command::Fuzz {
                 config,
@@ -739,6 +762,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
                 corpus,
                 inputs,
                 shrink_tests,
+                gens,
             })
         }
         "serve" => {
@@ -1225,6 +1249,36 @@ mod tests {
         assert!(p(&["fuzz", "--props", ","]).is_err());
         assert!(p(&["fuzz", "--seed", "many"]).is_err());
         assert!(p(&["fuzz", "extra.ft"]).is_err());
+    }
+
+    #[test]
+    fn fuzz_gen_is_repeatable_and_validated_at_parse_time() {
+        match p(&[
+            "fuzz",
+            "--gen",
+            "scale:procs=200,shape=power-law,seed=9",
+            "--gen",
+            "scale:procs=50",
+        ])
+        .unwrap()
+        {
+            Command::Fuzz { gens, .. } => {
+                assert_eq!(
+                    gens,
+                    vec!["scale:procs=200,shape=power-law,seed=9", "scale:procs=50"]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["fuzz"]).unwrap() {
+            Command::Fuzz { gens, .. } => assert!(gens.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        let err = p(&["fuzz", "--gen", "chaos:procs=1"]).unwrap_err();
+        assert!(err.0.contains("unknown generator"), "{err}");
+        let err = p(&["fuzz", "--gen", "scale:procs=zero"]).unwrap_err();
+        assert!(err.0.contains("bad --gen spec"), "{err}");
+        assert!(p(&["fuzz", "--gen", "scale:procs=999999999"]).is_err());
     }
 
     #[test]

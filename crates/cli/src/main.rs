@@ -249,6 +249,7 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             corpus,
             inputs,
             shrink_tests,
+            gens,
         } => fuzz(
             config,
             &props,
@@ -258,6 +259,7 @@ fn dispatch(cmd: Command) -> Result<(), Failure> {
             corpus.as_deref(),
             inputs,
             shrink_tests,
+            &gens,
         ),
         Command::Serve { file, config, opts } => {
             let src = read_source(&file)?;
@@ -290,6 +292,7 @@ fn fuzz(
     corpus: Option<&str>,
     inputs: Vec<i64>,
     shrink_tests: usize,
+    gens: &[String],
 ) -> Result<(), Failure> {
     use ipcp_suite::prop;
 
@@ -328,6 +331,19 @@ fn fuzz(
             };
             let label = path.display().to_string();
             found.extend(checker.check_source(&label, &src, &refs));
+        }
+    }
+
+    // Whole-program scale generations (`--gen scale:<spec>`): a corpus
+    // source with a very different shape from the random cases — real
+    // call-graph structure (SCCs, fan-out, depth) at whatever size the
+    // spec asks for. Specs were validated at parse time.
+    for gen in gens {
+        if let Some(spec_str) = gen.strip_prefix("scale:") {
+            if let Ok(spec) = ipcp_suite::ScaleSpec::parse(spec_str) {
+                let src = ipcp_suite::generate_scale(&spec);
+                found.extend(checker.check_source(gen, &src, &refs));
+            }
         }
     }
 

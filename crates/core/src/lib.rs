@@ -81,6 +81,7 @@ pub mod pipeline;
 pub mod quarantine;
 pub mod reduce;
 pub mod report;
+pub mod resource;
 pub mod retjump;
 pub mod serve;
 pub mod solver;
@@ -113,6 +114,7 @@ pub use reduce::{
     ReduceOutcome, StructuralPass,
 };
 pub use report::{CostReport, PhaseReport, PhaseRow};
+pub use resource::peak_rss_bytes;
 pub use retjump::{build_return_jfs, ReturnJumpFns};
 pub use serve::{ServeEngine, ServeError, SummaryCache};
 pub use solver::{solve, solve_worklist_reference, ValSets};

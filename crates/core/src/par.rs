@@ -139,6 +139,17 @@ impl Timings {
         agg.absorb(self.jump);
         agg.utilization()
     }
+
+    /// The four phases as named rows in pipeline order — the shape the
+    /// bench binaries serialize.
+    pub fn stages(&self) -> [(&'static str, PhaseTime); 4] {
+        [
+            ("modref", self.modref),
+            ("retjump", self.retjump),
+            ("jump", self.jump),
+            ("solve", self.solve),
+        ]
+    }
 }
 
 /// Runs `f(0) .. f(n - 1)` on up to `jobs` scoped workers and returns the

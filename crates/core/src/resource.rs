@@ -1,0 +1,129 @@
+//! Process resource accounting: peak resident set size via POSIX
+//! `getrusage(2)`, declared over the raw C ABI (the workspace is
+//! dependency-free by policy, so there is no `libc` crate to lean on —
+//! the same approach `ipcc serve` takes for `signal(2)`).
+//!
+//! The scale benchmark (`bench_scale`) runs each workload tier in a
+//! child process and records the child's high-water mark from here;
+//! `ci.sh scale-smoke` then enforces a ceiling on it. `ru_maxrss` is a
+//! per-process *high-water* mark — it never goes down — which is exactly
+//! why the benchmark isolates tiers in children instead of measuring
+//! deltas in one process.
+
+/// Peak resident set size of the calling process, in bytes.
+///
+/// Returns `None` on platforms without `getrusage` or if the call fails.
+/// Linux reports `ru_maxrss` in kilobytes, macOS in bytes; both are
+/// normalized to bytes here.
+pub fn peak_rss_bytes() -> Option<u64> {
+    imp::peak_rss_bytes()
+}
+
+#[cfg(unix)]
+mod imp {
+    /// `struct timeval` — two C longs on every LP64 unix.
+    #[repr(C)]
+    struct Timeval {
+        tv_sec: i64,
+        tv_usec: i64,
+    }
+
+    /// `struct rusage` from POSIX: two timevals then 14 longs, of which
+    /// the first (`ru_maxrss`) is the high-water mark. The glibc and
+    /// macOS layouts agree on this prefix.
+    #[repr(C)]
+    struct Rusage {
+        ru_utime: Timeval,
+        ru_stime: Timeval,
+        ru_maxrss: i64,
+        ru_ixrss: i64,
+        ru_idrss: i64,
+        ru_isrss: i64,
+        ru_minflt: i64,
+        ru_majflt: i64,
+        ru_nswap: i64,
+        ru_inblock: i64,
+        ru_oublock: i64,
+        ru_msgsnd: i64,
+        ru_msgrcv: i64,
+        ru_nsignals: i64,
+        ru_nvcsw: i64,
+        ru_nivcsw: i64,
+    }
+
+    extern "C" {
+        // POSIX getrusage(2) via the C ABI — no crates.
+        fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+    }
+
+    const RUSAGE_SELF: i32 = 0;
+
+    pub fn peak_rss_bytes() -> Option<u64> {
+        let mut usage = Rusage {
+            ru_utime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            ru_stime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            ru_maxrss: 0,
+            ru_ixrss: 0,
+            ru_idrss: 0,
+            ru_isrss: 0,
+            ru_minflt: 0,
+            ru_majflt: 0,
+            ru_nswap: 0,
+            ru_inblock: 0,
+            ru_oublock: 0,
+            ru_msgsnd: 0,
+            ru_msgrcv: 0,
+            ru_nsignals: 0,
+            ru_nvcsw: 0,
+            ru_nivcsw: 0,
+        };
+        // SAFETY: `usage` is a valid, writable Rusage matching the ABI
+        // layout; getrusage writes it and touches nothing else.
+        let rc = unsafe { getrusage(RUSAGE_SELF, &mut usage) };
+        if rc != 0 || usage.ru_maxrss <= 0 {
+            return None;
+        }
+        let unit: u64 = if cfg!(target_os = "macos") { 1 } else { 1024 };
+        Some(usage.ru_maxrss as u64 * unit)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn peak_rss_bytes() -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn peak_rss_is_plausible() {
+        let rss = peak_rss_bytes().expect("getrusage works on unix");
+        // A running test binary occupies somewhere between 100 KiB and
+        // 100 GiB; anything outside that means a unit or layout bug.
+        assert!(rss > 100 * 1024, "{rss}");
+        assert!(rss < 100 * 1024 * 1024 * 1024, "{rss}");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn peak_rss_is_monotonic() {
+        let before = peak_rss_bytes().unwrap();
+        // Touch a fresh 32 MiB so the high-water mark must move past it.
+        let block = vec![7u8; 32 * 1024 * 1024];
+        let sum: u64 = block.iter().map(|&b| b as u64).sum();
+        assert_eq!(sum, 7 * 32 * 1024 * 1024);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "{after} < {before}");
+    }
+}

@@ -52,6 +52,7 @@ pub mod lang;
 pub mod names;
 pub mod program;
 pub mod span;
+pub mod stream;
 
 pub use cfg::{lower_module, ModuleCfg};
 pub use error::{Diagnostic, Diagnostics};
@@ -59,6 +60,7 @@ pub use lang::{parse_program, pretty};
 pub use names::{NameId, Names};
 pub use program::{resolve, GlobalId, Module, Proc, ProcId, VarId};
 pub use span::Span;
+pub use stream::{resolve_streaming, ProgramSource, StreamedModule};
 
 /// Parse FT source text and resolve it into a checked [`Module`].
 ///

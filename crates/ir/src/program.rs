@@ -517,15 +517,47 @@ fn unresolve_inner(p: &Proc, procs: &[Proc], b: &Block) -> ast::Block {
 ///
 /// Returns every violation found as [`Diagnostics`].
 pub fn resolve(prog: &ast::Program) -> Result<Module, Diagnostics> {
-    Resolver::new(prog).run()
+    let mut r = Resolver::new();
+    for g in &prog.globals {
+        r.declare_global(g);
+    }
+    for p in &prog.procs {
+        r.declare_proc(&p.name, p.params.len(), p.span);
+    }
+    let mut procs = Vec::with_capacity(prog.procs.len());
+    for (i, p) in prog.procs.iter().enumerate() {
+        let resolved = r.resolve_proc_body(ProcId::from(i), p);
+        procs.push(resolved);
+    }
+    r.finish(procs)
 }
 
-struct Resolver<'a> {
-    prog: &'a ast::Program,
+/// The signature a call site needs from its callee: just the arity (plus
+/// the declaration span for diagnostics). Bodies resolve against this
+/// table, which is what lets [`crate::stream`] resolve one procedure at
+/// a time without the whole AST resident.
+pub(crate) struct ProcSig {
+    pub(crate) arity: usize,
+}
+
+/// Incremental resolver.
+///
+/// The classic entry point [`resolve`] drives it over a whole parsed
+/// program; the streaming entry point ([`crate::stream::resolve_streaming`])
+/// drives the same passes one chunk at a time:
+///
+/// 1. declare every global and every procedure signature
+///    ([`Resolver::declare_global`] / [`Resolver::declare_proc`]);
+/// 2. resolve each body against the signature table
+///    ([`Resolver::resolve_proc_body`]) — the source AST of a body can be
+///    dropped as soon as its resolved [`Proc`] exists;
+/// 3. run the whole-module fixpoint and checks ([`Resolver::finish`]).
+pub(crate) struct Resolver {
     diags: Diagnostics,
     globals: Vec<GlobalInfo>,
     global_ids: HashMap<String, GlobalId>,
     proc_ids: HashMap<String, ProcId>,
+    sigs: Vec<ProcSig>,
 }
 
 struct ProcCtx {
@@ -568,56 +600,55 @@ impl ProcCtx {
     }
 }
 
-impl<'a> Resolver<'a> {
-    fn new(prog: &'a ast::Program) -> Self {
+impl Resolver {
+    pub(crate) fn new() -> Self {
         Resolver {
-            prog,
             diags: Diagnostics::new(),
             globals: Vec::new(),
             global_ids: HashMap::new(),
             proc_ids: HashMap::new(),
+            sigs: Vec::new(),
         }
     }
 
-    fn run(mut self) -> Result<Module, Diagnostics> {
-        // Pass 0: globals and procedure signatures.
-        for g in &self.prog.globals {
-            if self.global_ids.contains_key(&g.name) {
-                self.diags
-                    .error(format!("duplicate global `{}`", g.name), g.span);
-                continue;
-            }
-            let id = GlobalId::from(self.globals.len());
-            self.global_ids.insert(g.name.clone(), id);
-            self.globals.push(GlobalInfo {
-                name: g.name.clone(),
-                array_len: g.array_len,
-            });
+    /// Pass 0, global half: registers one module-level declaration.
+    pub(crate) fn declare_global(&mut self, g: &ast::GlobalDecl) {
+        if self.global_ids.contains_key(&g.name) {
+            self.diags
+                .error(format!("duplicate global `{}`", g.name), g.span);
+            return;
         }
-        for (i, p) in self.prog.procs.iter().enumerate() {
-            if self.proc_ids.contains_key(&p.name) {
-                self.diags
-                    .error(format!("duplicate procedure `{}`", p.name), p.span);
-            } else {
-                self.proc_ids.insert(p.name.clone(), ProcId::from(i));
-            }
-            if self.global_ids.contains_key(&p.name) {
-                self.diags.error(
-                    format!("procedure `{}` shadows a global of the same name", p.name),
-                    p.span,
-                );
-            }
-        }
+        let id = GlobalId::from(self.globals.len());
+        self.global_ids.insert(g.name.clone(), id);
+        self.globals.push(GlobalInfo {
+            name: g.name.clone(),
+            array_len: g.array_len,
+        });
+    }
 
-        // Pass 1: resolve bodies.
-        let mut procs = Vec::new();
-        for (i, p) in self.prog.procs.iter().enumerate() {
-            let resolved = self.resolve_proc(ProcId::from(i), p);
-            procs.push(resolved);
+    /// Pass 0, procedure half: registers one signature. Signatures get
+    /// consecutive [`ProcId`]s in declaration order — a duplicate name
+    /// still occupies its slot so ids stay aligned with body order.
+    pub(crate) fn declare_proc(&mut self, name: &str, arity: usize, span: Span) {
+        let id = ProcId::from(self.sigs.len());
+        if self.proc_ids.contains_key(name) {
+            self.diags
+                .error(format!("duplicate procedure `{name}`"), span);
+        } else {
+            self.proc_ids.insert(name.to_owned(), id);
         }
+        if self.global_ids.contains_key(name) {
+            self.diags.error(
+                format!("procedure `{name}` shadows a global of the same name"),
+                span,
+            );
+        }
+        self.sigs.push(ProcSig { arity });
+    }
 
-        // Pass 2: propagate formal array-ness through call chains to a
-        // fixpoint, then check call-site consistency.
+    /// Pass 2: the whole-module array-ness fixpoint, call-site checks,
+    /// and the entry-procedure rule. Consumes the resolver.
+    pub(crate) fn finish(mut self, mut procs: Vec<Proc>) -> Result<Module, Diagnostics> {
         self.infer_formal_arrays(&mut procs);
         self.check_call_sites(&procs);
 
@@ -644,7 +675,20 @@ impl<'a> Resolver<'a> {
         self.diags.into_result(module)
     }
 
-    fn resolve_proc(&mut self, id: ProcId, p: &ast::ProcDecl) -> Proc {
+    /// Merges diagnostics produced outside the resolver (chunk parse
+    /// errors in the streaming path) so one report carries everything.
+    pub(crate) fn absorb_diags(&mut self, diags: Diagnostics) {
+        self.diags.extend(diags);
+    }
+
+    /// Consumes the resolver, yielding its accumulated diagnostics (the
+    /// streaming path's early-exit when chunks failed to parse).
+    pub(crate) fn into_diags(self) -> Diagnostics {
+        self.diags
+    }
+
+    /// Pass 1: resolves one procedure body against the signature table.
+    pub(crate) fn resolve_proc_body(&mut self, id: ProcId, p: &ast::ProcDecl) -> Proc {
         let mut ctx = ProcCtx {
             vars: Vec::new(),
             by_name: HashMap::new(),
@@ -857,7 +901,7 @@ impl<'a> Resolver<'a> {
                         .error(format!("call to unknown procedure `{callee}`"), *span);
                     return None;
                 };
-                let expected = self.prog.procs[pid.index()].params.len();
+                let expected = self.sigs[pid.index()].arity;
                 if args.len() != expected {
                     self.diags.error(
                         format!(

@@ -370,9 +370,13 @@ impl<'a> Builder<'a> {
         let cfg = mcfg.cfg(proc);
         let dom = DomTree::build(cfg);
         let n_vars = mcfg.module.proc(proc).vars.len();
-        let layout = ipcp_ir::program::SlotLayout::new(&mcfg.module);
-        let global_vars = layout
-            .scalar_globals
+        // Only the scalar-global id list is needed here — building a full
+        // `SlotLayout` would intern every procedure's slot names, turning
+        // each per-procedure SSA build into O(module) and the whole jump
+        // phase quadratic (caught by the 10k scale tier).
+        let global_vars = mcfg
+            .module
+            .scalar_global_ids()
             .iter()
             .map(|&g| match mcfg.module.proc(proc).var_for_global(g) {
                 Some(v) => v,

@@ -22,11 +22,13 @@ pub mod gen;
 pub mod mutate;
 pub mod prop;
 pub mod rng;
+pub mod scale;
 pub mod stats;
 
 pub use gen::{generate, GenConfig};
 pub use prop::{Checker, Counterexample, PropContext, Property, Report};
 pub use rng::Rng;
+pub use scale::{generate_scale, scale_stats, ScaleShape, ScaleSource, ScaleSpec, ScaleStats};
 pub use stats::{program_stats, ProgramStats};
 
 use ipcp_ir::{lower_module, parse_and_resolve, Diagnostics, Module, ModuleCfg};
