@@ -84,9 +84,21 @@ stage_serve_smoke() {
 {"id":3,"op":"analyze","config":{"quarantine":false,"inject_panic":{"stage":"jump","proc":1}}}
 {"id":4,"op":"constants"}
 {"id":5,"op":"stats"}
+{"id":6,"op":"batch","requests":[{"id":"b1","op":"health"},{"id":"b2","op":"constants"}]}
 EOF
     grep -qF '"id":3,"ok":false,"error":{"kind":"panic"' "$out" || {
         echo "serve smoke: injected panic was not answered as a contained error" >&2
+        cat "$out" >&2
+        return 1
+    }
+    # The batch op: one frame, one reply frame, per-item outcomes.
+    if ! grep -F '"id":6,"ok":true' "$out" | grep -qF '"results":['; then
+        echo "serve smoke: batch frame did not come back as one reply with results" >&2
+        cat "$out" >&2
+        return 1
+    fi
+    grep -qF '"id":"b2","ok":true' "$out" || {
+        echo "serve smoke: batch item b2 was not answered in the results array" >&2
         cat "$out" >&2
         return 1
     }
@@ -151,6 +163,100 @@ EOF
         echo "serve smoke: socket file survived shutdown" >&2
         return 1
     fi
+
+    # --- Concurrency drill (docs/SERVE.md, "Concurrency"): 8 clients
+    # hammer interleaved reads (single and batched) while one writer
+    # alternates `update`s, against --serve-workers 4. Every reply must
+    # be correct warm service or an explicit shed — never a torn answer
+    # or a dead connection — and a SIGTERM drain must still exit 0 with
+    # the store snapshotted.
+    local drillprog=target/serve-drill.ft
+    cat >"$drillprog" <<'EOF'
+global g0;
+proc main() { g0 = 1; call f(2); print g0; }
+proc f(a) { g0 = a + 1; call g(a); }
+proc g(b) { print b; }
+EOF
+    local store=target/serve-drill.store
+    rm -f "$sock" "$store"
+    timeout 120 ./target/release/ipcc serve "$drillprog" --socket "$sock" \
+        --serve-workers 4 --max-inflight 64 \
+        --store "$store" --snapshot-every-n 5 </dev/null >/dev/null 2>&1 &
+    daemon=$!
+    for i in $(seq 100); do
+        [ -S "$sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$sock" ] || {
+        echo "serve smoke: drill daemon socket never appeared" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    }
+    : >"$out.drill"
+    : >"$out.drill.writer"
+    cpids=()
+    for c in 1 2 3 4 5 6 7 8; do
+        {
+            for i in $(seq 10); do
+                printf '{"id":"r%s-%s","op":"constants","proc":"g"}\n' "$c" "$i"
+                printf '{"id":"h%s-%s","op":"batch","requests":[{"id":"x1","op":"health"},{"id":"x2","op":"stats"}]}\n' "$c" "$i"
+            done
+        } | timeout 60 ./target/release/ipcc serve --connect "$sock" >>"$out.drill" &
+        cpids+=($!)
+    done
+    {
+        for i in $(seq 10); do
+            printf '{"id":"w%s","op":"update","proc":"f","body":"proc f(a) { g0 = a + %s; call g(a); }"}\n' "$i" "$((1 + i % 2))"
+        done
+    } | timeout 60 ./target/release/ipcc serve --connect "$sock" >>"$out.drill.writer" &
+    cpids+=($!)
+    for p in "${cpids[@]}"; do wait "$p"; done
+    replies=$(wc -l <"$out.drill")
+    if [ "$replies" != 160 ]; then
+        echo "serve smoke: drill readers got $replies/160 replies" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if [ "$(wc -l <"$out.drill.writer")" != 10 ]; then
+        echo "serve smoke: drill writer got $(wc -l <"$out.drill.writer")/10 replies" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if grep -vF '"ok":true' "$out.drill" | grep -vF '"kind":"overloaded"' \
+        | grep -vF '"kind":"shutting_down"' | grep -q .; then
+        echo "serve smoke: drill reply is neither warm service nor an explicit shed" >&2
+        grep -vF '"ok":true' "$out.drill" | head >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if grep -vF '"ok":true' "$out.drill.writer" | grep -q .; then
+        echo "serve smoke: a drill update was rejected" >&2
+        cat "$out.drill.writer" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    # Reads raced 10 updates, but `g`'s incoming constant is 2 under
+    # both committed variants: every served (non-shed) constants reply
+    # must carry exactly that — a half-committed cache could not.
+    if grep -F '"id":"r' "$out.drill" | grep -F '"ok":true' \
+        | grep -vF '"proc":"g","constants":[{"slot":"b","value":2}]' | grep -q .; then
+        echo "serve smoke: a drill read returned a torn or wrong constants payload" >&2
+        grep -F '"id":"r' "$out.drill" | grep -vF '"value":2' | head >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    kill -TERM "$daemon"
+    status=0
+    wait "$daemon" || status=$?
+    if [ "$status" != 0 ]; then
+        echo "serve smoke: drill daemon exited $status on SIGTERM" >&2
+        return 1
+    fi
+    [ -s "$store" ] || {
+        echo "serve smoke: drill drain did not leave a snapshotted store" >&2
+        return 1
+    }
+    rm -f "$store" "$store.tmp" "$drillprog"
 
     # --- Crash-restart drill (docs/ROBUSTNESS.md, "Durability contract").
     # A daemon with a store is killed -9 mid-session; the restart must
@@ -364,10 +470,42 @@ stage_scale_smoke() {
     fi
 }
 
+stage_serve_bench() {
+    # The parallel-serve gate: bench_serve boots the real daemon over
+    # the generated 1k-tier program at --serve-workers {1,4} and
+    # enforces the contracts that must hold on any machine — replies
+    # byte-identical between batched and unbatched passes and across
+    # worker counts ("identical" per row), and batched reads >= 2x
+    # cheaper than one-round-trip-per-request reads
+    # (IPCP_SERVE_MIN_BATCH_SPEEDUP). Absolute latencies land in
+    # BENCH_serve.json for the cross-run trend gate; worker-count
+    # *scaling* is warn-lined only, because CI runners are 1-core.
+    [ -x target/release/ipcc ] || cargo build --release -q -p ipcp-cli
+    [ -x target/release/bench_serve ] || cargo build --release -q -p ipcp-bench
+    IPCP_SERVE_TIERS=${IPCP_SERVE_TIERS:-1k} \
+    IPCP_SERVE_WORKERS=${IPCP_SERVE_WORKERS:-1,4} \
+        ./target/release/bench_serve
+    if grep -q '"identical": false' BENCH_serve.json; then
+        echo "serve gate: BENCH_serve.json reports a reply divergence" >&2
+        return 1
+    fi
+    if ! grep -q '"identical": true' BENCH_serve.json; then
+        echo "serve gate: BENCH_serve.json carries no identity records" >&2
+        return 1
+    fi
+    local u1 u4
+    u1=$(sed -n 's/.*"jobs": 1,.*"unbatched_read_us": \([0-9]*\).*/\1/p' BENCH_serve.json | head -1)
+    u4=$(sed -n 's/.*"jobs": 4,.*"unbatched_read_us": \([0-9]*\).*/\1/p' BENCH_serve.json | head -1)
+    if [ -n "$u1" ] && [ -n "$u4" ] && [ "$u4" -gt "$u1" ]; then
+        echo "WARN: serve gate: workers=4 reads slower than workers=1" \
+            "(${u4}us vs ${u1}us) — expected on 1-core runners"
+    fi
+}
+
 stage_bench_trend() {
     # The cross-run trend gate over every BENCH_*.json report
-    # (bench_par, bench_solver, bench_scale share one row convention —
-    # see crates/bench/src/trend.rs). The baseline is the previous
+    # (bench_par, bench_solver, bench_scale, bench_serve share one row
+    # convention — see crates/bench/src/trend.rs). The baseline is the previous
     # run's reports under target/bench-baseline (ci.yml downloads the
     # last successful run's artifacts there); no baseline is a note,
     # never a failure. What FAILS is a fresh report carrying
@@ -428,6 +566,7 @@ stage_lockfree_lint() {
         crates/core/src/cloning.rs
         crates/core/src/inline.rs
         crates/core/src/complete.rs
+        crates/core/src/serve/workers.rs
     )
     local f bad=0
     for f in "${hot_files[@]}"; do
@@ -459,9 +598,10 @@ STAGES=(
     "robustness|robustness suite again, with quarantine disabled"
     "fuzz|property fuzz lane (ipcc fuzz: shrinking harness, time-boxed)"
     "deadline-smoke|deadline smoke test (largest suite program, 1 ms budget)"
-    "serve-smoke|serve smoke test (panic drill, client burst, SIGTERM drain, crash-restart)"
+    "serve-smoke|serve smoke test (panic drill, client burst, concurrency drill, SIGTERM drain, crash-restart)"
     "bench-par|bench-par trend gate (identity at jobs={1,2,4}; speedups warn-lined)"
     "scale-smoke|whole-program scale gate (1k/10k tiers, wall + RSS ceilings)"
+    "serve-bench|parallel-serve gate (batch >= 2x, identity across workers; scaling warn-lined)"
     "bench-trend|cross-run bench trend gate (BENCH_*.json vs previous run + self-drill)"
     "lockfree-lint|lock-free lint (hot phases, solver, and drivers stay Mutex/RwLock-free)"
     "clippy-strict|clippy (lib/bins: no unwrap, no expect, no warnings)"

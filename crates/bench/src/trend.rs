@@ -21,7 +21,7 @@
 //! Rows are matched structurally, not by schema: a row's identity is
 //! every string-valued field plus `jobs` / `n_procs`, and its metrics
 //! are every field ending in `_us` / `_ms` plus the RSS fields. All
-//! three current report shapes (and future ones that follow the same
+//! four current report shapes (and future ones that follow the same
 //! convention) compare without per-file code.
 
 use ipcp::serve::json::{self, Json};
@@ -29,7 +29,12 @@ use std::fmt;
 use std::path::Path;
 
 /// The reports every run is expected to produce, in gate order.
-pub const BENCH_FILES: &[&str] = &["BENCH_par.json", "BENCH_solver.json", "BENCH_scale.json"];
+pub const BENCH_FILES: &[&str] = &[
+    "BENCH_par.json",
+    "BENCH_solver.json",
+    "BENCH_scale.json",
+    "BENCH_serve.json",
+];
 
 /// Outcome of a trend comparison. Failures gate; warnings and notes
 /// inform.

@@ -167,6 +167,10 @@ pub struct ServeOpts {
     /// Validated `--inject-io <fault>:<point>` spelling (testing only);
     /// parsed again by the store's [`ipcp::serve::IoInjector`].
     pub inject_io: Option<String>,
+    /// Read-worker threads (`--serve-workers`): `constants`/`explain`/
+    /// `health`/`stats` requests without overrides execute concurrently
+    /// on this many threads; writer requests take an exclusive epoch.
+    pub serve_workers: usize,
 }
 
 impl Default for ServeOpts {
@@ -180,6 +184,7 @@ impl Default for ServeOpts {
             store: None,
             snapshot_every_n: None,
             inject_io: None,
+            serve_workers: 1,
         }
     }
 }
@@ -289,6 +294,10 @@ OTHER OPTIONS:
                                     generation (e.g. scale:procs=200,
                                     shape=power-law,seed=9); repeatable
     serve:  --socket <PATH>         also listen on a Unix socket
+            --serve-workers <N>     read-worker threads: warm `constants`/
+                                    `explain`/`health`/`stats` requests run
+                                    concurrently; `update`/`load` take an
+                                    exclusive epoch (default 1)
             --max-inflight <N>      admission bound; excess requests get an
                                     explicit `overloaded` response (default 8)
             --queue-ms <N>          shed requests queued longer than this
@@ -808,6 +817,18 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, UsageError> {
                 }
                 opts.max_inflight = n;
             }
+            if let Some(v) = take_flag_value(&mut args, "--serve-workers")? {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad worker count `{v}`")))?;
+                if n == 0 {
+                    return Err(UsageError("--serve-workers must be at least 1".into()));
+                }
+                if n > 64 {
+                    return Err(UsageError("--serve-workers is capped at 64".into()));
+                }
+                opts.serve_workers = n;
+            }
             if let Some(v) = take_flag_value(&mut args, "--queue-ms")? {
                 opts.queue_ms = v
                     .parse()
@@ -902,7 +923,12 @@ mod tests {
                 assert_eq!(opts.store, None);
                 assert_eq!(opts.snapshot_every_n, None);
                 assert_eq!(opts.inject_io, None);
+                assert_eq!(opts.serve_workers, 1);
             }
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve", "--serve-workers", "4", "x.ft"]).unwrap() {
+            Command::Serve { opts, .. } => assert_eq!(opts.serve_workers, 4),
             other => panic!("{other:?}"),
         }
         // The daemon's --request-deadline-ms must not reach parse_config:
@@ -991,6 +1017,9 @@ mod tests {
         assert!(p(&["serve", "--connect", "s", "--retry-ms", "0"]).is_err());
         assert!(p(&["serve", "--max-inflight", "0", "x.ft"]).is_err());
         assert!(p(&["serve", "--queue-ms", "soon", "x.ft"]).is_err());
+        assert!(p(&["serve", "--serve-workers", "0", "x.ft"]).is_err());
+        assert!(p(&["serve", "--serve-workers", "65", "x.ft"]).is_err());
+        assert!(p(&["serve", "--serve-workers", "many", "x.ft"]).is_err());
         assert!(p(&["serve"]).is_err());
     }
 

@@ -9,6 +9,19 @@
 //! wrong becomes a structured JSON error response; no serve-path code
 //! calls `process::exit`.
 //!
+//! Requests split into two classes at dequeue. *Read* requests
+//! (`health`, `stats`, `explain`, and `constants` without a `config`
+//! override — plus `batch` frames made only of those) answer from the
+//! published [`Snapshot`] and run concurrently on the
+//! `--serve-workers` [`ReadPool`]. *Writer* requests (`update`, `load`,
+//! `analyze`, anything carrying `config`) run on the main thread under
+//! an exclusive epoch: the pool is quiesced first, the engine mutates,
+//! and a fresh snapshot is published before the next read executes. A
+//! `batch` frame carries up to [`MAX_BATCH`] requests and returns one
+//! reply frame with a per-item `results` array (items after an
+//! in-batch `shutdown` are shed explicitly). See the "Concurrency"
+//! section of `docs/SERVE.md`.
+//!
 //! Robustness envelope, outermost first:
 //!
 //! * **Admission.** The channel holds at most `--max-inflight` requests;
@@ -38,8 +51,8 @@
 use crate::args::ServeOpts;
 use ipcp::serve::json;
 use ipcp::serve::{
-    config_from_overrides, DiscardReason, IoInjector, Json, LoadStatus, Object, RequestOutcome,
-    ServeEngine, ServeError, SummaryStore,
+    config_from_overrides, DiscardReason, IoInjector, Json, LoadStatus, Object, PoolCounters,
+    ReadPool, RequestOutcome, ServeEngine, ServeError, Snapshot, SummaryStore,
 };
 use ipcp::Config;
 use ipcp_suite::Rng;
@@ -116,7 +129,8 @@ struct Shared {
     in_flight: AtomicU64,
 }
 
-fn error_response(id: &Json, kind: &str, message: &str) -> String {
+/// A full error-response object (also a `batch` `results` item).
+fn err_json(id: &Json, kind: &str, message: &str) -> Json {
     let mut err = Object::new();
     err.set("kind", Json::from(kind));
     err.set("message", Json::from(message));
@@ -124,17 +138,35 @@ fn error_response(id: &Json, kind: &str, message: &str) -> String {
     o.set("id", id.clone());
     o.set("ok", Json::from(false));
     o.set("error", Json::from(err));
-    Json::from(o).to_string()
+    Json::from(o)
 }
 
-fn ok_response(id: &Json, payload: Object) -> String {
+/// A full success-response object (also a `batch` `results` item).
+fn ok_json(id: &Json, payload: Object) -> Json {
     let mut o = Object::new();
     o.set("id", id.clone());
     o.set("ok", Json::from(true));
-    for (k, v) in payload.iter() {
-        o.set(k, v.clone());
+    for (k, v) in payload.into_entries() {
+        o.set_owned(k, v);
     }
-    Json::from(o).to_string()
+    Json::from(o)
+}
+
+fn error_response(id: &Json, kind: &str, message: &str) -> String {
+    err_json(id, kind, message).to_string()
+}
+
+fn ok_response(id: &Json, payload: Object) -> String {
+    ok_json(id, payload).to_string()
+}
+
+/// The `id` of an already-parsed request (protocol ids are the reply
+/// correlator; `null` when absent).
+fn req_id(req: &Json) -> Json {
+    req.as_object()
+        .and_then(|o| o.get("id"))
+        .cloned()
+        .unwrap_or(Json::Null)
 }
 
 /// Pulls the request id out of a raw line for shed responses written
@@ -146,19 +178,27 @@ fn peek_id(line: &str) -> Json {
         .unwrap_or(Json::Null)
 }
 
+/// Store telemetry shared with the read workers, so pooled `stats`
+/// replies report persistence state without touching the main thread.
+struct StoreCounters {
+    /// Successful snapshots this process wrote.
+    snapshots: AtomicU64,
+    /// Snapshot attempts that failed (logged, never fatal).
+    snapshot_failures: AtomicU64,
+    /// Records restored at boot (fixed after boot).
+    recovered: u64,
+    /// Why the boot-time store was discarded, if it was (fixed).
+    discarded: Option<DiscardReason>,
+}
+
 /// The daemon-side persistence state: the store plus its telemetry.
+/// Owned by the main thread — snapshots only ever run between requests
+/// or on writer turns, where the cache is quiescent by construction.
 struct StoreState {
     store: SummaryStore,
-    /// Records restored at boot.
-    recovered: u64,
-    /// Why the boot-time store was discarded, if it was.
-    discarded: Option<DiscardReason>,
-    /// Successful snapshots this process wrote.
-    snapshots: u64,
-    /// Snapshot attempts that failed (logged, never fatal).
-    snapshot_failures: u64,
-    /// Requests served since the last successful snapshot.
-    since_snapshot: u64,
+    counters: Arc<StoreCounters>,
+    /// Total-served watermark of the last `--snapshot-every-n` trigger.
+    served_at_snapshot: u64,
 }
 
 impl StoreState {
@@ -168,12 +208,13 @@ impl StoreState {
         let (cfp, sfp) = engine.fingerprints();
         match self.store.save(engine.cache(), cfp, sfp) {
             Ok(records) => {
-                self.snapshots += 1;
-                self.since_snapshot = 0;
+                self.counters.snapshots.fetch_add(1, Ordering::SeqCst);
                 Ok(records)
             }
             Err(e) => {
-                self.snapshot_failures += 1;
+                self.counters
+                    .snapshot_failures
+                    .fetch_add(1, Ordering::SeqCst);
                 let msg = format!("snapshot to {} failed: {e}", self.store.path().display());
                 eprintln!("serve: {msg}");
                 Err(msg)
@@ -181,12 +222,17 @@ impl StoreState {
         }
     }
 
-    /// Counts one served request and snapshots when `--snapshot-every-n`
-    /// says it is due.
-    fn after_request(&mut self, engine: &ServeEngine, every_n: Option<u64>) {
-        self.since_snapshot += 1;
-        if every_n.is_some_and(|n| self.since_snapshot >= n) {
-            let _ = self.snapshot(engine);
+    /// Snapshots when `--snapshot-every-n` says it is due.
+    /// `total_served` counts every frame the daemon finished — pooled
+    /// reads included (via the pool's `completed` counter), so the
+    /// cadence is checked on each main-loop tick rather than per
+    /// request. A failed snapshot keeps the watermark, so the next tick
+    /// retries.
+    fn maybe_snapshot(&mut self, engine: &ServeEngine, total_served: u64, every_n: Option<u64>) {
+        let due =
+            every_n.is_some_and(|n| total_served.saturating_sub(self.served_at_snapshot) >= n);
+        if due && self.snapshot(engine).is_ok() {
+            self.served_at_snapshot = total_served;
         }
     }
 }
@@ -221,6 +267,253 @@ fn outcome_payload(outcome: &RequestOutcome) -> Object {
     o
 }
 
+/// Upper bound on requests one `batch` frame may carry.
+const MAX_BATCH: usize = 1024;
+
+/// Everything the read path needs besides the snapshot itself; shared
+/// (one `Arc`) between the pool closures and the drain-time inline
+/// reads.
+struct ReadCtx {
+    shared: Arc<Shared>,
+    /// The pool's counters — `read_errors` feeds the `stats` payload's
+    /// `errors` field alongside the engine's writer-side count.
+    counters: Arc<PoolCounters>,
+    store: Option<Arc<StoreCounters>>,
+    started: Instant,
+    queue_deadline: Duration,
+}
+
+/// Whether a single request object is a pure read: answerable from the
+/// published snapshot, mutating nothing. `constants` stops being a read
+/// the moment it carries a `config` override (the override path runs a
+/// one-off analysis through the shared cache).
+fn is_read_op(req: &Object) -> bool {
+    match req.get("op").and_then(Json::as_str) {
+        Some("health") | Some("stats") | Some("explain") => true,
+        Some("constants") => req.get("config").is_none(),
+        _ => false,
+    }
+}
+
+/// Whether a whole parsed frame goes to the read pool: a single read
+/// op, or a well-formed `batch` made only of read ops. Anything else —
+/// writers, mixed or oversized batches, malformed shapes — takes the
+/// serialized writer path, which answers (or rejects) it inline.
+fn is_read_frame(req: &Json) -> bool {
+    let Some(o) = req.as_object() else {
+        return false;
+    };
+    match o.get("op").and_then(Json::as_str) {
+        Some("batch") => match o.get("requests").and_then(Json::as_array) {
+            Some(items) if items.len() <= MAX_BATCH => items
+                .iter()
+                .all(|it| it.as_object().is_some_and(is_read_op)),
+            _ => false,
+        },
+        _ => is_read_op(o),
+    }
+}
+
+/// Where a dequeued frame executes.
+enum Route {
+    /// Not even JSON: answer inline with the parse error.
+    Malformed(String),
+    /// Pure reads — concurrent, against the published snapshot.
+    Read(Json),
+    /// Everything else — serialized on the main thread.
+    Writer(Json),
+}
+
+fn classify(line: &str) -> Route {
+    match json::parse(line) {
+        Err(e) => Route::Malformed(format!("malformed JSON: {e}")),
+        Ok(req) if is_read_frame(&req) => Route::Read(req),
+        Ok(req) => Route::Writer(req),
+    }
+}
+
+/// Serves one read op from the snapshot. The payloads mirror what the
+/// single-threaded daemon answered: `constants`/`explain` render through
+/// the same engine helpers (byte-identical by construction), and the
+/// telemetry ops read the counters published with the snapshot.
+fn read_payload(
+    snap: &Snapshot,
+    ctx: &ReadCtx,
+    draining: bool,
+    req: &Object,
+) -> Result<Object, ServeError> {
+    let op = str_field(req, "op")?;
+    match op {
+        "health" => {
+            let mut o = Object::new();
+            o.set(
+                "status",
+                Json::from(if draining { "draining" } else { "ok" }),
+            );
+            o.set(
+                "uptime_ms",
+                Json::from(ctx.started.elapsed().as_millis() as u64),
+            );
+            o.set(
+                "in_flight",
+                Json::from(ctx.shared.in_flight.load(Ordering::SeqCst)),
+            );
+            o.set("shed", Json::from(ctx.shared.shed.load(Ordering::SeqCst)));
+            o.set("cache_hits", Json::from(snap.cache.hits));
+            o.set("cache_misses", Json::from(snap.cache.misses));
+            o.set("cache_entries", Json::from(snap.cache_len));
+            o.set("cache_recovered", Json::from(snap.cache.recovered));
+            o.set(
+                "cache_persisted_hits",
+                Json::from(snap.cache.persisted_hits),
+            );
+            o.set("degraded_last", Json::from(snap.outcome.degraded));
+            Ok(o)
+        }
+        "stats" => {
+            let stats = snap.stats;
+            let cache = snap.cache;
+            let errors = stats.errors + ctx.counters.read_errors.load(Ordering::SeqCst);
+            let t = &snap.analysis.timings;
+            let mut o = Object::new();
+            o.set("requests", Json::from(stats.requests));
+            o.set("updates", Json::from(stats.updates));
+            o.set("loads", Json::from(stats.loads));
+            o.set("errors", Json::from(errors));
+            o.set("degraded_requests", Json::from(stats.degraded_requests));
+            o.set("panics_contained", Json::from(stats.panics_contained));
+            o.set("shed", Json::from(ctx.shared.shed.load(Ordering::SeqCst)));
+            o.set("cache_hits", Json::from(cache.hits));
+            o.set("cache_misses", Json::from(cache.misses));
+            o.set("cache_evictions", Json::from(cache.evictions));
+            o.set("cache_bypasses", Json::from(cache.bypasses));
+            o.set("cache_entries", Json::from(snap.cache_len));
+            o.set("cache_recovered", Json::from(cache.recovered));
+            o.set("cache_persisted_hits", Json::from(cache.persisted_hits));
+            if let Some(rate) = cache.hit_rate() {
+                o.set("cache_hit_rate", Json::Float(rate));
+            }
+            if let Some(sc) = ctx.store.as_ref() {
+                o.set(
+                    "store_snapshots",
+                    Json::from(sc.snapshots.load(Ordering::SeqCst)),
+                );
+                o.set(
+                    "store_snapshot_failures",
+                    Json::from(sc.snapshot_failures.load(Ordering::SeqCst)),
+                );
+                o.set("store_recovered", Json::from(sc.recovered));
+                o.set(
+                    "store_discarded",
+                    match &sc.discarded {
+                        None => Json::Null,
+                        Some(reason) => Json::from(reason.label()),
+                    },
+                );
+            }
+            let mut timings = Object::new();
+            timings.set("modref_us", Json::from(t.modref.wall.as_micros() as u64));
+            timings.set("retjump_us", Json::from(t.retjump.wall.as_micros() as u64));
+            timings.set("jump_us", Json::from(t.jump.wall.as_micros() as u64));
+            timings.set("solve_us", Json::from(t.solve.wall.as_micros() as u64));
+            o.set("last_timings", Json::from(timings));
+            Ok(o)
+        }
+        "constants" => {
+            let proc = match req.get("proc") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| ServeError::BadRequest("`proc` must be a string".into()))?,
+                ),
+            };
+            let report = snap.constants(proc)?;
+            let mut o = outcome_payload(&snap.outcome);
+            let report = report.to_json();
+            if let Some(fields) = report.as_object() {
+                for (k, v) in fields.iter() {
+                    o.set(k, v.clone());
+                }
+            }
+            Ok(o)
+        }
+        "explain" => {
+            let proc = str_field(req, "proc")?;
+            let slot = match req.get("slot") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| ServeError::BadRequest("`slot` must be a string".into()))?,
+                ),
+            };
+            let depth = match req.get("depth") {
+                None => 3,
+                Some(v) => v.as_i64().filter(|&d| d >= 0).ok_or_else(|| {
+                    ServeError::BadRequest("`depth` must be a non-negative integer".into())
+                })? as usize,
+            };
+            let text = snap.explain(proc, slot, depth)?;
+            let mut o = Object::new();
+            o.set("text", Json::from(text));
+            Ok(o)
+        }
+        other => Err(ServeError::BadRequest(format!(
+            "unknown op `{other}` on the read path"
+        ))),
+    }
+}
+
+/// One read request (a frame or a `batch` item) to a full response
+/// object. Structured errors bump the pool's `read_errors`.
+fn read_item(snap: &Snapshot, ctx: &ReadCtx, draining: bool, item: &Json) -> Json {
+    let (id, result) = match item.as_object() {
+        None => (
+            Json::Null,
+            Err(ServeError::BadRequest(
+                "request must be a JSON object".into(),
+            )),
+        ),
+        Some(o) => {
+            let id = o.get("id").cloned().unwrap_or(Json::Null);
+            (id, read_payload(snap, ctx, draining, o))
+        }
+    };
+    match result {
+        Ok(payload) => ok_json(&id, payload),
+        Err(e) => {
+            ctx.counters.read_errors.fetch_add(1, Ordering::SeqCst);
+            err_json(&id, e.kind(), &e.to_string())
+        }
+    }
+}
+
+/// Serves one read frame — a single op, or a read-only `batch` answered
+/// item by item against one snapshot (so every item in the batch sees
+/// the same epoch).
+fn serve_read_frame(snap: &Snapshot, ctx: &ReadCtx, draining: bool, req: &Json) -> String {
+    let Some(o) = req.as_object() else {
+        return error_response(&Json::Null, "bad_request", "request must be a JSON object");
+    };
+    if o.get("op").and_then(Json::as_str) == Some("batch") {
+        let id = req_id(req);
+        let results: Vec<Json> = o
+            .get("requests")
+            .and_then(Json::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|it| read_item(snap, ctx, draining, it))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut payload = Object::new();
+        payload.set("results", Json::Array(results));
+        ok_response(&id, payload)
+    } else {
+        read_item(snap, ctx, draining, req).to_string()
+    }
+}
+
 /// The daemon. Blocks until stdin closes, SIGTERM/SIGINT arrives, or a
 /// `shutdown` request is served; returns the number of requests shed so
 /// the caller can report it.
@@ -231,12 +524,21 @@ pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String>
         queue_ms,
         drain_ms,
         request_deadline_ms,
+        serve_workers,
         ..
     } = opts.clone();
     let (mut engine, mut store) = boot_engine(src, config, opts)?;
     install_signal_handlers();
 
     let shared = Arc::new(Shared::default());
+    let mut pool = ReadPool::new(serve_workers, engine.snapshot());
+    let ctx = Arc::new(ReadCtx {
+        shared: Arc::clone(&shared),
+        counters: pool.counters(),
+        store: store.as_ref().map(|st| Arc::clone(&st.counters)),
+        started: Instant::now(),
+        queue_deadline: Duration::from_millis(queue_ms),
+    });
     let (tx, rx) = mpsc::sync_channel::<Incoming>(max_inflight);
     let stdin_closed = Arc::new(AtomicBool::new(false));
 
@@ -286,9 +588,11 @@ pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String>
     }
     drop(tx);
 
-    let started = Instant::now();
-    let queue_deadline = Duration::from_millis(queue_ms);
     let mut shutdown = false;
+    // Writer/inline frames finished on the main thread; pooled frames
+    // are counted by the pool's `completed`. The sum drives the
+    // `--snapshot-every-n` cadence.
+    let mut inline_served: u64 = 0;
 
     // Serve until a shutdown signal, then fall through to the drain.
     // Stdin EOF ends a stdin-only daemon; with a socket configured it
@@ -301,25 +605,87 @@ pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String>
         }
         match rx.recv_timeout(Duration::from_millis(25)) {
             Ok(inc) => {
-                handle(
-                    &mut engine,
-                    &shared,
-                    inc,
-                    queue_deadline,
-                    request_deadline_ms,
-                    started,
-                    &mut shutdown,
-                    false,
-                    &mut store,
-                );
+                if inc.at.elapsed() > ctx.queue_deadline {
+                    shared.shed.fetch_add(1, Ordering::SeqCst);
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    inc.sink.send_line(&error_response(
+                        &peek_id(&inc.line),
+                        "overloaded",
+                        "request exceeded the queue deadline before processing",
+                    ));
+                    inline_served += 1;
+                } else {
+                    match classify(&inc.line) {
+                        Route::Malformed(msg) => {
+                            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            inc.sink
+                                .send_line(&error_response(&Json::Null, "bad_request", &msg));
+                            inline_served += 1;
+                        }
+                        Route::Read(req) => {
+                            // Concurrent: the queue-deadline check happens
+                            // when the job actually executes.
+                            let ctx = Arc::clone(&ctx);
+                            let sink = inc.sink.clone();
+                            let at = inc.at;
+                            pool.submit(Box::new(move |snap| {
+                                let response = if at.elapsed() > ctx.queue_deadline {
+                                    ctx.shared.shed.fetch_add(1, Ordering::SeqCst);
+                                    error_response(
+                                        &req_id(&req),
+                                        "overloaded",
+                                        "request exceeded the queue deadline before processing",
+                                    )
+                                } else {
+                                    serve_read_frame(snap, &ctx, false, &req)
+                                };
+                                ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                sink.send_line(&response);
+                            }));
+                        }
+                        Route::Writer(req) => {
+                            // Exclusive epoch: every in-flight read finishes
+                            // (and its reply flushes) before the engine
+                            // mutates; the next snapshot publishes before
+                            // any later read runs.
+                            pool.quiesce();
+                            handle_writer(
+                                &mut engine,
+                                &ctx,
+                                &inc.sink,
+                                &req,
+                                request_deadline_ms,
+                                &mut shutdown,
+                                false,
+                                &mut store,
+                            );
+                            pool.publish(engine.snapshot());
+                            inline_served += 1;
+                        }
+                    }
+                }
                 if let Some(st) = store.as_mut() {
-                    st.after_request(&engine, opts.snapshot_every_n);
+                    let total = inline_served + ctx.counters.completed.load(Ordering::SeqCst);
+                    st.maybe_snapshot(&engine, total, opts.snapshot_every_n);
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                // Pooled reads complete asynchronously: check the
+                // snapshot cadence on idle ticks too.
+                if let Some(st) = store.as_mut() {
+                    let total = inline_served + ctx.counters.completed.load(Ordering::SeqCst);
+                    st.maybe_snapshot(&engine, total, opts.snapshot_every_n);
+                }
+            }
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+
+    // Entering the drain: let every pooled read flush its reply, then
+    // retire the workers. Drain-time reads are served inline against a
+    // fresh snapshot — same rendering path, zero idle threads.
+    pool.quiesce();
+    pool.shutdown();
 
     // Graceful drain: serve whatever is already queued, under a deadline;
     // shed the rest explicitly. New connections may still enqueue during
@@ -346,17 +712,17 @@ pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String>
                 let mut ignored = false;
                 handle(
                     &mut engine,
-                    &shared,
+                    &ctx,
                     inc,
-                    queue_deadline,
                     request_deadline_ms,
-                    started,
                     &mut ignored,
                     true,
                     &mut store,
                 );
+                inline_served += 1;
                 if let Some(st) = store.as_mut() {
-                    st.after_request(&engine, opts.snapshot_every_n);
+                    let total = inline_served + ctx.counters.completed.load(Ordering::SeqCst);
+                    st.maybe_snapshot(&engine, total, opts.snapshot_every_n);
                 }
             }
             Err(RecvTimeoutError::Timeout) => continue,
@@ -381,7 +747,9 @@ pub fn serve(src: &str, config: &Config, opts: &ServeOpts) -> Result<(), String>
         None => String::new(),
         Some(st) => format!(
             "; store {} snapshot(s), {} failed, {} recovered",
-            st.snapshots, st.snapshot_failures, st.recovered
+            st.counters.snapshots.load(Ordering::SeqCst),
+            st.counters.snapshot_failures.load(Ordering::SeqCst),
+            st.counters.recovered
         ),
     };
     eprintln!(
@@ -416,18 +784,12 @@ fn boot_engine(
     let mut summary_store = SummaryStore::with_injector(path, injector);
     let (engine, status) = ServeEngine::new_with_store(src, config, &mut summary_store)
         .map_err(|e| format!("error: starting daemon: {e}"))?;
-    let mut state = StoreState {
-        store: summary_store,
-        recovered: 0,
-        discarded: None,
-        snapshots: 0,
-        snapshot_failures: 0,
-        since_snapshot: 0,
-    };
+    let mut recovered = 0;
+    let mut discarded = None;
     match status {
         LoadStatus::Fresh => eprintln!("serve: store {path}: no prior store, starting cold"),
         LoadStatus::Restored(n) => {
-            state.recovered = n as u64;
+            recovered = n as u64;
             eprintln!("serve: store {path}: restored {n} summaries");
         }
         LoadStatus::Discarded(reason) => {
@@ -435,9 +797,19 @@ fn boot_engine(
                 "serve: store {path}: discarded ({}): {reason}; starting cold",
                 reason.label()
             );
-            state.discarded = Some(reason);
+            discarded = Some(reason);
         }
     }
+    let state = StoreState {
+        store: summary_store,
+        counters: Arc::new(StoreCounters {
+            snapshots: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+            recovered,
+            discarded,
+        }),
+        served_at_snapshot: 0,
+    };
     Ok((engine, Some(state)))
 }
 
@@ -494,53 +866,154 @@ fn admit(tx: &SyncSender<Incoming>, shared: &Shared, line: String, sink: Sink) {
     }
 }
 
-/// Serves one admitted request on the worker thread.
-#[allow(clippy::too_many_arguments)]
+/// Serves one admitted request inline on the main thread — the drain
+/// path, where the pool is already retired. Reads render against a
+/// fresh snapshot through the same builders the pool uses.
 fn handle(
     engine: &mut ServeEngine,
-    shared: &Shared,
+    ctx: &ReadCtx,
     inc: Incoming,
-    queue_deadline: Duration,
     request_deadline_ms: Option<u64>,
-    started: Instant,
     shutdown: &mut bool,
     draining: bool,
     store: &mut Option<StoreState>,
 ) {
-    let response = if inc.at.elapsed() > queue_deadline {
-        shared.shed.fetch_add(1, Ordering::SeqCst);
-        error_response(
+    if inc.at.elapsed() > ctx.queue_deadline {
+        ctx.shared.shed.fetch_add(1, Ordering::SeqCst);
+        ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        inc.sink.send_line(&error_response(
             &peek_id(&inc.line),
             "overloaded",
             "request exceeded the queue deadline before processing",
-        )
-    } else {
-        match json::parse(&inc.line) {
-            Err(e) => error_response(&Json::Null, "bad_request", &format!("malformed JSON: {e}")),
-            Ok(req) => {
-                let id = req
-                    .as_object()
-                    .and_then(|o| o.get("id"))
-                    .cloned()
-                    .unwrap_or(Json::Null);
-                match dispatch(
-                    engine,
-                    shared,
-                    &req,
-                    request_deadline_ms,
-                    started,
-                    shutdown,
-                    draining,
-                    store,
-                ) {
-                    Ok(payload) => ok_response(&id, payload),
-                    Err(e) => error_response(&id, e.kind(), &e.to_string()),
-                }
-            }
+        ));
+        return;
+    }
+    match classify(&inc.line) {
+        Route::Malformed(msg) => {
+            ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            inc.sink
+                .send_line(&error_response(&Json::Null, "bad_request", &msg));
         }
+        Route::Read(req) => {
+            let snap = engine.snapshot();
+            let response = serve_read_frame(&snap, ctx, draining, &req);
+            ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            inc.sink.send_line(&response);
+        }
+        Route::Writer(req) => handle_writer(
+            engine,
+            ctx,
+            &inc.sink,
+            &req,
+            request_deadline_ms,
+            shutdown,
+            draining,
+            store,
+        ),
+    }
+}
+
+/// Serves one writer frame on the main thread. The caller has already
+/// quiesced the pool (live path) or retired it (drain path), so the
+/// engine mutates under an exclusive epoch; the caller republishes the
+/// snapshot afterwards.
+#[allow(clippy::too_many_arguments)]
+fn handle_writer(
+    engine: &mut ServeEngine,
+    ctx: &ReadCtx,
+    sink: &Sink,
+    req: &Json,
+    request_deadline_ms: Option<u64>,
+    shutdown: &mut bool,
+    draining: bool,
+    store: &mut Option<StoreState>,
+) {
+    let id = req_id(req);
+    let is_batch = req
+        .as_object()
+        .and_then(|o| o.get("op"))
+        .and_then(Json::as_str)
+        == Some("batch");
+    let result = if is_batch {
+        match req.as_object() {
+            None => Err(ServeError::BadRequest(
+                "request must be a JSON object".into(),
+            )),
+            Some(o) => batch_writer(
+                engine,
+                ctx,
+                o,
+                request_deadline_ms,
+                shutdown,
+                draining,
+                store,
+            ),
+        }
+    } else {
+        dispatch(engine, req, request_deadline_ms, shutdown, store)
     };
-    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-    inc.sink.send_line(&response);
+    let response = match result {
+        Ok(payload) => ok_response(&id, payload),
+        Err(e) => error_response(&id, e.kind(), &e.to_string()),
+    };
+    ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    sink.send_line(&response);
+}
+
+/// A `batch` frame that reached the writer path: it carries at least
+/// one writer item (or a malformed one), so the whole frame executes
+/// serialized, item by item, in order. Read items still render through
+/// the snapshot builders (one fresh snapshot each, since a preceding
+/// writer item may have mutated the engine). An in-batch `shutdown`
+/// sheds every later item explicitly — the protocol's partial-shed
+/// outcome.
+#[allow(clippy::too_many_arguments)]
+fn batch_writer(
+    engine: &mut ServeEngine,
+    ctx: &ReadCtx,
+    req: &Object,
+    request_deadline_ms: Option<u64>,
+    shutdown: &mut bool,
+    draining: bool,
+    store: &mut Option<StoreState>,
+) -> Result<Object, ServeError> {
+    let items = req
+        .get("requests")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServeError::BadRequest("batch needs a `requests` array".into()))?;
+    if items.len() > MAX_BATCH {
+        return Err(ServeError::BadRequest(format!(
+            "batch carries {} requests (max {MAX_BATCH})",
+            items.len()
+        )));
+    }
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        let id = req_id(item);
+        if *shutdown {
+            results.push(err_json(
+                &id,
+                "shutting_down",
+                "daemon is shutting down; batch item shed",
+            ));
+            continue;
+        }
+        let is_read = item.as_object().is_some_and(is_read_op);
+        if is_read {
+            let snap = engine.snapshot();
+            results.push(read_item(&snap, ctx, draining, item));
+        } else {
+            results.push(
+                match dispatch(engine, item, request_deadline_ms, shutdown, store) {
+                    Ok(payload) => ok_json(&id, payload),
+                    Err(e) => err_json(&id, e.kind(), &e.to_string()),
+                },
+            );
+        }
+    }
+    let mut payload = Object::new();
+    payload.set("results", Json::Array(results));
+    Ok(payload)
 }
 
 /// Builds the effective per-request configuration: explicit `config`
@@ -576,15 +1049,16 @@ fn str_field<'a>(req: &'a Object, key: &str) -> Result<&'a str, ServeError> {
         .ok_or_else(|| ServeError::BadRequest(format!("request needs a string `{key}` field")))
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Serves one writer op on the engine. Pure reads never reach this
+/// function: single read frames and read-only batches go to the pool,
+/// drain-time reads go through [`serve_read_frame`], and read items
+/// inside a writer batch are routed by [`batch_writer`]. What remains
+/// is everything that can mutate (or needs a one-off analysis).
 fn dispatch(
     engine: &mut ServeEngine,
-    shared: &Shared,
     req: &Json,
     request_deadline_ms: Option<u64>,
-    started: Instant,
     shutdown: &mut bool,
-    draining: bool,
     store: &mut Option<StoreState>,
 ) -> Result<Object, ServeError> {
     let req = req
@@ -592,72 +1066,6 @@ fn dispatch(
         .ok_or_else(|| ServeError::BadRequest("request must be a JSON object".into()))?;
     let op = str_field(req, "op")?;
     match op {
-        "health" => {
-            let cache = engine.cache_stats();
-            let mut o = Object::new();
-            o.set(
-                "status",
-                Json::from(if draining { "draining" } else { "ok" }),
-            );
-            o.set(
-                "uptime_ms",
-                Json::from(started.elapsed().as_millis() as u64),
-            );
-            o.set(
-                "in_flight",
-                Json::from(shared.in_flight.load(Ordering::SeqCst)),
-            );
-            o.set("shed", Json::from(shared.shed.load(Ordering::SeqCst)));
-            o.set("cache_hits", Json::from(cache.hits));
-            o.set("cache_misses", Json::from(cache.misses));
-            o.set("cache_entries", Json::from(engine.cache_len()));
-            o.set("cache_recovered", Json::from(cache.recovered));
-            o.set("cache_persisted_hits", Json::from(cache.persisted_hits));
-            o.set("degraded_last", Json::from(engine.last_outcome().degraded));
-            Ok(o)
-        }
-        "stats" => {
-            let stats = engine.stats();
-            let cache = engine.cache_stats();
-            let t = &engine.analysis().timings;
-            let mut o = Object::new();
-            o.set("requests", Json::from(stats.requests));
-            o.set("updates", Json::from(stats.updates));
-            o.set("loads", Json::from(stats.loads));
-            o.set("errors", Json::from(stats.errors));
-            o.set("degraded_requests", Json::from(stats.degraded_requests));
-            o.set("panics_contained", Json::from(stats.panics_contained));
-            o.set("shed", Json::from(shared.shed.load(Ordering::SeqCst)));
-            o.set("cache_hits", Json::from(cache.hits));
-            o.set("cache_misses", Json::from(cache.misses));
-            o.set("cache_evictions", Json::from(cache.evictions));
-            o.set("cache_bypasses", Json::from(cache.bypasses));
-            o.set("cache_entries", Json::from(engine.cache_len()));
-            o.set("cache_recovered", Json::from(cache.recovered));
-            o.set("cache_persisted_hits", Json::from(cache.persisted_hits));
-            if let Some(rate) = cache.hit_rate() {
-                o.set("cache_hit_rate", Json::Float(rate));
-            }
-            if let Some(st) = store.as_ref() {
-                o.set("store_snapshots", Json::from(st.snapshots));
-                o.set("store_snapshot_failures", Json::from(st.snapshot_failures));
-                o.set("store_recovered", Json::from(st.recovered));
-                o.set(
-                    "store_discarded",
-                    match &st.discarded {
-                        None => Json::Null,
-                        Some(reason) => Json::from(reason.label()),
-                    },
-                );
-            }
-            let mut timings = Object::new();
-            timings.set("modref_us", Json::from(t.modref.wall.as_micros() as u64));
-            timings.set("retjump_us", Json::from(t.retjump.wall.as_micros() as u64));
-            timings.set("jump_us", Json::from(t.jump.wall.as_micros() as u64));
-            timings.set("solve_us", Json::from(t.solve.wall.as_micros() as u64));
-            o.set("last_timings", Json::from(timings));
-            Ok(o)
-        }
         "analyze" => {
             let config = request_config(engine, req, request_deadline_ms)?;
             let outcome = engine.analyze(config)?;
@@ -680,26 +1088,6 @@ fn dispatch(
                     o.set(k, v.clone());
                 }
             }
-            Ok(o)
-        }
-        "explain" => {
-            let proc = str_field(req, "proc")?;
-            let slot = match req.get("slot") {
-                None | Some(Json::Null) => None,
-                Some(v) => Some(
-                    v.as_str()
-                        .ok_or_else(|| ServeError::BadRequest("`slot` must be a string".into()))?,
-                ),
-            };
-            let depth = match req.get("depth") {
-                None => 3,
-                Some(v) => v.as_i64().filter(|&d| d >= 0).ok_or_else(|| {
-                    ServeError::BadRequest("`depth` must be a non-negative integer".into())
-                })? as usize,
-            };
-            let text = engine.explain(proc, slot, depth)?;
-            let mut o = Object::new();
-            o.set("text", Json::from(text));
             Ok(o)
         }
         "update" => {
@@ -740,6 +1128,9 @@ fn dispatch(
             o.set("status", Json::from("draining"));
             Ok(o)
         }
+        // A top-level batch is intercepted before dispatch; one arriving
+        // here is an item inside another batch.
+        "batch" => Err(ServeError::BadRequest("batch requests cannot nest".into())),
         other => Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
     }
 }

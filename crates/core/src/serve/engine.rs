@@ -33,6 +33,7 @@ use ipcp_ir::lang::{ast, parse_program, pretty};
 use ipcp_ir::program::SlotLayout;
 use ipcp_ir::{lower_module, parse_and_resolve};
 use std::fmt;
+use std::sync::Arc;
 
 /// A structured request failure. Everything a hostile or unlucky request
 /// can provoke is one of these — the daemon never exits on a request.
@@ -279,8 +280,8 @@ fn run_request(
 pub struct ServeEngine {
     base_config: Config,
     model: ProgramModel,
-    mcfg: ModuleCfg,
-    current: Analysis,
+    mcfg: Arc<ModuleCfg>,
+    current: Arc<Analysis>,
     cache: SummaryCache,
     stats: EngineStats,
     last_outcome: RequestOutcome,
@@ -368,8 +369,8 @@ impl ServeEngine {
         Ok(ServeEngine {
             base_config: config,
             model,
-            mcfg,
-            current: analysis,
+            mcfg: Arc::new(mcfg),
+            current: Arc::new(analysis),
             cache,
             stats: EngineStats {
                 requests: 1,
@@ -474,7 +475,7 @@ impl ServeEngine {
         let config = overrides.unwrap_or(self.base_config);
         let (analysis, outcome) = self.run_guarded(config)?;
         if replace {
-            self.current = analysis;
+            self.current = Arc::new(analysis);
         }
         Ok(outcome)
     }
@@ -494,25 +495,18 @@ impl ServeEngine {
                 (Some(analysis), outcome)
             }
         };
-        let analysis = one_off.as_ref().unwrap_or(&self.current);
-        let mut procs = Vec::new();
-        for p in &self.mcfg.module.procs {
-            if let Some(want) = proc {
-                if p.name != want {
-                    continue;
-                }
-            }
-            procs.push((p.name.clone(), analysis.constants_of(&self.mcfg, p.id)));
-        }
-        if proc.is_some() && procs.is_empty() {
-            self.stats.errors += 1;
-            return Err(ServeError::BadRequest(format!(
-                "no procedure named `{}`",
-                proc.unwrap_or_default()
-            )));
-        }
+        let analysis: &Analysis = match &one_off {
+            Some(a) => a,
+            None => &self.current,
+        };
         let substituted = analysis.substitute(&self.mcfg).total;
-        Ok((ConstantsReport { procs, substituted }, outcome))
+        match constants_report(&self.mcfg, analysis, proc, substituted) {
+            Ok(report) => Ok((report, outcome)),
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Explains where `(proc, slot)` values came from, rendered as the
@@ -524,39 +518,13 @@ impl ServeEngine {
         slot: Option<&str>,
         depth: usize,
     ) -> Result<String, ServeError> {
-        let Some(p) = self.mcfg.module.proc_named(proc) else {
-            self.stats.errors += 1;
-            return Err(ServeError::BadRequest(format!(
-                "no procedure named `{proc}`"
-            )));
-        };
-        let layout = SlotLayout::new(&self.mcfg.module);
-        let n_slots = layout.n_slots(p.arity());
-        let pid = p.id;
-        let mut out = String::new();
-        let mut matched = false;
-        for s in 0..n_slots {
-            let name = layout.slot_name(&self.mcfg.module, pid, s);
-            if slot.is_some_and(|want| want != name) {
-                continue;
+        match explain_render(&self.mcfg, &self.current, proc, slot, depth) {
+            Ok(text) => Ok(text),
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(e)
             }
-            matched = true;
-            out.push_str(&crate::explain::render(
-                &self.mcfg,
-                &self.current,
-                pid,
-                s,
-                depth,
-            ));
         }
-        if !matched {
-            self.stats.errors += 1;
-            return Err(ServeError::BadRequest(format!(
-                "no entry slot named `{}` in `{proc}`",
-                slot.unwrap_or_default()
-            )));
-        }
-        Ok(out)
     }
 
     /// Replaces one procedure's definition and incrementally re-analyzes
@@ -614,12 +582,93 @@ impl ServeEngine {
                 self.cache.commit(txn);
                 self.record(&outcome);
                 self.model = candidate;
-                self.mcfg = mcfg;
-                self.current = analysis;
+                self.mcfg = Arc::new(mcfg);
+                self.current = Arc::new(analysis);
                 Ok(outcome)
             }
         }
     }
+
+    /// An immutable [`Snapshot`] of the committed state for the read
+    /// workers — O(1) in the program size (`Arc` clones plus the small
+    /// telemetry structs). The transport publishes one after every
+    /// committed writer operation.
+    pub fn snapshot(&self) -> crate::serve::workers::Snapshot {
+        crate::serve::workers::Snapshot::new(
+            Arc::clone(&self.mcfg),
+            Arc::clone(&self.current),
+            self.last_outcome.clone(),
+            self.stats,
+            self.cache.stats(),
+            self.cache.len(),
+        )
+    }
+}
+
+/// `CONSTANTS(p)` for one procedure (or all) of `mcfg` under `analysis`.
+/// The single rendering path behind both [`ServeEngine::constants`] and
+/// [`crate::serve::workers::Snapshot::constants`] — sharing it is what
+/// makes pooled answers byte-identical to single-threaded ones.
+pub(crate) fn constants_report(
+    mcfg: &ModuleCfg,
+    analysis: &Analysis,
+    proc: Option<&str>,
+    substituted: usize,
+) -> Result<ConstantsReport, ServeError> {
+    let mut procs = Vec::new();
+    for p in &mcfg.module.procs {
+        if let Some(want) = proc {
+            if p.name != want {
+                continue;
+            }
+        }
+        procs.push((p.name.clone(), analysis.constants_of(mcfg, p.id)));
+    }
+    if proc.is_some() && procs.is_empty() {
+        return Err(ServeError::BadRequest(format!(
+            "no procedure named `{}`",
+            proc.unwrap_or_default()
+        )));
+    }
+    Ok(ConstantsReport { procs, substituted })
+}
+
+/// The `ipcc explain` text for `(proc, slot)` of `mcfg` under
+/// `analysis` — the single rendering path behind both
+/// [`ServeEngine::explain`] and
+/// [`crate::serve::workers::Snapshot::explain`].
+pub(crate) fn explain_render(
+    mcfg: &ModuleCfg,
+    analysis: &Analysis,
+    proc: &str,
+    slot: Option<&str>,
+    depth: usize,
+) -> Result<String, ServeError> {
+    let Some(p) = mcfg.module.proc_named(proc) else {
+        return Err(ServeError::BadRequest(format!(
+            "no procedure named `{proc}`"
+        )));
+    };
+    let layout = SlotLayout::new(&mcfg.module);
+    let n_slots = layout.n_slots(p.arity());
+    let pid = p.id;
+    let mut out = String::new();
+    let mut matched = false;
+    for s in 0..n_slots {
+        let name = layout.slot_name(&mcfg.module, pid, s);
+        if slot.is_some_and(|want| want != name) {
+            continue;
+        }
+        matched = true;
+        out.push_str(&crate::explain::render(mcfg, analysis, pid, s, depth));
+    }
+    if !matched {
+        return Err(ServeError::BadRequest(format!(
+            "no entry slot named `{}` in `{proc}`",
+            slot.unwrap_or_default()
+        )));
+    }
+    Ok(out)
 }
 
 /// `CONSTANTS(p)` pairs per procedure plus the substitution metric.

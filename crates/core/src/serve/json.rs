@@ -13,7 +13,6 @@
 //! (a hostile request of 100k nested `[` must not overflow the daemon's
 //! stack) and all errors are values, never panics.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maximum nesting depth the parser accepts. Deep enough for any real
@@ -41,10 +40,15 @@ pub enum Json {
 }
 
 /// A JSON object preserving insertion order.
+///
+/// Protocol objects are small (a request has ~4 keys, the largest reply
+/// payload ~25), so entries live in a flat vector: lookups are a short
+/// linear scan and every insert is one key allocation, which is what
+/// makes building and parsing a 1000-item `batch` frame cheap. The
+/// serve daemon's per-item reply cost is dominated by exactly this.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Object {
-    keys: Vec<String>,
-    map: BTreeMap<String, Json>,
+    entries: Vec<(String, Json)>,
 }
 
 impl Object {
@@ -55,28 +59,44 @@ impl Object {
 
     /// Inserts (or replaces) a key.
     pub fn set(&mut self, key: &str, value: Json) -> &mut Object {
-        if !self.map.contains_key(key) {
-            self.keys.push(key.to_string());
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
         }
-        self.map.insert(key.to_string(), value);
+        self
+    }
+
+    /// [`Object::set`] without the key copy — for callers that already
+    /// own the key `String` (moving entries between objects).
+    pub fn set_owned(&mut self, key: String, value: Json) -> &mut Object {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
         self
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &str) -> Option<&Json> {
-        self.map.get(key)
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// Whether the object has no keys.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.entries.is_empty()
     }
 
     /// Iterates entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Json)> {
-        self.keys
-            .iter()
-            .filter_map(|k| self.map.get(k).map(|v| (k.as_str(), v)))
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Consumes the object into its `(key, value)` entries, in
+    /// insertion order.
+    pub fn into_entries(self) -> impl Iterator<Item = (String, Json)> {
+        self.entries.into_iter()
     }
 }
 
@@ -211,18 +231,29 @@ impl fmt::Display for Json {
 }
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    // Contiguous runs of plain characters are written as one slice —
+    // per-character `write!` calls through the `fmt` machinery are what
+    // used to dominate the cost of serializing a large reply frame.
     f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+    let mut plain = 0; // start of the current unescaped run
+    for (i, c) in s.char_indices() {
+        let escape: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            c if (c as u32) < 0x20 => None, // \u escape, formatted below
+            _ => continue,
+        };
+        f.write_str(&s[plain..i])?;
+        match escape {
+            Some(e) => f.write_str(e)?,
+            None => write!(f, "\\u{:04x}", c as u32)?,
         }
+        plain = i + c.len_utf8();
     }
+    f.write_str(&s[plain..])?;
     f.write_str("\"")
 }
 

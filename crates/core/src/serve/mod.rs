@@ -14,6 +14,9 @@
 //!   bit-identical to a cold [`crate::Analysis::run`];
 //! * [`engine`] — the typed request engine: `analyze`, `constants`,
 //!   `explain`, `update`, `load`, plus telemetry;
+//! * [`workers`] — the multi-worker read engine: an epoch-gated,
+//!   Mutex-free snapshot cell ([`EpochCell`]) and the read-request
+//!   thread pool ([`ReadPool`]) behind `--serve-workers`;
 //! * [`wire`] — panic-free binary codecs for every cached summary;
 //! * [`store`] — the durable on-disk snapshot of the cache (atomic
 //!   write-temp/fsync/rename saves, fully checksummed loads that
@@ -29,6 +32,7 @@ pub mod incremental;
 pub mod json;
 pub mod store;
 pub mod wire;
+pub mod workers;
 
 pub use cache::{CacheKey, CacheStats, CacheTxn, CachedSummary, SummaryCache, SummaryStage};
 pub use engine::{
@@ -40,3 +44,4 @@ pub use incremental::{
 };
 pub use json::{Json, Object};
 pub use store::{DiscardReason, IoFault, IoInjector, LoadStatus, SummaryStore};
+pub use workers::{EpochCell, PoolCounters, ReadJob, ReadPool, Snapshot};

@@ -628,3 +628,240 @@ fn interrupted_saves_never_tear_the_previous_store() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ===== The multi-worker read engine (`--serve-workers`) ==============
+
+use ipcp::serve::{ReadPool, Snapshot};
+use ipcp_suite::Rng;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// The two bodies the differential script toggles `f` between. Both
+/// keep the chain shape, so every update invalidates `f`'s cone and
+/// re-answers must reflect the committed variant.
+const F_VARIANTS: [&str; 2] = [
+    "proc f(a) { call g(a + 1); }",
+    "proc f(a) { call g(a + 2); }",
+];
+
+/// One step of the randomized serve session.
+#[derive(Clone, Debug)]
+enum Step {
+    /// A single pooled read (the kind selects the op).
+    Read(u64),
+    /// Several reads submitted as one pool job against one snapshot —
+    /// the library-level shape of a `batch` frame.
+    Batch(Vec<u64>),
+    /// A writer op: toggle `f` to the given variant under an exclusive
+    /// epoch (quiesce → update → publish).
+    Update(usize),
+}
+
+/// The seeded script both the serial reference and every pooled runner
+/// replay. Mixes single reads, batched reads, and updates.
+fn script(seed: u64, steps: usize) -> Vec<Step> {
+    let mut rng = Rng::new(seed);
+    let mut variant = 0;
+    (0..steps)
+        .map(|_| match rng.below(4) {
+            0 => {
+                variant ^= 1;
+                Step::Update(variant)
+            }
+            1 => Step::Batch((0..3 + rng.below(4)).map(|_| rng.below(5)).collect()),
+            _ => Step::Read(rng.below(5)),
+        })
+        .collect()
+}
+
+/// Renders read op `kind` from a snapshot — the exact strings a pooled
+/// reply is built from (reports and errors both serialize).
+fn render_read(snap: &Snapshot, kind: u64) -> String {
+    let result = match kind {
+        0 => snap.constants(None).map(|r| r.to_json().to_string()),
+        1 => snap.constants(Some("f")).map(|r| r.to_json().to_string()),
+        2 => snap.constants(Some("g")).map(|r| r.to_json().to_string()),
+        3 => snap
+            .constants(Some("nosuch"))
+            .map(|r| r.to_json().to_string()),
+        _ => snap.explain("f", None, 3),
+    };
+    match result {
+        Ok(text) => format!("ok:{text}"),
+        Err(e) => format!("err:{}:{e}", e.kind()),
+    }
+}
+
+/// Replays the script through a [`ReadPool`] with `workers` threads.
+/// Returns every read's rendered answer (keyed by script position) and
+/// the engine's final cache stats.
+fn pooled_session(
+    workers: usize,
+    steps: &[Step],
+) -> (BTreeMap<usize, String>, ipcp::serve::CacheStats) {
+    let mut engine = engine(CHAIN);
+    let mut pool = ReadPool::new(workers, engine.snapshot());
+    let answers: Arc<Mutex<BTreeMap<usize, String>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Read(kind) => {
+                let kind = *kind;
+                let answers = Arc::clone(&answers);
+                pool.submit(Box::new(move |snap| {
+                    let text = render_read(snap, kind);
+                    answers.lock().unwrap().insert(i, text);
+                }));
+            }
+            Step::Batch(kinds) => {
+                let kinds = kinds.clone();
+                let answers = Arc::clone(&answers);
+                pool.submit(Box::new(move |snap| {
+                    // All items of a batch answer from one snapshot.
+                    let joined: Vec<String> = kinds.iter().map(|&k| render_read(snap, k)).collect();
+                    answers.lock().unwrap().insert(i, joined.join("|"));
+                }));
+            }
+            Step::Update(variant) => {
+                // The exclusive epoch: no read may be mid-flight while
+                // the engine mutates, and the new state publishes to
+                // every later read.
+                pool.quiesce();
+                engine
+                    .update("f", F_VARIANTS[*variant])
+                    .expect("scripted update applies");
+                pool.publish(engine.snapshot());
+            }
+        }
+    }
+    pool.quiesce();
+    pool.shutdown();
+    (
+        Arc::try_unwrap(answers)
+            .expect("pool drained")
+            .into_inner()
+            .unwrap(),
+        engine.snapshot().cache,
+    )
+}
+
+/// Replays the script serially through the engine itself — the
+/// reference transcript the pooled runs must match byte for byte.
+fn serial_session(steps: &[Step]) -> (BTreeMap<usize, String>, ipcp::serve::CacheStats) {
+    let mut engine = engine(CHAIN);
+    let mut answers = BTreeMap::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Read(kind) => {
+                answers.insert(i, render_read(&engine.snapshot(), *kind));
+            }
+            Step::Batch(kinds) => {
+                let snap = engine.snapshot();
+                let joined: Vec<String> = kinds.iter().map(|&k| render_read(&snap, k)).collect();
+                answers.insert(i, joined.join("|"));
+            }
+            Step::Update(variant) => {
+                engine
+                    .update("f", F_VARIANTS[*variant])
+                    .expect("scripted update applies");
+            }
+        }
+    }
+    (answers, engine.snapshot().cache)
+}
+
+/// The concurrency identity contract: a randomized interleaving of
+/// batched and unbatched reads with updates produces byte-identical
+/// answers at workers = {1, 4}, equal to the serial engine, with cache
+/// telemetry that reconciles exactly.
+#[test]
+fn pooled_reads_are_byte_identical_across_worker_counts() {
+    for seed in [7, 1986] {
+        let steps = script(seed, 60);
+        let n_reads = steps
+            .iter()
+            .filter(|s| !matches!(s, Step::Update(_)))
+            .count();
+        let (reference, ref_cache) = serial_session(&steps);
+        assert_eq!(reference.len(), n_reads, "reference answered every read");
+        for workers in [1, 4] {
+            let (answers, cache) = pooled_session(workers, &steps);
+            assert_eq!(
+                answers, reference,
+                "workers={workers} seed={seed}: transcript diverged"
+            );
+            assert_eq!(
+                cache, ref_cache,
+                "workers={workers} seed={seed}: cache stats diverged"
+            );
+            // And the ledger reconciles: every unit the session touched
+            // is accounted a hit, a miss, or a bypass — same totals no
+            // matter how the reads interleaved.
+            assert_eq!(
+                cache.hits + cache.misses + cache.bypasses,
+                ref_cache.hits + ref_cache.misses + ref_cache.bypasses,
+                "workers={workers} seed={seed}: cache ledger does not reconcile"
+            );
+        }
+    }
+}
+
+/// A reader that entered before an `update` keeps its whole snapshot —
+/// the publish waits for it to leave, the epoch does not advance under
+/// it, and it can never observe a half-committed cache or analysis.
+#[test]
+fn updates_publish_only_after_in_flight_readers_leave() {
+    let mut engine = engine(CHAIN);
+    let mut pool = ReadPool::new(2, engine.snapshot());
+    let cell = pool.cell();
+    let epoch0 = cell.epoch();
+    let before = render_read(&engine.snapshot(), 2);
+
+    let (entered_tx, entered_rx) = mpsc::channel::<String>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let reader_cell = Arc::clone(&cell);
+    let reader = std::thread::spawn(move || {
+        reader_cell.read(|snap| {
+            entered_tx
+                .send(render_read(snap, 2))
+                .expect("reader reports in");
+            release_rx.recv().expect("reader released");
+            // Re-render from the same snapshot after the writer has
+            // committed: still the old, fully consistent state.
+            render_read(snap, 2)
+        })
+    });
+    let seen_on_entry = entered_rx.recv().expect("reader entered");
+
+    // The writer commits while the reader is parked inside the cell.
+    engine
+        .update("f", F_VARIANTS[1])
+        .expect("update applies mid-read");
+    let after = render_read(&engine.snapshot(), 2);
+    assert_ne!(before, after, "the update must change f's answer");
+    let publish_cell = Arc::clone(&cell);
+    let snapshot = engine.snapshot();
+    let publisher = std::thread::spawn(move || publish_cell.publish(snapshot));
+
+    // The publish must wait for the reader: the epoch may not advance
+    // while it is inside.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert_eq!(cell.epoch(), epoch0, "epoch advanced under a live reader");
+    assert!(!publisher.is_finished(), "publish completed under a reader");
+
+    release_tx.send(()).expect("release the reader");
+    let seen_on_exit = reader.join().expect("reader survives");
+    publisher.join().expect("publisher survives");
+    assert_eq!(cell.epoch(), epoch0 + 1, "publish bumps the epoch once");
+    assert_eq!(
+        seen_on_entry, before,
+        "reader saw something other than the committed pre-update state"
+    );
+    assert_eq!(
+        seen_on_exit, before,
+        "reader's snapshot mutated under it mid-update"
+    );
+    // New readers see the committed update.
+    assert_eq!(pool.read(|snap| render_read(snap, 2)), after);
+    pool.shutdown();
+}
